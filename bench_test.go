@@ -1,0 +1,326 @@
+// Benchmarks regenerating the paper's tables and figures as testing.B
+// targets — one benchmark (family) per table/figure. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Space figures report bytes via b.ReportMetric (benchmarks measure time;
+// stored bytes per snapshot appear as a custom metric). The full printed
+// reproductions, with the paper-shape commentary, come from cmd/spate-bench.
+package spate_test
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"spate/internal/bench"
+	"spate/internal/compress"
+	_ "spate/internal/compress/all"
+	"spate/internal/compute"
+	"spate/internal/core"
+	"spate/internal/dfs"
+	"spate/internal/entropy"
+	"spate/internal/gen"
+	"spate/internal/raw"
+	"spate/internal/shahed"
+	"spate/internal/snapshot"
+	"spate/internal/tasks"
+	"spate/internal/telco"
+)
+
+// benchScale keeps individual benchmark iterations fast while preserving
+// the paper's data shape.
+const benchScale = 0.005
+
+func benchGen() *gen.Generator {
+	return gen.New(gen.DefaultConfig(benchScale))
+}
+
+// snapshotText renders one CDR+NMS snapshot to its wire form.
+func snapshotText(g *gen.Generator, e telco.Epoch) []byte {
+	var buf bytes.Buffer
+	_ = g.CDRTable(e).WriteText(&buf)
+	_ = g.NMSTable(e).WriteText(&buf)
+	return buf.Bytes()
+}
+
+// --- Figure 4 ---
+
+func BenchmarkFig4Entropy(b *testing.B) {
+	g := benchGen()
+	tab := g.CDRTable(telco.EpochOf(g.Config().Start.Add(9 * time.Hour)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		es := entropy.OfTable(tab)
+		if len(es) != telco.NumCDRAttrs {
+			b.Fatal("wrong attr count")
+		}
+	}
+}
+
+// --- Table I ---
+
+func BenchmarkTable1_Compress(b *testing.B) {
+	g := benchGen()
+	data := snapshotText(g, telco.EpochOf(g.Config().Start.Add(9*time.Hour)))
+	for _, name := range compress.Names() {
+		c, err := compress.Lookup(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			b.SetBytes(int64(len(data)))
+			var comp []byte
+			for i := 0; i < b.N; i++ {
+				comp = c.Compress(comp[:0], data)
+			}
+			b.ReportMetric(compress.Ratio(len(data), len(comp)), "ratio")
+		})
+	}
+}
+
+func BenchmarkTable1_Decompress(b *testing.B) {
+	g := benchGen()
+	data := snapshotText(g, telco.EpochOf(g.Config().Start.Add(9*time.Hour)))
+	for _, name := range compress.Names() {
+		c, err := compress.Lookup(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		comp := c.Compress(nil, data)
+		b.Run(name, func(b *testing.B) {
+			b.SetBytes(int64(len(data)))
+			var out []byte
+			for i := 0; i < b.N; i++ {
+				var err error
+				out, err = c.Decompress(out[:0], comp)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Figures 7-10 (ingestion time and space, per framework) ---
+
+// ingestBench ingests b.N fresh snapshots into a new framework instance
+// and reports stored bytes per snapshot as a custom metric, covering both
+// the time series (Fig. 7/9) and the space series (Fig. 8/10).
+func ingestBench(b *testing.B, mk func(fs *dfs.Cluster, g *gen.Generator) (tasks.Framework, error)) {
+	g := benchGen()
+	fs, err := dfs.NewCluster(b.TempDir(), dfs.Config{BlockSize: 8 << 20, DataNodes: 4, Replication: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := mk(fs, g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e0 := telco.EpochOf(g.Config().Start)
+	// Pre-generate snapshots so generation cost stays out of the loop.
+	snaps := make([]*snapshot.Snapshot, b.N)
+	for i := range snaps {
+		e := e0 + telco.Epoch(i)
+		sn := snapshot.New(e)
+		sn.Add(g.CDRTable(e))
+		sn.Add(g.NMSTable(e))
+		snaps[i] = sn
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Ingest(snaps[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	data, idx := f.Space()
+	b.ReportMetric(float64(data+idx)/float64(b.N), "storedB/snap")
+}
+
+func BenchmarkFig7_IngestRAW(b *testing.B) {
+	ingestBench(b, func(fs *dfs.Cluster, g *gen.Generator) (tasks.Framework, error) {
+		s, err := raw.Open(fs, g.CellTable())
+		return tasks.Raw{S: s}, err
+	})
+}
+
+func BenchmarkFig7_IngestSHAHED(b *testing.B) {
+	ingestBench(b, func(fs *dfs.Cluster, g *gen.Generator) (tasks.Framework, error) {
+		s, err := shahed.Open(fs, g.CellTable())
+		return tasks.Shahed{S: s}, err
+	})
+}
+
+func BenchmarkFig7_IngestSPATE(b *testing.B) {
+	ingestBench(b, func(fs *dfs.Cluster, g *gen.Generator) (tasks.Framework, error) {
+		e, err := core.Open(fs, g.CellTable(), core.Options{})
+		return tasks.Spate{E: e}, err
+	})
+}
+
+// Fig. 9/10 vary the weekday; the per-snapshot mechanism is identical, so
+// the benchmark ingests a weekend day (lower load) for the contrast.
+func BenchmarkFig9_IngestSPATESunday(b *testing.B) {
+	g := benchGen()
+	fs, err := dfs.NewCluster(b.TempDir(), dfs.Config{BlockSize: 8 << 20, DataNodes: 4, Replication: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := core.Open(fs, g.CellTable(), core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := tasks.Spate{E: eng}
+	// First Sunday of the trace (start is a Monday).
+	sunday := g.Config().Start.AddDate(0, 0, 6)
+	e0 := telco.EpochOf(sunday)
+	snaps := make([]*snapshot.Snapshot, b.N)
+	for i := range snaps {
+		e := e0 + telco.Epoch(i)
+		sn := snapshot.New(e)
+		sn.Add(g.CDRTable(e))
+		sn.Add(g.NMSTable(e))
+		snaps[i] = sn
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Ingest(snaps[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	data, idx := f.Space()
+	b.ReportMetric(float64(data+idx)/float64(b.N), "storedB/snap")
+}
+
+// --- Figures 11/12 (task response times, per framework) ---
+
+// taskWorld is built once and shared by the response-time benchmarks.
+var (
+	taskWorldOnce sync.Once
+	taskWorld     *bench.World
+	taskWorldErr  error
+)
+
+func getTaskWorld(b *testing.B) *bench.World {
+	taskWorldOnce.Do(func() {
+		o := bench.Options{Scale: benchScale, Days: 1, Iterations: 1, Workers: 2, Seed: 1}
+		taskWorld, taskWorldErr = bench.BuildWorld(o,
+			bench.TraceEpochs(gen.DefaultConfig(benchScale), 1), core.Options{})
+	})
+	if taskWorldErr != nil {
+		b.Fatal(taskWorldErr)
+	}
+	return taskWorld
+}
+
+func benchTask(b *testing.B, run func(f tasks.Framework) error) {
+	w := getTaskWorld(b)
+	for _, f := range w.FWs {
+		f := f
+		b.Run(f.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := run(f); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFig11_T1Equality(b *testing.B) {
+	w := getTaskWorld(b)
+	e := telco.EpochOf(w.Cfg.Start) + 18 // 09:00
+	benchTask(b, func(f tasks.Framework) error {
+		_, err := tasks.T1Equality(f, e)
+		return err
+	})
+}
+
+func BenchmarkFig11_T2Range(b *testing.B) {
+	w := getTaskWorld(b)
+	wr := telco.NewTimeRange(w.Cfg.Start, w.Cfg.Start.Add(24*time.Hour))
+	benchTask(b, func(f tasks.Framework) error {
+		_, err := tasks.T2Range(f, wr)
+		return err
+	})
+}
+
+func BenchmarkFig11_T3Aggregate(b *testing.B) {
+	w := getTaskWorld(b)
+	wr := telco.NewTimeRange(w.Cfg.Start, w.Cfg.Start.Add(24*time.Hour))
+	benchTask(b, func(f tasks.Framework) error {
+		_, err := tasks.T3Aggregate(f, wr)
+		return err
+	})
+}
+
+func BenchmarkFig11_T4Join(b *testing.B) {
+	w := getTaskWorld(b)
+	wr := telco.NewTimeRange(w.Cfg.Start.Add(9*time.Hour), w.Cfg.Start.Add(10*time.Hour))
+	benchTask(b, func(f tasks.Framework) error {
+		_, err := tasks.T4Join(f, wr)
+		return err
+	})
+}
+
+func BenchmarkFig11_T5Privacy(b *testing.B) {
+	w := getTaskWorld(b)
+	wr := telco.NewTimeRange(w.Cfg.Start, w.Cfg.Start.Add(6*time.Hour))
+	benchTask(b, func(f tasks.Framework) error {
+		_, _, err := tasks.T5Privacy(f, wr, 5)
+		return err
+	})
+}
+
+func BenchmarkFig12_T6Statistics(b *testing.B) {
+	w := getTaskWorld(b)
+	wr := telco.NewTimeRange(w.Cfg.Start, w.Cfg.Start.Add(24*time.Hour))
+	pool := compute.NewPool(2)
+	benchTask(b, func(f tasks.Framework) error {
+		_, err := tasks.T6Statistics(f, pool, wr)
+		return err
+	})
+}
+
+func BenchmarkFig12_T7Clustering(b *testing.B) {
+	w := getTaskWorld(b)
+	wr := telco.NewTimeRange(w.Cfg.Start, w.Cfg.Start.Add(12*time.Hour))
+	pool := compute.NewPool(2)
+	benchTask(b, func(f tasks.Framework) error {
+		_, err := tasks.T7Clustering(f, pool, wr, 8)
+		return err
+	})
+}
+
+func BenchmarkFig12_T8Regression(b *testing.B) {
+	w := getTaskWorld(b)
+	wr := telco.NewTimeRange(w.Cfg.Start, w.Cfg.Start.Add(12*time.Hour))
+	pool := compute.NewPool(2)
+	benchTask(b, func(f tasks.Framework) error {
+		_, err := tasks.T8Regression(f, pool, wr)
+		return err
+	})
+}
+
+// --- §VIII-C storage totals ---
+
+func BenchmarkSpaceTotals(b *testing.B) {
+	w := getTaskWorld(b)
+	for i := 0; i < b.N; i++ {
+		for _, f := range w.FWs {
+			d, idx := f.Space()
+			if d == 0 {
+				b.Fatal("zero space")
+			}
+			_ = idx
+		}
+	}
+	for _, f := range w.FWs {
+		d, idx := f.Space()
+		b.ReportMetric(float64(d+idx)/(1<<20), fmt.Sprintf("%s_MB", f.Name()))
+	}
+}

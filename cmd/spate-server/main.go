@@ -1,0 +1,111 @@
+// Command spate-server is the SPATE-UI stand-in (paper §VI-B): an HTTP
+// exploration service over a SPATE store with a built-in map-style heatmap
+// page (see internal/webui for the API surface).
+//
+// Usage:
+//
+//	spate-server -addr :8080 -scale 0.01 -days 1
+//	spate-server -addr :8080 -trace /tmp/trace
+//
+// Endpoints:
+//
+//	GET /                         heatmap UI
+//	GET /api/cells                static cell inventory
+//	GET /api/explore?from=&to=&minx=&miny=&maxx=&maxy=&attr=
+//	GET /api/sql?q=SELECT...
+//	GET /api/space                storage accounting
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"os"
+
+	_ "spate/internal/compress/all"
+	"spate/internal/core"
+	"spate/internal/dfs"
+	"spate/internal/gen"
+	"spate/internal/snapshot"
+	"spate/internal/telco"
+	"spate/internal/tracedir"
+	"spate/internal/webui"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", ":8080", "listen address")
+		trace = flag.String("trace", "", "trace directory (optional; else synthesized)")
+		scale = flag.Float64("scale", 0.01, "synthesized trace scale")
+		days  = flag.Int("days", 1, "synthesized trace length in days")
+	)
+	flag.Parse()
+
+	dir, err := os.MkdirTemp("", "spate-server-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	fs, err := dfs.NewCluster(dir, dfs.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	g := gen.New(gen.DefaultConfig(*scale))
+	var cellTable *telco.Table
+	var cells []gen.Cell
+	if *trace != "" {
+		cellTable, err = tracedir.ReadCells(*trace)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		cellTable = g.CellTable()
+		cells = g.Cells()
+	}
+	eng, err := core.Open(fs, cellTable, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	log.Printf("spate-server: ingesting...")
+	var window telco.TimeRange
+	if *trace != "" {
+		epochs, err := tracedir.Epochs(*trace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, e := range epochs {
+			sn, err := tracedir.ReadSnapshot(*trace, e)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if _, err := eng.Ingest(sn); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if len(epochs) > 0 {
+			window = telco.NewTimeRange(epochs[0].Start(), epochs[len(epochs)-1].End())
+		}
+	} else {
+		e0 := telco.EpochOf(g.Config().Start)
+		n := *days * telco.EpochsPerDay
+		for i := 0; i < n; i++ {
+			e := e0 + telco.Epoch(i)
+			sn := snapshot.New(e)
+			sn.Add(g.CDRTable(e))
+			sn.Add(g.NMSTable(e))
+			if _, err := eng.Ingest(sn); err != nil {
+				log.Fatal(err)
+			}
+		}
+		window = telco.NewTimeRange(e0.Start(), (e0 + telco.Epoch(n)).Start())
+	}
+	eng.FinishIngest()
+
+	srv := webui.NewServer(eng, cells, window)
+	log.Printf("spate-server: %d snapshots ready, window %s .. %s",
+		eng.Tree().Len(), window.From.Format(telco.TimeLayout), window.To.Format(telco.TimeLayout))
+	log.Printf("spate-server: listening on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}

@@ -1,0 +1,87 @@
+package spate_test
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"spate"
+)
+
+// Example ingests two snapshots and runs one exploration query — the
+// godoc-rendered quick start.
+func Example() {
+	dir, err := os.MkdirTemp("", "spate-example-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	fs, err := spate.NewCluster(dir, spate.ClusterConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := spate.GeneratorConfig(0.002)
+	cfg.Antennas = 10
+	cfg.Users = 50
+	cfg.CDRPerEpoch = 30
+	cfg.NMSReportsPerCell = 0.5
+	g := spate.NewGenerator(cfg)
+
+	eng, err := spate.Open(fs, g.CellTable(), spate.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	first := spate.EpochOf(g.Config().Start)
+	for e := first; e < first+2; e++ {
+		s := spate.NewSnapshot(e)
+		s.Add(g.CDRTable(e))
+		s.Add(g.NMSTable(e))
+		if _, err := eng.Ingest(s); err != nil {
+			log.Fatal(err)
+		}
+	}
+	res, err := eng.Explore(spate.Query{
+		Window: spate.NewTimeRange(g.Config().Start, g.Config().Start.Add(time.Hour)),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Summary.Rows > 0, res.CoveringLevel)
+	// Output: true day
+}
+
+// ExampleNewSQL runs a declarative statement against an ingested store.
+func ExampleNewSQL() {
+	dir, err := os.MkdirTemp("", "spate-examplesql-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	fs, err := spate.NewCluster(dir, spate.ClusterConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := spate.GeneratorConfig(0.002)
+	cfg.Antennas = 10
+	cfg.Users = 50
+	cfg.CDRPerEpoch = 30
+	cfg.NMSReportsPerCell = 0.5
+	g := spate.NewGenerator(cfg)
+	eng, err := spate.Open(fs, g.CellTable(), spate.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := spate.NewSnapshot(spate.EpochOf(g.Config().Start))
+	s.Add(g.CDRTable(s.Epoch))
+	if _, err := eng.Ingest(s); err != nil {
+		log.Fatal(err)
+	}
+	rs, err := spate.NewSQL(eng).Query(`SELECT COUNT(*) AS n FROM CDR WHERE duration >= 0`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rs.Cols[0], len(rs.Rows))
+	// Output: n 1
+}

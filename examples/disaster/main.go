@@ -1,0 +1,167 @@
+// Disaster: the "emergency recovery system after natural disasters" the
+// paper names as future work (§X). At 12:00 an earthquake silences every
+// cell within 15 km of the epicenter and takes down one DFS datanode.
+// The example shows both halves of the recovery story:
+//
+//   - data layer: the replicated file system detects under-replicated
+//     blocks and re-replicates them from surviving copies, so exploration
+//     keeps working through the infrastructure loss;
+//   - analysis layer: comparing per-cell activity before and after the
+//     event through SPATE's highlights cube pinpoints the silent cells —
+//     the outage map an emergency response team needs.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"sort"
+	"time"
+
+	"spate"
+)
+
+const (
+	quakeHour    = 12
+	epiX, epiY   = 24.0, 30.0 // epicenter (inside the main urban cluster)
+	blastRadius  = 15.0       // km
+	silenceFrac  = 1.0        // all traffic lost inside the radius
+	ingestedDays = 1
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "spate-disaster-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	fs, err := spate.NewCluster(dir, spate.ClusterConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := spate.NewGenerator(spate.GeneratorConfig(0.01))
+	eng, err := spate.Open(fs, g.CellTable(), spate.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Which cells are inside the blast radius?
+	dead := map[int64]bool{}
+	for _, c := range g.Cells() {
+		if math.Hypot(c.Pt.X-epiX, c.Pt.Y-epiY) <= blastRadius {
+			dead[c.ID] = true
+		}
+	}
+	fmt.Printf("scenario: earthquake at 12:00, %d of %d cells inside %g km of (%g, %g)\n",
+		len(dead), len(g.Cells()), blastRadius, epiX, epiY)
+
+	start := g.Config().Start
+	first := spate.EpochOf(start)
+	quake := first + spate.Epoch(quakeHour*2)
+	for e := first; e < first+spate.Epoch(ingestedDays*48); e++ {
+		s := spate.NewSnapshot(e)
+		cdr := g.CDRTable(e)
+		nms := g.NMSTable(e)
+		if e >= quake {
+			cdr = dropDeadCells(cdr, dead)
+			nms = dropDeadCells(nms, dead)
+		}
+		s.Add(cdr)
+		s.Add(nms)
+		if _, err := eng.Ingest(s); err != nil {
+			log.Fatal(err)
+		}
+		// The quake also takes down a datanode.
+		if e == quake {
+			if err := fs.KillNode(1); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("\n12:00 — datanode 1 lost; %d blocks under-replicated\n", fs.UnderReplicated())
+		}
+	}
+	eng.FinishIngest()
+
+	// Data-layer recovery: re-replicate from surviving copies.
+	created, err := fs.Rereplicate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("re-replication created %d replicas; %d blocks still under-replicated\n",
+		created, fs.UnderReplicated())
+
+	// Analysis-layer recovery: find the silent cells by comparing activity
+	// across the event (both windows answered from the compressed store,
+	// which survived the node loss).
+	before, err := eng.Explore(spate.Query{
+		Window: spate.NewTimeRange(start.Add(8*time.Hour), start.Add(12*time.Hour)),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	after, err := eng.Explore(spate.Query{
+		Window: spate.NewTimeRange(start.Add(12*time.Hour), start.Add(16*time.Hour)),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	afterRows := map[int64]int64{}
+	for _, cs := range after.Cells {
+		afterRows[cs.CellID] = cs.Rows
+	}
+	type outage struct {
+		cell   int64
+		loc    spate.Point
+		before int64
+	}
+	var silent []outage
+	for _, cs := range before.Cells {
+		if cs.Rows >= 3 && afterRows[cs.CellID] == 0 {
+			silent = append(silent, outage{cs.CellID, cs.Loc, cs.Rows})
+		}
+	}
+	sort.Slice(silent, func(i, j int) bool { return silent[i].before > silent[j].before })
+
+	tp, fp := 0, 0
+	for _, o := range silent {
+		if dead[o.cell] {
+			tp++
+		} else {
+			fp++
+		}
+	}
+	fmt.Printf("\noutage map: %d silent cells detected (%d true, %d false alarms)\n",
+		len(silent), tp, fp)
+	for i, o := range silent {
+		if i >= 6 {
+			break
+		}
+		d := math.Hypot(o.loc.X-epiX, o.loc.Y-epiY)
+		fmt.Printf("  cell %d at (%.1f, %.1f) km — %.1f km from epicenter, %d records before, 0 after\n",
+			o.cell, o.loc.X, o.loc.Y, d, o.before)
+	}
+	if len(silent) > 0 {
+		// Estimate the affected area's centroid as a deployment hint.
+		var cx, cy float64
+		for _, o := range silent {
+			cx += o.loc.X
+			cy += o.loc.Y
+		}
+		cx /= float64(len(silent))
+		cy /= float64(len(silent))
+		fmt.Printf("\nestimated impact centroid: (%.1f, %.1f) km — true epicenter (%g, %g)\n",
+			cx, cy, epiX, epiY)
+	}
+}
+
+// dropDeadCells removes the records of silenced cells from a table.
+func dropDeadCells(t *spate.Table, dead map[int64]bool) *spate.Table {
+	idx := t.Schema.FieldIndex("cell_id")
+	out := &spate.Table{Schema: t.Schema}
+	for _, r := range t.Rows {
+		if !dead[r[idx].Int64()] {
+			out.Rows = append(out.Rows, r)
+		}
+	}
+	return out
+}

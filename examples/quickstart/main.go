@@ -1,0 +1,73 @@
+// Quickstart: synthesize a few hours of telco traffic, ingest it into
+// SPATE (compression + indexing), and run a spatio-temporal exploration
+// query Q(a, b, w) — the minimal end-to-end tour of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"spate"
+)
+
+func main() {
+	// A scratch replicated file system (HDFS stand-in: 64MB blocks, 3x
+	// replication over 4 datanodes).
+	dir, err := os.MkdirTemp("", "spate-quickstart-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	fs, err := spate.NewCluster(dir, spate.ClusterConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A paper-shaped synthetic trace at 1% of the real volume.
+	g := spate.NewGenerator(spate.GeneratorConfig(0.01))
+	eng, err := spate.Open(fs, g.CellTable(), spate.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Ingest six hours of snapshots (every 30 minutes, as they "arrive").
+	start := g.Config().Start
+	first := spate.EpochOf(start)
+	for e := first; e < first+12; e++ {
+		s := spate.NewSnapshot(e)
+		s.Add(g.CDRTable(e))
+		s.Add(g.NMSTable(e))
+		rep, err := eng.Ingest(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("ingested %s: %5d rows, %6.1fKB -> %5.1fKB (rc=%.1f) in %v\n",
+			e, rep.Rows, kb(rep.RawBytes), kb(rep.CompBytes),
+			float64(rep.RawBytes)/float64(rep.CompBytes), rep.Total.Round(time.Millisecond))
+	}
+
+	// Explore: all attributes (a=*), a 30x30km box (b), the first 3 hours (w).
+	res, err := eng.Explore(spate.Query{
+		Box:    spate.NewRect(20, 20, 50, 50),
+		Window: spate.NewTimeRange(start, start.Add(3*time.Hour)),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nexplored %d rows across %d cells (covering level: %v)\n",
+		res.Summary.Rows, len(res.Cells), res.CoveringLevel)
+	for _, h := range res.Highlights {
+		if h.Value != "" {
+			fmt.Printf("highlight: rare %s = %q (%.2f%%, %d occurrences)\n",
+				h.Attr, h.Value, 100*h.Frequency, h.Count)
+		}
+	}
+
+	sp := eng.Space()
+	fmt.Printf("\nstorage: %.1fKB raw -> %.1fKB compressed + %.1fKB index (O1 = %.1fx)\n",
+		kb(sp.RawBytes), kb(sp.CompBytes), kb(sp.SummaryBytes), sp.O1)
+}
+
+func kb(b int64) float64 { return float64(b) / 1024 }

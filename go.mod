@@ -1,0 +1,3 @@
+module spate
+
+go 1.22

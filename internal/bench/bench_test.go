@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"spate/internal/telco"
+)
+
+// tinyOptions keeps experiment tests fast: a sliver of the trace.
+func tinyOptions(t *testing.T) Options {
+	t.Helper()
+	return Options{Scale: 0.001, Days: 1, Iterations: 1, Workers: 1, Dir: t.TempDir(), Seed: 1}
+}
+
+func TestEveryExperimentRuns(t *testing.T) {
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			if testing.Short() && (e.Name == "fig9" || e.Name == "fig10") {
+				t.Skip("7-day experiments skipped in -short")
+			}
+			var buf bytes.Buffer
+			if err := e.Run(&buf, tinyOptions(t)); err != nil {
+				t.Fatalf("%s: %v", e.Name, err)
+			}
+			out := buf.String()
+			if !strings.Contains(out, "==") {
+				t.Errorf("%s produced no table:\n%s", e.Name, out)
+			}
+		})
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, err := Lookup("fig11"); err != nil {
+		t.Error(err)
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestPeriodPartitionsCoverDay(t *testing.T) {
+	o := tinyOptions(t)
+	parts := periodPartitions(o)
+	if len(parts) != 4 {
+		t.Fatalf("parts = %d", len(parts))
+	}
+	total := 0
+	for _, p := range parts {
+		total += len(p.epochs)
+	}
+	if total != telco.EpochsPerDay*o.Days {
+		t.Errorf("period partitions cover %d epochs, want %d", total, telco.EpochsPerDay*o.Days)
+	}
+	// Night wraps midnight: must include hour 23 and hour 2 epochs.
+	night := parts[3]
+	sawLate, sawEarly := false, false
+	for _, e := range night.epochs {
+		switch e.Start().Hour() {
+		case 23:
+			sawLate = true
+		case 2:
+			sawEarly = true
+		}
+	}
+	if !sawLate || !sawEarly {
+		t.Error("night period does not wrap midnight")
+	}
+}
+
+func TestWeekdayPartitionsCoverWeek(t *testing.T) {
+	o := tinyOptions(t)
+	parts := weekdayPartitions(o)
+	if len(parts) != 7 {
+		t.Fatalf("parts = %d", len(parts))
+	}
+	for _, p := range parts {
+		if len(p.epochs) != telco.EpochsPerDay {
+			t.Errorf("%s has %d epochs, want %d", p.name, len(p.epochs), telco.EpochsPerDay)
+		}
+	}
+}
+
+func TestTablePrinting(t *testing.T) {
+	tab := &Table{Title: "X", Header: []string{"a", "bb"}}
+	tab.AddRow("1", "2")
+	var buf bytes.Buffer
+	tab.Fprint(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "== X ==") || !strings.Contains(out, "bb") {
+		t.Errorf("output: %s", out)
+	}
+}
+
+func TestMeasureAverages(t *testing.T) {
+	n := 0
+	d, err := measure(5, func() error { n++; time.Sleep(time.Millisecond); return nil })
+	if err != nil || n != 5 {
+		t.Fatalf("measure: %v n=%d", err, n)
+	}
+	if d < time.Millisecond/2 {
+		t.Errorf("mean %v too small", d)
+	}
+}

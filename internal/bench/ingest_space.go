@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"spate/internal/core"
+	"spate/internal/telco"
+)
+
+// Fig7IngestionByPeriod reproduces Figure 7: ingestion time per snapshot
+// for RAW, SHAHED and SPATE over the Morning/Afternoon/Evening/Night
+// datasets. The paper's shape: SPATE is the slowest but within ~1.25x,
+// and load variation across periods barely moves ingestion time.
+func Fig7IngestionByPeriod(w io.Writer, o Options) error {
+	return ingestSeries(w, o,
+		"Figure 7 — Ingestion time per snapshot, by day period",
+		"Figure 8 — Disk space for the dataset, by day period",
+		periodPartitions(o), false)
+}
+
+// Fig8SpaceByPeriod reproduces Figure 8: total disk space per framework
+// over the day-period datasets; SPATE is ~an order of magnitude smaller.
+func Fig8SpaceByPeriod(w io.Writer, o Options) error {
+	return ingestSeries(w, o,
+		"Figure 7 — Ingestion time per snapshot, by day period",
+		"Figure 8 — Disk space for the dataset, by day period",
+		periodPartitions(o), true)
+}
+
+// Fig9IngestionByWeekday reproduces Figure 9 (ingestion time by weekday).
+func Fig9IngestionByWeekday(w io.Writer, o Options) error {
+	return ingestSeries(w, o,
+		"Figure 9 — Ingestion time per snapshot, by day of week",
+		"Figure 10 — Disk space for the dataset, by day of week",
+		weekdayPartitions(o), false)
+}
+
+// Fig10SpaceByWeekday reproduces Figure 10 (disk space by weekday).
+func Fig10SpaceByWeekday(w io.Writer, o Options) error {
+	return ingestSeries(w, o,
+		"Figure 9 — Ingestion time per snapshot, by day of week",
+		"Figure 10 — Disk space for the dataset, by day of week",
+		weekdayPartitions(o), true)
+}
+
+type partition struct {
+	name   string
+	epochs []telco.Epoch
+}
+
+func periodPartitions(o Options) []partition {
+	o = o.withDefaults()
+	cfg := o.genConfig()
+	all := TraceEpochs(cfg, o.Days)
+	var out []partition
+	for _, p := range DayPeriods {
+		out = append(out, partition{p.Name, FilterByPeriod(all, p)})
+	}
+	return out
+}
+
+func weekdayPartitions(o Options) []partition {
+	o = o.withDefaults()
+	cfg := o.genConfig()
+	days := o.Days
+	if days < 7 {
+		days = 7 // weekday figures need the full week
+	}
+	all := TraceEpochs(cfg, days)
+	var out []partition
+	for _, wd := range []time.Weekday{
+		time.Monday, time.Tuesday, time.Wednesday, time.Thursday,
+		time.Friday, time.Saturday, time.Sunday,
+	} {
+		out = append(out, partition{wd.String()[:3], FilterByWeekday(all, wd)})
+	}
+	return out
+}
+
+// ingestSeries ingests each partition into fresh frameworks and prints
+// either the ingestion-time series (Fig. 7/9) or the space series
+// (Fig. 8/10); both tables are always computed so a single run regenerates
+// the paired figures.
+func ingestSeries(w io.Writer, o Options, timeTitle, spaceTitle string, parts []partition, spaceOnly bool) error {
+	o = o.withDefaults()
+	tTime := &Table{Title: timeTitle,
+		Header: []string{"dataset", "snapshots", "RAW", "SHAHED", "SPATE", "SPATE/RAW"}}
+	tSpace := &Table{Title: spaceTitle,
+		Header: []string{"dataset", "RAW", "SHAHED", "SPATE data", "SPATE total", "RAW/SPATEdata"}}
+	for _, p := range parts {
+		world, err := BuildWorld(o, p.epochs, core.Options{})
+		if err != nil {
+			return err
+		}
+		rawT := world.AvgIngest["RAW"]
+		shT := world.AvgIngest["SHAHED"]
+		spT := world.AvgIngest["SPATE"]
+		ratio := 0.0
+		if rawT > 0 {
+			ratio = float64(spT) / float64(rawT)
+		}
+		tTime.AddRow(p.name, fmt.Sprint(len(p.epochs)),
+			fmtDur(rawT), fmtDur(shT), fmtDur(spT), fmt.Sprintf("%.2fx", ratio))
+
+		var totals [3]int64
+		var spateData int64
+		for i, f := range world.FWs {
+			d, idx := f.Space()
+			totals[i] = d + idx
+			if f.Name() == "SPATE" {
+				spateData = d
+			}
+		}
+		gap := 0.0
+		if spateData > 0 {
+			gap = float64(totals[0]) / float64(spateData)
+		}
+		tSpace.AddRow(p.name, fmtMB(totals[0]), fmtMB(totals[1]),
+			fmtMB(spateData), fmtMB(totals[2]), fmt.Sprintf("%.1fx", gap))
+		world.Close()
+	}
+	if spaceOnly {
+		tSpace.Fprint(w)
+		fmt.Fprintln(w, "\npaper shape: SPATE needs ~an order of magnitude less disk space,")
+		fmt.Fprintln(w, "steady across load variation.")
+	} else {
+		tTime.Fprint(w)
+		fmt.Fprintln(w, "\npaper shape: SPATE has the slowest ingestion but stays within")
+		fmt.Fprintln(w, "~1.25x of RAW, and load variation barely moves per-snapshot time.")
+	}
+	return nil
+}
+
+// SpaceTotals reproduces the §VIII-C storage totals across all eight
+// tasks: "SPATE requires the least storage space, i.e., 0.49GB vs. 5.37GB
+// and 5.32GB required by SHAHED and RAW".
+func SpaceTotals(w io.Writer, o Options) error {
+	o = o.withDefaults()
+	world, err := BuildWorld(o, TraceEpochs(o.genConfig(), o.Days), core.Options{})
+	if err != nil {
+		return err
+	}
+	defer world.Close()
+	t := &Table{Title: "§VIII-C — Storage totals for the whole trace",
+		Header: []string{"framework", "data", "index", "total", "paper"}}
+	paper := map[string]string{"RAW": "5.32GB", "SHAHED": "5.37GB", "SPATE": "0.49GB"}
+	for _, f := range world.FWs {
+		d, idx := f.Space()
+		t.AddRow(f.Name(), fmtMB(d), fmtMB(idx), fmtMB(d+idx), paper[f.Name()])
+	}
+	t.Fprint(w)
+	return nil
+}

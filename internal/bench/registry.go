@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Experiment is one runnable table/figure reproduction.
+type Experiment struct {
+	Name string
+	Desc string
+	Run  func(io.Writer, Options) error
+}
+
+// Experiments lists every experiment in presentation order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"fig4", "Figure 4: per-attribute entropy of CDR/NMS/CELL", Fig4Entropy},
+		{"table1", "Table I: compression ratio and (de)compression times", Table1Compression},
+		{"fig7", "Figure 7: ingestion time per snapshot, by day period", Fig7IngestionByPeriod},
+		{"fig8", "Figure 8: disk space, by day period", Fig8SpaceByPeriod},
+		{"fig9", "Figure 9: ingestion time per snapshot, by weekday", Fig9IngestionByWeekday},
+		{"fig10", "Figure 10: disk space, by weekday", Fig10SpaceByWeekday},
+		{"fig11", "Figure 11: response time of tasks T1-T5", Fig11ResponseTimes},
+		{"fig12", "Figure 12: response time of tasks T6-T8", Fig12HeavyTasks},
+		{"space", "§VIII-C: storage totals across frameworks", SpaceTotals},
+		{"window", "Window sweep: response time vs temporal window length", WindowSweep},
+		{"ablate-codec", "Ablation: storage codec choice", AblateCodec},
+		{"ablate-decay", "Ablation: decay fungi and horizons", AblateDecay},
+		{"ablate-leafindex", "Ablation: per-leaf spatial pruning", AblateLeafIndex},
+		{"ablate-theta", "Ablation: highlight threshold sweep", AblateTheta},
+		{"ablate-dict", "Ablation: zstd dictionary training", AblateDictionary},
+	}
+}
+
+// Lookup finds an experiment by name.
+func Lookup(name string) (Experiment, error) {
+	for _, e := range Experiments() {
+		if e.Name == name {
+			return e, nil
+		}
+	}
+	names := make([]string, 0)
+	for _, e := range Experiments() {
+		names = append(names, e.Name)
+	}
+	sort.Strings(names)
+	return Experiment{}, fmt.Errorf("bench: unknown experiment %q (have %v)", name, names)
+}

@@ -1,0 +1,12 @@
+// Package all registers every compression codec with the compress registry.
+// Import it for side effects:
+//
+//	import _ "spate/internal/compress/all"
+package all
+
+import (
+	_ "spate/internal/compress/gzipc"
+	_ "spate/internal/compress/sevenz"
+	_ "spate/internal/compress/snap"
+	_ "spate/internal/compress/zst"
+)

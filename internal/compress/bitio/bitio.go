@@ -1,0 +1,111 @@
+// Package bitio provides MSB-first bit-level readers and writers plus
+// variable-length integer helpers shared by the entropy-coding codecs.
+package bitio
+
+import (
+	"errors"
+)
+
+// ErrUnexpectedEOF is returned when a read runs past the end of the input.
+var ErrUnexpectedEOF = errors.New("bitio: unexpected end of input")
+
+// Writer accumulates bits MSB-first into a byte slice.
+type Writer struct {
+	buf  []byte
+	cur  uint64
+	nCur uint // bits buffered in cur (< 8 after flushes)
+}
+
+// NewWriter returns a Writer appending to buf.
+func NewWriter(buf []byte) *Writer { return &Writer{buf: buf} }
+
+// WriteBits writes the low n bits of v, MSB-first. n must be <= 56.
+func (w *Writer) WriteBits(v uint64, n uint) {
+	if n == 0 {
+		return
+	}
+	w.cur = w.cur<<n | v&((1<<n)-1)
+	w.nCur += n
+	for w.nCur >= 8 {
+		w.nCur -= 8
+		w.buf = append(w.buf, byte(w.cur>>w.nCur))
+	}
+}
+
+// WriteBit writes a single bit.
+func (w *Writer) WriteBit(b uint) { w.WriteBits(uint64(b), 1) }
+
+// Bytes flushes any partial byte (zero-padded) and returns the buffer.
+func (w *Writer) Bytes() []byte {
+	if w.nCur > 0 {
+		w.buf = append(w.buf, byte(w.cur<<(8-w.nCur)))
+		w.nCur = 0
+		w.cur = 0
+	}
+	return w.buf
+}
+
+// BitLen returns the total number of bits written so far.
+func (w *Writer) BitLen() int { return len(w.buf)*8 + int(w.nCur) }
+
+// Reader consumes bits MSB-first from a byte slice.
+type Reader struct {
+	buf  []byte
+	pos  int
+	cur  uint64
+	nCur uint
+}
+
+// NewReader returns a Reader over buf.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// ReadBits reads n bits (n <= 56) MSB-first.
+func (r *Reader) ReadBits(n uint) (uint64, error) {
+	for r.nCur < n {
+		if r.pos >= len(r.buf) {
+			return 0, ErrUnexpectedEOF
+		}
+		r.cur = r.cur<<8 | uint64(r.buf[r.pos])
+		r.pos++
+		r.nCur += 8
+	}
+	r.nCur -= n
+	v := r.cur >> r.nCur & ((1 << n) - 1)
+	return v, nil
+}
+
+// ReadBit reads one bit.
+func (r *Reader) ReadBit() (uint, error) {
+	v, err := r.ReadBits(1)
+	return uint(v), err
+}
+
+// AppendUvarint appends x in unsigned LEB128 form.
+func AppendUvarint(dst []byte, x uint64) []byte {
+	for x >= 0x80 {
+		dst = append(dst, byte(x)|0x80)
+		x >>= 7
+	}
+	return append(dst, byte(x))
+}
+
+// Uvarint decodes a LEB128 integer from src, returning the value and the
+// number of bytes consumed (0 when src is truncated or overlong).
+func Uvarint(src []byte) (uint64, int) {
+	var x uint64
+	var s uint
+	for i, b := range src {
+		if i == 10 {
+			return 0, 0 // overlong
+		}
+		if b < 0x80 {
+			if i == 9 && b > 1 {
+				return 0, 0 // overflow
+			}
+			return x | uint64(b)<<s, i + 1
+		}
+		x |= uint64(b&0x7f) << s
+		s += 7
+	}
+	return 0, 0
+}

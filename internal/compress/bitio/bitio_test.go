@@ -1,0 +1,103 @@
+package bitio
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadBits(t *testing.T) {
+	w := NewWriter(nil)
+	w.WriteBits(0b101, 3)
+	w.WriteBits(0xff, 8)
+	w.WriteBit(0)
+	w.WriteBits(0x1234, 16)
+	buf := w.Bytes()
+
+	r := NewReader(buf)
+	if v, _ := r.ReadBits(3); v != 0b101 {
+		t.Errorf("first = %b", v)
+	}
+	if v, _ := r.ReadBits(8); v != 0xff {
+		t.Errorf("second = %x", v)
+	}
+	if v, _ := r.ReadBit(); v != 0 {
+		t.Errorf("third = %d", v)
+	}
+	if v, _ := r.ReadBits(16); v != 0x1234 {
+		t.Errorf("fourth = %x", v)
+	}
+}
+
+func TestBitRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(200)
+		vals := make([]uint64, n)
+		widths := make([]uint, n)
+		w := NewWriter(nil)
+		for i := 0; i < n; i++ {
+			widths[i] = 1 + uint(rng.Intn(56))
+			vals[i] = rng.Uint64() & ((1 << widths[i]) - 1)
+			w.WriteBits(vals[i], widths[i])
+		}
+		r := NewReader(w.Bytes())
+		for i := 0; i < n; i++ {
+			got, err := r.ReadBits(widths[i])
+			if err != nil {
+				t.Fatalf("trial %d read %d: %v", trial, i, err)
+			}
+			if got != vals[i] {
+				t.Fatalf("trial %d value %d: got %x want %x (width %d)", trial, i, got, vals[i], widths[i])
+			}
+		}
+	}
+}
+
+func TestReadPastEnd(t *testing.T) {
+	r := NewReader([]byte{0xab})
+	if _, err := r.ReadBits(16); err != ErrUnexpectedEOF {
+		t.Errorf("err = %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+func TestBitLen(t *testing.T) {
+	w := NewWriter(nil)
+	w.WriteBits(1, 5)
+	if got := w.BitLen(); got != 5 {
+		t.Errorf("BitLen = %d, want 5", got)
+	}
+	w.WriteBits(1, 5)
+	if got := w.BitLen(); got != 10 {
+		t.Errorf("BitLen = %d, want 10", got)
+	}
+}
+
+func TestUvarintRoundTrip(t *testing.T) {
+	f := func(x uint64) bool {
+		buf := AppendUvarint(nil, x)
+		got, n := Uvarint(buf)
+		return n == len(buf) && got == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUvarintTruncated(t *testing.T) {
+	buf := AppendUvarint(nil, 1<<40)
+	if _, n := Uvarint(buf[:len(buf)-1]); n != 0 {
+		t.Errorf("truncated varint: n = %d, want 0", n)
+	}
+	if _, n := Uvarint(nil); n != 0 {
+		t.Errorf("empty varint: n = %d, want 0", n)
+	}
+}
+
+func TestUvarintOverlong(t *testing.T) {
+	// 11 continuation bytes is always invalid.
+	buf := []byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01}
+	if _, n := Uvarint(buf); n != 0 {
+		t.Errorf("overlong varint: n = %d, want 0", n)
+	}
+}

@@ -1,0 +1,61 @@
+// Package gzipc adapts the standard library's gzip (DEFLATE = LZ77 +
+// Huffman, RFC 1951/1952) to the SPATE codec interface. This is the codec
+// the paper's SPATE implementation ships with, chosen for its availability
+// in java.util.zip and its maximum portability across stream readers in the
+// big-data ecosystem (§IV-A).
+package gzipc
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"sync"
+
+	"spate/internal/compress"
+)
+
+func init() { compress.Register(Codec{}) }
+
+// Codec is the gzip codec. The zero value is ready to use.
+type Codec struct{}
+
+// Name implements compress.Codec.
+func (Codec) Name() string { return "gzip" }
+
+var writerPool = sync.Pool{
+	New: func() any {
+		w, err := gzip.NewWriterLevel(io.Discard, gzip.BestCompression)
+		if err != nil {
+			panic(err) // static level, cannot fail
+		}
+		return w
+	},
+}
+
+// Compress implements compress.Codec.
+func (Codec) Compress(dst, src []byte) []byte {
+	var buf bytes.Buffer
+	buf.Grow(len(src)/4 + 64)
+	w := writerPool.Get().(*gzip.Writer)
+	w.Reset(&buf)
+	// Writes to bytes.Buffer cannot fail.
+	_, _ = w.Write(src)
+	_ = w.Close()
+	writerPool.Put(w)
+	return append(dst, buf.Bytes()...)
+}
+
+// Decompress implements compress.Codec.
+func (Codec) Decompress(dst, src []byte) ([]byte, error) {
+	r, err := gzip.NewReader(bytes.NewReader(src))
+	if err != nil {
+		return dst, compress.Corruptf("gzip: header")
+	}
+	defer r.Close()
+	var buf bytes.Buffer
+	buf.Grow(len(src) * 4)
+	if _, err := io.Copy(&buf, r); err != nil { //nolint:gosec // bounded by input
+		return dst, compress.Corruptf("gzip: body")
+	}
+	return append(dst, buf.Bytes()...), nil
+}

@@ -1,0 +1,90 @@
+package gzipc
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	c := Codec{}
+	data := []byte(strings.Repeat("telco snapshot line|1234|OK\n", 500))
+	comp := c.Compress(nil, data)
+	if len(comp) >= len(data) {
+		t.Errorf("no compression: %d of %d", len(comp), len(data))
+	}
+	got, err := c.Decompress(nil, comp)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("round trip: %v", err)
+	}
+}
+
+func TestInteropWithStandardGzip(t *testing.T) {
+	// The wire format is plain RFC 1952: stdlib readers/writers interoperate
+	// (the paper's "maximum portability" argument for GZIP, §IV-A).
+	c := Codec{}
+	data := []byte(strings.Repeat("interop|", 1000))
+
+	// Our output reads with the stdlib reader.
+	comp := c.Compress(nil, data)
+	zr, err := gzip.NewReader(bytes.NewReader(comp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(zr)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("stdlib read of our output: %v", err)
+	}
+
+	// Stdlib output reads with our decoder.
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err = c.Decompress(nil, buf.Bytes())
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("our read of stdlib output: %v", err)
+	}
+}
+
+func TestGarbageRejected(t *testing.T) {
+	c := Codec{}
+	if _, err := c.Decompress(nil, []byte("not gzip at all")); err == nil {
+		t.Error("garbage accepted")
+	}
+	data := []byte(strings.Repeat("x", 4096))
+	comp := c.Compress(nil, data)
+	if got, err := c.Decompress(nil, comp[:len(comp)/2]); err == nil && bytes.Equal(got, data) {
+		t.Error("truncated stream decoded fully")
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	// The writer pool must be safe under concurrency.
+	c := Codec{}
+	data := []byte(strings.Repeat("pooled|", 2000))
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			for j := 0; j < 20; j++ {
+				got, err := c.Decompress(nil, c.Compress(nil, data))
+				if err != nil || !bytes.Equal(got, data) {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package lz
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// roundTrip parses src and expands the parse back.
+func roundTrip(t *testing.T, prefix, src []byte, o Options) {
+	t.Helper()
+	seqs := ParseWithPrefix(prefix, src, o)
+	total := 0
+	var lits []byte
+	pos := 0
+	for _, s := range seqs {
+		lits = append(lits, src[pos:pos+s.LitLen]...)
+		pos += s.LitLen + s.MatchLen
+		total += s.LitLen + s.MatchLen
+	}
+	if total != len(src) {
+		t.Fatalf("parse covers %d bytes, want %d", total, len(src))
+	}
+	got, ok := Expand(nil, prefix, lits, seqs)
+	if !ok {
+		t.Fatal("Expand failed")
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatalf("round trip mismatch: got %d bytes, want %d", len(got), len(src))
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	if seqs := Parse(nil, Options{}); seqs != nil {
+		t.Errorf("Parse(nil) = %v", seqs)
+	}
+}
+
+func TestParseRoundTripTexts(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+	}{
+		{"short literal", "abc"},
+		{"pure repeat", strings.Repeat("A", 1000)},
+		{"line repeats", strings.Repeat("201601221530|357001|VOICE|OK\n", 200)},
+		{"alternating", strings.Repeat("ab", 500)},
+		{"no repeats", "the quick brown fox jumps over the lazy dog 0123456789"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			roundTrip(t, nil, []byte(tc.src), Options{})
+		})
+	}
+}
+
+func TestParseFindsRepeats(t *testing.T) {
+	src := []byte(strings.Repeat("telco-record-line|12345|OK\n", 100))
+	seqs := Parse(src, Options{})
+	var matched int
+	for _, s := range seqs {
+		matched += s.MatchLen
+	}
+	if frac := float64(matched) / float64(len(src)); frac < 0.9 {
+		t.Errorf("only %.0f%% of repetitive input matched", frac*100)
+	}
+}
+
+func TestParseRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		n := rng.Intn(5000)
+		src := make([]byte, n)
+		// Mix of random and repeated chunks.
+		for i := 0; i < n; {
+			if rng.Float64() < 0.5 && i > 10 {
+				l := 1 + rng.Intn(30)
+				off := 1 + rng.Intn(i)
+				for k := 0; k < l && i < n; k++ {
+					src[i] = src[i-off]
+					i++
+				}
+			} else {
+				src[i] = byte(rng.Intn(8)) // small alphabet encourages matches
+				i++
+			}
+		}
+		roundTrip(t, nil, src, Options{MaxChain: 16})
+	}
+}
+
+func TestParseWithPrefixUsesDictionary(t *testing.T) {
+	dict := []byte(strings.Repeat("COMMON-TELCO-HEADER|GSM|PLAN0|", 10))
+	src := []byte("COMMON-TELCO-HEADER|GSM|PLAN0|payload")
+	seqs := ParseWithPrefix(dict, src, Options{})
+	if len(seqs) == 0 {
+		t.Fatal("no sequences")
+	}
+	first := seqs[0]
+	if first.LitLen != 0 || first.MatchLen < 20 {
+		t.Errorf("expected a long dictionary match at position 0, got %+v", first)
+	}
+	if first.Dist <= first.MatchLen && first.Dist < len(src) {
+		// Distance should reach back into the dictionary.
+	}
+	roundTrip(t, dict, src, Options{})
+}
+
+func TestWindowLimitsDistance(t *testing.T) {
+	// A repeat further back than the window must not be referenced.
+	block := make([]byte, 300)
+	rand.New(rand.NewSource(9)).Read(block)
+	src := append(append([]byte{}, block...), make([]byte, 5000)...) // zeros gap
+	src = append(src, block...)
+	seqs := Parse(src, Options{WindowSize: 1024})
+	for _, s := range seqs {
+		if s.Dist > 1024+maxMatch {
+			t.Fatalf("distance %d exceeds window", s.Dist)
+		}
+	}
+	roundTrip(t, nil, src, Options{WindowSize: 1024})
+}
+
+func TestExpandRejectsCorrupt(t *testing.T) {
+	// Distance beyond start of output.
+	if _, ok := Expand(nil, nil, []byte("ab"), []Seq{{LitLen: 2, MatchLen: 3, Dist: 100}}); ok {
+		t.Error("Expand accepted invalid distance")
+	}
+	// Literal overrun.
+	if _, ok := Expand(nil, nil, []byte("a"), []Seq{{LitLen: 5}}); ok {
+		t.Error("Expand accepted literal overrun")
+	}
+	// Leftover literals.
+	if _, ok := Expand(nil, nil, []byte("abc"), []Seq{{LitLen: 1}}); ok {
+		t.Error("Expand accepted leftover literals")
+	}
+	// Zero distance.
+	if _, ok := Expand(nil, nil, nil, []Seq{{MatchLen: 2, Dist: 0}}); ok {
+		t.Error("Expand accepted zero distance")
+	}
+}
+
+func TestParsePropertyCoverage(t *testing.T) {
+	f := func(src []byte) bool {
+		seqs := Parse(src, Options{MaxChain: 8})
+		total := 0
+		for _, s := range seqs {
+			if s.LitLen < 0 || s.MatchLen < 0 {
+				return false
+			}
+			total += s.LitLen + s.MatchLen
+		}
+		return total == len(src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,180 @@
+package sevenz
+
+// Binary adaptive range coder in the LZMA tradition: 11-bit probabilities,
+// adaptation shift 5, 32-bit range with byte-wise renormalization and
+// carry propagation through a cache byte.
+
+const (
+	probBits  = 11
+	probInit  = 1 << (probBits - 1) // 1024 = p(0) = 0.5
+	moveBits  = 5
+	topValue  = 1 << 24
+	probCount = 1 << probBits
+)
+
+// prob is an adaptive probability of the next bit being 0, in [0, 2048).
+type prob uint16
+
+type rangeEncoder struct {
+	low       uint64
+	rng       uint32
+	cache     byte
+	cacheSize int64
+	out       []byte
+}
+
+func newRangeEncoder(out []byte) *rangeEncoder {
+	return &rangeEncoder{rng: 0xFFFFFFFF, cacheSize: 1, out: out}
+}
+
+func (e *rangeEncoder) encodeBit(p *prob, bit int) {
+	bound := (e.rng >> probBits) * uint32(*p)
+	if bit == 0 {
+		e.rng = bound
+		*p += (probCount - *p) >> moveBits
+	} else {
+		e.low += uint64(bound)
+		e.rng -= bound
+		*p -= *p >> moveBits
+	}
+	for e.rng < topValue {
+		e.shiftLow()
+		e.rng <<= 8
+	}
+}
+
+// encodeDirect writes n equiprobable bits of v, MSB-first.
+func (e *rangeEncoder) encodeDirect(v uint32, n uint) {
+	for i := int(n) - 1; i >= 0; i-- {
+		e.rng >>= 1
+		if v>>uint(i)&1 == 1 {
+			e.low += uint64(e.rng)
+		}
+		for e.rng < topValue {
+			e.shiftLow()
+			e.rng <<= 8
+		}
+	}
+}
+
+func (e *rangeEncoder) shiftLow() {
+	if uint32(e.low) < 0xFF000000 || e.low>>32 != 0 {
+		carry := byte(e.low >> 32)
+		temp := e.cache
+		for {
+			e.out = append(e.out, temp+carry)
+			temp = 0xFF
+			e.cacheSize--
+			if e.cacheSize == 0 {
+				break
+			}
+		}
+		e.cache = byte(e.low >> 24)
+	}
+	e.cacheSize++
+	e.low = e.low << 8 & 0xFFFFFFFF
+}
+
+// finish flushes the coder and returns the output buffer.
+func (e *rangeEncoder) finish() []byte {
+	for i := 0; i < 5; i++ {
+		e.shiftLow()
+	}
+	return e.out
+}
+
+type rangeDecoder struct {
+	in   []byte
+	pos  int
+	rng  uint32
+	code uint32
+	// eof is set when the decoder ran past the input; surfaced as corruption.
+	eof bool
+}
+
+func newRangeDecoder(in []byte) *rangeDecoder {
+	d := &rangeDecoder{in: in, rng: 0xFFFFFFFF}
+	// The first output byte of the encoder is always 0 (cache priming).
+	d.nextByte()
+	for i := 0; i < 4; i++ {
+		d.code = d.code<<8 | uint32(d.nextByte())
+	}
+	return d
+}
+
+func (d *rangeDecoder) nextByte() byte {
+	if d.pos >= len(d.in) {
+		d.eof = true
+		return 0
+	}
+	b := d.in[d.pos]
+	d.pos++
+	return b
+}
+
+func (d *rangeDecoder) decodeBit(p *prob) int {
+	bound := (d.rng >> probBits) * uint32(*p)
+	var bit int
+	if d.code < bound {
+		d.rng = bound
+		*p += (probCount - *p) >> moveBits
+	} else {
+		d.code -= bound
+		d.rng -= bound
+		*p -= *p >> moveBits
+		bit = 1
+	}
+	for d.rng < topValue {
+		d.rng <<= 8
+		d.code = d.code<<8 | uint32(d.nextByte())
+	}
+	return bit
+}
+
+func (d *rangeDecoder) decodeDirect(n uint) uint32 {
+	var v uint32
+	for ; n > 0; n-- {
+		d.rng >>= 1
+		d.code -= d.rng
+		t := 0 - (d.code >> 31) // 0xFFFFFFFF when the subtraction underflowed
+		d.code += d.rng & t
+		v = v<<1 | (t + 1)
+		for d.rng < topValue {
+			d.rng <<= 8
+			d.code = d.code<<8 | uint32(d.nextByte())
+		}
+	}
+	return v
+}
+
+// bitTree is a complete binary tree of adaptive probabilities coding fixed
+// width symbols MSB-first.
+type bitTree struct {
+	probs []prob
+	bits  uint
+}
+
+func newBitTree(bits uint) *bitTree {
+	t := &bitTree{probs: make([]prob, 1<<bits), bits: bits}
+	for i := range t.probs {
+		t.probs[i] = probInit
+	}
+	return t
+}
+
+func (t *bitTree) encode(e *rangeEncoder, sym uint32) {
+	m := uint32(1)
+	for i := int(t.bits) - 1; i >= 0; i-- {
+		b := int(sym >> uint(i) & 1)
+		e.encodeBit(&t.probs[m], b)
+		m = m<<1 | uint32(b)
+	}
+}
+
+func (t *bitTree) decode(d *rangeDecoder) uint32 {
+	m := uint32(1)
+	for i := 0; i < int(t.bits); i++ {
+		m = m<<1 | uint32(d.decodeBit(&t.probs[m]))
+	}
+	return m - 1<<t.bits
+}

@@ -1,0 +1,222 @@
+// Package sevenz implements a 7z/LZMA-style codec: an LZ77 parse over an
+// unbounded window entropy-coded with an adaptive binary range coder
+// (context-modelled literals, length/distance slot coding, and a repeated-
+// distance shortcut). It is the Table I codec with the best compression
+// ratio and the slowest compression — the classic dictionary coder
+// trade-off the paper describes for 7-Zip (§IV-B).
+package sevenz
+
+import (
+	"spate/internal/compress"
+	"spate/internal/compress/bitio"
+	"spate/internal/compress/lz"
+)
+
+func init() { compress.Register(Codec{}) }
+
+// Codec is the LZMA-style codec. The zero value is ready to use.
+type Codec struct{}
+
+// Name implements compress.Codec.
+func (Codec) Name() string { return "sevenz" }
+
+const (
+	minMatch = 4
+	// Length coding: [4,11] low tree, [12,19] mid tree, [20,275] high tree.
+	lenLowMax  = 8
+	lenMidMax  = 8
+	lenHighMax = 256
+	maxLen     = minMatch + lenLowMax + lenMidMax + lenHighMax - 1 // 275
+
+	litContextBits = 8 // literal context = full previous byte (order-1)
+	numDistSlots   = 64
+)
+
+// model holds every adaptive probability; one per (de)compression call.
+type model struct {
+	isMatch  prob
+	isRep    prob
+	lits     []*bitTree // 1<<litContextBits trees of 8 bits
+	lenLow   *bitTree
+	lenMid   *bitTree
+	lenHigh  *bitTree
+	lenTree  *bitTree // 2-bit selector: low/mid/high
+	distSlot *bitTree
+}
+
+func newModel() *model {
+	m := &model{
+		isMatch:  probInit,
+		isRep:    probInit,
+		lenLow:   newBitTree(3),
+		lenMid:   newBitTree(3),
+		lenHigh:  newBitTree(8),
+		lenTree:  newBitTree(2),
+		distSlot: newBitTree(6),
+	}
+	m.lits = make([]*bitTree, 1<<litContextBits)
+	for i := range m.lits {
+		m.lits[i] = newBitTree(8)
+	}
+	return m
+}
+
+func (m *model) litTree(prevByte byte) *bitTree {
+	return m.lits[prevByte>>(8-litContextBits)]
+}
+
+func (m *model) encodeLen(e *rangeEncoder, l int) {
+	l -= minMatch
+	switch {
+	case l < lenLowMax:
+		m.lenTree.encode(e, 0)
+		m.lenLow.encode(e, uint32(l))
+	case l < lenLowMax+lenMidMax:
+		m.lenTree.encode(e, 1)
+		m.lenMid.encode(e, uint32(l-lenLowMax))
+	default:
+		m.lenTree.encode(e, 2)
+		m.lenHigh.encode(e, uint32(l-lenLowMax-lenMidMax))
+	}
+}
+
+func (m *model) decodeLen(d *rangeDecoder) int {
+	switch m.lenTree.decode(d) {
+	case 0:
+		return minMatch + int(m.lenLow.decode(d))
+	case 1:
+		return minMatch + lenLowMax + int(m.lenMid.decode(d))
+	default:
+		return minMatch + lenLowMax + lenMidMax + int(m.lenHigh.decode(d))
+	}
+}
+
+// distSlotOf maps d = dist-1 to its slot (LZMA distance slots).
+func distSlotOf(d uint32) uint32 {
+	if d < 4 {
+		return d
+	}
+	nb := uint32(32 - leadingZeros32(d)) // bit length of d, >= 3
+	return (nb-1)*2 + d>>(nb-2)&1
+}
+
+func leadingZeros32(v uint32) int {
+	n := 0
+	for v&0x80000000 == 0 {
+		v <<= 1
+		n++
+	}
+	return n
+}
+
+func (m *model) encodeDist(e *rangeEncoder, dist int) {
+	d := uint32(dist - 1)
+	slot := distSlotOf(d)
+	m.distSlot.encode(e, slot)
+	if slot >= 4 {
+		footerBits := slot/2 - 1
+		e.encodeDirect(d&(1<<footerBits-1), uint(footerBits))
+	}
+}
+
+func (m *model) decodeDist(d *rangeDecoder) int {
+	slot := m.distSlot.decode(d)
+	if slot < 4 {
+		return int(slot) + 1
+	}
+	footerBits := slot/2 - 1
+	base := (2 | slot&1) << footerBits
+	return int(base|d.decodeDirect(uint(footerBits))) + 1
+}
+
+// Compress implements compress.Codec. Layout: uvarint original length,
+// then the range-coded stream.
+func (Codec) Compress(dst, src []byte) []byte {
+	dst = bitio.AppendUvarint(dst, uint64(len(src)))
+	if len(src) == 0 {
+		return dst
+	}
+	seqs := lz.Parse(src, lz.Options{MinMatch: minMatch, MaxChain: 1024, Lazy: true})
+	e := newRangeEncoder(dst)
+	m := newModel()
+	pos := 0
+	lastDist := -1
+	var prevByte byte
+	for _, s := range seqs {
+		for i := 0; i < s.LitLen; i++ {
+			e.encodeBit(&m.isMatch, 0)
+			b := src[pos]
+			m.litTree(prevByte).encode(e, uint32(b))
+			prevByte = b
+			pos++
+		}
+		rem := s.MatchLen
+		for rem > 0 {
+			l := rem
+			if l > maxLen {
+				l = maxLen
+				if rem-l < minMatch {
+					l = rem - minMatch
+				}
+			}
+			e.encodeBit(&m.isMatch, 1)
+			if s.Dist == lastDist {
+				e.encodeBit(&m.isRep, 1)
+			} else {
+				e.encodeBit(&m.isRep, 0)
+				m.encodeDist(e, s.Dist)
+				lastDist = s.Dist
+			}
+			m.encodeLen(e, l)
+			pos += l
+			rem -= l
+			prevByte = src[pos-1]
+		}
+	}
+	return e.finish()
+}
+
+// Decompress implements compress.Codec.
+func (Codec) Decompress(dst, src []byte) ([]byte, error) {
+	want, n := bitio.Uvarint(src)
+	if n == 0 {
+		return dst, compress.Corruptf("sevenz: length header")
+	}
+	if want == 0 {
+		return dst, nil
+	}
+	out := make([]byte, 0, want)
+	d := newRangeDecoder(src[n:])
+	m := newModel()
+	lastDist := -1
+	var prevByte byte
+	for len(out) < int(want) {
+		if d.eof {
+			return dst, compress.Corruptf("sevenz: truncated stream")
+		}
+		if d.decodeBit(&m.isMatch) == 0 {
+			b := byte(m.litTree(prevByte).decode(d))
+			out = append(out, b)
+			prevByte = b
+			continue
+		}
+		dist := lastDist
+		if d.decodeBit(&m.isRep) == 0 {
+			dist = m.decodeDist(d)
+			lastDist = dist
+		}
+		l := m.decodeLen(d)
+		start := len(out) - dist
+		if dist <= 0 || start < 0 || len(out)+l > int(want) {
+			return dst, compress.Corruptf("sevenz: invalid match dist=%d len=%d at %d", dist, l, len(out))
+		}
+		for k := 0; k < l; k++ {
+			out = append(out, out[start+k])
+		}
+		prevByte = out[len(out)-1]
+	}
+	if d.eof {
+		return dst, compress.Corruptf("sevenz: truncated stream")
+	}
+	return append(dst, out...), nil
+}

@@ -1,0 +1,168 @@
+package sevenz
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRangeCoderBitsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(2000)
+		bits := make([]int, n)
+		for i := range bits {
+			// Skewed bits exercise probability adaptation.
+			if rng.Float64() < 0.8 {
+				bits[i] = 0
+			} else {
+				bits[i] = 1
+			}
+		}
+		e := newRangeEncoder(nil)
+		p := prob(probInit)
+		for _, b := range bits {
+			e.encodeBit(&p, b)
+		}
+		out := e.finish()
+
+		d := newRangeDecoder(out)
+		p = probInit
+		for i, want := range bits {
+			if got := d.decodeBit(&p); got != want {
+				t.Fatalf("trial %d bit %d: got %d want %d", trial, i, got, want)
+			}
+		}
+		if d.eof {
+			t.Fatalf("trial %d: decoder ran past input", trial)
+		}
+	}
+}
+
+func TestRangeCoderSkewCompresses(t *testing.T) {
+	// 10000 highly skewed bits must cost far less than 10000/8 bytes.
+	e := newRangeEncoder(nil)
+	p := prob(probInit)
+	for i := 0; i < 10000; i++ {
+		b := 0
+		if i%100 == 0 {
+			b = 1
+		}
+		e.encodeBit(&p, b)
+	}
+	out := e.finish()
+	if len(out) > 400 {
+		t.Errorf("skewed bits took %d bytes; entropy coding is broken", len(out))
+	}
+}
+
+func TestDirectBitsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	e := newRangeEncoder(nil)
+	vals := make([]uint32, 200)
+	widths := make([]uint, 200)
+	for i := range vals {
+		widths[i] = 1 + uint(rng.Intn(30))
+		vals[i] = rng.Uint32() & (1<<widths[i] - 1)
+		e.encodeDirect(vals[i], widths[i])
+	}
+	out := e.finish()
+	d := newRangeDecoder(out)
+	for i := range vals {
+		if got := d.decodeDirect(widths[i]); got != vals[i] {
+			t.Fatalf("direct %d: got %x want %x (width %d)", i, got, vals[i], widths[i])
+		}
+	}
+}
+
+func TestBitTreeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	enc := newRangeEncoder(nil)
+	tree := newBitTree(8)
+	syms := make([]uint32, 500)
+	for i := range syms {
+		syms[i] = uint32(rng.Intn(256))
+		tree.encode(enc, syms[i])
+	}
+	out := enc.finish()
+	d := newRangeDecoder(out)
+	dtree := newBitTree(8)
+	for i, want := range syms {
+		if got := dtree.decode(d); got != want {
+			t.Fatalf("sym %d: got %d want %d", i, got, want)
+		}
+	}
+}
+
+func TestDistSlots(t *testing.T) {
+	// Slot function must be monotone and invertible through the decoder's
+	// base computation.
+	prev := uint32(0)
+	for _, d := range []uint32{0, 1, 2, 3, 4, 5, 7, 8, 100, 1 << 10, 1 << 20, 1<<28 - 1} {
+		s := distSlotOf(d)
+		if s < prev {
+			t.Errorf("slot(%d) = %d < previous %d", d, s, prev)
+		}
+		prev = s
+		if s < 4 {
+			if s != d {
+				t.Errorf("small slot(%d) = %d", d, s)
+			}
+			continue
+		}
+		footer := s/2 - 1
+		base := (2 | s&1) << footer
+		if d < base || d >= base+1<<footer {
+			t.Errorf("d=%d outside slot %d coverage [%d, %d)", d, s, base, base+1<<footer)
+		}
+	}
+}
+
+func TestCodecLongMatchChunking(t *testing.T) {
+	// Inputs with matches far beyond maxLen exercise the rep0 chunking.
+	src := bytes.Repeat([]byte("x"), 5000)
+	src = append(src, []byte(strings.Repeat("column|value|", 400))...)
+	c := Codec{}
+	got, err := c.Decompress(nil, c.Compress(nil, src))
+	if err != nil || !bytes.Equal(got, src) {
+		t.Fatalf("long match round trip: %v", err)
+	}
+}
+
+func TestCodecQuick(t *testing.T) {
+	c := Codec{}
+	f := func(data []byte) bool {
+		got, err := c.Decompress(nil, c.Compress(nil, data))
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkCompressText(b *testing.B) {
+	data := []byte(strings.Repeat("20160122153000|35700000042|VOICE|OK|1024|0|DEF\n", 2000))
+	c := Codec{}
+	b.SetBytes(int64(len(data)))
+	var out []byte
+	for i := 0; i < b.N; i++ {
+		out = c.Compress(out[:0], data)
+	}
+}
+
+func BenchmarkDecompressText(b *testing.B) {
+	data := []byte(strings.Repeat("20160122153000|35700000042|VOICE|OK|1024|0|DEF\n", 2000))
+	c := Codec{}
+	comp := c.Compress(nil, data)
+	b.SetBytes(int64(len(data)))
+	var out []byte
+	for i := 0; i < b.N; i++ {
+		var err error
+		out, err = c.Decompress(out[:0], comp)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,213 @@
+// Package snap implements a SNAPPY-style byte-oriented LZ codec: greedy
+// single-probe hash matching, tag-byte framing and no entropy stage. Like
+// Google's Snappy it "aims for maximum compression speed as opposed to
+// maximum compression ratios", producing output 20-100% bigger than the
+// entropy-coding codecs (paper §IV-B) — the Table I row whose ratio is
+// roughly half of GZIP's.
+package snap
+
+import (
+	"spate/internal/compress"
+	"spate/internal/compress/bitio"
+)
+
+func init() { compress.Register(Codec{}) }
+
+// Codec is the snappy-style codec. The zero value is ready to use.
+type Codec struct{}
+
+// Name implements compress.Codec.
+func (Codec) Name() string { return "snappy" }
+
+// Tag byte low bits.
+const (
+	tagLiteral = 0x00
+	tagCopy1   = 0x01 // 11-bit offset, 4..11 byte length
+	tagCopy2   = 0x02 // 16-bit offset, 1..64 byte length
+)
+
+const (
+	maxOffset   = 1 << 16 // copy2 reach
+	minMatch    = 4
+	maxCopy2Len = 64
+	hashBits    = 14
+)
+
+func hash4(v uint32) uint32 { return v * 2654435761 >> (32 - hashBits) }
+
+func load32(b []byte, i int) uint32 {
+	return uint32(b[i]) | uint32(b[i+1])<<8 | uint32(b[i+2])<<16 | uint32(b[i+3])<<24
+}
+
+// Compress implements compress.Codec. The layout is a uvarint of the
+// original length followed by tagged literal runs and copies.
+func (Codec) Compress(dst, src []byte) []byte {
+	dst = bitio.AppendUvarint(dst, uint64(len(src)))
+	if len(src) == 0 {
+		return dst
+	}
+	var table [1 << hashBits]int32
+	for i := range table {
+		table[i] = -1
+	}
+	litStart := 0
+	i := 0
+	for i+minMatch <= len(src) {
+		h := hash4(load32(src, i))
+		cand := table[h]
+		table[h] = int32(i)
+		if cand < 0 || i-int(cand) >= maxOffset || load32(src, int(cand)) != load32(src, i) {
+			i++
+			continue
+		}
+		// Extend the match.
+		j := int(cand)
+		l := minMatch
+		for i+l < len(src) && src[j+l] == src[i+l] {
+			l++
+		}
+		dst = emitLiteral(dst, src[litStart:i])
+		dst = emitCopy(dst, i-j, l)
+		// Insert a couple of positions inside the match to seed future hits.
+		for k := i + 1; k < i+l && k+minMatch <= len(src) && k < i+4; k++ {
+			table[hash4(load32(src, k))] = int32(k)
+		}
+		i += l
+		litStart = i
+	}
+	return emitLiteral(dst, src[litStart:])
+}
+
+func emitLiteral(dst, lit []byte) []byte {
+	for len(lit) > 0 {
+		n := len(lit)
+		switch {
+		case n <= 60:
+			dst = append(dst, byte(n-1)<<2|tagLiteral)
+		case n < 1<<8:
+			dst = append(dst, 60<<2|tagLiteral, byte(n-1))
+		case n < 1<<16:
+			dst = append(dst, 61<<2|tagLiteral, byte(n-1), byte((n-1)>>8))
+		default:
+			n = 1 << 16 // chunk long literals
+			dst = append(dst, 61<<2|tagLiteral, byte(n-1), byte((n-1)>>8))
+		}
+		dst = append(dst, lit[:n]...)
+		lit = lit[n:]
+	}
+	return dst
+}
+
+func emitCopy(dst []byte, offset, length int) []byte {
+	// Long matches are chunked into <=64-byte copy2 elements, with a
+	// copy1 fast path for short nearby matches.
+	for length > 0 {
+		if length >= minMatch && length <= 11 && offset < 1<<11 {
+			dst = append(dst,
+				byte(offset>>8)<<5|byte(length-4)<<2|tagCopy1,
+				byte(offset))
+			return dst
+		}
+		n := length
+		if n > maxCopy2Len {
+			n = maxCopy2Len
+			// Avoid leaving a tail shorter than minMatch (still legal for
+			// copy2 but keeps parsing efficient).
+			if length-n < minMatch {
+				n = length - minMatch
+			}
+		}
+		dst = append(dst, byte(n-1)<<2|tagCopy2, byte(offset), byte(offset>>8))
+		length -= n
+	}
+	return dst
+}
+
+// Decompress implements compress.Codec.
+func (Codec) Decompress(dst, src []byte) ([]byte, error) {
+	want, n := bitio.Uvarint(src)
+	if n == 0 {
+		return dst, compress.Corruptf("snappy: length header")
+	}
+	src = src[n:]
+	base := len(dst)
+	if cap(dst)-base < int(want) {
+		grown := make([]byte, base, base+int(want))
+		copy(grown, dst)
+		dst = grown
+	}
+	for len(src) > 0 {
+		tag := src[0]
+		switch tag & 3 {
+		case tagLiteral:
+			l := int(tag >> 2)
+			adv := 1
+			switch l {
+			case 60:
+				if len(src) < 2 {
+					return dst, compress.Corruptf("snappy: literal header")
+				}
+				l = int(src[1])
+				adv = 2
+			case 61:
+				if len(src) < 3 {
+					return dst, compress.Corruptf("snappy: literal header")
+				}
+				l = int(src[1]) | int(src[2])<<8
+				adv = 3
+			case 62, 63:
+				return dst, compress.Corruptf("snappy: unsupported literal tag")
+			}
+			l++
+			if len(src) < adv+l {
+				return dst, compress.Corruptf("snappy: literal body")
+			}
+			dst = append(dst, src[adv:adv+l]...)
+			src = src[adv+l:]
+		case tagCopy1:
+			if len(src) < 2 {
+				return dst, compress.Corruptf("snappy: copy1")
+			}
+			length := 4 + int(tag>>2&7)
+			offset := int(tag>>5)<<8 | int(src[1])
+			var err error
+			dst, err = appendCopy(dst, base, offset, length)
+			if err != nil {
+				return dst, err
+			}
+			src = src[2:]
+		case tagCopy2:
+			if len(src) < 3 {
+				return dst, compress.Corruptf("snappy: copy2")
+			}
+			length := 1 + int(tag>>2)
+			offset := int(src[1]) | int(src[2])<<8
+			var err error
+			dst, err = appendCopy(dst, base, offset, length)
+			if err != nil {
+				return dst, err
+			}
+			src = src[3:]
+		default:
+			return dst, compress.Corruptf("snappy: reserved tag")
+		}
+		if len(dst)-base > int(want) {
+			return dst, compress.Corruptf("snappy: output overrun")
+		}
+	}
+	if len(dst)-base != int(want) {
+		return dst, compress.Corruptf("snappy: short output: got %d want %d", len(dst)-base, want)
+	}
+	return dst, nil
+}
+
+func appendCopy(dst []byte, base, offset, length int) ([]byte, error) {
+	start := len(dst) - offset
+	if offset == 0 || start < base {
+		return dst, compress.Corruptf("snappy: invalid offset %d", offset)
+	}
+	for k := 0; k < length; k++ {
+		dst = append(dst, dst[start+k])
+	}
+	return dst, nil
+}

@@ -1,0 +1,125 @@
+package snap
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, data []byte) []byte {
+	t.Helper()
+	c := Codec{}
+	comp := c.Compress(nil, data)
+	got, err := c.Decompress(nil, comp)
+	if err != nil {
+		t.Fatalf("decompress: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("round trip mismatch: %d vs %d bytes", len(got), len(data))
+	}
+	return comp
+}
+
+func TestEmptyAndTiny(t *testing.T) {
+	roundTrip(t, nil)
+	roundTrip(t, []byte("a"))
+	roundTrip(t, []byte("abc"))
+}
+
+func TestLiteralChunking(t *testing.T) {
+	// Incompressible runs longer than the 16-bit literal limit chunk.
+	data := make([]byte, 100_000)
+	rand.New(rand.NewSource(1)).Read(data)
+	comp := roundTrip(t, data)
+	if len(comp) > len(data)+len(data)/100+16 {
+		t.Errorf("incompressible expansion too large: %d for %d", len(comp), len(data))
+	}
+}
+
+func TestCopy1FastPath(t *testing.T) {
+	// Short nearby matches take the 2-byte copy1 form: verify the encoder
+	// uses it by checking output size on a best-case input.
+	data := bytes.Repeat([]byte("abcdefgh"), 200) // dist 8, matches of 8+
+	comp := roundTrip(t, data)
+	if len(comp) > len(data)/4 {
+		t.Errorf("near repeats compressed to %d of %d", len(comp), len(data))
+	}
+}
+
+func TestLongMatchChunking(t *testing.T) {
+	// A 10KB run forces >64-byte copy chunking.
+	roundTrip(t, bytes.Repeat([]byte{'Z'}, 10_000))
+}
+
+func TestFarMatchesBeyondWindowAreLiterals(t *testing.T) {
+	// Content repeating at a distance over 64KB cannot be referenced.
+	block := make([]byte, 1000)
+	rand.New(rand.NewSource(2)).Read(block)
+	data := append(append(append([]byte{}, block...), make([]byte, 70_000)...), block...)
+	roundTrip(t, data)
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	c := Codec{}
+	f := func(data []byte) bool {
+		got, err := c.Decompress(nil, c.Compress(nil, data))
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCorruptInputs(t *testing.T) {
+	c := Codec{}
+	data := []byte(strings.Repeat("telco|row|", 100))
+	comp := c.Compress(nil, data)
+	cases := map[string][]byte{
+		"empty":            {},
+		"half":             comp[:len(comp)/2],
+		"bad length":       append([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F}, comp...),
+		"truncated tag":    comp[:len(comp)-1],
+		"reserved literal": {2, 62 << 2}, // length=2, tag with l=62
+	}
+	for name, in := range cases {
+		if got, err := c.Decompress(nil, in); err == nil && bytes.Equal(got, data) {
+			t.Errorf("%s: corrupt input decoded fully", name)
+		}
+	}
+}
+
+func TestZeroOffsetRejected(t *testing.T) {
+	// Hand-crafted copy with offset 0 must be rejected.
+	in := []byte{4, 0<<2 | 0, 'a', byte(0)<<2 | 1, 0} // len 4; 1 literal 'a'; copy1 off=0
+	c := Codec{}
+	if _, err := c.Decompress(nil, in); err == nil {
+		t.Error("zero offset accepted")
+	}
+}
+
+func BenchmarkCompress(b *testing.B) {
+	data := []byte(strings.Repeat("20160122153000|35700000042|VOICE|OK|1024|0|DEF\n", 2000))
+	c := Codec{}
+	b.SetBytes(int64(len(data)))
+	var out []byte
+	for i := 0; i < b.N; i++ {
+		out = c.Compress(out[:0], data)
+	}
+}
+
+func BenchmarkDecompress(b *testing.B) {
+	data := []byte(strings.Repeat("20160122153000|35700000042|VOICE|OK|1024|0|DEF\n", 2000))
+	c := Codec{}
+	comp := c.Compress(nil, data)
+	b.SetBytes(int64(len(data)))
+	var out []byte
+	for i := 0; i < b.N; i++ {
+		var err error
+		out, err = c.Decompress(out[:0], comp)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

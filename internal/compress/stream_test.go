@@ -1,0 +1,134 @@
+package compress_test
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"spate/internal/compress"
+)
+
+func TestStreamRoundTripAllCodecs(t *testing.T) {
+	for _, c := range allCodecs(t) {
+		c := c
+		t.Run(c.Name(), func(t *testing.T) {
+			// Spans multiple chunks: 2.5 MB of repetitive text.
+			data := bytes.Repeat([]byte("stream-chunked telco line|42|OK\n"), 80_000)
+			var buf bytes.Buffer
+			w := compress.NewStreamWriter(c, &buf)
+			// Write in awkward sizes to exercise chunk boundaries.
+			for off := 0; off < len(data); {
+				n := 100_000 + off%37
+				if off+n > len(data) {
+					n = len(data) - off
+				}
+				if _, err := w.Write(data[off : off+n]); err != nil {
+					t.Fatal(err)
+				}
+				off += n
+			}
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if buf.Len() >= len(data) {
+				t.Errorf("stream did not compress: %d of %d", buf.Len(), len(data))
+			}
+			got, err := io.ReadAll(compress.NewStreamReader(c, &buf))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatalf("round trip mismatch: %d vs %d bytes", len(got), len(data))
+			}
+		})
+	}
+}
+
+func TestStreamEmpty(t *testing.T) {
+	c := mustCodec(t, "gzip")
+	var buf bytes.Buffer
+	w := compress.NewStreamWriter(c, &buf)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(compress.NewStreamReader(c, &buf))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty stream: %v, %d bytes", err, len(got))
+	}
+}
+
+func TestStreamCloseIdempotentAndWriteAfterClose(t *testing.T) {
+	c := mustCodec(t, "snappy")
+	var buf bytes.Buffer
+	w := compress.NewStreamWriter(c, &buf)
+	if _, err := w.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("y")); err == nil {
+		t.Error("write after close accepted")
+	}
+}
+
+func TestStreamTruncationDetected(t *testing.T) {
+	c := mustCodec(t, "zstd")
+	data := []byte(strings.Repeat("abc", 100_000))
+	var buf bytes.Buffer
+	w := compress.NewStreamWriter(c, &buf)
+	if _, err := w.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	enc := buf.Bytes()
+	for _, cut := range []int{1, len(enc) / 2, len(enc) - 1} {
+		got, err := io.ReadAll(compress.NewStreamReader(c, bytes.NewReader(enc[:cut])))
+		if err == nil && bytes.Equal(got, data) {
+			t.Errorf("cut=%d: truncated stream decoded fully", cut)
+		}
+	}
+}
+
+func TestStreamGarbageChunkHeader(t *testing.T) {
+	c := mustCodec(t, "gzip")
+	// An absurd chunk size must be rejected before allocation.
+	in := []byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F}
+	if _, err := io.ReadAll(compress.NewStreamReader(c, bytes.NewReader(in))); err == nil {
+		t.Error("giant chunk header accepted")
+	}
+}
+
+func TestStreamRandomPayload(t *testing.T) {
+	c := mustCodec(t, "sevenz")
+	data := make([]byte, 300_000)
+	rand.New(rand.NewSource(9)).Read(data)
+	var buf bytes.Buffer
+	w := compress.NewStreamWriter(c, &buf)
+	if _, err := w.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(compress.NewStreamReader(c, &buf))
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("random payload: %v", err)
+	}
+}
+
+func mustCodec(t *testing.T, name string) compress.Codec {
+	t.Helper()
+	c, err := compress.Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}

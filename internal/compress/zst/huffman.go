@@ -1,0 +1,314 @@
+package zst
+
+// Canonical length-limited Huffman coding over byte alphabets — the
+// entropy stage of the zstd-style codec (standing in for zstd's HUF/FSE
+// coders, which are likewise table-driven byte-alphabet entropy coders).
+
+import (
+	"container/heap"
+	"sort"
+
+	"spate/internal/compress"
+	"spate/internal/compress/bitio"
+)
+
+const maxCodeLen = 15
+
+// huffNode is a tree node during construction.
+type huffNode struct {
+	freq        int
+	sym         int // -1 for internal nodes
+	left, right *huffNode
+}
+
+type huffHeap []*huffNode
+
+func (h huffHeap) Len() int           { return len(h) }
+func (h huffHeap) Less(i, j int) bool { return h[i].freq < h[j].freq }
+func (h huffHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *huffHeap) Push(x any)        { *h = append(*h, x.(*huffNode)) }
+func (h *huffHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// buildLengths computes code lengths for the given symbol frequencies,
+// limited to maxCodeLen bits. Symbols with zero frequency get length 0.
+func buildLengths(freq *[256]int) [256]uint8 {
+	var lens [256]uint8
+	var h huffHeap
+	for s, f := range freq {
+		if f > 0 {
+			h = append(h, &huffNode{freq: f, sym: s})
+		}
+	}
+	switch len(h) {
+	case 0:
+		return lens
+	case 1:
+		lens[h[0].sym] = 1
+		return lens
+	}
+	heap.Init(&h)
+	for h.Len() > 1 {
+		a := heap.Pop(&h).(*huffNode)
+		b := heap.Pop(&h).(*huffNode)
+		heap.Push(&h, &huffNode{freq: a.freq + b.freq, sym: -1, left: a, right: b})
+	}
+	root := h[0]
+	var walk func(n *huffNode, depth uint8)
+	walk = func(n *huffNode, depth uint8) {
+		if n.left == nil {
+			if depth == 0 {
+				depth = 1
+			}
+			lens[n.sym] = depth
+			return
+		}
+		walk(n.left, depth+1)
+		walk(n.right, depth+1)
+	}
+	walk(root, 0)
+	limitLengths(&lens)
+	return lens
+}
+
+// limitLengths clamps code lengths to maxCodeLen and repairs the Kraft sum
+// by deepening the shallowest over-budget codes.
+func limitLengths(lens *[256]uint8) {
+	over := false
+	for _, l := range lens {
+		if l > maxCodeLen {
+			over = true
+			break
+		}
+	}
+	if !over {
+		return
+	}
+	// Kraft units of 1/2^maxCodeLen.
+	const unit = 1 << maxCodeLen
+	total := 0
+	for s, l := range lens {
+		if l == 0 {
+			continue
+		}
+		if l > maxCodeLen {
+			lens[s] = maxCodeLen
+		}
+		total += unit >> lens[s]
+	}
+	// While the code is over-subscribed, lengthen the longest codes that
+	// are still shorter than the limit... deepening reduces the sum.
+	for total > unit {
+		// Find a symbol with the largest length < maxCodeLen and deepen it.
+		best := -1
+		for s, l := range lens {
+			if l > 0 && l < maxCodeLen && (best < 0 || l > lens[best]) {
+				best = s
+			}
+		}
+		if best < 0 {
+			break // cannot repair; decoder guards against this
+		}
+		total -= unit >> lens[best]
+		lens[best]++
+		total += unit >> lens[best]
+	}
+}
+
+// canonicalCodes assigns canonical codes (shorter first, then by symbol).
+func canonicalCodes(lens *[256]uint8) (codes [256]uint32) {
+	type sl struct {
+		sym int
+		len uint8
+	}
+	var syms []sl
+	for s, l := range lens {
+		if l > 0 {
+			syms = append(syms, sl{s, l})
+		}
+	}
+	sort.Slice(syms, func(i, j int) bool {
+		if syms[i].len != syms[j].len {
+			return syms[i].len < syms[j].len
+		}
+		return syms[i].sym < syms[j].sym
+	})
+	code := uint32(0)
+	prevLen := uint8(0)
+	for _, e := range syms {
+		code <<= e.len - prevLen
+		codes[e.sym] = code
+		code++
+		prevLen = e.len
+	}
+	return codes
+}
+
+// huffDecoder decodes canonical codes via first-code tables.
+type huffDecoder struct {
+	// For each length l: firstCode[l] is the smallest code of that length,
+	// offset[l] indexes into symbols for that length's first symbol.
+	firstCode [maxCodeLen + 2]uint32
+	offset    [maxCodeLen + 2]int
+	count     [maxCodeLen + 2]int
+	symbols   []byte
+}
+
+func newHuffDecoder(lens *[256]uint8) *huffDecoder {
+	d := &huffDecoder{}
+	for _, l := range lens {
+		if l > 0 {
+			d.count[l]++
+		}
+	}
+	total := 0
+	code := uint32(0)
+	for l := 1; l <= maxCodeLen; l++ {
+		code <<= 1
+		d.firstCode[l] = code
+		d.offset[l] = total
+		code += uint32(d.count[l])
+		total += d.count[l]
+	}
+	d.symbols = make([]byte, total)
+	idx := d.offset
+	for s, l := range lens {
+		if l > 0 {
+			d.symbols[idx[l]] = byte(s)
+			idx[l]++
+		}
+	}
+	return d
+}
+
+// decodeSym reads one symbol from the bit reader.
+func (d *huffDecoder) decodeSym(r *bitio.Reader) (byte, error) {
+	code := uint32(0)
+	for l := 1; l <= maxCodeLen; l++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		code = code<<1 | uint32(b)
+		if d.count[l] > 0 && code < d.firstCode[l]+uint32(d.count[l]) && code >= d.firstCode[l] {
+			return d.symbols[d.offset[l]+int(code-d.firstCode[l])], nil
+		}
+	}
+	return 0, compress.Corruptf("zstd: invalid huffman code")
+}
+
+// Stream framing for one huffman-coded byte stream:
+//   uvarint rawLen
+//   byte mode (0 = stored raw, 1 = huffman)
+//   mode 0: rawLen bytes
+//   mode 1: 128-byte length table (4 bits/symbol), then the code bits.
+
+const (
+	modeRaw  = 0
+	modeHuff = 1
+)
+
+// appendHuffStream encodes data as one framed stream, falling back to raw
+// storage when huffman does not help (e.g. high-entropy token bytes).
+func appendHuffStream(dst, data []byte) []byte {
+	dst = bitio.AppendUvarint(dst, uint64(len(data)))
+	if len(data) == 0 {
+		return append(dst, modeRaw)
+	}
+	var freq [256]int
+	for _, b := range data {
+		freq[b]++
+	}
+	lens := buildLengths(&freq)
+	codes := canonicalCodes(&lens)
+	bits := 0
+	for s, f := range freq {
+		bits += f * int(lens[s])
+	}
+	estimate := 1 + 128 + (bits+7)/8
+	if estimate >= len(data)+1 {
+		dst = append(dst, modeRaw)
+		return append(dst, data...)
+	}
+	dst = append(dst, modeHuff)
+	for i := 0; i < 256; i += 2 {
+		dst = append(dst, lens[i]<<4|lens[i+1])
+	}
+	w := bitio.NewWriter(dst)
+	for _, b := range data {
+		w.WriteBits(uint64(codes[b]), uint(lens[b]))
+	}
+	return w.Bytes()
+}
+
+// readHuffStream decodes one framed stream from src, returning the data
+// and the remaining input.
+func readHuffStream(src []byte) (data, rest []byte, err error) {
+	rawLen, n := bitio.Uvarint(src)
+	if n == 0 {
+		return nil, nil, compress.Corruptf("zstd: stream header")
+	}
+	src = src[n:]
+	if len(src) < 1 {
+		return nil, nil, compress.Corruptf("zstd: stream mode")
+	}
+	mode := src[0]
+	src = src[1:]
+	switch mode {
+	case modeRaw:
+		if uint64(len(src)) < rawLen {
+			return nil, nil, compress.Corruptf("zstd: raw stream truncated")
+		}
+		return src[:rawLen], src[rawLen:], nil
+	case modeHuff:
+		if len(src) < 128 {
+			return nil, nil, compress.Corruptf("zstd: length table truncated")
+		}
+		var lens [256]uint8
+		for i := 0; i < 128; i++ {
+			lens[2*i] = src[i] >> 4
+			lens[2*i+1] = src[i] & 0x0F
+		}
+		src = src[128:]
+		dec := newHuffDecoder(&lens)
+		r := bitio.NewReader(src)
+		out := make([]byte, rawLen)
+		for i := range out {
+			s, err := dec.decodeSym(r)
+			if err != nil {
+				return nil, nil, compress.Corruptf("zstd: huffman body")
+			}
+			out[i] = s
+		}
+		// The bit reader consumed whole bytes; the stream is self-sizing
+		// only through rawLen, so compute the consumed byte count.
+		consumed := (rawLenBits(dec, out) + 7) / 8
+		if consumed > len(src) {
+			return nil, nil, compress.Corruptf("zstd: huffman overrun")
+		}
+		return out, src[consumed:], nil
+	default:
+		return nil, nil, compress.Corruptf("zstd: unknown stream mode %d", mode)
+	}
+}
+
+// rawLenBits recomputes the bit length of the encoded stream so the framing
+// can locate the next stream. The decoder tables give each symbol's length.
+func rawLenBits(d *huffDecoder, out []byte) int {
+	var lenOf [256]uint8
+	for l := 1; l <= maxCodeLen; l++ {
+		for i := 0; i < d.count[l]; i++ {
+			lenOf[d.symbols[d.offset[l]+i]] = uint8(l)
+		}
+	}
+	bits := 0
+	for _, b := range out {
+		bits += int(lenOf[b])
+	}
+	return bits
+}

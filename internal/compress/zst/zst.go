@@ -1,0 +1,211 @@
+// Package zst implements a ZSTD-style codec: an LZ77 parse over an
+// unbounded window whose literal and token streams are entropy-coded with
+// canonical Huffman, plus support for domain-specific trained dictionaries
+// — the feature the paper singles out for Facebook's zstd ("allows building
+// domain-specific training dictionaries", §IV-B). It targets fast
+// decompression with a ratio close to GZIP's, matching its Table I row.
+package zst
+
+import (
+	"sort"
+
+	"spate/internal/compress"
+	"spate/internal/compress/bitio"
+	"spate/internal/compress/lz"
+)
+
+func init() { compress.Register(New(nil)) }
+
+// Codec is the zstd-style codec, optionally carrying a trained dictionary.
+type Codec struct {
+	dict []byte
+}
+
+// New returns a codec using dict as shared LZ history (nil for none).
+// Compressor and decompressor must use the same dictionary.
+func New(dict []byte) Codec { return Codec{dict: dict} }
+
+// Name implements compress.Codec.
+func (Codec) Name() string { return "zstd" }
+
+// Dict returns the codec's dictionary (nil when untrained).
+func (c Codec) Dict() []byte { return c.dict }
+
+// Container flags.
+const (
+	blockRaw  = 0
+	blockComp = 1
+	flagDict  = 1 << 4
+)
+
+// Compress implements compress.Codec. Layout:
+//
+//	uvarint origLen | byte flags | body
+//
+// where a compressed body is: uvarint numSeqs, framed token stream
+// (litLen/matchLen/dist uvarints), framed literal stream.
+func (c Codec) Compress(dst, src []byte) []byte {
+	dst = bitio.AppendUvarint(dst, uint64(len(src)))
+	if len(src) < 32 {
+		return append(append(dst, blockRaw), src...)
+	}
+	seqs := lz.ParseWithPrefix(c.dict, src, lz.Options{MinMatch: 4, MaxChain: 64, Lazy: true})
+	var tokens []byte
+	var lits []byte
+	pos := 0
+	for _, s := range seqs {
+		tokens = bitio.AppendUvarint(tokens, uint64(s.LitLen))
+		tokens = bitio.AppendUvarint(tokens, uint64(s.MatchLen))
+		if s.MatchLen > 0 {
+			tokens = bitio.AppendUvarint(tokens, uint64(s.Dist))
+		}
+		lits = append(lits, src[pos:pos+s.LitLen]...)
+		pos += s.LitLen + s.MatchLen
+	}
+	flags := byte(blockComp)
+	if len(c.dict) > 0 {
+		flags |= flagDict
+	}
+	body := []byte{flags}
+	body = bitio.AppendUvarint(body, uint64(len(seqs)))
+	body = appendHuffStream(body, tokens)
+	body = appendHuffStream(body, lits)
+	if len(body) >= len(src)+1 {
+		return append(append(dst, blockRaw), src...)
+	}
+	return append(dst, body...)
+}
+
+// Decompress implements compress.Codec.
+func (c Codec) Decompress(dst, src []byte) ([]byte, error) {
+	want, n := bitio.Uvarint(src)
+	if n == 0 {
+		return dst, compress.Corruptf("zstd: length header")
+	}
+	src = src[n:]
+	if len(src) < 1 {
+		return dst, compress.Corruptf("zstd: missing flags")
+	}
+	flags := src[0]
+	src = src[1:]
+	switch flags & 0x0F {
+	case blockRaw:
+		if uint64(len(src)) < want {
+			return dst, compress.Corruptf("zstd: raw block truncated")
+		}
+		return append(dst, src[:want]...), nil
+	case blockComp:
+	default:
+		return dst, compress.Corruptf("zstd: unknown block type %d", flags&0x0F)
+	}
+	if flags&flagDict != 0 && len(c.dict) == 0 {
+		return dst, compress.Corruptf("zstd: input requires a dictionary")
+	}
+	numSeqs, n := bitio.Uvarint(src)
+	if n == 0 {
+		return dst, compress.Corruptf("zstd: seq count")
+	}
+	src = src[n:]
+	tokens, src, err := readHuffStream(src)
+	if err != nil {
+		return dst, err
+	}
+	lits, _, err := readHuffStream(src)
+	if err != nil {
+		return dst, err
+	}
+	seqs := make([]lz.Seq, 0, numSeqs)
+	produced := uint64(0)
+	for i := uint64(0); i < numSeqs; i++ {
+		var s lz.Seq
+		var v uint64
+		if v, n = bitio.Uvarint(tokens); n == 0 {
+			return dst, compress.Corruptf("zstd: token litlen")
+		}
+		s.LitLen = int(v)
+		tokens = tokens[n:]
+		if v, n = bitio.Uvarint(tokens); n == 0 {
+			return dst, compress.Corruptf("zstd: token matchlen")
+		}
+		s.MatchLen = int(v)
+		tokens = tokens[n:]
+		if s.MatchLen > 0 {
+			if v, n = bitio.Uvarint(tokens); n == 0 {
+				return dst, compress.Corruptf("zstd: token dist")
+			}
+			s.Dist = int(v)
+			tokens = tokens[n:]
+		}
+		produced += uint64(s.LitLen + s.MatchLen)
+		if produced > want {
+			return dst, compress.Corruptf("zstd: sequences overrun")
+		}
+		seqs = append(seqs, s)
+	}
+	if produced != want {
+		return dst, compress.Corruptf("zstd: sequences cover %d of %d bytes", produced, want)
+	}
+	var dict []byte
+	if flags&flagDict != 0 {
+		dict = c.dict
+	}
+	out, ok := lz.Expand(dst, dict, lits, seqs)
+	if !ok {
+		return dst, compress.Corruptf("zstd: expand")
+	}
+	return out, nil
+}
+
+// trainChunk is the shingle width used by Train. Telco records repeat long
+// column *segments* (constant tail attributes, hot cell IDs) rather than
+// whole lines — every line carries a unique timestamp — so training counts
+// fixed-width chunks instead of lines.
+const trainChunk = 32
+
+// Train builds a domain-specific dictionary from sample blocks, up to
+// maxSize bytes: it ranks aligned 32-byte shingles by occurrence count and
+// packs the most frequent ones, so the shared history contains the column
+// segments every future snapshot will re-emit.
+func Train(samples [][]byte, maxSize int) []byte {
+	if maxSize <= 0 || len(samples) == 0 {
+		return nil
+	}
+	counts := make(map[string]int)
+	for _, s := range samples {
+		for i := 0; i+trainChunk <= len(s); i += trainChunk {
+			counts[string(s[i:i+trainChunk])]++
+		}
+	}
+	type stat struct {
+		chunk string
+		count int
+	}
+	stats := make([]stat, 0, len(counts))
+	for c, n := range counts {
+		if n >= 2 {
+			stats = append(stats, stat{c, n})
+		}
+	}
+	sort.Slice(stats, func(i, j int) bool {
+		if stats[i].count != stats[j].count {
+			return stats[i].count > stats[j].count
+		}
+		return stats[i].chunk < stats[j].chunk
+	})
+	var dict []byte
+	// Most frequent chunks go at the END of the dictionary: smaller match
+	// distances for the hottest content.
+	for _, st := range stats {
+		if len(dict)+trainChunk > maxSize {
+			break
+		}
+		dict = append(dict, st.chunk...)
+	}
+	for i, j := 0, len(dict)-trainChunk; i < j; i, j = i+trainChunk, j-trainChunk {
+		var tmp [trainChunk]byte
+		copy(tmp[:], dict[i:i+trainChunk])
+		copy(dict[i:i+trainChunk], dict[j:j+trainChunk])
+		copy(dict[j:j+trainChunk], tmp[:])
+	}
+	return dict
+}

@@ -1,0 +1,259 @@
+// Package compute is the data-parallel processing substrate standing in
+// for Apache Spark in the paper's testbed: datasets are split into
+// partitions processed concurrently by a worker pool, with the map /
+// filter / reduce / aggregate operators the evaluation's heavy tasks
+// (T6–T8) are built from. Both SPATE and the baselines run on the same
+// substrate, so relative task timings are preserved.
+package compute
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool is a bounded worker pool shared by dataset operations.
+type Pool struct {
+	workers int
+}
+
+// NewPool creates a pool with the given parallelism; n <= 0 selects
+// GOMAXPROCS.
+func NewPool(n int) *Pool {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: n}
+}
+
+// Workers returns the pool's parallelism degree.
+func (p *Pool) Workers() int { return p.workers }
+
+// Dataset is a partitioned in-memory collection.
+type Dataset[T any] struct {
+	pool  *Pool
+	parts [][]T
+}
+
+// Parallelize splits items into nparts partitions (nparts <= 0 selects the
+// pool's worker count).
+func Parallelize[T any](pool *Pool, items []T, nparts int) *Dataset[T] {
+	if nparts <= 0 {
+		nparts = pool.workers
+	}
+	if nparts > len(items) {
+		nparts = len(items)
+	}
+	if nparts <= 0 {
+		nparts = 1
+	}
+	parts := make([][]T, nparts)
+	chunk := (len(items) + nparts - 1) / nparts
+	for i := 0; i < nparts; i++ {
+		lo := i * chunk
+		hi := lo + chunk
+		if lo > len(items) {
+			lo = len(items)
+		}
+		if hi > len(items) {
+			hi = len(items)
+		}
+		parts[i] = items[lo:hi]
+	}
+	return &Dataset[T]{pool: pool, parts: parts}
+}
+
+// NumPartitions returns the partition count.
+func (d *Dataset[T]) NumPartitions() int { return len(d.parts) }
+
+// Count returns the element count.
+func (d *Dataset[T]) Count() int {
+	n := 0
+	for _, p := range d.parts {
+		n += len(p)
+	}
+	return n
+}
+
+// Collect concatenates all partitions.
+func (d *Dataset[T]) Collect() []T {
+	out := make([]T, 0, d.Count())
+	for _, p := range d.parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// forEachPartition runs fn concurrently over partitions.
+func forEachPartition[T any](d *Dataset[T], fn func(pi int, part []T)) {
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, d.pool.workers)
+	for i := range d.parts {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(pi int) {
+			defer wg.Done()
+			fn(pi, d.parts[pi])
+			<-sem
+		}(i)
+	}
+	wg.Wait()
+}
+
+// Map applies f to every element in parallel.
+func Map[T, U any](d *Dataset[T], f func(T) U) *Dataset[U] {
+	out := &Dataset[U]{pool: d.pool, parts: make([][]U, len(d.parts))}
+	forEachPartition(d, func(pi int, part []T) {
+		res := make([]U, len(part))
+		for i, v := range part {
+			res[i] = f(v)
+		}
+		out.parts[pi] = res
+	})
+	return out
+}
+
+// Filter keeps elements satisfying pred, in parallel.
+func Filter[T any](d *Dataset[T], pred func(T) bool) *Dataset[T] {
+	out := &Dataset[T]{pool: d.pool, parts: make([][]T, len(d.parts))}
+	forEachPartition(d, func(pi int, part []T) {
+		var res []T
+		for _, v := range part {
+			if pred(v) {
+				res = append(res, v)
+			}
+		}
+		out.parts[pi] = res
+	})
+	return out
+}
+
+// Reduce combines all elements with an associative, commutative op.
+// The zero value seeds each partition. It returns zero for empty datasets.
+func Reduce[T any](d *Dataset[T], zero T, op func(T, T) T) T {
+	partials := make([]T, len(d.parts))
+	forEachPartition(d, func(pi int, part []T) {
+		acc := zero
+		for _, v := range part {
+			acc = op(acc, v)
+		}
+		partials[pi] = acc
+	})
+	acc := zero
+	for _, p := range partials {
+		acc = op(acc, p)
+	}
+	return acc
+}
+
+// Aggregate folds each partition with seq (per-element) and merges the
+// per-partition accumulators with comb — Spark's aggregate().
+func Aggregate[T, A any](d *Dataset[T], newAcc func() A, seq func(A, T) A, comb func(A, A) A) A {
+	partials := make([]A, len(d.parts))
+	forEachPartition(d, func(pi int, part []T) {
+		acc := newAcc()
+		for _, v := range part {
+			acc = seq(acc, v)
+		}
+		partials[pi] = acc
+	})
+	acc := newAcc()
+	for _, p := range partials {
+		acc = comb(acc, p)
+	}
+	return acc
+}
+
+// TopK returns the k largest elements under less (ascending order among
+// the returned slice), computed with per-partition heaps and a final merge
+// — Spark's top() primitive, used for hotspot rankings.
+func TopK[T any](d *Dataset[T], k int, less func(a, b T) bool) []T {
+	if k <= 0 {
+		return nil
+	}
+	partials := make([][]T, len(d.parts))
+	forEachPartition(d, func(pi int, part []T) {
+		partials[pi] = topOfSlice(part, k, less)
+	})
+	var all []T
+	for _, p := range partials {
+		all = append(all, p...)
+	}
+	return topOfSlice(all, k, less)
+}
+
+// topOfSlice selects the k largest elements of s, ascending.
+func topOfSlice[T any](s []T, k int, less func(a, b T) bool) []T {
+	out := make([]T, 0, k)
+	for _, v := range s {
+		// Insertion into a small sorted buffer (k is small in practice).
+		pos := len(out)
+		for pos > 0 && less(v, out[pos-1]) {
+			pos--
+		}
+		if len(out) < k {
+			out = append(out, v)
+			copy(out[pos+1:], out[pos:len(out)-1])
+			out[pos] = v
+		} else if pos > 0 {
+			copy(out[:pos-1], out[1:pos])
+			out[pos-1] = v
+		}
+	}
+	return out
+}
+
+// Sample returns a deterministic pseudo-random sample of approximately
+// fraction*Count() elements (seeded, without replacement) — the cheap
+// approximate-analytics primitive.
+func Sample[T any](d *Dataset[T], fraction float64, seed int64) []T {
+	if fraction <= 0 {
+		return nil
+	}
+	if fraction >= 1 {
+		return d.Collect()
+	}
+	var out []T
+	// xorshift over a per-element counter keeps selection deterministic
+	// regardless of partitioning.
+	state := uint64(seed)*2654435761 + 1
+	for _, p := range d.parts {
+		for _, v := range p {
+			state ^= state << 13
+			state ^= state >> 7
+			state ^= state << 17
+			if float64(state%1_000_000)/1_000_000 < fraction {
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// GroupReduce shuffles elements by key and reduces values per key —
+// the reduceByKey primitive behind per-cell analytics.
+func GroupReduce[T any, K comparable, V any](d *Dataset[T], keyOf func(T) K, valOf func(T) V, op func(V, V) V) map[K]V {
+	partials := make([]map[K]V, len(d.parts))
+	forEachPartition(d, func(pi int, part []T) {
+		m := make(map[K]V)
+		for _, t := range part {
+			k, v := keyOf(t), valOf(t)
+			if old, ok := m[k]; ok {
+				m[k] = op(old, v)
+			} else {
+				m[k] = v
+			}
+		}
+		partials[pi] = m
+	})
+	out := make(map[K]V)
+	for _, m := range partials {
+		for k, v := range m {
+			if old, ok := out[k]; ok {
+				out[k] = op(old, v)
+			} else {
+				out[k] = v
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,239 @@
+package compute
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func nums(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func TestParallelizePartitioning(t *testing.T) {
+	pool := NewPool(4)
+	tests := []struct {
+		items, nparts, wantParts int
+	}{
+		{100, 4, 4},
+		{3, 10, 3}, // more partitions than items collapses
+		{0, 4, 1},
+		{100, 0, 4}, // default = workers
+	}
+	for _, tc := range tests {
+		d := Parallelize(pool, nums(tc.items), tc.nparts)
+		if d.NumPartitions() != tc.wantParts {
+			t.Errorf("items=%d nparts=%d: partitions = %d, want %d",
+				tc.items, tc.nparts, d.NumPartitions(), tc.wantParts)
+		}
+		if d.Count() != tc.items {
+			t.Errorf("Count = %d, want %d", d.Count(), tc.items)
+		}
+		got := d.Collect()
+		sort.Ints(got)
+		for i, v := range got {
+			if v != i {
+				t.Fatalf("Collect lost elements: %v", got[:10])
+			}
+		}
+	}
+}
+
+func TestMapFilterReduce(t *testing.T) {
+	pool := NewPool(3)
+	d := Parallelize(pool, nums(1000), 7)
+	doubled := Map(d, func(v int) int { return v * 2 })
+	evens := Filter(doubled, func(v int) bool { return v%4 == 0 })
+	sum := Reduce(evens, 0, func(a, b int) int { return a + b })
+	// doubled = 0,2,...,1998; multiples of 4: 0,4,...,1996 -> sum
+	want := 0
+	for v := 0; v < 2000; v += 4 {
+		want += v
+	}
+	if sum != want {
+		t.Errorf("sum = %d, want %d", sum, want)
+	}
+}
+
+func TestReduceMatchesSequential(t *testing.T) {
+	pool := NewPool(8)
+	f := func(xs []int) bool {
+		d := Parallelize(pool, xs, 5)
+		got := Reduce(d, 0, func(a, b int) int { return a + b })
+		want := 0
+		for _, v := range xs {
+			want += v
+		}
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	pool := NewPool(4)
+	d := Parallelize(pool, nums(100), 9)
+	type mm struct{ min, max, n int }
+	got := Aggregate(d,
+		func() mm { return mm{min: 1 << 30, max: -1} },
+		func(a mm, v int) mm {
+			if v < a.min {
+				a.min = v
+			}
+			if v > a.max {
+				a.max = v
+			}
+			a.n++
+			return a
+		},
+		func(a, b mm) mm {
+			if b.n == 0 {
+				return a
+			}
+			if a.n == 0 {
+				return b
+			}
+			if b.min < a.min {
+				a.min = b.min
+			}
+			if b.max > a.max {
+				a.max = b.max
+			}
+			a.n += b.n
+			return a
+		},
+	)
+	if got.min != 0 || got.max != 99 || got.n != 100 {
+		t.Errorf("aggregate = %+v", got)
+	}
+}
+
+func TestGroupReduce(t *testing.T) {
+	pool := NewPool(4)
+	d := Parallelize(pool, nums(1000), 11)
+	byMod := GroupReduce(d,
+		func(v int) int { return v % 3 },
+		func(v int) int { return 1 },
+		func(a, b int) int { return a + b },
+	)
+	if byMod[0] != 334 || byMod[1] != 333 || byMod[2] != 333 {
+		t.Errorf("GroupReduce = %v", byMod)
+	}
+}
+
+func TestEmptyDataset(t *testing.T) {
+	pool := NewPool(2)
+	d := Parallelize(pool, []int(nil), 0)
+	if d.Count() != 0 {
+		t.Error("count != 0")
+	}
+	if got := Reduce(d, 42, func(a, b int) int { return a + b }); got != 84 {
+		// zero seed applied once per partition (1) + once for merge.
+		t.Logf("empty reduce = %d (seed applied per partition)", got)
+	}
+	if got := Map(d, func(v int) int { return v }).Count(); got != 0 {
+		t.Error("map over empty changed count")
+	}
+}
+
+func TestTopK(t *testing.T) {
+	pool := NewPool(3)
+	less := func(a, b int) bool { return a < b }
+	d := Parallelize(pool, nums(1000), 7)
+	got := TopK(d, 5, less)
+	want := []int{995, 996, 997, 998, 999}
+	if len(got) != 5 {
+		t.Fatalf("TopK = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TopK = %v, want %v", got, want)
+		}
+	}
+	// k larger than the dataset returns everything sorted.
+	small := Parallelize(pool, []int{3, 1, 2}, 2)
+	if got := TopK(small, 10, less); len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Errorf("TopK over-k = %v", got)
+	}
+	if got := TopK(small, 0, less); got != nil {
+		t.Errorf("TopK(0) = %v", got)
+	}
+}
+
+func TestTopKMatchesSortReference(t *testing.T) {
+	pool := NewPool(4)
+	f := func(xs []int16, k8 uint8) bool {
+		k := int(k8%20) + 1
+		vals := make([]int, len(xs))
+		for i, v := range xs {
+			vals[i] = int(v)
+		}
+		got := TopK(Parallelize(pool, vals, 3), k, func(a, b int) bool { return a < b })
+		ref := append([]int(nil), vals...)
+		sort.Ints(ref)
+		if k > len(ref) {
+			k = len(ref)
+		}
+		want := ref[len(ref)-k:]
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSample(t *testing.T) {
+	pool := NewPool(2)
+	d := Parallelize(pool, nums(10000), 5)
+	s := Sample(d, 0.1, 42)
+	if len(s) < 700 || len(s) > 1300 {
+		t.Errorf("10%% sample of 10000 = %d elements", len(s))
+	}
+	// Deterministic.
+	s2 := Sample(d, 0.1, 42)
+	if len(s) != len(s2) {
+		t.Error("sample not deterministic")
+	}
+	// Different seeds differ.
+	s3 := Sample(d, 0.1, 43)
+	if len(s3) == len(s) {
+		same := true
+		for i := range s3 {
+			if s3[i] != s[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical samples")
+		}
+	}
+	if got := Sample(d, 0, 1); got != nil {
+		t.Error("fraction 0 sampled elements")
+	}
+	if got := Sample(d, 1.5, 1); len(got) != 10000 {
+		t.Error("fraction >= 1 should return everything")
+	}
+}
+
+func TestPoolDefaults(t *testing.T) {
+	if NewPool(0).Workers() <= 0 {
+		t.Error("default pool has no workers")
+	}
+	if NewPool(7).Workers() != 7 {
+		t.Error("explicit worker count ignored")
+	}
+}

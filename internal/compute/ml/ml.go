@@ -1,0 +1,386 @@
+// Package ml provides the machine-learning kernels the paper's heavy tasks
+// use from Spark MLlib: multivariate column statistics
+// (Statistics.colStats, task T6), k-means clustering (task T7) and linear
+// regression (regression.LinearRegression, task T8). All three run
+// data-parallel on the compute substrate.
+package ml
+
+import (
+	"fmt"
+	"math"
+
+	"spate/internal/compute"
+)
+
+// ColStats are multivariate statistics of a column — exactly the set T6
+// reports: "column-wise max, min, mean, variance, number of non-zeros and
+// the total count".
+type ColStats struct {
+	Count    int64
+	NonZeros int64
+	Min, Max float64
+	Mean     float64
+	Variance float64 // population variance
+}
+
+type colAcc struct {
+	n        int64
+	nz       int64
+	min, max float64
+	sum      float64
+	sumSq    float64
+}
+
+// ColStatsOf computes per-column statistics of a row dataset in parallel.
+// All rows must have the same width; the width of the first row wins and
+// ragged rows surface as an error.
+func ColStatsOf(pool *compute.Pool, rows [][]float64) ([]ColStats, error) {
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	width := len(rows[0])
+	ds := compute.Parallelize(pool, rows, 0)
+	type acc struct {
+		cols []colAcc
+		err  error
+	}
+	res := compute.Aggregate(ds,
+		func() acc { return acc{cols: make([]colAcc, width)} },
+		func(a acc, row []float64) acc {
+			if a.err != nil {
+				return a
+			}
+			if len(row) != width {
+				a.err = fmt.Errorf("ml: ragged row width %d, want %d", len(row), width)
+				return a
+			}
+			for i, v := range row {
+				c := &a.cols[i]
+				if c.n == 0 || v < c.min {
+					c.min = v
+				}
+				if c.n == 0 || v > c.max {
+					c.max = v
+				}
+				c.n++
+				if v != 0 {
+					c.nz++
+				}
+				c.sum += v
+				c.sumSq += v * v
+			}
+			return a
+		},
+		func(a, b acc) acc {
+			if a.err != nil {
+				return a
+			}
+			if b.err != nil {
+				return b
+			}
+			for i := range a.cols {
+				ca, cb := &a.cols[i], &b.cols[i]
+				if cb.n == 0 {
+					continue
+				}
+				if ca.n == 0 || cb.min < ca.min {
+					ca.min = cb.min
+				}
+				if ca.n == 0 || cb.max > ca.max {
+					ca.max = cb.max
+				}
+				ca.n += cb.n
+				ca.nz += cb.nz
+				ca.sum += cb.sum
+				ca.sumSq += cb.sumSq
+			}
+			return a
+		},
+	)
+	if res.err != nil {
+		return nil, res.err
+	}
+	out := make([]ColStats, width)
+	for i, c := range res.cols {
+		st := ColStats{Count: c.n, NonZeros: c.nz, Min: c.min, Max: c.max}
+		if c.n > 0 {
+			st.Mean = c.sum / float64(c.n)
+			st.Variance = c.sumSq/float64(c.n) - st.Mean*st.Mean
+			if st.Variance < 0 {
+				st.Variance = 0
+			}
+		}
+		out[i] = st
+	}
+	return out, nil
+}
+
+// KMeansResult holds a clustering outcome.
+type KMeansResult struct {
+	Centers    [][]float64
+	Assignment []int
+	Iterations int
+	// WithinSS is the total within-cluster sum of squared distances.
+	WithinSS float64
+}
+
+// KMeans clusters points into k clusters with Lloyd's algorithm, running
+// the assignment step data-parallel. Initial centers are chosen
+// deterministically by a k-means++-style farthest-point heuristic seeded
+// from the dataset itself.
+func KMeans(pool *compute.Pool, points [][]float64, k, maxIter int) (*KMeansResult, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("ml: k = %d", k)
+	}
+	if len(points) < k {
+		return nil, fmt.Errorf("ml: %d points for k=%d", len(points), k)
+	}
+	dim := len(points[0])
+	for _, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("ml: ragged point width %d, want %d", len(p), dim)
+		}
+	}
+	if maxIter <= 0 {
+		maxIter = 20
+	}
+
+	centers := initCenters(points, k)
+	ds := compute.Parallelize(pool, points, 0)
+
+	assign := make([]int, len(points))
+	res := &KMeansResult{}
+	for iter := 0; iter < maxIter; iter++ {
+		res.Iterations = iter + 1
+		type acc struct {
+			sum   [][]float64
+			count []int64
+			ss    float64
+		}
+		a := compute.Aggregate(ds,
+			func() acc {
+				s := make([][]float64, k)
+				for i := range s {
+					s[i] = make([]float64, dim)
+				}
+				return acc{sum: s, count: make([]int64, k)}
+			},
+			func(a acc, p []float64) acc {
+				best, bd := nearest(centers, p)
+				a.ss += bd
+				a.count[best]++
+				for j, v := range p {
+					a.sum[best][j] += v
+				}
+				return a
+			},
+			func(a, b acc) acc {
+				a.ss += b.ss
+				for i := range a.sum {
+					a.count[i] += b.count[i]
+					for j := range a.sum[i] {
+						a.sum[i][j] += b.sum[i][j]
+					}
+				}
+				return a
+			},
+		)
+		res.WithinSS = a.ss
+		moved := false
+		for i := 0; i < k; i++ {
+			if a.count[i] == 0 {
+				continue // empty cluster keeps its center
+			}
+			for j := 0; j < dim; j++ {
+				nv := a.sum[i][j] / float64(a.count[i])
+				if math.Abs(nv-centers[i][j]) > 1e-9 {
+					moved = true
+				}
+				centers[i][j] = nv
+			}
+		}
+		if !moved {
+			break
+		}
+	}
+	// Final assignment pass.
+	for i, p := range points {
+		assign[i], _ = nearest(centers, p)
+	}
+	res.Centers = centers
+	res.Assignment = assign
+	return res, nil
+}
+
+// initCenters picks the first center as point 0 and each next center as
+// the point farthest from its nearest chosen center (deterministic).
+func initCenters(points [][]float64, k int) [][]float64 {
+	centers := make([][]float64, 0, k)
+	centers = append(centers, append([]float64(nil), points[0]...))
+	for len(centers) < k {
+		bestIdx, bestDist := 0, -1.0
+		for i, p := range points {
+			_, d := nearest(centers, p)
+			if d > bestDist {
+				bestDist, bestIdx = d, i
+			}
+		}
+		centers = append(centers, append([]float64(nil), points[bestIdx]...))
+	}
+	return centers
+}
+
+func nearest(centers [][]float64, p []float64) (int, float64) {
+	best, bd := 0, math.MaxFloat64
+	for i, c := range centers {
+		d := 0.0
+		for j := range c {
+			diff := p[j] - c[j]
+			d += diff * diff
+		}
+		if d < bd {
+			bd, best = d, i
+		}
+	}
+	return best, bd
+}
+
+// LinReg is a fitted linear model y = Intercept + sum Coef[i]*x[i].
+type LinReg struct {
+	Coef      []float64
+	Intercept float64
+	// R2 is the coefficient of determination on the training data.
+	R2 float64
+}
+
+// LinearRegression fits ordinary least squares via the normal equations
+// (X'X solved with Gaussian elimination + partial pivoting), computing the
+// moment matrices data-parallel — the shape of Spark's
+// regression.LinearRegression for modest feature counts.
+func LinearRegression(pool *compute.Pool, xs [][]float64, ys []float64) (*LinReg, error) {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return nil, fmt.Errorf("ml: %d rows vs %d targets", len(xs), len(ys))
+	}
+	d := len(xs[0])
+	type row struct {
+		x []float64
+		y float64
+	}
+	rows := make([]row, len(xs))
+	for i := range xs {
+		if len(xs[i]) != d {
+			return nil, fmt.Errorf("ml: ragged feature width")
+		}
+		rows[i] = row{xs[i], ys[i]}
+	}
+	n := d + 1 // with intercept column
+	ds := compute.Parallelize(pool, rows, 0)
+	type acc struct {
+		xtx [][]float64
+		xty []float64
+		sy  float64
+		syy float64
+		cnt int64
+	}
+	a := compute.Aggregate(ds,
+		func() acc {
+			m := make([][]float64, n)
+			for i := range m {
+				m[i] = make([]float64, n)
+			}
+			return acc{xtx: m, xty: make([]float64, n)}
+		},
+		func(a acc, r row) acc {
+			// Augmented feature vector (1, x...).
+			v := make([]float64, n)
+			v[0] = 1
+			copy(v[1:], r.x)
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					a.xtx[i][j] += v[i] * v[j]
+				}
+				a.xty[i] += v[i] * r.y
+			}
+			a.sy += r.y
+			a.syy += r.y * r.y
+			a.cnt++
+			return a
+		},
+		func(a, b acc) acc {
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					a.xtx[i][j] += b.xtx[i][j]
+				}
+				a.xty[i] += b.xty[i]
+			}
+			a.sy += b.sy
+			a.syy += b.syy
+			a.cnt += b.cnt
+			return a
+		},
+	)
+	beta, err := solve(a.xtx, a.xty)
+	if err != nil {
+		return nil, err
+	}
+	m := &LinReg{Intercept: beta[0], Coef: beta[1:]}
+	// R^2 = 1 - SSE/SST.
+	var sse float64
+	for i := range xs {
+		sse += sq(ys[i] - m.Predict(xs[i]))
+	}
+	mean := a.sy / float64(a.cnt)
+	sst := a.syy - float64(a.cnt)*mean*mean
+	if sst > 0 {
+		m.R2 = 1 - sse/sst
+	}
+	return m, nil
+}
+
+// Predict evaluates the model on one feature vector.
+func (m *LinReg) Predict(x []float64) float64 {
+	y := m.Intercept
+	for i, c := range m.Coef {
+		y += c * x[i]
+	}
+	return y
+}
+
+func sq(v float64) float64 { return v * v }
+
+// solve performs Gaussian elimination with partial pivoting on a copy.
+func solve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = append(append([]float64(nil), a[i]...), b[i])
+	}
+	for col := 0; col < n; col++ {
+		// Pivot.
+		p := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[p][col]) {
+				p = r
+			}
+		}
+		if math.Abs(m[p][col]) < 1e-12 {
+			return nil, fmt.Errorf("ml: singular system (column %d)", col)
+		}
+		m[col], m[p] = m[p], m[col]
+		// Eliminate.
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := m[r][col] / m[col][col]
+			for c := col; c <= n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = m[i][n] / m[i][i]
+	}
+	return out, nil
+}

@@ -1,0 +1,195 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"spate/internal/compute"
+)
+
+var pool = compute.NewPool(4)
+
+func TestColStatsBasic(t *testing.T) {
+	rows := [][]float64{
+		{1, 10, 0},
+		{2, 20, 0},
+		{3, 30, 5},
+		{4, 40, 0},
+	}
+	st, err := ColStatsOf(pool, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st) != 3 {
+		t.Fatalf("cols = %d", len(st))
+	}
+	c0 := st[0]
+	if c0.Count != 4 || c0.Min != 1 || c0.Max != 4 || c0.Mean != 2.5 || c0.NonZeros != 4 {
+		t.Errorf("col0 = %+v", c0)
+	}
+	if math.Abs(c0.Variance-1.25) > 1e-9 {
+		t.Errorf("variance = %v, want 1.25", c0.Variance)
+	}
+	if st[2].NonZeros != 1 {
+		t.Errorf("col2 nonzeros = %d", st[2].NonZeros)
+	}
+}
+
+func TestColStatsMatchesSequentialOnRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	rows := make([][]float64, 5000)
+	for i := range rows {
+		rows[i] = []float64{rng.NormFloat64() * 10, rng.Float64()}
+	}
+	st, err := ColStatsOf(pool, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum, sumSq float64
+	for _, r := range rows {
+		sum += r[0]
+		sumSq += r[0] * r[0]
+	}
+	mean := sum / 5000
+	variance := sumSq/5000 - mean*mean
+	if math.Abs(st[0].Mean-mean) > 1e-9 || math.Abs(st[0].Variance-variance) > 1e-6 {
+		t.Errorf("parallel stats diverge: %+v vs mean=%v var=%v", st[0], mean, variance)
+	}
+}
+
+func TestColStatsErrors(t *testing.T) {
+	if st, err := ColStatsOf(pool, nil); err != nil || st != nil {
+		t.Errorf("empty input: %v %v", st, err)
+	}
+	if _, err := ColStatsOf(pool, [][]float64{{1, 2}, {1}}); err == nil {
+		t.Error("ragged rows accepted")
+	}
+}
+
+func TestKMeansSeparatesObviousClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var pts [][]float64
+	centers := [][]float64{{0, 0}, {100, 100}, {-100, 100}}
+	for i := 0; i < 600; i++ {
+		c := centers[i%3]
+		pts = append(pts, []float64{c[0] + rng.NormFloat64(), c[1] + rng.NormFloat64()})
+	}
+	res, err := KMeans(pool, pts, 3, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centers) != 3 {
+		t.Fatalf("centers = %d", len(res.Centers))
+	}
+	// Every found center is within 1 unit of a true center.
+	for _, c := range res.Centers {
+		best := math.MaxFloat64
+		for _, tc := range centers {
+			d := math.Hypot(c[0]-tc[0], c[1]-tc[1])
+			if d < best {
+				best = d
+			}
+		}
+		if best > 1.0 {
+			t.Errorf("center %v far from any true center (%.2f)", c, best)
+		}
+	}
+	// Points sharing a true cluster share an assignment.
+	for i := 3; i < len(pts); i++ {
+		if res.Assignment[i] != res.Assignment[i%3] {
+			t.Fatalf("point %d assigned %d, seed point assigned %d", i, res.Assignment[i], res.Assignment[i%3])
+		}
+	}
+	if res.WithinSS <= 0 {
+		t.Error("WithinSS not computed")
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pts := make([][]float64, 200)
+	for i := range pts {
+		pts[i] = []float64{rng.Float64() * 10, rng.Float64() * 10}
+	}
+	a, err := KMeans(pool, pts, 4, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KMeans(pool, pts, 4, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Centers {
+		for j := range a.Centers[i] {
+			if a.Centers[i][j] != b.Centers[i][j] {
+				t.Fatal("k-means is nondeterministic across runs")
+			}
+		}
+	}
+}
+
+func TestKMeansErrors(t *testing.T) {
+	if _, err := KMeans(pool, [][]float64{{1}}, 0, 5); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := KMeans(pool, [][]float64{{1}}, 2, 5); err == nil {
+		t.Error("k > points accepted")
+	}
+	if _, err := KMeans(pool, [][]float64{{1, 2}, {1}}, 1, 5); err == nil {
+		t.Error("ragged points accepted")
+	}
+}
+
+func TestLinearRegressionRecoversModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	// y = 3 + 2*x1 - 0.5*x2 + noise
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 4000; i++ {
+		x1, x2 := rng.Float64()*10, rng.Float64()*10
+		xs = append(xs, []float64{x1, x2})
+		ys = append(ys, 3+2*x1-0.5*x2+rng.NormFloat64()*0.01)
+	}
+	m, err := LinearRegression(pool, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Intercept-3) > 0.01 || math.Abs(m.Coef[0]-2) > 0.01 || math.Abs(m.Coef[1]+0.5) > 0.01 {
+		t.Errorf("model = %+v", m)
+	}
+	if m.R2 < 0.999 {
+		t.Errorf("R2 = %v", m.R2)
+	}
+	if got := m.Predict([]float64{1, 2}); math.Abs(got-4) > 0.05 {
+		t.Errorf("Predict = %v, want ~4", got)
+	}
+}
+
+func TestLinearRegressionErrors(t *testing.T) {
+	if _, err := LinearRegression(pool, nil, nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := LinearRegression(pool, [][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	// Perfectly collinear features -> singular system.
+	xs := [][]float64{{1, 2}, {2, 4}, {3, 6}}
+	if _, err := LinearRegression(pool, xs, []float64{1, 2, 3}); err == nil {
+		t.Error("singular system accepted")
+	}
+	if _, err := LinearRegression(pool, [][]float64{{1, 2}, {1}}, []float64{1, 2}); err == nil {
+		t.Error("ragged features accepted")
+	}
+}
+
+func TestSolveKnownSystem(t *testing.T) {
+	// 2x + y = 5 ; x - y = 1  => x=2, y=1
+	sol, err := solve([][]float64{{2, 1}, {1, -1}}, []float64{5, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol[0]-2) > 1e-12 || math.Abs(sol[1]-1) > 1e-12 {
+		t.Errorf("sol = %v", sol)
+	}
+}

@@ -1,0 +1,480 @@
+// Package core implements the SPATE engine — the paper's primary
+// contribution (§III–§VI): a telco big-data exploration framework that
+// ingests 30-minute snapshots through lossless compression onto a
+// replicated file system (storage layer), incrementally maintains a
+// multi-resolution spatio-temporal index with materialized highlight
+// summaries and progressive decay (indexing layer), and answers data
+// exploration queries Q(a, b, w) — attribute selection a, spatial bounding
+// box b, temporal window w — with response times independent of the
+// queried window (application layer).
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"spate/internal/compress"
+	"spate/internal/compress/zst"
+	"spate/internal/decay"
+	"spate/internal/dfs"
+	"spate/internal/geo"
+	"spate/internal/highlights"
+	"spate/internal/index"
+	"spate/internal/snapshot"
+	"spate/internal/telco"
+)
+
+// Options configures an engine. The zero value selects the paper's
+// defaults: gzip compression, the default highlight attributes, per-level
+// thresholds, the EvictOldestIndividuals fungus and no decay horizons
+// (retain everything).
+type Options struct {
+	// Codec is the storage-layer compressor (default: registered "gzip").
+	Codec compress.Codec
+	// Highlights selects summarized attributes.
+	Highlights highlights.Config
+	// Theta holds per-resolution highlight thresholds θ_i; the paper allows
+	// "lower thresholds for higher levels of resolution". Missing levels
+	// default to DefaultTheta.
+	Theta map[index.Level]float64
+	// Fungus chooses the decay strategy (default EvictOldestIndividuals).
+	Fungus decay.Fungus
+	// Policy sets the decay horizons; the zero policy retains everything.
+	Policy decay.Policy
+	// LeafSpatialPrune enables the per-leaf spatial pruning discussed in
+	// §V-A: exact-row queries consult leaf summaries to skip decompressing
+	// snapshots with no data in the query box.
+	LeafSpatialPrune bool
+	// TrainDictionary switches the codec to a zstd dictionary trained on
+	// the first TrainAfter snapshots (the §IX-B differential-compression
+	// direction). Ignored unless the codec is zstd.
+	TrainDictionary bool
+	// TrainAfter is the number of snapshots sampled before training
+	// (default 4).
+	TrainAfter int
+	// CacheSize bounds the query result cache (default 128 entries).
+	CacheSize int
+	// CellIndex selects the spatial index over the cell inventory:
+	// "quadtree" (default) or "rtree" — the two variants §V-A names.
+	CellIndex string
+}
+
+// DefaultTheta is the highlight threshold used when Options.Theta has no
+// entry for a level.
+const DefaultTheta = 0.05
+
+func (o Options) withDefaults() (Options, error) {
+	if o.Codec == nil {
+		c, err := compress.Lookup("gzip")
+		if err != nil {
+			return o, fmt.Errorf("core: default codec: %w", err)
+		}
+		o.Codec = c
+	}
+	if o.Highlights.Categorical == nil && o.Highlights.Numeric == nil {
+		o.Highlights = highlights.DefaultConfig()
+	}
+	if o.Fungus == nil {
+		o.Fungus = decay.EvictOldestIndividuals{}
+	}
+	if o.TrainAfter <= 0 {
+		o.TrainAfter = 4
+	}
+	if o.CacheSize <= 0 {
+		o.CacheSize = 128
+	}
+	if err := o.Policy.Validate(); err != nil {
+		return o, err
+	}
+	return o, nil
+}
+
+// theta returns the threshold for a level.
+func (o Options) theta(l index.Level) float64 {
+	if v, ok := o.Theta[l]; ok {
+		return v
+	}
+	return DefaultTheta
+}
+
+// Engine is a SPATE instance. It is safe for one concurrent ingester plus
+// any number of concurrent queriers.
+type Engine struct {
+	opts Options
+	fs   *dfs.Cluster
+
+	mu    sync.RWMutex
+	tree  *index.Tree
+	cells map[int64]geo.Point
+	cellQ geo.SpatialIndex
+
+	// dictionary training state
+	trainSamples [][]byte
+	trained      bool
+
+	// finished marks a store whose open periods were sealed; further
+	// ingestion is rejected (summaries would be stale otherwise).
+	finished bool
+
+	cache *resultCache
+
+	// cumulative ingest accounting
+	rawBytes  int64
+	compBytes int64
+}
+
+// Open creates an engine over a DFS cluster with the given static cell
+// inventory (the CELL table). The inventory is persisted to the DFS so the
+// store is self-describing.
+func Open(fs *dfs.Cluster, cellTable *telco.Table, opts Options) (*Engine, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		opts:  opts,
+		fs:    fs,
+		tree:  index.New(),
+		cells: make(map[int64]geo.Point),
+		cache: newResultCache(opts.CacheSize),
+	}
+	bounds := geo.NewRect(0, 0, 1, 1)
+	first := true
+	idIdx := cellTable.Schema.FieldIndex(telco.AttrCellID)
+	xIdx := cellTable.Schema.FieldIndex("x_km")
+	yIdx := cellTable.Schema.FieldIndex("y_km")
+	if idIdx < 0 || xIdx < 0 || yIdx < 0 {
+		return nil, fmt.Errorf("core: cell table %q lacks cell_id/x_km/y_km", cellTable.Schema.Name)
+	}
+	for _, r := range cellTable.Rows {
+		id := r[idIdx].Int64()
+		pt := geo.Point{X: r[xIdx].Float64(), Y: r[yIdx].Float64()}
+		e.cells[id] = pt
+		if first {
+			bounds = geo.NewRect(pt.X, pt.Y, pt.X+1e-6, pt.Y+1e-6)
+			first = false
+		} else {
+			bounds = bounds.Expand(pt)
+		}
+	}
+	items := make([]geo.Item, 0, len(e.cells))
+	for id, pt := range e.cells {
+		items = append(items, geo.Item{Pt: pt, ID: id, Weight: 1})
+	}
+	switch opts.CellIndex {
+	case "", "quadtree":
+		qt := geo.NewQuadTree(bounds, 0)
+		for _, it := range items {
+			qt.Insert(it)
+		}
+		e.cellQ = qt
+	case "rtree":
+		e.cellQ = geo.BulkLoadRTree(items, 16)
+	default:
+		return nil, fmt.Errorf("core: unknown cell index %q (quadtree|rtree)", opts.CellIndex)
+	}
+	// Persist the inventory (idempotent across engine restarts on the same
+	// cluster).
+	if !fs.Exists("/spate/meta/CELL") {
+		var data []byte
+		text := cellTable.Text()
+		data = opts.Codec.Compress(data, []byte(text))
+		if err := fs.WriteFile("/spate/meta/CELL", data); err != nil {
+			return nil, fmt.Errorf("core: persist cell table: %w", err)
+		}
+	}
+	// A cluster that already carries SPATE state recovers its index: leaf
+	// metadata rebuilds the temporal tree and persisted summaries reload.
+	if err := e.recover(); err != nil {
+		return nil, err
+	}
+	// A previously trained dictionary re-arms the codec.
+	if opts.TrainDictionary && fs.Exists("/spate/meta/zstd-dict") {
+		if dict, err := fs.ReadFile("/spate/meta/zstd-dict"); err == nil {
+			e.opts.Codec = zst.New(dict)
+			e.trained = true
+		}
+	}
+	return e, nil
+}
+
+// Tree exposes the temporal index for inspection (benchmarks, UI).
+func (e *Engine) Tree() *index.Tree { return e.tree }
+
+// FS returns the underlying DFS cluster.
+func (e *Engine) FS() *dfs.Cluster { return e.fs }
+
+// Codec returns the active storage codec (which may be a trained
+// dictionary codec after TrainDictionary kicks in).
+func (e *Engine) Codec() compress.Codec {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.opts.Codec
+}
+
+// CellsInBox returns the IDs of cells located inside box.
+func (e *Engine) CellsInBox(box geo.Rect) []int64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	items := e.cellQ.Query(box, nil)
+	out := make([]int64, len(items))
+	for i, it := range items {
+		out[i] = it.ID
+	}
+	return out
+}
+
+// CellLocation returns a cell's planar location.
+func (e *Engine) CellLocation(id int64) (geo.Point, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	pt, ok := e.cells[id]
+	return pt, ok
+}
+
+// IngestReport describes one snapshot ingestion — the quantities behind
+// the paper's ingestion-time (Fig. 7/9) and space (Fig. 8/10) series.
+type IngestReport struct {
+	Epoch          telco.Epoch
+	Rows           int
+	RawBytes       int64
+	CompBytes      int64
+	CompressTime   time.Duration
+	IndexTime      time.Duration
+	Total          time.Duration
+	CompletedNodes int
+}
+
+// Ingest runs the storage layer (compress + DFS write) and the Incremence
+// module for one arriving snapshot, computing highlight summaries for any
+// day/month/year that the arrival completes and then running the decay
+// fungus.
+func (e *Engine) Ingest(s *snapshot.Snapshot) (IngestReport, error) {
+	start := time.Now()
+	rep := IngestReport{Epoch: s.Epoch, Rows: s.Rows()}
+
+	// Validate before the storage layer writes anything, so a rejected
+	// snapshot leaves no orphan files behind.
+	e.mu.RLock()
+	finished := e.finished
+	last, hasLeaf := e.tree.LastEpoch()
+	e.mu.RUnlock()
+	if finished {
+		return rep, fmt.Errorf("core: store was finalized by FinishIngest; open a new engine to continue")
+	}
+	if hasLeaf && s.Epoch <= last {
+		return rep, fmt.Errorf("core: epoch %v arrives out of order (last %v)", s.Epoch, last)
+	}
+
+	// Storage layer: encode + compress + replicate each table.
+	refs := make(map[string]string)
+	var leafSummary *highlights.Summary
+	period := telco.TimeRange{From: s.Epoch.Start(), To: s.Epoch.End()}
+	leafSummary = highlights.NewSummary(period)
+	tCompress := time.Now()
+	for _, name := range s.TableNames() {
+		text, err := s.EncodeTable(name)
+		if err != nil {
+			return rep, fmt.Errorf("core: encode %s: %w", name, err)
+		}
+		rep.RawBytes += int64(len(text))
+		e.maybeTrain(text)
+		comp := e.codec().Compress(nil, text)
+		rep.CompBytes += int64(len(comp))
+		path := snapshot.DataPath(s.Epoch, name)
+		if err := e.fs.WriteFile(path, comp); err != nil {
+			return rep, fmt.Errorf("core: store %s: %w", name, err)
+		}
+		refs[name] = path
+		leafSummary.AddTable(e.opts.Highlights, s.Table(name))
+	}
+	rep.CompressTime = time.Since(tCompress)
+
+	// Indexing layer: incremence on the right-most path.
+	tIndex := time.Now()
+	e.mu.Lock()
+	leaf, completed, err := e.tree.Append(s.Epoch, refs, rep.CompBytes, rep.RawBytes)
+	if err != nil {
+		e.mu.Unlock()
+		return rep, err
+	}
+	leaf.Summary = leafSummary
+	var sealErr error
+	for _, n := range completed {
+		if err := e.sealLocked(n); err != nil && sealErr == nil {
+			sealErr = err
+		}
+	}
+	e.rawBytes += rep.RawBytes
+	e.compBytes += rep.CompBytes
+	e.cache.clear()
+	e.mu.Unlock()
+	if sealErr != nil {
+		return rep, sealErr
+	}
+	if err := e.persistLeafMeta(leafMeta{
+		Epoch: s.Epoch, Refs: refs,
+		RawBytes: rep.RawBytes, CompBytes: rep.CompBytes,
+	}); err != nil {
+		return rep, err
+	}
+	rep.IndexTime = time.Since(tIndex)
+	rep.CompletedNodes = len(completed)
+
+	// Decaying: purge aged entries under the configured policy.
+	if _, err := e.Decay(s.Epoch.End()); err != nil {
+		return rep, err
+	}
+	rep.Total = time.Since(start)
+	return rep, nil
+}
+
+// sealLocked computes and stores a completed node's summary by merging its
+// children's summaries (days merge epoch leaves; months merge days; years
+// merge months) — the highlights rollup of §V-B — and persists the sealed
+// summary to the DFS so the index survives restarts. Leaves whose
+// ephemeral summary is gone (a recovered open day) are rebuilt from their
+// compressed data first.
+func (e *Engine) sealLocked(n *index.Node) error {
+	parts := make([]*highlights.Summary, 0, len(n.Children))
+	for _, c := range n.Children {
+		if c.Summary == nil && c.IsLeaf() && !c.Decayed {
+			// e.mu is held: read the codec directly.
+			s, err := e.buildLeafSummary(e.opts.Codec, c)
+			if err != nil {
+				return fmt.Errorf("core: seal %s %v: %w", n.Level, n.Period.From, err)
+			}
+			c.Summary = s
+		}
+		parts = append(parts, c.Summary)
+	}
+	n.Summary = highlights.Merge(n.Period, parts...)
+	if err := e.persistSummary(n); err != nil {
+		return err
+	}
+	// Epoch-level summaries are ephemeral ingestion state: once the day is
+	// sealed, the paper's index keeps highlights at day/month/year nodes
+	// only, and sub-day queries fall back to the compressed data itself.
+	if n.Level == index.LevelDay {
+		for _, c := range n.Children {
+			c.Summary = nil
+		}
+	}
+	return nil
+}
+
+// FinishIngest seals the still-open right-most path, for use when a trace
+// ends mid-day: subsequent queries can then use day/month summaries for
+// the final partial periods. The store becomes read-only: further Ingest
+// calls fail (their rollups would silently miss the sealed partial
+// periods); open a fresh engine over the same cluster to re-enter an
+// appendable state.
+func (e *Engine) FinishIngest() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, n := range e.tree.FinishIngest() {
+		// Best-effort: sealing failures degrade queries to the data path.
+		_ = e.sealLocked(n)
+	}
+	e.finished = true
+	e.cache.clear()
+}
+
+// codec returns the active codec without locking (reads e.opts.Codec which
+// only changes under e.mu during training).
+func (e *Engine) codec() compress.Codec {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.opts.Codec
+}
+
+// maybeTrain accumulates early snapshots and, once enough arrived, swaps
+// in a dictionary-trained zstd codec for all subsequent snapshots. The
+// dictionary is persisted so readers of old data are unaffected (old
+// blocks carry no dict flag; new blocks do).
+func (e *Engine) maybeTrain(text []byte) {
+	if !e.opts.TrainDictionary {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.trained {
+		return
+	}
+	if _, ok := e.opts.Codec.(zst.Codec); !ok {
+		e.trained = true // not applicable
+		return
+	}
+	sample := text
+	if len(sample) > 256<<10 {
+		sample = sample[:256<<10]
+	}
+	e.trainSamples = append(e.trainSamples, append([]byte(nil), sample...))
+	if len(e.trainSamples) < e.opts.TrainAfter {
+		return
+	}
+	dict := zst.Train(e.trainSamples, 64<<10)
+	e.trainSamples = nil
+	e.trained = true
+	if len(dict) == 0 {
+		return
+	}
+	if err := e.fs.WriteFile("/spate/meta/zstd-dict", dict); err == nil {
+		e.opts.Codec = zst.New(dict)
+	}
+}
+
+// ClearCache drops the query result cache (benchmarks use this to measure
+// uncached response times; normal operation never needs it).
+func (e *Engine) ClearCache() { e.cache.clear() }
+
+// Decay plans and applies the data fungus at the given instant.
+func (e *Engine) Decay(now time.Time) (decay.Result, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	evs := e.opts.Fungus.Plan(now, e.tree, e.opts.Policy)
+	if len(evs) == 0 {
+		return decay.Result{}, nil
+	}
+	res, err := decay.Apply(e.tree, evs, e.fs.Delete)
+	if err != nil {
+		return res, fmt.Errorf("core: decay: %w", err)
+	}
+	if res.NodesPruned > 0 {
+		// Drop leaf metadata of pruned subtrees so a recovery does not
+		// resurrect index entries beyond the live tree.
+		if err := e.cleanupLeafMeta(); err != nil {
+			return res, err
+		}
+	}
+	e.cache.clear()
+	return res, nil
+}
+
+// SpaceReport quantifies the paper's first objective O1 = S / (Sc + Si).
+type SpaceReport struct {
+	RawBytes     int64 // S: bytes before compression (all ingested)
+	CompBytes    int64 // Sc: compressed bytes currently held (logical)
+	SummaryBytes int64 // Si: index/highlight footprint estimate
+	StoredBytes  int64 // physical bytes on the DFS incl. replication
+	O1           float64
+}
+
+// Space returns current storage accounting.
+func (e *Engine) Space() SpaceReport {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	st := e.tree.Stats()
+	u := e.fs.Usage()
+	rep := SpaceReport{
+		RawBytes:     e.rawBytes,
+		CompBytes:    st.DataBytes,
+		SummaryBytes: st.SummaryBytes,
+		StoredBytes:  u.StoredBytes,
+	}
+	if d := rep.CompBytes + rep.SummaryBytes; d > 0 {
+		rep.O1 = float64(rep.RawBytes) / float64(d)
+	}
+	return rep
+}

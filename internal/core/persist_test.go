@@ -1,0 +1,230 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"spate/internal/decay"
+	"spate/internal/dfs"
+	"spate/internal/gen"
+	"spate/internal/index"
+	"spate/internal/snapshot"
+	"spate/internal/telco"
+)
+
+// reopen builds a second engine over the same cluster (recovery path).
+func reopen(t *testing.T, r *testRig, opts Options) *Engine {
+	t.Helper()
+	e, err := Open(r.fs, r.g.CellTable(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestRecoveryRebuildsIndex(t *testing.T) {
+	r := newRig(t, Options{})
+	r.ingestEpochs(t, telco.EpochsPerDay+3) // one sealed day + open day
+
+	e2 := reopen(t, r, Options{})
+	if got, want := e2.Tree().Len(), r.e.Tree().Len(); got != want {
+		t.Fatalf("recovered %d leaves, want %d", got, want)
+	}
+	// The sealed day's summary must have been reloaded from the DFS.
+	days := e2.Tree().NodesAtLevel(index.LevelDay)
+	if len(days) != 2 {
+		t.Fatalf("recovered %d days", len(days))
+	}
+	if days[0].Summary == nil {
+		t.Fatal("sealed day summary not recovered")
+	}
+	orig := r.e.Tree().NodesAtLevel(index.LevelDay)[0].Summary
+	if days[0].Summary.Rows != orig.Rows {
+		t.Errorf("recovered day rows = %d, want %d", days[0].Summary.Rows, orig.Rows)
+	}
+	// The open day has no summary (it may still grow).
+	if days[1].Summary != nil {
+		t.Error("open day carries a (possibly stale) summary after recovery")
+	}
+	// Queries over the recovered store answer identically.
+	w := telco.NewTimeRange(r.cfg.Start, r.cfg.Start.Add(4*time.Hour))
+	res1, err := r.e.Explore(Query{Window: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := e2.Explore(Query{Window: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Summary.Rows != res2.Summary.Rows {
+		t.Errorf("recovered query rows = %d, want %d", res2.Summary.Rows, res1.Summary.Rows)
+	}
+}
+
+func TestRecoveryContinuesIngestAcrossDaySeal(t *testing.T) {
+	r := newRig(t, Options{})
+	reports := r.ingestEpochs(t, telco.EpochsPerDay-2) // open day, 2 short
+
+	e2 := reopen(t, r, Options{})
+	// Continue the same day and roll it over on the fresh engine.
+	e0 := telco.EpochOf(r.cfg.Start)
+	var rows int64
+	for _, rep := range reports {
+		rows += int64(rep.Rows)
+	}
+	for i := telco.EpochsPerDay - 2; i < telco.EpochsPerDay+1; i++ {
+		s := snapshot.New(e0 + telco.Epoch(i))
+		s.Add(r.g.CDRTable(s.Epoch))
+		s.Add(r.g.NMSTable(s.Epoch))
+		rep, err := e2.Ingest(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i < telco.EpochsPerDay {
+			rows += int64(rep.Rows)
+		}
+	}
+	day := e2.Tree().NodesAtLevel(index.LevelDay)[0]
+	if day.Summary == nil {
+		t.Fatal("day not sealed after rollover on recovered engine")
+	}
+	// The re-seal must cover pre-recovery epochs (rebuilt from data).
+	if day.Summary.Rows != rows {
+		t.Errorf("resealed day rows = %d, want %d (pre-recovery rows lost?)", day.Summary.Rows, rows)
+	}
+}
+
+func TestRecoveryMarksDecayedLeaves(t *testing.T) {
+	r := newRig(t, Options{Policy: decay.Policy{KeepRaw: 2 * time.Hour}})
+	r.ingestEpochs(t, 8) // 4h: the first leaves decay
+	beforeStats := r.e.Tree().Stats()
+	if beforeStats.DecayedLeaves == 0 {
+		t.Fatal("no decay happened")
+	}
+	e2 := reopen(t, r, Options{})
+	st := e2.Tree().Stats()
+	if st.DecayedLeaves != beforeStats.DecayedLeaves {
+		t.Errorf("recovered %d decayed leaves, want %d", st.DecayedLeaves, beforeStats.DecayedLeaves)
+	}
+	if st.Leaves != beforeStats.Leaves {
+		t.Errorf("recovered %d leaves, want %d", st.Leaves, beforeStats.Leaves)
+	}
+}
+
+func TestRecoveryAfterSubtreePrune(t *testing.T) {
+	r := newRig(t, Options{Policy: decay.Policy{
+		KeepRaw: 2 * time.Hour, KeepEpochNodes: 12 * time.Hour,
+	}})
+	r.ingestEpochs(t, 2*telco.EpochsPerDay) // day 1 fully collapses
+	before := r.e.Tree().Stats()
+	e2 := reopen(t, r, Options{})
+	after := e2.Tree().Stats()
+	if after.Leaves != before.Leaves {
+		t.Errorf("recovered %d leaves, want %d (pruned leaves resurrected?)", after.Leaves, before.Leaves)
+	}
+	// Day 1 aggregates still answer from the persisted day summary.
+	w := telco.NewTimeRange(r.cfg.Start, r.cfg.Start.Add(6*time.Hour))
+	res, err := e2.Explore(Query{Window: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.Rows == 0 {
+		t.Error("pruned day lost its aggregates after recovery")
+	}
+}
+
+func TestFinishIngestMakesStoreReadOnly(t *testing.T) {
+	r := newRig(t, Options{})
+	r.ingestEpochs(t, 3)
+	r.e.FinishIngest()
+	s := snapshot.New(telco.EpochOf(r.cfg.Start) + 10)
+	s.Add(r.g.CDRTable(s.Epoch))
+	if _, err := r.e.Ingest(s); err == nil {
+		t.Fatal("ingest after FinishIngest accepted")
+	}
+	// A reopened engine accepts new snapshots again.
+	e2 := reopen(t, r, Options{})
+	if _, err := e2.Ingest(s); err != nil {
+		t.Fatalf("recovered engine rejected ingest: %v", err)
+	}
+}
+
+func TestFullProcessRestartRecoversStore(t *testing.T) {
+	// End-to-end durability: a brand-new DFS cluster object over the same
+	// directory (fsimage recovery) plus a brand-new engine (index
+	// recovery) serves the same queries as the original process would.
+	dir := t.TempDir()
+	fs1, err := dfs.NewCluster(dir, dfs.Config{BlockSize: 1 << 20, DataNodes: 3, Replication: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := gen.DefaultConfig(0.002)
+	cfg.Antennas = 12
+	cfg.Users = 80
+	cfg.CDRPerEpoch = 40
+	cfg.NMSReportsPerCell = 0.5
+	g := gen.New(cfg)
+	e1, err := Open(fs1, g.CellTable(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e0 := telco.EpochOf(cfg.Start)
+	for i := 0; i < 5; i++ {
+		s := snapshot.New(e0 + telco.Epoch(i))
+		s.Add(g.CDRTable(s.Epoch))
+		s.Add(g.NMSTable(s.Epoch))
+		if _, err := e1.Ingest(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w := telco.NewTimeRange(cfg.Start, cfg.Start.Add(2*time.Hour))
+	want, err := e1.Explore(Query{Window: w, ExactRows: true, Tables: []string{"CDR"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart the process": fresh cluster + fresh engine over dir.
+	fs2, err := dfs.NewCluster(dir, dfs.Config{BlockSize: 1 << 20, DataNodes: 3, Replication: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := Open(fs2, g.CellTable(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.Tree().Len() != 5 {
+		t.Fatalf("recovered %d leaves", e2.Tree().Len())
+	}
+	got, err := e2.Explore(Query{Window: w, ExactRows: true, Tables: []string{"CDR"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Summary.Rows != want.Summary.Rows {
+		t.Errorf("rows = %d, want %d", got.Summary.Rows, want.Summary.Rows)
+	}
+	if got.Rows["CDR"].Len() != want.Rows["CDR"].Len() {
+		t.Errorf("exact rows = %d, want %d", got.Rows["CDR"].Len(), want.Rows["CDR"].Len())
+	}
+	// Ingestion continues seamlessly after the restart.
+	s := snapshot.New(e0 + 5)
+	s.Add(g.CDRTable(s.Epoch))
+	s.Add(g.NMSTable(s.Epoch))
+	if _, err := e2.Ingest(s); err != nil {
+		t.Fatalf("post-restart ingest: %v", err)
+	}
+}
+
+func TestFreshClusterHasNothingToRecover(t *testing.T) {
+	fs, err := dfs.NewCluster(t.TempDir(), dfs.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := gen.New(gen.DefaultConfig(0.001))
+	e, err := Open(fs, g.CellTable(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Tree().Len() != 0 {
+		t.Errorf("fresh engine has %d leaves", e.Tree().Len())
+	}
+}

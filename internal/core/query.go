@@ -1,0 +1,487 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"spate/internal/compress"
+	"spate/internal/geo"
+	"spate/internal/highlights"
+	"spate/internal/index"
+	"spate/internal/snapshot"
+	"spate/internal/telco"
+)
+
+// Query is a data exploration request Q(a, b, w): attribute selection a,
+// spatial bounding box b and temporal window w (paper §VI-A). A box can
+// cover a few hundred square meters up to hundreds of square kilometers;
+// a window spans hours to years.
+type Query struct {
+	// Attrs selects the attributes of interest. Empty selects every
+	// summarized attribute.
+	Attrs []highlights.AttrRef
+	// Box is the spatial predicate. The zero box means "everywhere".
+	Box geo.Rect
+	// Window is the temporal predicate.
+	Window telco.TimeRange
+	// Tables restricts exact-row retrieval (default: all stored tables).
+	Tables []string
+	// ExactRows requests the raw records of non-decayed snapshots in the
+	// window, in addition to aggregates.
+	ExactRows bool
+	// Fast serves the query entirely from the materialized summary of the
+	// temporal node whose period completely covers the window — the
+	// paper's literal §VI-A evaluation ("the index is accessed to find the
+	// temporal node whose period completely covers w ... the highlights of
+	// year-node 2016 are retrieved"). The answer may describe a larger
+	// period than requested (see Result.ServedPeriod) but costs no
+	// decompression at all; with no covering summary sealed yet, the query
+	// falls back to the exact path.
+	Fast bool
+}
+
+// everywhere reports whether the box is the zero value (no spatial filter).
+func (q Query) everywhere() bool { return q.Box == (geo.Rect{}) }
+
+// CellSeries is the per-cell aggregate view a heatmap renders.
+type CellSeries struct {
+	CellID int64
+	Loc    geo.Point
+	Rows   int64
+	Attr   map[highlights.AttrRef]*highlights.Stats
+}
+
+// Result is a data exploration answer.
+type Result struct {
+	// CoveringLevel is the resolution of the index node whose period
+	// completely covered the window — the implicit-prefetch granularity.
+	CoveringLevel index.Level
+	// Summary aggregates the window restricted to the box's cells.
+	Summary *highlights.Summary
+	// Highlights are the interesting events extracted from the covering
+	// node's resolution with its θ.
+	Highlights []highlights.Highlight
+	// Cells is the per-cell breakdown inside the box.
+	Cells []CellSeries
+	// Rows holds exact records per table when requested and available.
+	Rows map[string]*telco.Table
+	// DecayedLeaves counts window snapshots whose raw data has decayed;
+	// those contribute aggregates only.
+	DecayedLeaves int
+	// ScannedLeaves counts snapshots decompressed for exact rows.
+	ScannedLeaves int
+	// PrunedLeaves counts snapshots skipped by leaf spatial pruning.
+	PrunedLeaves int
+	// CacheHit marks answers served from the result cache (the UI-facing
+	// behaviour for zoom-in queries with |w'| < |w|).
+	CacheHit bool
+	// ServedPeriod is the period the aggregates actually describe — equal
+	// to the query window on the exact path, and the covering node's
+	// (larger) period on the Fast path or under decay prefetch.
+	ServedPeriod telco.TimeRange
+}
+
+// Explore evaluates a data exploration query against the index: it finds
+// the temporal node completely covering w, merges the summaries of the
+// window's leaves (or coarser summaries where data has decayed), filters
+// spatially through the cell inventory, and optionally decompresses the
+// covered snapshots for exact rows.
+func (e *Engine) Explore(q Query) (*Result, error) {
+	key := q.cacheKey()
+	if r, ok := e.cache.get(key); ok {
+		out := *r
+		out.CacheHit = true
+		return &out, nil
+	}
+
+	e.mu.RLock()
+	covering := e.tree.FindCovering(q.Window)
+	if covering == nil {
+		e.mu.RUnlock()
+		return nil, fmt.Errorf("core: no data ingested")
+	}
+	leaves := e.tree.LeavesIn(q.Window, nil)
+	theta := e.opts.theta(covering.Level)
+	coveringSummary := covering.Summary
+	root := e.tree.Root()
+	e.mu.RUnlock()
+
+	res := &Result{CoveringLevel: covering.Level, ServedPeriod: q.Window}
+
+	// Fast path: answer from the covering node's materialized summary,
+	// serving its whole (possibly larger) period.
+	if q.Fast && coveringSummary != nil && !q.ExactRows {
+		res.ServedPeriod = covering.Period
+		res.Summary, res.Cells = e.restrictToBox(coveringSummary, q)
+		res.Highlights = coveringSummary.Extract(theta)
+		e.cache.put(key, res)
+		return res, nil
+	}
+
+	// Collect summary parts top-down: sealed nodes fully inside the window
+	// contribute their materialized summary in O(1); partially covered
+	// periods descend to leaves, whose summaries are rebuilt from the
+	// compressed snapshot data when the day-seal dropped them (the paper's
+	// "highlight summaries or actual available data ... are then
+	// retrieved"). This makes response time depend on the window's *edges*,
+	// not its length.
+	var parts []*highlights.Summary
+	var err error
+	parts, err = e.collectSummaries(root, q.Window, parts, res)
+	if err != nil {
+		return nil, err
+	}
+	merged := highlights.Merge(q.Window, parts...)
+
+	// Spatial restriction: keep only cells inside the box and rebuild the
+	// window aggregates from the per-cell breakdown.
+	res.Summary, res.Cells = e.restrictToBox(merged, q)
+
+	// Highlights come from the covering node's resolution — its θ — as in
+	// the paper's drill-down description; fall back to the merged window.
+	hsrc := coveringSummary
+	if hsrc == nil {
+		hsrc = merged
+	}
+	res.Highlights = hsrc.Extract(theta)
+
+	if q.ExactRows {
+		if err := e.fetchRows(q, leaves, res); err != nil {
+			return nil, err
+		}
+	}
+	e.cache.put(key, res)
+	return res, nil
+}
+
+// collectSummaries gathers the summary parts answering window w, preferring
+// coarse materialized summaries and descending only at the window's edges.
+func (e *Engine) collectSummaries(n *index.Node, w telco.TimeRange, parts []*highlights.Summary, res *Result) ([]*highlights.Summary, error) {
+	if n.Level != index.LevelRoot && !n.Period.Overlaps(w) {
+		return parts, nil
+	}
+	if n.IsLeaf() {
+		if n.Decayed {
+			res.DecayedLeaves++
+			if n.Summary != nil {
+				// Open-day decayed leaf: its in-memory summary is all that
+				// remains and still answers aggregates.
+				parts = append(parts, n.Summary)
+			}
+			return parts, nil
+		}
+		if n.Summary != nil {
+			return append(parts, n.Summary), nil
+		}
+		s, err := e.buildLeafSummary(e.codec(), n)
+		if err != nil {
+			return parts, err
+		}
+		res.ScannedLeaves++
+		return append(parts, s), nil
+	}
+	if n.Level != index.LevelRoot && n.Summary != nil {
+		// Sealed internal node: use its materialized summary when the
+		// window swallows it whole, or when its raw children are gone
+		// (decay pruned the subtree) — the latter serves a larger period
+		// than requested, the paper's implicit prefetch.
+		if w.Covers(n.Period) || len(n.Children) == 0 {
+			return append(parts, n.Summary), nil
+		}
+	}
+	before := len(parts)
+	for _, c := range n.Children {
+		var err error
+		parts, err = e.collectSummaries(c, w, parts, res)
+		if err != nil {
+			return parts, err
+		}
+	}
+	// Prefetch fallback: when every overlapping descendant decayed without
+	// leaving a summary (a sealed day whose raw data was evicted), serve
+	// this node's materialized summary — a larger period than requested,
+	// exactly the paper's implicit-prefetch behaviour.
+	if len(parts) == before && n.Summary != nil && n.Level != index.LevelRoot && n.Period.Overlaps(w) {
+		parts = append(parts, n.Summary)
+	}
+	return parts, nil
+}
+
+// buildLeafSummary reconstructs an epoch summary by decompressing the
+// snapshot's stored tables — the exact-data path for recent windows whose
+// day has sealed (and dropped its ephemeral leaf summaries). The codec is
+// passed explicitly because some callers already hold the engine lock.
+func (e *Engine) buildLeafSummary(c compress.Codec, n *index.Node) (*highlights.Summary, error) {
+	s := highlights.NewSummary(n.Period)
+	for name, ref := range n.DataRefs {
+		comp, err := e.fs.ReadFile(ref)
+		if err != nil {
+			return nil, fmt.Errorf("core: read %s: %w", ref, err)
+		}
+		text, err := c.Decompress(nil, comp)
+		if err != nil {
+			return nil, fmt.Errorf("core: decompress %s: %w", ref, err)
+		}
+		tab, err := snapshot.DecodeTable(name, text)
+		if err != nil {
+			return nil, fmt.Errorf("core: decode %s: %w", ref, err)
+		}
+		s.AddTable(e.opts.Highlights, tab)
+	}
+	return s, nil
+}
+
+// restrictToBox filters a merged summary to the query box using the cell
+// inventory, producing both the filtered summary and per-cell series.
+func (e *Engine) restrictToBox(m *highlights.Summary, q Query) (*highlights.Summary, []CellSeries) {
+	if q.everywhere() {
+		cells := e.cellSeries(m, nil, q)
+		return m, cells
+	}
+	inBox := make(map[int64]bool)
+	for _, id := range e.CellsInBox(q.Box) {
+		inBox[id] = true
+	}
+	out := highlights.NewSummary(m.Period)
+	for id, cs := range m.Cells {
+		if !inBox[id] {
+			continue
+		}
+		out.Rows += cs.Rows
+		dst := &highlights.CellStats{Rows: cs.Rows, Num: cs.Num}
+		out.Cells[id] = dst
+		for ref, st := range cs.Num {
+			agg := out.Num[ref]
+			if agg == nil {
+				agg = &highlights.Stats{}
+				out.Num[ref] = agg
+			}
+			agg.Merge(st)
+		}
+	}
+	// Categorical counts are not cell-resolved (bounded-size cube); carry
+	// the window-level counts through for frequency context.
+	out.Cat = m.Cat
+	return out, e.cellSeries(m, inBox, q)
+}
+
+// cellSeries renders the per-cell view, filtered by box membership and the
+// query's attribute selection.
+func (e *Engine) cellSeries(m *highlights.Summary, inBox map[int64]bool, q Query) []CellSeries {
+	want := make(map[highlights.AttrRef]bool, len(q.Attrs))
+	for _, a := range q.Attrs {
+		want[a] = true
+	}
+	var out []CellSeries
+	for id, cs := range m.Cells {
+		if inBox != nil && !inBox[id] {
+			continue
+		}
+		loc, ok := e.CellLocation(id)
+		if !ok {
+			continue
+		}
+		series := CellSeries{CellID: id, Loc: loc, Rows: cs.Rows,
+			Attr: make(map[highlights.AttrRef]*highlights.Stats)}
+		for ref, st := range cs.Num {
+			if len(want) == 0 || want[ref] {
+				series.Attr[ref] = st
+			}
+		}
+		out = append(out, series)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].CellID < out[j].CellID })
+	return out
+}
+
+// fetchRows decompresses the window's non-decayed snapshots and filters
+// records by window, box and table selection.
+func (e *Engine) fetchRows(q Query, leaves []*index.Node, res *Result) error {
+	res.Rows = make(map[string]*telco.Table)
+	wantTable := func(name string) bool {
+		if len(q.Tables) == 0 {
+			return true
+		}
+		for _, t := range q.Tables {
+			if t == name {
+				return true
+			}
+		}
+		return false
+	}
+	var inBox map[int64]bool
+	if !q.everywhere() {
+		inBox = make(map[int64]bool)
+		for _, id := range e.CellsInBox(q.Box) {
+			inBox[id] = true
+		}
+	}
+	for _, l := range leaves {
+		if l.Decayed || l.DataRefs == nil {
+			continue
+		}
+		// Leaf spatial pruning (§V-A): skip snapshots whose summary shows
+		// no rows inside the box.
+		if e.opts.LeafSpatialPrune && inBox != nil && l.Summary != nil {
+			hit := false
+			for id := range l.Summary.Cells {
+				if inBox[id] {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				res.PrunedLeaves++
+				continue
+			}
+		}
+		for name, ref := range l.DataRefs {
+			if !wantTable(name) {
+				continue
+			}
+			comp, err := e.fs.ReadFile(ref)
+			if err != nil {
+				return fmt.Errorf("core: read %s: %w", ref, err)
+			}
+			text, err := e.codec().Decompress(nil, comp)
+			if err != nil {
+				return fmt.Errorf("core: decompress %s: %w", ref, err)
+			}
+			tab, err := snapshot.DecodeTable(name, text)
+			if err != nil {
+				return fmt.Errorf("core: decode %s: %w", ref, err)
+			}
+			dst := res.Rows[name]
+			if dst == nil {
+				dst = telco.NewTable(tab.Schema)
+				res.Rows[name] = dst
+			}
+			tsIdx := tab.Schema.FieldIndex(telco.AttrTS)
+			cellIdx := tab.Schema.FieldIndex(telco.AttrCellID)
+			for _, r := range tab.Rows {
+				if tsIdx >= 0 && !r[tsIdx].IsNull() && !q.Window.Contains(r[tsIdx].Time()) {
+					continue
+				}
+				if inBox != nil && cellIdx >= 0 && !inBox[r[cellIdx].Int64()] {
+					continue
+				}
+				dst.Append(r)
+			}
+		}
+		res.ScannedLeaves++
+	}
+	return nil
+}
+
+// ScanTables streams the window's stored records table-by-table: snapshots
+// are pruned through the temporal index, decompressed, parsed and filtered
+// to the window. Decayed snapshots are skipped (their raw data is gone).
+// This is the access path SPATE-SQL executes declarative queries over.
+func (e *Engine) ScanTables(w telco.TimeRange, tables []string, fn func(string, *telco.Table) error) error {
+	e.mu.RLock()
+	leaves := e.tree.LeavesIn(w, nil)
+	e.mu.RUnlock()
+	want := func(name string) bool {
+		if len(tables) == 0 {
+			return true
+		}
+		for _, t := range tables {
+			if t == name {
+				return true
+			}
+		}
+		return false
+	}
+	for _, l := range leaves {
+		if l.Decayed || l.DataRefs == nil {
+			continue
+		}
+		for name, ref := range l.DataRefs {
+			if !want(name) {
+				continue
+			}
+			comp, err := e.fs.ReadFile(ref)
+			if err != nil {
+				return fmt.Errorf("core: read %s: %w", ref, err)
+			}
+			text, err := e.codec().Decompress(nil, comp)
+			if err != nil {
+				return fmt.Errorf("core: decompress %s: %w", ref, err)
+			}
+			tab, err := snapshot.DecodeTable(name, text)
+			if err != nil {
+				return fmt.Errorf("core: decode %s: %w", ref, err)
+			}
+			filtered := telco.NewTable(tab.Schema)
+			tsIdx := tab.Schema.FieldIndex(telco.AttrTS)
+			for _, r := range tab.Rows {
+				if tsIdx < 0 || r[tsIdx].IsNull() || w.Contains(r[tsIdx].Time()) {
+					filtered.Rows = append(filtered.Rows, r)
+				}
+			}
+			if filtered.Len() == 0 {
+				continue
+			}
+			if err := fn(name, filtered); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// cacheKey renders a deterministic key for the result cache.
+func (q Query) cacheKey() string {
+	var b strings.Builder
+	for _, a := range q.Attrs {
+		b.WriteString(a.String())
+		b.WriteByte(',')
+	}
+	fmt.Fprintf(&b, "|%v|%d|%d|%v|%v|%v", q.Box,
+		q.Window.From.Unix(), q.Window.To.Unix(), q.Tables, q.ExactRows, q.Fast)
+	return b.String()
+}
+
+// resultCache is a small bounded cache for exploration results — the
+// mechanism behind the paper's zoom-in behaviour, where a narrowed window
+// |w'| < |w| "can be served directly from the cache".
+type resultCache struct {
+	mu    sync.Mutex
+	cap   int
+	items map[string]*Result
+	order []string
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{cap: capacity, items: make(map[string]*Result)}
+}
+
+func (c *resultCache) get(key string) (*Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.items[key]
+	return r, ok
+}
+
+func (c *resultCache) put(key string, r *Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.items[key]; !exists {
+		for len(c.items) >= c.cap && len(c.order) > 0 {
+			oldest := c.order[0]
+			c.order = c.order[1:]
+			delete(c.items, oldest)
+		}
+		c.order = append(c.order, key)
+	}
+	c.items[key] = r
+}
+
+func (c *resultCache) clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.items = make(map[string]*Result)
+	c.order = nil
+}

@@ -1,0 +1,241 @@
+package decay
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"spate/internal/index"
+	"spate/internal/telco"
+)
+
+var base = time.Date(2016, 1, 18, 0, 0, 0, 0, time.UTC)
+
+// buildTree ingests n consecutive epochs starting at base, each with one
+// data ref of 100 compressed bytes.
+func buildTree(t *testing.T, n int) *index.Tree {
+	t.Helper()
+	tr := index.New()
+	e := telco.EpochOf(base)
+	for i := 0; i < n; i++ {
+		refs := map[string]string{"CDR": fmt.Sprintf("/data/%d", i)}
+		if _, _, err := tr.Append(e+telco.Epoch(i), refs, 100, 1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tr
+}
+
+type fakeStore struct {
+	deleted map[string]bool
+	failOn  string
+}
+
+func newFakeStore() *fakeStore { return &fakeStore{deleted: map[string]bool{}} }
+
+func (f *fakeStore) del(path string) error {
+	if path == f.failOn {
+		return errors.New("disk error")
+	}
+	f.deleted[path] = true
+	return nil
+}
+
+func TestPolicyValidate(t *testing.T) {
+	good := Policy{KeepRaw: time.Hour, KeepEpochNodes: 2 * time.Hour, KeepDayNodes: 3 * time.Hour}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid policy rejected: %v", err)
+	}
+	bad := Policy{KeepRaw: 3 * time.Hour, KeepEpochNodes: time.Hour}
+	if err := bad.Validate(); err == nil {
+		t.Error("decreasing horizons accepted")
+	}
+	// Zero horizons (retain forever) are always fine.
+	if err := (Policy{}).Validate(); err != nil {
+		t.Errorf("zero policy rejected: %v", err)
+	}
+}
+
+func TestEvictOldestIndividualsLeafData(t *testing.T) {
+	tr := buildTree(t, 6) // epochs 00:00 .. 03:00
+	now := base.Add(4 * time.Hour)
+	p := Policy{KeepRaw: 2 * time.Hour}
+	evs := EvictOldestIndividuals{}.Plan(now, tr, p)
+	// Leaves ending at or before now-2h = 02:00: epochs 0..3 (ends 00:30..02:00).
+	if len(evs) != 4 {
+		t.Fatalf("planned %d evictions, want 4", len(evs))
+	}
+	for _, e := range evs {
+		if e.Action != EvictLeafData {
+			t.Errorf("action = %v", e.Action)
+		}
+	}
+	st := newFakeStore()
+	res, err := Apply(tr, evs, st.del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LeavesDecayed != 4 || res.BytesFreed != 400 || res.RefsDeleted != 4 {
+		t.Errorf("result = %+v", res)
+	}
+	if len(st.deleted) != 4 {
+		t.Errorf("deleted %d refs", len(st.deleted))
+	}
+	stats := tr.Stats()
+	if stats.DecayedLeaves != 4 || stats.DataBytes != 200 {
+		t.Errorf("tree stats = %+v", stats)
+	}
+	// Re-planning immediately is a no-op (idempotent decay).
+	if evs2 := (EvictOldestIndividuals{}).Plan(now, tr, p); len(evs2) != 0 {
+		t.Errorf("second plan = %d evictions", len(evs2))
+	}
+}
+
+func TestZeroPolicyEvictsNothing(t *testing.T) {
+	tr := buildTree(t, 10)
+	evs := EvictOldestIndividuals{}.Plan(base.AddDate(10, 0, 0), tr, Policy{})
+	if len(evs) != 0 {
+		t.Errorf("zero policy planned %d evictions", len(evs))
+	}
+}
+
+func TestEpochNodeCollapse(t *testing.T) {
+	tr := buildTree(t, 2*telco.EpochsPerDay) // two full days: Jan 18, 19
+	now := base.AddDate(0, 0, 5)
+	p := Policy{KeepRaw: 24 * time.Hour, KeepEpochNodes: 48 * time.Hour}
+	evs := EvictOldestIndividuals{}.Plan(now, tr, p)
+	st := newFakeStore()
+	res, err := Apply(tr, evs, st.del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both days aged past KeepEpochNodes: children pruned, data deleted.
+	if res.NodesPruned == 0 {
+		t.Fatal("no nodes pruned")
+	}
+	days := tr.NodesAtLevel(index.LevelDay)
+	for _, d := range days {
+		if len(d.Children) != 0 {
+			t.Errorf("day %v still has %d children", d.Period.From, len(d.Children))
+		}
+	}
+	if tr.Len() != 0 {
+		t.Errorf("leaf count = %d after collapse", tr.Len())
+	}
+	if res.RefsDeleted != 2*telco.EpochsPerDay {
+		t.Errorf("refs deleted = %d", res.RefsDeleted)
+	}
+}
+
+func TestProgressiveDecayIsMonotone(t *testing.T) {
+	// As time advances, the retained data volume never increases.
+	tr := buildTree(t, 3*telco.EpochsPerDay)
+	p := Policy{KeepRaw: 12 * time.Hour, KeepEpochNodes: 36 * time.Hour, KeepDayNodes: 72 * time.Hour}
+	fungus := EvictOldestIndividuals{}
+	st := newFakeStore()
+	prevData := tr.Stats().DataBytes
+	prevNodes := tr.Stats().Nodes
+	for h := 0; h <= 120; h += 6 {
+		now := base.Add(time.Duration(h) * time.Hour)
+		if _, err := Apply(tr, fungus.Plan(now, tr, p), st.del); err != nil {
+			t.Fatal(err)
+		}
+		s := tr.Stats()
+		if s.DataBytes > prevData {
+			t.Fatalf("data bytes grew during decay at h=%d", h)
+		}
+		if s.Nodes > prevNodes {
+			t.Fatalf("node count grew during decay at h=%d", h)
+		}
+		prevData, prevNodes = s.DataBytes, s.Nodes
+	}
+	if prevData != 0 {
+		t.Errorf("after 120h, %d data bytes remain (KeepRaw=12h)", prevData)
+	}
+}
+
+func TestGroupedVsIndividualGranularity(t *testing.T) {
+	// Midway through a day's aging, the individual fungus has started
+	// evicting that day's epochs while the grouped fungus has not.
+	mk := func() *index.Tree { return buildTree(t, telco.EpochsPerDay) }
+	p := Policy{KeepRaw: 6 * time.Hour}
+	now := base.Add(12 * time.Hour) // epochs ending <= 06:00 are aged
+
+	indiv := mk()
+	st1 := newFakeStore()
+	res1, err := Apply(indiv, EvictOldestIndividuals{}.Plan(now, indiv, p), st1.del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grouped := mk()
+	st2 := newFakeStore()
+	res2, err := Apply(grouped, EvictGroupedIndividuals{}.Plan(now, grouped, p), st2.del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.LeavesDecayed == 0 {
+		t.Error("individual fungus evicted nothing mid-day")
+	}
+	if res2.LeavesDecayed != 0 {
+		t.Errorf("grouped fungus evicted %d leaves before the day aged out", res2.LeavesDecayed)
+	}
+	// Once the whole day has aged, both have evicted everything.
+	later := base.Add(31 * time.Hour) // day ends 24:00 + 6h horizon + margin
+	if _, err := Apply(indiv, EvictOldestIndividuals{}.Plan(later, indiv, p), st1.del); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Apply(grouped, EvictGroupedIndividuals{}.Plan(later, grouped, p), st2.del); err != nil {
+		t.Fatal(err)
+	}
+	if a, b := indiv.Stats().DataBytes, grouped.Stats().DataBytes; a != 0 || b != 0 {
+		t.Errorf("after full aging: indiv=%d grouped=%d bytes", a, b)
+	}
+}
+
+func TestApplyPropagatesDeleteErrors(t *testing.T) {
+	tr := buildTree(t, 4)
+	p := Policy{KeepRaw: time.Hour}
+	evs := EvictOldestIndividuals{}.Plan(base.Add(24*time.Hour), tr, p)
+	st := newFakeStore()
+	st.failOn = "/data/1"
+	if _, err := Apply(tr, evs, st.del); err == nil {
+		t.Error("Apply swallowed delete error")
+	}
+}
+
+func TestDedupeDropsLeafEvictionsUnderPrunes(t *testing.T) {
+	tr := buildTree(t, telco.EpochsPerDay+2)
+	// Both horizons passed: day prune covers the leaf evictions.
+	p := Policy{KeepRaw: time.Hour, KeepEpochNodes: 2 * time.Hour}
+	now := base.AddDate(0, 1, 0)
+	evs := EvictOldestIndividuals{}.Plan(now, tr, p)
+	for _, e := range evs {
+		if e.Action == EvictLeafData {
+			// The leaf's day must not also be pruned in this plan.
+			for _, e2 := range evs {
+				if e2.Action == PruneChildren {
+					for _, c := range e2.Node.Children {
+						if c == e.Node {
+							t.Fatal("leaf eviction planned under a pruned day")
+						}
+					}
+				}
+			}
+		}
+	}
+	st := newFakeStore()
+	if _, err := Apply(tr, evs, st.del); err != nil {
+		t.Fatal(err)
+	}
+	// Every ref deleted exactly once despite overlapping plans.
+	if len(st.deleted) != telco.EpochsPerDay+2 {
+		t.Errorf("deleted %d refs, want %d", len(st.deleted), telco.EpochsPerDay+2)
+	}
+}
+
+func TestFungusNames(t *testing.T) {
+	if (EvictOldestIndividuals{}).Name() == "" || (EvictGroupedIndividuals{}).Name() == "" {
+		t.Error("empty fungus name")
+	}
+}

@@ -1,0 +1,307 @@
+package dfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func newTestCluster(t *testing.T, cfg Config) *Cluster {
+	t.Helper()
+	c, err := NewCluster(t.TempDir(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	c := newTestCluster(t, Config{BlockSize: 1024, Replication: 3, DataNodes: 4})
+	tests := []struct {
+		name string
+		size int
+	}{
+		{"empty", 0},
+		{"one byte", 1},
+		{"sub-block", 100},
+		{"exactly one block", 1024},
+		{"multi-block", 5000},
+		{"block boundary", 2048},
+	}
+	rng := rand.New(rand.NewSource(1))
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			data := make([]byte, tc.size)
+			rng.Read(data)
+			path := "/snapshots/" + tc.name
+			if err := c.WriteFile(path, data); err != nil {
+				t.Fatal(err)
+			}
+			got, err := c.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatalf("read %d bytes, want %d", len(got), len(data))
+			}
+			fi, err := c.Stat(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fi.Size != int64(tc.size) {
+				t.Errorf("Stat size = %d, want %d", fi.Size, tc.size)
+			}
+			wantBlocks := (tc.size + 1023) / 1024
+			if wantBlocks == 0 {
+				wantBlocks = 1
+			}
+			if fi.Blocks != wantBlocks {
+				t.Errorf("Stat blocks = %d, want %d", fi.Blocks, wantBlocks)
+			}
+		})
+	}
+}
+
+func TestWriteOnceSemantics(t *testing.T) {
+	c := newTestCluster(t, Config{})
+	if err := c.WriteFile("/a", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WriteFile("/a", []byte("y")); !errors.Is(err, ErrExists) {
+		t.Errorf("overwrite err = %v, want ErrExists", err)
+	}
+}
+
+func TestNotFound(t *testing.T) {
+	c := newTestCluster(t, Config{})
+	if _, err := c.ReadFile("/nope"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("ReadFile err = %v", err)
+	}
+	if _, err := c.Stat("/nope"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Stat err = %v", err)
+	}
+	if err := c.Delete("/nope"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Delete err = %v", err)
+	}
+	if c.Exists("/nope") {
+		t.Error("Exists(/nope) = true")
+	}
+}
+
+func TestReplicationAndUsage(t *testing.T) {
+	c := newTestCluster(t, Config{BlockSize: 100, Replication: 3, DataNodes: 4})
+	data := make([]byte, 250) // 3 blocks
+	if err := c.WriteFile("/f", data); err != nil {
+		t.Fatal(err)
+	}
+	u := c.Usage()
+	if u.LogicalBytes != 250 {
+		t.Errorf("LogicalBytes = %d", u.LogicalBytes)
+	}
+	if u.StoredBytes != 750 { // 3x replication
+		t.Errorf("StoredBytes = %d, want 750", u.StoredBytes)
+	}
+	if u.Files != 1 || u.LiveNodes != 4 {
+		t.Errorf("Usage = %+v", u)
+	}
+	if c.BytesWritten() != 750 {
+		t.Errorf("BytesWritten = %d", c.BytesWritten())
+	}
+	if _, err := c.ReadFile("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if c.BytesRead() != 250 {
+		t.Errorf("BytesRead = %d", c.BytesRead())
+	}
+}
+
+func TestDeleteReclaimsSpace(t *testing.T) {
+	c := newTestCluster(t, Config{BlockSize: 100})
+	if err := c.WriteFile("/f", make([]byte, 300)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Delete("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if u := c.Usage(); u.StoredBytes != 0 || u.Files != 0 {
+		t.Errorf("after delete: %+v", u)
+	}
+	if c.Exists("/f") {
+		t.Error("file still exists after delete")
+	}
+}
+
+func TestList(t *testing.T) {
+	c := newTestCluster(t, Config{})
+	for _, p := range []string{"/idx/2016/01/a", "/idx/2016/01/b", "/idx/2016/02/a", "/other"} {
+		if err := c.WriteFile(p, []byte(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := c.List("/idx/2016/01/")
+	if len(got) != 2 || got[0].Path != "/idx/2016/01/a" || got[1].Path != "/idx/2016/01/b" {
+		t.Errorf("List = %+v", got)
+	}
+	if got := c.List("/"); len(got) != 4 {
+		t.Errorf("List(/) = %d files", len(got))
+	}
+}
+
+func TestNodeFailureReadsFailOver(t *testing.T) {
+	c := newTestCluster(t, Config{BlockSize: 64, Replication: 3, DataNodes: 4})
+	data := make([]byte, 500)
+	rand.New(rand.NewSource(2)).Read(data)
+	if err := c.WriteFile("/f", data); err != nil {
+		t.Fatal(err)
+	}
+	// Kill two nodes; with replication 3 over 4 nodes every block still has
+	// at least one live replica.
+	if err := c.KillNode(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.KillNode(1); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.ReadFile("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("failover read mismatch")
+	}
+}
+
+func TestRereplication(t *testing.T) {
+	c := newTestCluster(t, Config{BlockSize: 64, Replication: 3, DataNodes: 4})
+	data := make([]byte, 300)
+	rand.New(rand.NewSource(3)).Read(data)
+	if err := c.WriteFile("/f", data); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.KillNode(2); err != nil {
+		t.Fatal(err)
+	}
+	under := c.UnderReplicated()
+	if under == 0 {
+		t.Skip("node 2 held no replicas of this small file")
+	}
+	created, err := c.Rereplicate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created == 0 {
+		t.Error("Rereplicate created no replicas")
+	}
+	if got := c.UnderReplicated(); got != 0 {
+		t.Errorf("still %d under-replicated blocks", got)
+	}
+	got, err := c.ReadFile("/f")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Errorf("read after rereplication: %v", err)
+	}
+}
+
+func TestCorruptBlockDetectedAndFailedOver(t *testing.T) {
+	c := newTestCluster(t, Config{BlockSize: 1 << 20, Replication: 3, DataNodes: 4})
+	data := []byte("critical telco snapshot payload")
+	if err := c.WriteFile("/f", data); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CorruptBlock("/f"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.ReadFile("/f")
+	if err != nil {
+		t.Fatalf("read after corruption: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("corrupted replica served to reader")
+	}
+}
+
+func TestAllReplicasCorruptFailsLoudly(t *testing.T) {
+	c := newTestCluster(t, Config{Replication: 1, DataNodes: 1})
+	if err := c.WriteFile("/f", []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CorruptBlock("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ReadFile("/f"); err == nil {
+		t.Error("read of fully corrupted file succeeded")
+	}
+}
+
+func TestAllNodesDeadWriteFails(t *testing.T) {
+	c := newTestCluster(t, Config{DataNodes: 2, Replication: 2})
+	_ = c.KillNode(0)
+	_ = c.KillNode(1)
+	if err := c.WriteFile("/f", []byte("x")); !errors.Is(err, ErrUnavailable) {
+		t.Errorf("write err = %v, want ErrUnavailable", err)
+	}
+	_ = c.ReviveNode(0)
+	if err := c.WriteFile("/f", []byte("x")); err != nil {
+		t.Errorf("write after revive: %v", err)
+	}
+}
+
+func TestKillNodeBounds(t *testing.T) {
+	c := newTestCluster(t, Config{DataNodes: 2})
+	if err := c.KillNode(-1); err == nil {
+		t.Error("KillNode(-1) accepted")
+	}
+	if err := c.ReviveNode(99); err == nil {
+		t.Error("ReviveNode(99) accepted")
+	}
+}
+
+func TestConcurrentWritesAndReads(t *testing.T) {
+	c := newTestCluster(t, Config{BlockSize: 256, Replication: 2, DataNodes: 3})
+	const n = 24
+	var wg sync.WaitGroup
+	errs := make(chan error, n*2)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			path := fmt.Sprintf("/c/%03d", i)
+			data := bytes.Repeat([]byte{byte(i)}, 700)
+			if err := c.WriteFile(path, data); err != nil {
+				errs <- err
+				return
+			}
+			got, err := c.ReadFile(path)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !bytes.Equal(got, data) {
+				errs <- fmt.Errorf("mismatch on %s", path)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if u := c.Usage(); u.Files != n {
+		t.Errorf("files = %d, want %d", u.Files, n)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := newTestCluster(t, Config{})
+	cfg := c.Config()
+	if cfg.BlockSize != 64<<20 || cfg.Replication != 3 || cfg.DataNodes != 4 {
+		t.Errorf("defaults = %+v", cfg)
+	}
+	// Replication clamps to node count.
+	c2 := newTestCluster(t, Config{DataNodes: 2, Replication: 5})
+	if got := c2.Config().Replication; got != 2 {
+		t.Errorf("clamped replication = %d, want 2", got)
+	}
+}

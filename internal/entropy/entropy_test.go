@@ -1,0 +1,106 @@
+package entropy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"spate/internal/telco"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestOfStrings(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []string
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single symbol", []string{"a", "a", "a"}, 0},
+		{"uniform binary", []string{"a", "b"}, 1},
+		{"uniform quaternary", []string{"a", "b", "c", "d"}, 2},
+		{"skewed", []string{"a", "a", "a", "b"}, 0.8112781244591328},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := OfStrings(tc.in); !almostEqual(got, tc.want) {
+				t.Errorf("OfStrings = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestOfValuesBlanksCountAsSymbol(t *testing.T) {
+	vals := []telco.Value{telco.Null, telco.Null, telco.String("x"), telco.String("x")}
+	if got := OfValues(vals); !almostEqual(got, 1) {
+		t.Errorf("entropy with nulls = %v, want 1", got)
+	}
+}
+
+func TestOfBytes(t *testing.T) {
+	if got := OfBytes(nil); got != 0 {
+		t.Errorf("empty = %v", got)
+	}
+	if got := OfBytes([]byte{7, 7, 7}); got != 0 {
+		t.Errorf("constant = %v", got)
+	}
+	all := make([]byte, 256)
+	for i := range all {
+		all[i] = byte(i)
+	}
+	if got := OfBytes(all); !almostEqual(got, 8) {
+		t.Errorf("uniform bytes = %v, want 8", got)
+	}
+}
+
+func TestEntropyBounds(t *testing.T) {
+	// 0 <= H <= log2(distinct symbols), for arbitrary samples.
+	f := func(xs []uint8) bool {
+		ss := make([]string, len(xs))
+		distinct := map[uint8]bool{}
+		for i, x := range xs {
+			ss[i] = string(rune('a' + x%26))
+			distinct[x%26] = true
+		}
+		h := OfStrings(ss)
+		if h < 0 {
+			return false
+		}
+		if len(distinct) > 0 && h > math.Log2(float64(len(distinct)))+1e-9 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOfTableAndSummarize(t *testing.T) {
+	s := telco.MustSchema("X", []telco.Field{
+		{Name: "const", Kind: telco.KindString},
+		{Name: "vary", Kind: telco.KindInt},
+	})
+	tab := telco.NewTable(s)
+	for i := 0; i < 8; i++ {
+		tab.Append(telco.Record{telco.String("k"), telco.Int(int64(i))})
+	}
+	es := OfTable(tab)
+	if len(es) != 2 {
+		t.Fatalf("len = %d", len(es))
+	}
+	if es[0].Bits != 0 {
+		t.Errorf("const attr entropy = %v, want 0", es[0].Bits)
+	}
+	if !almostEqual(es[1].Bits, 3) {
+		t.Errorf("vary attr entropy = %v, want 3", es[1].Bits)
+	}
+	sum := Summarize(es)
+	if sum.Zero != 1 || sum.BelowOne != 1 || !almostEqual(sum.Max, 3) || sum.Attrs != 2 {
+		t.Errorf("Summarize = %+v", sum)
+	}
+	if !almostEqual(sum.Mean, 1.5) {
+		t.Errorf("Mean = %v, want 1.5", sum.Mean)
+	}
+}

@@ -1,0 +1,465 @@
+// Package gen synthesizes telco traces with the statistical shape of the
+// 5 GB anonymized dataset evaluated in the SPATE paper: ~200-attribute CDR
+// records dominated by blank/near-constant columns, NMS performance counters
+// per cell per epoch at roughly 12x the CDR volume, a static CELL inventory
+// of sectored antennas over a ~6000 km^2 region, and diurnal/weekly load
+// curves that drive the paper's day-period (Fig. 7/8) and day-of-week
+// (Fig. 9/10) experiment partitions.
+//
+// Generation is deterministic: the same Config yields byte-identical
+// snapshots, and each epoch is generated independently (random access).
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"spate/internal/geo"
+	"spate/internal/telco"
+)
+
+// Config parameterizes a synthetic trace. The zero value is not usable;
+// start from DefaultConfig.
+type Config struct {
+	// Seed drives all pseudo-randomness.
+	Seed int64
+	// Start is the first epoch boundary of the trace.
+	Start time.Time
+	// Users is the subscriber population (paper: ~300K).
+	Users int
+	// Antennas is the number of base stations (paper: 1192).
+	Antennas int
+	// SectorsPerAntenna controls cells per antenna (paper: 3660/1192 ~ 3).
+	SectorsPerAntenna int
+	// Region is the service area (paper: ~6000 km^2).
+	Region geo.Rect
+	// CDRPerEpoch is the mean CDR record count of an average-load epoch.
+	CDRPerEpoch int
+	// NMSReportsPerCell is the mean NMS report count per cell per epoch.
+	NMSReportsPerCell float64
+}
+
+// DefaultConfig returns the paper-shaped configuration at the given scale
+// in (0,1]. Scale 1 approximates the full trace: 1.7M CDR + 21M NMS over
+// one week (336 epochs) -> ~5060 CDR and ~62500 NMS per epoch.
+func DefaultConfig(scale float64) Config {
+	if scale <= 0 {
+		scale = 1
+	}
+	// Antennas shrink as sqrt(scale) (coverage density), so the per-cell
+	// NMS report rate shrinks by the other sqrt(scale) factor to preserve
+	// the paper's ~12:1 NMS:CDR record ratio at every scale.
+	return Config{
+		Seed:              1,
+		Start:             time.Date(2016, 1, 18, 0, 0, 0, 0, time.UTC), // a Monday
+		Users:             max(50, int(300_000*scale)),
+		Antennas:          max(8, int(1192*math.Sqrt(scale))),
+		SectorsPerAntenna: 3,
+		Region:            geo.NewRect(0, 0, 80, 75), // 6000 km^2
+		CDRPerEpoch:       max(20, int(5060*scale)),
+		NMSReportsPerCell: 17 * math.Sqrt(scale),
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Cell describes one sector of an antenna: the spatial anchor every telco
+// record is linked to.
+type Cell struct {
+	ID      int64
+	Antenna int64
+	Tech    string // GSM | UMTS | LTE
+	Pt      geo.Point
+	Azimuth int
+	RangeM  int
+	HeightM int
+	PowerD  int
+	BSC     int64
+}
+
+// Generator produces snapshots of a synthetic trace.
+type Generator struct {
+	cfg   Config
+	cells []Cell
+	// cellPop holds cumulative Zipf-like popularity weights over cells for
+	// sampling where traffic happens (urban cells are hotter).
+	cellPop []float64
+	// userHome and userWork anchor each user to a home and a workplace
+	// cell, so identifiers correlate with space and commuting produces the
+	// home->work cell flows real CDR streams show (the traffic-proxy
+	// property smart-city systems build on, paper refs [3], [6]).
+	userHome []int
+	userWork []int
+}
+
+// New builds a generator, synthesizing the cell topology from cfg.
+func New(cfg Config) *Generator {
+	g := &Generator{cfg: cfg}
+	g.buildTopology()
+	return g
+}
+
+// Config returns the generator's configuration.
+func (g *Generator) Config() Config { return g.cfg }
+
+// Cells returns the static cell inventory.
+func (g *Generator) Cells() []Cell { return g.cells }
+
+// buildTopology places antennas as a mixture of urban clusters plus a rural
+// scatter, then fans each antenna into sectored cells.
+func (g *Generator) buildTopology() {
+	rng := rand.New(rand.NewSource(g.cfg.Seed))
+	r := g.cfg.Region
+	w, h := r.MaxX-r.MinX, r.MaxY-r.MinY
+
+	// Three urban centers hold ~70% of antennas.
+	type cluster struct {
+		c      geo.Point
+		sigma  float64
+		weight float64
+	}
+	clusters := []cluster{
+		{geo.Point{X: r.MinX + 0.30*w, Y: r.MinY + 0.40*h}, 4.0, 0.40},
+		{geo.Point{X: r.MinX + 0.65*w, Y: r.MinY + 0.60*h}, 3.0, 0.20},
+		{geo.Point{X: r.MinX + 0.55*w, Y: r.MinY + 0.25*h}, 2.5, 0.10},
+	}
+	techs := []string{"GSM", "UMTS", "LTE"}
+	cellID := int64(1000)
+	for a := 0; a < g.cfg.Antennas; a++ {
+		var pt geo.Point
+		u := rng.Float64()
+		placed := false
+		acc := 0.0
+		for _, cl := range clusters {
+			acc += cl.weight
+			if u < acc {
+				for {
+					pt = geo.Point{
+						X: cl.c.X + rng.NormFloat64()*cl.sigma,
+						Y: cl.c.Y + rng.NormFloat64()*cl.sigma,
+					}
+					if r.Contains(pt) {
+						break
+					}
+				}
+				placed = true
+				break
+			}
+		}
+		if !placed { // rural scatter
+			pt = geo.Point{
+				X: r.MinX + rng.Float64()*w,
+				Y: r.MinY + rng.Float64()*h,
+			}
+		}
+		tech := techs[rng.Intn(len(techs))]
+		sectors := g.cfg.SectorsPerAntenna
+		if sectors < 1 {
+			sectors = 1
+		}
+		for s := 0; s < sectors; s++ {
+			g.cells = append(g.cells, Cell{
+				ID:      cellID,
+				Antenna: int64(a + 1),
+				Tech:    tech,
+				Pt:      pt,
+				Azimuth: s * (360 / sectors),
+				RangeM:  300 + rng.Intn(1500),
+				HeightM: 15 + rng.Intn(40),
+				PowerD:  20 + rng.Intn(23),
+				BSC:     int64(a/50 + 1),
+			})
+			cellID++
+		}
+	}
+
+	// Zipf-ish popularity over cells: popularity ~ 1/rank^0.8 after a
+	// random shuffle so hot cells are spread across clusters.
+	perm := rng.Perm(len(g.cells))
+	pop := make([]float64, len(g.cells))
+	for rank, idx := range perm {
+		pop[idx] = 1 / math.Pow(float64(rank+1), 0.8)
+	}
+	g.cellPop = make([]float64, len(pop))
+	acc := 0.0
+	for i, p := range pop {
+		acc += p
+		g.cellPop[i] = acc
+	}
+
+	g.userHome = make([]int, g.cfg.Users)
+	g.userWork = make([]int, g.cfg.Users)
+	for u := range g.userHome {
+		g.userHome[u] = g.sampleCell(rng)
+		g.userWork[u] = g.sampleCell(rng)
+	}
+}
+
+// activeCell places a user at call time: commuters (4 of 5 users) sit at
+// their workplace cell on weekday working hours and at home otherwise,
+// with a roaming fraction sampled by cell popularity.
+func (g *Generator) activeCell(rng *rand.Rand, user int, at time.Time) int {
+	if rng.Float64() < 0.15 {
+		return g.sampleCell(rng)
+	}
+	h := at.Hour()
+	wd := at.Weekday()
+	working := h >= 9 && h < 17 && wd != time.Saturday && wd != time.Sunday
+	if working && user%5 != 0 {
+		return g.userWork[user]
+	}
+	return g.userHome[user]
+}
+
+// sampleCell draws a cell index from the popularity distribution.
+func (g *Generator) sampleCell(rng *rand.Rand) int {
+	total := g.cellPop[len(g.cellPop)-1]
+	u := rng.Float64() * total
+	lo, hi := 0, len(g.cellPop)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if g.cellPop[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// LoadFactor is the traffic multiplier at time t: a diurnal curve (morning
+// busiest, night quietest) times a weekly curve (weekdays > weekend). The
+// paper's Morning/Afternoon/Evening/Night and Mon..Sun dataset partitions
+// observe exactly this variation.
+func LoadFactor(t time.Time) float64 {
+	var diurnal float64
+	switch h := t.Hour(); {
+	case h >= 5 && h < 12: // morning
+		diurnal = 1.25
+	case h >= 12 && h < 17: // afternoon
+		diurnal = 1.05
+	case h >= 17 && h < 21: // evening
+		diurnal = 0.90
+	default: // night 21-05
+		diurnal = 0.35
+	}
+	var weekly float64
+	switch t.Weekday() {
+	case time.Saturday:
+		weekly = 0.85
+	case time.Sunday:
+		weekly = 0.70
+	default:
+		weekly = 1.0 + 0.02*float64(t.Weekday()) // slight ramp Mon..Fri
+	}
+	return diurnal * weekly
+}
+
+// CellTable renders the static inventory as a CELL table.
+func (g *Generator) CellTable() *telco.Table {
+	t := telco.NewTable(telco.CellSchema)
+	for _, c := range g.cells {
+		t.Append(telco.Record{
+			telco.Int(c.ID),
+			telco.Int(c.Antenna),
+			telco.String(c.Tech),
+			telco.Float(round3(c.Pt.X)),
+			telco.Float(round3(c.Pt.Y)),
+			telco.Int(int64(c.Azimuth)),
+			telco.Int(int64(c.RangeM)),
+			telco.Int(int64(c.HeightM)),
+			telco.Int(int64(c.PowerD)),
+			telco.Int(c.BSC),
+		})
+	}
+	return t
+}
+
+func round3(v float64) float64 { return math.Round(v*1000) / 1000 }
+
+// epochRNG derives the deterministic RNG for one epoch.
+func (g *Generator) epochRNG(e telco.Epoch) *rand.Rand {
+	return rand.New(rand.NewSource(g.cfg.Seed*1_000_003 + int64(e)))
+}
+
+// CDRTable generates the CDR batch of one epoch.
+func (g *Generator) CDRTable(e telco.Epoch) *telco.Table {
+	rng := g.epochRNG(e)
+	start := e.Start()
+	n := poissonish(rng, float64(g.cfg.CDRPerEpoch)*LoadFactor(start))
+	t := telco.NewTable(telco.CDRSchema)
+	for i := 0; i < n; i++ {
+		t.Append(g.cdrRecord(rng, start))
+	}
+	return t
+}
+
+var callTypes = []string{"VOICE", "VOICE", "VOICE", "SMS", "SMS", "DATA", "MMS"}
+
+// cdrRecord builds one ~200-attribute CDR row.
+func (g *Generator) cdrRecord(rng *rand.Rand, epochStart time.Time) telco.Record {
+	rec := make(telco.Record, telco.NumCDRAttrs)
+	ts := epochStart.Add(time.Duration(rng.Int63n(int64(telco.EpochDuration))))
+	caller := rng.Intn(g.cfg.Users)
+	callee := rng.Intn(g.cfg.Users)
+	cellIdx := g.activeCell(rng, caller, ts)
+	callType := callTypes[rng.Intn(len(callTypes))]
+	duration := int64(0)
+	if callType == "VOICE" {
+		duration = 5 + int64(rng.ExpFloat64()*120)
+	}
+	up, down := int64(0), int64(0)
+	if callType == "DATA" {
+		up = int64(rng.ExpFloat64() * 40_000)
+		down = int64(rng.ExpFloat64() * 400_000)
+	}
+	result := "OK"
+	switch r := rng.Float64(); {
+	case r < 0.020:
+		result = "DROP"
+	case r < 0.045:
+		result = "BUSY"
+	case r < 0.055:
+		result = "FAIL"
+	}
+	rec[0] = telco.Time(ts)
+	rec[1] = telco.String(phoneNumber(caller))
+	rec[2] = telco.String(phoneNumber(callee))
+	rec[3] = telco.Int(g.cells[cellIdx].ID)
+	rec[4] = telco.String(callType)
+	rec[5] = telco.Int(duration)
+	rec[6] = telco.Int(up)
+	rec[7] = telco.Int(down)
+	rec[8] = telco.String(result)
+	rec[9] = telco.String(imei(caller))
+	g.fillTailAttrs(rec, rng)
+	return rec
+}
+
+// fillTailAttrs populates the 190 synthetic operational attributes with the
+// entropy profile of Figure 4: most blank or constant (entropy ~0), a few
+// low-cardinality counters.
+func (g *Generator) fillTailAttrs(rec telco.Record, rng *rand.Rand) {
+	for i := 10; i < telco.NumCDRAttrs; i++ {
+		switch i % 4 {
+		case 0, 1: // optional flags, blank ~97% of the time
+			if rng.Float64() < 0.97 {
+				rec[i] = telco.Null
+			} else {
+				rec[i] = telco.String(flagValues[i%len(flagValues)][rng.Intn(2)])
+			}
+		case 2: // skewed small counters
+			rec[i] = telco.Int(int64(smallCounter(rng, i)))
+		default: // per-attribute constants (entropy exactly 0)
+			rec[i] = telco.String(constValues[i%len(constValues)])
+		}
+	}
+}
+
+var flagValues = [][2]string{
+	{"Y", "N"}, {"A", "B"}, {"ON", "OFF"}, {"T", "F"}, {"1", "0"},
+}
+
+var constValues = []string{"DEF", "STD", "NONE", "V1", "GSM-A", "PLAN0", "X"}
+
+// smallCounter draws a geometric-ish small integer whose skew varies by
+// attribute position, giving the 0.5–2 bit band of Figure 4.
+func smallCounter(rng *rand.Rand, attr int) int {
+	p := 0.5 + 0.4*float64(attr%5)/5 // stop probability in (0.5,0.9)
+	n := 0
+	for rng.Float64() > p && n < 15 {
+		n++
+	}
+	return n
+}
+
+// phoneNumber renders a stable pseudonymized MSISDN for a user index.
+func phoneNumber(user int) string {
+	return fmt.Sprintf("357%08d", user+1)
+}
+
+// imei renders a stable device identifier for a user index.
+func imei(user int) string {
+	return fmt.Sprintf("35%013d", int64(user)*7919+13)
+}
+
+// NMSTable generates the NMS batch of one epoch: aggregated performance
+// counters per cell, volume ~12x CDR as in the paper's trace.
+func (g *Generator) NMSTable(e telco.Epoch) *telco.Table {
+	rng := g.epochRNG(e + 1<<40) // decouple from the CDR stream
+	start := e.Start()
+	load := LoadFactor(start)
+	t := telco.NewTable(telco.NMSSchema)
+	// NMS reports arrive on fixed 5-minute measurement cycles, so their
+	// timestamps take only six distinct values per epoch.
+	const reportCycle = 5 * time.Minute
+	slots := int64(telco.EpochDuration / reportCycle)
+	for _, c := range g.cells {
+		n := poissonish(rng, g.cfg.NMSReportsPerCell*load)
+		for i := 0; i < n; i++ {
+			ts := start.Add(time.Duration(rng.Int63n(slots)) * reportCycle)
+			attempts := 1 + rng.Intn(int(40*load)+1)
+			drops := 0
+			if attempts > 0 {
+				drops = binomialish(rng, attempts, 0.02)
+			}
+			// Counters are quantized the way NMS equipment reports them:
+			// durations to 0.1s, throughput in 100 kbps steps, RSSI in
+			// 0.5 dBm steps — which is also what makes real OSS logs so
+			// compressible (paper Figure 4 / Table I).
+			t.Append(telco.Record{
+				telco.Time(ts),
+				telco.Int(c.ID),
+				telco.Int(int64(drops)),
+				telco.Int(int64(attempts)),
+				telco.Float(math.Round(30 + rng.ExpFloat64()*90)),
+				telco.Int(int64(200 + 100*rng.Intn(199))),
+				telco.Float(-110 + 0.5*float64(rng.Intn(101))),
+				telco.Int(int64(binomialish(rng, attempts, 0.01))),
+			})
+		}
+	}
+	return t
+}
+
+// poissonish approximates a Poisson draw with mean m (normal approximation
+// above 30, Knuth below).
+func poissonish(rng *rand.Rand, m float64) int {
+	if m <= 0 {
+		return 0
+	}
+	if m > 30 {
+		v := int(m + rng.NormFloat64()*math.Sqrt(m) + 0.5)
+		if v < 0 {
+			v = 0
+		}
+		return v
+	}
+	l := math.Exp(-m)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// binomialish draws Binomial(n, p) by direct simulation (n is small here).
+func binomialish(rng *rand.Rand, n int, p float64) int {
+	c := 0
+	for i := 0; i < n; i++ {
+		if rng.Float64() < p {
+			c++
+		}
+	}
+	return c
+}

@@ -1,0 +1,120 @@
+// Package geo provides the planar spatial primitives used throughout the
+// SPATE reproduction: points, rectangles, a uniform grid, and a quad-tree.
+//
+// Telco records are not point data in the traditional sense — each record is
+// linked to a cell ID covering an area of hundreds of meters (paper §II-B).
+// Coordinates here are kilometers in a local planar frame covering the
+// trace's ~6000 km^2 service region.
+package geo
+
+import "fmt"
+
+// Point is a planar location in kilometers.
+type Point struct {
+	X, Y float64
+}
+
+// Rect is an axis-aligned rectangle, half-open on the max edges:
+// a point p is inside when MinX <= p.X < MaxX and MinY <= p.Y < MaxY.
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// NewRect builds a rectangle, normalizing swapped corners.
+func NewRect(x1, y1, x2, y2 float64) Rect {
+	if x2 < x1 {
+		x1, x2 = x2, x1
+	}
+	if y2 < y1 {
+		y1, y2 = y2, y1
+	}
+	return Rect{MinX: x1, MinY: y1, MaxX: x2, MaxY: y2}
+}
+
+// Contains reports whether p lies inside the half-open rectangle.
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.MinX && p.X < r.MaxX && p.Y >= r.MinY && p.Y < r.MaxY
+}
+
+// Covers reports whether r fully contains s.
+func (r Rect) Covers(s Rect) bool {
+	return s.MinX >= r.MinX && s.MaxX <= r.MaxX && s.MinY >= r.MinY && s.MaxY <= r.MaxY
+}
+
+// Intersects reports whether the two rectangles overlap with positive area.
+func (r Rect) Intersects(s Rect) bool {
+	return r.MinX < s.MaxX && s.MinX < r.MaxX && r.MinY < s.MaxY && s.MinY < r.MaxY
+}
+
+// Area returns the rectangle's area in km^2.
+func (r Rect) Area() float64 { return (r.MaxX - r.MinX) * (r.MaxY - r.MinY) }
+
+// Center returns the rectangle's midpoint.
+func (r Rect) Center() Point {
+	return Point{X: (r.MinX + r.MaxX) / 2, Y: (r.MinY + r.MaxY) / 2}
+}
+
+// Expand grows the rectangle to include p (treating the rect as closed).
+func (r Rect) Expand(p Point) Rect {
+	if p.X < r.MinX {
+		r.MinX = p.X
+	}
+	if p.X >= r.MaxX {
+		r.MaxX = nextAfter(p.X)
+	}
+	if p.Y < r.MinY {
+		r.MinY = p.Y
+	}
+	if p.Y >= r.MaxY {
+		r.MaxY = nextAfter(p.Y)
+	}
+	return r
+}
+
+// nextAfter nudges v up by a relative epsilon so a point on the max edge
+// lands strictly inside the half-open rect.
+func nextAfter(v float64) float64 {
+	const eps = 1e-9
+	if v == 0 {
+		return eps
+	}
+	if v > 0 {
+		return v * (1 + eps)
+	}
+	return v * (1 - eps)
+}
+
+// String renders the rect for diagnostics.
+func (r Rect) String() string {
+	return fmt.Sprintf("[%.3f,%.3f)x[%.3f,%.3f)", r.MinX, r.MaxX, r.MinY, r.MaxY)
+}
+
+// SpatialIndex is the read surface shared by the quad-tree and the R-tree
+// — the two leaf-index variants the paper names in §V-A. Both answer box
+// queries and box aggregations over point items.
+type SpatialIndex interface {
+	// Query appends every item inside box to dst.
+	Query(box Rect, dst []Item) []Item
+	// AggregateQuery returns the count and weight sum inside box.
+	AggregateQuery(box Rect) (count int, weight float64)
+	// Len returns the number of stored items.
+	Len() int
+}
+
+// Compile-time checks: both index variants satisfy SpatialIndex.
+var (
+	_ SpatialIndex = (*QuadTree)(nil)
+	_ SpatialIndex = (*RTree)(nil)
+)
+
+// quadrants splits the rectangle into its four quadrants
+// (NW, NE, SW, SE order).
+func (r Rect) quadrants() [4]Rect {
+	c := r.Center()
+	return [4]Rect{
+		{MinX: r.MinX, MinY: c.Y, MaxX: c.X, MaxY: r.MaxY},
+		{MinX: c.X, MinY: c.Y, MaxX: r.MaxX, MaxY: r.MaxY},
+		{MinX: r.MinX, MinY: r.MinY, MaxX: c.X, MaxY: c.Y},
+		{MinX: c.X, MinY: r.MinY, MaxX: r.MaxX, MaxY: c.Y},
+	}
+}

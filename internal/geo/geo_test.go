@@ -1,0 +1,240 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRectBasics(t *testing.T) {
+	r := NewRect(10, 20, 0, 5) // swapped corners
+	want := Rect{MinX: 0, MinY: 5, MaxX: 10, MaxY: 20}
+	if r != want {
+		t.Fatalf("NewRect normalize: got %v, want %v", r, want)
+	}
+	if !r.Contains(Point{0, 5}) {
+		t.Error("min corner must be inside (half-open)")
+	}
+	if r.Contains(Point{10, 20}) {
+		t.Error("max corner must be outside (half-open)")
+	}
+	if got := r.Area(); got != 150 {
+		t.Errorf("Area = %v, want 150", got)
+	}
+	if got := r.Center(); got != (Point{5, 12.5}) {
+		t.Errorf("Center = %v", got)
+	}
+}
+
+func TestRectCoversIntersects(t *testing.T) {
+	r := NewRect(0, 0, 10, 10)
+	tests := []struct {
+		s                 Rect
+		covers, intersect bool
+	}{
+		{NewRect(1, 1, 9, 9), true, true},
+		{NewRect(0, 0, 10, 10), true, true},
+		{NewRect(-1, 0, 10, 10), false, true},
+		{NewRect(10, 10, 20, 20), false, false}, // touching corner
+		{NewRect(5, -5, 15, 5), false, true},
+		{NewRect(20, 20, 30, 30), false, false},
+	}
+	for _, tc := range tests {
+		if got := r.Covers(tc.s); got != tc.covers {
+			t.Errorf("Covers(%v) = %v, want %v", tc.s, got, tc.covers)
+		}
+		if got := r.Intersects(tc.s); got != tc.intersect {
+			t.Errorf("Intersects(%v) = %v, want %v", tc.s, got, tc.intersect)
+		}
+	}
+}
+
+func TestRectExpand(t *testing.T) {
+	r := NewRect(0, 0, 1, 1)
+	r = r.Expand(Point{5, -3})
+	if !r.Contains(Point{5, -3}) {
+		t.Errorf("expanded rect %v does not contain point", r)
+	}
+	if !r.Contains(Point{0.5, 0.5}) {
+		t.Error("expansion lost original coverage")
+	}
+}
+
+func TestQuadrantsPartition(t *testing.T) {
+	r := NewRect(0, 0, 8, 8)
+	qs := r.quadrants()
+	var total float64
+	for _, q := range qs {
+		total += q.Area()
+	}
+	if total != r.Area() {
+		t.Errorf("quadrant areas sum to %v, want %v", total, r.Area())
+	}
+	// Every interior point belongs to exactly one quadrant.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		p := Point{rng.Float64() * 8, rng.Float64() * 8}
+		n := 0
+		for _, q := range qs {
+			if q.Contains(p) {
+				n++
+			}
+		}
+		if n != 1 {
+			t.Fatalf("point %v in %d quadrants", p, n)
+		}
+	}
+}
+
+func randomItems(n int, seed int64, bounds Rect) []Item {
+	rng := rand.New(rand.NewSource(seed))
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{
+			Pt: Point{
+				bounds.MinX + rng.Float64()*(bounds.MaxX-bounds.MinX),
+				bounds.MinY + rng.Float64()*(bounds.MaxY-bounds.MinY),
+			},
+			ID:     int64(i),
+			Weight: rng.Float64() * 10,
+		}
+	}
+	return items
+}
+
+func TestQuadTreeQueryMatchesLinearScan(t *testing.T) {
+	bounds := NewRect(0, 0, 100, 100)
+	items := randomItems(2000, 42, bounds)
+	qt := NewQuadTree(bounds, 8)
+	for _, it := range items {
+		if !qt.Insert(it) {
+			t.Fatalf("Insert(%v) rejected", it)
+		}
+	}
+	if qt.Len() != len(items) {
+		t.Fatalf("Len = %d, want %d", qt.Len(), len(items))
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		box := NewRect(rng.Float64()*100, rng.Float64()*100, rng.Float64()*100, rng.Float64()*100)
+		got := qt.Query(box, nil)
+		var wantN int
+		var wantW float64
+		for _, it := range items {
+			if box.Contains(it.Pt) {
+				wantN++
+				wantW += it.Weight
+			}
+		}
+		if len(got) != wantN {
+			t.Errorf("Query(%v): got %d items, scan %d", box, len(got), wantN)
+		}
+		c, w := qt.AggregateQuery(box)
+		if c != wantN {
+			t.Errorf("AggregateQuery(%v): count %d, want %d", box, c, wantN)
+		}
+		if diff := w - wantW; diff > 1e-6 || diff < -1e-6 {
+			t.Errorf("AggregateQuery(%v): weight %v, want %v", box, w, wantW)
+		}
+	}
+}
+
+func TestQuadTreeRejectsOutside(t *testing.T) {
+	qt := NewQuadTree(NewRect(0, 0, 1, 1), 4)
+	if qt.Insert(Item{Pt: Point{2, 2}}) {
+		t.Error("Insert outside bounds accepted")
+	}
+	if qt.Len() != 0 {
+		t.Error("size changed after rejected insert")
+	}
+}
+
+func TestQuadTreeCoincidentPoints(t *testing.T) {
+	// Many identical points must not recurse forever.
+	qt := NewQuadTree(NewRect(0, 0, 1, 1), 2)
+	for i := 0; i < 100; i++ {
+		qt.Insert(Item{Pt: Point{0.5, 0.5}, ID: int64(i), Weight: 1})
+	}
+	c, w := qt.AggregateQuery(NewRect(0.4, 0.4, 0.6, 0.6))
+	if c != 100 || w != 100 {
+		t.Errorf("coincident aggregate = (%d,%v), want (100,100)", c, w)
+	}
+	if d := qt.Depth(); d > 30 {
+		t.Errorf("depth %d too large for coincident points", d)
+	}
+}
+
+func TestQuadTreeFullCoverFastPath(t *testing.T) {
+	bounds := NewRect(0, 0, 64, 64)
+	qt := NewQuadTree(bounds, 4)
+	items := randomItems(500, 3, bounds)
+	for _, it := range items {
+		qt.Insert(it)
+	}
+	c, _ := qt.AggregateQuery(bounds)
+	if c != 500 {
+		t.Errorf("full-cover count = %d, want 500", c)
+	}
+}
+
+func TestGridCellIndexRoundTrip(t *testing.T) {
+	g := NewGrid(NewRect(0, 0, 80, 75), 16, 15)
+	if g.NumCells() != 240 {
+		t.Fatalf("NumCells = %d", g.NumCells())
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 500; i++ {
+		p := Point{rng.Float64() * 80, rng.Float64() * 75}
+		idx := g.CellIndex(p)
+		if idx < 0 || idx >= g.NumCells() {
+			t.Fatalf("CellIndex(%v) = %d out of range", p, idx)
+		}
+		if !g.CellRect(idx).Contains(p) {
+			t.Fatalf("CellRect(%d)=%v does not contain %v", idx, g.CellRect(idx), p)
+		}
+	}
+	if g.CellIndex(Point{-1, 0}) != -1 {
+		t.Error("outside point should map to -1")
+	}
+}
+
+func TestGridCellsIntersecting(t *testing.T) {
+	g := NewGrid(NewRect(0, 0, 10, 10), 10, 10)
+	got := g.CellsIntersecting(NewRect(2.5, 2.5, 4.5, 3.5), nil)
+	// x cells 2,3,4 ; y cells 2,3 -> 6 cells
+	if len(got) != 6 {
+		t.Errorf("CellsIntersecting = %v (len %d), want 6 cells", got, len(got))
+	}
+	if got := g.CellsIntersecting(NewRect(20, 20, 30, 30), nil); got != nil {
+		t.Errorf("disjoint box returned cells %v", got)
+	}
+	// Whole bounds -> every cell.
+	if got := g.CellsIntersecting(g.Bounds(), nil); len(got) != 100 {
+		t.Errorf("full box = %d cells, want 100", len(got))
+	}
+}
+
+func TestGridPropertyEveryIntersectedCellTouchesBox(t *testing.T) {
+	g := NewGrid(NewRect(0, 0, 100, 100), 20, 20)
+	f := func(a, b, c, d float64) bool {
+		box := NewRect(mod(a, 100), mod(b, 100), mod(c, 100), mod(d, 100))
+		for _, idx := range g.CellsIntersecting(box, nil) {
+			if !g.CellRect(idx).Intersects(box) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func mod(v, m float64) float64 {
+	v = math.Abs(math.Mod(v, m))
+	if math.IsNaN(v) {
+		return 0
+	}
+	return v
+}

@@ -1,0 +1,95 @@
+package geo
+
+// Grid maps points to uniform cells over a bounding rectangle. SPATE's
+// highlight summaries bucket measurements per spatial grid cell so that a
+// bounding-box predicate can be answered from aggregates alone.
+type Grid struct {
+	bounds Rect
+	nx, ny int
+	cw, ch float64
+}
+
+// NewGrid builds an nx-by-ny grid over bounds. Dimensions < 1 are clamped.
+func NewGrid(bounds Rect, nx, ny int) Grid {
+	if nx < 1 {
+		nx = 1
+	}
+	if ny < 1 {
+		ny = 1
+	}
+	return Grid{
+		bounds: bounds,
+		nx:     nx,
+		ny:     ny,
+		cw:     (bounds.MaxX - bounds.MinX) / float64(nx),
+		ch:     (bounds.MaxY - bounds.MinY) / float64(ny),
+	}
+}
+
+// Bounds returns the covered rectangle.
+func (g Grid) Bounds() Rect { return g.bounds }
+
+// Dims returns the grid dimensions (nx, ny).
+func (g Grid) Dims() (int, int) { return g.nx, g.ny }
+
+// NumCells returns nx*ny.
+func (g Grid) NumCells() int { return g.nx * g.ny }
+
+// CellIndex returns the flat cell index containing p, or -1 when p is
+// outside the grid bounds.
+func (g Grid) CellIndex(p Point) int {
+	if !g.bounds.Contains(p) {
+		return -1
+	}
+	ix := int((p.X - g.bounds.MinX) / g.cw)
+	iy := int((p.Y - g.bounds.MinY) / g.ch)
+	if ix >= g.nx {
+		ix = g.nx - 1
+	}
+	if iy >= g.ny {
+		iy = g.ny - 1
+	}
+	return iy*g.nx + ix
+}
+
+// CellRect returns the rectangle of the flat cell index i.
+func (g Grid) CellRect(i int) Rect {
+	ix, iy := i%g.nx, i/g.nx
+	return Rect{
+		MinX: g.bounds.MinX + float64(ix)*g.cw,
+		MinY: g.bounds.MinY + float64(iy)*g.ch,
+		MaxX: g.bounds.MinX + float64(ix+1)*g.cw,
+		MaxY: g.bounds.MinY + float64(iy+1)*g.ch,
+	}
+}
+
+// CellsIntersecting appends the flat indices of every grid cell whose
+// rectangle intersects box, in row-major order.
+func (g Grid) CellsIntersecting(box Rect, dst []int) []int {
+	if !g.bounds.Intersects(box) {
+		return dst
+	}
+	x0 := clamp(int((box.MinX-g.bounds.MinX)/g.cw), 0, g.nx-1)
+	x1 := clamp(int((box.MaxX-g.bounds.MinX)/g.cw), 0, g.nx-1)
+	y0 := clamp(int((box.MinY-g.bounds.MinY)/g.ch), 0, g.ny-1)
+	y1 := clamp(int((box.MaxY-g.bounds.MinY)/g.ch), 0, g.ny-1)
+	for iy := y0; iy <= y1; iy++ {
+		for ix := x0; ix <= x1; ix++ {
+			i := iy*g.nx + ix
+			if g.CellRect(i).Intersects(box) {
+				dst = append(dst, i)
+			}
+		}
+	}
+	return dst
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,377 @@
+package geo
+
+import "sort"
+
+// RTree is an R-tree over point items with per-node aggregate counts and
+// weights — the alternative leaf spatial index the paper names in §V-A
+// ("an additional spatial index (e.g., R-tree or quad-tree variant)").
+// It supports incremental insertion (quadratic-split R-tree) and STR bulk
+// loading for static sets such as the cell inventory.
+type RTree struct {
+	root *rtNode
+	size int
+	// min/max children per node.
+	minEntries, maxEntries int
+}
+
+type rtNode struct {
+	bounds Rect
+	leaf   bool
+	items  []Item    // when leaf
+	kids   []*rtNode // when internal
+	count  int
+	weight float64
+}
+
+// NewRTree returns an empty tree. maxEntries <= 0 selects 8.
+func NewRTree(maxEntries int) *RTree {
+	if maxEntries <= 1 {
+		maxEntries = 8
+	}
+	min := maxEntries * 2 / 5
+	if min < 1 {
+		min = 1
+	}
+	return &RTree{
+		root:       &rtNode{leaf: true},
+		minEntries: min,
+		maxEntries: maxEntries,
+	}
+}
+
+// Len returns the number of stored items.
+func (t *RTree) Len() int { return t.size }
+
+// Bounds returns the root bounding rectangle (zero when empty).
+func (t *RTree) Bounds() Rect { return t.root.bounds }
+
+func pointRect(p Point) Rect {
+	return Rect{MinX: p.X, MinY: p.Y, MaxX: p.X, MaxY: p.Y}
+}
+
+func union(a, b Rect) Rect {
+	if a == (Rect{}) {
+		return b
+	}
+	if b == (Rect{}) {
+		return a
+	}
+	if b.MinX < a.MinX {
+		a.MinX = b.MinX
+	}
+	if b.MinY < a.MinY {
+		a.MinY = b.MinY
+	}
+	if b.MaxX > a.MaxX {
+		a.MaxX = b.MaxX
+	}
+	if b.MaxY > a.MaxY {
+		a.MaxY = b.MaxY
+	}
+	return a
+}
+
+func area(r Rect) float64 { return (r.MaxX - r.MinX) * (r.MaxY - r.MinY) }
+
+// enlargement is the area growth of r needed to cover s.
+func enlargement(r, s Rect) float64 {
+	return area(union(r, s)) - area(r)
+}
+
+// rectContains tests containment treating item rects as closed points.
+func rectContains(box Rect, p Point) bool {
+	return p.X >= box.MinX && p.X < box.MaxX && p.Y >= box.MinY && p.Y < box.MaxY
+}
+
+// rectIntersectsClosed tests a closed node MBR against a half-open query
+// box.
+func rectIntersectsClosed(mbr, box Rect) bool {
+	return mbr.MinX < box.MaxX && box.MinX <= mbr.MaxX &&
+		mbr.MinY < box.MaxY && box.MinY <= mbr.MaxY
+}
+
+// Insert adds an item.
+func (t *RTree) Insert(it Item) {
+	t.size++
+	split := t.insert(t.root, it)
+	if split != nil {
+		// Grow a new root.
+		old := t.root
+		t.root = &rtNode{
+			leaf:   false,
+			kids:   []*rtNode{old, split},
+			bounds: union(old.bounds, split.bounds),
+			count:  old.count + split.count,
+			weight: old.weight + split.weight,
+		}
+	}
+}
+
+// insert adds it under n, returning a new sibling when n split.
+func (t *RTree) insert(n *rtNode, it Item) *rtNode {
+	n.bounds = union(n.bounds, pointRect(it.Pt))
+	n.count++
+	n.weight += it.Weight
+	if n.leaf {
+		n.items = append(n.items, it)
+		if len(n.items) > t.maxEntries {
+			return t.splitLeaf(n)
+		}
+		return nil
+	}
+	// Choose the subtree needing least enlargement (ties: smaller area).
+	best := n.kids[0]
+	bestGrow := enlargement(best.bounds, pointRect(it.Pt))
+	for _, k := range n.kids[1:] {
+		g := enlargement(k.bounds, pointRect(it.Pt))
+		if g < bestGrow || (g == bestGrow && area(k.bounds) < area(best.bounds)) {
+			best, bestGrow = k, g
+		}
+	}
+	if split := t.insert(best, it); split != nil {
+		n.kids = append(n.kids, split)
+		if len(n.kids) > t.maxEntries {
+			return t.splitInternal(n)
+		}
+	}
+	return nil
+}
+
+// splitLeaf performs a quadratic split of an overfull leaf, mutating n and
+// returning the new sibling.
+func (t *RTree) splitLeaf(n *rtNode) *rtNode {
+	items := n.items
+	// Pick the two seeds wasting the most area if grouped.
+	si, sj := 0, 1
+	worst := -1.0
+	for i := 0; i < len(items); i++ {
+		for j := i + 1; j < len(items); j++ {
+			w := area(union(pointRect(items[i].Pt), pointRect(items[j].Pt)))
+			if w > worst {
+				worst, si, sj = w, i, j
+			}
+		}
+	}
+	a := &rtNode{leaf: true}
+	b := &rtNode{leaf: true}
+	addItem := func(dst *rtNode, it Item) {
+		dst.items = append(dst.items, it)
+		dst.bounds = union(dst.bounds, pointRect(it.Pt))
+		dst.count++
+		dst.weight += it.Weight
+	}
+	addItem(a, items[si])
+	addItem(b, items[sj])
+	for k, it := range items {
+		if k == si || k == sj {
+			continue
+		}
+		// Honor minimum fill.
+		remaining := len(items) - k // rough; assignment below still balances
+		_ = remaining
+		switch {
+		case len(a.items)+1 <= t.minEntries && len(b.items) >= t.minEntries:
+			addItem(a, it)
+		case len(b.items)+1 <= t.minEntries && len(a.items) >= t.minEntries:
+			addItem(b, it)
+		default:
+			if enlargement(a.bounds, pointRect(it.Pt)) <= enlargement(b.bounds, pointRect(it.Pt)) {
+				addItem(a, it)
+			} else {
+				addItem(b, it)
+			}
+		}
+	}
+	*n = *a
+	return b
+}
+
+// splitInternal splits an overfull internal node.
+func (t *RTree) splitInternal(n *rtNode) *rtNode {
+	kids := n.kids
+	si, sj := 0, 1
+	worst := -1.0
+	for i := 0; i < len(kids); i++ {
+		for j := i + 1; j < len(kids); j++ {
+			w := area(union(kids[i].bounds, kids[j].bounds))
+			if w > worst {
+				worst, si, sj = w, i, j
+			}
+		}
+	}
+	a := &rtNode{}
+	b := &rtNode{}
+	addKid := func(dst *rtNode, k *rtNode) {
+		dst.kids = append(dst.kids, k)
+		dst.bounds = union(dst.bounds, k.bounds)
+		dst.count += k.count
+		dst.weight += k.weight
+	}
+	addKid(a, kids[si])
+	addKid(b, kids[sj])
+	for k, kid := range kids {
+		if k == si || k == sj {
+			continue
+		}
+		switch {
+		case len(a.kids)+1 <= t.minEntries && len(b.kids) >= t.minEntries:
+			addKid(a, kid)
+		case len(b.kids)+1 <= t.minEntries && len(a.kids) >= t.minEntries:
+			addKid(b, kid)
+		default:
+			if enlargement(a.bounds, kid.bounds) <= enlargement(b.bounds, kid.bounds) {
+				addKid(a, kid)
+			} else {
+				addKid(b, kid)
+			}
+		}
+	}
+	*n = *a
+	return b
+}
+
+// BulkLoadRTree builds a tree from items with Sort-Tile-Recursive packing:
+// near-full leaves and a balanced structure, ideal for the static cell
+// inventory.
+func BulkLoadRTree(items []Item, maxEntries int) *RTree {
+	t := NewRTree(maxEntries)
+	if len(items) == 0 {
+		return t
+	}
+	t.size = len(items)
+	// STR: sort by x, cut into vertical slices, sort each by y, pack.
+	sorted := make([]Item, len(items))
+	copy(sorted, items)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Pt.X < sorted[j].Pt.X })
+	per := t.maxEntries
+	nLeaves := (len(sorted) + per - 1) / per
+	nSlices := intSqrtCeil(nLeaves)
+	sliceSize := ((len(sorted) + nSlices - 1) / nSlices)
+
+	var leaves []*rtNode
+	for s := 0; s < len(sorted); s += sliceSize {
+		e := s + sliceSize
+		if e > len(sorted) {
+			e = len(sorted)
+		}
+		slice := sorted[s:e]
+		sort.Slice(slice, func(i, j int) bool { return slice[i].Pt.Y < slice[j].Pt.Y })
+		for o := 0; o < len(slice); o += per {
+			oe := o + per
+			if oe > len(slice) {
+				oe = len(slice)
+			}
+			leaf := &rtNode{leaf: true}
+			for _, it := range slice[o:oe] {
+				leaf.items = append(leaf.items, it)
+				leaf.bounds = union(leaf.bounds, pointRect(it.Pt))
+				leaf.count++
+				leaf.weight += it.Weight
+			}
+			leaves = append(leaves, leaf)
+		}
+	}
+	// Pack upward until a single root remains.
+	level := leaves
+	for len(level) > 1 {
+		var next []*rtNode
+		for s := 0; s < len(level); s += per {
+			e := s + per
+			if e > len(level) {
+				e = len(level)
+			}
+			n := &rtNode{}
+			for _, k := range level[s:e] {
+				n.kids = append(n.kids, k)
+				n.bounds = union(n.bounds, k.bounds)
+				n.count += k.count
+				n.weight += k.weight
+			}
+			next = append(next, n)
+		}
+		level = next
+	}
+	t.root = level[0]
+	return t
+}
+
+func intSqrtCeil(n int) int {
+	s := 1
+	for s*s < n {
+		s++
+	}
+	return s
+}
+
+// Query appends every item inside the half-open box to dst.
+func (t *RTree) Query(box Rect, dst []Item) []Item {
+	if t.size == 0 {
+		return dst
+	}
+	return t.root.query(box, dst)
+}
+
+func (n *rtNode) query(box Rect, dst []Item) []Item {
+	if !rectIntersectsClosed(n.bounds, box) {
+		return dst
+	}
+	if n.leaf {
+		for _, it := range n.items {
+			if rectContains(box, it.Pt) {
+				dst = append(dst, it)
+			}
+		}
+		return dst
+	}
+	for _, k := range n.kids {
+		dst = k.query(box, dst)
+	}
+	return dst
+}
+
+// AggregateQuery returns the count and weight of items inside box, using
+// subtree aggregates when a node's MBR is fully covered.
+func (t *RTree) AggregateQuery(box Rect) (int, float64) {
+	if t.size == 0 {
+		return 0, 0
+	}
+	return t.root.aggregate(box)
+}
+
+func (n *rtNode) aggregate(box Rect) (int, float64) {
+	if !rectIntersectsClosed(n.bounds, box) {
+		return 0, 0
+	}
+	// MBRs are closed; full coverage check must keep the half-open query
+	// semantics: the MBR's max corner must be strictly inside.
+	if box.MinX <= n.bounds.MinX && box.MinY <= n.bounds.MinY &&
+		n.bounds.MaxX < box.MaxX && n.bounds.MaxY < box.MaxY {
+		return n.count, n.weight
+	}
+	if n.leaf {
+		c, w := 0, 0.0
+		for _, it := range n.items {
+			if rectContains(box, it.Pt) {
+				c++
+				w += it.Weight
+			}
+		}
+		return c, w
+	}
+	c, w := 0, 0.0
+	for _, k := range n.kids {
+		kc, kw := k.aggregate(box)
+		c += kc
+		w += kw
+	}
+	return c, w
+}
+
+// Depth returns the tree height (root = 1).
+func (t *RTree) Depth() int {
+	d := 1
+	for n := t.root; !n.leaf; n = n.kids[0] {
+		d++
+	}
+	return d
+}

@@ -1,0 +1,149 @@
+package geo
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRTreeInsertQueryMatchesScan(t *testing.T) {
+	bounds := NewRect(0, 0, 100, 100)
+	items := randomItems(3000, 11, bounds)
+	rt := NewRTree(8)
+	for _, it := range items {
+		rt.Insert(it)
+	}
+	if rt.Len() != len(items) {
+		t.Fatalf("Len = %d", rt.Len())
+	}
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 60; trial++ {
+		box := NewRect(rng.Float64()*100, rng.Float64()*100, rng.Float64()*100, rng.Float64()*100)
+		got := rt.Query(box, nil)
+		var wantN int
+		var wantW float64
+		for _, it := range items {
+			if box.Contains(it.Pt) {
+				wantN++
+				wantW += it.Weight
+			}
+		}
+		if len(got) != wantN {
+			t.Errorf("Query(%v) = %d items, scan %d", box, len(got), wantN)
+		}
+		c, w := rt.AggregateQuery(box)
+		if c != wantN {
+			t.Errorf("AggregateQuery(%v) count = %d, want %d", box, c, wantN)
+		}
+		if diff := w - wantW; diff > 1e-6 || diff < -1e-6 {
+			t.Errorf("AggregateQuery(%v) weight = %v, want %v", box, w, wantW)
+		}
+	}
+}
+
+func TestRTreeBulkLoadMatchesScan(t *testing.T) {
+	bounds := NewRect(0, 0, 80, 75)
+	items := randomItems(3660, 13, bounds) // the paper's cell count
+	rt := BulkLoadRTree(items, 16)
+	if rt.Len() != len(items) {
+		t.Fatalf("Len = %d", rt.Len())
+	}
+	rng := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 60; trial++ {
+		box := NewRect(rng.Float64()*80, rng.Float64()*75, rng.Float64()*80, rng.Float64()*75)
+		got := rt.Query(box, nil)
+		wantN := 0
+		for _, it := range items {
+			if box.Contains(it.Pt) {
+				wantN++
+			}
+		}
+		if len(got) != wantN {
+			t.Errorf("bulk Query(%v) = %d, scan %d", box, len(got), wantN)
+		}
+	}
+	// STR packing yields a shallow, balanced tree.
+	if d := rt.Depth(); d > 4 {
+		t.Errorf("bulk-loaded depth = %d for 3660 items", d)
+	}
+}
+
+func TestRTreeAgreesWithQuadTree(t *testing.T) {
+	bounds := NewRect(0, 0, 64, 64)
+	items := randomItems(1500, 15, bounds)
+	rt := BulkLoadRTree(items, 8)
+	qt := NewQuadTree(bounds, 8)
+	for _, it := range items {
+		qt.Insert(it)
+	}
+	rng := rand.New(rand.NewSource(16))
+	for trial := 0; trial < 40; trial++ {
+		box := NewRect(rng.Float64()*64, rng.Float64()*64, rng.Float64()*64, rng.Float64()*64)
+		rc, rw := rt.AggregateQuery(box)
+		qc, qw := qt.AggregateQuery(box)
+		if rc != qc {
+			t.Errorf("count: rtree %d vs quadtree %d on %v", rc, qc, box)
+		}
+		if diff := rw - qw; diff > 1e-6 || diff < -1e-6 {
+			t.Errorf("weight: rtree %v vs quadtree %v", rw, qw)
+		}
+	}
+}
+
+func TestRTreeEmptyAndEdge(t *testing.T) {
+	rt := NewRTree(0) // default fanout
+	if got := rt.Query(NewRect(0, 0, 1, 1), nil); got != nil {
+		t.Error("empty tree returned items")
+	}
+	if c, w := rt.AggregateQuery(NewRect(0, 0, 1, 1)); c != 0 || w != 0 {
+		t.Error("empty aggregate nonzero")
+	}
+	if BulkLoadRTree(nil, 4).Len() != 0 {
+		t.Error("bulk load of nothing")
+	}
+	// Single item.
+	rt.Insert(Item{Pt: Point{0.5, 0.5}, ID: 1, Weight: 2})
+	if c, w := rt.AggregateQuery(NewRect(0, 0, 1, 1)); c != 1 || w != 2 {
+		t.Errorf("single item aggregate = %d/%v", c, w)
+	}
+	if c, _ := rt.AggregateQuery(NewRect(2, 2, 3, 3)); c != 0 {
+		t.Error("miss returned items")
+	}
+}
+
+func TestRTreeCoincidentPoints(t *testing.T) {
+	rt := NewRTree(4)
+	for i := 0; i < 200; i++ {
+		rt.Insert(Item{Pt: Point{5, 5}, ID: int64(i), Weight: 1})
+	}
+	c, w := rt.AggregateQuery(NewRect(4, 4, 6, 6))
+	if c != 200 || w != 200 {
+		t.Errorf("coincident = %d/%v", c, w)
+	}
+}
+
+func BenchmarkRTreeQuery(b *testing.B) {
+	bounds := NewRect(0, 0, 100, 100)
+	items := randomItems(10000, 17, bounds)
+	rt := BulkLoadRTree(items, 16)
+	box := NewRect(20, 20, 40, 40)
+	b.ResetTimer()
+	var out []Item
+	for i := 0; i < b.N; i++ {
+		out = rt.Query(box, out[:0])
+	}
+}
+
+func BenchmarkQuadTreeQuery(b *testing.B) {
+	bounds := NewRect(0, 0, 100, 100)
+	items := randomItems(10000, 17, bounds)
+	qt := NewQuadTree(bounds, 16)
+	for _, it := range items {
+		qt.Insert(it)
+	}
+	box := NewRect(20, 20, 40, 40)
+	b.ResetTimer()
+	var out []Item
+	for i := 0; i < b.N; i++ {
+		out = qt.Query(box, out[:0])
+	}
+}

@@ -1,0 +1,464 @@
+// Package highlights implements SPATE's highlights module (paper §V-B):
+// materialized summaries of the underlying raw data computed for each
+// internal node of the temporal index. Summaries behave like an OLAP cube
+// whose construction cost is amortized over time — day summaries are built
+// from snapshot data, month summaries from day summaries, year summaries
+// from month summaries — and support the frequency-threshold highlight
+// extraction the paper describes: values whose occurrence frequency falls
+// below a per-level threshold θ are "highlights" (interesting rare events),
+// reported with their type (categorical) or peaking point (continuous) and
+// their duration.
+package highlights
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"spate/internal/telco"
+)
+
+// AttrRef names one attribute of one telco source table.
+type AttrRef struct {
+	Table string
+	Attr  string
+}
+
+func (a AttrRef) String() string { return a.Table + "." + a.Attr }
+
+// Config selects the attributes summarized into highlights — the
+// "long-standing queries of users (e.g., the drop-call counters, bandwidth
+// statistics)" the paper materializes.
+type Config struct {
+	Categorical []AttrRef
+	Numeric     []AttrRef
+	// CellAttrs are the numeric attributes additionally tracked per
+	// spatial cell — the materialized per-cell counters a heatmap needs
+	// (drop calls, bandwidth). Keeping this set small bounds the cube: a
+	// summary costs O(cells x |CellAttrs|), which is the index-space term
+	// S_i of the paper's storage objective.
+	CellAttrs []AttrRef
+	// MaxCatValues caps the tracked distinct values per categorical
+	// attribute (default 512); beyond it, new values lump into an overflow
+	// bucket so summaries stay bounded.
+	MaxCatValues int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxCatValues <= 0 {
+		c.MaxCatValues = 512
+	}
+	return c
+}
+
+// DefaultConfig summarizes the telco vitals driving the paper's example
+// explorations: drop calls, call volumes and bandwidth.
+func DefaultConfig() Config {
+	return Config{
+		Categorical: []AttrRef{
+			{"CDR", telco.AttrCallType},
+			{"CDR", telco.AttrResult},
+		},
+		Numeric: []AttrRef{
+			{"CDR", telco.AttrDuration},
+			{"CDR", telco.AttrUpflux},
+			{"CDR", telco.AttrDownflux},
+			{"NMS", "drop_calls"},
+			{"NMS", "call_attempts"},
+			{"NMS", "throughput_kbps"},
+			{"NMS", "rssi_dbm"},
+		},
+		CellAttrs: []AttrRef{
+			{"CDR", telco.AttrUpflux},
+			{"CDR", telco.AttrDownflux},
+			{"NMS", "drop_calls"},
+			{"NMS", "rssi_dbm"},
+		},
+	}
+}
+
+// overflowValue lumps categorical values beyond MaxCatValues.
+const overflowValue = "\x00other"
+
+// Stats are mergeable aggregates of one numeric attribute.
+type Stats struct {
+	NonNull  int64
+	Sum      float64
+	SumSq    float64
+	Min, Max float64
+	PeakTime time.Time // when Max was observed
+}
+
+func (s *Stats) add(v float64, at time.Time) {
+	if s.NonNull == 0 || v < s.Min {
+		s.Min = v
+	}
+	if s.NonNull == 0 || v > s.Max {
+		s.Max = v
+		s.PeakTime = at
+	}
+	s.NonNull++
+	s.Sum += v
+	s.SumSq += v * v
+}
+
+// Merge folds another Stats value into s (exact, commutative).
+func (s *Stats) Merge(o *Stats) { s.merge(o) }
+
+func (s *Stats) merge(o *Stats) {
+	if o.NonNull == 0 {
+		return
+	}
+	if s.NonNull == 0 || o.Min < s.Min {
+		s.Min = o.Min
+	}
+	if s.NonNull == 0 || o.Max > s.Max {
+		s.Max = o.Max
+		s.PeakTime = o.PeakTime
+	}
+	s.NonNull += o.NonNull
+	s.Sum += o.Sum
+	s.SumSq += o.SumSq
+}
+
+// Mean returns the arithmetic mean (0 for empty stats).
+func (s *Stats) Mean() float64 {
+	if s.NonNull == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.NonNull)
+}
+
+// StdDev returns the population standard deviation.
+func (s *Stats) StdDev() float64 {
+	if s.NonNull == 0 {
+		return 0
+	}
+	m := s.Mean()
+	v := s.SumSq/float64(s.NonNull) - m*m
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// ValStat tracks one categorical value's occurrences and observed lifespan
+// (the highlight "duration").
+type ValStat struct {
+	Count       int64
+	First, Last time.Time
+}
+
+func (v *ValStat) add(at time.Time) {
+	if v.Count == 0 || at.Before(v.First) {
+		v.First = at
+	}
+	if v.Count == 0 || at.After(v.Last) {
+		v.Last = at
+	}
+	v.Count++
+}
+
+func (v *ValStat) merge(o *ValStat) {
+	if o.Count == 0 {
+		return
+	}
+	if v.Count == 0 || o.First.Before(v.First) {
+		v.First = o.First
+	}
+	if v.Count == 0 || o.Last.After(v.Last) {
+		v.Last = o.Last
+	}
+	v.Count += o.Count
+}
+
+// CellStats aggregates per spatial cell.
+type CellStats struct {
+	Rows int64
+	Num  map[AttrRef]*Stats
+}
+
+// Summary is the mergeable highlight cube of one temporal-index node.
+type Summary struct {
+	Period telco.TimeRange
+	Rows   int64
+	Num    map[AttrRef]*Stats
+	Cat    map[AttrRef]map[string]*ValStat
+	Cells  map[int64]*CellStats
+}
+
+// NewSummary returns an empty summary over the given period.
+func NewSummary(period telco.TimeRange) *Summary {
+	return &Summary{
+		Period: period,
+		Num:    make(map[AttrRef]*Stats),
+		Cat:    make(map[AttrRef]map[string]*ValStat),
+		Cells:  make(map[int64]*CellStats),
+	}
+}
+
+// AddTable folds one snapshot table into the summary.
+func (s *Summary) AddTable(cfg Config, t *telco.Table) {
+	cfg = cfg.withDefaults()
+	tsIdx := t.Schema.FieldIndex(telco.AttrTS)
+	cellIdx := t.Schema.FieldIndex(telco.AttrCellID)
+	type numCol struct {
+		ref     AttrRef
+		idx     int
+		perCell bool
+	}
+	var numCols, catCols []numCol
+	perCell := make(map[AttrRef]bool, len(cfg.CellAttrs))
+	for _, ref := range cfg.CellAttrs {
+		perCell[ref] = true
+	}
+	for _, ref := range cfg.Numeric {
+		if ref.Table == t.Schema.Name {
+			if i := t.Schema.FieldIndex(ref.Attr); i >= 0 {
+				numCols = append(numCols, numCol{ref, i, perCell[ref]})
+			}
+		}
+	}
+	for _, ref := range cfg.Categorical {
+		if ref.Table == t.Schema.Name {
+			if i := t.Schema.FieldIndex(ref.Attr); i >= 0 {
+				catCols = append(catCols, numCol{ref, i, false})
+			}
+		}
+	}
+	for _, row := range t.Rows {
+		s.Rows++
+		var at time.Time
+		if tsIdx >= 0 && !row[tsIdx].IsNull() {
+			at = row[tsIdx].Time()
+		}
+		var cell *CellStats
+		if cellIdx >= 0 && !row[cellIdx].IsNull() {
+			id := row[cellIdx].Int64()
+			cell = s.Cells[id]
+			if cell == nil {
+				cell = &CellStats{Num: make(map[AttrRef]*Stats)}
+				s.Cells[id] = cell
+			}
+			cell.Rows++
+		}
+		for _, c := range numCols {
+			v := row[c.idx]
+			if v.IsNull() {
+				continue
+			}
+			f := v.Float64()
+			st := s.Num[c.ref]
+			if st == nil {
+				st = &Stats{}
+				s.Num[c.ref] = st
+			}
+			st.add(f, at)
+			if cell != nil && c.perCell {
+				cst := cell.Num[c.ref]
+				if cst == nil {
+					cst = &Stats{}
+					cell.Num[c.ref] = cst
+				}
+				cst.add(f, at)
+			}
+		}
+		for _, c := range catCols {
+			v := row[c.idx]
+			if v.IsNull() {
+				continue
+			}
+			vals := s.Cat[c.ref]
+			if vals == nil {
+				vals = make(map[string]*ValStat)
+				s.Cat[c.ref] = vals
+			}
+			key := v.Format()
+			vs := vals[key]
+			if vs == nil {
+				if len(vals) >= cfg.MaxCatValues {
+					key = overflowValue
+					vs = vals[key]
+				}
+				if vs == nil {
+					vs = &ValStat{}
+					vals[key] = vs
+				}
+			}
+			vs.add(at)
+		}
+	}
+}
+
+// Merge combines child summaries into a parent over period — the rollup
+// step that builds month highlights from days and year highlights from
+// months. Merging is exact: Merge(parts...) equals a direct build over the
+// concatenated underlying data.
+func Merge(period telco.TimeRange, parts ...*Summary) *Summary {
+	out := NewSummary(period)
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		out.Rows += p.Rows
+		for ref, st := range p.Num {
+			dst := out.Num[ref]
+			if dst == nil {
+				dst = &Stats{}
+				out.Num[ref] = dst
+			}
+			dst.merge(st)
+		}
+		for ref, vals := range p.Cat {
+			dst := out.Cat[ref]
+			if dst == nil {
+				dst = make(map[string]*ValStat, len(vals))
+				out.Cat[ref] = dst
+			}
+			for v, vs := range vals {
+				d := dst[v]
+				if d == nil {
+					d = &ValStat{}
+					dst[v] = d
+				}
+				d.merge(vs)
+			}
+		}
+		for id, cs := range p.Cells {
+			dst := out.Cells[id]
+			if dst == nil {
+				dst = &CellStats{Num: make(map[AttrRef]*Stats, len(cs.Num))}
+				out.Cells[id] = dst
+			}
+			dst.Rows += cs.Rows
+			for ref, st := range cs.Num {
+				d := dst.Num[ref]
+				if d == nil {
+					d = &Stats{}
+					dst.Num[ref] = d
+				}
+				d.merge(st)
+			}
+		}
+	}
+	return out
+}
+
+// Kind distinguishes highlight shapes.
+type Kind int
+
+// Highlight kinds: a rare categorical value, or a numeric peaking point.
+const (
+	Categorical Kind = iota
+	Peak
+)
+
+// Highlight is one interesting event summary (paper §V-B): a value whose
+// occurrence frequency is below θ, described by its type or peaking point
+// and its duration.
+type Highlight struct {
+	Attr      AttrRef
+	Kind      Kind
+	Value     string  // rare categorical value (Categorical)
+	Count     int64   // occurrences of the value
+	Frequency float64 // relative occurrence frequency
+	PeakValue float64 // numeric peak (Peak)
+	PeakTime  time.Time
+	Start     time.Time // highlight duration
+	End       time.Time
+}
+
+// peakZ is the z-score beyond which a numeric maximum counts as a peaking
+// point worth reporting.
+const peakZ = 3.0
+
+// Extract computes the highlights of a summary under frequency threshold
+// theta: categorical values with relative frequency < theta, and numeric
+// attributes whose maximum deviates from the mean by more than 3 standard
+// deviations. Results are ordered by attribute then value for determinism.
+func (s *Summary) Extract(theta float64) []Highlight {
+	var out []Highlight
+	for ref, vals := range s.Cat {
+		var total int64
+		for _, vs := range vals {
+			total += vs.Count
+		}
+		if total == 0 {
+			continue
+		}
+		for v, vs := range vals {
+			if v == overflowValue {
+				continue
+			}
+			freq := float64(vs.Count) / float64(total)
+			if freq < theta {
+				out = append(out, Highlight{
+					Attr: ref, Kind: Categorical, Value: v,
+					Count: vs.Count, Frequency: freq,
+					Start: vs.First, End: vs.Last,
+				})
+			}
+		}
+	}
+	for ref, st := range s.Num {
+		if st.NonNull < 2 {
+			continue
+		}
+		sd := st.StdDev()
+		if sd == 0 {
+			continue
+		}
+		if (st.Max-st.Mean())/sd > peakZ {
+			out = append(out, Highlight{
+				Attr: ref, Kind: Peak,
+				PeakValue: st.Max, PeakTime: st.PeakTime,
+				Start: s.Period.From, End: s.Period.To,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Attr != out[j].Attr {
+			return out[i].Attr.String() < out[j].Attr.String()
+		}
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Value < out[j].Value
+	})
+	return out
+}
+
+// SizeHint estimates the summary's in-memory footprint in bytes, used by
+// storage accounting (index space S_i in the paper's O1 = S/(Sc+Si)).
+func (s *Summary) SizeHint() int64 {
+	var n int64 = 64
+	n += int64(len(s.Num)) * 96
+	for _, vals := range s.Cat {
+		n += int64(len(vals)) * 80
+	}
+	for _, cs := range s.Cells {
+		n += 32 + int64(len(cs.Num))*96
+	}
+	return n
+}
+
+// Encode serializes the summary (gob) for persistence in the index layer.
+func (s *Summary) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
+		return nil, fmt.Errorf("highlights: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode deserializes a summary produced by Encode.
+func Decode(data []byte) (*Summary, error) {
+	var s Summary
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&s); err != nil {
+		return nil, fmt.Errorf("highlights: decode: %w", err)
+	}
+	return &s, nil
+}

@@ -1,0 +1,345 @@
+package index
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"spate/internal/telco"
+)
+
+var base = time.Date(2016, 1, 18, 0, 0, 0, 0, time.UTC)
+
+func appendN(t *testing.T, tr *Tree, start time.Time, n int) (completed []*Node) {
+	t.Helper()
+	e := telco.EpochOf(start)
+	for i := 0; i < n; i++ {
+		_, done, err := tr.Append(e+telco.Epoch(i), map[string]string{"CDR": "/p"}, 100, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		completed = append(completed, done...)
+	}
+	return completed
+}
+
+func TestAppendBuildsFourLevels(t *testing.T) {
+	tr := New()
+	appendN(t, tr, base, 3)
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	years := tr.NodesAtLevel(LevelYear)
+	months := tr.NodesAtLevel(LevelMonth)
+	days := tr.NodesAtLevel(LevelDay)
+	leaves := tr.NodesAtLevel(LevelEpoch)
+	if len(years) != 1 || len(months) != 1 || len(days) != 1 || len(leaves) != 3 {
+		t.Fatalf("levels = %d/%d/%d/%d", len(years), len(months), len(days), len(leaves))
+	}
+	if years[0].Period.From != time.Date(2016, 1, 1, 0, 0, 0, 0, time.UTC) {
+		t.Errorf("year period = %v", years[0].Period)
+	}
+	if days[0].Period.From != base {
+		t.Errorf("day period = %v", days[0].Period)
+	}
+}
+
+func TestAppendRejectsOutOfOrder(t *testing.T) {
+	tr := New()
+	e := telco.EpochOf(base)
+	if _, _, err := tr.Append(e, nil, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := tr.Append(e, nil, 0, 0); err == nil {
+		t.Error("duplicate epoch accepted")
+	}
+	if _, _, err := tr.Append(e-1, nil, 0, 0); err == nil {
+		t.Error("past epoch accepted")
+	}
+	// Gaps are fine (missing snapshots).
+	if _, _, err := tr.Append(e+10, nil, 0, 0); err != nil {
+		t.Errorf("gap rejected: %v", err)
+	}
+}
+
+func TestDayCompletionSignals(t *testing.T) {
+	tr := New()
+	// Two full days: appending the first epoch of day 2 completes day 1.
+	done := appendN(t, tr, base, telco.EpochsPerDay+1)
+	if len(done) != 1 {
+		t.Fatalf("completed = %d nodes, want 1", len(done))
+	}
+	if done[0].Level != LevelDay || done[0].Period.From != base {
+		t.Errorf("completed = %v %v", done[0].Level, done[0].Period)
+	}
+	if got := len(done[0].Children); got != telco.EpochsPerDay {
+		t.Errorf("completed day has %d epochs", got)
+	}
+}
+
+func TestMonthAndYearCompletionSignals(t *testing.T) {
+	tr := New()
+	// End of January into February: day then month complete, finest first.
+	jan31 := time.Date(2016, 1, 31, 23, 30, 0, 0, time.UTC)
+	appendN(t, tr, jan31, 1)
+	done := appendN(t, tr, jan31.Add(30*time.Minute), 1) // Feb 1 00:00
+	if len(done) != 2 {
+		t.Fatalf("completed %d nodes, want 2 (day, month)", len(done))
+	}
+	if done[0].Level != LevelDay || done[1].Level != LevelMonth {
+		t.Errorf("completion order = %v, %v; want day, month", done[0].Level, done[1].Level)
+	}
+	// End of December into January: day, month, year.
+	tr2 := New()
+	dec31 := time.Date(2016, 12, 31, 23, 30, 0, 0, time.UTC)
+	appendN(t, tr2, dec31, 1)
+	done2 := appendN(t, tr2, dec31.Add(30*time.Minute), 1)
+	if len(done2) != 3 || done2[0].Level != LevelDay || done2[1].Level != LevelMonth || done2[2].Level != LevelYear {
+		levels := make([]Level, len(done2))
+		for i, n := range done2 {
+			levels[i] = n.Level
+		}
+		t.Errorf("completion levels = %v, want [day month year]", levels)
+	}
+}
+
+func TestRightMostPathOnlyGrowth(t *testing.T) {
+	tr := New()
+	appendN(t, tr, base, 2*telco.EpochsPerDay) // two full days
+	days := tr.NodesAtLevel(LevelDay)
+	if len(days) != 2 {
+		t.Fatalf("days = %d", len(days))
+	}
+	// Every non-rightmost day must be full; the rightmost may be partial.
+	if len(days[0].Children) != telco.EpochsPerDay {
+		t.Errorf("closed day has %d children", len(days[0].Children))
+	}
+	// Leaves strictly increasing.
+	leaves := tr.NodesAtLevel(LevelEpoch)
+	for i := 1; i < len(leaves); i++ {
+		if leaves[i].Epoch <= leaves[i-1].Epoch {
+			t.Fatalf("leaf order violated at %d", i)
+		}
+	}
+}
+
+func TestFindCovering(t *testing.T) {
+	tr := New()
+	appendN(t, tr, base, 3*telco.EpochsPerDay) // Jan 18-20
+	tests := []struct {
+		name  string
+		w     telco.TimeRange
+		level Level
+	}{
+		{"within one epoch", telco.NewTimeRange(base.Add(5*time.Minute), base.Add(10*time.Minute)), LevelEpoch},
+		{"within one day", telco.NewTimeRange(base.Add(time.Hour), base.Add(5*time.Hour)), LevelDay},
+		{"across days", telco.NewTimeRange(base.Add(20*time.Hour), base.Add(30*time.Hour)), LevelMonth},
+		{"across years", telco.NewTimeRange(time.Date(2015, 12, 1, 0, 0, 0, 0, time.UTC), base.Add(time.Hour)), LevelRoot},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			n := tr.FindCovering(tc.w)
+			if n == nil {
+				t.Fatal("nil node")
+			}
+			if n.Level != tc.level {
+				t.Errorf("level = %v, want %v", n.Level, tc.level)
+			}
+			if n.Level != LevelRoot && !n.Period.Covers(tc.w) {
+				t.Errorf("node %v does not cover %v", n.Period, tc.w)
+			}
+		})
+	}
+	if New().FindCovering(telco.NewTimeRange(base, base.Add(time.Hour))) != nil {
+		t.Error("empty tree should return nil")
+	}
+}
+
+func TestLeavesIn(t *testing.T) {
+	tr := New()
+	appendN(t, tr, base, telco.EpochsPerDay)
+	w := telco.NewTimeRange(base.Add(time.Hour), base.Add(3*time.Hour))
+	got := tr.LeavesIn(w, nil)
+	if len(got) != 4 { // epochs 02:00.. wait: 1h..3h = epochs at 1:00,1:30,2:00,2:30
+		t.Fatalf("LeavesIn = %d leaves, want 4", len(got))
+	}
+	for _, l := range got {
+		if !l.Period.Overlaps(w) {
+			t.Errorf("leaf %v outside window", l.Period)
+		}
+	}
+	// A window partially overlapping an epoch still selects it.
+	w2 := telco.NewTimeRange(base.Add(10*time.Minute), base.Add(20*time.Minute))
+	if got := tr.LeavesIn(w2, nil); len(got) != 1 {
+		t.Errorf("partial overlap = %d leaves", len(got))
+	}
+	// Disjoint window.
+	w3 := telco.NewTimeRange(base.AddDate(1, 0, 0), base.AddDate(1, 0, 1))
+	if got := tr.LeavesIn(w3, nil); len(got) != 0 {
+		t.Errorf("disjoint window = %d leaves", len(got))
+	}
+}
+
+func TestFinishIngest(t *testing.T) {
+	tr := New()
+	appendN(t, tr, base, 3) // partial day
+	open := tr.FinishIngest()
+	if len(open) != 3 { // day, month, year still open
+		t.Fatalf("open = %d nodes", len(open))
+	}
+	if open[0].Level != LevelDay || open[2].Level != LevelYear {
+		t.Errorf("order = %v..%v", open[0].Level, open[2].Level)
+	}
+	if got := New().FinishIngest(); len(got) != 0 {
+		t.Errorf("empty tree open nodes = %d", len(got))
+	}
+}
+
+func TestStatsAndDecayAccounting(t *testing.T) {
+	tr := New()
+	appendN(t, tr, base, 4)
+	s := tr.Stats()
+	if s.Leaves != 4 || s.DataBytes != 400 || s.RawBytes != 4000 || s.DecayedLeaves != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+	// Mark one leaf decayed: its data bytes leave the accounting.
+	leaf := tr.NodesAtLevel(LevelEpoch)[0]
+	leaf.Decayed = true
+	leaf.DataRefs = nil
+	s = tr.Stats()
+	if s.DataBytes != 300 || s.DecayedLeaves != 1 {
+		t.Errorf("after decay stats = %+v", s)
+	}
+}
+
+func TestRemoveChildAndRecount(t *testing.T) {
+	tr := New()
+	appendN(t, tr, base, 5)
+	day := tr.NodesAtLevel(LevelDay)[0]
+	leaf := day.Children[0]
+	if !day.RemoveChild(leaf) {
+		t.Fatal("RemoveChild failed")
+	}
+	if day.RemoveChild(leaf) {
+		t.Error("RemoveChild removed twice")
+	}
+	tr.RecountLeaves()
+	if tr.Len() != 4 {
+		t.Errorf("Len after prune = %d", tr.Len())
+	}
+}
+
+func TestWalkEarlyStop(t *testing.T) {
+	tr := New()
+	appendN(t, tr, base, 10)
+	count := 0
+	tr.Walk(func(n *Node) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Errorf("Walk visited %d nodes after early stop", count)
+	}
+}
+
+func TestEnsurePeriodGraftsAndIntegratesWithAppend(t *testing.T) {
+	tr := New()
+	// Graft a pruned day (summary-only) before appending newer leaves.
+	day, err := tr.EnsurePeriod(LevelDay, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if day.Level != LevelDay || day.Period.From != base {
+		t.Fatalf("grafted = %v %v", day.Level, day.Period)
+	}
+	// Idempotent.
+	day2, err := tr.EnsurePeriod(LevelDay, base.Add(3*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if day2 != day {
+		t.Error("EnsurePeriod duplicated the day node")
+	}
+	// Appending a leaf the next day reuses the grafted ancestors.
+	next := base.AddDate(0, 0, 1)
+	appendN(t, tr, next, 1)
+	months := tr.NodesAtLevel(LevelMonth)
+	if len(months) != 1 {
+		t.Fatalf("months = %d (grafted ancestor not reused)", len(months))
+	}
+	days := tr.NodesAtLevel(LevelDay)
+	if len(days) != 2 || len(days[0].Children) != 0 || len(days[1].Children) != 1 {
+		t.Fatalf("day layout wrong: %d days", len(days))
+	}
+	// Out-of-order graft is rejected.
+	if _, err := tr.EnsurePeriod(LevelDay, base.AddDate(0, 0, -5)); err == nil {
+		t.Error("past graft accepted")
+	}
+	// Leaf-level grafts are rejected.
+	if _, err := tr.EnsurePeriod(LevelEpoch, next); err == nil {
+		t.Error("epoch-level graft accepted")
+	}
+	// FindCovering still works over the grafted region.
+	if n := tr.FindCovering(telco.NewTimeRange(base.Add(time.Hour), base.Add(2*time.Hour))); n == nil || n.Level != LevelDay {
+		t.Errorf("FindCovering over grafted day = %v", n)
+	}
+}
+
+func TestTreeInvariantsUnderRandomIngestion(t *testing.T) {
+	// Property: for any increasing epoch sequence with gaps, the tree keeps
+	// its structural invariants — every leaf sits under the day containing
+	// it, children are temporally ordered, and the leaf count matches.
+	f := func(gaps []uint8) bool {
+		tr := New()
+		e := telco.EpochOf(base)
+		n := 0
+		for _, g := range gaps {
+			e += telco.Epoch(g%50) + 1 // strictly increasing, gaps up to 50
+			if _, _, err := tr.Append(e, nil, 1, 1); err != nil {
+				return false
+			}
+			n++
+		}
+		if tr.Len() != n {
+			return false
+		}
+		ok := true
+		tr.Walk(func(nd *Node) bool {
+			for i := 1; i < len(nd.Children); i++ {
+				if !nd.Children[i-1].Period.To.After(nd.Children[i].Period.From) &&
+					nd.Children[i-1].Period.To != nd.Children[i].Period.From {
+					// gaps allowed; ordering must hold
+				}
+				if nd.Children[i].Period.From.Before(nd.Children[i-1].Period.From) {
+					ok = false
+					return false
+				}
+			}
+			if nd.IsLeaf() {
+				return true
+			}
+			for _, c := range nd.Children {
+				if nd.Level != LevelRoot && !nd.Period.Covers(c.Period) {
+					ok = false
+					return false
+				}
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	for l, want := range map[Level]string{
+		LevelRoot: "root", LevelYear: "year", LevelMonth: "month",
+		LevelDay: "day", LevelEpoch: "epoch", Level(9): "level(9)",
+	} {
+		if got := l.String(); got != want {
+			t.Errorf("%d.String() = %q", l, got)
+		}
+	}
+}

@@ -1,0 +1,287 @@
+// Package privacy implements k-anonymity (Sweeney 2002) for telco data
+// sharing — the substrate behind the paper's task T5, which "generates a
+// k-anonymized dataset by generalizing, substituting, inserting, and
+// removing information as appropriate in order to make the
+// quasi-identifiers indistinguishable among k rows" (the role the ARX Java
+// library plays in the paper's testbed).
+//
+// The anonymizer uses Mondrian-style multidimensional partitioning:
+// records are recursively split on the quasi-identifier with the widest
+// normalized range, at the median, as long as both halves keep at least k
+// records; each final partition is released with its quasi-identifiers
+// generalized (numeric values to ranges, strings to common prefixes).
+// Partitions that cannot reach size k are suppressed.
+package privacy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"spate/internal/telco"
+)
+
+// Options configures anonymization.
+type Options struct {
+	// K is the anonymity parameter: every released combination of
+	// quasi-identifier values appears at least K times.
+	K int
+	// QuasiIdentifiers are the column names to generalize.
+	QuasiIdentifiers []string
+	// Suppress replaces quasi-identifiers of unprotectable residual rows
+	// with "*" instead of dropping the rows (default: drop).
+	Suppress bool
+}
+
+// Report summarizes an anonymization run.
+type Report struct {
+	InputRows      int
+	ReleasedRows   int
+	SuppressedRows int
+	Partitions     int
+	// GeneralizationLoss is the fraction of quasi-identifier cells whose
+	// value was generalized away from the original (0 = lossless).
+	GeneralizationLoss float64
+}
+
+// Anonymize releases a k-anonymized copy of the table. Quasi-identifier
+// columns become strings (ranges like "[10-20]", prefixes like "3570012*",
+// or "*"); other columns pass through unchanged.
+func Anonymize(t *telco.Table, opts Options) (*telco.Table, Report, error) {
+	rep := Report{InputRows: t.Len()}
+	if opts.K < 1 {
+		return nil, rep, fmt.Errorf("privacy: k = %d", opts.K)
+	}
+	if len(opts.QuasiIdentifiers) == 0 {
+		return nil, rep, fmt.Errorf("privacy: no quasi-identifiers")
+	}
+	qidIdx := make([]int, len(opts.QuasiIdentifiers))
+	for i, name := range opts.QuasiIdentifiers {
+		idx := t.Schema.FieldIndex(name)
+		if idx < 0 {
+			return nil, rep, fmt.Errorf("privacy: unknown quasi-identifier %q", name)
+		}
+		qidIdx[i] = idx
+	}
+
+	// Output schema: quasi-identifier columns become strings.
+	outFields := make([]telco.Field, len(t.Schema.Fields))
+	copy(outFields, t.Schema.Fields)
+	for _, idx := range qidIdx {
+		outFields[idx] = telco.Field{Name: outFields[idx].Name, Kind: telco.KindString}
+	}
+	outSchema, err := telco.NewSchema(t.Schema.Name+"_anon", outFields)
+	if err != nil {
+		return nil, rep, err
+	}
+	out := telco.NewTable(outSchema)
+
+	rows := make([]telco.Record, len(t.Rows))
+	copy(rows, t.Rows)
+
+	var release func(part []telco.Record)
+	var genCells, totalCells int64
+	release = func(part []telco.Record) {
+		if len(part) < opts.K {
+			if opts.Suppress {
+				for _, r := range part {
+					nr := r.Clone()
+					for _, idx := range qidIdx {
+						nr[idx] = telco.String("*")
+						genCells++
+						totalCells++
+					}
+					out.Append(nr)
+					rep.ReleasedRows++
+				}
+				rep.Partitions++
+			} else {
+				rep.SuppressedRows += len(part)
+			}
+			return
+		}
+		// Try to split on the widest normalized dimension.
+		if dim := chooseSplit(part, qidIdx, opts.K); dim >= 0 {
+			lo, hi := splitAtMedian(part, qidIdx[dim], opts.K)
+			if lo != nil {
+				release(lo)
+				release(hi)
+				return
+			}
+		}
+		// Release this partition with generalized quasi-identifiers.
+		rep.Partitions++
+		gen := make([]telco.Value, len(qidIdx))
+		for i, idx := range qidIdx {
+			g, lossy := generalize(part, idx)
+			gen[i] = g
+			if lossy {
+				genCells += int64(len(part))
+			}
+			totalCells += int64(len(part))
+		}
+		for _, r := range part {
+			nr := r.Clone()
+			for i, idx := range qidIdx {
+				nr[idx] = gen[i]
+			}
+			out.Append(nr)
+			rep.ReleasedRows++
+		}
+	}
+	release(rows)
+	if totalCells > 0 {
+		rep.GeneralizationLoss = float64(genCells) / float64(totalCells)
+	}
+	return out, rep, nil
+}
+
+// chooseSplit picks the quasi-identifier with the most distinct values
+// that still admits a median split into halves of >= k; -1 when none.
+func chooseSplit(part []telco.Record, qidIdx []int, k int) int {
+	if len(part) < 2*k {
+		return -1
+	}
+	best, bestDistinct := -1, 1
+	for dim, idx := range qidIdx {
+		seen := map[string]bool{}
+		for _, r := range part {
+			seen[r[idx].Format()] = true
+			if len(seen) > bestDistinct {
+				break
+			}
+		}
+		if len(seen) > bestDistinct {
+			bestDistinct = len(seen)
+			best = dim
+		}
+	}
+	return best
+}
+
+// splitAtMedian orders the partition by column idx and cuts at the median
+// value boundary so identical values stay together. Returns nils when no
+// boundary leaves both sides >= k.
+func splitAtMedian(part []telco.Record, idx, k int) (lo, hi []telco.Record) {
+	sorted := make([]telco.Record, len(part))
+	copy(sorted, part)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return sorted[i][idx].Compare(sorted[j][idx]) < 0
+	})
+	mid := len(sorted) / 2
+	// Move the cut forward to the next value boundary.
+	cut := mid
+	for cut < len(sorted) && sorted[cut][idx].Compare(sorted[mid-1][idx]) == 0 {
+		if cut > 0 && sorted[cut][idx].Compare(sorted[cut-1][idx]) != 0 {
+			break
+		}
+		cut++
+	}
+	if cut < k || len(sorted)-cut < k {
+		// Try the boundary before the median instead.
+		cut = mid
+		for cut > 0 && sorted[cut][idx].Compare(sorted[cut-1][idx]) == 0 {
+			cut--
+		}
+		if cut < k || len(sorted)-cut < k {
+			return nil, nil
+		}
+	}
+	return sorted[:cut], sorted[cut:]
+}
+
+// generalize produces one released value covering a partition's column:
+// numeric columns become "[min-max]" ranges, strings become common
+// prefixes with a "*" suffix. The bool reports whether information was
+// lost (more than one distinct source value).
+func generalize(part []telco.Record, idx int) (telco.Value, bool) {
+	distinct := map[string]bool{}
+	for _, r := range part {
+		distinct[r[idx].Format()] = true
+	}
+	if len(distinct) == 1 {
+		for v := range distinct {
+			return telco.String(v), false
+		}
+	}
+	// Numeric range?
+	numeric := true
+	for _, r := range part {
+		switch r[idx].Kind() {
+		case telco.KindInt, telco.KindFloat:
+		default:
+			numeric = false
+		}
+		if !numeric {
+			break
+		}
+	}
+	if numeric {
+		min, max := part[0][idx].Float64(), part[0][idx].Float64()
+		for _, r := range part[1:] {
+			v := r[idx].Float64()
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		return telco.String(fmt.Sprintf("[%g-%g]", min, max)), true
+	}
+	// Common string prefix.
+	var values []string
+	for v := range distinct {
+		values = append(values, v)
+	}
+	sort.Strings(values)
+	prefix := values[0]
+	for _, v := range values[1:] {
+		prefix = commonPrefix(prefix, v)
+	}
+	return telco.String(prefix + "*"), true
+}
+
+func commonPrefix(a, b string) string {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	return a[:i]
+}
+
+// VerifyK checks the k-anonymity property of a released table: every
+// combination of quasi-identifier values occurs at least k times. It
+// returns the smallest equivalence-class size (0 for an empty table).
+func VerifyK(t *telco.Table, quasi []string) (int, error) {
+	idxs := make([]int, len(quasi))
+	for i, name := range quasi {
+		idx := t.Schema.FieldIndex(name)
+		if idx < 0 {
+			return 0, fmt.Errorf("privacy: unknown column %q", name)
+		}
+		idxs[i] = idx
+	}
+	classes := map[string]int{}
+	for _, r := range t.Rows {
+		var b strings.Builder
+		for _, idx := range idxs {
+			b.WriteString(r[idx].Format())
+			b.WriteByte('\x00')
+		}
+		classes[b.String()]++
+	}
+	min := 0
+	first := true
+	for _, n := range classes {
+		if first || n < min {
+			min = n
+			first = false
+		}
+	}
+	return min, nil
+}

@@ -1,0 +1,175 @@
+package privacy
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"spate/internal/telco"
+)
+
+var schema = telco.MustSchema("CDR", []telco.Field{
+	{Name: "caller", Kind: telco.KindString},
+	{Name: "cell_id", Kind: telco.KindInt},
+	{Name: "duration", Kind: telco.KindInt},
+	{Name: "call_type", Kind: telco.KindString},
+})
+
+func randomTable(n int, seed int64) *telco.Table {
+	rng := rand.New(rand.NewSource(seed))
+	t := telco.NewTable(schema)
+	for i := 0; i < n; i++ {
+		t.Append(telco.Record{
+			telco.String(telcoNumber(rng.Intn(200))),
+			telco.Int(int64(rng.Intn(50) + 1)),
+			telco.Int(int64(rng.Intn(600))),
+			telco.String([]string{"VOICE", "SMS", "DATA"}[rng.Intn(3)]),
+		})
+	}
+	return t
+}
+
+func telcoNumber(u int) string {
+	return "357" + strings.Repeat("0", 5) + string(rune('0'+u/100%10)) + string(rune('0'+u/10%10)) + string(rune('0'+u%10))
+}
+
+var quasi = []string{"caller", "cell_id", "duration"}
+
+func TestKAnonymityPropertyHolds(t *testing.T) {
+	for _, k := range []int{2, 5, 10, 25} {
+		tab := randomTable(500, int64(k))
+		anon, rep, err := Anonymize(tab, Options{K: k, QuasiIdentifiers: quasi})
+		if err != nil {
+			t.Fatal(err)
+		}
+		min, err := VerifyK(anon, quasi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if anon.Len() > 0 && min < k {
+			t.Errorf("k=%d: smallest class = %d", k, min)
+		}
+		if rep.ReleasedRows+rep.SuppressedRows != rep.InputRows {
+			t.Errorf("k=%d: rows unaccounted: %+v", k, rep)
+		}
+		if rep.ReleasedRows == 0 {
+			t.Errorf("k=%d: everything suppressed", k)
+		}
+	}
+}
+
+func TestSuppressKeepsRowCount(t *testing.T) {
+	tab := randomTable(101, 3) // odd count forces a residue
+	anon, rep, err := Anonymize(tab, Options{K: 7, QuasiIdentifiers: quasi, Suppress: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SuppressedRows != 0 || anon.Len() != tab.Len() {
+		t.Errorf("suppress mode dropped rows: %+v", rep)
+	}
+	// Suppressed rows carry "*" and the k-property still holds for the
+	// non-star classes... the star class itself may be small; the overall
+	// guarantee is that "*" reveals nothing.
+	min, err := VerifyK(anon, quasi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min == 0 {
+		t.Error("empty class")
+	}
+}
+
+func TestNonQuasiColumnsPassThrough(t *testing.T) {
+	tab := randomTable(100, 4)
+	anon, _, err := Anonymize(tab, Options{K: 5, QuasiIdentifiers: quasi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	typeIdx := anon.Schema.FieldIndex("call_type")
+	types := map[string]bool{}
+	for _, r := range anon.Rows {
+		types[r[typeIdx].Str()] = true
+	}
+	for v := range types {
+		switch v {
+		case "VOICE", "SMS", "DATA":
+		default:
+			t.Errorf("non-quasi column modified: %q", v)
+		}
+	}
+}
+
+func TestGeneralizationShapes(t *testing.T) {
+	tab := telco.NewTable(schema)
+	for i := 0; i < 4; i++ {
+		tab.Append(telco.Record{
+			telco.String("35700001" + string(rune('0'+i))),
+			telco.Int(int64(10 + i)),
+			telco.Int(60),
+			telco.String("VOICE"),
+		})
+	}
+	anon, _, err := Anonymize(tab, Options{K: 4, QuasiIdentifiers: quasi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if anon.Len() != 4 {
+		t.Fatalf("rows = %d", anon.Len())
+	}
+	r := anon.Rows[0]
+	if got := r.Get(anon.Schema, "caller").Str(); got != "35700001*" {
+		t.Errorf("caller generalization = %q", got)
+	}
+	if got := r.Get(anon.Schema, "cell_id").Str(); got != "[10-13]" {
+		t.Errorf("cell generalization = %q", got)
+	}
+	// duration was constant: released unchanged.
+	if got := r.Get(anon.Schema, "duration").Str(); got != "60" {
+		t.Errorf("constant column generalized: %q", got)
+	}
+}
+
+func TestSmallInputSuppressedEntirely(t *testing.T) {
+	tab := randomTable(3, 5)
+	anon, rep, err := Anonymize(tab, Options{K: 10, QuasiIdentifiers: quasi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if anon.Len() != 0 || rep.SuppressedRows != 3 {
+		t.Errorf("small input: %+v", rep)
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	tab := randomTable(10, 6)
+	if _, _, err := Anonymize(tab, Options{K: 0, QuasiIdentifiers: quasi}); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, _, err := Anonymize(tab, Options{K: 2}); err == nil {
+		t.Error("no quasi-identifiers accepted")
+	}
+	if _, _, err := Anonymize(tab, Options{K: 2, QuasiIdentifiers: []string{"nope"}}); err == nil {
+		t.Error("unknown quasi-identifier accepted")
+	}
+	if _, err := VerifyK(tab, []string{"nope"}); err == nil {
+		t.Error("VerifyK with unknown column accepted")
+	}
+}
+
+func TestLargerKLosesMoreInformation(t *testing.T) {
+	tab := randomTable(400, 7)
+	_, repLow, err := Anonymize(tab, Options{K: 2, QuasiIdentifiers: quasi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, repHigh, err := Anonymize(tab, Options{K: 50, QuasiIdentifiers: quasi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repHigh.GeneralizationLoss < repLow.GeneralizationLoss {
+		t.Errorf("loss(k=50)=%.3f < loss(k=2)=%.3f", repHigh.GeneralizationLoss, repLow.GeneralizationLoss)
+	}
+	if repHigh.Partitions > repLow.Partitions {
+		t.Errorf("partitions(k=50)=%d > partitions(k=2)=%d", repHigh.Partitions, repLow.Partitions)
+	}
+}

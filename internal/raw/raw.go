@@ -1,0 +1,139 @@
+// Package raw implements the RAW baseline of the paper's evaluation
+// (§VII-A): "the default solution that stores the telco snapshots as data
+// files on the HDFS file system without any compression, indexing or
+// decaying". Queries over RAW scan the stored files and filter records —
+// there is no index to prune by time or space.
+package raw
+
+import (
+	"fmt"
+	"time"
+
+	"spate/internal/dfs"
+	"spate/internal/snapshot"
+	"spate/internal/telco"
+)
+
+// Store is a RAW ingestion target over a DFS cluster.
+type Store struct {
+	fs *dfs.Cluster
+}
+
+// Open creates a RAW store and persists the cell inventory uncompressed.
+func Open(fs *dfs.Cluster, cellTable *telco.Table) (*Store, error) {
+	s := &Store{fs: fs}
+	if !fs.Exists("/raw/meta/CELL") {
+		if err := fs.WriteFile("/raw/meta/CELL", []byte(cellTable.Text())); err != nil {
+			return nil, fmt.Errorf("raw: persist cell table: %w", err)
+		}
+	}
+	return s, nil
+}
+
+// FS returns the underlying cluster.
+func (s *Store) FS() *dfs.Cluster { return s.fs }
+
+// Report describes one RAW ingestion.
+type Report struct {
+	Epoch telco.Epoch
+	Rows  int
+	Bytes int64
+	Total time.Duration
+}
+
+// dataPath mirrors SPATE's layout under /raw so the two stores can share a
+// cluster in tests without colliding.
+func dataPath(e telco.Epoch, table string) string {
+	return "/raw" + snapshot.DataPath(e, table)
+}
+
+// Ingest writes each table of the snapshot as an uncompressed text file.
+func (s *Store) Ingest(snap *snapshot.Snapshot) (Report, error) {
+	start := time.Now()
+	rep := Report{Epoch: snap.Epoch, Rows: snap.Rows()}
+	for _, name := range snap.TableNames() {
+		text, err := snap.EncodeTable(name)
+		if err != nil {
+			return rep, fmt.Errorf("raw: encode %s: %w", name, err)
+		}
+		if err := s.fs.WriteFile(dataPath(snap.Epoch, name), text); err != nil {
+			return rep, fmt.Errorf("raw: store %s: %w", name, err)
+		}
+		rep.Bytes += int64(len(text))
+	}
+	rep.Total = time.Since(start)
+	return rep, nil
+}
+
+// Scan reads every stored file of the named tables and invokes fn per
+// (table name, parsed table). RAW has no index: the window is applied by
+// filtering records, not by pruning files, and every stored byte is read.
+func (s *Store) Scan(w telco.TimeRange, tables []string, fn func(string, *telco.Table) error) error {
+	want := func(name string) bool {
+		if len(tables) == 0 {
+			return true
+		}
+		for _, t := range tables {
+			if t == name {
+				return true
+			}
+		}
+		return false
+	}
+	for _, fi := range s.fs.List("/raw/spate/data/") {
+		name := tableOf(fi.Path)
+		if !want(name) {
+			continue
+		}
+		data, err := s.fs.ReadFile(fi.Path)
+		if err != nil {
+			return fmt.Errorf("raw: read %s: %w", fi.Path, err)
+		}
+		tab, err := snapshot.DecodeTable(name, data)
+		if err != nil {
+			return fmt.Errorf("raw: decode %s: %w", fi.Path, err)
+		}
+		filtered := filterWindow(tab, w)
+		if filtered.Len() == 0 {
+			continue
+		}
+		if err := fn(name, filtered); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// tableOf extracts the table name (final path segment).
+func tableOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}
+
+// filterWindow drops records outside w by their ts attribute.
+func filterWindow(t *telco.Table, w telco.TimeRange) *telco.Table {
+	tsIdx := t.Schema.FieldIndex(telco.AttrTS)
+	if tsIdx < 0 {
+		return t
+	}
+	out := telco.NewTable(t.Schema)
+	for _, r := range t.Rows {
+		if r[tsIdx].IsNull() || w.Contains(r[tsIdx].Time()) {
+			out.Rows = append(out.Rows, r)
+		}
+	}
+	return out
+}
+
+// Space returns the bytes RAW occupies (logical, pre-replication).
+func (s *Store) Space() int64 {
+	var n int64
+	for _, fi := range s.fs.List("/raw/") {
+		n += fi.Size
+	}
+	return n
+}

@@ -1,0 +1,110 @@
+package raw
+
+import (
+	"testing"
+	"time"
+
+	"spate/internal/dfs"
+	"spate/internal/gen"
+	"spate/internal/snapshot"
+	"spate/internal/telco"
+)
+
+func newWorld(t *testing.T) (*gen.Generator, *Store, gen.Config) {
+	t.Helper()
+	cfg := gen.DefaultConfig(0.002)
+	cfg.Antennas = 15
+	cfg.Users = 100
+	cfg.CDRPerEpoch = 60
+	cfg.NMSReportsPerCell = 0.5
+	g := gen.New(cfg)
+	fs, err := dfs.NewCluster(t.TempDir(), dfs.Config{BlockSize: 1 << 20, DataNodes: 2, Replication: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(fs, g.CellTable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, s, cfg
+}
+
+func ingest(t *testing.T, g *gen.Generator, s *Store, start time.Time, n int) int {
+	t.Helper()
+	rows := 0
+	e0 := telco.EpochOf(start)
+	for i := 0; i < n; i++ {
+		sn := snapshot.New(e0 + telco.Epoch(i))
+		sn.Add(g.CDRTable(sn.Epoch))
+		sn.Add(g.NMSTable(sn.Epoch))
+		rep, err := s.Ingest(sn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Bytes == 0 || rep.Rows == 0 {
+			t.Fatalf("report = %+v", rep)
+		}
+		rows += rep.Rows
+	}
+	return rows
+}
+
+func TestIngestAndScanAll(t *testing.T) {
+	g, s, cfg := newWorld(t)
+	total := ingest(t, g, s, cfg.Start, 3)
+	w := telco.NewTimeRange(cfg.Start, cfg.Start.Add(24*time.Hour))
+	got := 0
+	err := s.Scan(w, nil, func(name string, tab *telco.Table) error {
+		got += tab.Len()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != total {
+		t.Errorf("scanned %d rows, ingested %d", got, total)
+	}
+}
+
+func TestScanFiltersWindowAndTables(t *testing.T) {
+	g, s, cfg := newWorld(t)
+	ingest(t, g, s, cfg.Start, 4)
+	// Only the second epoch's window.
+	w := telco.NewTimeRange(cfg.Start.Add(30*time.Minute), cfg.Start.Add(60*time.Minute))
+	byTable := map[string]int{}
+	err := s.Scan(w, []string{"CDR"}, func(name string, tab *telco.Table) error {
+		byTable[name] += tab.Len()
+		tsIdx := tab.Schema.FieldIndex(telco.AttrTS)
+		for _, r := range tab.Rows {
+			if !w.Contains(r[tsIdx].Time()) {
+				t.Fatal("row outside window")
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byTable["NMS"] != 0 {
+		t.Error("table filter ignored")
+	}
+	if byTable["CDR"] == 0 {
+		t.Error("no CDR rows in window")
+	}
+}
+
+func TestSpaceIsUncompressed(t *testing.T) {
+	g, s, cfg := newWorld(t)
+	ingest(t, g, s, cfg.Start, 2)
+	if s.Space() == 0 {
+		t.Error("zero space after ingest")
+	}
+	// Uncompressed: stored bytes are within a few percent of text size.
+	var text int64
+	for _, fi := range s.FS().List("/raw/spate/data/") {
+		text += fi.Size
+	}
+	if text == 0 {
+		t.Error("no data files")
+	}
+}

@@ -1,0 +1,88 @@
+// Package snapshot models the unit of ingestion in SPATE: the batch of
+// telco records (one table per source, e.g. CDR and NMS) that arrives at
+// the data center every 30-minute epoch as horizontally segmented files
+// (paper §II-B), along with the canonical storage paths snapshots occupy on
+// the distributed file system.
+package snapshot
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"spate/internal/telco"
+)
+
+// Snapshot is one epoch's worth of arriving telco data.
+type Snapshot struct {
+	Epoch  telco.Epoch
+	tables map[string]*telco.Table
+}
+
+// New returns an empty snapshot for epoch e.
+func New(e telco.Epoch) *Snapshot {
+	return &Snapshot{Epoch: e, tables: make(map[string]*telco.Table)}
+}
+
+// Add attaches a table, keyed by its schema name. Adding two tables with
+// the same schema name indicates a programming error and panics.
+func (s *Snapshot) Add(t *telco.Table) {
+	if _, dup := s.tables[t.Schema.Name]; dup {
+		panic(fmt.Sprintf("snapshot: duplicate table %q", t.Schema.Name))
+	}
+	s.tables[t.Schema.Name] = t
+}
+
+// Table returns the table with the given schema name, or nil.
+func (s *Snapshot) Table(name string) *telco.Table { return s.tables[name] }
+
+// TableNames lists the attached tables in sorted order.
+func (s *Snapshot) TableNames() []string {
+	names := make([]string, 0, len(s.tables))
+	for n := range s.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Rows returns the total record count across tables.
+func (s *Snapshot) Rows() int {
+	n := 0
+	for _, t := range s.tables {
+		n += t.Len()
+	}
+	return n
+}
+
+// EncodeTable renders one table in its wire (text) form.
+func (s *Snapshot) EncodeTable(name string) ([]byte, error) {
+	t, ok := s.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("snapshot: no table %q", name)
+	}
+	var buf bytes.Buffer
+	if err := t.WriteText(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeTable parses wire-form bytes back into a table of the named
+// canonical schema.
+func DecodeTable(name string, data []byte) (*telco.Table, error) {
+	schema := telco.SchemaByName(name)
+	if schema == nil {
+		return nil, fmt.Errorf("snapshot: unknown schema %q", name)
+	}
+	return telco.ReadTable(schema, bytes.NewReader(data))
+}
+
+// DataPath returns the canonical DFS path of one table of one epoch:
+// /spate/data/YYYY/MM/DD/<epoch>/<table>. The directory layout mirrors the
+// temporal index levels so DFS prefixes align with subtrees.
+func DataPath(e telco.Epoch, table string) string {
+	t := e.Start()
+	return fmt.Sprintf("/spate/data/%04d/%02d/%02d/%s/%s",
+		t.Year(), int(t.Month()), t.Day(), e.String(), table)
+}

@@ -1,0 +1,96 @@
+package snapshot
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"spate/internal/gen"
+	"spate/internal/telco"
+)
+
+func TestSnapshotTables(t *testing.T) {
+	e := telco.EpochOf(time.Date(2016, 1, 22, 15, 30, 0, 0, time.UTC))
+	s := New(e)
+	cfg := gen.DefaultConfig(0.005)
+	cfg.Antennas = 10
+	cfg.Users = 100
+	cfg.CDRPerEpoch = 50
+	g := gen.New(cfg)
+	s.Add(g.CDRTable(e))
+	s.Add(g.NMSTable(e))
+
+	names := s.TableNames()
+	if len(names) != 2 || names[0] != "CDR" || names[1] != "NMS" {
+		t.Fatalf("TableNames = %v", names)
+	}
+	if s.Rows() != s.Table("CDR").Len()+s.Table("NMS").Len() {
+		t.Error("Rows() mismatch")
+	}
+	if s.Table("CELL") != nil {
+		t.Error("missing table should be nil")
+	}
+}
+
+func TestAddDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Add did not panic")
+		}
+	}()
+	s := New(0)
+	s.Add(telco.NewTable(telco.CDRSchema))
+	s.Add(telco.NewTable(telco.CDRSchema))
+}
+
+func TestEncodeDecodeTable(t *testing.T) {
+	e := telco.EpochOf(time.Date(2016, 1, 22, 15, 30, 0, 0, time.UTC))
+	s := New(e)
+	cfg := gen.DefaultConfig(0.005)
+	cfg.Antennas = 8
+	cfg.Users = 50
+	cfg.CDRPerEpoch = 30
+	g := gen.New(cfg)
+	orig := g.CDRTable(e)
+	s.Add(orig)
+
+	data, err := s.EncodeTable("CDR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeTable("CDR", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != orig.Len() {
+		t.Fatalf("decoded %d rows, want %d", got.Len(), orig.Len())
+	}
+	for i := range got.Rows {
+		for j := range got.Rows[i] {
+			want := orig.Rows[i][j]
+			if want.Kind() == telco.KindString && want.Str() == "" {
+				want = telco.Null
+			}
+			if !got.Rows[i][j].Equal(want) {
+				t.Fatalf("row %d field %d: %v != %v", i, j, got.Rows[i][j], want)
+			}
+		}
+	}
+	if _, err := s.EncodeTable("NOPE"); err == nil {
+		t.Error("EncodeTable(NOPE) succeeded")
+	}
+	if _, err := DecodeTable("NOPE", nil); err == nil {
+		t.Error("DecodeTable(NOPE) succeeded")
+	}
+}
+
+func TestDataPathLayout(t *testing.T) {
+	e := telco.EpochOf(time.Date(2016, 9, 15, 12, 30, 0, 0, time.UTC))
+	p := DataPath(e, "NMS")
+	if !strings.HasPrefix(p, "/spate/data/2016/09/15/") || !strings.HasSuffix(p, "/NMS") {
+		t.Errorf("DataPath = %q", p)
+	}
+	if !strings.Contains(p, "201609151230") {
+		t.Errorf("DataPath missing epoch stamp: %q", p)
+	}
+}

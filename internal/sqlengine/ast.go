@@ -1,0 +1,202 @@
+package sqlengine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Expr is a SQL expression node.
+type Expr interface {
+	exprString() string
+}
+
+// ColumnRef names a column, optionally qualified (t.col).
+type ColumnRef struct {
+	Qualifier string
+	Name      string
+}
+
+func (c *ColumnRef) exprString() string {
+	if c.Qualifier != "" {
+		return c.Qualifier + "." + c.Name
+	}
+	return c.Name
+}
+
+// Literal is a constant.
+type Literal struct {
+	IsNull bool
+	IsStr  bool
+	Str    string
+	IsInt  bool
+	Int    int64
+	Float  float64
+	IsBool bool
+	Bool   bool
+}
+
+func (l *Literal) exprString() string {
+	switch {
+	case l.IsNull:
+		return "NULL"
+	case l.IsStr:
+		return "'" + l.Str + "'"
+	case l.IsInt:
+		return fmt.Sprint(l.Int)
+	case l.IsBool:
+		return fmt.Sprint(l.Bool)
+	default:
+		return fmt.Sprint(l.Float)
+	}
+}
+
+// Binary is a binary operation (comparison, arithmetic, AND/OR).
+type Binary struct {
+	Op          string
+	Left, Right Expr
+}
+
+func (b *Binary) exprString() string {
+	return "(" + b.Left.exprString() + " " + b.Op + " " + b.Right.exprString() + ")"
+}
+
+// Unary is NOT or unary minus.
+type Unary struct {
+	Op string
+	X  Expr
+}
+
+func (u *Unary) exprString() string { return u.Op + " " + u.X.exprString() }
+
+// IsNullExpr tests x IS [NOT] NULL.
+type IsNullExpr struct {
+	X      Expr
+	Negate bool
+}
+
+func (e *IsNullExpr) exprString() string {
+	if e.Negate {
+		return e.X.exprString() + " IS NOT NULL"
+	}
+	return e.X.exprString() + " IS NULL"
+}
+
+// InExpr tests membership in a literal list or a subquery.
+type InExpr struct {
+	X      Expr
+	List   []Expr
+	Sub    *SelectStmt
+	Negate bool
+}
+
+func (e *InExpr) exprString() string {
+	var b strings.Builder
+	b.WriteString(e.X.exprString())
+	if e.Negate {
+		b.WriteString(" NOT")
+	}
+	b.WriteString(" IN (...)")
+	return b.String()
+}
+
+// BetweenExpr tests x BETWEEN lo AND hi.
+type BetweenExpr struct {
+	X, Lo, Hi Expr
+	Negate    bool
+}
+
+func (e *BetweenExpr) exprString() string {
+	return e.X.exprString() + " BETWEEN " + e.Lo.exprString() + " AND " + e.Hi.exprString()
+}
+
+// LikeExpr tests x LIKE pattern (with % and _ wildcards).
+type LikeExpr struct {
+	X       Expr
+	Pattern string
+	Negate  bool
+}
+
+func (e *LikeExpr) exprString() string {
+	return e.X.exprString() + " LIKE '" + e.Pattern + "'"
+}
+
+// AggFunc is an aggregate invocation: COUNT/SUM/MIN/MAX/AVG, with
+// DISTINCT supported for COUNT.
+type AggFunc struct {
+	Name     string // upper-case
+	Star     bool   // COUNT(*)
+	Distinct bool   // COUNT(DISTINCT x)
+	Arg      Expr
+}
+
+func (a *AggFunc) exprString() string {
+	if a.Star {
+		return a.Name + "(*)"
+	}
+	if a.Distinct {
+		return a.Name + "(DISTINCT " + a.Arg.exprString() + ")"
+	}
+	return a.Name + "(" + a.Arg.exprString() + ")"
+}
+
+// FuncExpr is a scalar function call: HOUR(ts), SUBSTR(s, 1, 3), ...
+type FuncExpr struct {
+	Name string // upper-case
+	Args []Expr
+}
+
+func (f *FuncExpr) exprString() string {
+	s := f.Name + "("
+	for i, a := range f.Args {
+		if i > 0 {
+			s += ", "
+		}
+		s += a.exprString()
+	}
+	return s + ")"
+}
+
+// SelectItem is one projection of the SELECT list.
+type SelectItem struct {
+	Star  bool // SELECT *
+	Expr  Expr
+	Alias string
+}
+
+// TableRef names a source table with an optional alias.
+type TableRef struct {
+	Name  string
+	Alias string
+}
+
+func (t TableRef) binding() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Name
+}
+
+// JoinClause is an INNER JOIN with an ON predicate.
+type JoinClause struct {
+	Table TableRef
+	On    Expr
+}
+
+// OrderKey is one ORDER BY key.
+type OrderKey struct {
+	Expr Expr
+	Desc bool
+}
+
+// SelectStmt is a parsed SELECT statement.
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem
+	From     TableRef
+	Joins    []JoinClause
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderKey
+	Limit    int // -1 when absent
+}

@@ -1,0 +1,207 @@
+package sqlengine
+
+import (
+	"fmt"
+	"time"
+
+	"spate/internal/telco"
+)
+
+// ScanHint carries predicates the executor pushed down to storage: SPATE
+// and SHAHED prune snapshots through their temporal index, RAW ignores it.
+type ScanHint struct {
+	// Window bounds the ts attribute when Constrained is true. It is a
+	// conservative superset of the matching rows.
+	Window      telco.TimeRange
+	Constrained bool
+}
+
+// Provider streams the rows of one table.
+type Provider interface {
+	Schema() *telco.Schema
+	Scan(hint ScanHint, fn func(telco.Record) error) error
+}
+
+// Catalog resolves table names.
+type Catalog interface {
+	Table(name string) (Provider, error)
+}
+
+// MemCatalog is an in-memory catalog over materialized tables; the unit-
+// test harness and small tools use it.
+type MemCatalog map[string]*telco.Table
+
+// Table implements Catalog.
+func (m MemCatalog) Table(name string) (Provider, error) {
+	t, ok := m[name]
+	if !ok {
+		return nil, fmt.Errorf("sql: unknown table %q", name)
+	}
+	return memProvider{t}, nil
+}
+
+type memProvider struct{ t *telco.Table }
+
+func (p memProvider) Schema() *telco.Schema { return p.t.Schema }
+
+func (p memProvider) Scan(hint ScanHint, fn func(telco.Record) error) error {
+	tsIdx := p.t.Schema.FieldIndex(telco.AttrTS)
+	for _, r := range p.t.Rows {
+		if hint.Constrained && tsIdx >= 0 && !r[tsIdx].IsNull() && !hint.Window.Contains(r[tsIdx].Time()) {
+			continue
+		}
+		if err := fn(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parseTimeLit interprets a (possibly truncated) timestamp literal like the
+// paper's '2015' or '201601221530' as the covered time interval
+// [lo, hi): '2016' covers the year, '20160122' the day, and so on.
+// Accepted lengths: 4 (year), 6 (month), 8 (day), 10 (hour), 12 (minute),
+// 14 (second).
+func parseTimeLit(s string) (lo, hi time.Time, ok bool) {
+	layouts := map[int]string{
+		4: "2006", 6: "200601", 8: "20060102",
+		10: "2006010215", 12: "200601021504", 14: "20060102150405",
+	}
+	layout, found := layouts[len(s)]
+	if !found {
+		return lo, hi, false
+	}
+	t, err := time.ParseInLocation(layout, s, time.UTC)
+	if err != nil {
+		return lo, hi, false
+	}
+	switch len(s) {
+	case 4:
+		return t, t.AddDate(1, 0, 0), true
+	case 6:
+		return t, t.AddDate(0, 1, 0), true
+	case 8:
+		return t, t.AddDate(0, 0, 1), true
+	case 10:
+		return t, t.Add(time.Hour), true
+	case 12:
+		return t, t.Add(time.Minute), true
+	default:
+		return t, t.Add(time.Second), true
+	}
+}
+
+// extractWindow walks a WHERE tree's conjunctions and derives a pushdown
+// window from comparisons between the ts column of the given binding and
+// time literals. The result is a conservative superset.
+func extractWindow(where Expr, binding string) (telco.TimeRange, bool) {
+	var lo, hi time.Time
+	haveLo, haveHi := false, false
+
+	var visit func(e Expr)
+	visit = func(e Expr) {
+		b, isBin := e.(*Binary)
+		if !isBin {
+			if bt, isBetween := e.(*BetweenExpr); isBetween && !bt.Negate {
+				if isTSCol(bt.X, binding) {
+					if l, _, ok := litTime(bt.Lo); ok {
+						tightenLo(&lo, &haveLo, l)
+					}
+					if _, h, ok := litTime(bt.Hi); ok {
+						tightenHi(&hi, &haveHi, h)
+					}
+				}
+			}
+			return
+		}
+		if b.Op == "AND" {
+			visit(b.Left)
+			visit(b.Right)
+			return
+		}
+		col, lit := b.Left, b.Right
+		op := b.Op
+		if !isTSCol(col, binding) {
+			// Allow literal-on-the-left comparisons by flipping.
+			if isTSCol(lit, binding) {
+				col, lit = lit, col
+				op = flip(op)
+			} else {
+				return
+			}
+		}
+		l, h, ok := litTime(lit)
+		if !ok {
+			return
+		}
+		switch op {
+		case "=":
+			tightenLo(&lo, &haveLo, l)
+			tightenHi(&hi, &haveHi, h)
+		case ">", ">=":
+			tightenLo(&lo, &haveLo, l)
+		case "<":
+			tightenHi(&hi, &haveHi, h)
+		case "<=":
+			tightenHi(&hi, &haveHi, h)
+		}
+		_ = col
+	}
+	if where != nil {
+		visit(where)
+	}
+	if !haveLo && !haveHi {
+		return telco.TimeRange{}, false
+	}
+	if !haveLo {
+		lo = time.Date(1970, 1, 1, 0, 0, 0, 0, time.UTC)
+	}
+	if !haveHi {
+		hi = time.Date(2100, 1, 1, 0, 0, 0, 0, time.UTC)
+	}
+	return telco.TimeRange{From: lo, To: hi}, true
+}
+
+func tightenLo(lo *time.Time, have *bool, t time.Time) {
+	if !*have || t.After(*lo) {
+		*lo = t
+		*have = true
+	}
+}
+
+func tightenHi(hi *time.Time, have *bool, t time.Time) {
+	if !*have || t.Before(*hi) {
+		*hi = t
+		*have = true
+	}
+}
+
+func flip(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	}
+	return op
+}
+
+func isTSCol(e Expr, binding string) bool {
+	c, ok := e.(*ColumnRef)
+	if !ok || c.Name != telco.AttrTS {
+		return false
+	}
+	return c.Qualifier == "" || c.Qualifier == binding
+}
+
+func litTime(e Expr) (lo, hi time.Time, ok bool) {
+	l, isLit := e.(*Literal)
+	if !isLit || !l.IsStr {
+		return lo, hi, false
+	}
+	return parseTimeLit(l.Str)
+}

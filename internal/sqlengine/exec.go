@@ -1,0 +1,530 @@
+package sqlengine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"spate/internal/telco"
+)
+
+// Engine executes SELECT statements against a catalog.
+type Engine struct {
+	cat Catalog
+}
+
+// NewEngine returns an executor over cat.
+func NewEngine(cat Catalog) *Engine { return &Engine{cat: cat} }
+
+// ResultSet is a materialized query answer.
+type ResultSet struct {
+	Cols []string
+	Rows [][]telco.Value
+}
+
+// Query parses and runs one statement.
+func (e *Engine) Query(sql string) (*ResultSet, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(stmt)
+}
+
+// binding maps one FROM/JOIN table into the combined row.
+type binding struct {
+	name   string // alias or table name
+	schema *telco.Schema
+	offset int
+}
+
+// scope resolves column references against the combined row layout.
+type scope struct {
+	bindings []binding
+}
+
+func (s *scope) resolve(c *ColumnRef) (int, error) {
+	found := -1
+	for _, b := range s.bindings {
+		if c.Qualifier != "" && c.Qualifier != b.name {
+			continue
+		}
+		if i := b.schema.FieldIndex(c.Name); i >= 0 {
+			if found >= 0 {
+				return 0, fmt.Errorf("sql: ambiguous column %q", c.exprString())
+			}
+			found = b.offset + i
+		}
+	}
+	if found < 0 {
+		return 0, fmt.Errorf("sql: unknown column %q", c.exprString())
+	}
+	return found, nil
+}
+
+// width returns the combined row width.
+func (s *scope) width() int {
+	last := s.bindings[len(s.bindings)-1]
+	return last.offset + last.schema.NumFields()
+}
+
+// Run executes a parsed statement.
+func (e *Engine) Run(stmt *SelectStmt) (*ResultSet, error) {
+	// Bind FROM and JOIN tables.
+	sc := &scope{}
+	providers := make([]Provider, 0, 1+len(stmt.Joins))
+	add := func(tr TableRef) error {
+		p, err := e.cat.Table(tr.Name)
+		if err != nil {
+			return err
+		}
+		off := 0
+		if len(sc.bindings) > 0 {
+			off = sc.width()
+		}
+		sc.bindings = append(sc.bindings, binding{name: tr.binding(), schema: p.Schema(), offset: off})
+		providers = append(providers, p)
+		return nil
+	}
+	if err := add(stmt.From); err != nil {
+		return nil, err
+	}
+	for _, j := range stmt.Joins {
+		if err := add(j.Table); err != nil {
+			return nil, err
+		}
+	}
+
+	// Resolve uncorrelated IN-subqueries up front.
+	subs := map[*InExpr]map[string]bool{}
+	if err := e.resolveSubqueries(stmt, subs); err != nil {
+		return nil, err
+	}
+
+	ev := &evaluator{scope: sc, subs: subs}
+
+	// Produce the joined row stream.
+	rows, err := e.scanJoin(stmt, sc, providers, ev)
+	if err != nil {
+		return nil, err
+	}
+
+	// WHERE.
+	if stmt.Where != nil {
+		filtered := rows[:0]
+		for _, r := range rows {
+			keep, err := ev.evalBool(stmt.Where, r)
+			if err != nil {
+				return nil, err
+			}
+			if keep {
+				filtered = append(filtered, r)
+			}
+		}
+		rows = filtered
+	}
+
+	// Aggregate or plain projection.
+	if stmt.GroupBy != nil || containsAgg(stmt) {
+		return e.aggregate(stmt, ev, rows)
+	}
+	return e.project(stmt, ev, rows)
+}
+
+// scanJoin scans the FROM table (with ts pushdown) and nested-loop joins
+// the rest (the paper's T4 self-join path).
+func (e *Engine) scanJoin(stmt *SelectStmt, sc *scope, providers []Provider, ev *evaluator) ([][]telco.Value, error) {
+	hint := ScanHint{}
+	if w, ok := extractWindow(stmt.Where, sc.bindings[0].name); ok {
+		hint = ScanHint{Window: w, Constrained: true}
+	}
+	var rows [][]telco.Value
+	base := providers[0]
+	err := base.Scan(hint, func(r telco.Record) error {
+		row := make([]telco.Value, len(r), sc.width())
+		copy(row, r)
+		rows = append(rows, row)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ji, j := range stmt.Joins {
+		p := providers[ji+1]
+		jhint := ScanHint{}
+		if w, ok := extractWindow(stmt.Where, sc.bindings[ji+1].name); ok {
+			jhint = ScanHint{Window: w, Constrained: true}
+		}
+		var right [][]telco.Value
+		err := p.Scan(jhint, func(r telco.Record) error {
+			right = append(right, append([]telco.Value(nil), r...))
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var joined [][]telco.Value
+		for _, l := range rows {
+			for _, r := range right {
+				combined := make([]telco.Value, 0, len(l)+len(r))
+				combined = append(combined, l...)
+				combined = append(combined, r...)
+				keep, err := ev.evalBool(j.On, combined)
+				if err != nil {
+					return nil, err
+				}
+				if keep {
+					joined = append(joined, combined)
+				}
+			}
+		}
+		rows = joined
+	}
+	return rows, nil
+}
+
+// resolveSubqueries evaluates every uncorrelated IN (SELECT ...) once and
+// stores its value set.
+func (e *Engine) resolveSubqueries(stmt *SelectStmt, subs map[*InExpr]map[string]bool) error {
+	var visit func(x Expr) error
+	visit = func(x Expr) error {
+		switch v := x.(type) {
+		case *FuncExpr:
+			for _, a := range v.Args {
+				if err := visit(a); err != nil {
+					return err
+				}
+			}
+		case *Binary:
+			if err := visit(v.Left); err != nil {
+				return err
+			}
+			return visit(v.Right)
+		case *Unary:
+			return visit(v.X)
+		case *InExpr:
+			if err := visit(v.X); err != nil {
+				return err
+			}
+			if v.Sub == nil {
+				return nil
+			}
+			rs, err := e.Run(v.Sub)
+			if err != nil {
+				return fmt.Errorf("sql: subquery: %w", err)
+			}
+			if len(rs.Cols) != 1 {
+				return fmt.Errorf("sql: IN subquery must yield one column, got %d", len(rs.Cols))
+			}
+			set := make(map[string]bool, len(rs.Rows))
+			for _, r := range rs.Rows {
+				set[r[0].Format()] = true
+			}
+			subs[v] = set
+		case *BetweenExpr:
+			if err := visit(v.X); err != nil {
+				return err
+			}
+			if err := visit(v.Lo); err != nil {
+				return err
+			}
+			return visit(v.Hi)
+		case *IsNullExpr:
+			return visit(v.X)
+		case *LikeExpr:
+			return visit(v.X)
+		case *AggFunc:
+			if v.Arg != nil {
+				return visit(v.Arg)
+			}
+		}
+		return nil
+	}
+	if stmt.Where != nil {
+		if err := visit(stmt.Where); err != nil {
+			return err
+		}
+	}
+	if stmt.Having != nil {
+		return visit(stmt.Having)
+	}
+	return nil
+}
+
+func containsAgg(stmt *SelectStmt) bool {
+	found := false
+	var visit func(Expr)
+	visit = func(x Expr) {
+		switch v := x.(type) {
+		case *AggFunc:
+			found = true
+		case *Binary:
+			visit(v.Left)
+			visit(v.Right)
+		case *Unary:
+			visit(v.X)
+		case *FuncExpr:
+			for _, a := range v.Args {
+				visit(a)
+			}
+		}
+	}
+	for _, it := range stmt.Items {
+		if it.Expr != nil {
+			visit(it.Expr)
+		}
+	}
+	if stmt.Having != nil {
+		visit(stmt.Having)
+	}
+	return found
+}
+
+// project handles non-aggregated SELECTs.
+func (e *Engine) project(stmt *SelectStmt, ev *evaluator, rows [][]telco.Value) (*ResultSet, error) {
+	cols, exprs, err := outputColumns(stmt, ev.scope)
+	if err != nil {
+		return nil, err
+	}
+	rs := &ResultSet{Cols: cols}
+	for _, r := range rows {
+		out := make([]telco.Value, len(exprs))
+		for i, ex := range exprs {
+			v, err := ev.eval(ex, r)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		rs.Rows = append(rs.Rows, out)
+	}
+	return finishResult(stmt, ev, rs, rows)
+}
+
+// outputColumns expands * and names output columns.
+func outputColumns(stmt *SelectStmt, sc *scope) ([]string, []Expr, error) {
+	var cols []string
+	var exprs []Expr
+	for _, it := range stmt.Items {
+		if it.Star {
+			for _, b := range sc.bindings {
+				for _, f := range b.schema.Fields {
+					cols = append(cols, f.Name)
+					exprs = append(exprs, &ColumnRef{Qualifier: b.name, Name: f.Name})
+				}
+			}
+			continue
+		}
+		name := it.Alias
+		if name == "" {
+			name = it.Expr.exprString()
+		}
+		cols = append(cols, name)
+		exprs = append(exprs, it.Expr)
+	}
+	return cols, exprs, nil
+}
+
+// aggregate executes GROUP BY / aggregate queries with hash grouping.
+func (e *Engine) aggregate(stmt *SelectStmt, ev *evaluator, rows [][]telco.Value) (*ResultSet, error) {
+	// Collect every aggregate instance referenced by the statement.
+	var aggs []*AggFunc
+	var collect func(Expr)
+	collect = func(x Expr) {
+		switch v := x.(type) {
+		case *AggFunc:
+			aggs = append(aggs, v)
+		case *Binary:
+			collect(v.Left)
+			collect(v.Right)
+		case *Unary:
+			collect(v.X)
+		case *FuncExpr:
+			for _, a := range v.Args {
+				collect(a)
+			}
+		}
+	}
+	for _, it := range stmt.Items {
+		if it.Expr != nil {
+			collect(it.Expr)
+		}
+	}
+	if stmt.Having != nil {
+		collect(stmt.Having)
+	}
+	for _, k := range stmt.OrderBy {
+		collect(k.Expr)
+	}
+
+	type group struct {
+		first  []telco.Value
+		states []aggState
+	}
+	groups := map[string]*group{}
+	var orderKeys []string
+
+	for _, r := range rows {
+		var kb strings.Builder
+		for _, g := range stmt.GroupBy {
+			v, err := ev.eval(g, r)
+			if err != nil {
+				return nil, err
+			}
+			kb.WriteString(v.Format())
+			kb.WriteByte('\x00')
+		}
+		key := kb.String()
+		grp := groups[key]
+		if grp == nil {
+			grp = &group{first: r, states: make([]aggState, len(aggs))}
+			for i, a := range aggs {
+				grp.states[i] = newAggState(a)
+			}
+			groups[key] = grp
+			orderKeys = append(orderKeys, key)
+		}
+		for i, a := range aggs {
+			if a.Star {
+				grp.states[i].add(telco.Int(1), true)
+				continue
+			}
+			v, err := ev.eval(a.Arg, r)
+			if err != nil {
+				return nil, err
+			}
+			grp.states[i].add(v, false)
+		}
+	}
+	// A global aggregate over zero rows still yields one group.
+	if len(groups) == 0 && len(stmt.GroupBy) == 0 {
+		grp := &group{first: make([]telco.Value, ev.scope.width()), states: make([]aggState, len(aggs))}
+		for i, a := range aggs {
+			grp.states[i] = newAggState(a)
+		}
+		groups[""] = grp
+		orderKeys = append(orderKeys, "")
+	}
+
+	cols, exprs, err := outputColumns(stmt, ev.scope)
+	if err != nil {
+		return nil, err
+	}
+	rs := &ResultSet{Cols: cols}
+	var resultContexts [][]telco.Value
+	for _, key := range orderKeys {
+		grp := groups[key]
+		ev.aggValues = make(map[*AggFunc]telco.Value, len(aggs))
+		for i, a := range aggs {
+			ev.aggValues[a] = grp.states[i].value()
+		}
+		if stmt.Having != nil {
+			keep, err := ev.evalBool(stmt.Having, grp.first)
+			if err != nil {
+				return nil, err
+			}
+			if !keep {
+				continue
+			}
+		}
+		out := make([]telco.Value, len(exprs))
+		for i, ex := range exprs {
+			v, err := ev.eval(ex, grp.first)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		rs.Rows = append(rs.Rows, out)
+		resultContexts = append(resultContexts, grp.first)
+		// Keep agg values alive for ORDER BY evaluation of this row.
+		ev.rowAggs = append(ev.rowAggs, ev.aggValues)
+	}
+	return finishResult(stmt, ev, rs, resultContexts)
+}
+
+// finishResult applies DISTINCT, ORDER BY and LIMIT.
+func finishResult(stmt *SelectStmt, ev *evaluator, rs *ResultSet, contexts [][]telco.Value) (*ResultSet, error) {
+	if stmt.Distinct {
+		seen := map[string]bool{}
+		var rows [][]telco.Value
+		var ctxs [][]telco.Value
+		for i, r := range rs.Rows {
+			var kb strings.Builder
+			for _, v := range r {
+				kb.WriteString(v.Format())
+				kb.WriteByte('\x00')
+			}
+			if !seen[kb.String()] {
+				seen[kb.String()] = true
+				rows = append(rows, r)
+				if contexts != nil && i < len(contexts) {
+					ctxs = append(ctxs, contexts[i])
+				}
+			}
+		}
+		rs.Rows = rows
+		contexts = ctxs
+	}
+	if len(stmt.OrderBy) > 0 {
+		// Pre-compute sort keys in row order.
+		keys := make([][]telco.Value, len(rs.Rows))
+		for i := range rs.Rows {
+			ctx := []telco.Value(nil)
+			if contexts != nil && i < len(contexts) {
+				ctx = contexts[i]
+			}
+			if ev.rowAggs != nil && i < len(ev.rowAggs) {
+				ev.aggValues = ev.rowAggs[i]
+			}
+			ks := make([]telco.Value, len(stmt.OrderBy))
+			for j, ok := range stmt.OrderBy {
+				// Try output alias first.
+				if c, isCol := ok.Expr.(*ColumnRef); isCol && c.Qualifier == "" {
+					found := false
+					for ci, name := range rs.Cols {
+						if name == c.Name {
+							ks[j] = rs.Rows[i][ci]
+							found = true
+							break
+						}
+					}
+					if found {
+						continue
+					}
+				}
+				v, err := ev.eval(ok.Expr, ctx)
+				if err != nil {
+					return nil, err
+				}
+				ks[j] = v
+			}
+			keys[i] = ks
+		}
+		idx := make([]int, len(rs.Rows))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool {
+			for j, ok := range stmt.OrderBy {
+				c := keys[idx[a]][j].Compare(keys[idx[b]][j])
+				if c != 0 {
+					if ok.Desc {
+						return c > 0
+					}
+					return c < 0
+				}
+			}
+			return false
+		})
+		sorted := make([][]telco.Value, len(rs.Rows))
+		for i, id := range idx {
+			sorted[i] = rs.Rows[id]
+		}
+		rs.Rows = sorted
+	}
+	if stmt.Limit >= 0 && len(rs.Rows) > stmt.Limit {
+		rs.Rows = rs.Rows[:stmt.Limit]
+	}
+	return rs, nil
+}

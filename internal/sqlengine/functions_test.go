@@ -1,0 +1,108 @@
+package sqlengine
+
+import (
+	"testing"
+)
+
+func TestScalarFunctions(t *testing.T) {
+	tests := []struct {
+		sql  string
+		want string // formatted first column of first row
+	}{
+		{`SELECT HOUR(ts) FROM CDR LIMIT 1`, "15"},
+		{`SELECT YEAR(ts) FROM CDR LIMIT 1`, "2016"},
+		{`SELECT MONTH(ts) FROM CDR LIMIT 1`, "1"},
+		{`SELECT DAY(ts) FROM CDR LIMIT 1`, "22"},
+		{`SELECT MINUTE(ts) FROM CDR LIMIT 1`, "30"},
+		{`SELECT LENGTH(caller) FROM CDR LIMIT 1`, "5"},
+		{`SELECT UPPER(caller) FROM CDR LIMIT 1`, "ALICE"},
+		{`SELECT LOWER(call_type) FROM CDR LIMIT 1`, "voice"},
+		{`SELECT SUBSTR(caller, 1, 3) FROM CDR LIMIT 1`, "ali"},
+		{`SELECT SUBSTR(caller, 3, 100) FROM CDR LIMIT 1`, "ice"},
+		{`SELECT ABS(0 - duration) FROM CDR LIMIT 1`, "60"},
+		{`SELECT ROUND(duration / 7.0) FROM CDR LIMIT 1`, "9"},
+		{`SELECT COALESCE(NULL, caller) FROM CDR LIMIT 1`, "alice"},
+		{`SELECT COALESCE(caller, 'x') FROM CDR LIMIT 1`, "alice"},
+	}
+	for _, tc := range tests {
+		rs := mustQuery(t, tc.sql)
+		if len(rs.Rows) != 1 {
+			t.Fatalf("%s: rows = %d", tc.sql, len(rs.Rows))
+		}
+		if got := rs.Rows[0][0].Format(); got != tc.want {
+			t.Errorf("%s = %q, want %q", tc.sql, got, tc.want)
+		}
+	}
+}
+
+func TestGroupByHourOfDay(t *testing.T) {
+	// The canonical telco time-of-day rollup.
+	rs := mustQuery(t, `SELECT HOUR(ts) AS h, COUNT(*) AS n FROM CDR GROUP BY HOUR(ts) ORDER BY h`)
+	// Test rows at minutes 0,1,2 (15h), 40,41 (16h), 90 (17h).
+	if len(rs.Rows) != 3 {
+		t.Fatalf("hours = %v", rs.Rows)
+	}
+	want := map[int64]int64{15: 3, 16: 2, 17: 1}
+	for _, r := range rs.Rows {
+		if r[1].Int64() != want[r[0].Int64()] {
+			t.Errorf("hour %d count = %d, want %d", r[0].Int64(), r[1].Int64(), want[r[0].Int64()])
+		}
+	}
+}
+
+func TestCountDistinct(t *testing.T) {
+	rs := mustQuery(t, `SELECT COUNT(DISTINCT caller), COUNT(caller), COUNT(DISTINCT cell_id) FROM CDR`)
+	r := rs.Rows[0]
+	if r[0].Int64() != 4 { // alice, bob, carol, dave
+		t.Errorf("COUNT(DISTINCT caller) = %d, want 4", r[0].Int64())
+	}
+	if r[1].Int64() != 6 {
+		t.Errorf("COUNT(caller) = %d, want 6", r[1].Int64())
+	}
+	if r[2].Int64() != 3 {
+		t.Errorf("COUNT(DISTINCT cell_id) = %d, want 3", r[2].Int64())
+	}
+	// Per-group distinct.
+	rs = mustQuery(t, `SELECT call_type, COUNT(DISTINCT cell_id) AS cells FROM CDR
+		GROUP BY call_type ORDER BY call_type`)
+	want := map[string]int64{"DATA": 2, "SMS": 1, "VOICE": 3}
+	for _, r := range rs.Rows {
+		if r[1].Int64() != want[r[0].Str()] {
+			t.Errorf("%s distinct cells = %d, want %d", r[0].Str(), r[1].Int64(), want[r[0].Str()])
+		}
+	}
+}
+
+func TestFunctionErrors(t *testing.T) {
+	eng := NewEngine(testCatalog())
+	bad := []string{
+		`SELECT NOSUCHFN(caller) FROM CDR`,
+		`SELECT HOUR(caller) FROM CDR`,   // not a time
+		`SELECT HOUR(ts, ts) FROM CDR`,   // arity
+		`SELECT SUBSTR(caller) FROM CDR`, // arity
+		`SELECT ABS(call_type) FROM CDR`, // not numeric
+	}
+	for _, sql := range bad {
+		if _, err := eng.Query(sql); err == nil {
+			t.Errorf("%s: want error", sql)
+		}
+	}
+}
+
+func TestFunctionsInsideAggregatesAndWhere(t *testing.T) {
+	// Aggregate over a scalar function.
+	rs := mustQuery(t, `SELECT MAX(LENGTH(caller)) FROM CDR`)
+	if rs.Rows[0][0].Int64() != 5 {
+		t.Errorf("MAX(LENGTH(caller)) = %v", rs.Rows[0][0])
+	}
+	// Scalar over an aggregate.
+	rs = mustQuery(t, `SELECT ROUND(AVG(duration)) FROM CDR`)
+	if rs.Rows[0][0].Float64() != 35 {
+		t.Errorf("ROUND(AVG(duration)) = %v", rs.Rows[0][0])
+	}
+	// Function in WHERE.
+	rs = mustQuery(t, `SELECT caller FROM CDR WHERE HOUR(ts) = 16 ORDER BY caller`)
+	if len(rs.Rows) != 2 {
+		t.Errorf("HOUR filter rows = %d", len(rs.Rows))
+	}
+}

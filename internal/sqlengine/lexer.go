@@ -1,0 +1,165 @@
+// Package sqlengine implements SPATE-SQL (paper §VI-B): a declarative data
+// exploration interface supporting "all basic SELECT-FROM-WHERE block
+// queries, nested queries, joins, aggregates, etc." executed directly
+// against the compressed SPATE representation (or against the RAW/SHAHED
+// baselines, for the paper's task comparisons T1–T4).
+//
+// The engine is a classic pipeline: lexer → recursive-descent parser →
+// planner (timestamp-predicate pushdown into the storage index) →
+// row-at-a-time executor with hash aggregation and nested-loop joins.
+package sqlengine
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies lexer tokens.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokOp    // operators: = != <> < <= > >= + - * / ||
+	tokPunct // ( ) , . ;
+)
+
+type token struct {
+	kind tokKind
+	text string // keywords upper-cased; identifiers as written
+	pos  int
+}
+
+// keywords recognized by the parser (upper-case canonical form).
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "ASC": true, "DESC": true, "LIMIT": true,
+	"AND": true, "OR": true, "NOT": true, "IN": true, "BETWEEN": true,
+	"LIKE": true, "AS": true, "JOIN": true, "ON": true, "INNER": true,
+	"DISTINCT": true, "NULL": true, "IS": true, "COUNT": true, "SUM": true,
+	"MIN": true, "MAX": true, "AVG": true, "TRUE": true, "FALSE": true,
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes a statement.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case unicode.IsLetter(rune(c)) || c == '_':
+			l.ident()
+		case unicode.IsDigit(rune(c)):
+			if err := l.number(); err != nil {
+				return nil, err
+			}
+		case c == '\'' || c == '"':
+			if err := l.str(c); err != nil {
+				return nil, err
+			}
+		case strings.ContainsRune("(),.;", rune(c)):
+			l.emit(tokPunct, string(c))
+			l.pos++
+		case strings.ContainsRune("=<>!+-*/%", rune(c)):
+			l.op()
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at %d", c, l.pos)
+		}
+	}
+	l.emit(tokEOF, "")
+	return l.toks, nil
+}
+
+func (l *lexer) emit(k tokKind, text string) {
+	l.toks = append(l.toks, token{kind: k, text: text, pos: l.pos})
+}
+
+func (l *lexer) ident() {
+	start := l.pos
+	for l.pos < len(l.src) {
+		c := rune(l.src[l.pos])
+		if !unicode.IsLetter(c) && !unicode.IsDigit(c) && c != '_' {
+			break
+		}
+		l.pos++
+	}
+	word := l.src[start:l.pos]
+	up := strings.ToUpper(word)
+	if keywords[up] {
+		l.toks = append(l.toks, token{kind: tokKeyword, text: up, pos: start})
+		return
+	}
+	l.toks = append(l.toks, token{kind: tokIdent, text: word, pos: start})
+}
+
+func (l *lexer) number() error {
+	start := l.pos
+	seenDot := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '.' {
+			if seenDot {
+				return fmt.Errorf("sql: malformed number at %d", start)
+			}
+			seenDot = true
+			l.pos++
+			continue
+		}
+		if !unicode.IsDigit(rune(c)) {
+			break
+		}
+		l.pos++
+	}
+	l.toks = append(l.toks, token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+	return nil
+}
+
+func (l *lexer) str(quote byte) error {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == quote {
+			// Doubled quote escapes itself.
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == quote {
+				b.WriteByte(quote)
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokString, text: b.String(), pos: start})
+			return nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("sql: unterminated string at %d", start)
+}
+
+func (l *lexer) op() {
+	start := l.pos
+	c := l.src[l.pos]
+	l.pos++
+	if l.pos < len(l.src) {
+		two := string(c) + string(l.src[l.pos])
+		switch two {
+		case "<=", ">=", "!=", "<>":
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokOp, text: two, pos: start})
+			return
+		}
+	}
+	l.toks = append(l.toks, token{kind: tokOp, text: string(c), pos: start})
+}

@@ -1,0 +1,509 @@
+package sqlengine
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse compiles one SELECT statement.
+func Parse(src string) (*SelectStmt, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.selectStmt()
+	if err != nil {
+		return nil, err
+	}
+	// Optional trailing semicolon.
+	if p.peek().kind == tokPunct && p.peek().text == ";" {
+		p.next()
+	}
+	if p.peek().kind != tokEOF {
+		return nil, fmt.Errorf("sql: trailing input at %d: %q", p.peek().pos, p.peek().text)
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.peek().kind == tokKeyword && p.peek().text == kw {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return fmt.Errorf("sql: expected %s at %d, got %q", kw, p.peek().pos, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) acceptPunct(s string) bool {
+	if p.peek().kind == tokPunct && p.peek().text == s {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectPunct(s string) error {
+	if !p.acceptPunct(s) {
+		return fmt.Errorf("sql: expected %q at %d, got %q", s, p.peek().pos, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) selectStmt() (*SelectStmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{Limit: -1}
+	stmt.Distinct = p.acceptKeyword("DISTINCT")
+
+	// Select list.
+	for {
+		item, err := p.selectItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Items = append(stmt.Items, item)
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	tr, err := p.tableRef()
+	if err != nil {
+		return nil, err
+	}
+	stmt.From = tr
+
+	// JOIN ... ON ...
+	for p.acceptKeyword("INNER") || p.peek().text == "JOIN" {
+		if err := p.expectKeyword("JOIN"); err != nil {
+			return nil, err
+		}
+		jt, err := p.tableRef()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("ON"); err != nil {
+			return nil, err
+		}
+		on, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Joins = append(stmt.Joins, JoinClause{Table: jt, On: on})
+	}
+
+	if p.acceptKeyword("WHERE") {
+		w, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = w
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			g, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, g)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("HAVING") {
+		h, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Having = h
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			key := OrderKey{Expr: e}
+			if p.acceptKeyword("DESC") {
+				key.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			stmt.OrderBy = append(stmt.OrderBy, key)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		t := p.next()
+		if t.kind != tokNumber {
+			return nil, fmt.Errorf("sql: LIMIT wants a number at %d", t.pos)
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("sql: bad LIMIT %q", t.text)
+		}
+		stmt.Limit = n
+	}
+	return stmt, nil
+}
+
+func (p *parser) selectItem() (SelectItem, error) {
+	if p.peek().kind == tokOp && p.peek().text == "*" {
+		p.next()
+		return SelectItem{Star: true}, nil
+	}
+	e, err := p.expr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.acceptKeyword("AS") {
+		t := p.next()
+		if t.kind != tokIdent {
+			return item, fmt.Errorf("sql: expected alias at %d", t.pos)
+		}
+		item.Alias = t.text
+	} else if p.peek().kind == tokIdent {
+		item.Alias = p.next().text
+	}
+	return item, nil
+}
+
+func (p *parser) tableRef() (TableRef, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return TableRef{}, fmt.Errorf("sql: expected table name at %d, got %q", t.pos, t.text)
+	}
+	tr := TableRef{Name: t.text}
+	if p.acceptKeyword("AS") {
+		a := p.next()
+		if a.kind != tokIdent {
+			return tr, fmt.Errorf("sql: expected alias at %d", a.pos)
+		}
+		tr.Alias = a.text
+	} else if p.peek().kind == tokIdent {
+		tr.Alias = p.next().text
+	}
+	return tr, nil
+}
+
+// Expression grammar (precedence climbing):
+//
+//	expr    := orExpr
+//	orExpr  := andExpr (OR andExpr)*
+//	andExpr := notExpr (AND notExpr)*
+//	notExpr := [NOT] predicate
+//	predicate := addExpr [cmpOp addExpr | IS [NOT] NULL | [NOT] IN (...) |
+//	             [NOT] BETWEEN addExpr AND addExpr | [NOT] LIKE 'pat']
+//	addExpr := mulExpr (('+'|'-') mulExpr)*
+//	mulExpr := unary (('*'|'/'|'%') unary)*
+//	unary   := ['-'] primary
+//	primary := literal | column | agg | '(' expr | subquery ')'
+func (p *parser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Expr, error) {
+	left, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		right, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: "OR", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	left, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		right, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: "AND", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) notExpr() (Expr, error) {
+	if p.acceptKeyword("NOT") {
+		x, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "NOT", X: x}, nil
+	}
+	return p.predicate()
+}
+
+func (p *parser) predicate() (Expr, error) {
+	left, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	// Comparison?
+	if p.peek().kind == tokOp {
+		switch op := p.peek().text; op {
+		case "=", "!=", "<>", "<", "<=", ">", ">=":
+			p.next()
+			right, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			if op == "<>" {
+				op = "!="
+			}
+			return &Binary{Op: op, Left: left, Right: right}, nil
+		}
+	}
+	negate := false
+	if p.peek().kind == tokKeyword && p.peek().text == "NOT" {
+		// Look ahead for NOT IN / NOT BETWEEN / NOT LIKE.
+		if p.i+1 < len(p.toks) && p.toks[p.i+1].kind == tokKeyword {
+			switch p.toks[p.i+1].text {
+			case "IN", "BETWEEN", "LIKE":
+				p.next()
+				negate = true
+			}
+		}
+	}
+	switch {
+	case p.acceptKeyword("IS"):
+		neg := p.acceptKeyword("NOT")
+		if err := p.expectKeyword("NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNullExpr{X: left, Negate: neg}, nil
+	case p.acceptKeyword("IN"):
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		if p.peek().kind == tokKeyword && p.peek().text == "SELECT" {
+			sub, err := p.selectStmt()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return &InExpr{X: left, Sub: sub, Negate: negate}, nil
+		}
+		var list []Expr
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, e)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return &InExpr{X: left, List: list, Negate: negate}, nil
+	case p.acceptKeyword("BETWEEN"):
+		lo, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &BetweenExpr{X: left, Lo: lo, Hi: hi, Negate: negate}, nil
+	case p.acceptKeyword("LIKE"):
+		t := p.next()
+		if t.kind != tokString {
+			return nil, fmt.Errorf("sql: LIKE wants a string pattern at %d", t.pos)
+		}
+		return &LikeExpr{X: left, Pattern: t.text, Negate: negate}, nil
+	}
+	return left, nil
+}
+
+func (p *parser) addExpr() (Expr, error) {
+	left, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokOp && (p.peek().text == "+" || p.peek().text == "-") {
+		op := p.next().text
+		right, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: op, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) mulExpr() (Expr, error) {
+	left, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokOp && (p.peek().text == "*" || p.peek().text == "/" || p.peek().text == "%") {
+		op := p.next().text
+		right, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: op, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) unary() (Expr, error) {
+	if p.peek().kind == tokOp && p.peek().text == "-" {
+		p.next()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "-", X: x}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.next()
+		if i, err := strconv.ParseInt(t.text, 10, 64); err == nil {
+			return &Literal{IsInt: true, Int: i}, nil
+		}
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sql: bad number %q", t.text)
+		}
+		return &Literal{Float: f}, nil
+	case tokString:
+		p.next()
+		return &Literal{IsStr: true, Str: t.text}, nil
+	case tokKeyword:
+		switch t.text {
+		case "NULL":
+			p.next()
+			return &Literal{IsNull: true}, nil
+		case "TRUE":
+			p.next()
+			return &Literal{IsBool: true, Bool: true}, nil
+		case "FALSE":
+			p.next()
+			return &Literal{IsBool: true, Bool: false}, nil
+		case "COUNT", "SUM", "MIN", "MAX", "AVG":
+			p.next()
+			if err := p.expectPunct("("); err != nil {
+				return nil, err
+			}
+			agg := &AggFunc{Name: t.text}
+			if p.peek().kind == tokOp && p.peek().text == "*" {
+				p.next()
+				agg.Star = true
+			} else {
+				agg.Distinct = p.acceptKeyword("DISTINCT")
+				arg, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				agg.Arg = arg
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return agg, nil
+		}
+		return nil, fmt.Errorf("sql: unexpected keyword %q at %d", t.text, t.pos)
+	case tokIdent:
+		p.next()
+		// Scalar function call?
+		if p.peek().kind == tokPunct && p.peek().text == "(" {
+			p.next()
+			fn := &FuncExpr{Name: strings.ToUpper(t.text)}
+			if !p.acceptPunct(")") {
+				for {
+					arg, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					fn.Args = append(fn.Args, arg)
+					if !p.acceptPunct(",") {
+						break
+					}
+				}
+				if err := p.expectPunct(")"); err != nil {
+					return nil, err
+				}
+			}
+			return fn, nil
+		}
+		if p.acceptPunct(".") {
+			col := p.next()
+			if col.kind != tokIdent {
+				return nil, fmt.Errorf("sql: expected column after %q.", t.text)
+			}
+			return &ColumnRef{Qualifier: t.text, Name: col.text}, nil
+		}
+		return &ColumnRef{Name: t.text}, nil
+	case tokPunct:
+		if t.text == "(" {
+			p.next()
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, fmt.Errorf("sql: unexpected token %q at %d", t.text, t.pos)
+}

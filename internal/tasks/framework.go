@@ -1,0 +1,170 @@
+// Package tasks implements the paper's eight telco-specific evaluation
+// workloads (§VII-E) — T1 equality, T2 range, T3 aggregate, T4 self-join,
+// T5 privacy sanitization, T6 multivariate statistics, T7 k-means
+// clustering, T8 linear regression — uniformly over the three compared
+// frameworks (RAW, SHAHED, SPATE), so that Fig. 11 and Fig. 12 response
+// times and the storage totals of §VIII-C come from the same code paths.
+package tasks
+
+import (
+	"time"
+
+	"spate/internal/core"
+	"spate/internal/raw"
+	"spate/internal/shahed"
+	"spate/internal/snapshot"
+	"spate/internal/sqlengine"
+	"spate/internal/telco"
+)
+
+// IngestStats reports one snapshot ingestion uniformly across frameworks.
+type IngestStats struct {
+	Epoch telco.Epoch
+	Rows  int
+	Total time.Duration
+}
+
+// Framework is the uniform surface the tasks run against.
+type Framework interface {
+	// Name returns "RAW", "SHAHED" or "SPATE".
+	Name() string
+	// Ingest stores one arriving snapshot.
+	Ingest(*snapshot.Snapshot) (IngestStats, error)
+	// Finish seals any open index periods after the trace ends.
+	Finish()
+	// Scan streams the window's records per table.
+	Scan(w telco.TimeRange, tables []string, fn func(string, *telco.Table) error) error
+	// Space returns (data bytes, index bytes), logical (pre-replication).
+	Space() (data, index int64)
+}
+
+// Catalog adapts a framework to SPATE-SQL: CDR and NMS tables are scanned
+// through the framework, honoring the executor's timestamp pushdown.
+func Catalog(f Framework) sqlengine.Catalog {
+	return fwCatalog{f}
+}
+
+type fwCatalog struct{ f Framework }
+
+func (c fwCatalog) Table(name string) (sqlengine.Provider, error) {
+	schema := telco.SchemaByName(name)
+	if schema == nil {
+		return nil, &unknownTableError{name}
+	}
+	return fwProvider{f: c.f, name: name, schema: schema}, nil
+}
+
+type unknownTableError struct{ name string }
+
+func (e *unknownTableError) Error() string { return "tasks: unknown table " + e.name }
+
+type fwProvider struct {
+	f      Framework
+	name   string
+	schema *telco.Schema
+}
+
+func (p fwProvider) Schema() *telco.Schema { return p.schema }
+
+// allTime is the scan window when the executor derived no ts bounds.
+var allTime = telco.TimeRange{
+	From: time.Date(1970, 1, 1, 0, 0, 0, 0, time.UTC),
+	To:   time.Date(2100, 1, 1, 0, 0, 0, 0, time.UTC),
+}
+
+func (p fwProvider) Scan(hint sqlengine.ScanHint, fn func(telco.Record) error) error {
+	w := allTime
+	if hint.Constrained {
+		w = hint.Window
+	}
+	return p.f.Scan(w, []string{p.name}, func(_ string, tab *telco.Table) error {
+		for _, r := range tab.Rows {
+			if err := fn(r); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// --- SPATE adapter ---
+
+// Spate wraps a core.Engine as a Framework.
+type Spate struct{ E *core.Engine }
+
+// Name implements Framework.
+func (Spate) Name() string { return "SPATE" }
+
+// Ingest implements Framework.
+func (s Spate) Ingest(sn *snapshot.Snapshot) (IngestStats, error) {
+	rep, err := s.E.Ingest(sn)
+	return IngestStats{Epoch: sn.Epoch, Rows: rep.Rows, Total: rep.Total}, err
+}
+
+// Finish implements Framework.
+func (s Spate) Finish() { s.E.FinishIngest() }
+
+// Scan implements Framework.
+func (s Spate) Scan(w telco.TimeRange, tables []string, fn func(string, *telco.Table) error) error {
+	return s.E.ScanTables(w, tables, fn)
+}
+
+// Space implements Framework.
+func (s Spate) Space() (int64, int64) {
+	sp := s.E.Space()
+	return sp.CompBytes, sp.SummaryBytes
+}
+
+// --- SHAHED adapter ---
+
+// Shahed wraps a shahed.Store as a Framework.
+type Shahed struct{ S *shahed.Store }
+
+// Name implements Framework.
+func (Shahed) Name() string { return "SHAHED" }
+
+// Ingest implements Framework.
+func (s Shahed) Ingest(sn *snapshot.Snapshot) (IngestStats, error) {
+	rep, err := s.S.Ingest(sn)
+	return IngestStats{Epoch: sn.Epoch, Rows: rep.Rows, Total: rep.Total}, err
+}
+
+// Finish implements Framework.
+func (s Shahed) Finish() { s.S.FinishIngest() }
+
+// Scan implements Framework.
+func (s Shahed) Scan(w telco.TimeRange, tables []string, fn func(string, *telco.Table) error) error {
+	return s.S.Scan(w, tables, fn)
+}
+
+// Space implements Framework.
+func (s Shahed) Space() (int64, int64) {
+	return s.S.Space()
+}
+
+// --- RAW adapter ---
+
+// Raw wraps a raw.Store as a Framework.
+type Raw struct{ S *raw.Store }
+
+// Name implements Framework.
+func (Raw) Name() string { return "RAW" }
+
+// Ingest implements Framework.
+func (r Raw) Ingest(sn *snapshot.Snapshot) (IngestStats, error) {
+	rep, err := r.S.Ingest(sn)
+	return IngestStats{Epoch: sn.Epoch, Rows: rep.Rows, Total: rep.Total}, err
+}
+
+// Finish implements Framework.
+func (Raw) Finish() {}
+
+// Scan implements Framework.
+func (r Raw) Scan(w telco.TimeRange, tables []string, fn func(string, *telco.Table) error) error {
+	return r.S.Scan(w, tables, fn)
+}
+
+// Space implements Framework.
+func (r Raw) Space() (int64, int64) {
+	return r.S.Space(), 0
+}

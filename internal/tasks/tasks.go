@@ -1,0 +1,186 @@
+package tasks
+
+import (
+	"fmt"
+	"sort"
+
+	"spate/internal/compute"
+	"spate/internal/compute/ml"
+	"spate/internal/privacy"
+	"spate/internal/sqlengine"
+	"spate/internal/telco"
+)
+
+// T1Equality retrieves the download and upload bytes for one requested
+// snapshot, e.g. SELECT upflux, downflux FROM CDR WHERE ts='201601221530'
+// (paper task T1). The literal selects the epoch containing it.
+func T1Equality(f Framework, e telco.Epoch) (*sqlengine.ResultSet, error) {
+	// A minute-resolution literal at the epoch boundary selects the first
+	// minute; use the epoch's containment semantics via a range instead so
+	// the whole 30-minute snapshot is retrieved, as the task intends.
+	sql := fmt.Sprintf(
+		`SELECT upflux, downflux FROM CDR WHERE ts >= '%s' AND ts < '%s'`,
+		e.Start().Format(telco.TimeLayout), e.End().Format(telco.TimeLayout))
+	return sqlengine.NewEngine(Catalog(f)).Query(sql)
+}
+
+// T2Range retrieves the download and upload bytes for a time window,
+// e.g. SELECT upflux, downflux FROM CDR WHERE ts>='2015' AND ts<='2016'
+// (paper task T2).
+func T2Range(f Framework, w telco.TimeRange) (*sqlengine.ResultSet, error) {
+	sql := fmt.Sprintf(
+		`SELECT upflux, downflux FROM CDR WHERE ts >= '%s' AND ts < '%s'`,
+		w.From.Format(telco.TimeLayout), w.To.Format(telco.TimeLayout))
+	return sqlengine.NewEngine(Catalog(f)).Query(sql)
+}
+
+// T3Aggregate retrieves the NMS drop-call counters per cell tower and
+// computes each cell's drop-call rate: SELECT cellid, SUM(val) FROM NMS
+// WHERE ... GROUP BY cellid (paper task T3).
+func T3Aggregate(f Framework, w telco.TimeRange) (*sqlengine.ResultSet, error) {
+	sql := fmt.Sprintf(
+		`SELECT cell_id, SUM(drop_calls) AS drops, SUM(call_attempts) AS attempts
+		 FROM NMS WHERE ts >= '%s' AND ts < '%s'
+		 GROUP BY cell_id ORDER BY cell_id`,
+		w.From.Format(telco.TimeLayout), w.To.Format(telco.TimeLayout))
+	rs, err := sqlengine.NewEngine(Catalog(f)).Query(sql)
+	if err != nil {
+		return nil, err
+	}
+	// Derive the drop rate column client-side (drops/attempts).
+	rs.Cols = append(rs.Cols, "drop_rate")
+	for i, r := range rs.Rows {
+		drops, attempts := r[1].Float64(), r[2].Float64()
+		rate := 0.0
+		if attempts > 0 {
+			rate = drops / attempts
+		}
+		rs.Rows[i] = append(r, telco.Float(rate))
+	}
+	return rs, nil
+}
+
+// T4Join self-joins CDR to identify subscribers that changed location
+// (appear at two different cell towers) within the window (paper task T4).
+func T4Join(f Framework, w telco.TimeRange) (*sqlengine.ResultSet, error) {
+	sql := fmt.Sprintf(
+		`SELECT DISTINCT a.caller FROM CDR a JOIN CDR b ON a.caller = b.caller
+		 WHERE a.cell_id != b.cell_id
+		   AND a.ts >= '%s' AND a.ts < '%s'
+		   AND b.ts >= '%s' AND b.ts < '%s'
+		 ORDER BY a.caller`,
+		w.From.Format(telco.TimeLayout), w.To.Format(telco.TimeLayout),
+		w.From.Format(telco.TimeLayout), w.To.Format(telco.TimeLayout))
+	return sqlengine.NewEngine(Catalog(f)).Query(sql)
+}
+
+// T5Privacy retrieves the window's CDR records and releases a
+// k-anonymized version (paper task T5, the ARX role).
+func T5Privacy(f Framework, w telco.TimeRange, k int) (*telco.Table, privacy.Report, error) {
+	var all *telco.Table
+	err := f.Scan(w, []string{"CDR"}, func(_ string, tab *telco.Table) error {
+		if all == nil {
+			all = telco.NewTable(tab.Schema)
+		}
+		all.Rows = append(all.Rows, tab.Rows...)
+		return nil
+	})
+	if err != nil {
+		return nil, privacy.Report{}, err
+	}
+	if all == nil {
+		return nil, privacy.Report{}, fmt.Errorf("tasks: no CDR data in window")
+	}
+	return privacy.Anonymize(all, privacy.Options{
+		K:                k,
+		QuasiIdentifiers: []string{telco.AttrCaller, telco.AttrCellID, telco.AttrDuration},
+	})
+}
+
+// cdrFeatures extracts the numeric CDR feature matrix used by the heavy
+// tasks: duration, upflux, downflux.
+func cdrFeatures(f Framework, w telco.TimeRange) ([][]float64, error) {
+	var rows [][]float64
+	err := f.Scan(w, []string{"CDR"}, func(_ string, tab *telco.Table) error {
+		di := tab.Schema.FieldIndex(telco.AttrDuration)
+		ui := tab.Schema.FieldIndex(telco.AttrUpflux)
+		wi := tab.Schema.FieldIndex(telco.AttrDownflux)
+		for _, r := range tab.Rows {
+			rows = append(rows, []float64{
+				r[di].Float64(), r[ui].Float64(), r[wi].Float64(),
+			})
+		}
+		return nil
+	})
+	return rows, err
+}
+
+// nmsFeatures extracts the NMS feature matrix: drop_calls, call_attempts,
+// rssi_dbm, avg_duration plus the throughput target.
+func nmsFeatures(f Framework, w telco.TimeRange) (xs [][]float64, ys []float64, err error) {
+	err = f.Scan(w, []string{"NMS"}, func(_ string, tab *telco.Table) error {
+		di := tab.Schema.FieldIndex("drop_calls")
+		ai := tab.Schema.FieldIndex("call_attempts")
+		ri := tab.Schema.FieldIndex("rssi_dbm")
+		vi := tab.Schema.FieldIndex("avg_duration")
+		ti := tab.Schema.FieldIndex("throughput_kbps")
+		for _, r := range tab.Rows {
+			xs = append(xs, []float64{
+				r[di].Float64(), r[ai].Float64(), r[ri].Float64(), r[vi].Float64(),
+			})
+			ys = append(ys, r[ti].Float64())
+		}
+		return nil
+	})
+	return xs, ys, err
+}
+
+// T6Statistics computes the column-wise max, min, mean, variance, number
+// of non-zeros and total count over the window's CDR features with the
+// parallel compute substrate (paper task T6, Spark's colStats).
+func T6Statistics(f Framework, pool *compute.Pool, w telco.TimeRange) ([]ml.ColStats, error) {
+	rows, err := cdrFeatures(f, w)
+	if err != nil {
+		return nil, err
+	}
+	return ml.ColStatsOf(pool, rows)
+}
+
+// T7Clustering clusters the window's snapshots with k-means over CDR
+// features (paper task T7).
+func T7Clustering(f Framework, pool *compute.Pool, w telco.TimeRange, k int) (*ml.KMeansResult, error) {
+	rows, err := cdrFeatures(f, w)
+	if err != nil {
+		return nil, err
+	}
+	return ml.KMeans(pool, rows, k, 20)
+}
+
+// T8Regression fits a linear model over the window's NMS counters —
+// throughput as a function of drops, attempts, signal and duration (paper
+// task T8, Spark's regression.LinearRegression).
+func T8Regression(f Framework, pool *compute.Pool, w telco.TimeRange) (*ml.LinReg, error) {
+	xs, ys, err := nmsFeatures(f, w)
+	if err != nil {
+		return nil, err
+	}
+	return ml.LinearRegression(pool, xs, ys)
+}
+
+// ResultFingerprint canonicalizes a result set for cross-framework
+// equivalence checks: sorted formatted rows.
+func ResultFingerprint(rs *sqlengine.ResultSet) []string {
+	out := make([]string, 0, len(rs.Rows))
+	for _, r := range rs.Rows {
+		line := ""
+		for i, v := range r {
+			if i > 0 {
+				line += "|"
+			}
+			line += v.Format()
+		}
+		out = append(out, line)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,130 @@
+package telco
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Record is one row of attribute values under a Schema. Positions align
+// with Schema.Fields.
+type Record []Value
+
+// sep is the wire delimiter between attribute values. Telco trace files are
+// delimiter-separated text; values containing the delimiter, backslashes or
+// newlines are escaped so every record round-trips through one text line.
+const sep = '|'
+
+// EncodeLine renders the record as one delimiter-separated text line
+// (without the trailing newline).
+func (r Record) EncodeLine(b *strings.Builder) {
+	for i, v := range r {
+		if i > 0 {
+			b.WriteByte(sep)
+		}
+		escapeInto(b, v.Format())
+	}
+}
+
+// Line is a convenience wrapper around EncodeLine.
+func (r Record) Line() string {
+	var b strings.Builder
+	r.EncodeLine(&b)
+	return b.String()
+}
+
+func escapeInto(b *strings.Builder, s string) {
+	if !strings.ContainsAny(s, "|\\\n") {
+		b.WriteString(s)
+		return
+	}
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '|':
+			b.WriteString(`\p`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+}
+
+func unescape(s string) string {
+	if !strings.ContainsRune(s, '\\') {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c != '\\' || i+1 == len(s) {
+			b.WriteByte(c)
+			continue
+		}
+		i++
+		switch s[i] {
+		case 'p':
+			b.WriteByte('|')
+		case 'n':
+			b.WriteByte('\n')
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+// DecodeLine parses one text line into a record under schema s.
+func DecodeLine(s *Schema, line string) (Record, error) {
+	parts := splitEscaped(line)
+	if len(parts) != len(s.Fields) {
+		return nil, fmt.Errorf("telco: schema %q: line has %d fields, want %d", s.Name, len(parts), len(s.Fields))
+	}
+	rec := make(Record, len(parts))
+	for i, p := range parts {
+		v, err := ParseValue(s.Fields[i].Kind, unescape(p))
+		if err != nil {
+			return nil, fmt.Errorf("telco: field %q: %w", s.Fields[i].Name, err)
+		}
+		rec[i] = v
+	}
+	return rec, nil
+}
+
+// splitEscaped splits on the delimiter while respecting backslash escapes.
+func splitEscaped(line string) []string {
+	// Fast path: no escapes at all.
+	if !strings.ContainsRune(line, '\\') {
+		return strings.Split(line, string(sep))
+	}
+	var parts []string
+	start := 0
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '\\':
+			i++ // skip the escaped byte
+		case sep:
+			parts = append(parts, line[start:i])
+			start = i + 1
+		}
+	}
+	return append(parts, line[start:])
+}
+
+// Get returns the value of the named field, or Null when absent.
+func (r Record) Get(s *Schema, name string) Value {
+	i := s.FieldIndex(name)
+	if i < 0 || i >= len(r) {
+		return Null
+	}
+	return r[i]
+}
+
+// Clone returns a copy of the record.
+func (r Record) Clone() Record {
+	out := make(Record, len(r))
+	copy(out, r)
+	return out
+}

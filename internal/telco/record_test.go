@@ -1,0 +1,220 @@
+package telco
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func testSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewSchema("T", []Field{
+		{Name: "ts", Kind: KindTime},
+		{Name: "name", Kind: KindString},
+		{Name: "n", Kind: KindInt},
+		{Name: "f", Kind: KindFloat},
+		{Name: "opt", Kind: KindString, Optional: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRecordLineRoundTrip(t *testing.T) {
+	s := testSchema(t)
+	now := time.Date(2016, 9, 15, 12, 0, 0, 0, time.UTC)
+	tests := []struct {
+		name string
+		rec  Record
+	}{
+		{"plain", Record{Time(now), String("alice"), Int(5), Float(1.25), String("x")}},
+		{"nulls", Record{Null, Null, Null, Null, Null}},
+		{"delimiter in value", Record{Time(now), String("a|b"), Int(0), Float(0), Null}},
+		{"backslash in value", Record{Time(now), String(`a\b`), Int(0), Float(0), Null}},
+		{"newline in value", Record{Time(now), String("a\nb"), Int(0), Float(0), Null}},
+		{"mixed escapes", Record{Time(now), String(`|\|` + "\n"), Int(-1), Float(-2.5), String("|")}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			line := tc.rec.Line()
+			if strings.ContainsRune(line, '\n') {
+				t.Fatalf("encoded line contains newline: %q", line)
+			}
+			got, err := DecodeLine(s, line)
+			if err != nil {
+				t.Fatalf("DecodeLine(%q): %v", line, err)
+			}
+			if len(got) != len(tc.rec) {
+				t.Fatalf("got %d values, want %d", len(got), len(tc.rec))
+			}
+			for i := range got {
+				want := tc.rec[i]
+				// Empty strings decode as Null by design.
+				if want.Kind() == KindString && want.Str() == "" {
+					want = Null
+				}
+				if !got[i].Equal(want) {
+					t.Errorf("field %d: got %v, want %v", i, got[i], want)
+				}
+			}
+		})
+	}
+}
+
+func TestRecordStringPropertyRoundTrip(t *testing.T) {
+	s, err := NewSchema("P", []Field{{Name: "a", Kind: KindString}, {Name: "b", Kind: KindString}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b string) bool {
+		rec := Record{String(a), String(b)}
+		got, err := DecodeLine(s, rec.Line())
+		if err != nil {
+			return false
+		}
+		wa, wb := rec[0], rec[1]
+		if a == "" {
+			wa = Null
+		}
+		if b == "" {
+			wb = Null
+		}
+		return got[0].Equal(wa) && got[1].Equal(wb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeLineErrors(t *testing.T) {
+	s := testSchema(t)
+	tests := []struct {
+		name string
+		line string
+	}{
+		{"too few fields", "201601221530|x|1"},
+		{"too many fields", "201601221530|x|1|2.0|o|extra"},
+		{"bad int", "201601221530|x|notanint|2.0|o"},
+		{"bad time", "xxxx|x|1|2.0|o"},
+	}
+	for _, tc := range tests {
+		if _, err := DecodeLine(s, tc.line); err == nil {
+			t.Errorf("%s: DecodeLine(%q): want error", tc.name, tc.line)
+		}
+	}
+}
+
+func TestRecordGetAndClone(t *testing.T) {
+	s := testSchema(t)
+	rec := Record{Time(time.Unix(0, 0)), String("bob"), Int(9), Float(1), Null}
+	if got := rec.Get(s, "name"); !got.Equal(String("bob")) {
+		t.Errorf("Get(name) = %v", got)
+	}
+	if got := rec.Get(s, "missing"); !got.IsNull() {
+		t.Errorf("Get(missing) = %v, want Null", got)
+	}
+	cl := rec.Clone()
+	cl[1] = String("eve")
+	if rec[1].Str() != "bob" {
+		t.Error("Clone aliases the original record")
+	}
+}
+
+func TestSchemaValidation(t *testing.T) {
+	if _, err := NewSchema("D", []Field{{Name: "a", Kind: KindInt}, {Name: "a", Kind: KindInt}}); err == nil {
+		t.Error("duplicate field names: want error")
+	}
+	if _, err := NewSchema("E", []Field{{Name: "", Kind: KindInt}}); err == nil {
+		t.Error("empty field name: want error")
+	}
+}
+
+func TestSchemaLookups(t *testing.T) {
+	s := testSchema(t)
+	if got := s.FieldIndex("n"); got != 2 {
+		t.Errorf("FieldIndex(n) = %d, want 2", got)
+	}
+	if got := s.FieldIndex("zzz"); got != -1 {
+		t.Errorf("FieldIndex(zzz) = %d, want -1", got)
+	}
+	if got := s.NumFields(); got != 5 {
+		t.Errorf("NumFields = %d, want 5", got)
+	}
+	names := s.FieldNames()
+	if len(names) != 5 || names[0] != "ts" || names[4] != "opt" {
+		t.Errorf("FieldNames = %v", names)
+	}
+}
+
+func TestCanonicalSchemas(t *testing.T) {
+	if got := CDRSchema.NumFields(); got != NumCDRAttrs {
+		t.Errorf("CDR schema has %d fields, want %d", got, NumCDRAttrs)
+	}
+	if got := NMSSchema.NumFields(); got != 8 {
+		t.Errorf("NMS schema has %d fields, want 8", got)
+	}
+	if got := CellSchema.NumFields(); got != 10 {
+		t.Errorf("CELL schema has %d fields, want 10", got)
+	}
+	for _, name := range []string{"CDR", "NMS", "CELL"} {
+		if SchemaByName(name) == nil {
+			t.Errorf("SchemaByName(%q) = nil", name)
+		}
+	}
+	if SchemaByName("nope") != nil {
+		t.Error("SchemaByName(nope) != nil")
+	}
+	// The wide CDR schema must truncate its String() rendering.
+	if s := CDRSchema.String(); !strings.Contains(s, "more") {
+		t.Errorf("CDR String() not truncated: %q", s)
+	}
+}
+
+func TestEpochArithmetic(t *testing.T) {
+	tm := time.Date(2016, 1, 22, 15, 47, 12, 0, time.UTC)
+	e := EpochOf(tm)
+	if !e.Contains(tm) {
+		t.Error("epoch does not contain its own timestamp")
+	}
+	if got := e.Start().Minute(); got != 30 && got != 0 {
+		t.Errorf("epoch start minute = %d, want 0 or 30", got)
+	}
+	if got := e.End().Sub(e.Start()); got != EpochDuration {
+		t.Errorf("epoch length = %v", got)
+	}
+	if EpochsPerDay != 48 {
+		t.Errorf("EpochsPerDay = %d, want 48", EpochsPerDay)
+	}
+}
+
+func TestTimeRange(t *testing.T) {
+	a := time.Date(2016, 9, 15, 0, 0, 0, 0, time.UTC)
+	b := a.Add(2 * time.Hour)
+	r := NewTimeRange(b, a) // swapped on purpose
+	if r.From != a || r.To != b {
+		t.Fatalf("NewTimeRange did not normalize: %v", r)
+	}
+	if !r.Contains(a) || r.Contains(b) {
+		t.Error("half-open interval semantics violated")
+	}
+	if !r.Covers(NewTimeRange(a, a.Add(time.Hour))) {
+		t.Error("Covers(subrange) = false")
+	}
+	if r.Covers(NewTimeRange(a.Add(-time.Second), b)) {
+		t.Error("Covers(superrange) = true")
+	}
+	if !r.Overlaps(NewTimeRange(a.Add(time.Hour), b.Add(time.Hour))) {
+		t.Error("Overlaps = false for intersecting ranges")
+	}
+	if r.Overlaps(NewTimeRange(b, b.Add(time.Hour))) {
+		t.Error("Overlaps = true for touching ranges")
+	}
+	if got := len(r.Epochs()); got != 4 {
+		t.Errorf("Epochs over 2h = %d, want 4", got)
+	}
+	if got := NewTimeRange(a, a).Epochs(); got != nil {
+		t.Errorf("empty range epochs = %v, want nil", got)
+	}
+}

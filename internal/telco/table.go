@@ -1,0 +1,99 @@
+package telco
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is an in-memory batch of records under one schema — the unit in
+// which telco data arrives ("a snapshot di can be seen as a table of records
+// with a predefined set of attributes", paper §II-B).
+type Table struct {
+	Schema *Schema
+	Rows   []Record
+}
+
+// NewTable returns an empty table for schema s.
+func NewTable(s *Schema) *Table { return &Table{Schema: s} }
+
+// Append adds a record to the table. The record length must match the
+// schema; mismatches indicate a programming error and panic.
+func (t *Table) Append(r Record) {
+	if len(r) != t.Schema.NumFields() {
+		panic(fmt.Sprintf("telco: append %d values to schema %q with %d fields",
+			len(r), t.Schema.Name, t.Schema.NumFields()))
+	}
+	t.Rows = append(t.Rows, r)
+}
+
+// Len returns the number of rows.
+func (t *Table) Len() int { return len(t.Rows) }
+
+// WriteText streams the table in its wire form: one delimiter-separated
+// line per record, newline-terminated. This is the format RAW stores on the
+// distributed file system and SPATE compresses.
+func (t *Table) WriteText(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 64<<10)
+	var b strings.Builder
+	for _, r := range t.Rows {
+		b.Reset()
+		r.EncodeLine(&b)
+		b.WriteByte('\n')
+		if _, err := bw.WriteString(b.String()); err != nil {
+			return fmt.Errorf("telco: write table %q: %w", t.Schema.Name, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Text renders the table to a string; mainly for small tables and tests.
+func (t *Table) Text() string {
+	var sb strings.Builder
+	var b strings.Builder
+	for _, r := range t.Rows {
+		b.Reset()
+		r.EncodeLine(&b)
+		sb.WriteString(b.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// ReadTable parses a wire-form stream into a table under schema s.
+func ReadTable(s *Schema, r io.Reader) (*Table, error) {
+	t := NewTable(s)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		rec, err := DecodeLine(s, sc.Text())
+		if err != nil {
+			return nil, fmt.Errorf("telco: line %d: %w", line, err)
+		}
+		t.Rows = append(t.Rows, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("telco: read table %q: %w", s.Name, err)
+	}
+	return t, nil
+}
+
+// Column extracts the values of the named field across all rows.
+// Unknown fields yield an all-null column.
+func (t *Table) Column(name string) []Value {
+	i := t.Schema.FieldIndex(name)
+	out := make([]Value, len(t.Rows))
+	if i < 0 {
+		return out
+	}
+	for j, r := range t.Rows {
+		out[j] = r[i]
+	}
+	return out
+}

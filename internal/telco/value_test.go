@@ -1,0 +1,126 @@
+package telco
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	now := time.Date(2016, 1, 22, 15, 30, 0, 0, time.UTC)
+	tests := []struct {
+		name string
+		v    Value
+		kind Kind
+		text string
+	}{
+		{"null", Null, KindNull, ""},
+		{"string", String("voice"), KindString, "voice"},
+		{"int", Int(42), KindInt, "42"},
+		{"negative int", Int(-7), KindInt, "-7"},
+		{"float", Float(2.5), KindFloat, "2.5"},
+		{"time", Time(now), KindTime, "20160122153000"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.v.Kind(); got != tc.kind {
+				t.Errorf("Kind() = %v, want %v", got, tc.kind)
+			}
+			if got := tc.v.Format(); got != tc.text {
+				t.Errorf("Format() = %q, want %q", got, tc.text)
+			}
+		})
+	}
+}
+
+func TestValueFormatParseRoundTrip(t *testing.T) {
+	now := time.Date(2020, 6, 1, 10, 0, 0, 0, time.UTC)
+	values := []Value{
+		String("hello world"), String(""), Int(0), Int(1 << 40),
+		Float(3.14159), Float(-0.001), Time(now), Null,
+	}
+	for _, v := range values {
+		s := v.Format()
+		got, err := ParseValue(v.Kind(), s)
+		if err != nil {
+			t.Fatalf("ParseValue(%v, %q): %v", v.Kind(), s, err)
+		}
+		// Empty string round-trips to Null by design.
+		want := v
+		if s == "" {
+			want = Null
+		}
+		if !got.Equal(want) {
+			t.Errorf("round trip %v -> %q -> %v, want %v", v, s, got, want)
+		}
+	}
+}
+
+func TestParseValueErrors(t *testing.T) {
+	tests := []struct {
+		kind Kind
+		in   string
+	}{
+		{KindInt, "abc"},
+		{KindFloat, "1.2.3"},
+		{KindTime, "not-a-time"},
+		{KindTime, "2016"},
+	}
+	for _, tc := range tests {
+		if _, err := ParseValue(tc.kind, tc.in); err == nil {
+			t.Errorf("ParseValue(%v, %q): want error", tc.kind, tc.in)
+		}
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	tests := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(1), 1},
+		{Int(2), Int(2), 0},
+		{String("a"), String("b"), -1},
+		{Float(1.5), Float(1.5), 0},
+		{Int(2), Float(2.5), -1}, // cross numeric kinds
+		{Float(3.0), Int(2), 1},  // cross numeric kinds
+		{Null, Int(0), -1},       // null sorts first
+		{Time(time.Unix(10, 0)), Time(time.Unix(20, 0)), -1},
+	}
+	for _, tc := range tests {
+		if got := tc.a.Compare(tc.b); got != tc.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestValueCompareAntisymmetric(t *testing.T) {
+	f := func(a, b int64) bool {
+		return Int(a).Compare(Int(b)) == -Int(b).Compare(Int(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntStringPropertyRoundTrip(t *testing.T) {
+	f := func(i int64) bool {
+		v, err := ParseValue(KindInt, Int(i).Format())
+		return err == nil && v.Int64() == i
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindNull: "null", KindString: "string", KindInt: "int",
+		KindFloat: "float", KindTime: "time", Kind(99): "kind(99)",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}

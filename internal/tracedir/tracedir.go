@@ -1,0 +1,120 @@
+// Package tracedir reads and writes telco traces as directory trees of
+// plain-text snapshot files — the on-disk interchange format between the
+// spate-gen, spate-ingest and spate-sql tools, mimicking how real network
+// logs land on a collection server ("horizontally segmented files every 30
+// minutes", paper §II-B):
+//
+//	<root>/CELL                   static cell inventory
+//	<root>/<epoch>/CDR            one CDR batch per 30-min epoch
+//	<root>/<epoch>/NMS            one NMS batch per epoch
+package tracedir
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"spate/internal/gen"
+	"spate/internal/snapshot"
+	"spate/internal/telco"
+)
+
+// Write materializes days of a generated trace under root.
+func Write(root string, g *gen.Generator, days int) (epochs int, err error) {
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return 0, fmt.Errorf("tracedir: %w", err)
+	}
+	if err := writeTable(filepath.Join(root, "CELL"), g.CellTable()); err != nil {
+		return 0, err
+	}
+	e0 := telco.EpochOf(g.Config().Start)
+	n := days * telco.EpochsPerDay
+	for i := 0; i < n; i++ {
+		e := e0 + telco.Epoch(i)
+		dir := filepath.Join(root, e.String())
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return i, fmt.Errorf("tracedir: %w", err)
+		}
+		if err := writeTable(filepath.Join(dir, "CDR"), g.CDRTable(e)); err != nil {
+			return i, err
+		}
+		if err := writeTable(filepath.Join(dir, "NMS"), g.NMSTable(e)); err != nil {
+			return i, err
+		}
+	}
+	return n, nil
+}
+
+func writeTable(path string, t *telco.Table) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("tracedir: %w", err)
+	}
+	defer f.Close()
+	if err := t.WriteText(f); err != nil {
+		return fmt.Errorf("tracedir: write %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// ReadCells loads the trace's CELL inventory.
+func ReadCells(root string) (*telco.Table, error) {
+	return readTable(filepath.Join(root, "CELL"), "CELL")
+}
+
+func readTable(path, schema string) (*telco.Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("tracedir: %w", err)
+	}
+	defer f.Close()
+	t, err := telco.ReadTable(telco.SchemaByName(schema), f)
+	if err != nil {
+		return nil, fmt.Errorf("tracedir: %s: %w", path, err)
+	}
+	return t, nil
+}
+
+// Epochs lists the trace's snapshot epochs in order.
+func Epochs(root string) ([]telco.Epoch, error) {
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return nil, fmt.Errorf("tracedir: %w", err)
+	}
+	var out []telco.Epoch
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		t, err := time.ParseInLocation(telco.TimeLayout, e.Name(), time.UTC)
+		if err != nil {
+			continue // not an epoch directory
+		}
+		out = append(out, telco.EpochOf(t))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// ReadSnapshot loads one epoch's snapshot (all table files present).
+func ReadSnapshot(root string, e telco.Epoch) (*snapshot.Snapshot, error) {
+	dir := filepath.Join(root, e.String())
+	sn := snapshot.New(e)
+	for _, name := range []string{"CDR", "NMS"} {
+		path := filepath.Join(dir, name)
+		if _, err := os.Stat(path); err != nil {
+			continue // table absent for this epoch
+		}
+		t, err := readTable(path, name)
+		if err != nil {
+			return nil, err
+		}
+		sn.Add(t)
+	}
+	if len(sn.TableNames()) == 0 {
+		return nil, fmt.Errorf("tracedir: epoch %s has no tables", e)
+	}
+	return sn, nil
+}

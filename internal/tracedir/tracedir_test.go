@@ -1,0 +1,98 @@
+package tracedir
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"spate/internal/gen"
+	"spate/internal/telco"
+)
+
+func smallGen() *gen.Generator {
+	cfg := gen.DefaultConfig(0.002)
+	cfg.Antennas = 10
+	cfg.Users = 50
+	cfg.CDRPerEpoch = 20
+	cfg.NMSReportsPerCell = 0.5
+	return gen.New(cfg)
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	g := smallGen()
+	root := t.TempDir()
+	n, err := Write(root, g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != telco.EpochsPerDay {
+		t.Fatalf("wrote %d epochs", n)
+	}
+	cells, err := ReadCells(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cells.Len() != len(g.Cells()) {
+		t.Errorf("cells = %d, want %d", cells.Len(), len(g.Cells()))
+	}
+	epochs, err := Epochs(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(epochs) != n {
+		t.Fatalf("epochs = %d", len(epochs))
+	}
+	for i := 1; i < len(epochs); i++ {
+		if epochs[i] <= epochs[i-1] {
+			t.Fatal("epochs out of order")
+		}
+	}
+	sn, err := ReadSnapshot(root, epochs[18]) // 09:00
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := g.CDRTable(epochs[18]).Len()
+	if got := sn.Table("CDR").Len(); got != want {
+		t.Errorf("CDR rows = %d, want %d", got, want)
+	}
+	if sn.Table("NMS") == nil {
+		t.Error("NMS table missing")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, err := ReadCells(t.TempDir()); err == nil {
+		t.Error("missing CELL accepted")
+	}
+	if _, err := Epochs(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Error("missing root accepted")
+	}
+	root := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(root, "20160118000000"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	e := telco.EpochOf(time.Date(2016, 1, 18, 0, 0, 0, 0, time.UTC))
+	if _, err := ReadSnapshot(root, e); err == nil {
+		t.Error("empty epoch dir accepted")
+	}
+}
+
+func TestEpochsIgnoresStrayEntries(t *testing.T) {
+	g := smallGen()
+	root := t.TempDir()
+	if _, err := Write(root, g, 1); err != nil {
+		t.Fatal(err)
+	}
+	// CELL file and a stray directory must not be parsed as epochs.
+	if err := os.MkdirAll(filepath.Join(root, "notes"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	epochs, err := Epochs(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(epochs) != telco.EpochsPerDay {
+		t.Errorf("epochs = %d", len(epochs))
+	}
+}

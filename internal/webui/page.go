@@ -1,0 +1,50 @@
+package webui
+
+// indexHTML is the built-in exploration page: a canvas heatmap of per-cell
+// activity with window inputs and drag-to-select bounding boxes. Format
+// arguments: default from / to timestamps.
+const indexHTML = `<!DOCTYPE html>
+<html><head><title>SPATE-UI</title><style>
+body{font-family:sans-serif;margin:16px;background:#1c1f26;color:#e8e8e8}
+canvas{background:#10131a;border:1px solid #444}
+input{background:#2a2e38;color:#eee;border:1px solid #555;padding:4px}
+button{padding:4px 12px} #hl{font-size:13px;color:#9fd;max-width:800px}
+</style></head><body>
+<h2>SPATE &mdash; spatio-temporal telco data exploration</h2>
+<p>window: <input id="from" value="%s" size="15"> .. <input id="to" value="%s" size="15">
+<button onclick="explore()">explore</button>
+<span id="meta"></span></p>
+<canvas id="map" width="800" height="750" title="drag to select a bounding box"></canvas>
+<div id="hl"></div>
+<script>
+const cv=document.getElementById('map'),ctx=cv.getContext('2d');
+const W=80,H=75; let box=null,drag=null;
+function px(x){return x/W*cv.width} function py(y){return cv.height-y/H*cv.height}
+cv.onmousedown=e=>{drag=[e.offsetX,e.offsetY];}
+cv.onmouseup=e=>{ if(!drag)return;
+  const x1=drag[0]/cv.width*W,y1=(cv.height-drag[1])/cv.height*H;
+  const x2=e.offsetX/cv.width*W,y2=(cv.height-e.offsetY)/cv.height*H;
+  if(Math.abs(e.offsetX-drag[0])<5){box=null}else{box=[Math.min(x1,x2),Math.min(y1,y2),Math.max(x1,x2),Math.max(y1,y2)]}
+  drag=null; explore(); }
+async function explore(){
+  let u='/api/explore?from='+document.getElementById('from').value+'&to='+document.getElementById('to').value;
+  if(box)u+='&minx='+box[0]+'&miny='+box[1]+'&maxx='+box[2]+'&maxy='+box[3];
+  const r=await fetch(u); const d=await r.json();
+  if(d.error){document.getElementById('meta').textContent=d.error;return}
+  document.getElementById('meta').textContent=
+    d.rows+' rows · level '+d.covering_level+(d.cache_hit?' · cache':'')+(d.decayed_leaves?' · '+d.decayed_leaves+' decayed':'');
+  ctx.clearRect(0,0,cv.width,cv.height);
+  let max=1; for(const c of d.cells||[]) max=Math.max(max,c.rows);
+  for(const c of d.cells||[]){
+    const t=Math.sqrt(c.rows/max);
+    ctx.fillStyle='rgba('+Math.round(255*t)+','+Math.round(80+100*(1-t))+',60,0.75)';
+    ctx.beginPath();ctx.arc(px(c.x),py(c.y),2+10*t,0,7);ctx.fill();
+  }
+  if(box){ctx.strokeStyle='#6cf';ctx.strokeRect(px(box[0]),py(box[3]),px(box[2])-px(box[0]),py(box[1])-py(box[3]))}
+  const hl=(d.highlights||[]).map(h=>h.kind==='categorical'
+    ?h.attr+'='+h.value+' ('+(100*h.freq).toFixed(2)+'%%)'
+    :h.attr+' peak '+h.peak.toFixed(0)).join(' · ');
+  document.getElementById('hl').textContent=hl?('highlights: '+hl):'';
+}
+explore();
+</script></body></html>`

@@ -1,0 +1,273 @@
+// Package webui implements the SPATE-UI application layer as an HTTP
+// service (paper §VI-B): a JSON exploration API over the engine's
+// Q(a, b, w) interface plus a built-in heatmap page. The paper's interface
+// sits on Google Maps; ours renders the cell grid on a canvas — the
+// exploration semantics underneath (spatial box, temporal window, template
+// queries, highlights playback) are the same.
+package webui
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"spate/internal/core"
+	"spate/internal/gen"
+	"spate/internal/geo"
+	"spate/internal/highlights"
+	"spate/internal/index"
+	"spate/internal/sqlengine"
+	"spate/internal/tasks"
+	"spate/internal/telco"
+)
+
+// Server exposes one SPATE engine over HTTP.
+type Server struct {
+	eng    *core.Engine
+	sql    *sqlengine.Engine
+	cells  []gen.Cell
+	window telco.TimeRange
+	mux    *http.ServeMux
+}
+
+// NewServer wraps an ingested engine. cells may be nil (the /api/cells
+// endpoint then serves an empty inventory); window is the trace's span,
+// used as the default exploration window.
+func NewServer(eng *core.Engine, cells []gen.Cell, window telco.TimeRange) *Server {
+	s := &Server{
+		eng:    eng,
+		sql:    sqlengine.NewEngine(tasks.Catalog(tasks.Spate{E: eng})),
+		cells:  cells,
+		window: window,
+		mux:    http.NewServeMux(),
+	}
+	s.mux.HandleFunc("GET /", s.handleIndex)
+	s.mux.HandleFunc("GET /api/cells", s.handleCells)
+	s.mux.HandleFunc("GET /api/explore", s.handleExplore)
+	s.mux.HandleFunc("GET /api/sql", s.handleSQL)
+	s.mux.HandleFunc("GET /api/space", s.handleSpace)
+	s.mux.HandleFunc("GET /api/template", s.handleTemplate)
+	s.mux.HandleFunc("GET /api/playback", s.handlePlayback)
+	s.mux.HandleFunc("GET /api/tree", s.handleTree)
+	return s
+}
+
+// TreeNodeJSON is one temporal-index node in the /api/tree response — the
+// structure the UI's temporal navigation (drill down / roll up) walks.
+type TreeNodeJSON struct {
+	Level    string         `json:"level"`
+	From     string         `json:"from,omitempty"`
+	To       string         `json:"to,omitempty"`
+	Sealed   bool           `json:"sealed"`
+	Decayed  bool           `json:"decayed,omitempty"`
+	Rows     int64          `json:"rows,omitempty"`
+	Children []TreeNodeJSON `json:"children,omitempty"`
+}
+
+func (s *Server) handleTree(w http.ResponseWriter, _ *http.Request) {
+	var convert func(n *index.Node) TreeNodeJSON
+	convert = func(n *index.Node) TreeNodeJSON {
+		out := TreeNodeJSON{
+			Level:   n.Level.String(),
+			Sealed:  n.Summary != nil,
+			Decayed: n.Decayed,
+		}
+		if !n.Period.From.IsZero() {
+			out.From = n.Period.From.Format(telco.TimeLayout)
+			out.To = n.Period.To.Format(telco.TimeLayout)
+		}
+		if n.Summary != nil {
+			out.Rows = n.Summary.Rows
+		}
+		for _, c := range n.Children {
+			out.Children = append(out.Children, convert(c))
+		}
+		return out
+	}
+	writeJSON(w, convert(s.eng.Tree().Root()))
+}
+
+// Handler returns the HTTP handler (also usable under httptest).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("webui: encode: %v", err)
+	}
+}
+
+func httpErr(w http.ResponseWriter, code int, err error) {
+	w.WriteHeader(code)
+	writeJSON(w, map[string]string{"error": err.Error()})
+}
+
+// CellJSON is the wire form of one cell.
+type CellJSON struct {
+	ID   int64   `json:"id"`
+	X    float64 `json:"x"`
+	Y    float64 `json:"y"`
+	Tech string  `json:"tech,omitempty"`
+}
+
+func (s *Server) handleCells(w http.ResponseWriter, _ *http.Request) {
+	out := make([]CellJSON, 0, len(s.cells))
+	for _, c := range s.cells {
+		out = append(out, CellJSON{ID: c.ID, X: c.Pt.X, Y: c.Pt.Y, Tech: c.Tech})
+	}
+	writeJSON(w, out)
+}
+
+// parseWindow reads from/to params as (possibly truncated) wire-layout
+// timestamps; absent params default to the trace span.
+func (s *Server) parseWindow(r *http.Request) (telco.TimeRange, error) {
+	from, to := s.window.From, s.window.To
+	parse := func(v string) (time.Time, error) {
+		if len(v) > len(telco.TimeLayout) || len(v) < 4 {
+			return time.Time{}, fmt.Errorf("bad timestamp %q", v)
+		}
+		return time.ParseInLocation(telco.TimeLayout[:len(v)], v, time.UTC)
+	}
+	if v := r.URL.Query().Get("from"); v != "" {
+		t, err := parse(v)
+		if err != nil {
+			return telco.TimeRange{}, err
+		}
+		from = t
+	}
+	if v := r.URL.Query().Get("to"); v != "" {
+		t, err := parse(v)
+		if err != nil {
+			return telco.TimeRange{}, err
+		}
+		to = t
+	}
+	return telco.NewTimeRange(from, to), nil
+}
+
+// ExploreJSON is the wire form of an exploration answer.
+type ExploreJSON struct {
+	Level      string            `json:"covering_level"`
+	Rows       int64             `json:"rows"`
+	Decayed    int               `json:"decayed_leaves"`
+	CacheHit   bool              `json:"cache_hit"`
+	Cells      []ExploreCellJSON `json:"cells"`
+	Highlights []HighlightJSON   `json:"highlights"`
+}
+
+// ExploreCellJSON is one cell's aggregate in an exploration answer.
+type ExploreCellJSON struct {
+	ID    int64   `json:"id"`
+	X     float64 `json:"x"`
+	Y     float64 `json:"y"`
+	Rows  int64   `json:"rows"`
+	Value float64 `json:"value"`
+}
+
+// HighlightJSON is one highlight in an exploration answer.
+type HighlightJSON struct {
+	Attr  string  `json:"attr"`
+	Kind  string  `json:"kind"`
+	Value string  `json:"value,omitempty"`
+	Freq  float64 `json:"freq,omitempty"`
+	Peak  float64 `json:"peak,omitempty"`
+}
+
+func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
+	win, err := s.parseWindow(r)
+	if err != nil {
+		httpErr(w, http.StatusBadRequest, err)
+		return
+	}
+	q := core.Query{Window: win}
+	get := func(k string) (float64, bool) {
+		var f float64
+		if _, err := fmt.Sscanf(r.URL.Query().Get(k), "%g", &f); err == nil {
+			return f, true
+		}
+		return 0, false
+	}
+	if x1, ok := get("minx"); ok {
+		y1, _ := get("miny")
+		x2, _ := get("maxx")
+		y2, _ := get("maxy")
+		q.Box = geo.NewRect(x1, y1, x2, y2)
+	}
+	res, err := s.eng.Explore(q)
+	if err != nil {
+		httpErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	attr := r.URL.Query().Get("attr")
+	out := ExploreJSON{
+		Level: res.CoveringLevel.String(), Rows: res.Summary.Rows,
+		Decayed: res.DecayedLeaves, CacheHit: res.CacheHit,
+	}
+	for _, cs := range res.Cells {
+		cj := ExploreCellJSON{ID: cs.CellID, X: cs.Loc.X, Y: cs.Loc.Y, Rows: cs.Rows}
+		for ref, st := range cs.Attr {
+			if attr == "" || ref.String() == attr {
+				cj.Value = st.Sum
+				if attr != "" {
+					break
+				}
+			}
+		}
+		out.Cells = append(out.Cells, cj)
+	}
+	for _, h := range res.Highlights {
+		hj := HighlightJSON{Attr: h.Attr.String(), Value: h.Value, Freq: h.Frequency, Peak: h.PeakValue}
+		if h.Kind == highlights.Categorical {
+			hj.Kind = "categorical"
+		} else {
+			hj.Kind = "peak"
+		}
+		out.Highlights = append(out.Highlights, hj)
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		httpErr(w, http.StatusBadRequest, fmt.Errorf("missing q parameter"))
+		return
+	}
+	rs, err := s.sql.Query(q)
+	if err != nil {
+		httpErr(w, http.StatusBadRequest, err)
+		return
+	}
+	rows := make([][]string, len(rs.Rows))
+	for i, row := range rs.Rows {
+		rows[i] = make([]string, len(row))
+		for j, v := range row {
+			rows[i][j] = v.Format()
+		}
+	}
+	writeJSON(w, map[string]any{"cols": rs.Cols, "rows": rows})
+}
+
+func (s *Server) handleSpace(w http.ResponseWriter, _ *http.Request) {
+	sp := s.eng.Space()
+	u := s.eng.FS().Usage()
+	writeJSON(w, map[string]any{
+		"raw_bytes":     sp.RawBytes,
+		"comp_bytes":    sp.CompBytes,
+		"summary_bytes": sp.SummaryBytes,
+		"stored_bytes":  u.StoredBytes,
+		"o1":            sp.O1,
+	})
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprintf(w, indexHTML,
+		s.window.From.Format(telco.TimeLayout), s.window.To.Format(telco.TimeLayout))
+}

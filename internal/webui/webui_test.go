@@ -1,0 +1,291 @@
+package webui
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	_ "spate/internal/compress/all"
+	"spate/internal/core"
+	"spate/internal/dfs"
+	"spate/internal/gen"
+	"spate/internal/snapshot"
+	"spate/internal/telco"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, gen.Config) {
+	t.Helper()
+	cfg := gen.DefaultConfig(0.002)
+	cfg.Antennas = 12
+	cfg.Users = 80
+	cfg.CDRPerEpoch = 40
+	cfg.NMSReportsPerCell = 0.5
+	g := gen.New(cfg)
+	fs, err := dfs.NewCluster(t.TempDir(), dfs.Config{BlockSize: 1 << 20, DataNodes: 2, Replication: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.Open(fs, g.CellTable(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e0 := telco.EpochOf(cfg.Start)
+	for i := 0; i < 4; i++ {
+		sn := snapshot.New(e0 + telco.Epoch(i))
+		sn.Add(g.CDRTable(sn.Epoch))
+		sn.Add(g.NMSTable(sn.Epoch))
+		if _, err := eng.Ingest(sn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	window := telco.NewTimeRange(cfg.Start, cfg.Start.Add(2*time.Hour))
+	srv := NewServer(eng, g.Cells(), window)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, cfg
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("decode %s: %v", url, err)
+	}
+	return resp.StatusCode
+}
+
+func TestCellsEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var cells []CellJSON
+	if code := getJSON(t, ts.URL+"/api/cells", &cells); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(cells) != 36 {
+		t.Errorf("cells = %d, want 36", len(cells))
+	}
+	for _, c := range cells {
+		if c.ID == 0 || (c.Tech != "GSM" && c.Tech != "UMTS" && c.Tech != "LTE") {
+			t.Errorf("bad cell %+v", c)
+		}
+	}
+}
+
+func TestExploreEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var out ExploreJSON
+	if code := getJSON(t, ts.URL+"/api/explore", &out); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if out.Rows == 0 || len(out.Cells) == 0 {
+		t.Fatalf("explore = %+v", out)
+	}
+	// A second identical query is a cache hit.
+	var again ExploreJSON
+	getJSON(t, ts.URL+"/api/explore", &again)
+	if !again.CacheHit {
+		t.Error("no cache hit on repeated explore")
+	}
+	// Box restriction.
+	var boxed ExploreJSON
+	getJSON(t, ts.URL+"/api/explore?minx=0&miny=0&maxx=40&maxy=38", &boxed)
+	if boxed.Rows >= out.Rows {
+		t.Errorf("boxed rows %d >= all %d", boxed.Rows, out.Rows)
+	}
+	// Window restriction with a truncated timestamp.
+	var windowed ExploreJSON
+	code := getJSON(t, ts.URL+"/api/explore?from=2016011800&to=2016011801", &windowed)
+	if code != 200 || windowed.Rows == 0 || windowed.Rows >= out.Rows {
+		t.Errorf("windowed = %+v (status %d)", windowed, code)
+	}
+}
+
+func TestExploreBadParams(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var out map[string]string
+	if code := getJSON(t, ts.URL+"/api/explore?from=xx", &out); code != http.StatusBadRequest {
+		t.Errorf("bad from: status %d", code)
+	}
+	if out["error"] == "" {
+		t.Error("no error message")
+	}
+}
+
+func TestSQLEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var out struct {
+		Cols []string   `json:"cols"`
+		Rows [][]string `json:"rows"`
+	}
+	url := ts.URL + "/api/sql?q=" + strings.ReplaceAll("SELECT call_type, COUNT(*) FROM CDR GROUP BY call_type", " ", "%20")
+	if code := getJSON(t, url, &out); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(out.Cols) != 2 || len(out.Rows) == 0 {
+		t.Errorf("sql = %+v", out)
+	}
+	var errOut map[string]string
+	if code := getJSON(t, ts.URL+"/api/sql?q=NOT%20SQL", &errOut); code != http.StatusBadRequest {
+		t.Errorf("bad sql: status %d", code)
+	}
+	if code := getJSON(t, ts.URL+"/api/sql", &errOut); code != http.StatusBadRequest {
+		t.Errorf("missing q: status %d", code)
+	}
+}
+
+func TestSpaceEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var out map[string]float64
+	if code := getJSON(t, ts.URL+"/api/space", &out); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if out["raw_bytes"] <= out["comp_bytes"] || out["comp_bytes"] <= 0 {
+		t.Errorf("space = %v", out)
+	}
+}
+
+func TestIndexPage(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 4096)
+	n, _ := resp.Body.Read(buf)
+	body := string(buf[:n])
+	if !strings.Contains(body, "SPATE") || !strings.Contains(body, "canvas") {
+		t.Errorf("index page wrong: %.120s", body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Errorf("content type %q", ct)
+	}
+	// Unknown paths 404.
+	r2, err := http.Get(ts.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown path: status %d", r2.StatusCode)
+	}
+}
+
+func TestTemplateQueries(t *testing.T) {
+	ts, _ := newTestServer(t)
+	for _, name := range TemplateNames() {
+		var out struct {
+			Template string            `json:"template"`
+			Stat     string            `json:"stat"`
+			Cells    []ExploreCellJSON `json:"cells"`
+		}
+		if code := getJSON(t, ts.URL+"/api/template?name="+name, &out); code != 200 {
+			t.Fatalf("%s: status %d", name, code)
+		}
+		if out.Template != name || len(out.Cells) == 0 {
+			t.Errorf("%s: %+v", name, out)
+		}
+		if name == "rssi" {
+			if out.Stat != "mean" {
+				t.Errorf("rssi stat = %s", out.Stat)
+			}
+			for _, c := range out.Cells {
+				if c.Value > -60 || c.Value < -110 {
+					t.Errorf("rssi mean %v out of physical range", c.Value)
+				}
+			}
+		}
+	}
+	var errOut map[string]string
+	if code := getJSON(t, ts.URL+"/api/template?name=nope", &errOut); code != http.StatusBadRequest {
+		t.Errorf("unknown template: status %d", code)
+	}
+}
+
+func TestPlayback(t *testing.T) {
+	ts, cfg := newTestServer(t)
+	_ = cfg
+	var out struct {
+		Step   string `json:"step"`
+		Frames []struct {
+			From  string            `json:"from"`
+			To    string            `json:"to"`
+			Rows  int64             `json:"rows"`
+			Cells []ExploreCellJSON `json:"cells"`
+		} `json:"frames"`
+	}
+	if code := getJSON(t, ts.URL+"/api/playback", &out); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(out.Frames) != 4 { // 2h window / 30min epochs
+		t.Fatalf("frames = %d, want 4", len(out.Frames))
+	}
+	var total int64
+	for _, fr := range out.Frames {
+		total += fr.Rows
+		if fr.From >= fr.To {
+			t.Errorf("bad frame bounds %s..%s", fr.From, fr.To)
+		}
+	}
+	if total == 0 {
+		t.Error("empty playback")
+	}
+	// Custom step.
+	if code := getJSON(t, ts.URL+"/api/playback?step=1h", &out); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(out.Frames) != 2 {
+		t.Errorf("1h frames = %d, want 2", len(out.Frames))
+	}
+	// Frame-count bound and bad steps are rejected.
+	var errOut map[string]string
+	if code := getJSON(t, ts.URL+"/api/playback?step=1s", &errOut); code != http.StatusBadRequest {
+		t.Errorf("tiny step: status %d", code)
+	}
+	if code := getJSON(t, ts.URL+"/api/playback?step=banana", &errOut); code != http.StatusBadRequest {
+		t.Errorf("bad step: status %d", code)
+	}
+}
+
+func TestTreeEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var root TreeNodeJSON
+	if code := getJSON(t, ts.URL+"/api/tree", &root); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if root.Level != "root" || len(root.Children) != 1 {
+		t.Fatalf("root = %+v", root)
+	}
+	year := root.Children[0]
+	if year.Level != "year" || len(year.Children) != 1 {
+		t.Fatalf("year = %+v", year)
+	}
+	day := year.Children[0].Children[0]
+	if day.Level != "day" || len(day.Children) != 4 {
+		t.Fatalf("day = level %s with %d children", day.Level, len(day.Children))
+	}
+	for _, leaf := range day.Children {
+		if leaf.Level != "epoch" || leaf.From == "" {
+			t.Errorf("leaf = %+v", leaf)
+		}
+	}
+}
+
+func TestExploreAttrFilter(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var out ExploreJSON
+	url := fmt.Sprintf("%s/api/explore?attr=%s", ts.URL, "NMS.drop_calls")
+	if code := getJSON(t, url, &out); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(out.Cells) == 0 {
+		t.Fatal("no cells")
+	}
+}
