@@ -1,0 +1,30 @@
+# SPATE build and verification targets.
+
+GO ?= go
+
+.PHONY: all build test race vet bench fmt check
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The obs registry and tracer are lock-free/locked hot paths shared across
+# goroutines; run the whole tree under the race detector.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench . -benchtime 10x -run XXX ./...
+
+fmt:
+	gofmt -l -w .
+
+# Everything the CI gate runs.
+check: build vet test

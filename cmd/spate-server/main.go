@@ -9,18 +9,28 @@
 //
 // Endpoints:
 //
-//	GET /                         heatmap UI
+//	GET /                         heatmap UI (with a live stats panel)
 //	GET /api/cells                static cell inventory
 //	GET /api/explore?from=&to=&minx=&miny=&maxx=&maxy=&attr=
 //	GET /api/sql?q=SELECT...
 //	GET /api/space                storage accounting
+//	GET /metrics                  Prometheus text exposition
+//	GET /api/stats                JSON metrics mirror
+//	GET /api/trace                recent request span trees
+//	GET /debug/pprof/...          runtime profiles (behind -pprof)
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	_ "spate/internal/compress/all"
 	"spate/internal/core"
@@ -33,22 +43,32 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run is main's body with a normal error return, so deferred cleanup (the
+// temp store removal) executes on every exit path — log.Fatal inside main
+// would skip the defers and leak the store directory.
+func run() int {
 	var (
-		addr  = flag.String("addr", ":8080", "listen address")
-		trace = flag.String("trace", "", "trace directory (optional; else synthesized)")
-		scale = flag.Float64("scale", 0.01, "synthesized trace scale")
-		days  = flag.Int("days", 1, "synthesized trace length in days")
+		addr      = flag.String("addr", ":8080", "listen address")
+		trace     = flag.String("trace", "", "trace directory (optional; else synthesized)")
+		scale     = flag.Float64("scale", 0.01, "synthesized trace scale")
+		days      = flag.Int("days", 1, "synthesized trace length in days")
+		withPprof = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
 	dir, err := os.MkdirTemp("", "spate-server-*")
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		return 1
 	}
 	defer os.RemoveAll(dir)
 	fs, err := dfs.NewCluster(dir, dfs.Config{})
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		return 1
 	}
 
 	g := gen.New(gen.DefaultConfig(*scale))
@@ -57,7 +77,8 @@ func main() {
 	if *trace != "" {
 		cellTable, err = tracedir.ReadCells(*trace)
 		if err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return 1
 		}
 	} else {
 		cellTable = g.CellTable()
@@ -65,7 +86,8 @@ func main() {
 	}
 	eng, err := core.Open(fs, cellTable, core.Options{})
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		return 1
 	}
 
 	log.Printf("spate-server: ingesting...")
@@ -73,15 +95,18 @@ func main() {
 	if *trace != "" {
 		epochs, err := tracedir.Epochs(*trace)
 		if err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return 1
 		}
 		for _, e := range epochs {
 			sn, err := tracedir.ReadSnapshot(*trace, e)
 			if err != nil {
-				log.Fatal(err)
+				log.Print(err)
+				return 1
 			}
 			if _, err := eng.Ingest(sn); err != nil {
-				log.Fatal(err)
+				log.Print(err)
+				return 1
 			}
 		}
 		if len(epochs) > 0 {
@@ -96,7 +121,8 @@ func main() {
 			sn.Add(g.CDRTable(e))
 			sn.Add(g.NMSTable(e))
 			if _, err := eng.Ingest(sn); err != nil {
-				log.Fatal(err)
+				log.Print(err)
+				return 1
 			}
 		}
 		window = telco.NewTimeRange(e0.Start(), (e0 + telco.Epoch(n)).Start())
@@ -106,6 +132,44 @@ func main() {
 	srv := webui.NewServer(eng, cells, window)
 	log.Printf("spate-server: %d snapshots ready, window %s .. %s",
 		eng.Tree().Len(), window.From.Format(telco.TimeLayout), window.To.Format(telco.TimeLayout))
-	log.Printf("spate-server: listening on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	if *withPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		log.Printf("spate-server: pprof enabled at /debug/pprof/")
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: mux}
+
+	// Graceful shutdown: SIGINT/SIGTERM stop accepting connections, drain
+	// in-flight requests for up to 10s, then the deferred temp-store
+	// cleanup above runs.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("spate-server: listening on %s", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Print(err)
+			return 1
+		}
+	case <-ctx.Done():
+		log.Printf("spate-server: shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			log.Printf("spate-server: shutdown: %v", err)
+			return 1
+		}
+	}
+	return 0
 }

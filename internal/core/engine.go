@@ -10,6 +10,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -21,6 +22,7 @@ import (
 	"spate/internal/geo"
 	"spate/internal/highlights"
 	"spate/internal/index"
+	"spate/internal/obs"
 	"spate/internal/snapshot"
 	"spate/internal/telco"
 )
@@ -58,6 +60,13 @@ type Options struct {
 	// CellIndex selects the spatial index over the cell inventory:
 	// "quadtree" (default) or "rtree" — the two variants §V-A names.
 	CellIndex string
+	// Obs selects the metrics registry the engine reports into (default
+	// obs.Default). obs.NewNoop() disables all accounting — the baseline
+	// the instrumentation-overhead benchmark compares against.
+	Obs *obs.Registry
+	// Tracer records per-request span trees (default obs.DefaultTracer;
+	// forced off when Obs is a noop registry).
+	Tracer *obs.Tracer
 }
 
 // DefaultTheta is the highlight threshold used when Options.Theta has no
@@ -83,6 +92,14 @@ func (o Options) withDefaults() (Options, error) {
 	}
 	if o.CacheSize <= 0 {
 		o.CacheSize = 128
+	}
+	if o.Obs == nil {
+		o.Obs = obs.Default
+	}
+	if o.Obs.Noop() {
+		o.Tracer = nil
+	} else if o.Tracer == nil {
+		o.Tracer = obs.DefaultTracer
 	}
 	if err := o.Policy.Validate(); err != nil {
 		return o, err
@@ -119,6 +136,9 @@ type Engine struct {
 
 	cache *resultCache
 
+	// met holds the engine's pre-resolved obs series and tracer.
+	met *engineMetrics
+
 	// cumulative ingest accounting
 	rawBytes  int64
 	compBytes int64
@@ -132,12 +152,14 @@ func Open(fs *dfs.Cluster, cellTable *telco.Table, opts Options) (*Engine, error
 	if err != nil {
 		return nil, err
 	}
+	opts.Codec = compress.Instrument(opts.Codec, opts.Obs)
 	e := &Engine{
 		opts:  opts,
 		fs:    fs,
 		tree:  index.New(),
 		cells: make(map[int64]geo.Point),
 		cache: newResultCache(opts.CacheSize),
+		met:   newEngineMetrics(opts.Obs, opts.Tracer),
 	}
 	bounds := geo.NewRect(0, 0, 1, 1)
 	first := true
@@ -192,7 +214,7 @@ func Open(fs *dfs.Cluster, cellTable *telco.Table, opts Options) (*Engine, error
 	// A previously trained dictionary re-arms the codec.
 	if opts.TrainDictionary && fs.Exists("/spate/meta/zstd-dict") {
 		if dict, err := fs.ReadFile("/spate/meta/zstd-dict"); err == nil {
-			e.opts.Codec = zst.New(dict)
+			e.opts.Codec = compress.Instrument(zst.New(dict), e.opts.Obs)
 			e.trained = true
 		}
 	}
@@ -244,6 +266,10 @@ type IngestReport struct {
 	IndexTime      time.Duration
 	Total          time.Duration
 	CompletedNodes int
+	// Stages is the fine-grained wall-time breakdown (encode, train,
+	// compress, dfs_write, highlight, index_insert, seal, persist_meta,
+	// decay) that also feeds the spate_ingest_stage_seconds histograms.
+	Stages []obs.Stage
 }
 
 // Ingest runs the storage layer (compress + DFS write) and the Incremence
@@ -251,8 +277,33 @@ type IngestReport struct {
 // day/month/year that the arrival completes and then running the decay
 // fungus.
 func (e *Engine) Ingest(s *snapshot.Snapshot) (IngestReport, error) {
+	return e.IngestContext(context.Background(), s)
+}
+
+// IngestContext is Ingest with span propagation: when ctx carries a live
+// obs span the ingest span nests under it.
+func (e *Engine) IngestContext(ctx context.Context, s *snapshot.Snapshot) (rep IngestReport, err error) {
 	start := time.Now()
-	rep := IngestReport{Epoch: s.Epoch, Rows: s.Rows()}
+	rep = IngestReport{Epoch: s.Epoch, Rows: s.Rows()}
+	sr := newStageRecorder()
+	var span *obs.Span
+	if e.met.tracer != nil {
+		_, span = e.met.tracer.StartSpan(ctx, "ingest")
+	}
+	defer func() {
+		rep.Total = time.Since(start)
+		rep.Stages = sr.flush(e.met.ingestStage, span)
+		span.End()
+		if err != nil {
+			e.met.ingestErrors.Inc()
+			return
+		}
+		e.met.ingestSec.Observe(rep.Total.Seconds())
+		e.met.ingestSnaps.Inc()
+		e.met.ingestRows.Add(int64(rep.Rows))
+		e.met.ingestRawB.Add(rep.RawBytes)
+		e.met.ingestCompB.Add(rep.CompBytes)
+	}()
 
 	// Validate before the storage layer writes anything, so a rejected
 	// snapshot leaves no orphan files behind.
@@ -274,20 +325,31 @@ func (e *Engine) Ingest(s *snapshot.Snapshot) (IngestReport, error) {
 	leafSummary = highlights.NewSummary(period)
 	tCompress := time.Now()
 	for _, name := range s.TableNames() {
-		text, err := s.EncodeTable(name)
-		if err != nil {
-			return rep, fmt.Errorf("core: encode %s: %w", name, err)
+		t0 := time.Now()
+		text, encErr := s.EncodeTable(name)
+		sr.add(StageEncode, time.Since(t0).Nanoseconds())
+		if encErr != nil {
+			return rep, fmt.Errorf("core: encode %s: %w", name, encErr)
 		}
 		rep.RawBytes += int64(len(text))
+		t0 = time.Now()
 		e.maybeTrain(text)
+		sr.add(StageTrain, time.Since(t0).Nanoseconds())
+		t0 = time.Now()
 		comp := e.codec().Compress(nil, text)
+		sr.add(StageCompress, time.Since(t0).Nanoseconds())
 		rep.CompBytes += int64(len(comp))
 		path := snapshot.DataPath(s.Epoch, name)
-		if err := e.fs.WriteFile(path, comp); err != nil {
-			return rep, fmt.Errorf("core: store %s: %w", name, err)
+		t0 = time.Now()
+		werr := e.fs.WriteFile(path, comp)
+		sr.add(StageDFSWrite, time.Since(t0).Nanoseconds())
+		if werr != nil {
+			return rep, fmt.Errorf("core: store %s: %w", name, werr)
 		}
 		refs[name] = path
+		t0 = time.Now()
 		leafSummary.AddTable(e.opts.Highlights, s.Table(name))
+		sr.add(StageHighlight, time.Since(t0).Nanoseconds())
 	}
 	rep.CompressTime = time.Since(tCompress)
 
@@ -300,12 +362,15 @@ func (e *Engine) Ingest(s *snapshot.Snapshot) (IngestReport, error) {
 		return rep, err
 	}
 	leaf.Summary = leafSummary
+	sr.add(StageIndex, time.Since(tIndex).Nanoseconds())
+	tSeal := time.Now()
 	var sealErr error
 	for _, n := range completed {
 		if err := e.sealLocked(n); err != nil && sealErr == nil {
 			sealErr = err
 		}
 	}
+	sr.add(StageSeal, time.Since(tSeal).Nanoseconds())
 	e.rawBytes += rep.RawBytes
 	e.compBytes += rep.CompBytes
 	e.cache.clear()
@@ -313,20 +378,24 @@ func (e *Engine) Ingest(s *snapshot.Snapshot) (IngestReport, error) {
 	if sealErr != nil {
 		return rep, sealErr
 	}
+	tPersist := time.Now()
 	if err := e.persistLeafMeta(leafMeta{
 		Epoch: s.Epoch, Refs: refs,
 		RawBytes: rep.RawBytes, CompBytes: rep.CompBytes,
 	}); err != nil {
 		return rep, err
 	}
+	sr.add(StagePersist, time.Since(tPersist).Nanoseconds())
 	rep.IndexTime = time.Since(tIndex)
 	rep.CompletedNodes = len(completed)
 
 	// Decaying: purge aged entries under the configured policy.
-	if _, err := e.Decay(s.Epoch.End()); err != nil {
+	tDecay := time.Now()
+	_, err = e.Decay(s.Epoch.End())
+	sr.add(StageDecay, time.Since(tDecay).Nanoseconds())
+	if err != nil {
 		return rep, err
 	}
-	rep.Total = time.Since(start)
 	return rep, nil
 }
 
@@ -402,7 +471,7 @@ func (e *Engine) maybeTrain(text []byte) {
 	if e.trained {
 		return
 	}
-	if _, ok := e.opts.Codec.(zst.Codec); !ok {
+	if _, ok := compress.Unwrap(e.opts.Codec).(zst.Codec); !ok {
 		e.trained = true // not applicable
 		return
 	}
@@ -421,7 +490,7 @@ func (e *Engine) maybeTrain(text []byte) {
 		return
 	}
 	if err := e.fs.WriteFile("/spate/meta/zstd-dict", dict); err == nil {
-		e.opts.Codec = zst.New(dict)
+		e.opts.Codec = compress.Instrument(zst.New(dict), e.opts.Obs)
 	}
 }
 
@@ -441,6 +510,10 @@ func (e *Engine) Decay(now time.Time) (decay.Result, error) {
 	if err != nil {
 		return res, fmt.Errorf("core: decay: %w", err)
 	}
+	e.met.decayRuns.Inc()
+	e.met.decayLeaves.Add(int64(res.LeavesDecayed))
+	e.met.decayPruned.Add(int64(res.NodesPruned))
+	e.met.decayBytes.Add(res.BytesFreed)
 	if res.NodesPruned > 0 {
 		// Drop leaf metadata of pruned subtrees so a recovery does not
 		// resurrect index entries beyond the live tree.

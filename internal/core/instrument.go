@@ -1,0 +1,131 @@
+package core
+
+import (
+	"time"
+
+	"spate/internal/obs"
+)
+
+// Ingest and exploration stage names, shared by the metrics registry, the
+// span tracer and the per-report Stages breakdowns.
+const (
+	StageEncode    = "encode"       // table → wire text
+	StageTrain     = "train"        // dictionary sampling/training
+	StageCompress  = "compress"     // codec Compress calls
+	StageDFSWrite  = "dfs_write"    // replicated block writes
+	StageHighlight = "highlight"    // leaf summary build
+	StageIndex     = "index_insert" // temporal-tree append
+	StageSeal      = "seal"         // completed-period summary rollup
+	StagePersist   = "persist_meta" // leaf metadata journal
+	StageDecay     = "decay"        // fungus plan + apply
+
+	StagePlan       = "plan"        // covering node + leaf lookup
+	StageCollect    = "collect"     // summary part gathering
+	StageLeafDecode = "leaf_decode" // snapshot decompress/decode for summaries
+	StageMerge      = "merge"       // summary merge
+	StageRestrict   = "restrict"    // spatial restriction to the box
+	StageRows       = "row_fetch"   // exact-row decompression
+)
+
+var ingestStageNames = []string{
+	StageEncode, StageTrain, StageCompress, StageDFSWrite, StageHighlight,
+	StageIndex, StageSeal, StagePersist, StageDecay,
+}
+
+var exploreStageNames = []string{
+	StagePlan, StageCollect, StageLeafDecode, StageMerge, StageRestrict, StageRows,
+}
+
+// engineMetrics pre-resolves every series the engine's hot paths touch, so
+// per-request cost is a handful of atomic adds.
+type engineMetrics struct {
+	reg    *obs.Registry
+	tracer *obs.Tracer
+
+	ingestStage   map[string]*obs.Histogram
+	ingestSec     *obs.Histogram
+	ingestSnaps   *obs.Counter
+	ingestRows    *obs.Counter
+	ingestRawB    *obs.Counter
+	ingestCompB   *obs.Counter
+	ingestErrors  *obs.Counter
+	exploreStage  map[string]*obs.Histogram
+	exploreSec    *obs.Histogram
+	cacheHits     *obs.Counter
+	cacheMisses   *obs.Counter
+	scannedLeaves *obs.Counter
+	prunedLeaves  *obs.Counter
+	decayRuns     *obs.Counter
+	decayLeaves   *obs.Counter
+	decayPruned   *obs.Counter
+	decayBytes    *obs.Counter
+}
+
+func newEngineMetrics(r *obs.Registry, t *obs.Tracer) *engineMetrics {
+	m := &engineMetrics{
+		reg:    r,
+		tracer: t,
+
+		ingestStage:   make(map[string]*obs.Histogram, len(ingestStageNames)),
+		ingestSec:     r.Histogram("spate_ingest_seconds", "End-to-end snapshot ingestion latency.", nil),
+		ingestSnaps:   r.Counter("spate_ingest_snapshots_total", "Snapshots ingested."),
+		ingestRows:    r.Counter("spate_ingest_rows_total", "Rows ingested across all tables."),
+		ingestRawB:    r.Counter("spate_ingest_raw_bytes_total", "Uncompressed snapshot bytes ingested."),
+		ingestCompB:   r.Counter("spate_ingest_stored_bytes_total", "Compressed snapshot bytes written to the DFS (logical)."),
+		ingestErrors:  r.Counter("spate_ingest_errors_total", "Failed ingestions."),
+		exploreStage:  make(map[string]*obs.Histogram, len(exploreStageNames)),
+		exploreSec:    r.Histogram("spate_explore_seconds", "End-to-end exploration latency (uncached).", nil),
+		cacheHits:     r.Counter("spate_explore_cache_hits_total", "Explorations served from the result cache."),
+		cacheMisses:   r.Counter("spate_explore_cache_misses_total", "Explorations that missed the result cache."),
+		scannedLeaves: r.Counter("spate_explore_scanned_leaves_total", "Snapshots decompressed during exploration."),
+		prunedLeaves:  r.Counter("spate_explore_pruned_leaves_total", "Snapshots skipped by leaf spatial pruning."),
+		decayRuns:     r.Counter("spate_decay_runs_total", "Decay runs that evicted at least one entry."),
+		decayLeaves:   r.Counter("spate_decay_leaves_total", "Leaves whose raw data the fungus evicted."),
+		decayPruned:   r.Counter("spate_decay_pruned_nodes_total", "Index nodes pruned into coarser summaries."),
+		decayBytes:    r.Counter("spate_decay_bytes_freed_total", "Compressed bytes reclaimed by decay."),
+	}
+	for _, s := range ingestStageNames {
+		m.ingestStage[s] = r.Histogram("spate_ingest_stage_seconds",
+			"Ingestion stage latency by stage.", nil, "stage", s)
+	}
+	for _, s := range exploreStageNames {
+		m.exploreStage[s] = r.Histogram("spate_explore_stage_seconds",
+			"Exploration stage latency by stage.", nil, "stage", s)
+	}
+	return m
+}
+
+// stageRecorder accumulates named stage wall times for one request and
+// flushes them to histograms, a Stages slice and (optionally) a span.
+type stageRecorder struct {
+	names []string
+	durs  map[string]int64 // nanoseconds
+}
+
+func newStageRecorder() *stageRecorder {
+	return &stageRecorder{durs: make(map[string]int64, 8)}
+}
+
+// add accrues d nanoseconds under name (stages may run multiple times, e.g.
+// per-table compression).
+func (sr *stageRecorder) add(name string, ns int64) {
+	if _, ok := sr.durs[name]; !ok {
+		sr.names = append(sr.names, name)
+	}
+	sr.durs[name] += ns
+}
+
+// flush records every stage into hists, attaches them to span (if any) and
+// returns the breakdown in first-seen order.
+func (sr *stageRecorder) flush(hists map[string]*obs.Histogram, span *obs.Span) []obs.Stage {
+	out := make([]obs.Stage, 0, len(sr.names))
+	for _, n := range sr.names {
+		d := sr.durs[n]
+		out = append(out, obs.Stage{Name: n, Duration: time.Duration(d)})
+		if h := hists[n]; h != nil {
+			h.Observe(float64(d) / 1e9)
+		}
+		span.AddStage(n, time.Duration(d))
+	}
+	return out
+}

@@ -1,15 +1,18 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"spate/internal/compress"
 	"spate/internal/geo"
 	"spate/internal/highlights"
 	"spate/internal/index"
+	"spate/internal/obs"
 	"spate/internal/snapshot"
 	"spate/internal/telco"
 )
@@ -81,6 +84,14 @@ type Result struct {
 	// to the query window on the exact path, and the covering node's
 	// (larger) period on the Fast path or under decay prefetch.
 	ServedPeriod telco.TimeRange
+	// Stages is the per-stage wall-time breakdown of the evaluation (plan,
+	// collect, leaf_decode, merge, restrict, row_fetch). Cache hits carry
+	// the breakdown of the evaluation that produced the cached answer.
+	Stages []obs.Stage
+
+	// leafDecode accrues snapshot decompress/decode time inside summary
+	// collection, reported as the leaf_decode stage.
+	leafDecode time.Duration
 }
 
 // Explore evaluates a data exploration query against the index: it finds
@@ -89,13 +100,43 @@ type Result struct {
 // spatially through the cell inventory, and optionally decompresses the
 // covered snapshots for exact rows.
 func (e *Engine) Explore(q Query) (*Result, error) {
+	return e.ExploreContext(context.Background(), q)
+}
+
+// ExploreContext is Explore with span propagation: when ctx carries a live
+// obs span the exploration span nests under it (e.g. under an HTTP
+// request's span).
+func (e *Engine) ExploreContext(ctx context.Context, q Query) (*Result, error) {
 	key := q.cacheKey()
 	if r, ok := e.cache.get(key); ok {
+		e.met.cacheHits.Inc()
 		out := *r
 		out.CacheHit = true
 		return &out, nil
 	}
+	e.met.cacheMisses.Inc()
+	start := time.Now()
+	sr := newStageRecorder()
+	var span *obs.Span
+	if e.met.tracer != nil {
+		_, span = e.met.tracer.StartSpan(ctx, "explore")
+	}
+	defer span.End()
+	// finish flushes stage accounting into the registry, the span and the
+	// result, then installs the answer in the cache.
+	finish := func(res *Result) {
+		if res.leafDecode > 0 {
+			sr.add(StageLeafDecode, res.leafDecode.Nanoseconds())
+		}
+		res.Stages = sr.flush(e.met.exploreStage, span)
+		span.End()
+		e.met.exploreSec.Observe(time.Since(start).Seconds())
+		e.met.scannedLeaves.Add(int64(res.ScannedLeaves))
+		e.met.prunedLeaves.Add(int64(res.PrunedLeaves))
+		e.cache.put(key, res)
+	}
 
+	tPlan := time.Now()
 	e.mu.RLock()
 	covering := e.tree.FindCovering(q.Window)
 	if covering == nil {
@@ -107,6 +148,7 @@ func (e *Engine) Explore(q Query) (*Result, error) {
 	coveringSummary := covering.Summary
 	root := e.tree.Root()
 	e.mu.RUnlock()
+	sr.add(StagePlan, time.Since(tPlan).Nanoseconds())
 
 	res := &Result{CoveringLevel: covering.Level, ServedPeriod: q.Window}
 
@@ -114,9 +156,11 @@ func (e *Engine) Explore(q Query) (*Result, error) {
 	// serving its whole (possibly larger) period.
 	if q.Fast && coveringSummary != nil && !q.ExactRows {
 		res.ServedPeriod = covering.Period
+		t0 := time.Now()
 		res.Summary, res.Cells = e.restrictToBox(coveringSummary, q)
+		sr.add(StageRestrict, time.Since(t0).Nanoseconds())
 		res.Highlights = coveringSummary.Extract(theta)
-		e.cache.put(key, res)
+		finish(res)
 		return res, nil
 	}
 
@@ -127,17 +171,23 @@ func (e *Engine) Explore(q Query) (*Result, error) {
 	// "highlight summaries or actual available data ... are then
 	// retrieved"). This makes response time depend on the window's *edges*,
 	// not its length.
+	tCollect := time.Now()
 	var parts []*highlights.Summary
 	var err error
 	parts, err = e.collectSummaries(root, q.Window, parts, res)
+	sr.add(StageCollect, (time.Since(tCollect) - res.leafDecode).Nanoseconds())
 	if err != nil {
 		return nil, err
 	}
+	tMerge := time.Now()
 	merged := highlights.Merge(q.Window, parts...)
+	sr.add(StageMerge, time.Since(tMerge).Nanoseconds())
 
 	// Spatial restriction: keep only cells inside the box and rebuild the
 	// window aggregates from the per-cell breakdown.
+	tRestrict := time.Now()
 	res.Summary, res.Cells = e.restrictToBox(merged, q)
+	sr.add(StageRestrict, time.Since(tRestrict).Nanoseconds())
 
 	// Highlights come from the covering node's resolution — its θ — as in
 	// the paper's drill-down description; fall back to the merged window.
@@ -148,11 +198,14 @@ func (e *Engine) Explore(q Query) (*Result, error) {
 	res.Highlights = hsrc.Extract(theta)
 
 	if q.ExactRows {
-		if err := e.fetchRows(q, leaves, res); err != nil {
+		tRows := time.Now()
+		err := e.fetchRows(q, leaves, res)
+		sr.add(StageRows, time.Since(tRows).Nanoseconds())
+		if err != nil {
 			return nil, err
 		}
 	}
-	e.cache.put(key, res)
+	finish(res)
 	return res, nil
 }
 
@@ -175,7 +228,9 @@ func (e *Engine) collectSummaries(n *index.Node, w telco.TimeRange, parts []*hig
 		if n.Summary != nil {
 			return append(parts, n.Summary), nil
 		}
+		t0 := time.Now()
 		s, err := e.buildLeafSummary(e.codec(), n)
+		res.leafDecode += time.Since(t0)
 		if err != nil {
 			return parts, err
 		}

@@ -22,6 +22,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"spate/internal/obs"
 )
 
 // Config parameterizes a cluster. The zero value takes the paper's testbed
@@ -41,6 +43,9 @@ type Config struct {
 	WriteMBps float64
 	// ReadMBps likewise throttles block reads. 0 disables.
 	ReadMBps float64
+	// Obs selects the metrics registry the cluster reports into
+	// (default obs.Default; obs.NewNoop() disables accounting).
+	Obs *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -99,6 +104,31 @@ type Cluster struct {
 
 	bytesRead    atomic.Int64
 	bytesWritten atomic.Int64
+
+	met clusterMetrics
+}
+
+// clusterMetrics holds the cluster's pre-resolved obs series; per-op
+// updates are lock-free atomic adds.
+type clusterMetrics struct {
+	opSec     map[string]*obs.Histogram // write|read|delete|rereplicate
+	readB     *obs.Counter
+	writtenB  *obs.Counter
+	opErrors  *obs.Counter
+	replicaFO *obs.Counter // replica failovers during reads
+}
+
+func newClusterMetrics(r *obs.Registry) clusterMetrics {
+	m := clusterMetrics{opSec: make(map[string]*obs.Histogram)}
+	for _, op := range []string{"write", "read", "delete", "rereplicate"} {
+		m.opSec[op] = r.Histogram("spate_dfs_op_seconds",
+			"DFS operation latency by op.", nil, "op", op)
+	}
+	m.readB = r.Counter("spate_dfs_read_bytes_total", "Bytes served to DFS readers.")
+	m.writtenB = r.Counter("spate_dfs_written_bytes_total", "Bytes written to datanodes including replication copies.")
+	m.opErrors = r.Counter("spate_dfs_op_errors_total", "Failed DFS operations.")
+	m.replicaFO = r.Counter("spate_dfs_replica_failovers_total", "Reads that skipped a dead or corrupt replica.")
+	return m
 }
 
 // NewCluster creates a cluster rooted at dir (created if absent). A
@@ -117,6 +147,22 @@ func NewCluster(dir string, cfg Config) (*Cluster, error) {
 	if err := c.loadImage(); err != nil {
 		return nil, err
 	}
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.Default
+	}
+	c.met = newClusterMetrics(reg)
+	// Scrape-time gauges: the newest cluster registered under a name owns
+	// its series (relevant only when several clusters share one registry).
+	reg.GaugeFunc("spate_dfs_under_replicated_blocks",
+		"Blocks with fewer live replicas than the target.",
+		func() float64 { return float64(c.UnderReplicated()) })
+	reg.GaugeFunc("spate_dfs_live_nodes", "Datanodes currently alive.",
+		func() float64 { return float64(c.Usage().LiveNodes) })
+	reg.GaugeFunc("spate_dfs_stored_bytes", "Bytes on datanode disks including replication.",
+		func() float64 { return float64(c.Usage().StoredBytes) })
+	reg.GaugeFunc("spate_dfs_files", "Files in the namenode table.",
+		func() float64 { return float64(c.Usage().Files) })
 	return c, nil
 }
 
@@ -138,9 +184,12 @@ func throttle(mbps float64, n int) {
 // WriteFile stores data under path, splitting it into replicated blocks.
 // It fails if the path already exists (DFS files are write-once, like HDFS).
 func (c *Cluster) WriteFile(path string, data []byte) error {
+	t0 := time.Now()
+	defer c.met.opSec["write"].ObserveSince(t0)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, ok := c.files[path]; ok {
+		c.met.opErrors.Inc()
 		return fmt.Errorf("%q: %w", path, ErrExists)
 	}
 	fm := &fileMeta{path: path, size: int64(len(data))}
@@ -153,6 +202,7 @@ func (c *Cluster) WriteFile(path string, data []byte) error {
 		bm, err := c.placeBlockLocked(chunk)
 		if err != nil {
 			c.rollbackLocked(fm)
+			c.met.opErrors.Inc()
 			return err
 		}
 		fm.blocks = append(fm.blocks, bm)
@@ -188,6 +238,7 @@ func (c *Cluster) placeBlockLocked(chunk []byte) (blockMeta, error) {
 		return bm, fmt.Errorf("dfs: place block: %w", ErrUnavailable)
 	}
 	c.bytesWritten.Add(int64(placed) * bm.size)
+	c.met.writtenB.Add(int64(placed) * bm.size)
 	return bm, nil
 }
 
@@ -209,10 +260,13 @@ func (c *Cluster) removeBlockLocked(bm blockMeta) {
 // ReadFile returns the contents of path, verifying block checksums and
 // failing over between replicas.
 func (c *Cluster) ReadFile(path string) ([]byte, error) {
+	t0 := time.Now()
+	defer c.met.opSec["read"].ObserveSince(t0)
 	c.mu.RLock()
 	fm, ok := c.files[path]
 	if !ok {
 		c.mu.RUnlock()
+		c.met.opErrors.Inc()
 		return nil, fmt.Errorf("%q: %w", path, ErrNotFound)
 	}
 	blocks := make([]blockMeta, len(fm.blocks))
@@ -224,11 +278,13 @@ func (c *Cluster) ReadFile(path string) ([]byte, error) {
 	for _, bm := range blocks {
 		chunk, err := c.readBlock(bm)
 		if err != nil {
+			c.met.opErrors.Inc()
 			return nil, fmt.Errorf("dfs: %q block %d: %w", path, bm.id, err)
 		}
 		out = append(out, chunk...)
 	}
 	c.bytesRead.Add(int64(len(out)))
+	c.met.readB.Add(int64(len(out)))
 	return out, nil
 }
 
@@ -244,15 +300,18 @@ func (c *Cluster) readBlock(bm blockMeta) ([]byte, error) {
 		alive := n.alive
 		c.mu.RUnlock()
 		if !alive {
+			c.met.replicaFO.Inc()
 			continue
 		}
 		chunk, err := os.ReadFile(blockFile(n.dir, bm.id))
 		if err != nil {
 			lastErr = err
+			c.met.replicaFO.Inc()
 			continue
 		}
 		if crc32.ChecksumIEEE(chunk) != bm.checksum {
 			lastErr = fmt.Errorf("dfs: checksum mismatch on dn%02d", i)
+			c.met.replicaFO.Inc()
 			continue
 		}
 		throttle(c.cfg.ReadMBps, len(chunk))
@@ -263,10 +322,13 @@ func (c *Cluster) readBlock(bm blockMeta) ([]byte, error) {
 
 // Delete removes a file and its block replicas.
 func (c *Cluster) Delete(path string) error {
+	t0 := time.Now()
+	defer c.met.opSec["delete"].ObserveSince(t0)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	fm, ok := c.files[path]
 	if !ok {
+		c.met.opErrors.Inc()
 		return fmt.Errorf("%q: %w", path, ErrNotFound)
 	}
 	c.rollbackLocked(fm)
@@ -403,6 +465,8 @@ func (c *Cluster) CorruptBlock(path string) (int, error) {
 // (e.g. after KillNode) by copying from surviving replicas to other live
 // nodes. It returns the number of new replicas created.
 func (c *Cluster) Rereplicate() (int, error) {
+	t0 := time.Now()
+	defer c.met.opSec["rereplicate"].ObserveSince(t0)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	created := 0
@@ -454,6 +518,7 @@ func (c *Cluster) Rereplicate() (int, error) {
 				live++
 				created++
 				c.bytesWritten.Add(bm.size)
+				c.met.writtenB.Add(bm.size)
 			}
 		}
 	}

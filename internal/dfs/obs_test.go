@@ -1,0 +1,164 @@
+package dfs
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"spate/internal/obs"
+)
+
+// TestObsCounters asserts the cluster's byte counters and op-latency
+// histograms advance across a WriteFile/ReadFile round trip, including the
+// degraded-read path after a node failure.
+func TestObsCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := newTestCluster(t, Config{BlockSize: 512, Replication: 3, DataNodes: 4, Obs: reg})
+
+	data := make([]byte, 2000)
+	rand.New(rand.NewSource(7)).Read(data)
+	if err := c.WriteFile("/obs/a", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.ReadFile("/obs/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("round trip mismatch")
+	}
+
+	// Public byte accounting and its metric mirrors agree.
+	if br := c.BytesRead(); br != int64(len(data)) {
+		t.Errorf("BytesRead = %d, want %d", br, len(data))
+	}
+	wantW := int64(3 * len(data)) // every byte lands on 3 replicas
+	if bw := c.BytesWritten(); bw != wantW {
+		t.Errorf("BytesWritten = %d, want %d", bw, wantW)
+	}
+	if v := c.met.readB.Value(); v != c.BytesRead() {
+		t.Errorf("spate_dfs_read_bytes_total = %d, want %d", v, c.BytesRead())
+	}
+	if v := c.met.writtenB.Value(); v != c.BytesWritten() {
+		t.Errorf("spate_dfs_written_bytes_total = %d, want %d", v, c.BytesWritten())
+	}
+
+	// Op-latency histograms advanced once per operation.
+	if n := c.met.opSec["write"].Count(); n != 1 {
+		t.Errorf("write op observations = %d, want 1", n)
+	}
+	if n := c.met.opSec["read"].Count(); n != 1 {
+		t.Errorf("read op observations = %d, want 1", n)
+	}
+	if s := c.met.opSec["read"].Sum(); s <= 0 {
+		t.Errorf("read op latency sum = %v, want > 0", s)
+	}
+
+	// Degraded read: kill a node, read again. The file must still come
+	// back, and any replica skip shows up as a failover; the read
+	// histogram keeps advancing either way.
+	if err := c.KillNode(0); err != nil {
+		t.Fatal(err)
+	}
+	got, err = c.ReadFile("/obs/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("degraded round trip mismatch")
+	}
+	if n := c.met.opSec["read"].Count(); n != 2 {
+		t.Errorf("read op observations after degraded read = %d, want 2", n)
+	}
+	if v := c.met.readB.Value(); v != 2*int64(len(data)) {
+		t.Errorf("read bytes after degraded read = %d, want %d", v, 2*len(data))
+	}
+	// With replication 3 on 4 nodes, some block's first-choice replica may
+	// or may not live on the dead node; the gauge is the reliable signal.
+	if ur := c.UnderReplicated(); ur == 0 {
+		t.Errorf("UnderReplicated = 0 after KillNode, want > 0")
+	}
+
+	// Rereplication writes recovery copies and is timed.
+	created, err := c.Rereplicate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created == 0 {
+		t.Error("Rereplicate created no replicas on a degraded cluster")
+	}
+	if n := c.met.opSec["rereplicate"].Count(); n != 1 {
+		t.Errorf("rereplicate op observations = %d, want 1", n)
+	}
+	if bw := c.met.writtenB.Value(); bw <= wantW {
+		t.Errorf("written bytes after rereplicate = %d, want > %d", bw, wantW)
+	}
+
+	// Failed ops are counted.
+	if _, err := c.ReadFile("/obs/missing"); err == nil {
+		t.Fatal("read of missing file succeeded")
+	}
+	if v := c.met.opErrors.Value(); v != 1 {
+		t.Errorf("spate_dfs_op_errors_total = %d, want 1", v)
+	}
+
+	// The registry renders the series, gauges included.
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		// 2 successful reads + the failed missing-file read above.
+		`spate_dfs_op_seconds_count{op="read"} 3`,
+		`spate_dfs_op_seconds_count{op="write"} 1`,
+		"spate_dfs_read_bytes_total 4000",
+		"spate_dfs_under_replicated_blocks",
+		"spate_dfs_live_nodes 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestObsReplicaFailover forces reads through a dead first replica so the
+// failover counter must advance.
+func TestObsReplicaFailover(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := newTestCluster(t, Config{BlockSize: 256, Replication: 2, DataNodes: 2, Obs: reg})
+	data := []byte("spate replica failover probe")
+	if err := c.WriteFile("/obs/b", data); err != nil {
+		t.Fatal(err)
+	}
+	// With replication 2 on 2 nodes the single block lives on both; killing
+	// node 0 forces the read to skip the first replica in the list.
+	if err := c.KillNode(0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.ReadFile("/obs/b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("round trip mismatch")
+	}
+	if v := c.met.replicaFO.Value(); v == 0 {
+		t.Error("spate_dfs_replica_failovers_total = 0, want > 0")
+	}
+}
+
+// TestObsDefaultRegistry ensures a cluster without an explicit registry
+// reports into obs.Default rather than dropping metrics.
+func TestObsDefaultRegistry(t *testing.T) {
+	c := newTestCluster(t, Config{})
+	before := obs.Default.Counter("spate_dfs_written_bytes_total", "").Value()
+	if err := c.WriteFile("/obs/c", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	after := obs.Default.Counter("spate_dfs_written_bytes_total", "").Value()
+	if after <= before {
+		t.Errorf("default-registry written bytes did not advance: %d -> %d", before, after)
+	}
+}

@@ -1,0 +1,547 @@
+// Package obs is SPATE's stdlib-only observability layer: a process-wide
+// metrics registry (atomic counters, gauges and fixed-bucket histograms
+// with percentile estimation) plus a lightweight span tracer that records
+// per-stage wall-time breakdowns of ingest and exploration requests.
+//
+// The paper's whole argument is quantitative — ingestion throughput,
+// compression ratio per codec, query latency independent of |w|, decay
+// space reclaimed — and a production deployment must observe those numbers
+// live, not only through one-shot bench harnesses. Every hot path
+// (core.Engine, dfs.Cluster, compress codecs, sqlengine, webui) reports
+// into the Default registry, which serves Prometheus text format and a
+// JSON mirror over HTTP.
+//
+// Metric names follow spate_<subsystem>_<name>_<unit>, e.g.
+// spate_dfs_op_seconds or spate_compress_in_bytes_total.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Default is the process-wide registry all subsystems report to unless
+// explicitly configured otherwise.
+var Default = NewRegistry()
+
+// Registry holds metric families keyed by name. All methods are safe for
+// concurrent use; metric updates are lock-free atomics.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+	noop     bool
+}
+
+// NewRegistry returns an empty live registry.
+func NewRegistry() *Registry { return &Registry{families: make(map[string]*family)} }
+
+// NewNoop returns a registry whose metrics discard every update — the
+// baseline for measuring instrumentation overhead, and the off switch for
+// embedders that want zero accounting.
+func NewNoop() *Registry { return &Registry{families: make(map[string]*family), noop: true} }
+
+// Noop reports whether the registry discards updates.
+func (r *Registry) Noop() bool { return r.noop }
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "gauge"
+	}
+}
+
+// family is one named metric with a fixed label-key set and its children
+// (one per label-value combination).
+type family struct {
+	name      string
+	help      string
+	kind      metricKind
+	labelKeys []string
+	buckets   []float64
+
+	mu       sync.Mutex
+	children map[string]any // label-values key -> *Counter | *Gauge | func() float64 | *Histogram
+	order    []string
+}
+
+// splitLabels validates alternating key/value pairs.
+func splitLabels(name string, labels []string) (keys, vals []string) {
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("obs: metric %q: odd label list %v", name, labels))
+	}
+	for i := 0; i < len(labels); i += 2 {
+		keys = append(keys, labels[i])
+		vals = append(vals, labels[i+1])
+	}
+	return keys, vals
+}
+
+// getFamily finds or creates the family, enforcing a consistent shape.
+func (r *Registry) getFamily(name, help string, kind metricKind, keys []string, buckets []float64) *family {
+	r.mu.RLock()
+	f := r.families[name]
+	r.mu.RUnlock()
+	if f == nil {
+		r.mu.Lock()
+		f = r.families[name]
+		if f == nil {
+			f = &family{
+				name: name, help: help, kind: kind,
+				labelKeys: append([]string(nil), keys...),
+				buckets:   append([]float64(nil), buckets...),
+				children:  make(map[string]any),
+			}
+			r.families[name] = f
+		}
+		r.mu.Unlock()
+	}
+	if f.kind != kind || len(f.labelKeys) != len(keys) {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %v%v (was %v%v)",
+			name, kind, keys, f.kind, f.labelKeys))
+	}
+	return f
+}
+
+func labelKey(vals []string) string { return strings.Join(vals, "\x00") }
+
+// Counter returns (registering on first use) a monotonically increasing
+// counter. labels are alternating key, value pairs and must be consistent
+// across calls for the same name.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	keys, vals := splitLabels(name, labels)
+	f := r.getFamily(name, help, kindCounter, keys, nil)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	k := labelKey(vals)
+	if c, ok := f.children[k]; ok {
+		return c.(*Counter)
+	}
+	c := &Counter{noop: r.noop}
+	f.children[k] = c
+	f.order = append(f.order, k)
+	return c
+}
+
+// Gauge returns (registering on first use) a settable gauge.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	keys, vals := splitLabels(name, labels)
+	f := r.getFamily(name, help, kindGauge, keys, nil)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	k := labelKey(vals)
+	if g, ok := f.children[k]; ok {
+		return g.(*Gauge)
+	}
+	g := &Gauge{noop: r.noop}
+	f.children[k] = g
+	f.order = append(f.order, k)
+	return g
+}
+
+// GaugeFunc registers a gauge evaluated at scrape time. Re-registering the
+// same name+labels replaces the callback (the newest owner wins — e.g. a
+// fresh dfs.Cluster superseding one from an earlier test).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) {
+	if r.noop {
+		return
+	}
+	keys, vals := splitLabels(name, labels)
+	f := r.getFamily(name, help, kindGaugeFunc, keys, nil)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	k := labelKey(vals)
+	if _, ok := f.children[k]; !ok {
+		f.order = append(f.order, k)
+	}
+	f.children[k] = fn
+}
+
+// Histogram returns (registering on first use) a fixed-bucket histogram.
+// buckets are sorted upper bounds; nil selects DurationBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) *Histogram {
+	if buckets == nil {
+		buckets = DurationBuckets
+	}
+	keys, vals := splitLabels(name, labels)
+	f := r.getFamily(name, help, kindHistogram, keys, buckets)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	k := labelKey(vals)
+	if h, ok := f.children[k]; ok {
+		return h.(*Histogram)
+	}
+	h := newHistogram(f.buckets, r.noop)
+	f.children[k] = h
+	f.order = append(f.order, k)
+	return h
+}
+
+// --- metric types ---
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	noop bool
+	v    atomic.Int64
+}
+
+// Add increments the counter by n (n < 0 is ignored).
+func (c *Counter) Add(n int64) {
+	if c == nil || c.noop || n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float metric that can go up and down.
+type Gauge struct {
+	noop bool
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil || g.noop {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adjusts the gauge by delta (negative decrements).
+func (g *Gauge) Add(delta float64) {
+	if g == nil || g.noop {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge reading.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// DurationBuckets are the default histogram bounds (seconds), spanning
+// 10 µs .. 10 s — wide enough for both in-memory index hits and throttled
+// DFS scans.
+var DurationBuckets = []float64{
+	1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// ExpBuckets returns n exponentially growing bounds starting at start.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Histogram is a fixed-bucket histogram with atomic per-bucket counts.
+type Histogram struct {
+	noop    bool
+	bounds  []float64      // sorted upper bounds
+	counts  []atomic.Int64 // len(bounds)+1; last is +Inf
+	total   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+func newHistogram(bounds []float64, noop bool) *Histogram {
+	return &Histogram{noop: noop, bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || h.noop {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the seconds elapsed since t0.
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	if h == nil || h.noop {
+		return
+	}
+	h.Observe(time.Since(t0).Seconds())
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.total.Load()
+}
+
+// Sum returns the sum of samples.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
+// within the containing bucket. With no samples it returns 0; samples in
+// the +Inf bucket clamp to the largest finite bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.total.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	cum := int64(0)
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if n == 0 {
+			continue
+		}
+		if float64(cum+n) >= rank {
+			if i >= len(h.bounds) { // +Inf bucket
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			frac := (rank - float64(cum)) / float64(n)
+			return lo + (hi-lo)*frac
+		}
+		cum += n
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// --- exposition ---
+
+// Series is one labeled time series in a Snapshot.
+type Series struct {
+	Labels    map[string]string  `json:"labels,omitempty"`
+	Value     float64            `json:"value"`
+	Count     int64              `json:"count,omitempty"`
+	Sum       float64            `json:"sum,omitempty"`
+	Quantiles map[string]float64 `json:"quantiles,omitempty"`
+}
+
+// Metric is one family in a Snapshot.
+type Metric struct {
+	Name   string   `json:"name"`
+	Type   string   `json:"type"`
+	Help   string   `json:"help,omitempty"`
+	Series []Series `json:"series"`
+}
+
+// Snapshot returns a point-in-time copy of every metric, for the JSON
+// mirror and programmatic scraping.
+func (r *Registry) Snapshot() []Metric {
+	var out []Metric
+	for _, f := range r.sortedFamilies() {
+		m := Metric{Name: f.name, Type: f.kind.String(), Help: f.help}
+		f.mu.Lock()
+		for _, k := range f.order {
+			vals := labelVals(k)
+			s := Series{Labels: labelMap(f.labelKeys, vals)}
+			switch c := f.children[k].(type) {
+			case *Counter:
+				s.Value = float64(c.Value())
+			case *Gauge:
+				s.Value = c.Value()
+			case func() float64:
+				s.Value = c()
+			case *Histogram:
+				s.Count = c.Count()
+				s.Sum = c.Sum()
+				s.Value = 0
+				s.Quantiles = map[string]float64{
+					"p50": c.Quantile(0.50),
+					"p90": c.Quantile(0.90),
+					"p99": c.Quantile(0.99),
+				}
+			}
+			m.Series = append(m.Series, s)
+		}
+		f.mu.Unlock()
+		out = append(out, m)
+	}
+	return out
+}
+
+func labelVals(key string) []string {
+	if key == "" {
+		return nil
+	}
+	return strings.Split(key, "\x00")
+}
+
+func labelMap(keys, vals []string) map[string]string {
+	if len(keys) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(keys))
+	for i, k := range keys {
+		if i < len(vals) {
+			m[k] = vals[i]
+		}
+	}
+	return m
+}
+
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+// escapeLabel escapes a label value for the Prometheus text format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// renderLabels renders {k="v",...}; extra appends one more pair (for le).
+func renderLabels(keys, vals []string, extraK, extraV string) string {
+	if len(keys) == 0 && extraK == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, k, escapeLabel(vals[i]))
+	}
+	if extraK != "" {
+		if len(keys) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, extraK, escapeLabel(extraV))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%f", v), "0"), ".")
+	// (histogram bounds and sums are well within %f precision)
+}
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format (version 0.0.4).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.sortedFamilies() {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		f.mu.Lock()
+		lines := make([]string, 0, len(f.order))
+		for _, k := range f.order {
+			vals := labelVals(k)
+			switch c := f.children[k].(type) {
+			case *Counter:
+				lines = append(lines, fmt.Sprintf("%s%s %d", f.name, renderLabels(f.labelKeys, vals, "", ""), c.Value()))
+			case *Gauge:
+				lines = append(lines, fmt.Sprintf("%s%s %s", f.name, renderLabels(f.labelKeys, vals, "", ""), formatFloat(c.Value())))
+			case func() float64:
+				lines = append(lines, fmt.Sprintf("%s%s %s", f.name, renderLabels(f.labelKeys, vals, "", ""), formatFloat(c())))
+			case *Histogram:
+				cum := int64(0)
+				for i, b := range c.bounds {
+					cum += c.counts[i].Load()
+					lines = append(lines, fmt.Sprintf("%s_bucket%s %d", f.name,
+						renderLabels(f.labelKeys, vals, "le", formatFloat(b)), cum))
+				}
+				lines = append(lines, fmt.Sprintf("%s_bucket%s %d", f.name,
+					renderLabels(f.labelKeys, vals, "le", "+Inf"), c.Count()))
+				lines = append(lines, fmt.Sprintf("%s_sum%s %s", f.name,
+					renderLabels(f.labelKeys, vals, "", ""), formatFloat(c.Sum())))
+				lines = append(lines, fmt.Sprintf("%s_count%s %d", f.name,
+					renderLabels(f.labelKeys, vals, "", ""), c.Count()))
+			}
+		}
+		f.mu.Unlock()
+		sort.Strings(lines)
+		for _, l := range lines {
+			if _, err := io.WriteString(w, l+"\n"); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

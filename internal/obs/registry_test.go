@@ -1,0 +1,243 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("spate_test_ops_total", "ops")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	// Same name+labels returns the same child.
+	if r.Counter("spate_test_ops_total", "ops") != c {
+		t.Error("re-lookup returned a different counter")
+	}
+
+	g := r.Gauge("spate_test_level", "level")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Errorf("gauge = %v, want 1.5", got)
+	}
+
+	r.GaugeFunc("spate_test_fn", "fn", func() float64 { return 7 })
+	r.GaugeFunc("spate_test_fn", "fn", func() float64 { return 9 }) // newest wins
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "spate_test_fn 9") {
+		t.Errorf("gauge func not replaced:\n%s", b.String())
+	}
+}
+
+func TestLabeledSeries(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("spate_test_bytes_total", "bytes", "codec", "gzip")
+	z := r.Counter("spate_test_bytes_total", "bytes", "codec", "zstd")
+	if a == z {
+		t.Fatal("distinct label values share a child")
+	}
+	a.Add(10)
+	z.Add(20)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`spate_test_bytes_total{codec="gzip"} 10`,
+		`spate_test_bytes_total{codec="zstd"} 20`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("spate_test_seconds", "lat", []float64{0.1, 0.2, 0.4, 0.8})
+	// 100 samples uniform in [0, 0.4): quantiles are predictable.
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i) * 0.004)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got, want := h.Sum(), 19.8; got < want-0.01 || got > want+0.01 {
+		t.Errorf("sum = %v, want ~%v", got, want)
+	}
+	// Median of U[0, 0.4) is 0.2; interpolation lands within the second
+	// bucket (0.1, 0.2].
+	if q := h.Quantile(0.5); q < 0.1 || q > 0.25 {
+		t.Errorf("p50 = %v, want ~0.2", q)
+	}
+	if q := h.Quantile(0.99); q < 0.3 || q > 0.4 {
+		t.Errorf("p99 = %v, want ~0.4", q)
+	}
+	// Out-of-range sample lands in +Inf and clamps to the top bound.
+	h.Observe(99)
+	if q := h.Quantile(1); q != 0.8 {
+		t.Errorf("p100 = %v, want clamp to 0.8", q)
+	}
+	// Empty histogram.
+	if q := r.Histogram("spate_test_empty_seconds", "", []float64{1}).Quantile(0.5); q != 0 {
+		t.Errorf("empty quantile = %v", q)
+	}
+}
+
+func TestPrometheusExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("spate_demo_ops_total", "Operations.").Add(3)
+	r.Gauge("spate_demo_level", "Level.").Set(1.5)
+	h := r.Histogram("spate_demo_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP spate_demo_level Level.
+# TYPE spate_demo_level gauge
+spate_demo_level 1.5
+# HELP spate_demo_ops_total Operations.
+# TYPE spate_demo_ops_total counter
+spate_demo_ops_total 3
+# HELP spate_demo_seconds Latency.
+# TYPE spate_demo_seconds histogram
+spate_demo_seconds_bucket{le="+Inf"} 3
+spate_demo_seconds_bucket{le="0.1"} 1
+spate_demo_seconds_bucket{le="1"} 2
+spate_demo_seconds_count 3
+spate_demo_seconds_sum 5.55
+`
+	if b.String() != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("spate_snap_total", "c", "kind", "x").Add(2)
+	h := r.Histogram("spate_snap_seconds", "h", []float64{1, 2})
+	h.Observe(0.5)
+	snap := r.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("families = %d", len(snap))
+	}
+	byName := map[string]Metric{}
+	for _, m := range snap {
+		byName[m.Name] = m
+	}
+	c := byName["spate_snap_total"]
+	if c.Type != "counter" || len(c.Series) != 1 || c.Series[0].Value != 2 || c.Series[0].Labels["kind"] != "x" {
+		t.Errorf("counter snapshot = %+v", c)
+	}
+	hs := byName["spate_snap_seconds"]
+	if hs.Type != "histogram" || hs.Series[0].Count != 1 || hs.Series[0].Quantiles["p50"] == 0 {
+		t.Errorf("histogram snapshot = %+v", hs)
+	}
+}
+
+// TestConcurrentWritersAndScraper exercises the registry under -race:
+// parallel increments and observations while a scraper renders.
+func TestConcurrentWritersAndScraper(t *testing.T) {
+	r := NewRegistry()
+	const (
+		workers = 8
+		perW    = 2000
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Concurrent scraper.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var b strings.Builder
+			_ = r.WritePrometheus(&b)
+			_ = r.Snapshot()
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Mix of pre-resolved and looked-up metrics.
+			c := r.Counter("spate_conc_ops_total", "ops")
+			h := r.Histogram("spate_conc_seconds", "lat", nil, "worker", []string{"a", "b"}[w%2])
+			g := r.Gauge("spate_conc_level", "lvl")
+			for i := 0; i < perW; i++ {
+				c.Inc()
+				h.Observe(float64(i) * 1e-6)
+				g.Add(1)
+				r.Counter("spate_conc_lookup_total", "ops").Inc()
+			}
+		}(w)
+	}
+	// Wait for everything; stop the scraper once writers have had time.
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	<-done
+
+	if got := r.Counter("spate_conc_ops_total", "ops").Value(); got != workers*perW {
+		t.Errorf("ops = %d, want %d", got, workers*perW)
+	}
+	if got := r.Counter("spate_conc_lookup_total", "ops").Value(); got != workers*perW {
+		t.Errorf("lookup ops = %d, want %d", got, workers*perW)
+	}
+	var n int64
+	n += r.Histogram("spate_conc_seconds", "lat", nil, "worker", "a").Count()
+	n += r.Histogram("spate_conc_seconds", "lat", nil, "worker", "b").Count()
+	if n != workers*perW {
+		t.Errorf("observations = %d, want %d", n, workers*perW)
+	}
+}
+
+func TestNoopRegistry(t *testing.T) {
+	r := NewNoop()
+	c := r.Counter("spate_noop_total", "c")
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Error("noop counter advanced")
+	}
+	h := r.Histogram("spate_noop_seconds", "h", nil)
+	h.Observe(1)
+	if h.Count() != 0 {
+		t.Error("noop histogram advanced")
+	}
+	g := r.Gauge("spate_noop_level", "g")
+	g.Set(3)
+	if g.Value() != 0 {
+		t.Error("noop gauge advanced")
+	}
+	// Nil metrics are safe no-ops too (callers may skip wiring).
+	var nc *Counter
+	nc.Inc()
+	var nh *Histogram
+	nh.Observe(1)
+	nh.ObserveSince(time.Now())
+	var ng *Gauge
+	ng.Add(1)
+}

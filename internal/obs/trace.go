@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Stage is one named step of a request with its wall time — the per-stage
+// breakdown attached to core.IngestReport and core.Result.
+type Stage struct {
+	Name     string
+	Duration time.Duration
+}
+
+// Span is one timed operation in a request's wall-time tree. Spans nest:
+// StartSpan under a context carrying a live span creates a child. A root
+// span is recorded into its Tracer's ring buffer when it ends.
+type Span struct {
+	name   string
+	start  time.Time
+	tracer *Tracer // non-nil on roots
+	parent *Span
+
+	mu       sync.Mutex
+	duration time.Duration
+	done     bool
+	children []*Span
+}
+
+type spanKey struct{}
+
+// DefaultTracer records the most recent request traces process-wide.
+var DefaultTracer = NewTracer(64)
+
+// Tracer keeps a ring buffer of the last N finished root spans.
+type Tracer struct {
+	mu   sync.Mutex
+	cap  int
+	buf  []*Span
+	next int
+}
+
+// NewTracer returns a tracer retaining the last n root traces.
+func NewTracer(n int) *Tracer {
+	if n <= 0 {
+		n = 16
+	}
+	return &Tracer{cap: n}
+}
+
+// StartSpan begins a span named name. If ctx carries a live span the new
+// span becomes its child; otherwise it is a root recorded into t when it
+// ends. The returned context carries the new span.
+func (t *Tracer) StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil // tracing disabled; the nil span is a safe no-op
+	}
+	s := &Span{name: name, start: time.Now()}
+	if parent, ok := ctx.Value(spanKey{}).(*Span); ok && parent != nil && !parent.finished() {
+		s.parent = parent
+		parent.mu.Lock()
+		parent.children = append(parent.children, s)
+		parent.mu.Unlock()
+	} else {
+		s.tracer = t
+	}
+	return context.WithValue(ctx, spanKey{}, s), s
+}
+
+// StartSpan begins a span on the DefaultTracer.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	return DefaultTracer.StartSpan(ctx, name)
+}
+
+// SpanFromContext returns the live span carried by ctx, if any.
+func SpanFromContext(ctx context.Context) (*Span, bool) {
+	s, ok := ctx.Value(spanKey{}).(*Span)
+	return s, ok && s != nil
+}
+
+func (s *Span) finished() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.done
+}
+
+// End finishes the span. Root spans are pushed into their tracer's ring.
+// End is idempotent.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.done {
+		s.mu.Unlock()
+		return
+	}
+	s.done = true
+	s.duration = time.Since(s.start)
+	tr := s.tracer
+	s.mu.Unlock()
+	if tr != nil {
+		tr.record(s)
+	}
+}
+
+// AddStage attaches a completed child span with an explicit duration — for
+// stages whose time accumulates across a loop rather than one contiguous
+// interval (e.g. per-table compression inside ingest).
+func (s *Span) AddStage(name string, d time.Duration) {
+	if s == nil {
+		return
+	}
+	c := &Span{name: name, start: time.Now().Add(-d), duration: d, done: true, parent: s}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+}
+
+// Name returns the span name.
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Duration returns the span's wall time (so far, if still live).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.done {
+		return s.duration
+	}
+	return time.Since(s.start)
+}
+
+// Stages returns the immediate children as a per-stage breakdown.
+func (s *Span) Stages() []Stage {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Stage, 0, len(s.children))
+	for _, c := range s.children {
+		out = append(out, Stage{Name: c.name, Duration: c.Duration()})
+	}
+	return out
+}
+
+func (t *Tracer) record(s *Span) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.buf) < t.cap {
+		t.buf = append(t.buf, s)
+		t.next = len(t.buf) % t.cap
+		return
+	}
+	t.buf[t.next] = s
+	t.next = (t.next + 1) % t.cap
+}
+
+// SpanJSON is the wire form of one trace node (GET /api/trace).
+type SpanJSON struct {
+	Name     string     `json:"name"`
+	Start    time.Time  `json:"start"`
+	Millis   float64    `json:"ms"`
+	Children []SpanJSON `json:"children,omitempty"`
+}
+
+func (s *Span) toJSON() SpanJSON {
+	s.mu.Lock()
+	out := SpanJSON{Name: s.name, Start: s.start}
+	if s.done {
+		out.Millis = float64(s.duration) / float64(time.Millisecond)
+	} else {
+		out.Millis = float64(time.Since(s.start)) / float64(time.Millisecond)
+	}
+	kids := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range kids {
+		out.Children = append(out.Children, c.toJSON())
+	}
+	return out
+}
+
+// Traces returns the retained root traces, oldest first.
+func (t *Tracer) Traces() []SpanJSON {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	var roots []*Span
+	if len(t.buf) < t.cap {
+		roots = append(roots, t.buf...)
+	} else {
+		roots = append(roots, t.buf[t.next:]...)
+		roots = append(roots, t.buf[:t.next]...)
+	}
+	t.mu.Unlock()
+	out := make([]SpanJSON, 0, len(roots))
+	for _, s := range roots {
+		out = append(out, s.toJSON())
+	}
+	return out
+}

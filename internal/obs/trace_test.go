@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestSpanNesting(t *testing.T) {
+	tr := NewTracer(8)
+	ctx, root := tr.StartSpan(context.Background(), "ingest")
+	ctx2, child := tr.StartSpan(ctx, "encode")
+	_, grand := tr.StartSpan(ctx2, "column")
+	grand.End()
+	child.End()
+	root.AddStage("seal", 3*time.Millisecond)
+	root.End()
+	root.End() // idempotent
+
+	traces := tr.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("traces = %d, want 1", len(traces))
+	}
+	j := traces[0]
+	if j.Name != "ingest" || len(j.Children) != 2 {
+		t.Fatalf("root = %+v", j)
+	}
+	if j.Children[0].Name != "encode" || len(j.Children[0].Children) != 1 ||
+		j.Children[0].Children[0].Name != "column" {
+		t.Errorf("child tree = %+v", j.Children)
+	}
+	if j.Children[1].Name != "seal" || j.Children[1].Millis < 2.9 {
+		t.Errorf("stage child = %+v", j.Children[1])
+	}
+	if j.Millis < 0 {
+		t.Errorf("root millis = %v", j.Millis)
+	}
+}
+
+func TestSpanStages(t *testing.T) {
+	tr := NewTracer(4)
+	_, s := tr.StartSpan(context.Background(), "explore")
+	s.AddStage("plan", time.Millisecond)
+	s.AddStage("merge", 2*time.Millisecond)
+	got := s.Stages()
+	if len(got) != 2 || got[0].Name != "plan" || got[1].Name != "merge" {
+		t.Fatalf("stages = %+v", got)
+	}
+	if got[1].Duration != 2*time.Millisecond {
+		t.Errorf("merge duration = %v", got[1].Duration)
+	}
+	s.End()
+}
+
+func TestTracerRingBuffer(t *testing.T) {
+	tr := NewTracer(3)
+	for i := 0; i < 5; i++ {
+		_, s := tr.StartSpan(context.Background(), fmt.Sprintf("q%d", i))
+		s.End()
+	}
+	traces := tr.Traces()
+	if len(traces) != 3 {
+		t.Fatalf("ring kept %d, want 3", len(traces))
+	}
+	// Oldest-first of the last three roots.
+	for i, want := range []string{"q2", "q3", "q4"} {
+		if traces[i].Name != want {
+			t.Errorf("traces[%d] = %q, want %q", i, traces[i].Name, want)
+		}
+	}
+}
+
+func TestNilTracerAndSpan(t *testing.T) {
+	var tr *Tracer
+	ctx, s := tr.StartSpan(context.Background(), "x")
+	if s != nil {
+		t.Fatal("nil tracer returned a span")
+	}
+	if ctx == nil {
+		t.Fatal("nil tracer dropped the context")
+	}
+	// All span methods are nil-safe.
+	s.AddStage("y", time.Millisecond)
+	if st := s.Stages(); st != nil {
+		t.Errorf("nil span stages = %+v", st)
+	}
+	s.End()
+	if got := tr.Traces(); got != nil {
+		t.Errorf("nil tracer traces = %+v", got)
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	tr := NewTracer(16)
+	done := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				ctx, s := tr.StartSpan(context.Background(), "op")
+				_, c := tr.StartSpan(ctx, "inner")
+				c.End()
+				s.AddStage("stage", time.Microsecond)
+				s.End()
+				_ = tr.Traces()
+			}
+		}(w)
+	}
+	for w := 0; w < 8; w++ {
+		<-done
+	}
+	if got := len(tr.Traces()); got != 16 {
+		t.Errorf("ring length = %d, want 16", got)
+	}
+}

@@ -4,7 +4,10 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 
+	"spate/internal/obs"
 	"spate/internal/telco"
 )
 
@@ -22,13 +25,42 @@ type ResultSet struct {
 	Rows [][]telco.Value
 }
 
+// SPATE-SQL observability: statement counts and latency, reported into the
+// process-wide registry (bound lazily so noop test registries elsewhere are
+// unaffected).
+var (
+	sqlMetOnce sync.Once
+	sqlQueries *obs.Counter
+	sqlErrors  *obs.Counter
+	sqlSeconds *obs.Histogram
+)
+
+func sqlMetrics() (*obs.Counter, *obs.Counter, *obs.Histogram) {
+	sqlMetOnce.Do(func() {
+		sqlQueries = obs.Default.Counter("spate_sql_queries_total", "SPATE-SQL statements executed.")
+		sqlErrors = obs.Default.Counter("spate_sql_errors_total", "SPATE-SQL statements that failed to parse or run.")
+		sqlSeconds = obs.Default.Histogram("spate_sql_query_seconds", "SPATE-SQL statement latency.", nil)
+	})
+	return sqlQueries, sqlErrors, sqlSeconds
+}
+
 // Query parses and runs one statement.
 func (e *Engine) Query(sql string) (*ResultSet, error) {
-	stmt, err := Parse(sql)
+	queries, errs, sec := sqlMetrics()
+	t0 := time.Now()
+	queries.Inc()
+	rs, err := func() (*ResultSet, error) {
+		stmt, err := Parse(sql)
+		if err != nil {
+			return nil, err
+		}
+		return e.Run(stmt)
+	}()
+	sec.ObserveSince(t0)
 	if err != nil {
-		return nil, err
+		errs.Inc()
 	}
-	return e.Run(stmt)
+	return rs, err
 }
 
 // binding maps one FROM/JOIN table into the combined row.

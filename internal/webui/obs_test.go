@@ -1,0 +1,217 @@
+package webui
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"spate/internal/obs"
+)
+
+// TestMetricsEndpoint drives one exploration through the HTTP stack and
+// asserts /metrics exposes every subsystem's series end-to-end: ingest
+// stage histograms, explore latency and cache counters, per-codec
+// compression accounting, DFS op latencies and replication gauges, and the
+// middleware's per-endpoint request counts.
+func TestMetricsEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	// One exploration (a cache miss on this fresh engine) so the explore
+	// and HTTP series below have advanced through this very server.
+	resp, err := http.Get(ts.URL + "/api/explore")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("explore status %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("metrics content type %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+
+	for _, want := range []string{
+		// Ingest pipeline (4 snapshots ingested by newTestServer).
+		"# TYPE spate_ingest_stage_seconds histogram",
+		`spate_ingest_stage_seconds_bucket{stage="compress"`,
+		`spate_ingest_stage_seconds_bucket{stage="dfs_write"`,
+		"spate_ingest_snapshots_total",
+		// Exploration latency and cache accounting.
+		"# TYPE spate_explore_seconds histogram",
+		"spate_explore_seconds_count",
+		"spate_explore_cache_hits_total",
+		"spate_explore_cache_misses_total",
+		`spate_explore_stage_seconds_bucket{stage="plan"`,
+		// Per-codec compression (default engine codec is gzip).
+		`spate_compress_in_bytes_total{codec="gzip"}`,
+		`spate_compress_out_bytes_total{codec="gzip"}`,
+		`spate_compress_ratio{codec="gzip"}`,
+		// DFS op latencies and replication gauges.
+		`spate_dfs_op_seconds_bucket{op="write"`,
+		"spate_dfs_under_replicated_blocks",
+		"spate_dfs_live_nodes",
+		"spate_dfs_written_bytes_total",
+		// Middleware per-endpoint accounting.
+		`spate_http_requests_total{endpoint="/api/explore",code="200"}`,
+		`spate_http_request_seconds_count{endpoint="/api/explore"}`,
+		"spate_http_in_flight_requests",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	// Basic exposition shape: every non-comment line is "name[{labels}] value".
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if fields := strings.Fields(line); len(fields) != 2 {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var snap []obs.Metric
+	if code := getJSON(t, ts.URL+"/api/stats", &snap); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	byName := map[string]obs.Metric{}
+	for _, m := range snap {
+		byName[m.Name] = m
+	}
+	ing, ok := byName["spate_ingest_snapshots_total"]
+	if !ok || len(ing.Series) == 0 || ing.Series[0].Value < 4 {
+		t.Errorf("ingest snapshots = %+v", ing)
+	}
+	if h, ok := byName["spate_ingest_seconds"]; !ok || h.Series[0].Count < 4 || h.Series[0].Quantiles["p50"] <= 0 {
+		t.Errorf("ingest latency = %+v", h)
+	}
+}
+
+func TestTraceEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	// An uncached explore roots an "http /api/explore" span with the
+	// engine's "explore" span nested under it.
+	resp, err := http.Get(ts.URL + "/api/explore?minx=1&miny=1&maxx=70&maxy=70")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	var traces []obs.SpanJSON
+	if code := getJSON(t, ts.URL+"/api/trace", &traces); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(traces) == 0 {
+		t.Fatal("no traces retained")
+	}
+	found := false
+	for _, tr := range traces {
+		if tr.Name != "http /api/explore" {
+			continue
+		}
+		for _, c := range tr.Children {
+			if c.Name == "explore" {
+				found = true
+				if len(c.Children) == 0 {
+					t.Error("explore span has no stage children")
+				}
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no http span with a nested explore span in %d traces", len(traces))
+	}
+}
+
+// TestMethodNotAllowed verifies API endpoints reject non-GET methods (the
+// mux patterns are method-qualified).
+func TestMethodNotAllowed(t *testing.T) {
+	ts, _ := newTestServer(t)
+	for _, path := range []string{"/api/explore", "/api/sql", "/metrics", "/api/stats"} {
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader("{}"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("POST %s: status %d, want 405", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestErrorContentType verifies error responses carry a JSON Content-Type
+// (the header must precede WriteHeader to survive).
+func TestErrorContentType(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/api/explore?from=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("error content type %q, want application/json", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "error") {
+		t.Errorf("error body %q has no error field", body)
+	}
+}
+
+// TestMiddlewareRecordsRequests checks the per-endpoint counter advances
+// for exactly the endpoints hit, with junk paths folded into "other".
+func TestMiddlewareRecordsRequests(t *testing.T) {
+	ts, _ := newTestServer(t)
+	before := obs.Default.Counter("spate_http_requests_total", "",
+		"endpoint", "/api/cells", "code", "200").Value()
+	beforeOther := obs.Default.Counter("spate_http_requests_total", "",
+		"endpoint", "other", "code", "404").Value()
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(ts.URL + "/api/cells")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	resp, err := http.Get(ts.URL + "/definitely/not/a/route")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	after := obs.Default.Counter("spate_http_requests_total", "",
+		"endpoint", "/api/cells", "code", "200").Value()
+	if after-before != 3 {
+		t.Errorf("cells requests counted = %d, want 3", after-before)
+	}
+	afterOther := obs.Default.Counter("spate_http_requests_total", "",
+		"endpoint", "other", "code", "404").Value()
+	if afterOther-beforeOther != 1 {
+		t.Errorf("junk-path requests counted = %d, want 1", afterOther-beforeOther)
+	}
+}

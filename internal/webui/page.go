@@ -9,6 +9,8 @@ body{font-family:sans-serif;margin:16px;background:#1c1f26;color:#e8e8e8}
 canvas{background:#10131a;border:1px solid #444}
 input{background:#2a2e38;color:#eee;border:1px solid #555;padding:4px}
 button{padding:4px 12px} #hl{font-size:13px;color:#9fd;max-width:800px}
+#stats{font-size:12px;color:#bcd;max-width:800px;margin-top:10px;border-top:1px solid #333;padding-top:6px}
+#stats b{color:#fd9}
 </style></head><body>
 <h2>SPATE &mdash; spatio-temporal telco data exploration</h2>
 <p>window: <input id="from" value="%s" size="15"> .. <input id="to" value="%s" size="15">
@@ -16,6 +18,7 @@ button{padding:4px 12px} #hl{font-size:13px;color:#9fd;max-width:800px}
 <span id="meta"></span></p>
 <canvas id="map" width="800" height="750" title="drag to select a bounding box"></canvas>
 <div id="hl"></div>
+<div id="stats">loading stats&hellip;</div>
 <script>
 const cv=document.getElementById('map'),ctx=cv.getContext('2d');
 const W=80,H=75; let box=null,drag=null;
@@ -46,5 +49,37 @@ async function explore(){
     :h.attr+' peak '+h.peak.toFixed(0)).join(' · ');
   document.getElementById('hl').textContent=hl?('highlights: '+hl):'';
 }
+// Live stats panel: poll /api/stats and surface the headline series.
+function metric(snap,name){return snap.find(m=>m.name===name)}
+function firstVal(snap,name){const m=metric(snap,name);return m&&m.series.length?m.series[0].value:0}
+function fmtBytes(b){const u=['B','KB','MB','GB','TB'];let i=0;while(b>=1024&&i<u.length-1){b/=1024;i++}return b.toFixed(1)+u[i]}
+async function stats(){
+  try{
+    const r=await fetch('/api/stats'); const snap=await r.json();
+    const parts=[];
+    parts.push('<b>ingest</b> '+firstVal(snap,'spate_ingest_snapshots_total')+' snaps / '+
+      firstVal(snap,'spate_ingest_rows_total')+' rows');
+    const ex=metric(snap,'spate_explore_seconds');
+    if(ex&&ex.series.length&&ex.series[0].count){
+      const s=ex.series[0];
+      parts.push('<b>explore</b> '+s.count+' q · p50 '+(1000*s.quantiles.p50).toFixed(1)+
+        'ms · p99 '+(1000*s.quantiles.p99).toFixed(1)+'ms');
+    }
+    const hits=firstVal(snap,'spate_explore_cache_hits_total'),
+          miss=firstVal(snap,'spate_explore_cache_misses_total');
+    if(hits+miss>0)parts.push('<b>cache</b> '+(100*hits/(hits+miss)).toFixed(0)+'%% hit');
+    parts.push('<b>dfs</b> R '+fmtBytes(firstVal(snap,'spate_dfs_read_bytes_total'))+
+      ' / W '+fmtBytes(firstVal(snap,'spate_dfs_written_bytes_total'))+
+      ' · '+firstVal(snap,'spate_dfs_live_nodes')+' nodes'+
+      (firstVal(snap,'spate_dfs_under_replicated_blocks')?' · <b>'+
+        firstVal(snap,'spate_dfs_under_replicated_blocks')+' under-replicated</b>':''));
+    const cr=metric(snap,'spate_compress_ratio');
+    if(cr)parts.push('<b>ratio</b> '+cr.series.map(s=>(s.labels&&s.labels.codec||'?')+' '+s.value.toFixed(2)).join(', '));
+    const dec=firstVal(snap,'spate_decay_bytes_freed_total');
+    if(dec)parts.push('<b>decay</b> '+fmtBytes(dec)+' freed');
+    document.getElementById('stats').innerHTML=parts.join(' &nbsp;|&nbsp; ');
+  }catch(e){}
+}
+stats(); setInterval(stats,2000);
 explore();
 </script></body></html>`

@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"strconv"
+	"strings"
 	"time"
 
 	"spate/internal/core"
@@ -18,6 +20,7 @@ import (
 	"spate/internal/geo"
 	"spate/internal/highlights"
 	"spate/internal/index"
+	"spate/internal/obs"
 	"spate/internal/sqlengine"
 	"spate/internal/tasks"
 	"spate/internal/telco"
@@ -30,11 +33,18 @@ type Server struct {
 	cells  []gen.Cell
 	window telco.TimeRange
 	mux    *http.ServeMux
+
+	obs      *obs.Registry
+	tracer   *obs.Tracer
+	inflight *obs.Gauge
+	handler  http.Handler
 }
 
 // NewServer wraps an ingested engine. cells may be nil (the /api/cells
 // endpoint then serves an empty inventory); window is the trace's span,
-// used as the default exploration window.
+// used as the default exploration window. The server reports per-endpoint
+// request metrics into obs.Default and serves the registry at /metrics
+// (Prometheus text), /api/stats (JSON) and /api/trace (recent spans).
 func NewServer(eng *core.Engine, cells []gen.Cell, window telco.TimeRange) *Server {
 	s := &Server{
 		eng:    eng,
@@ -42,7 +52,10 @@ func NewServer(eng *core.Engine, cells []gen.Cell, window telco.TimeRange) *Serv
 		cells:  cells,
 		window: window,
 		mux:    http.NewServeMux(),
+		obs:    obs.Default,
+		tracer: obs.DefaultTracer,
 	}
+	s.inflight = s.obs.Gauge("spate_http_in_flight_requests", "HTTP requests currently being served.")
 	s.mux.HandleFunc("GET /", s.handleIndex)
 	s.mux.HandleFunc("GET /api/cells", s.handleCells)
 	s.mux.HandleFunc("GET /api/explore", s.handleExplore)
@@ -51,7 +64,60 @@ func NewServer(eng *core.Engine, cells []gen.Cell, window telco.TimeRange) *Serv
 	s.mux.HandleFunc("GET /api/template", s.handleTemplate)
 	s.mux.HandleFunc("GET /api/playback", s.handlePlayback)
 	s.mux.HandleFunc("GET /api/tree", s.handleTree)
+	s.mux.Handle("GET /metrics", obs.MetricsHandler(s.obs))
+	s.mux.Handle("GET /api/stats", obs.StatsHandler(s.obs))
+	s.mux.Handle("GET /api/trace", obs.TracesHandler(s.tracer))
+	s.handler = s.middleware(s.mux)
 	return s
+}
+
+// endpointLabel maps a request path to a bounded metric label, so hostile
+// or junk paths cannot blow up series cardinality.
+func endpointLabel(path string) string {
+	switch path {
+	case "/":
+		return "index"
+	case "/metrics", "/api/stats", "/api/trace", "/api/cells", "/api/explore",
+		"/api/sql", "/api/space", "/api/template", "/api/playback", "/api/tree":
+		return path
+	}
+	if strings.HasPrefix(path, "/debug/pprof") {
+		return "pprof"
+	}
+	return "other"
+}
+
+// statusRecorder captures the response status for the request counter.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.code = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+// middleware records per-endpoint request counts, latencies and the
+// in-flight gauge, and roots a trace span so engine spans nest under the
+// HTTP request in /api/trace.
+func (s *Server) middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		s.inflight.Add(1)
+		defer s.inflight.Add(-1)
+		ep := endpointLabel(r.URL.Path)
+		ctx, span := s.tracer.StartSpan(r.Context(), "http "+ep)
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(rec, r.WithContext(ctx))
+		span.End()
+		s.obs.Counter("spate_http_requests_total",
+			"HTTP requests served by endpoint and status code.",
+			"endpoint", ep, "code", strconv.Itoa(rec.code)).Inc()
+		s.obs.Histogram("spate_http_request_seconds",
+			"HTTP request latency by endpoint.", nil,
+			"endpoint", ep).ObserveSince(t0)
+	})
 }
 
 // TreeNodeJSON is one temporal-index node in the /api/tree response — the
@@ -89,8 +155,9 @@ func (s *Server) handleTree(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, convert(s.eng.Tree().Root()))
 }
 
-// Handler returns the HTTP handler (also usable under httptest).
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP handler (also usable under httptest), with the
+// metrics middleware applied.
+func (s *Server) Handler() http.Handler { return s.handler }
 
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -99,9 +166,14 @@ func writeJSON(w http.ResponseWriter, v any) {
 	}
 }
 
+// httpErr writes a JSON error body. The Content-Type header must be set
+// before WriteHeader — headers written after the status line are dropped.
 func httpErr(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	writeJSON(w, map[string]string{"error": err.Error()})
+	if encErr := json.NewEncoder(w).Encode(map[string]string{"error": err.Error()}); encErr != nil {
+		log.Printf("webui: encode: %v", encErr)
+	}
 }
 
 // CellJSON is the wire form of one cell.
@@ -155,6 +227,9 @@ type ExploreJSON struct {
 	CacheHit   bool              `json:"cache_hit"`
 	Cells      []ExploreCellJSON `json:"cells"`
 	Highlights []HighlightJSON   `json:"highlights"`
+	// Stages is the engine's per-stage timing breakdown in milliseconds
+	// (plan, collect, leaf_decode, merge, restrict, row_fetch).
+	Stages map[string]float64 `json:"stages_ms,omitempty"`
 }
 
 // ExploreCellJSON is one cell's aggregate in an exploration answer.
@@ -195,7 +270,7 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 		y2, _ := get("maxy")
 		q.Box = geo.NewRect(x1, y1, x2, y2)
 	}
-	res, err := s.eng.Explore(q)
+	res, err := s.eng.ExploreContext(r.Context(), q)
 	if err != nil {
 		httpErr(w, http.StatusInternalServerError, err)
 		return
@@ -204,6 +279,12 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	out := ExploreJSON{
 		Level: res.CoveringLevel.String(), Rows: res.Summary.Rows,
 		Decayed: res.DecayedLeaves, CacheHit: res.CacheHit,
+	}
+	for _, st := range res.Stages {
+		if out.Stages == nil {
+			out.Stages = make(map[string]float64, len(res.Stages))
+		}
+		out.Stages[st.Name] = float64(st.Duration) / float64(time.Millisecond)
 	}
 	for _, cs := range res.Cells {
 		cj := ExploreCellJSON{ID: cs.CellID, X: cs.Loc.X, Y: cs.Loc.Y, Rows: cs.Rows}

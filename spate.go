@@ -25,6 +25,8 @@
 package spate
 
 import (
+	"io"
+
 	"spate/internal/compress"
 	_ "spate/internal/compress/all" // register every codec
 	"spate/internal/compute"
@@ -36,6 +38,7 @@ import (
 	"spate/internal/geo"
 	"spate/internal/highlights"
 	"spate/internal/index"
+	"spate/internal/obs"
 	"spate/internal/privacy"
 	"spate/internal/snapshot"
 	"spate/internal/sqlengine"
@@ -157,6 +160,45 @@ type SQLResult = sqlengine.ResultSet
 func NewSQL(e *Engine) *SQLEngine {
 	return sqlengine.NewEngine(tasks.Catalog(tasks.Spate{E: e}))
 }
+
+// --- observability (internal/obs) ---
+
+// MetricsRegistry is a set of named counters, gauges and histograms.
+// Every SPATE subsystem reports into Obs (the process-wide default) unless
+// an engine or cluster is configured with its own registry.
+type MetricsRegistry = obs.Registry
+
+// Metric is one metric family in a metrics snapshot.
+type Metric = obs.Metric
+
+// Stage is one named step of a request's per-stage timing breakdown
+// (IngestReport.Stages, Result.Stages).
+type Stage = obs.Stage
+
+// Tracer retains recent request span trees.
+type Tracer = obs.Tracer
+
+// Obs is the process-wide metrics registry — scrape it programmatically
+// via MetricsSnapshot, over HTTP at GET /metrics (Prometheus text) or
+// GET /api/stats (JSON) on a spate-server.
+var Obs = obs.Default
+
+// Traces is the process-wide request tracer behind GET /api/trace.
+var Traces = obs.DefaultTracer
+
+// MetricsSnapshot returns a point-in-time copy of every metric in Obs.
+func MetricsSnapshot() []Metric { return obs.Default.Snapshot() }
+
+// WriteMetrics renders Obs in the Prometheus text exposition format.
+func WriteMetrics(w io.Writer) error { return obs.Default.WritePrometheus(w) }
+
+// NewMetricsRegistry returns an empty registry, for embedders that want
+// per-engine isolation (Options.Obs / ClusterConfig.Obs).
+var NewMetricsRegistry = obs.NewRegistry
+
+// NewNoopMetrics returns a registry that discards every update — it
+// disables all instrumentation on the engine or cluster it is given to.
+var NewNoopMetrics = obs.NewNoop
 
 // --- decay fungi (paper §V-C) ---
 
