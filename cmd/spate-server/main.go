@@ -6,18 +6,31 @@
 //
 //	spate-server -addr :8080 -scale 0.01 -days 1
 //	spate-server -addr :8080 -trace /tmp/trace
+//	spate-server -addr :8080 -cluster -shards 4 -replicas 2
+//	spate-server -addr :8080 -join http://n1:9001,http://n2:9002 -shards 2
 //
 // Endpoints:
 //
 //	GET /                         heatmap UI (with a live stats panel)
 //	GET /api/cells                static cell inventory
 //	GET /api/explore?from=&to=&minx=&miny=&maxx=&maxy=&attr=
-//	GET /api/sql?q=SELECT...
-//	GET /api/space                storage accounting
+//	GET /api/sql?q=SELECT...      (single-engine mode)
+//	GET /api/space                storage accounting (single-engine mode)
+//	GET /api/health               per-node probes (cluster modes)
 //	GET /metrics                  Prometheus text exposition
 //	GET /api/stats                JSON metrics mirror
 //	GET /api/trace                recent request span trees
+//	GET /rpc/...                  cluster node RPC (single-engine mode)
 //	GET /debug/pprof/...          runtime profiles (behind -pprof)
+//
+// With -cluster the process boots an in-process cluster — shards×replicas
+// engine nodes on loopback listeners — ingests through the coordinator and
+// serves the cluster UI. With -join it runs the coordinator alone over
+// existing nodes (started as plain spate-server instances, whose /rpc/
+// surface is always mounted): URLs are grouped into replica sets of
+// -replicas in slot order. Exploration degrades gracefully: answers carry
+// partial:true plus the missing time-ranges when shards stay unreachable
+// past their deadline and retries.
 package main
 
 import (
@@ -25,17 +38,21 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"spate/internal/cluster"
 	_ "spate/internal/compress/all"
 	"spate/internal/core"
 	"spate/internal/dfs"
 	"spate/internal/gen"
+	"spate/internal/geo"
 	"spate/internal/snapshot"
 	"spate/internal/telco"
 	"spate/internal/tracedir"
@@ -56,20 +73,23 @@ func run() int {
 		scale     = flag.Float64("scale", 0.01, "synthesized trace scale")
 		days      = flag.Int("days", 1, "synthesized trace length in days")
 		withPprof = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
+
+		clusterMode = flag.Bool("cluster", false, "run an in-process sharded cluster behind the coordinator UI")
+		shards      = flag.Int("shards", 4, "cluster: number of time shards")
+		replicas    = flag.Int("replicas", 1, "cluster: replica nodes per shard slot")
+		split       = flag.Int("spatial-split", 1, "cluster: vertical cell-plane bands per time shard")
+		join        = flag.String("join", "", "cluster: comma-separated node base URLs; coordinator-only proxy mode")
 	)
 	flag.Parse()
 
-	dir, err := os.MkdirTemp("", "spate-server-*")
+	// Bind before any expensive setup: a taken address should fail fast
+	// with a non-zero exit, not after minutes of ingestion.
+	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Print(err)
+		log.Printf("spate-server: listen %s: %v", *addr, err)
 		return 1
 	}
-	defer os.RemoveAll(dir)
-	fs, err := dfs.NewCluster(dir, dfs.Config{})
-	if err != nil {
-		log.Print(err)
-		return 1
-	}
+	defer ln.Close()
 
 	g := gen.New(gen.DefaultConfig(*scale))
 	var cellTable *telco.Table
@@ -84,35 +104,30 @@ func run() int {
 		cellTable = g.CellTable()
 		cells = g.Cells()
 	}
-	eng, err := core.Open(fs, cellTable, core.Options{})
-	if err != nil {
-		log.Print(err)
-		return 1
-	}
 
-	log.Printf("spate-server: ingesting...")
-	var window telco.TimeRange
-	if *trace != "" {
-		epochs, err := tracedir.Epochs(*trace)
-		if err != nil {
-			log.Print(err)
-			return 1
-		}
-		for _, e := range epochs {
-			sn, err := tracedir.ReadSnapshot(*trace, e)
+	// forEachSnapshot streams the configured trace in epoch order and
+	// returns its window.
+	forEachSnapshot := func(ingest func(*snapshot.Snapshot) error) (telco.TimeRange, error) {
+		var window telco.TimeRange
+		if *trace != "" {
+			epochs, err := tracedir.Epochs(*trace)
 			if err != nil {
-				log.Print(err)
-				return 1
+				return window, err
 			}
-			if _, err := eng.Ingest(sn); err != nil {
-				log.Print(err)
-				return 1
+			for _, e := range epochs {
+				sn, err := tracedir.ReadSnapshot(*trace, e)
+				if err != nil {
+					return window, err
+				}
+				if err := ingest(sn); err != nil {
+					return window, err
+				}
 			}
+			if len(epochs) > 0 {
+				window = telco.NewTimeRange(epochs[0].Start(), epochs[len(epochs)-1].End())
+			}
+			return window, nil
 		}
-		if len(epochs) > 0 {
-			window = telco.NewTimeRange(epochs[0].Start(), epochs[len(epochs)-1].End())
-		}
-	} else {
 		e0 := telco.EpochOf(g.Config().Start)
 		n := *days * telco.EpochsPerDay
 		for i := 0; i < n; i++ {
@@ -120,21 +135,109 @@ func run() int {
 			sn := snapshot.New(e)
 			sn.Add(g.CDRTable(e))
 			sn.Add(g.NMSTable(e))
-			if _, err := eng.Ingest(sn); err != nil {
-				log.Print(err)
-				return 1
+			if err := ingest(sn); err != nil {
+				return window, err
 			}
 		}
-		window = telco.NewTimeRange(e0.Start(), (e0 + telco.Epoch(n)).Start())
+		return telco.NewTimeRange(e0.Start(), (e0 + telco.Epoch(n)).Start()), nil
 	}
-	eng.FinishIngest()
 
-	srv := webui.NewServer(eng, cells, window)
-	log.Printf("spate-server: %d snapshots ready, window %s .. %s",
-		eng.Tree().Len(), window.From.Format(telco.TimeLayout), window.To.Format(telco.TimeLayout))
+	ccfg := cluster.Config{Shards: *shards, Replicas: *replicas, SpatialSplit: *split}
+	var handler http.Handler
+	switch {
+	case *join != "":
+		// Coordinator-only proxy: scatter-gather over already-running
+		// nodes; no local ingest — the nodes carry the data.
+		urls := strings.Split(*join, ",")
+		m := cluster.NewShardMap(ccfg, cellPoints(cellTable))
+		want := m.NumSlots() * *replicas
+		if len(urls) != want {
+			log.Printf("spate-server: -join needs %d node URLs (%d slots x %d replicas), got %d",
+				want, m.NumSlots(), *replicas, len(urls))
+			return 1
+		}
+		nodes := make([][]string, m.NumSlots())
+		for i, u := range urls {
+			nodes[i / *replicas] = append(nodes[i / *replicas], strings.TrimSpace(u))
+		}
+		coord, err := cluster.NewCoordinator(ccfg, m, nodes, cellTable)
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		window := defaultWindow(g, *days)
+		for url, perr := range coord.Health(context.Background()) {
+			if perr != nil {
+				log.Printf("spate-server: node %s unhealthy: %v", url, perr)
+			}
+		}
+		log.Printf("spate-server: coordinating %d nodes across %d shards", len(urls), *shards)
+		handler = webui.NewClusterServer(coord, cells, window).Handler()
+
+	case *clusterMode:
+		local, err := cluster.StartLocal(ccfg, cellTable, cluster.LocalOptions{})
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		defer local.Close()
+		log.Printf("spate-server: ingesting through coordinator (%d shards x %d replicas)...", *shards, *replicas)
+		window, err := forEachSnapshot(func(sn *snapshot.Snapshot) error {
+			return local.Coordinator.Ingest(context.Background(), sn)
+		})
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		if err := local.Coordinator.FinishIngest(context.Background()); err != nil {
+			log.Print(err)
+			return 1
+		}
+		log.Printf("spate-server: cluster ready on %d nodes, window %s .. %s", len(local.Nodes),
+			window.From.Format(telco.TimeLayout), window.To.Format(telco.TimeLayout))
+		handler = webui.NewClusterServer(local.Coordinator, cells, window).Handler()
+
+	default:
+		dir, err := os.MkdirTemp("", "spate-server-*")
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		defer os.RemoveAll(dir)
+		fs, err := dfs.NewCluster(dir, dfs.Config{})
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		eng, err := core.Open(fs, cellTable, core.Options{})
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		log.Printf("spate-server: ingesting...")
+		window, err := forEachSnapshot(func(sn *snapshot.Snapshot) error {
+			_, err := eng.Ingest(sn)
+			return err
+		})
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		eng.FinishIngest()
+		log.Printf("spate-server: %d snapshots ready, window %s .. %s",
+			eng.Tree().Len(), window.From.Format(telco.TimeLayout), window.To.Format(telco.TimeLayout))
+
+		// Mount the node RPC surface alongside the UI so this process can
+		// serve as a shard behind a -join coordinator.
+		node := cluster.NewNode(eng)
+		mux := http.NewServeMux()
+		mux.Handle("/rpc/", node.Handler())
+		mux.Handle("/", webui.NewServer(eng, cells, window).Handler())
+		handler = mux
+	}
 
 	mux := http.NewServeMux()
-	mux.Handle("/", srv.Handler())
+	mux.Handle("/", handler)
 	if *withPprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -144,7 +247,7 @@ func run() int {
 		log.Printf("spate-server: pprof enabled at /debug/pprof/")
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: mux}
+	httpSrv := &http.Server{Handler: mux}
 
 	// Graceful shutdown: SIGINT/SIGTERM stop accepting connections, drain
 	// in-flight requests for up to 10s, then the deferred temp-store
@@ -153,8 +256,8 @@ func run() int {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("spate-server: listening on %s", *addr)
-		errc <- httpSrv.ListenAndServe()
+		log.Printf("spate-server: listening on %s", ln.Addr())
+		errc <- httpSrv.Serve(ln)
 	}()
 	select {
 	case err := <-errc:
@@ -172,4 +275,26 @@ func run() int {
 		}
 	}
 	return 0
+}
+
+// defaultWindow is the synthesized trace span — the UI default when the
+// coordinator itself holds no data to derive one from.
+func defaultWindow(g *gen.Generator, days int) telco.TimeRange {
+	e0 := telco.EpochOf(g.Config().Start)
+	n := days * telco.EpochsPerDay
+	return telco.NewTimeRange(e0.Start(), (e0 + telco.Epoch(n)).Start())
+}
+
+// cellPoints extracts planar cell locations for shard-map construction.
+func cellPoints(t *telco.Table) []geo.Point {
+	xIdx := t.Schema.FieldIndex("x_km")
+	yIdx := t.Schema.FieldIndex("y_km")
+	if xIdx < 0 || yIdx < 0 {
+		return nil
+	}
+	pts := make([]geo.Point, 0, len(t.Rows))
+	for _, r := range t.Rows {
+		pts = append(pts, geo.Point{X: r[xIdx].Float64(), Y: r[yIdx].Float64()})
+	}
+	return pts
 }

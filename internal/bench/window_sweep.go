@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -93,7 +94,7 @@ func WindowSweep(w io.Writer, o Options) error {
 
 // countScan counts rows through a framework scan (the RAW query model).
 func countScan(f tasks.Framework, w telco.TimeRange, rows *int) error {
-	return f.Scan(w, []string{"CDR", "NMS"}, func(_ string, tab *telco.Table) error {
+	return f.Scan(context.Background(), w, []string{"CDR", "NMS"}, func(_ string, tab *telco.Table) error {
 		*rows += tab.Len()
 		return nil
 	})

@@ -1,0 +1,55 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"spate/internal/core"
+	"spate/internal/obs"
+	"spate/internal/telco"
+)
+
+// BenchmarkClusterExplore measures scatter-gather exploration latency for a
+// single-shard versus a four-shard topology over the same two-day trace,
+// and reports how often the hedged replica read beat the primary. Windows
+// rotate across iterations so each scatter exercises the shard fan-out
+// rather than a single repeated plan.
+func BenchmarkClusterExplore(b *testing.B) {
+	for _, bc := range []struct {
+		name   string
+		shards int
+	}{
+		{"shards=1", 1},
+		{"shards=4", 4},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			g, snaps, window := testTrace(b, 2)
+			lc := startTestCluster(b, Config{
+				Shards:     bc.shards,
+				Replicas:   2,
+				HedgeDelay: 2 * time.Millisecond,
+				Obs:        obs.NewNoop(),
+			}, g, snaps)
+			ctx := context.Background()
+
+			e0 := telco.EpochOf(window.From)
+			span := int(window.To.Sub(window.From) / telco.EpochDuration)
+			hedgeWins := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w := telco.TimeRange{
+					From: (e0 + telco.Epoch(i%8)).Start(),
+					To:   (e0 + telco.Epoch(span-i%16)).Start(),
+				}
+				res, err := lc.Coordinator.Explore(ctx, core.Query{Window: w})
+				if err != nil {
+					b.Fatal(err)
+				}
+				hedgeWins += res.HedgeWins
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(hedgeWins)/float64(b.N), "hedgewins/op")
+		})
+	}
+}

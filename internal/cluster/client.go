@@ -1,0 +1,76 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// client is the coordinator's HTTP side: one shared transport, JSON in,
+// JSON out, errors surfaced from the peer's error envelope.
+type client struct {
+	hc *http.Client
+}
+
+func newClient() *client {
+	return &client{hc: &http.Client{
+		Transport: &http.Transport{
+			MaxIdleConns:        64,
+			MaxIdleConnsPerHost: 8,
+			IdleConnTimeout:     90 * time.Second,
+		},
+	}}
+}
+
+// post sends req as JSON to base+path and decodes the JSON response into
+// resp. Deadlines and cancellation ride on ctx.
+func (c *client) post(ctx context.Context, base, path string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("cluster: marshal %s: %w", path, err)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, base+path, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("cluster: request %s: %w", path, err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	return c.do(hreq, path, base, resp)
+}
+
+// get fetches base+path and decodes the JSON response into resp.
+func (c *client) get(ctx context.Context, base, path string, resp any) error {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, base+path, nil)
+	if err != nil {
+		return fmt.Errorf("cluster: request %s: %w", path, err)
+	}
+	return c.do(hreq, path, base, resp)
+}
+
+func (c *client) do(hreq *http.Request, path, base string, resp any) error {
+	hresp, err := c.hc.Do(hreq)
+	if err != nil {
+		return fmt.Errorf("cluster: %s %s: %w", path, base, err)
+	}
+	defer func() {
+		io.Copy(io.Discard, hresp.Body)
+		hresp.Body.Close()
+	}()
+	if hresp.StatusCode != http.StatusOK {
+		var e errorResponse
+		if json.NewDecoder(hresp.Body).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("cluster: %s %s: %s", path, base, e.Error)
+		}
+		return fmt.Errorf("cluster: %s %s: HTTP %d", path, base, hresp.StatusCode)
+	}
+	if resp == nil {
+		return nil
+	}
+	if err := json.NewDecoder(hresp.Body).Decode(resp); err != nil {
+		return fmt.Errorf("cluster: decode %s %s: %w", path, base, err)
+	}
+	return nil
+}

@@ -1,0 +1,51 @@
+package cluster
+
+import (
+	"strconv"
+
+	"spate/internal/obs"
+)
+
+// clusterMetrics is the coordinator-side instrument panel. Per-shard
+// series are pre-resolved at construction (shard cardinality is fixed by
+// the topology) so the hot path only increments.
+type clusterMetrics struct {
+	explores  *obs.Counter
+	ingests   *obs.Counter
+	partials  *obs.Counter
+	retries   map[string]*obs.Counter // by op
+	hedged    *obs.Counter
+	hedgeWins *obs.Counter
+
+	// Per time shard, indexed by shard number.
+	exploreSec  []*obs.Histogram
+	ingestSec   []*obs.Histogram
+	shardErrors []*obs.Counter
+	shardMiss   []*obs.Counter
+}
+
+func newClusterMetrics(r *obs.Registry, shards int) *clusterMetrics {
+	m := &clusterMetrics{
+		explores:  r.Counter("spate_cluster_explores_total", "Scatter-gather explorations coordinated."),
+		ingests:   r.Counter("spate_cluster_ingests_total", "Snapshots routed through the coordinator."),
+		partials:  r.Counter("spate_cluster_partial_results_total", "Explorations degraded to a partial result."),
+		hedged:    r.Counter("spate_cluster_hedged_requests_total", "Extra replica reads launched by hedging."),
+		hedgeWins: r.Counter("spate_cluster_hedge_wins_total", "Explorations won by a hedged replica read."),
+		retries: map[string]*obs.Counter{
+			"explore": r.Counter("spate_cluster_retries_total", "Shard RPC retry attempts by op.", "op", "explore"),
+			"ingest":  r.Counter("spate_cluster_retries_total", "Shard RPC retry attempts by op.", "op", "ingest"),
+		},
+	}
+	for s := 0; s < shards; s++ {
+		lbl := strconv.Itoa(s)
+		m.exploreSec = append(m.exploreSec, r.Histogram("spate_cluster_shard_explore_seconds",
+			"Per-shard exploration RPC latency (including retries and hedges).", nil, "shard", lbl))
+		m.ingestSec = append(m.ingestSec, r.Histogram("spate_cluster_shard_ingest_seconds",
+			"Per-shard ingest RPC latency (including retries).", nil, "shard", lbl))
+		m.shardErrors = append(m.shardErrors, r.Counter("spate_cluster_shard_errors_total",
+			"Failed shard RPC attempts by shard.", "shard", lbl))
+		m.shardMiss = append(m.shardMiss, r.Counter("spate_cluster_shard_missing_total",
+			"Explorations in which the shard's data was reported missing.", "shard", lbl))
+	}
+	return m
+}

@@ -1,0 +1,193 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spate/internal/core"
+	"spate/internal/geo"
+	"spate/internal/snapshot"
+	"spate/internal/telco"
+)
+
+// Node wraps one core.Engine shard behind the cluster RPC surface. It owns
+// no distribution logic: routing, retries and merging are all
+// coordinator-side, so a node is just an engine with a wire format.
+type Node struct {
+	eng *core.Engine
+	mux *http.ServeMux
+
+	// ingestMu serializes ingest RPCs — the engine admits one ingester at
+	// a time and coordinator retries must observe a settled LastEpoch.
+	ingestMu sync.Mutex
+
+	// Fault injection for tests: exploreDelay stalls /rpc/explore
+	// (nanoseconds), failNext fails that many explorations with a 500.
+	exploreDelay atomic.Int64
+	failNext     atomic.Int64
+}
+
+// NewNode serves eng over the cluster RPC surface.
+func NewNode(eng *core.Engine) *Node {
+	n := &Node{eng: eng, mux: http.NewServeMux()}
+	n.mux.HandleFunc("/rpc/ingest", n.handleIngest)
+	n.mux.HandleFunc("/rpc/explore", n.handleExplore)
+	n.mux.HandleFunc("/rpc/finish", n.handleFinish)
+	n.mux.HandleFunc("/rpc/health", n.handleHealth)
+	return n
+}
+
+// Engine exposes the wrapped shard engine.
+func (n *Node) Engine() *core.Engine { return n.eng }
+
+// Handler returns the node's RPC handler, mountable under any server.
+func (n *Node) Handler() http.Handler { return n.mux }
+
+// SetExploreDelay stalls every subsequent exploration by d (honoring the
+// request context) — the test hook that forces a shard past its deadline.
+func (n *Node) SetExploreDelay(d time.Duration) { n.exploreDelay.Store(int64(d)) }
+
+// FailNext makes the next k explorations fail with a 500 — the test hook
+// for retry and hedge failover paths.
+func (n *Node) FailNext(k int) { n.failNext.Store(int64(k)) }
+
+func (n *Node) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		rpcError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	var req ingestRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		rpcError(w, http.StatusBadRequest, err)
+		return
+	}
+	n.ingestMu.Lock()
+	defer n.ingestMu.Unlock()
+	// Idempotent replay: the engine rejects out-of-order epochs, and a
+	// coordinator only re-sends an epoch after a lost response, so an epoch
+	// at or before the last ingested one is a duplicate, not an error.
+	if last, ok := n.eng.LastEpoch(); ok && telco.Epoch(req.Epoch) <= last {
+		writeJSON(w, ingestResponse{Duplicate: true})
+		return
+	}
+	snap := snapshot.New(telco.Epoch(req.Epoch))
+	for name, data := range req.Tables {
+		t, err := snapshot.DecodeTable(name, data)
+		if err != nil {
+			rpcError(w, http.StatusBadRequest, err)
+			return
+		}
+		snap.Add(t)
+	}
+	rep, err := n.eng.IngestContext(r.Context(), snap)
+	if err != nil {
+		rpcError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, ingestResponse{Rows: rep.Rows})
+}
+
+func (n *Node) handleExplore(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		rpcError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	if d := time.Duration(n.exploreDelay.Load()); d > 0 {
+		select {
+		case <-time.After(d):
+		case <-r.Context().Done():
+			rpcError(w, http.StatusServiceUnavailable, r.Context().Err())
+			return
+		}
+	}
+	if k := n.failNext.Load(); k > 0 && n.failNext.CompareAndSwap(k, k-1) {
+		rpcError(w, http.StatusInternalServerError, fmt.Errorf("cluster: injected fault"))
+		return
+	}
+	var req exploreRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		rpcError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := exploreResponse{Parts: [][]byte{}, Leaves: n.eng.Snapshots()}
+	if resp.Leaves == 0 {
+		// An empty shard legitimately owns no data in any window; the
+		// coordinator decides whether the cluster as a whole is empty.
+		writeJSON(w, resp)
+		return
+	}
+	win := telco.TimeRange{
+		From: time.Unix(req.FromUnix, 0).UTC(),
+		To:   time.Unix(req.ToUnix, 0).UTC(),
+	}
+	parts, diag, err := n.eng.ExploreParts(r.Context(), win)
+	if err != nil {
+		rpcError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp.Scanned, resp.Decayed = diag.ScannedLeaves, diag.DecayedLeaves
+	for _, p := range parts {
+		blob, err := p.Encode()
+		if err != nil {
+			rpcError(w, http.StatusInternalServerError, err)
+			return
+		}
+		resp.Parts = append(resp.Parts, blob)
+	}
+	if req.Rows {
+		q := core.Query{Window: win, Tables: req.Tables, ExactRows: true}
+		if req.Boxed {
+			q.Box = geo.NewRect(req.MinX, req.MinY, req.MaxX, req.MaxY)
+		}
+		tables, err := n.eng.FetchRows(r.Context(), q)
+		if err != nil {
+			rpcError(w, http.StatusInternalServerError, err)
+			return
+		}
+		resp.Rows = make(map[string][]byte, len(tables))
+		for name, t := range tables {
+			var buf bytes.Buffer
+			if err := t.WriteText(&buf); err != nil {
+				rpcError(w, http.StatusInternalServerError, err)
+				return
+			}
+			resp.Rows[name] = buf.Bytes()
+		}
+	}
+	writeJSON(w, resp)
+}
+
+func (n *Node) handleFinish(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		rpcError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	n.ingestMu.Lock()
+	n.eng.FinishIngest()
+	n.ingestMu.Unlock()
+	writeJSON(w, struct{}{})
+}
+
+func (n *Node) handleHealth(w http.ResponseWriter, r *http.Request) {
+	resp := healthResponse{OK: true, Snapshots: n.eng.Snapshots(), LastEpoch: -1}
+	if last, ok := n.eng.LastEpoch(); ok {
+		resp.LastEpoch = int64(last)
+	}
+	writeJSON(w, resp)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func rpcError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(errorResponse{Error: err.Error()})
+}

@@ -1,0 +1,61 @@
+package cluster
+
+// The RPC surface is HTTP + JSON envelopes. Bulk payloads stay in the
+// formats the engine already serializes — summaries as gob blobs
+// (highlights.Summary.Encode), exact rows as the delimiter-separated wire
+// text of snapshot tables — carried as []byte fields, which encoding/json
+// transports base64-encoded. Timestamps travel as Unix seconds.
+
+type ingestRequest struct {
+	// Epoch is the snapshot's 30-minute cycle number.
+	Epoch int64 `json:"epoch"`
+	// Tables maps table name to its wire-text encoding.
+	Tables map[string][]byte `json:"tables"`
+}
+
+type ingestResponse struct {
+	Rows int `json:"rows"`
+	// Duplicate marks an epoch the node had already ingested; replaying a
+	// write (a coordinator retry after a lost response) succeeds as a no-op.
+	Duplicate bool `json:"duplicate,omitempty"`
+}
+
+type exploreRequest struct {
+	FromUnix int64 `json:"from"`
+	ToUnix   int64 `json:"to"`
+	// Rows requests exact records of the window's non-decayed snapshots.
+	Rows   bool     `json:"rows,omitempty"`
+	Tables []string `json:"tables,omitempty"`
+	// Boxed plus the bounds push the spatial predicate down for the row
+	// path (summary parts are never box-restricted shard-side: the
+	// coordinator restricts after the merge, like a single engine does).
+	Boxed bool    `json:"boxed,omitempty"`
+	MinX  float64 `json:"minx,omitempty"`
+	MinY  float64 `json:"miny,omitempty"`
+	MaxX  float64 `json:"maxx,omitempty"`
+	MaxY  float64 `json:"maxy,omitempty"`
+}
+
+type exploreResponse struct {
+	// Parts are the shard's summary parts in chronological order, each a
+	// gob-encoded highlights.Summary.
+	Parts [][]byte `json:"parts"`
+	// Leaves is the node's total snapshot count — zero distinguishes "no
+	// data at all" from "no data in this window".
+	Leaves  int               `json:"leaves"`
+	Scanned int               `json:"scanned,omitempty"`
+	Decayed int               `json:"decayed,omitempty"`
+	Rows    map[string][]byte `json:"rowdata,omitempty"`
+}
+
+type healthResponse struct {
+	OK bool `json:"ok"`
+	// Snapshots is the node's leaf count.
+	Snapshots int `json:"snapshots"`
+	// LastEpoch is the most recent ingested cycle, -1 when empty.
+	LastEpoch int64 `json:"last_epoch"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}

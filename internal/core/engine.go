@@ -221,8 +221,25 @@ func Open(fs *dfs.Cluster, cellTable *telco.Table, opts Options) (*Engine, error
 	return e, nil
 }
 
-// Tree exposes the temporal index for inspection (benchmarks, UI).
+// Tree exposes the temporal index for inspection (benchmarks, UI). It is
+// not synchronized with ingest — callers that may run concurrently with
+// Ingest should use Snapshots / LastEpoch instead.
 func (e *Engine) Tree() *index.Tree { return e.tree }
+
+// Snapshots returns the number of epoch leaves currently indexed.
+func (e *Engine) Snapshots() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.tree.Len()
+}
+
+// LastEpoch returns the most recently ingested epoch, and false when the
+// store is empty.
+func (e *Engine) LastEpoch() (telco.Epoch, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.tree.LastEpoch()
+}
 
 // FS returns the underlying DFS cluster.
 func (e *Engine) FS() *dfs.Cluster { return e.fs }
@@ -410,7 +427,7 @@ func (e *Engine) sealLocked(n *index.Node) error {
 	for _, c := range n.Children {
 		if c.Summary == nil && c.IsLeaf() && !c.Decayed {
 			// e.mu is held: read the codec directly.
-			s, err := e.buildLeafSummary(e.opts.Codec, c)
+			s, err := e.buildLeafSummary(e.opts.Codec, c.Period, c.DataRefs)
 			if err != nil {
 				return fmt.Errorf("core: seal %s %v: %w", n.Level, n.Period.From, err)
 			}

@@ -103,7 +103,9 @@ func (e *Engine) Explore(q Query) (*Result, error) {
 	return e.ExploreContext(context.Background(), q)
 }
 
-// ExploreContext is Explore with span propagation: when ctx carries a live
+// ExploreContext is Explore with cancellation and span propagation: an
+// expired or canceled ctx aborts the evaluation between leaf decodes (so
+// abandoned HTTP requests stop burning CPU), and when ctx carries a live
 // obs span the exploration span nests under it (e.g. under an HTTP
 // request's span).
 func (e *Engine) ExploreContext(ctx context.Context, q Query) (*Result, error) {
@@ -136,26 +138,39 @@ func (e *Engine) ExploreContext(ctx context.Context, q Query) (*Result, error) {
 		e.cache.put(key, res)
 	}
 
+	// Planning happens entirely under the engine read lock — tree nodes are
+	// mutated by Ingest/Decay under the write lock, so no node field may be
+	// read once it is released. The plan carries everything the lock-free
+	// phases need: materialized summaries (immutable once built) and
+	// rebuild jobs for leaves whose day seal dropped theirs.
 	tPlan := time.Now()
+	res := &Result{ServedPeriod: q.Window}
 	e.mu.RLock()
 	covering := e.tree.FindCovering(q.Window)
 	if covering == nil {
 		e.mu.RUnlock()
 		return nil, fmt.Errorf("core: no data ingested")
 	}
-	leaves := e.tree.LeavesIn(q.Window, nil)
-	theta := e.opts.theta(covering.Level)
+	res.CoveringLevel = covering.Level
+	coveringPeriod := covering.Period
 	coveringSummary := covering.Summary
-	root := e.tree.Root()
+	theta := e.opts.theta(covering.Level)
+	fast := q.Fast && coveringSummary != nil && !q.ExactRows
+	var srcs []partSrc
+	var leaves []leafRef
+	if !fast {
+		srcs = e.planSummaries(e.tree.Root(), q.Window, nil, res)
+		if q.ExactRows {
+			leaves = e.rowLeaves(q.Window)
+		}
+	}
 	e.mu.RUnlock()
 	sr.add(StagePlan, time.Since(tPlan).Nanoseconds())
 
-	res := &Result{CoveringLevel: covering.Level, ServedPeriod: q.Window}
-
 	// Fast path: answer from the covering node's materialized summary,
 	// serving its whole (possibly larger) period.
-	if q.Fast && coveringSummary != nil && !q.ExactRows {
-		res.ServedPeriod = covering.Period
+	if fast {
+		res.ServedPeriod = coveringPeriod
 		t0 := time.Now()
 		res.Summary, res.Cells = e.restrictToBox(coveringSummary, q)
 		sr.add(StageRestrict, time.Since(t0).Nanoseconds())
@@ -172,9 +187,7 @@ func (e *Engine) ExploreContext(ctx context.Context, q Query) (*Result, error) {
 	// retrieved"). This makes response time depend on the window's *edges*,
 	// not its length.
 	tCollect := time.Now()
-	var parts []*highlights.Summary
-	var err error
-	parts, err = e.collectSummaries(root, q.Window, parts, res)
+	parts, err := e.buildParts(ctx, srcs, res)
 	sr.add(StageCollect, (time.Since(tCollect) - res.leafDecode).Nanoseconds())
 	if err != nil {
 		return nil, err
@@ -199,7 +212,7 @@ func (e *Engine) ExploreContext(ctx context.Context, q Query) (*Result, error) {
 
 	if q.ExactRows {
 		tRows := time.Now()
-		err := e.fetchRows(q, leaves, res)
+		err := e.fetchRows(ctx, q, leaves, res)
 		sr.add(StageRows, time.Since(tRows).Nanoseconds())
 		if err != nil {
 			return nil, err
@@ -209,11 +222,94 @@ func (e *Engine) ExploreContext(ctx context.Context, q Query) (*Result, error) {
 	return res, nil
 }
 
-// collectSummaries gathers the summary parts answering window w, preferring
-// coarse materialized summaries and descending only at the window's edges.
-func (e *Engine) collectSummaries(n *index.Node, w telco.TimeRange, parts []*highlights.Summary, res *Result) ([]*highlights.Summary, error) {
+// PartsDiag reports how a part collection was satisfied.
+type PartsDiag struct {
+	// ScannedLeaves counts snapshots decompressed to rebuild summaries.
+	ScannedLeaves int
+	// DecayedLeaves counts window snapshots whose raw data has decayed.
+	DecayedLeaves int
+}
+
+// ExploreParts collects the summary parts answering window w in
+// chronological order WITHOUT merging them. This is the unit a cluster
+// coordinator transfers: gathering every shard's parts and folding them in
+// one flat chronological Merge reproduces the exact association order a
+// single engine uses, so scatter-gathered aggregates match the monolithic
+// answer bit for bit.
+func (e *Engine) ExploreParts(ctx context.Context, w telco.TimeRange) ([]*highlights.Summary, PartsDiag, error) {
+	res := &Result{}
+	e.mu.RLock()
+	if e.tree.FindCovering(w) == nil {
+		e.mu.RUnlock()
+		return nil, PartsDiag{}, fmt.Errorf("core: no data ingested")
+	}
+	srcs := e.planSummaries(e.tree.Root(), w, nil, res)
+	e.mu.RUnlock()
+	parts, err := e.buildParts(ctx, srcs, res)
+	if err != nil {
+		return nil, PartsDiag{}, err
+	}
+	return parts, PartsDiag{ScannedLeaves: res.ScannedLeaves, DecayedLeaves: res.DecayedLeaves}, nil
+}
+
+// FetchRows runs the exact-row path alone: the window's non-decayed
+// snapshots are decompressed and their records filtered by the query's
+// window, box and table selection. Cluster shard nodes serve /rpc/explore
+// row requests through this without paying for a summary merge.
+func (e *Engine) FetchRows(ctx context.Context, q Query) (map[string]*telco.Table, error) {
+	e.mu.RLock()
+	leaves := e.rowLeaves(q.Window)
+	e.mu.RUnlock()
+	res := &Result{}
+	if err := e.fetchRows(ctx, q, leaves, res); err != nil {
+		return nil, err
+	}
+	e.met.scannedLeaves.Add(int64(res.ScannedLeaves))
+	e.met.prunedLeaves.Add(int64(res.PrunedLeaves))
+	return res.Rows, nil
+}
+
+// partSrc is one planned contribution to a window's answer: a summary
+// already materialized in the tree, or — when sum is nil — a leaf whose
+// summary must be rebuilt from its compressed snapshot tables.
+type partSrc struct {
+	sum    *highlights.Summary
+	period telco.TimeRange   // rebuild only: the leaf's period
+	refs   map[string]string // rebuild only: table name -> DFS path
+}
+
+// leafRef is the lock-free snapshot of the leaf fields the exact-row path
+// reads. Tree nodes are mutated under the engine write lock, so node
+// pointers must not be dereferenced after the read lock is released; the
+// captured summary and DataRefs map are safe to retain by reference —
+// summaries are immutable once built, and decay replaces the refs map
+// wholesale rather than mutating entries.
+type leafRef struct {
+	decayed bool
+	refs    map[string]string
+	sum     *highlights.Summary
+}
+
+// rowLeaves snapshots the window's leaves for the exact-row path. The
+// caller must hold the engine lock.
+func (e *Engine) rowLeaves(w telco.TimeRange) []leafRef {
+	nodes := e.tree.LeavesIn(w, nil)
+	out := make([]leafRef, len(nodes))
+	for i, n := range nodes {
+		out[i] = leafRef{decayed: n.Decayed, refs: n.DataRefs, sum: n.Summary}
+	}
+	return out
+}
+
+// planSummaries selects the parts answering window w, preferring coarse
+// materialized summaries and descending only at the window's edges. It
+// runs under the engine read lock (held by the caller) and performs no
+// I/O: leaves whose summary the day seal dropped become rebuild jobs for
+// buildParts to decompress after the lock is released, so a long query
+// never stalls ingest behind block decodes.
+func (e *Engine) planSummaries(n *index.Node, w telco.TimeRange, srcs []partSrc, res *Result) []partSrc {
 	if n.Level != index.LevelRoot && !n.Period.Overlaps(w) {
-		return parts, nil
+		return srcs
 	}
 	if n.IsLeaf() {
 		if n.Decayed {
@@ -221,21 +317,14 @@ func (e *Engine) collectSummaries(n *index.Node, w telco.TimeRange, parts []*hig
 			if n.Summary != nil {
 				// Open-day decayed leaf: its in-memory summary is all that
 				// remains and still answers aggregates.
-				parts = append(parts, n.Summary)
+				srcs = append(srcs, partSrc{sum: n.Summary})
 			}
-			return parts, nil
+			return srcs
 		}
 		if n.Summary != nil {
-			return append(parts, n.Summary), nil
+			return append(srcs, partSrc{sum: n.Summary})
 		}
-		t0 := time.Now()
-		s, err := e.buildLeafSummary(e.codec(), n)
-		res.leafDecode += time.Since(t0)
-		if err != nil {
-			return parts, err
-		}
-		res.ScannedLeaves++
-		return append(parts, s), nil
+		return append(srcs, partSrc{period: n.Period, refs: n.DataRefs})
 	}
 	if n.Level != index.LevelRoot && n.Summary != nil {
 		// Sealed internal node: use its materialized summary when the
@@ -243,23 +332,48 @@ func (e *Engine) collectSummaries(n *index.Node, w telco.TimeRange, parts []*hig
 		// (decay pruned the subtree) — the latter serves a larger period
 		// than requested, the paper's implicit prefetch.
 		if w.Covers(n.Period) || len(n.Children) == 0 {
-			return append(parts, n.Summary), nil
+			return append(srcs, partSrc{sum: n.Summary})
 		}
 	}
-	before := len(parts)
+	before := len(srcs)
 	for _, c := range n.Children {
-		var err error
-		parts, err = e.collectSummaries(c, w, parts, res)
-		if err != nil {
-			return parts, err
-		}
+		srcs = e.planSummaries(c, w, srcs, res)
 	}
 	// Prefetch fallback: when every overlapping descendant decayed without
 	// leaving a summary (a sealed day whose raw data was evicted), serve
 	// this node's materialized summary — a larger period than requested,
 	// exactly the paper's implicit-prefetch behaviour.
-	if len(parts) == before && n.Summary != nil && n.Level != index.LevelRoot && n.Period.Overlaps(w) {
-		parts = append(parts, n.Summary)
+	if len(srcs) == before && n.Summary != nil && n.Level != index.LevelRoot && n.Period.Overlaps(w) {
+		srcs = append(srcs, partSrc{sum: n.Summary})
+	}
+	return srcs
+}
+
+// buildParts turns a query plan into summary parts in order, rebuilding
+// the leaves the plan marked. ctx is consulted before every rebuild — the
+// expensive step — so a canceled request abandons the collection promptly.
+func (e *Engine) buildParts(ctx context.Context, srcs []partSrc, res *Result) ([]*highlights.Summary, error) {
+	parts := make([]*highlights.Summary, 0, len(srcs))
+	var c compress.Codec
+	for _, src := range srcs {
+		if src.sum != nil {
+			parts = append(parts, src.sum)
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if c == nil {
+			c = e.codec()
+		}
+		t0 := time.Now()
+		s, err := e.buildLeafSummary(c, src.period, src.refs)
+		res.leafDecode += time.Since(t0)
+		if err != nil {
+			return nil, err
+		}
+		res.ScannedLeaves++
+		parts = append(parts, s)
 	}
 	return parts, nil
 }
@@ -268,9 +382,9 @@ func (e *Engine) collectSummaries(n *index.Node, w telco.TimeRange, parts []*hig
 // snapshot's stored tables — the exact-data path for recent windows whose
 // day has sealed (and dropped its ephemeral leaf summaries). The codec is
 // passed explicitly because some callers already hold the engine lock.
-func (e *Engine) buildLeafSummary(c compress.Codec, n *index.Node) (*highlights.Summary, error) {
-	s := highlights.NewSummary(n.Period)
-	for name, ref := range n.DataRefs {
+func (e *Engine) buildLeafSummary(c compress.Codec, period telco.TimeRange, refs map[string]string) (*highlights.Summary, error) {
+	s := highlights.NewSummary(period)
+	for name, ref := range refs {
 		comp, err := e.fs.ReadFile(ref)
 		if err != nil {
 			return nil, fmt.Errorf("core: read %s: %w", ref, err)
@@ -299,26 +413,7 @@ func (e *Engine) restrictToBox(m *highlights.Summary, q Query) (*highlights.Summ
 	for _, id := range e.CellsInBox(q.Box) {
 		inBox[id] = true
 	}
-	out := highlights.NewSummary(m.Period)
-	for id, cs := range m.Cells {
-		if !inBox[id] {
-			continue
-		}
-		out.Rows += cs.Rows
-		dst := &highlights.CellStats{Rows: cs.Rows, Num: cs.Num}
-		out.Cells[id] = dst
-		for ref, st := range cs.Num {
-			agg := out.Num[ref]
-			if agg == nil {
-				agg = &highlights.Stats{}
-				out.Num[ref] = agg
-			}
-			agg.Merge(st)
-		}
-	}
-	// Categorical counts are not cell-resolved (bounded-size cube); carry
-	// the window-level counts through for frequency context.
-	out.Cat = m.Cat
+	out := m.Restrict(func(id int64) bool { return inBox[id] })
 	return out, e.cellSeries(m, inBox, q)
 }
 
@@ -352,8 +447,9 @@ func (e *Engine) cellSeries(m *highlights.Summary, inBox map[int64]bool, q Query
 }
 
 // fetchRows decompresses the window's non-decayed snapshots and filters
-// records by window, box and table selection.
-func (e *Engine) fetchRows(q Query, leaves []*index.Node, res *Result) error {
+// records by window, box and table selection. ctx is consulted before each
+// snapshot decompression.
+func (e *Engine) fetchRows(ctx context.Context, q Query, leaves []leafRef, res *Result) error {
 	res.Rows = make(map[string]*telco.Table)
 	wantTable := func(name string) bool {
 		if len(q.Tables) == 0 {
@@ -373,15 +469,19 @@ func (e *Engine) fetchRows(q Query, leaves []*index.Node, res *Result) error {
 			inBox[id] = true
 		}
 	}
+	c := e.codec()
 	for _, l := range leaves {
-		if l.Decayed || l.DataRefs == nil {
+		if l.decayed || l.refs == nil {
 			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return err
 		}
 		// Leaf spatial pruning (§V-A): skip snapshots whose summary shows
 		// no rows inside the box.
-		if e.opts.LeafSpatialPrune && inBox != nil && l.Summary != nil {
+		if e.opts.LeafSpatialPrune && inBox != nil && l.sum != nil {
 			hit := false
-			for id := range l.Summary.Cells {
+			for id := range l.sum.Cells {
 				if inBox[id] {
 					hit = true
 					break
@@ -392,7 +492,7 @@ func (e *Engine) fetchRows(q Query, leaves []*index.Node, res *Result) error {
 				continue
 			}
 		}
-		for name, ref := range l.DataRefs {
+		for name, ref := range l.refs {
 			if !wantTable(name) {
 				continue
 			}
@@ -400,7 +500,7 @@ func (e *Engine) fetchRows(q Query, leaves []*index.Node, res *Result) error {
 			if err != nil {
 				return fmt.Errorf("core: read %s: %w", ref, err)
 			}
-			text, err := e.codec().Decompress(nil, comp)
+			text, err := c.Decompress(nil, comp)
 			if err != nil {
 				return fmt.Errorf("core: decompress %s: %w", ref, err)
 			}
@@ -435,8 +535,15 @@ func (e *Engine) fetchRows(q Query, leaves []*index.Node, res *Result) error {
 // to the window. Decayed snapshots are skipped (their raw data is gone).
 // This is the access path SPATE-SQL executes declarative queries over.
 func (e *Engine) ScanTables(w telco.TimeRange, tables []string, fn func(string, *telco.Table) error) error {
+	return e.ScanTablesContext(context.Background(), w, tables, fn)
+}
+
+// ScanTablesContext is ScanTables with cancellation: a canceled ctx stops
+// the scan between snapshot decompressions, so an abandoned SQL request
+// does not keep reading and inflating blocks.
+func (e *Engine) ScanTablesContext(ctx context.Context, w telco.TimeRange, tables []string, fn func(string, *telco.Table) error) error {
 	e.mu.RLock()
-	leaves := e.tree.LeavesIn(w, nil)
+	leaves := e.rowLeaves(w)
 	e.mu.RUnlock()
 	want := func(name string) bool {
 		if len(tables) == 0 {
@@ -449,11 +556,15 @@ func (e *Engine) ScanTables(w telco.TimeRange, tables []string, fn func(string, 
 		}
 		return false
 	}
+	c := e.codec()
 	for _, l := range leaves {
-		if l.Decayed || l.DataRefs == nil {
+		if l.decayed || l.refs == nil {
 			continue
 		}
-		for name, ref := range l.DataRefs {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		for name, ref := range l.refs {
 			if !want(name) {
 				continue
 			}
@@ -461,7 +572,7 @@ func (e *Engine) ScanTables(w telco.TimeRange, tables []string, fn func(string, 
 			if err != nil {
 				return fmt.Errorf("core: read %s: %w", ref, err)
 			}
-			text, err := e.codec().Decompress(nil, comp)
+			text, err := c.Decompress(nil, comp)
 			if err != nil {
 				return fmt.Errorf("core: decompress %s: %w", ref, err)
 			}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"spate/internal/snapshot"
+	"spate/internal/telco"
+)
+
+// TestConcurrentIngestExplore drives one ingester against several
+// explorers. Every ingest clears the result cache while explorations
+// populate and hit it, so under -race this exercises the cache's
+// clear/get/put interleavings along with the engine's reader/writer
+// locking (the cluster's node RPC path runs exactly this mix).
+func TestConcurrentIngestExplore(t *testing.T) {
+	r := newRig(t, Options{})
+	r.ingestEpochs(t, 4)
+
+	e0 := telco.EpochOf(r.cfg.Start)
+	window := telco.TimeRange{From: e0.Start(), To: (e0 + 64).Start()}
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for n := 0; ; n++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				// Two explorers share a window (cache hits), two vary it
+				// (cache fills), and one clears — every cache transition
+				// stays hot while the ingester clears concurrently.
+				w := window
+				if i%2 == 1 {
+					w.To = (e0 + telco.Epoch(5+n%16)).Start()
+				}
+				if _, err := r.e.Explore(Query{Window: w}); err != nil {
+					t.Errorf("explore: %v", err)
+					return
+				}
+				if i == 0 && n%8 == 0 {
+					r.e.ClearCache()
+				}
+			}
+		}(i)
+	}
+
+	// The single permitted ingester appends epochs while the explorers run;
+	// each ingest clears the result cache.
+	for i := 4; i < 20; i++ {
+		s := snapshot.New(e0 + telco.Epoch(i))
+		s.Add(r.g.CDRTable(s.Epoch))
+		s.Add(r.g.NMSTable(s.Epoch))
+		if _, err := r.e.Ingest(s); err != nil {
+			t.Errorf("ingest: %v", err)
+			break
+		}
+	}
+	close(done)
+	wg.Wait()
+	r.e.FinishIngest()
+
+	res, err := r.e.Explore(Query{Window: window})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.Rows == 0 {
+		t.Fatal("no rows after concurrent ingest")
+	}
+}

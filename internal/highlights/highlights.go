@@ -347,6 +347,38 @@ func Merge(period telco.TimeRange, parts ...*Summary) *Summary {
 	return out
 }
 
+// Restrict filters the summary to the cells accepted by keep, rebuilding
+// the window-level numeric aggregates from the per-cell breakdown (so the
+// restricted Num carries the per-cell tracked attributes). Categorical
+// counts are not cell-resolved (bounded-size cube) and carry through at
+// window level. A nil keep returns the summary unchanged. Both the engine's
+// spatial restriction and the cluster coordinator's post-merge restriction
+// share this path.
+func (s *Summary) Restrict(keep func(int64) bool) *Summary {
+	if keep == nil {
+		return s
+	}
+	out := NewSummary(s.Period)
+	for id, cs := range s.Cells {
+		if !keep(id) {
+			continue
+		}
+		out.Rows += cs.Rows
+		dst := &CellStats{Rows: cs.Rows, Num: cs.Num}
+		out.Cells[id] = dst
+		for ref, st := range cs.Num {
+			agg := out.Num[ref]
+			if agg == nil {
+				agg = &Stats{}
+				out.Num[ref] = agg
+			}
+			agg.Merge(st)
+		}
+	}
+	out.Cat = s.Cat
+	return out
+}
+
 // Kind distinguishes highlight shapes.
 type Kind int
 

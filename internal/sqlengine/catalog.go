@@ -1,6 +1,7 @@
 package sqlengine
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -16,10 +17,12 @@ type ScanHint struct {
 	Constrained bool
 }
 
-// Provider streams the rows of one table.
+// Provider streams the rows of one table. Scan honors ctx: a canceled
+// context stops the stream with ctx.Err() (SPATE prunes between snapshot
+// decompressions; in-memory providers check between rows).
 type Provider interface {
 	Schema() *telco.Schema
-	Scan(hint ScanHint, fn func(telco.Record) error) error
+	Scan(ctx context.Context, hint ScanHint, fn func(telco.Record) error) error
 }
 
 // Catalog resolves table names.
@@ -44,9 +47,12 @@ type memProvider struct{ t *telco.Table }
 
 func (p memProvider) Schema() *telco.Schema { return p.t.Schema }
 
-func (p memProvider) Scan(hint ScanHint, fn func(telco.Record) error) error {
+func (p memProvider) Scan(ctx context.Context, hint ScanHint, fn func(telco.Record) error) error {
 	tsIdx := p.t.Schema.FieldIndex(telco.AttrTS)
 	for _, r := range p.t.Rows {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if hint.Constrained && tsIdx >= 0 && !r[tsIdx].IsNull() && !hint.Window.Contains(r[tsIdx].Time()) {
 			continue
 		}

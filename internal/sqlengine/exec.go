@@ -1,6 +1,7 @@
 package sqlengine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -46,6 +47,13 @@ func sqlMetrics() (*obs.Counter, *obs.Counter, *obs.Histogram) {
 
 // Query parses and runs one statement.
 func (e *Engine) Query(sql string) (*ResultSet, error) {
+	return e.QueryContext(context.Background(), sql)
+}
+
+// QueryContext parses and runs one statement under ctx: cancellation
+// propagates through the storage scans, so an abandoned client request
+// stops consuming the engine (webui handlers pass r.Context()).
+func (e *Engine) QueryContext(ctx context.Context, sql string) (*ResultSet, error) {
 	queries, errs, sec := sqlMetrics()
 	t0 := time.Now()
 	queries.Inc()
@@ -54,7 +62,7 @@ func (e *Engine) Query(sql string) (*ResultSet, error) {
 		if err != nil {
 			return nil, err
 		}
-		return e.Run(stmt)
+		return e.RunContext(ctx, stmt)
 	}()
 	sec.ObserveSince(t0)
 	if err != nil {
@@ -102,6 +110,11 @@ func (s *scope) width() int {
 
 // Run executes a parsed statement.
 func (e *Engine) Run(stmt *SelectStmt) (*ResultSet, error) {
+	return e.RunContext(context.Background(), stmt)
+}
+
+// RunContext executes a parsed statement under ctx.
+func (e *Engine) RunContext(ctx context.Context, stmt *SelectStmt) (*ResultSet, error) {
 	// Bind FROM and JOIN tables.
 	sc := &scope{}
 	providers := make([]Provider, 0, 1+len(stmt.Joins))
@@ -129,14 +142,14 @@ func (e *Engine) Run(stmt *SelectStmt) (*ResultSet, error) {
 
 	// Resolve uncorrelated IN-subqueries up front.
 	subs := map[*InExpr]map[string]bool{}
-	if err := e.resolveSubqueries(stmt, subs); err != nil {
+	if err := e.resolveSubqueries(ctx, stmt, subs); err != nil {
 		return nil, err
 	}
 
 	ev := &evaluator{scope: sc, subs: subs}
 
 	// Produce the joined row stream.
-	rows, err := e.scanJoin(stmt, sc, providers, ev)
+	rows, err := e.scanJoin(ctx, stmt, sc, providers, ev)
 	if err != nil {
 		return nil, err
 	}
@@ -165,14 +178,14 @@ func (e *Engine) Run(stmt *SelectStmt) (*ResultSet, error) {
 
 // scanJoin scans the FROM table (with ts pushdown) and nested-loop joins
 // the rest (the paper's T4 self-join path).
-func (e *Engine) scanJoin(stmt *SelectStmt, sc *scope, providers []Provider, ev *evaluator) ([][]telco.Value, error) {
+func (e *Engine) scanJoin(ctx context.Context, stmt *SelectStmt, sc *scope, providers []Provider, ev *evaluator) ([][]telco.Value, error) {
 	hint := ScanHint{}
 	if w, ok := extractWindow(stmt.Where, sc.bindings[0].name); ok {
 		hint = ScanHint{Window: w, Constrained: true}
 	}
 	var rows [][]telco.Value
 	base := providers[0]
-	err := base.Scan(hint, func(r telco.Record) error {
+	err := base.Scan(ctx, hint, func(r telco.Record) error {
 		row := make([]telco.Value, len(r), sc.width())
 		copy(row, r)
 		rows = append(rows, row)
@@ -188,7 +201,7 @@ func (e *Engine) scanJoin(stmt *SelectStmt, sc *scope, providers []Provider, ev 
 			jhint = ScanHint{Window: w, Constrained: true}
 		}
 		var right [][]telco.Value
-		err := p.Scan(jhint, func(r telco.Record) error {
+		err := p.Scan(ctx, jhint, func(r telco.Record) error {
 			right = append(right, append([]telco.Value(nil), r...))
 			return nil
 		})
@@ -217,7 +230,7 @@ func (e *Engine) scanJoin(stmt *SelectStmt, sc *scope, providers []Provider, ev 
 
 // resolveSubqueries evaluates every uncorrelated IN (SELECT ...) once and
 // stores its value set.
-func (e *Engine) resolveSubqueries(stmt *SelectStmt, subs map[*InExpr]map[string]bool) error {
+func (e *Engine) resolveSubqueries(ctx context.Context, stmt *SelectStmt, subs map[*InExpr]map[string]bool) error {
 	var visit func(x Expr) error
 	visit = func(x Expr) error {
 		switch v := x.(type) {
@@ -241,7 +254,7 @@ func (e *Engine) resolveSubqueries(stmt *SelectStmt, subs map[*InExpr]map[string
 			if v.Sub == nil {
 				return nil
 			}
-			rs, err := e.Run(v.Sub)
+			rs, err := e.RunContext(ctx, v.Sub)
 			if err != nil {
 				return fmt.Errorf("sql: subquery: %w", err)
 			}

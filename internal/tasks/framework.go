@@ -7,6 +7,7 @@
 package tasks
 
 import (
+	"context"
 	"time"
 
 	"spate/internal/core"
@@ -32,8 +33,11 @@ type Framework interface {
 	Ingest(*snapshot.Snapshot) (IngestStats, error)
 	// Finish seals any open index periods after the trace ends.
 	Finish()
-	// Scan streams the window's records per table.
-	Scan(w telco.TimeRange, tables []string, fn func(string, *telco.Table) error) error
+	// Scan streams the window's records per table. Implementations honor
+	// ctx where their storage layer supports it (SPATE stops between
+	// snapshot decompressions; RAW and SHAHED scans are not interruptible
+	// mid-table).
+	Scan(ctx context.Context, w telco.TimeRange, tables []string, fn func(string, *telco.Table) error) error
 	// Space returns (data bytes, index bytes), logical (pre-replication).
 	Space() (data, index int64)
 }
@@ -72,12 +76,12 @@ var allTime = telco.TimeRange{
 	To:   time.Date(2100, 1, 1, 0, 0, 0, 0, time.UTC),
 }
 
-func (p fwProvider) Scan(hint sqlengine.ScanHint, fn func(telco.Record) error) error {
+func (p fwProvider) Scan(ctx context.Context, hint sqlengine.ScanHint, fn func(telco.Record) error) error {
 	w := allTime
 	if hint.Constrained {
 		w = hint.Window
 	}
-	return p.f.Scan(w, []string{p.name}, func(_ string, tab *telco.Table) error {
+	return p.f.Scan(ctx, w, []string{p.name}, func(_ string, tab *telco.Table) error {
 		for _, r := range tab.Rows {
 			if err := fn(r); err != nil {
 				return err
@@ -105,8 +109,8 @@ func (s Spate) Ingest(sn *snapshot.Snapshot) (IngestStats, error) {
 func (s Spate) Finish() { s.E.FinishIngest() }
 
 // Scan implements Framework.
-func (s Spate) Scan(w telco.TimeRange, tables []string, fn func(string, *telco.Table) error) error {
-	return s.E.ScanTables(w, tables, fn)
+func (s Spate) Scan(ctx context.Context, w telco.TimeRange, tables []string, fn func(string, *telco.Table) error) error {
+	return s.E.ScanTablesContext(ctx, w, tables, fn)
 }
 
 // Space implements Framework.
@@ -132,8 +136,12 @@ func (s Shahed) Ingest(sn *snapshot.Snapshot) (IngestStats, error) {
 // Finish implements Framework.
 func (s Shahed) Finish() { s.S.FinishIngest() }
 
-// Scan implements Framework.
-func (s Shahed) Scan(w telco.TimeRange, tables []string, fn func(string, *telco.Table) error) error {
+// Scan implements Framework. The SHAHED store has no context plumbing;
+// cancellation is checked once up front.
+func (s Shahed) Scan(ctx context.Context, w telco.TimeRange, tables []string, fn func(string, *telco.Table) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	return s.S.Scan(w, tables, fn)
 }
 
@@ -159,8 +167,12 @@ func (r Raw) Ingest(sn *snapshot.Snapshot) (IngestStats, error) {
 // Finish implements Framework.
 func (Raw) Finish() {}
 
-// Scan implements Framework.
-func (r Raw) Scan(w telco.TimeRange, tables []string, fn func(string, *telco.Table) error) error {
+// Scan implements Framework. The RAW store has no context plumbing;
+// cancellation is checked once up front.
+func (r Raw) Scan(ctx context.Context, w telco.TimeRange, tables []string, fn func(string, *telco.Table) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	return r.S.Scan(w, tables, fn)
 }
 

@@ -1,6 +1,7 @@
 package tasks
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -78,7 +79,7 @@ func T4Join(f Framework, w telco.TimeRange) (*sqlengine.ResultSet, error) {
 // k-anonymized version (paper task T5, the ARX role).
 func T5Privacy(f Framework, w telco.TimeRange, k int) (*telco.Table, privacy.Report, error) {
 	var all *telco.Table
-	err := f.Scan(w, []string{"CDR"}, func(_ string, tab *telco.Table) error {
+	err := f.Scan(context.Background(), w, []string{"CDR"}, func(_ string, tab *telco.Table) error {
 		if all == nil {
 			all = telco.NewTable(tab.Schema)
 		}
@@ -101,7 +102,7 @@ func T5Privacy(f Framework, w telco.TimeRange, k int) (*telco.Table, privacy.Rep
 // tasks: duration, upflux, downflux.
 func cdrFeatures(f Framework, w telco.TimeRange) ([][]float64, error) {
 	var rows [][]float64
-	err := f.Scan(w, []string{"CDR"}, func(_ string, tab *telco.Table) error {
+	err := f.Scan(context.Background(), w, []string{"CDR"}, func(_ string, tab *telco.Table) error {
 		di := tab.Schema.FieldIndex(telco.AttrDuration)
 		ui := tab.Schema.FieldIndex(telco.AttrUpflux)
 		wi := tab.Schema.FieldIndex(telco.AttrDownflux)
@@ -118,7 +119,7 @@ func cdrFeatures(f Framework, w telco.TimeRange) ([][]float64, error) {
 // nmsFeatures extracts the NMS feature matrix: drop_calls, call_attempts,
 // rssi_dbm, avg_duration plus the throughput target.
 func nmsFeatures(f Framework, w telco.TimeRange) (xs [][]float64, ys []float64, err error) {
-	err = f.Scan(w, []string{"NMS"}, func(_ string, tab *telco.Table) error {
+	err = f.Scan(context.Background(), w, []string{"NMS"}, func(_ string, tab *telco.Table) error {
 		di := tab.Schema.FieldIndex("drop_calls")
 		ai := tab.Schema.FieldIndex("call_attempts")
 		ri := tab.Schema.FieldIndex("rssi_dbm")

@@ -1,0 +1,157 @@
+// Cluster mode of the SPATE-UI: the same exploration API served by a
+// coordinator scattering Q(a, b, w) over shard nodes instead of one local
+// engine. The JSON surface adds the partial-result contract — a degraded
+// answer carries partial:true plus the missing time-ranges — so clients
+// can render what arrived and show what didn't.
+
+package webui
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"spate/internal/cluster"
+	"spate/internal/core"
+	"spate/internal/gen"
+	"spate/internal/obs"
+	"spate/internal/telco"
+)
+
+// ClusterServer exposes a cluster coordinator over the SPATE-UI HTTP API.
+type ClusterServer struct {
+	coord  *cluster.Coordinator
+	cells  []gen.Cell
+	window telco.TimeRange
+	mux    *http.ServeMux
+
+	obs      *obs.Registry
+	tracer   *obs.Tracer
+	inflight *obs.Gauge
+	handler  http.Handler
+}
+
+// NewClusterServer wraps a coordinator whose nodes are already serving.
+// cells may be nil; window is the trace's span, used as the default
+// exploration window.
+func NewClusterServer(coord *cluster.Coordinator, cells []gen.Cell, window telco.TimeRange) *ClusterServer {
+	s := &ClusterServer{
+		coord:  coord,
+		cells:  cells,
+		window: window,
+		mux:    http.NewServeMux(),
+		obs:    obs.Default,
+		tracer: obs.DefaultTracer,
+	}
+	s.inflight = s.obs.Gauge("spate_http_in_flight_requests", "HTTP requests currently being served.")
+	s.mux.HandleFunc("GET /", s.handleIndex)
+	s.mux.HandleFunc("GET /api/cells", s.handleCells)
+	s.mux.HandleFunc("GET /api/explore", s.handleExplore)
+	s.mux.HandleFunc("GET /api/health", s.handleHealth)
+	s.mux.Handle("GET /metrics", obs.MetricsHandler(s.obs))
+	s.mux.Handle("GET /api/stats", obs.StatsHandler(s.obs))
+	s.mux.Handle("GET /api/trace", obs.TracesHandler(s.tracer))
+	s.handler = metricsMiddleware(s.obs, s.tracer, s.inflight, s.mux)
+	return s
+}
+
+// Handler returns the HTTP handler with the metrics middleware applied.
+func (s *ClusterServer) Handler() http.Handler { return s.handler }
+
+// WindowJSON is one half-open time range on the wire.
+type WindowJSON struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+}
+
+// ClusterExploreJSON is the wire form of a scatter-gathered exploration
+// answer. Partial answers are HTTP 200: the aggregates are correct for the
+// window minus the missing ranges, and the client decides how to degrade.
+type ClusterExploreJSON struct {
+	Rows       int64             `json:"rows"`
+	Decayed    int               `json:"decayed_leaves"`
+	Cells      []ExploreCellJSON `json:"cells"`
+	Highlights []HighlightJSON   `json:"highlights"`
+
+	Partial       bool         `json:"partial"`
+	Missing       []WindowJSON `json:"missing,omitempty"`
+	ShardsQueried int          `json:"shards_queried"`
+	ShardsFailed  int          `json:"shards_failed,omitempty"`
+	HedgeWins     int          `json:"hedge_wins,omitempty"`
+	Retries       int          `json:"retries,omitempty"`
+}
+
+func (s *ClusterServer) handleExplore(w http.ResponseWriter, r *http.Request) {
+	win, err := parseWindowQuery(r, s.window)
+	if err != nil {
+		httpErr(w, http.StatusBadRequest, err)
+		return
+	}
+	q := core.Query{Window: win, Box: parseBoxQuery(r)}
+	res, err := s.coord.Explore(r.Context(), q)
+	if err != nil {
+		httpErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	out := ClusterExploreJSON{
+		Rows:          res.Summary.Rows,
+		Decayed:       res.DecayedLeaves,
+		Cells:         cellsJSON(res.Cells, r.URL.Query().Get("attr")),
+		Highlights:    highlightsJSON(res.Highlights),
+		Partial:       res.Partial,
+		ShardsQueried: res.ShardsQueried,
+		ShardsFailed:  res.ShardsFailed,
+		HedgeWins:     res.HedgeWins,
+		Retries:       res.Retries,
+	}
+	for _, m := range res.Missing {
+		out.Missing = append(out.Missing, WindowJSON{
+			From: m.From.Format(telco.TimeLayout),
+			To:   m.To.Format(telco.TimeLayout),
+		})
+	}
+	writeJSON(w, out)
+}
+
+// NodeHealthJSON is one node's probe result in /api/health.
+type NodeHealthJSON struct {
+	URL   string `json:"url"`
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+}
+
+func (s *ClusterServer) handleHealth(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), 5*time.Second)
+	defer cancel()
+	probes := s.coord.Health(ctx)
+	out := make([]NodeHealthJSON, 0, len(probes))
+	for url, err := range probes {
+		h := NodeHealthJSON{URL: url, OK: err == nil}
+		if err != nil {
+			h.Error = err.Error()
+		}
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].URL < out[j].URL })
+	writeJSON(w, out)
+}
+
+func (s *ClusterServer) handleCells(w http.ResponseWriter, _ *http.Request) {
+	out := make([]CellJSON, 0, len(s.cells))
+	for _, c := range s.cells {
+		out = append(out, CellJSON{ID: c.ID, X: c.Pt.X, Y: c.Pt.Y, Tech: c.Tech})
+	}
+	writeJSON(w, out)
+}
+
+func (s *ClusterServer) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprintf(w, indexHTML,
+		s.window.From.Format(telco.TimeLayout), s.window.To.Format(telco.TimeLayout))
+}

@@ -78,7 +78,8 @@ func endpointLabel(path string) string {
 	case "/":
 		return "index"
 	case "/metrics", "/api/stats", "/api/trace", "/api/cells", "/api/explore",
-		"/api/sql", "/api/space", "/api/template", "/api/playback", "/api/tree":
+		"/api/sql", "/api/space", "/api/template", "/api/playback", "/api/tree",
+		"/api/health":
 		return path
 	}
 	if strings.HasPrefix(path, "/debug/pprof") {
@@ -102,19 +103,25 @@ func (sr *statusRecorder) WriteHeader(code int) {
 // in-flight gauge, and roots a trace span so engine spans nest under the
 // HTTP request in /api/trace.
 func (s *Server) middleware(next http.Handler) http.Handler {
+	return metricsMiddleware(s.obs, s.tracer, s.inflight, next)
+}
+
+// metricsMiddleware is the shared request-accounting wrapper of the
+// single-engine and cluster servers.
+func metricsMiddleware(reg *obs.Registry, tracer *obs.Tracer, inflight *obs.Gauge, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		t0 := time.Now()
-		s.inflight.Add(1)
-		defer s.inflight.Add(-1)
+		inflight.Add(1)
+		defer inflight.Add(-1)
 		ep := endpointLabel(r.URL.Path)
-		ctx, span := s.tracer.StartSpan(r.Context(), "http "+ep)
+		ctx, span := tracer.StartSpan(r.Context(), "http "+ep)
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 		next.ServeHTTP(rec, r.WithContext(ctx))
 		span.End()
-		s.obs.Counter("spate_http_requests_total",
+		reg.Counter("spate_http_requests_total",
 			"HTTP requests served by endpoint and status code.",
 			"endpoint", ep, "code", strconv.Itoa(rec.code)).Inc()
-		s.obs.Histogram("spate_http_request_seconds",
+		reg.Histogram("spate_http_request_seconds",
 			"HTTP request latency by endpoint.", nil,
 			"endpoint", ep).ObserveSince(t0)
 	})
@@ -195,7 +202,11 @@ func (s *Server) handleCells(w http.ResponseWriter, _ *http.Request) {
 // parseWindow reads from/to params as (possibly truncated) wire-layout
 // timestamps; absent params default to the trace span.
 func (s *Server) parseWindow(r *http.Request) (telco.TimeRange, error) {
-	from, to := s.window.From, s.window.To
+	return parseWindowQuery(r, s.window)
+}
+
+func parseWindowQuery(r *http.Request, def telco.TimeRange) (telco.TimeRange, error) {
+	from, to := def.From, def.To
 	parse := func(v string) (time.Time, error) {
 		if len(v) > len(telco.TimeLayout) || len(v) < 4 {
 			return time.Time{}, fmt.Errorf("bad timestamp %q", v)
@@ -250,13 +261,9 @@ type HighlightJSON struct {
 	Peak  float64 `json:"peak,omitempty"`
 }
 
-func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
-	win, err := s.parseWindow(r)
-	if err != nil {
-		httpErr(w, http.StatusBadRequest, err)
-		return
-	}
-	q := core.Query{Window: win}
+// parseBoxQuery reads the minx/miny/maxx/maxy params; absent minx leaves
+// the zero box ("everywhere").
+func parseBoxQuery(r *http.Request) geo.Rect {
 	get := func(k string) (float64, bool) {
 		var f float64
 		if _, err := fmt.Sscanf(r.URL.Query().Get(k), "%g", &f); err == nil {
@@ -268,8 +275,18 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 		y1, _ := get("miny")
 		x2, _ := get("maxx")
 		y2, _ := get("maxy")
-		q.Box = geo.NewRect(x1, y1, x2, y2)
+		return geo.NewRect(x1, y1, x2, y2)
 	}
+	return geo.Rect{}
+}
+
+func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
+	win, err := s.parseWindow(r)
+	if err != nil {
+		httpErr(w, http.StatusBadRequest, err)
+		return
+	}
+	q := core.Query{Window: win, Box: parseBoxQuery(r)}
 	res, err := s.eng.ExploreContext(r.Context(), q)
 	if err != nil {
 		httpErr(w, http.StatusInternalServerError, err)
@@ -286,7 +303,14 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 		}
 		out.Stages[st.Name] = float64(st.Duration) / float64(time.Millisecond)
 	}
-	for _, cs := range res.Cells {
+	out.Cells = cellsJSON(res.Cells, attr)
+	out.Highlights = highlightsJSON(res.Highlights)
+	writeJSON(w, out)
+}
+
+func cellsJSON(cells []core.CellSeries, attr string) []ExploreCellJSON {
+	var out []ExploreCellJSON
+	for _, cs := range cells {
 		cj := ExploreCellJSON{ID: cs.CellID, X: cs.Loc.X, Y: cs.Loc.Y, Rows: cs.Rows}
 		for ref, st := range cs.Attr {
 			if attr == "" || ref.String() == attr {
@@ -296,18 +320,23 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 				}
 			}
 		}
-		out.Cells = append(out.Cells, cj)
+		out = append(out, cj)
 	}
-	for _, h := range res.Highlights {
+	return out
+}
+
+func highlightsJSON(hs []highlights.Highlight) []HighlightJSON {
+	var out []HighlightJSON
+	for _, h := range hs {
 		hj := HighlightJSON{Attr: h.Attr.String(), Value: h.Value, Freq: h.Frequency, Peak: h.PeakValue}
 		if h.Kind == highlights.Categorical {
 			hj.Kind = "categorical"
 		} else {
 			hj.Kind = "peak"
 		}
-		out.Highlights = append(out.Highlights, hj)
+		out = append(out, hj)
 	}
-	writeJSON(w, out)
+	return out
 }
 
 func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
@@ -316,7 +345,7 @@ func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
 		httpErr(w, http.StatusBadRequest, fmt.Errorf("missing q parameter"))
 		return
 	}
-	rs, err := s.sql.Query(q)
+	rs, err := s.sql.QueryContext(r.Context(), q)
 	if err != nil {
 		httpErr(w, http.StatusBadRequest, err)
 		return

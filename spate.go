@@ -27,6 +27,7 @@ package spate
 import (
 	"io"
 
+	"spate/internal/cluster"
 	"spate/internal/compress"
 	_ "spate/internal/compress/all" // register every codec
 	"spate/internal/compute"
@@ -145,6 +146,51 @@ const (
 
 // EpochDuration is the ingestion cycle length (30 minutes).
 const EpochDuration = telco.EpochDuration
+
+// --- multi-node sharding (internal/cluster) ---
+
+// Coordinator fronts a sharded multi-node SPATE deployment: it routes
+// ingests to the replica group owning each epoch and scatters exploration
+// queries across shards, gathering mergeable summary parts with per-shard
+// deadlines, bounded retries and hedged replica reads. Shards that stay
+// unreachable degrade the answer (ClusterResult.Partial + Missing) instead
+// of failing it.
+type Coordinator = cluster.Coordinator
+
+// ShardConfig parameterizes a sharded deployment's topology and the
+// coordinator's retry/hedging/deadline policies.
+type ShardConfig = cluster.Config
+
+// ShardMap assigns epochs to time shards (block round-robin) and cells to
+// spatial bands.
+type ShardMap = cluster.ShardMap
+
+// ClusterNode serves one shard engine over the cluster RPC surface
+// (/rpc/ingest, /rpc/explore, /rpc/finish, /rpc/health).
+type ClusterNode = cluster.Node
+
+// ClusterResult is a scatter-gathered exploration answer, including the
+// partial-failure contract.
+type ClusterResult = cluster.Result
+
+// LocalCluster is an in-process multi-node cluster (loopback HTTP), for
+// tests and the spate-server -cluster mode.
+type LocalCluster = cluster.Local
+
+// LocalClusterOptions tunes an in-process cluster.
+type LocalClusterOptions = cluster.LocalOptions
+
+// Re-exported cluster constructors.
+var (
+	// NewCoordinator wires a coordinator over slot-major node URL groups.
+	NewCoordinator = cluster.NewCoordinator
+	// NewShardMap derives the partitioning function of a shard config.
+	NewShardMap = cluster.NewShardMap
+	// NewClusterNode wraps an engine with the cluster RPC surface.
+	NewClusterNode = cluster.NewNode
+	// StartLocalCluster boots a full cluster in-process.
+	StartLocalCluster = cluster.StartLocal
+)
 
 // --- SPATE-SQL (declarative exploration, paper §VI-B) ---
 
