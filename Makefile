@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench fmt check
+.PHONY: all build test race vet bench bench-json fmt lint check
 
 all: build
 
@@ -23,8 +23,20 @@ vet:
 bench:
 	$(GO) test -bench . -benchtime 10x -run XXX ./...
 
+# Machine-readable report for the exploration benchmarks: ns/op, leaf bytes
+# inflated per op and the chunk-cache hit rate land in BENCH_segment.json.
+bench-json:
+	$(GO) test -bench Explore -benchtime 5x -run XXX ./internal/core/ ./internal/cluster/ \
+		| $(GO) run ./cmd/benchjson -o BENCH_segment.json
+
 fmt:
 	gofmt -l -w .
+
+# Fails on unformatted files, then vets. CI runs this before the build.
+lint:
+	@unformatted="$$(gofmt -l .)"; \
+	if [ -n "$$unformatted" ]; then echo "gofmt needed:"; echo "$$unformatted"; exit 1; fi
+	$(GO) vet ./...
 
 # Everything the CI gate runs.
 check: build vet test

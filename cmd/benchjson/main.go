@@ -1,0 +1,104 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// JSON report. It reads benchmark output on stdin, echoes every line so the
+// console still shows progress, and writes one JSON document mapping each
+// benchmark to its iteration count and metric set (ns/op, B/op, plus any
+// custom b.ReportMetric units such as inflatedB/op and cache-hit-rate).
+//
+// Usage:
+//
+//	go test -bench Explore -run XXX ./internal/core/ | benchjson -o BENCH_segment.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	out := flag.String("o", "BENCH_segment.json", "output JSON file")
+	flag.Parse()
+
+	var results []result
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		if r, ok := parseLine(line); ok {
+			results = append(results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	if len(results) == 0 {
+		log.Fatal("no benchmark result lines on stdin")
+	}
+
+	doc := struct {
+		Benchmarks []result `json:"benchmarks"`
+	}{results}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %d benchmarks to %s", len(results), *out)
+}
+
+// parseLine decodes one benchmark result line of the form
+//
+//	BenchmarkName/sub-8   10   12345 ns/op   67 inflatedB/op   0.95 cache-hit-rate
+//
+// Non-result lines (headers, PASS, package summaries) report ok=false.
+func parseLine(line string) (result, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return result{}, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	r := result{Name: trimProcSuffix(fields[0]), Iterations: iters, Metrics: make(map[string]float64)}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return result{}, false
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	return r, true
+}
+
+// trimProcSuffix drops the trailing -GOMAXPROCS decoration from a benchmark
+// name, so reports compare across machines.
+func trimProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

@@ -73,6 +73,8 @@ func run() int {
 		scale     = flag.Float64("scale", 0.01, "synthesized trace scale")
 		days      = flag.Int("days", 1, "synthesized trace length in days")
 		withPprof = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
+		chunkSize = flag.Int("chunk-size", 0,
+			"target uncompressed bytes per leaf segment chunk (0 = 256 KiB default; negative = legacy whole-blob leaves)")
 
 		clusterMode = flag.Bool("cluster", false, "run an in-process sharded cluster behind the coordinator UI")
 		shards      = flag.Int("shards", 4, "cluster: number of time shards")
@@ -175,7 +177,9 @@ func run() int {
 		handler = webui.NewClusterServer(coord, cells, window).Handler()
 
 	case *clusterMode:
-		local, err := cluster.StartLocal(ccfg, cellTable, cluster.LocalOptions{})
+		local, err := cluster.StartLocal(ccfg, cellTable, cluster.LocalOptions{
+			Engine: core.Options{ChunkSize: *chunkSize},
+		})
 		if err != nil {
 			log.Print(err)
 			return 1
@@ -209,7 +213,7 @@ func run() int {
 			log.Print(err)
 			return 1
 		}
-		eng, err := core.Open(fs, cellTable, core.Options{})
+		eng, err := core.Open(fs, cellTable, core.Options{ChunkSize: *chunkSize})
 		if err != nil {
 			log.Print(err)
 			return 1

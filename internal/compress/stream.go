@@ -17,7 +17,8 @@ import (
 // Writers buffer up to ChunkSize bytes before compressing a chunk, so
 // arbitrarily large snapshots stream through bounded memory.
 
-// ChunkSize is the uncompressed chunk granularity of stream writers.
+// ChunkSize is the default uncompressed chunk granularity of stream
+// writers.
 const ChunkSize = 1 << 20
 
 // maxChunk bounds a single compressed chunk a reader will accept.
@@ -27,6 +28,7 @@ const maxChunk = 16 << 20
 type StreamWriter struct {
 	c      Codec
 	w      *bufio.Writer
+	size   int
 	buf    []byte
 	comp   []byte
 	closed bool
@@ -36,7 +38,18 @@ type StreamWriter struct {
 // Close flushes the final chunk and the end-of-stream marker; it does not
 // close the underlying writer.
 func NewStreamWriter(c Codec, w io.Writer) *StreamWriter {
-	return &StreamWriter{c: c, w: bufio.NewWriterSize(w, 64<<10)}
+	return NewStreamWriterSize(c, w, ChunkSize)
+}
+
+// NewStreamWriterSize is NewStreamWriter with an explicit uncompressed
+// chunk granularity — the segment leaf format uses small chunks so readers
+// can prune and decode them independently. A non-positive size falls back
+// to ChunkSize.
+func NewStreamWriterSize(c Codec, w io.Writer, chunkSize int) *StreamWriter {
+	if chunkSize <= 0 {
+		chunkSize = ChunkSize
+	}
+	return &StreamWriter{c: c, w: bufio.NewWriterSize(w, 64<<10), size: chunkSize}
 }
 
 // Write implements io.Writer.
@@ -46,13 +59,13 @@ func (s *StreamWriter) Write(p []byte) (int, error) {
 	}
 	n := len(p)
 	for len(p) > 0 {
-		room := ChunkSize - len(s.buf)
+		room := s.size - len(s.buf)
 		if room > len(p) {
 			room = len(p)
 		}
 		s.buf = append(s.buf, p[:room]...)
 		p = p[room:]
-		if len(s.buf) == ChunkSize {
+		if len(s.buf) == s.size {
 			if err := s.flushChunk(); err != nil {
 				return n - len(p), err
 			}

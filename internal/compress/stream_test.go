@@ -124,6 +124,73 @@ func TestStreamRandomPayload(t *testing.T) {
 	}
 }
 
+// TestStreamChunkSizes drives every codec through adversarial chunk
+// granularities: a 1-byte chunk degenerates to per-byte compression, prime
+// sizes never align with write boundaries, and a chunk larger than the
+// payload exercises the single-flush path. The segment leaf format feeds
+// these adapters with arbitrary chunk sizes, so all of them must round-trip.
+func TestStreamChunkSizes(t *testing.T) {
+	payload := []byte(strings.Repeat("cdr|20160104093000|4711|OK|17.25\n", 700)) // ~22 KB
+	for _, c := range allCodecs(t) {
+		c := c
+		t.Run(c.Name(), func(t *testing.T) {
+			for _, size := range []int{1, 7, 13, 127, 4093, len(payload) + 1, 1 << 20} {
+				var buf bytes.Buffer
+				w := compress.NewStreamWriterSize(c, &buf, size)
+				// Awkward write sizes so chunk boundaries fall mid-write.
+				for off := 0; off < len(payload); {
+					n := 997
+					if off+n > len(payload) {
+						n = len(payload) - off
+					}
+					if _, err := w.Write(payload[off : off+n]); err != nil {
+						t.Fatalf("size=%d: %v", size, err)
+					}
+					off += n
+				}
+				if err := w.Close(); err != nil {
+					t.Fatalf("size=%d: %v", size, err)
+				}
+				got, err := io.ReadAll(compress.NewStreamReader(c, &buf))
+				if err != nil {
+					t.Fatalf("size=%d: %v", size, err)
+				}
+				if !bytes.Equal(got, payload) {
+					t.Fatalf("size=%d: round trip mismatch (%d vs %d bytes)", size, len(got), len(payload))
+				}
+			}
+		})
+	}
+}
+
+// TestStreamTruncationAllCodecs cuts encoded streams at every interesting
+// point — mid-header, mid-chunk, and just before the terminator — and
+// requires the reader to fail (or at least not claim a full decode) for
+// every codec. The segment reader depends on this to surface torn chunks.
+func TestStreamTruncationAllCodecs(t *testing.T) {
+	payload := []byte(strings.Repeat("truncated telco stream line|99|FAIL\n", 4000))
+	for _, c := range allCodecs(t) {
+		c := c
+		t.Run(c.Name(), func(t *testing.T) {
+			var buf bytes.Buffer
+			w := compress.NewStreamWriterSize(c, &buf, 16<<10)
+			if _, err := w.Write(payload); err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+			enc := buf.Bytes()
+			for _, cut := range []int{0, 1, 2, len(enc) / 3, len(enc) / 2, len(enc) - 2, len(enc) - 1} {
+				got, err := io.ReadAll(compress.NewStreamReader(c, bytes.NewReader(enc[:cut])))
+				if err == nil && bytes.Equal(got, payload) {
+					t.Errorf("cut=%d: truncated stream decoded fully without error", cut)
+				}
+			}
+		})
+	}
+}
+
 func mustCodec(t *testing.T, name string) compress.Codec {
 	t.Helper()
 	c, err := compress.Lookup(name)

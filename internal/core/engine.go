@@ -23,6 +23,7 @@ import (
 	"spate/internal/highlights"
 	"spate/internal/index"
 	"spate/internal/obs"
+	"spate/internal/segment"
 	"spate/internal/snapshot"
 	"spate/internal/telco"
 )
@@ -57,6 +58,15 @@ type Options struct {
 	TrainAfter int
 	// CacheSize bounds the query result cache (default 128 entries).
 	CacheSize int
+	// ChunkSize is the target uncompressed bytes per leaf segment chunk
+	// (default segment.DefaultChunkSize). A negative value writes legacy
+	// whole-blob leaves instead of segments — the pre-segment format kept
+	// for equivalence tests and downgrade compatibility; both formats are
+	// always readable.
+	ChunkSize int
+	// ChunkCacheBytes bounds the in-memory cache of inflated leaf chunks
+	// (default 64 MiB). A negative value disables the cache.
+	ChunkCacheBytes int64
 	// CellIndex selects the spatial index over the cell inventory:
 	// "quadtree" (default) or "rtree" — the two variants §V-A names.
 	CellIndex string
@@ -92,6 +102,12 @@ func (o Options) withDefaults() (Options, error) {
 	}
 	if o.CacheSize <= 0 {
 		o.CacheSize = 128
+	}
+	if o.ChunkSize == 0 {
+		o.ChunkSize = segment.DefaultChunkSize
+	}
+	if o.ChunkCacheBytes == 0 {
+		o.ChunkCacheBytes = 64 << 20
 	}
 	if o.Obs == nil {
 		o.Obs = obs.Default
@@ -136,6 +152,10 @@ type Engine struct {
 
 	cache *resultCache
 
+	// chunkCache holds inflated leaf chunks across queries, bounded by
+	// bytes; see Options.ChunkCacheBytes.
+	chunkCache *segment.Cache
+
 	// met holds the engine's pre-resolved obs series and tracer.
 	met *engineMetrics
 
@@ -154,12 +174,13 @@ func Open(fs *dfs.Cluster, cellTable *telco.Table, opts Options) (*Engine, error
 	}
 	opts.Codec = compress.Instrument(opts.Codec, opts.Obs)
 	e := &Engine{
-		opts:  opts,
-		fs:    fs,
-		tree:  index.New(),
-		cells: make(map[int64]geo.Point),
-		cache: newResultCache(opts.CacheSize),
-		met:   newEngineMetrics(opts.Obs, opts.Tracer),
+		opts:       opts,
+		fs:         fs,
+		tree:       index.New(),
+		cells:      make(map[int64]geo.Point),
+		cache:      newResultCache(opts.CacheSize),
+		chunkCache: segment.NewCache(opts.ChunkCacheBytes, opts.Obs),
+		met:        newEngineMetrics(opts.Obs, opts.Tracer),
 	}
 	bounds := geo.NewRect(0, 0, 1, 1)
 	first := true
@@ -292,7 +313,9 @@ type IngestReport struct {
 // Ingest runs the storage layer (compress + DFS write) and the Incremence
 // module for one arriving snapshot, computing highlight summaries for any
 // day/month/year that the arrival completes and then running the decay
-// fungus.
+// fungus. Snapshot tables are re-clustered by record timestamp in place
+// before encoding, so stored leaves carry time-ordered rows — the property
+// segment chunk zone maps prune by.
 func (e *Engine) Ingest(s *snapshot.Snapshot) (IngestReport, error) {
 	return e.IngestContext(context.Background(), s)
 }
@@ -335,30 +358,39 @@ func (e *Engine) IngestContext(ctx context.Context, s *snapshot.Snapshot) (rep I
 		return rep, fmt.Errorf("core: epoch %v arrives out of order (last %v)", s.Epoch, last)
 	}
 
-	// Storage layer: encode + compress + replicate each table.
+	// Storage layer: every table encodes and compresses in its own worker
+	// (wire-text rendering and chunk compression dominate ingest time and
+	// are independent across tables), then the replicated DFS writes and
+	// the highlight fold run serially in name order so reports, stage
+	// accounting and summaries stay deterministic.
 	refs := make(map[string]string)
-	var leafSummary *highlights.Summary
 	period := telco.TimeRange{From: s.Epoch.Start(), To: s.Epoch.End()}
-	leafSummary = highlights.NewSummary(period)
+	leafSummary := highlights.NewSummary(period)
 	tCompress := time.Now()
-	for _, name := range s.TableNames() {
-		t0 := time.Now()
-		text, encErr := s.EncodeTable(name)
-		sr.add(StageEncode, time.Since(t0).Nanoseconds())
-		if encErr != nil {
-			return rep, fmt.Errorf("core: encode %s: %w", name, encErr)
+	names := s.TableNames()
+	encoded := make([]encodedLeaf, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			encoded[i] = e.encodeLeafTable(s, name)
+		}(i, name)
+	}
+	wg.Wait()
+	for i, name := range names {
+		enc := &encoded[i]
+		sr.add(StageEncode, enc.encodeNS)
+		sr.add(StageTrain, enc.trainNS)
+		sr.add(StageCompress, enc.compressNS)
+		if enc.err != nil {
+			return rep, fmt.Errorf("core: encode %s: %w", name, enc.err)
 		}
-		rep.RawBytes += int64(len(text))
-		t0 = time.Now()
-		e.maybeTrain(text)
-		sr.add(StageTrain, time.Since(t0).Nanoseconds())
-		t0 = time.Now()
-		comp := e.codec().Compress(nil, text)
-		sr.add(StageCompress, time.Since(t0).Nanoseconds())
-		rep.CompBytes += int64(len(comp))
+		rep.RawBytes += enc.raw
+		rep.CompBytes += int64(len(enc.data))
 		path := snapshot.DataPath(s.Epoch, name)
-		t0 = time.Now()
-		werr := e.fs.WriteFile(path, comp)
+		t0 := time.Now()
+		werr := e.fs.WriteFile(path, enc.data)
 		sr.add(StageDFSWrite, time.Since(t0).Nanoseconds())
 		if werr != nil {
 			return rep, fmt.Errorf("core: store %s: %w", name, werr)
@@ -515,7 +547,11 @@ func (e *Engine) maybeTrain(text []byte) {
 // uncached response times; normal operation never needs it).
 func (e *Engine) ClearCache() { e.cache.clear() }
 
-// Decay plans and applies the data fungus at the given instant.
+// Decay plans and applies the data fungus at the given instant. Cache
+// damage is targeted: deleted leaf files drop their inflated chunks from
+// the chunk cache by path prefix, and only cached results whose served
+// period intersects a decayed node's period are invalidated — a cached
+// query over a disjoint window keeps serving hits through decay runs.
 func (e *Engine) Decay(now time.Time) (decay.Result, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -523,7 +559,15 @@ func (e *Engine) Decay(now time.Time) (decay.Result, error) {
 	if len(evs) == 0 {
 		return decay.Result{}, nil
 	}
-	res, err := decay.Apply(e.tree, evs, e.fs.Delete)
+	stale := make([]telco.TimeRange, len(evs))
+	for i, ev := range evs {
+		stale[i] = ev.Node.Period
+	}
+	del := func(path string) error {
+		e.chunkCache.InvalidatePrefix(path + "#")
+		return e.fs.Delete(path)
+	}
+	res, err := decay.Apply(e.tree, evs, del)
 	if err != nil {
 		return res, fmt.Errorf("core: decay: %w", err)
 	}
@@ -538,7 +582,7 @@ func (e *Engine) Decay(now time.Time) (decay.Result, error) {
 			return res, err
 		}
 	}
-	e.cache.clear()
+	e.cache.invalidate(stale)
 	return res, nil
 }
 

@@ -55,6 +55,9 @@ type engineMetrics struct {
 	cacheMisses   *obs.Counter
 	scannedLeaves *obs.Counter
 	prunedLeaves  *obs.Counter
+	chunksScanned *obs.Counter
+	chunksPruned  *obs.Counter
+	leafBytes     *obs.Counter
 	decayRuns     *obs.Counter
 	decayLeaves   *obs.Counter
 	decayPruned   *obs.Counter
@@ -79,6 +82,9 @@ func newEngineMetrics(r *obs.Registry, t *obs.Tracer) *engineMetrics {
 		cacheMisses:   r.Counter("spate_explore_cache_misses_total", "Explorations that missed the result cache."),
 		scannedLeaves: r.Counter("spate_explore_scanned_leaves_total", "Snapshots decompressed during exploration."),
 		prunedLeaves:  r.Counter("spate_explore_pruned_leaves_total", "Snapshots skipped by leaf spatial pruning."),
+		chunksScanned: r.Counter("spate_explore_scanned_chunks_total", "Leaf chunks decompressed during scans."),
+		chunksPruned:  r.Counter("spate_explore_pruned_chunks_total", "Leaf chunks skipped through segment zone maps."),
+		leafBytes:     r.Counter("spate_leaf_decompressed_bytes_total", "Leaf bytes inflated from the DFS (chunk-cache misses only)."),
 		decayRuns:     r.Counter("spate_decay_runs_total", "Decay runs that evicted at least one entry."),
 		decayLeaves:   r.Counter("spate_decay_leaves_total", "Leaves whose raw data the fungus evicted."),
 		decayPruned:   r.Counter("spate_decay_pruned_nodes_total", "Index nodes pruned into coarser summaries."),

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"spate/internal/compress"
+	"spate/internal/segment"
+	"spate/internal/snapshot"
+	"spate/internal/telco"
+)
+
+// This file is the engine's leaf I/O layer: the write path that renders a
+// snapshot table into its on-disk leaf form (a chunked segment, or a legacy
+// whole-blob when Options.ChunkSize is negative), and the read path that
+// streams a stored leaf back out, pruning segment chunks by window and cell
+// candidates before paying for decompression. Both formats flow through the
+// same scan entry point so recovery, queries, SQL scans and the cluster RPC
+// handlers never care which one a file carries.
+
+// encBufPool recycles wire-text accumulation buffers across the per-table
+// encode workers — two tables per epoch forever would otherwise churn the
+// allocator with multi-megabyte buffers.
+var encBufPool = sync.Pool{
+	New: func() any { return new(bytes.Buffer) },
+}
+
+// encodedLeaf is one table rendered to its on-disk leaf form by an encode
+// worker, with the per-stage wall times the ingest report folds in.
+type encodedLeaf struct {
+	data []byte // segment, or legacy compressed blob
+	raw  int64  // uncompressed wire-text bytes
+
+	encodeNS   int64
+	trainNS    int64
+	compressNS int64
+
+	err error
+}
+
+// encodeLeafTable renders one snapshot table into its leaf bytes. It is
+// the body of an ingest encode worker and touches no engine state beyond
+// maybeTrain (self-locking) and the codec read.
+func (e *Engine) encodeLeafTable(s *snapshot.Snapshot, name string) encodedLeaf {
+	var out encodedLeaf
+	tab := s.Table(name)
+	if tab == nil {
+		out.err = fmt.Errorf("no table %q", name)
+		return out
+	}
+
+	// Cluster rows by timestamp before rendering: records do not arrive
+	// time-ordered within an epoch, and chunk zone maps only prune when
+	// each chunk covers a narrow slice of the epoch's half hour. The sort
+	// is stable and in place, so the in-memory table (summary folds), the
+	// wire text and the stored leaf all agree on one canonical order —
+	// legacy whole-blob writes share it, keeping both formats
+	// row-for-row identical.
+	t0 := time.Now()
+	tsIdx := tab.Schema.FieldIndex(telco.AttrTS)
+	cellIdx := tab.Schema.FieldIndex(telco.AttrCellID)
+	if tsIdx >= 0 {
+		sort.SliceStable(tab.Rows, func(i, j int) bool {
+			a, b := tab.Rows[i][tsIdx], tab.Rows[j][tsIdx]
+			if a.IsNull() || b.IsNull() {
+				return false
+			}
+			return a.Time().Before(b.Time())
+		})
+	}
+
+	// Wire-text render, remembering each row's end offset and pruning
+	// metadata so the segment writer can re-walk the text row by row.
+	buf := encBufPool.Get().(*bytes.Buffer)
+	defer func() {
+		buf.Reset()
+		encBufPool.Put(buf)
+	}()
+	buf.Reset()
+	ends := make([]int, len(tab.Rows))
+	metas := make([]segment.RowMeta, len(tab.Rows))
+	var lb strings.Builder
+	for i, r := range tab.Rows {
+		lb.Reset()
+		r.EncodeLine(&lb)
+		lb.WriteByte('\n')
+		buf.WriteString(lb.String())
+		ends[i] = buf.Len()
+		var m segment.RowMeta
+		if tsIdx >= 0 && !r[tsIdx].IsNull() {
+			m.TS, m.HasTS = r[tsIdx].Time().UnixNano(), true
+		}
+		if cellIdx >= 0 {
+			// Null cells hash as id 0 — the same value the row filters
+			// compare against — so the sketch stays free of false negatives.
+			m.Cell, m.HasCell = r[cellIdx].Int64(), true
+		}
+		metas[i] = m
+	}
+	out.raw = int64(buf.Len())
+	out.encodeNS = time.Since(t0).Nanoseconds()
+
+	t0 = time.Now()
+	e.maybeTrain(buf.Bytes())
+	out.trainNS = time.Since(t0).Nanoseconds()
+
+	t0 = time.Now()
+	c := e.codec()
+	if e.opts.ChunkSize < 0 {
+		// Legacy whole-blob leaf: one compressed run of the wire text.
+		out.data = c.Compress(nil, buf.Bytes())
+	} else {
+		w := segment.NewWriter(c, e.opts.ChunkSize)
+		text := buf.Bytes()
+		start := 0
+		for i := range tab.Rows {
+			if err := w.AppendRow(text[start:ends[i]], metas[i]); err != nil {
+				out.err = err
+				return out
+			}
+			start = ends[i]
+		}
+		data, _, err := w.Finish()
+		if err != nil {
+			out.err = err
+			return out
+		}
+		out.data = data
+	}
+	out.compressNS = time.Since(t0).Nanoseconds()
+	return out
+}
+
+// maxPruneCells caps the cell candidate list handed to chunk sketches: a
+// box covering more cells than this probes the bloom filter so often that
+// scanning the chunk is cheaper, so spatial chunk pruning switches off and
+// the per-row filter alone applies.
+const maxPruneCells = 512
+
+// leafPrune carries a scan's chunk-level predicates. The zero value prunes
+// nothing (every chunk decompresses), which is what summary rebuilds need.
+type leafPrune struct {
+	// window skips chunks whose [MinTS, MaxTS] cannot intersect it; nil
+	// applies no temporal pruning.
+	window *telco.TimeRange
+	// spatial marks an active box filter; cells lists the candidate cell
+	// ids inside the box (possibly none — then only chunks holding rows
+	// without cell ids survive).
+	spatial bool
+	cells   []int64
+}
+
+// skip reports whether a chunk provably holds no row the scan's per-row
+// filters would keep. It is conservative: metadata-less rows defeat it.
+func (pr leafPrune) skip(ch segment.Chunk) bool {
+	if pr.window != nil && !ch.OverlapsWindow(*pr.window) {
+		return true
+	}
+	if pr.spatial {
+		if len(pr.cells) == 0 {
+			return !ch.HasCellGaps()
+		}
+		return !ch.MayContainAnyCell(pr.cells)
+	}
+	return false
+}
+
+// chunkCacheKey names one inflated chunk in the leaf cache; decay
+// invalidates by the "<ref>#" prefix.
+func chunkCacheKey(ref string, i int) string {
+	return ref + "#" + strconv.Itoa(i)
+}
+
+// legacyCacheSuffix keys a legacy whole-blob leaf's inflated text under the
+// same "<ref>#" prefix segment chunks use, so prefix invalidation covers
+// both formats.
+const legacyCacheSuffix = "#blob"
+
+// scanLeafTable streams one stored leaf table through fn. Segment files
+// are pruned chunk by chunk — only surviving chunks are fetched (ranged),
+// inflated and parsed, and fn runs once per chunk in row order; legacy
+// whole-blob leaves decompress in full and fn runs once. Inflated text is
+// served from and installed into the engine's chunk cache. The returned
+// counts cover segment chunks (a legacy blob counts as one scanned chunk).
+func (e *Engine) scanLeafTable(name, ref string, c compress.Codec, pr leafPrune, fn func(*telco.Table) error) (scanned, pruned int, err error) {
+	defer func() {
+		e.met.chunksScanned.Add(int64(scanned))
+		e.met.chunksPruned.Add(int64(pruned))
+	}()
+	f, err := e.fs.Open(ref)
+	if err != nil {
+		return 0, 0, fmt.Errorf("core: open %s: %w", ref, err)
+	}
+	if !segment.IsSegment(f, f.Size()) {
+		// Legacy whole-blob leaf: no chunk metadata exists, so the whole
+		// table inflates regardless of the scan's predicates.
+		text, ok := e.chunkCache.Get(ref + legacyCacheSuffix)
+		if !ok {
+			comp, err := e.fs.ReadFile(ref)
+			if err != nil {
+				return 0, 0, fmt.Errorf("core: read %s: %w", ref, err)
+			}
+			text, err = c.Decompress(nil, comp)
+			if err != nil {
+				return 0, 0, fmt.Errorf("core: decompress %s: %w", ref, err)
+			}
+			e.met.leafBytes.Add(int64(len(text)))
+			e.chunkCache.Put(ref+legacyCacheSuffix, text)
+		}
+		tab, err := snapshot.DecodeTable(name, text)
+		if err != nil {
+			return 0, 0, fmt.Errorf("core: decode %s: %w", ref, err)
+		}
+		return 1, 0, fn(tab)
+	}
+	r, err := segment.Open(f, f.Size(), c)
+	if err != nil {
+		return 0, 0, fmt.Errorf("core: open segment %s: %w", ref, err)
+	}
+	for i, ch := range r.Chunks() {
+		if pr.skip(ch) {
+			pruned++
+			continue
+		}
+		key := chunkCacheKey(ref, i)
+		text, ok := e.chunkCache.Get(key)
+		if !ok {
+			text, err = r.ChunkData(i)
+			if err != nil {
+				return scanned, pruned, fmt.Errorf("core: read %s: %w", ref, err)
+			}
+			e.met.leafBytes.Add(int64(len(text)))
+			e.chunkCache.Put(key, text)
+		}
+		tab, err := snapshot.DecodeTable(name, text)
+		if err != nil {
+			return scanned, pruned, fmt.Errorf("core: decode %s: %w", ref, err)
+		}
+		scanned++
+		if err := fn(tab); err != nil {
+			return scanned, pruned, err
+		}
+	}
+	return scanned, pruned, nil
+}

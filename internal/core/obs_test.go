@@ -31,15 +31,17 @@ func TestIngestReportStages(t *testing.T) {
 				t.Errorf("epoch %d: missing stage %q in %v", rep.Epoch, want, rep.Stages)
 			}
 		}
-		var sum time.Duration
 		for _, d := range got {
 			if d < 0 {
 				t.Errorf("epoch %d: negative stage duration %v", rep.Epoch, got)
 			}
-			sum += d
 		}
-		if sum > rep.Total+time.Millisecond {
-			t.Errorf("epoch %d: stages sum %v exceeds total %v", rep.Epoch, sum, rep.Total)
+		// Encode, train and compress run in per-table workers, so those
+		// stages aggregate CPU time across goroutines and may exceed the
+		// wall clock. The serial stages cannot.
+		serial := got[StageDFSWrite] + got[StageHighlight] + got[StageIndex]
+		if serial > rep.Total+time.Millisecond {
+			t.Errorf("epoch %d: serial stages sum %v exceeds total %v", rep.Epoch, serial, rep.Total)
 		}
 	}
 
@@ -132,7 +134,7 @@ func TestNoopRegistryDisablesAccounting(t *testing.T) {
 // to a no-op registry; the delta is the observability overhead, which must
 // stay marginal (<5%) because hot-path updates are single atomics.
 func BenchmarkExplore(b *testing.B) {
-	run := func(b *testing.B, opts Options) {
+	run := func(b *testing.B, opts Options, reg *obs.Registry) {
 		cfg := gen.DefaultConfig(0.004)
 		cfg.Antennas = 30
 		cfg.Users = 300
@@ -162,11 +164,16 @@ func BenchmarkExplore(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+		b.StopTimer()
+		if reg != nil {
+			reportChunkMetrics(b, reg)
+		}
 	}
 	b.Run("instrumented", func(b *testing.B) {
-		run(b, Options{Obs: obs.NewRegistry(), Tracer: obs.NewTracer(16)})
+		reg := obs.NewRegistry()
+		run(b, Options{Obs: reg, Tracer: obs.NewTracer(16)}, reg)
 	})
 	b.Run("noop", func(b *testing.B) {
-		run(b, Options{Obs: obs.NewNoop()})
+		run(b, Options{Obs: obs.NewNoop()}, nil)
 	})
 }

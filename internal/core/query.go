@@ -13,7 +13,6 @@ import (
 	"spate/internal/highlights"
 	"spate/internal/index"
 	"spate/internal/obs"
-	"spate/internal/snapshot"
 	"spate/internal/telco"
 )
 
@@ -77,6 +76,12 @@ type Result struct {
 	ScannedLeaves int
 	// PrunedLeaves counts snapshots skipped by leaf spatial pruning.
 	PrunedLeaves int
+	// ScannedChunks counts leaf chunks decompressed on the exact-row path
+	// (a legacy whole-blob leaf counts as one chunk).
+	ScannedChunks int
+	// PrunedChunks counts leaf chunks skipped through segment zone maps
+	// (window bounds and cell sketches) without being decompressed.
+	PrunedChunks int
 	// CacheHit marks answers served from the result cache (the UI-facing
 	// behaviour for zoom-in queries with |w'| < |w|).
 	CacheHit bool
@@ -378,26 +383,23 @@ func (e *Engine) buildParts(ctx context.Context, srcs []partSrc, res *Result) ([
 	return parts, nil
 }
 
-// buildLeafSummary reconstructs an epoch summary by decompressing the
+// buildLeafSummary reconstructs an epoch summary by decoding the
 // snapshot's stored tables — the exact-data path for recent windows whose
-// day has sealed (and dropped its ephemeral leaf summaries). The codec is
-// passed explicitly because some callers already hold the engine lock.
+// day has sealed (and dropped its ephemeral leaf summaries). Every chunk
+// contributes (summaries aggregate the whole leaf), so the scan prunes
+// nothing; highlight accumulation is row-additive, so folding chunk by
+// chunk reproduces the whole-table fold exactly. The codec is passed
+// explicitly because some callers already hold the engine lock.
 func (e *Engine) buildLeafSummary(c compress.Codec, period telco.TimeRange, refs map[string]string) (*highlights.Summary, error) {
 	s := highlights.NewSummary(period)
 	for name, ref := range refs {
-		comp, err := e.fs.ReadFile(ref)
+		_, _, err := e.scanLeafTable(name, ref, c, leafPrune{}, func(tab *telco.Table) error {
+			s.AddTable(e.opts.Highlights, tab)
+			return nil
+		})
 		if err != nil {
-			return nil, fmt.Errorf("core: read %s: %w", ref, err)
+			return nil, err
 		}
-		text, err := c.Decompress(nil, comp)
-		if err != nil {
-			return nil, fmt.Errorf("core: decompress %s: %w", ref, err)
-		}
-		tab, err := snapshot.DecodeTable(name, text)
-		if err != nil {
-			return nil, fmt.Errorf("core: decode %s: %w", ref, err)
-		}
-		s.AddTable(e.opts.Highlights, tab)
 	}
 	return s, nil
 }
@@ -446,9 +448,11 @@ func (e *Engine) cellSeries(m *highlights.Summary, inBox map[int64]bool, q Query
 	return out
 }
 
-// fetchRows decompresses the window's non-decayed snapshots and filters
-// records by window, box and table selection. ctx is consulted before each
-// snapshot decompression.
+// fetchRows streams the window's non-decayed snapshots and filters records
+// by window, box and table selection. Segment leaves prune chunks through
+// their zone maps (window bounds, cell sketch) before decompressing — the
+// per-row filters below remain authoritative, pruning only skips chunks
+// that provably hold no passing row. ctx is consulted before each snapshot.
 func (e *Engine) fetchRows(ctx context.Context, q Query, leaves []leafRef, res *Result) error {
 	res.Rows = make(map[string]*telco.Table)
 	wantTable := func(name string) bool {
@@ -462,11 +466,16 @@ func (e *Engine) fetchRows(ctx context.Context, q Query, leaves []leafRef, res *
 		}
 		return false
 	}
+	pr := leafPrune{window: &q.Window}
 	var inBox map[int64]bool
 	if !q.everywhere() {
-		inBox = make(map[int64]bool)
-		for _, id := range e.CellsInBox(q.Box) {
+		ids := e.CellsInBox(q.Box)
+		inBox = make(map[int64]bool, len(ids))
+		for _, id := range ids {
 			inBox[id] = true
+		}
+		if len(ids) <= maxPruneCells {
+			pr.spatial, pr.cells = true, ids
 		}
 	}
 	c := e.codec()
@@ -496,34 +505,34 @@ func (e *Engine) fetchRows(ctx context.Context, q Query, leaves []leafRef, res *
 			if !wantTable(name) {
 				continue
 			}
-			comp, err := e.fs.ReadFile(ref)
-			if err != nil {
-				return fmt.Errorf("core: read %s: %w", ref, err)
-			}
-			text, err := c.Decompress(nil, comp)
-			if err != nil {
-				return fmt.Errorf("core: decompress %s: %w", ref, err)
-			}
-			tab, err := snapshot.DecodeTable(name, text)
-			if err != nil {
-				return fmt.Errorf("core: decode %s: %w", ref, err)
-			}
 			dst := res.Rows[name]
 			if dst == nil {
-				dst = telco.NewTable(tab.Schema)
+				schema := telco.SchemaByName(name)
+				if schema == nil {
+					return fmt.Errorf("core: decode %s: unknown schema %q", ref, name)
+				}
+				dst = telco.NewTable(schema)
 				res.Rows[name] = dst
 			}
-			tsIdx := tab.Schema.FieldIndex(telco.AttrTS)
-			cellIdx := tab.Schema.FieldIndex(telco.AttrCellID)
-			for _, r := range tab.Rows {
-				if tsIdx >= 0 && !r[tsIdx].IsNull() && !q.Window.Contains(r[tsIdx].Time()) {
-					continue
+			scanned, pruned, err := e.scanLeafTable(name, ref, c, pr, func(tab *telco.Table) error {
+				tsIdx := tab.Schema.FieldIndex(telco.AttrTS)
+				cellIdx := tab.Schema.FieldIndex(telco.AttrCellID)
+				for _, r := range tab.Rows {
+					if tsIdx >= 0 && !r[tsIdx].IsNull() && !q.Window.Contains(r[tsIdx].Time()) {
+						continue
+					}
+					if inBox != nil && cellIdx >= 0 && !inBox[r[cellIdx].Int64()] {
+						continue
+					}
+					dst.Append(r)
 				}
-				if inBox != nil && cellIdx >= 0 && !inBox[r[cellIdx].Int64()] {
-					continue
-				}
-				dst.Append(r)
+				return nil
+			})
+			if err != nil {
+				return err
 			}
+			res.ScannedChunks += scanned
+			res.PrunedChunks += pruned
 		}
 		res.ScannedLeaves++
 	}
@@ -557,6 +566,7 @@ func (e *Engine) ScanTablesContext(ctx context.Context, w telco.TimeRange, table
 		return false
 	}
 	c := e.codec()
+	pr := leafPrune{window: &w}
 	for _, l := range leaves {
 		if l.decayed || l.refs == nil {
 			continue
@@ -568,24 +578,26 @@ func (e *Engine) ScanTablesContext(ctx context.Context, w telco.TimeRange, table
 			if !want(name) {
 				continue
 			}
-			comp, err := e.fs.ReadFile(ref)
-			if err != nil {
-				return fmt.Errorf("core: read %s: %w", ref, err)
+			schema := telco.SchemaByName(name)
+			if schema == nil {
+				return fmt.Errorf("core: decode %s: unknown schema %q", ref, name)
 			}
-			text, err := c.Decompress(nil, comp)
-			if err != nil {
-				return fmt.Errorf("core: decompress %s: %w", ref, err)
-			}
-			tab, err := snapshot.DecodeTable(name, text)
-			if err != nil {
-				return fmt.Errorf("core: decode %s: %w", ref, err)
-			}
-			filtered := telco.NewTable(tab.Schema)
-			tsIdx := tab.Schema.FieldIndex(telco.AttrTS)
-			for _, r := range tab.Rows {
-				if tsIdx < 0 || r[tsIdx].IsNull() || w.Contains(r[tsIdx].Time()) {
-					filtered.Rows = append(filtered.Rows, r)
+			// Chunks outside the window are skipped before decompression;
+			// surviving chunks still pass the per-row filter, and their rows
+			// accumulate into one table per leaf so fn observes the same
+			// call sequence as with whole-blob leaves.
+			filtered := telco.NewTable(schema)
+			_, _, err := e.scanLeafTable(name, ref, c, pr, func(tab *telco.Table) error {
+				tsIdx := tab.Schema.FieldIndex(telco.AttrTS)
+				for _, r := range tab.Rows {
+					if tsIdx < 0 || r[tsIdx].IsNull() || w.Contains(r[tsIdx].Time()) {
+						filtered.Rows = append(filtered.Rows, r)
+					}
 				}
+				return nil
+			})
+			if err != nil {
+				return err
 			}
 			if filtered.Len() == 0 {
 				continue
@@ -612,7 +624,9 @@ func (q Query) cacheKey() string {
 
 // resultCache is a small bounded cache for exploration results — the
 // mechanism behind the paper's zoom-in behaviour, where a narrowed window
-// |w'| < |w| "can be served directly from the cache".
+// |w'| < |w| "can be served directly from the cache". Entries remember the
+// period their answer describes, so decay can invalidate only the results
+// its evictions could have changed instead of dropping the whole cache.
 type resultCache struct {
 	mu    sync.Mutex
 	cap   int
@@ -643,6 +657,36 @@ func (c *resultCache) put(key string, r *Result) {
 		c.order = append(c.order, key)
 	}
 	c.items[key] = r
+}
+
+// invalidate drops every cached result whose served period intersects any
+// of the given ranges. ServedPeriod always covers the data a result was
+// computed from (it equals the query window on the exact path and the
+// covering node's larger period under Fast/prefetch), so a disjoint entry
+// provably cannot observe the evicted data and survives.
+func (c *resultCache) invalidate(ranges []telco.TimeRange) {
+	if len(ranges) == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keep := c.order[:0]
+	for _, key := range c.order {
+		r := c.items[key]
+		stale := false
+		for _, tr := range ranges {
+			if r.ServedPeriod.Overlaps(tr) {
+				stale = true
+				break
+			}
+		}
+		if stale {
+			delete(c.items, key)
+		} else {
+			keep = append(keep, key)
+		}
+	}
+	c.order = keep
 }
 
 func (c *resultCache) clear() {

@@ -305,3 +305,134 @@ func TestConfigDefaults(t *testing.T) {
 		t.Errorf("clamped replication = %d, want 2", got)
 	}
 }
+
+func TestReadFileRange(t *testing.T) {
+	c := newTestCluster(t, Config{BlockSize: 1024, Replication: 2, DataNodes: 3})
+	data := make([]byte, 5000)
+	rand.New(rand.NewSource(7)).Read(data)
+	if err := c.WriteFile("/f", data); err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name   string
+		off, n int64
+	}{
+		{"inside first block", 10, 100},
+		{"whole first block", 0, 1024},
+		{"spans two blocks", 1000, 100},
+		{"spans three blocks", 900, 2200},
+		{"block-aligned start", 2048, 1024},
+		{"up to EOF", 4000, 1000},
+		{"past EOF truncates", 4500, 5000},
+		{"at EOF", 5000, 10},
+		{"zero length", 123, 0},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := c.ReadFileRange("/f", tc.off, tc.n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			end := tc.off + tc.n
+			if end > int64(len(data)) {
+				end = int64(len(data))
+			}
+			want := []byte{}
+			if tc.off < int64(len(data)) {
+				want = data[tc.off:end]
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("range [%d,+%d): got %d bytes, want %d", tc.off, tc.n, len(got), len(want))
+			}
+		})
+	}
+	if _, err := c.ReadFileRange("/f", -1, 10); err == nil {
+		t.Error("negative offset accepted")
+	}
+	if _, err := c.ReadFileRange("/missing", 0, 10); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing file: %v", err)
+	}
+}
+
+// TestReadFileRangeChargesServedBytes verifies the read accounting charges
+// the bytes served to the caller, not the full blocks touched.
+func TestReadFileRangeChargesServedBytes(t *testing.T) {
+	c := newTestCluster(t, Config{BlockSize: 1024, Replication: 1, DataNodes: 2})
+	data := make([]byte, 4096)
+	rand.New(rand.NewSource(3)).Read(data)
+	if err := c.WriteFile("/f", data); err != nil {
+		t.Fatal(err)
+	}
+	before := c.BytesRead()
+	if _, err := c.ReadFileRange("/f", 1000, 100); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.BytesRead() - before; got != 100 {
+		t.Errorf("charged %d bytes for a 100-byte range read", got)
+	}
+}
+
+func TestReadFileRangeReplicaFallback(t *testing.T) {
+	c := newTestCluster(t, Config{BlockSize: 1024, Replication: 2, DataNodes: 3})
+	data := make([]byte, 3000)
+	rand.New(rand.NewSource(11)).Read(data)
+	if err := c.WriteFile("/f", data); err != nil {
+		t.Fatal(err)
+	}
+	// Kill one datanode: every block keeps a live replica (replication 2
+	// over 3 nodes), so ranged reads must fail over and still verify.
+	if err := c.KillNode(0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.ReadFileRange("/f", 900, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data[900:2400]) {
+		t.Fatal("range read after datanode kill returned wrong bytes")
+	}
+	// Kill the rest: no live replica may remain for some block.
+	if err := c.KillNode(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.KillNode(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ReadFileRange("/f", 0, 100); err == nil {
+		t.Error("range read with all datanodes dead succeeded")
+	}
+}
+
+func TestOpenReaderAt(t *testing.T) {
+	c := newTestCluster(t, Config{BlockSize: 512, Replication: 2, DataNodes: 3})
+	data := make([]byte, 2000)
+	rand.New(rand.NewSource(5)).Read(data)
+	if err := c.WriteFile("/f", data); err != nil {
+		t.Fatal(err)
+	}
+	f, err := c.Open("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() != 2000 || f.Path() != "/f" {
+		t.Fatalf("handle = %q size %d", f.Path(), f.Size())
+	}
+	buf := make([]byte, 700)
+	if _, err := f.ReadAt(buf, 400); err != nil { // spans blocks 0..2
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data[400:1100]) {
+		t.Fatal("ReadAt returned wrong bytes")
+	}
+	// Tail read past EOF: partial bytes + io.EOF.
+	n, err := f.ReadAt(buf, 1800)
+	if n != 200 || err == nil {
+		t.Fatalf("ReadAt past EOF: n=%d err=%v", n, err)
+	}
+	if !bytes.Equal(buf[:n], data[1800:]) {
+		t.Fatal("tail ReadAt returned wrong bytes")
+	}
+	if _, err := c.Open("/missing"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Open missing: %v", err)
+	}
+}

@@ -359,10 +359,17 @@ func (s *Summary) Restrict(keep func(int64) bool) *Summary {
 		return s
 	}
 	out := NewSummary(s.Period)
-	for id, cs := range s.Cells {
-		if !keep(id) {
-			continue
+	// Fold cells in id order: float accumulation order then matches across
+	// runs and engines, so restricted summaries compare bit for bit.
+	ids := make([]int64, 0, len(s.Cells))
+	for id := range s.Cells {
+		if keep(id) {
+			ids = append(ids, id)
 		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		cs := s.Cells[id]
 		out.Rows += cs.Rows
 		dst := &CellStats{Rows: cs.Rows, Num: cs.Num}
 		out.Cells[id] = dst

@@ -1,0 +1,131 @@
+package segment
+
+import (
+	"container/list"
+	"strings"
+	"sync"
+
+	"spate/internal/obs"
+)
+
+// Cache is a bytes-bounded LRU over inflated chunk wire text, shared by
+// every query path that touches leaf data. Bounding by bytes (not entries)
+// keeps the working set predictable no matter how chunk sizes are tuned.
+// All methods are safe for concurrent use.
+type Cache struct {
+	mu    sync.Mutex
+	cap   int64
+	used  int64
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+
+	hits      *obs.Counter
+	misses    *obs.Counter
+	evictions *obs.Counter
+}
+
+type cacheEntry struct {
+	key  string
+	data []byte
+}
+
+// NewCache returns a cache bounded at maxBytes, reporting hit/miss/
+// eviction counters and a live byte gauge into reg (obs.Default when nil).
+// A non-positive bound disables caching: Get always misses, Put discards.
+func NewCache(maxBytes int64, reg *obs.Registry) *Cache {
+	if reg == nil {
+		reg = obs.Default
+	}
+	c := &Cache{
+		cap:       maxBytes,
+		ll:        list.New(),
+		items:     make(map[string]*list.Element),
+		hits:      reg.Counter("spate_chunk_cache_hits_total", "Chunk reads served from the leaf chunk cache."),
+		misses:    reg.Counter("spate_chunk_cache_misses_total", "Chunk reads that fetched and inflated from the DFS."),
+		evictions: reg.Counter("spate_chunk_cache_evictions_total", "Chunks evicted to respect the cache byte bound."),
+	}
+	reg.GaugeFunc("spate_chunk_cache_bytes", "Inflated bytes currently held by the leaf chunk cache.",
+		func() float64 { return float64(c.Bytes()) })
+	return c
+}
+
+// Get returns the cached chunk for key, marking it most recently used.
+// The returned slice is shared — callers must not mutate it.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses.Inc()
+		return nil, false
+	}
+	c.hits.Inc()
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).data, true
+}
+
+// Put stores data under key, evicting least-recently-used chunks until the
+// byte bound holds. Entries larger than the whole bound are not cached.
+func (c *Cache) Put(key string, data []byte) {
+	if c.cap <= 0 || int64(len(data)) > c.cap {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		c.used += int64(len(data)) - int64(len(ent.data))
+		ent.data = data
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, data: data})
+		c.used += int64(len(data))
+	}
+	for c.used > c.cap {
+		oldest := c.ll.Back()
+		if oldest == nil {
+			break
+		}
+		c.removeLocked(oldest)
+		c.evictions.Inc()
+	}
+}
+
+func (c *Cache) removeLocked(el *list.Element) {
+	ent := el.Value.(*cacheEntry)
+	c.ll.Remove(el)
+	delete(c.items, ent.key)
+	c.used -= int64(len(ent.data))
+}
+
+// InvalidatePrefix drops every entry whose key starts with prefix — decay
+// deletes leaf files, and their inflated chunks must not linger in memory.
+// It returns the number of entries dropped.
+func (c *Cache) InvalidatePrefix(prefix string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dropped := 0
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		if strings.HasPrefix(el.Value.(*cacheEntry).key, prefix) {
+			c.removeLocked(el)
+			dropped++
+		}
+		el = next
+	}
+	return dropped
+}
+
+// Bytes returns the inflated bytes currently held.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}
+
+// Len returns the number of cached chunks.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,97 @@
+package segment_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"spate/internal/obs"
+	"spate/internal/segment"
+)
+
+func TestCacheByteBoundAndLRU(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := segment.NewCache(100, reg)
+	c.Put("a", make([]byte, 40))
+	c.Put("b", make([]byte, 40))
+	if c.Bytes() != 80 || c.Len() != 2 {
+		t.Fatalf("cache holds %d bytes / %d entries", c.Bytes(), c.Len())
+	}
+	// Touch "a" so "b" becomes the LRU victim.
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	c.Put("c", make([]byte, 40)) // 120 > 100: evict b
+	if _, ok := c.Get("b"); ok {
+		t.Error("LRU victim b survived")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("recently used a evicted")
+	}
+	if c.Bytes() != 80 {
+		t.Errorf("cache holds %d bytes after eviction", c.Bytes())
+	}
+	if n := reg.Counter("spate_chunk_cache_evictions_total", "").Value(); n != 1 {
+		t.Errorf("evictions counter = %d", n)
+	}
+	hits := reg.Counter("spate_chunk_cache_hits_total", "").Value()
+	misses := reg.Counter("spate_chunk_cache_misses_total", "").Value()
+	if hits != 2 || misses != 1 {
+		t.Errorf("hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestCacheOversizeAndReplace(t *testing.T) {
+	c := segment.NewCache(50, obs.NewRegistry())
+	c.Put("huge", make([]byte, 51)) // larger than the bound: not cached
+	if c.Len() != 0 {
+		t.Fatal("oversize entry cached")
+	}
+	c.Put("k", make([]byte, 10))
+	c.Put("k", make([]byte, 30)) // replacement adjusts accounting
+	if c.Bytes() != 30 || c.Len() != 1 {
+		t.Fatalf("after replace: %d bytes / %d entries", c.Bytes(), c.Len())
+	}
+}
+
+func TestCacheInvalidatePrefix(t *testing.T) {
+	c := segment.NewCache(1<<20, obs.NewRegistry())
+	c.Put("/spate/data/2016/01/04/x/CDR#0", make([]byte, 10))
+	c.Put("/spate/data/2016/01/04/x/CDR#1", make([]byte, 10))
+	c.Put("/spate/data/2016/01/04/x/NMS#0", make([]byte, 10))
+	if n := c.InvalidatePrefix("/spate/data/2016/01/04/x/CDR#"); n != 2 {
+		t.Fatalf("invalidated %d entries, want 2", n)
+	}
+	if c.Len() != 1 || c.Bytes() != 10 {
+		t.Fatalf("after invalidate: %d entries / %d bytes", c.Len(), c.Bytes())
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := segment.NewCache(0, obs.NewRegistry())
+	c.Put("k", make([]byte, 10))
+	if _, ok := c.Get("k"); ok {
+		t.Error("disabled cache returned a hit")
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := segment.NewCache(4<<10, obs.NewRegistry())
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", (g*7+i)%32)
+				if _, ok := c.Get(key); !ok {
+					c.Put(key, make([]byte, 256))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Bytes() > 4<<10 {
+		t.Fatalf("byte bound violated: %d", c.Bytes())
+	}
+}

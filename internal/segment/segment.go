@@ -1,0 +1,475 @@
+// Package segment implements SPATE's chunked leaf storage format — the
+// refactor of the paper's storage layer (§IV) that makes row-fetch cost
+// scale with query selectivity instead of snapshot size.
+//
+// A legacy leaf is a whole-table blob: one compressed run of the table's
+// wire text, which a reader must fetch and inflate in full even when the
+// query wants one cell in one 30-minute slice. A segment splits the same
+// wire text into independently compressed chunks at row boundaries, each
+// carrying the statistics a reader needs to skip it — min/max record
+// timestamp, a cell-id presence sketch, and a CRC — plus a footer of chunk
+// offsets, so a reader seeks straight to the relevant chunks through
+// ranged DFS reads and never touches the rest.
+//
+// On-disk layout (all integers little-endian):
+//
+//	header   magic "SPSG" | version byte
+//	chunks   each chunk payload is a compress stream (length-prefixed
+//	         compressed sub-chunks + terminator, see compress.StreamWriter)
+//	footer   uvarint chunk count, then per chunk:
+//	           off, clen, ulen  uvarint   payload location and inflated size
+//	           rows             uvarint   record count
+//	           crc              uint32    CRC-32 (IEEE) of the payload bytes
+//	           flags            byte      bit0: rows without timestamps
+//	                                      bit1: rows without cell ids
+//	           minTS, maxTS     int64     unix nanos over timestamped rows
+//	           sketch           128 bytes cell-id bloom filter (k=3)
+//	tail     footer length uint32 | magic "GSPS"
+//
+// The format byte selects the read path: files that do not start with the
+// magic are legacy whole-blob leaves and must be read through the codec
+// directly. Versioning lives in the fifth header byte so later formats can
+// evolve without breaking recovery of stores written by today's engine.
+package segment
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"sync"
+
+	"spate/internal/compress"
+	"spate/internal/telco"
+)
+
+// Format constants.
+const (
+	Version = 1
+
+	headerLen = 5 // magic + version
+	tailLen   = 8 // footer length + tail magic
+
+	// SketchBytes is the size of the per-chunk cell-id bloom filter.
+	SketchBytes = 128
+
+	sketchHashes = 3
+
+	flagNoTS   = 1 << 0 // chunk holds rows without a parseable timestamp
+	flagNoCell = 1 << 1 // chunk holds rows without a cell id column
+)
+
+var (
+	magic     = [4]byte{'S', 'P', 'S', 'G'}
+	tailMagic = [4]byte{'G', 'S', 'P', 'S'}
+)
+
+// DefaultChunkSize is the target uncompressed bytes per chunk. 256 KiB
+// keeps per-chunk decode latency low while the footer stays a fraction of
+// a percent of the data.
+const DefaultChunkSize = 256 << 10
+
+// maxFooter bounds the footer a reader will allocate for.
+const maxFooter = 64 << 20
+
+// RowMeta carries the per-record statistics the writer folds into chunk
+// metadata.
+type RowMeta struct {
+	// TS is the record's timestamp; HasTS is false when the schema has no
+	// timestamp attribute or the value is null (such rows defeat window
+	// pruning for their chunk).
+	TS    int64 // unix nanoseconds
+	HasTS bool
+	// Cell is the record's cell id; HasCell is false when the schema has no
+	// cell-id attribute (such rows defeat spatial pruning for their chunk).
+	Cell    int64
+	HasCell bool
+}
+
+// Chunk describes one stored chunk — the zone-map entry readers prune by.
+type Chunk struct {
+	Off   int64 // payload offset within the segment file
+	Len   int64 // compressed payload bytes
+	ULen  int64 // uncompressed (wire text) bytes
+	Rows  int64
+	CRC   uint32
+	Flags byte
+	MinTS int64 // unix nanos; valid only when some row carried a timestamp
+	MaxTS int64
+
+	Sketch [SketchBytes]byte
+}
+
+// OverlapsWindow reports whether the chunk may hold a row inside the
+// half-open window w. Chunks holding rows without timestamps always may.
+func (c Chunk) OverlapsWindow(w telco.TimeRange) bool {
+	if c.Flags&flagNoTS != 0 {
+		return true
+	}
+	return c.MinTS < w.To.UnixNano() && c.MaxTS >= w.From.UnixNano()
+}
+
+// HasTimeGaps reports whether the chunk holds rows without timestamps —
+// such rows match every window, so the chunk defeats window pruning.
+func (c Chunk) HasTimeGaps() bool { return c.Flags&flagNoTS != 0 }
+
+// HasCellGaps reports whether the chunk holds rows without a cell id —
+// such rows survive any spatial filter, so the chunk defeats cell pruning.
+func (c Chunk) HasCellGaps() bool { return c.Flags&flagNoCell != 0 }
+
+// MayContainCell reports whether the chunk may hold a row of the given
+// cell. False positives are possible (it is a bloom filter); false
+// negatives are not.
+func (c Chunk) MayContainCell(id int64) bool {
+	if c.Flags&flagNoCell != 0 {
+		return true
+	}
+	h := uint64(id)
+	for i := 0; i < sketchHashes; i++ {
+		h = mix64(h + uint64(i)*0x9e3779b97f4a7c15)
+		bit := h % (SketchBytes * 8)
+		if c.Sketch[bit/8]&(1<<(bit%8)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// MayContainAnyCell reports whether the chunk may hold a row of any of the
+// given cells. An empty candidate list means "no spatial pruning" and
+// always returns true.
+func (c Chunk) MayContainAnyCell(ids []int64) bool {
+	if len(ids) == 0 || c.Flags&flagNoCell != 0 {
+		return true
+	}
+	for _, id := range ids {
+		if c.MayContainCell(id) {
+			return true
+		}
+	}
+	return false
+}
+
+// mix64 is splitmix64's finalizer — a cheap avalanche over cell ids.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func sketchSet(s *[SketchBytes]byte, id int64) {
+	h := uint64(id)
+	for i := 0; i < sketchHashes; i++ {
+		h = mix64(h + uint64(i)*0x9e3779b97f4a7c15)
+		bit := h % (SketchBytes * 8)
+		s[bit/8] |= 1 << (bit % 8)
+	}
+}
+
+// bufPool recycles the writer's accumulation buffers across snapshots —
+// ingest builds two segments per epoch forever, so per-epoch allocation
+// would churn hundreds of MB per simulated day.
+var bufPool = sync.Pool{
+	New: func() any { return new(bytes.Buffer) },
+}
+
+// Writer accumulates wire-text rows into chunks and renders the segment.
+// It is not safe for concurrent use; ingest runs one writer per table
+// worker.
+type Writer struct {
+	codec     compress.Codec
+	chunkSize int
+
+	out *bytes.Buffer // rendered segment so far (header + flushed payloads)
+	cur *bytes.Buffer // wire text of the chunk being accumulated
+
+	chunks []Chunk
+
+	// current chunk stats
+	rows  int64
+	minTS int64
+	maxTS int64
+	flags byte
+	sk    [SketchBytes]byte
+
+	finished bool
+}
+
+// NewWriter returns a writer compressing chunks with the given codec. A
+// non-positive chunkSize selects DefaultChunkSize.
+func NewWriter(codec compress.Codec, chunkSize int) *Writer {
+	if chunkSize <= 0 {
+		chunkSize = DefaultChunkSize
+	}
+	w := &Writer{
+		codec:     codec,
+		chunkSize: chunkSize,
+		out:       bufPool.Get().(*bytes.Buffer),
+		cur:       bufPool.Get().(*bytes.Buffer),
+	}
+	w.out.Reset()
+	w.cur.Reset()
+	w.out.Write(magic[:])
+	w.out.WriteByte(Version)
+	w.resetChunkStats()
+	return w
+}
+
+func (w *Writer) resetChunkStats() {
+	w.rows = 0
+	w.minTS = math.MaxInt64
+	w.maxTS = math.MinInt64
+	w.flags = 0
+	w.sk = [SketchBytes]byte{}
+}
+
+// AppendRow adds one wire-text line (including its trailing newline) with
+// its pruning metadata. Rows are stored in append order, so concatenating
+// every chunk's inflated text reproduces the table's wire form exactly.
+func (w *Writer) AppendRow(line []byte, m RowMeta) error {
+	if w.finished {
+		return fmt.Errorf("segment: append after Finish")
+	}
+	w.cur.Write(line)
+	w.rows++
+	if m.HasTS {
+		if m.TS < w.minTS {
+			w.minTS = m.TS
+		}
+		if m.TS > w.maxTS {
+			w.maxTS = m.TS
+		}
+	} else {
+		w.flags |= flagNoTS
+	}
+	if m.HasCell {
+		sketchSet(&w.sk, m.Cell)
+	} else {
+		w.flags |= flagNoCell
+	}
+	if w.cur.Len() >= w.chunkSize {
+		return w.flushChunk()
+	}
+	return nil
+}
+
+func (w *Writer) flushChunk() error {
+	if w.cur.Len() == 0 {
+		return nil
+	}
+	off := int64(w.out.Len())
+	sw := compress.NewStreamWriterSize(w.codec, w.out, w.chunkSize)
+	if _, err := sw.Write(w.cur.Bytes()); err != nil {
+		return fmt.Errorf("segment: compress chunk: %w", err)
+	}
+	if err := sw.Close(); err != nil {
+		return fmt.Errorf("segment: compress chunk: %w", err)
+	}
+	payload := w.out.Bytes()[off:]
+	ch := Chunk{
+		Off:    off,
+		Len:    int64(len(payload)),
+		ULen:   int64(w.cur.Len()),
+		Rows:   w.rows,
+		CRC:    crc32.ChecksumIEEE(payload),
+		Flags:  w.flags,
+		MinTS:  w.minTS,
+		MaxTS:  w.maxTS,
+		Sketch: w.sk,
+	}
+	w.chunks = append(w.chunks, ch)
+	w.cur.Reset()
+	w.resetChunkStats()
+	return nil
+}
+
+// Stats summarizes a finished segment.
+type Stats struct {
+	Chunks   int
+	RawBytes int64 // uncompressed wire text across chunks
+}
+
+// Finish flushes the last chunk, appends the footer and returns the
+// rendered segment. The writer's buffers return to the pool; the returned
+// slice is owned by the caller.
+func (w *Writer) Finish() ([]byte, Stats, error) {
+	if w.finished {
+		return nil, Stats{}, fmt.Errorf("segment: double Finish")
+	}
+	w.finished = true
+	if err := w.flushChunk(); err != nil {
+		return nil, Stats{}, err
+	}
+	footStart := w.out.Len()
+	var tmp [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) {
+		n := binary.PutUvarint(tmp[:], v)
+		w.out.Write(tmp[:n])
+	}
+	putUvarint(uint64(len(w.chunks)))
+	var st Stats
+	st.Chunks = len(w.chunks)
+	for _, c := range w.chunks {
+		putUvarint(uint64(c.Off))
+		putUvarint(uint64(c.Len))
+		putUvarint(uint64(c.ULen))
+		putUvarint(uint64(c.Rows))
+		binary.LittleEndian.PutUint32(tmp[:4], c.CRC)
+		w.out.Write(tmp[:4])
+		w.out.WriteByte(c.Flags)
+		binary.LittleEndian.PutUint64(tmp[:8], uint64(c.MinTS))
+		w.out.Write(tmp[:8])
+		binary.LittleEndian.PutUint64(tmp[:8], uint64(c.MaxTS))
+		w.out.Write(tmp[:8])
+		w.out.Write(c.Sketch[:])
+		st.RawBytes += c.ULen
+	}
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(w.out.Len()-footStart))
+	w.out.Write(tmp[:4])
+	w.out.Write(tailMagic[:])
+
+	data := append([]byte(nil), w.out.Bytes()...)
+	bufPool.Put(w.out)
+	bufPool.Put(w.cur)
+	w.out, w.cur = nil, nil
+	return data, st, nil
+}
+
+// IsSegment sniffs the format byte: it reports whether the file carries
+// the segment magic. Legacy whole-blob leaves (raw codec output) do not.
+func IsSegment(r io.ReaderAt, size int64) bool {
+	if size < int64(headerLen+tailLen) {
+		return false
+	}
+	var hdr [headerLen]byte
+	if _, err := r.ReadAt(hdr[:], 0); err != nil {
+		return false
+	}
+	return bytes.Equal(hdr[:4], magic[:])
+}
+
+// Reader opens a segment through ranged reads: construction costs the
+// 5-byte header probe plus one footer read, independent of segment size.
+type Reader struct {
+	src    io.ReaderAt
+	codec  compress.Codec
+	size   int64
+	chunks []Chunk
+}
+
+// Open parses the segment footer from src. The codec must match the
+// writer's.
+func Open(src io.ReaderAt, size int64, codec compress.Codec) (*Reader, error) {
+	if size < int64(headerLen+tailLen) {
+		return nil, compress.Corruptf("segment: %d bytes is too short", size)
+	}
+	var hdr [headerLen]byte
+	if _, err := src.ReadAt(hdr[:], 0); err != nil {
+		return nil, fmt.Errorf("segment: read header: %w", err)
+	}
+	if !bytes.Equal(hdr[:4], magic[:]) {
+		return nil, compress.Corruptf("segment: bad magic %x", hdr[:4])
+	}
+	if hdr[4] != Version {
+		return nil, fmt.Errorf("segment: unsupported version %d (have %d)", hdr[4], Version)
+	}
+	var tail [tailLen]byte
+	if _, err := src.ReadAt(tail[:], size-tailLen); err != nil {
+		return nil, fmt.Errorf("segment: read tail: %w", err)
+	}
+	if !bytes.Equal(tail[4:], tailMagic[:]) {
+		return nil, compress.Corruptf("segment: bad tail magic %x", tail[4:])
+	}
+	footLen := int64(binary.LittleEndian.Uint32(tail[:4]))
+	if footLen <= 0 || footLen > maxFooter || footLen > size-int64(headerLen+tailLen) {
+		return nil, compress.Corruptf("segment: footer of %d bytes out of range", footLen)
+	}
+	foot := make([]byte, footLen)
+	if _, err := src.ReadAt(foot, size-tailLen-footLen); err != nil {
+		return nil, fmt.Errorf("segment: read footer: %w", err)
+	}
+	r := &Reader{src: src, codec: codec, size: size}
+	br := bytes.NewReader(foot)
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, compress.Corruptf("segment: footer count")
+	}
+	if n > uint64(footLen) { // each entry takes > 1 byte; cheap sanity cap
+		return nil, compress.Corruptf("segment: footer claims %d chunks", n)
+	}
+	r.chunks = make([]Chunk, 0, n)
+	dataEnd := size - tailLen - footLen
+	for i := uint64(0); i < n; i++ {
+		var c Chunk
+		if c.Off, err = readUvarint64(br); err != nil {
+			return nil, compress.Corruptf("segment: chunk %d offset", i)
+		}
+		if c.Len, err = readUvarint64(br); err != nil {
+			return nil, compress.Corruptf("segment: chunk %d length", i)
+		}
+		if c.ULen, err = readUvarint64(br); err != nil {
+			return nil, compress.Corruptf("segment: chunk %d ulen", i)
+		}
+		if c.Rows, err = readUvarint64(br); err != nil {
+			return nil, compress.Corruptf("segment: chunk %d rows", i)
+		}
+		var fixed [4 + 1 + 8 + 8 + SketchBytes]byte
+		if _, err := io.ReadFull(br, fixed[:]); err != nil {
+			return nil, compress.Corruptf("segment: chunk %d stats", i)
+		}
+		c.CRC = binary.LittleEndian.Uint32(fixed[0:4])
+		c.Flags = fixed[4]
+		c.MinTS = int64(binary.LittleEndian.Uint64(fixed[5:13]))
+		c.MaxTS = int64(binary.LittleEndian.Uint64(fixed[13:21]))
+		copy(c.Sketch[:], fixed[21:])
+		if c.Off < headerLen || c.Len <= 0 || c.Off+c.Len > dataEnd {
+			return nil, compress.Corruptf("segment: chunk %d spans [%d,+%d) outside data area", i, c.Off, c.Len)
+		}
+		r.chunks = append(r.chunks, c)
+	}
+	return r, nil
+}
+
+func readUvarint64(br *bytes.Reader) (int64, error) {
+	v, err := binary.ReadUvarint(br)
+	if err != nil || v > math.MaxInt64 {
+		return 0, compress.ErrCorrupt
+	}
+	return int64(v), nil
+}
+
+// Chunks exposes the chunk directory for pruning decisions.
+func (r *Reader) Chunks() []Chunk { return r.chunks }
+
+// NumChunks returns the chunk count.
+func (r *Reader) NumChunks() int { return len(r.chunks) }
+
+// ChunkData fetches, verifies and inflates chunk i, returning its wire
+// text. The read is ranged: only the chunk's payload bytes travel.
+func (r *Reader) ChunkData(i int) ([]byte, error) {
+	if i < 0 || i >= len(r.chunks) {
+		return nil, fmt.Errorf("segment: no chunk %d of %d", i, len(r.chunks))
+	}
+	c := r.chunks[i]
+	payload := make([]byte, c.Len)
+	if _, err := r.src.ReadAt(payload, c.Off); err != nil {
+		return nil, fmt.Errorf("segment: read chunk %d: %w", i, err)
+	}
+	if crc32.ChecksumIEEE(payload) != c.CRC {
+		return nil, compress.Corruptf("segment: chunk %d CRC mismatch", i)
+	}
+	text, err := io.ReadAll(compress.NewStreamReader(r.codec, bytes.NewReader(payload)))
+	if err != nil {
+		return nil, fmt.Errorf("segment: inflate chunk %d: %w", i, err)
+	}
+	if int64(len(text)) != c.ULen {
+		return nil, compress.Corruptf("segment: chunk %d inflated to %d bytes, footer says %d",
+			i, len(text), c.ULen)
+	}
+	return text, nil
+}

@@ -1,0 +1,271 @@
+package segment_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"spate/internal/compress"
+	_ "spate/internal/compress/all"
+	"spate/internal/segment"
+	"spate/internal/telco"
+)
+
+func codec(t testing.TB, name string) compress.Codec {
+	t.Helper()
+	c, err := compress.Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// buildRows renders n synthetic wire lines, one per minute starting at
+// base, cycling cell ids through nCells.
+func buildRows(n, nCells int, base time.Time) (lines [][]byte, metas []segment.RowMeta) {
+	for i := 0; i < n; i++ {
+		ts := base.Add(time.Duration(i) * time.Minute)
+		cell := int64(i % nCells)
+		lines = append(lines, []byte(fmt.Sprintf("%s|%d|row-%d|%d\n", ts.Format(telco.TimeLayout), cell, i, i*i)))
+		metas = append(metas, segment.RowMeta{TS: ts.UnixNano(), HasTS: true, Cell: cell, HasCell: true})
+	}
+	return lines, metas
+}
+
+func encode(t *testing.T, c compress.Codec, chunkSize int, lines [][]byte, metas []segment.RowMeta) []byte {
+	t.Helper()
+	w := segment.NewWriter(c, chunkSize)
+	for i, l := range lines {
+		if err := w.AppendRow(l, metas[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, st, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want int64
+	for _, l := range lines {
+		want += int64(len(l))
+	}
+	if st.RawBytes != want {
+		t.Fatalf("stats raw bytes = %d, want %d", st.RawBytes, want)
+	}
+	return data
+}
+
+func TestRoundTripAllCodecs(t *testing.T) {
+	base := time.Date(2016, 1, 4, 9, 0, 0, 0, time.UTC)
+	lines, metas := buildRows(500, 20, base)
+	var wire bytes.Buffer
+	for _, l := range lines {
+		wire.Write(l)
+	}
+	for _, name := range compress.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			c := codec(t, name)
+			data := encode(t, c, 2<<10, lines, metas)
+			r, err := segment.Open(bytes.NewReader(data), int64(len(data)), c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.NumChunks() < 2 {
+				t.Fatalf("expected multiple chunks, got %d", r.NumChunks())
+			}
+			var got bytes.Buffer
+			var rows int64
+			for i, ch := range r.Chunks() {
+				text, err := r.ChunkData(i)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got.Write(text)
+				rows += ch.Rows
+			}
+			if !bytes.Equal(got.Bytes(), wire.Bytes()) {
+				t.Fatal("concatenated chunks differ from the table wire text")
+			}
+			if rows != 500 {
+				t.Fatalf("footer rows = %d, want 500", rows)
+			}
+		})
+	}
+}
+
+func TestWindowPruning(t *testing.T) {
+	base := time.Date(2016, 1, 4, 0, 0, 0, 0, time.UTC)
+	lines, metas := buildRows(600, 10, base) // 10 hours of minutes
+	c := codec(t, "gzip")
+	data := encode(t, c, 4<<10, lines, metas)
+	r, err := segment.Open(bytes.NewReader(data), int64(len(data)), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 30-minute window deep inside: most chunks must be prunable, and
+	// the surviving chunks must cover every matching row.
+	w := telco.NewTimeRange(base.Add(5*time.Hour), base.Add(5*time.Hour+30*time.Minute))
+	kept, pruned := 0, 0
+	var got bytes.Buffer
+	for i, ch := range r.Chunks() {
+		if !ch.OverlapsWindow(w) {
+			pruned++
+			continue
+		}
+		kept++
+		text, err := r.ChunkData(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got.Write(text)
+	}
+	if pruned == 0 {
+		t.Fatalf("no chunks pruned for a 30-minute window over 10 hours (%d chunks)", r.NumChunks())
+	}
+	// Every line whose timestamp falls in the window must appear.
+	for i, l := range lines {
+		ts := base.Add(time.Duration(i) * time.Minute)
+		if w.Contains(ts) && !bytes.Contains(got.Bytes(), l) {
+			t.Fatalf("window row %d missing after pruning (kept=%d pruned=%d)", i, kept, pruned)
+		}
+	}
+}
+
+func TestCellSketchPruning(t *testing.T) {
+	base := time.Date(2016, 1, 4, 0, 0, 0, 0, time.UTC)
+	// Two runs of rows in disjoint cell populations.
+	linesA, metasA := buildRows(200, 5, base)
+	var linesB [][]byte
+	var metasB []segment.RowMeta
+	for i := 0; i < 200; i++ {
+		ts := base.Add(time.Duration(200+i) * time.Minute)
+		cell := int64(1000 + i%5)
+		linesB = append(linesB, []byte(fmt.Sprintf("%s|%d|b\n", ts.Format(telco.TimeLayout), cell)))
+		metasB = append(metasB, segment.RowMeta{TS: ts.UnixNano(), HasTS: true, Cell: cell, HasCell: true})
+	}
+	c := codec(t, "snappy")
+	data := encode(t, c, 2<<10, append(linesA, linesB...), append(metasA, metasB...))
+	r, err := segment.Open(bytes.NewReader(data), int64(len(data)), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Probing for cells only population B holds must prune at least the
+	// leading chunks (pure population A), and never prune a chunk that
+	// actually holds a probed cell.
+	probe := []int64{1000, 1001}
+	pruned := 0
+	for i, ch := range r.Chunks() {
+		may := ch.MayContainAnyCell(probe)
+		text, err := r.ChunkData(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		holds := bytes.Contains(text, []byte("|1000|")) || bytes.Contains(text, []byte("|1001|"))
+		if holds && !may {
+			t.Fatalf("chunk %d holds a probed cell but the sketch pruned it", i)
+		}
+		if !may {
+			pruned++
+		}
+	}
+	if pruned == 0 {
+		t.Fatal("sketch pruned nothing for disjoint cell populations")
+	}
+	// No candidates = no pruning.
+	if !r.Chunks()[0].MayContainAnyCell(nil) {
+		t.Fatal("empty candidate list must disable pruning")
+	}
+}
+
+func TestRowsWithoutMetadataDefeatPruning(t *testing.T) {
+	c := codec(t, "gzip")
+	w := segment.NewWriter(c, 1<<10)
+	if err := w.AppendRow([]byte("no-ts-no-cell\n"), segment.RowMeta{}); err != nil {
+		t.Fatal(err)
+	}
+	data, _, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := segment.Open(bytes.NewReader(data), int64(len(data)), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := r.Chunks()[0]
+	anyWindow := telco.NewTimeRange(time.Unix(0, 0), time.Unix(1, 0))
+	if !ch.OverlapsWindow(anyWindow) {
+		t.Error("chunk with timestamp-less rows was window-pruned")
+	}
+	if !ch.MayContainCell(42) {
+		t.Error("chunk with cell-less rows was sketch-pruned")
+	}
+}
+
+func TestIsSegmentSniffsLegacyBlobs(t *testing.T) {
+	c := codec(t, "gzip")
+	legacy := c.Compress(nil, []byte("plain whole-blob leaf data, compressed directly\n"))
+	if segment.IsSegment(bytes.NewReader(legacy), int64(len(legacy))) {
+		t.Error("legacy codec blob sniffed as a segment")
+	}
+	lines, metas := buildRows(10, 2, time.Date(2016, 1, 4, 0, 0, 0, 0, time.UTC))
+	data := encode(t, c, 1<<10, lines, metas)
+	if !segment.IsSegment(bytes.NewReader(data), int64(len(data))) {
+		t.Error("segment not recognized by its magic")
+	}
+	if _, err := segment.Open(bytes.NewReader(legacy), int64(len(legacy)), c); err == nil {
+		t.Error("Open accepted a legacy blob")
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	c := codec(t, "zstd")
+	lines, metas := buildRows(300, 8, time.Date(2016, 1, 4, 0, 0, 0, 0, time.UTC))
+	data := encode(t, c, 2<<10, lines, metas)
+
+	// Flip a payload byte: the chunk CRC must catch it.
+	bad := append([]byte(nil), data...)
+	r, err := segment.Open(bytes.NewReader(bad), int64(len(bad)), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad[r.Chunks()[0].Off] ^= 0xFF
+	if _, err := r.ChunkData(0); err == nil {
+		t.Error("corrupted chunk payload decoded without error")
+	}
+
+	// Truncate the tail: Open must fail, not misparse.
+	for _, cut := range []int{1, 4, 8, 20} {
+		if _, err := segment.Open(bytes.NewReader(data[:len(data)-cut]), int64(len(data)-cut), c); err == nil {
+			t.Errorf("cut=%d: truncated segment opened", cut)
+		}
+	}
+
+	// Garbage footer length.
+	bad2 := append([]byte(nil), data...)
+	bad2[len(bad2)-8] = 0xFF
+	bad2[len(bad2)-7] = 0xFF
+	bad2[len(bad2)-6] = 0xFF
+	if _, err := segment.Open(bytes.NewReader(bad2), int64(len(bad2)), c); err == nil {
+		t.Error("garbage footer length accepted")
+	}
+}
+
+func TestEmptySegment(t *testing.T) {
+	c := codec(t, "gzip")
+	w := segment.NewWriter(c, 1<<10)
+	data, st, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Chunks != 0 {
+		t.Fatalf("empty segment has %d chunks", st.Chunks)
+	}
+	r, err := segment.Open(bytes.NewReader(data), int64(len(data)), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumChunks() != 0 {
+		t.Fatalf("empty segment read back %d chunks", r.NumChunks())
+	}
+}
