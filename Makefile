@@ -28,6 +28,8 @@ bench:
 bench-json:
 	$(GO) test -bench Explore -benchtime 5x -run XXX ./internal/core/ ./internal/cluster/ \
 		| $(GO) run ./cmd/benchjson -o BENCH_segment.json
+	$(GO) test -bench Lifecycle -benchtime 5x -run XXX ./internal/lifecycle/ \
+		| $(GO) run ./cmd/benchjson -o BENCH_lifecycle.json
 
 fmt:
 	gofmt -l -w .

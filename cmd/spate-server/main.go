@@ -8,6 +8,7 @@
 //	spate-server -addr :8080 -trace /tmp/trace
 //	spate-server -addr :8080 -cluster -shards 4 -replicas 2
 //	spate-server -addr :8080 -join http://n1:9001,http://n2:9002 -shards 2
+//	spate-server -addr :8080 -decay-interval 1h -keep-raw 720h -scrub-interval 6h -compact 24h
 //
 // Endpoints:
 //
@@ -17,6 +18,8 @@
 //	GET /api/sql?q=SELECT...      (single-engine mode)
 //	GET /api/space                storage accounting (single-engine mode)
 //	GET /api/health               per-node probes (cluster modes)
+//	GET /api/lifecycle            maintenance daemon status + run history
+//	POST /api/lifecycle           ?job=decay|scrub|compact or ?action=pause|resume
 //	GET /metrics                  Prometheus text exposition
 //	GET /api/stats                JSON metrics mirror
 //	GET /api/trace                recent request span trees
@@ -50,9 +53,11 @@ import (
 	"spate/internal/cluster"
 	_ "spate/internal/compress/all"
 	"spate/internal/core"
+	"spate/internal/decay"
 	"spate/internal/dfs"
 	"spate/internal/gen"
 	"spate/internal/geo"
+	"spate/internal/lifecycle"
 	"spate/internal/snapshot"
 	"spate/internal/telco"
 	"spate/internal/tracedir"
@@ -75,6 +80,15 @@ func run() int {
 		withPprof = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 		chunkSize = flag.Int("chunk-size", 0,
 			"target uncompressed bytes per leaf segment chunk (0 = 256 KiB default; negative = legacy whole-blob leaves)")
+
+		decayEvery = flag.Duration("decay-interval", 0,
+			"lifecycle: run scheduled decay this often (0 = disabled)")
+		scrubEvery = flag.Duration("scrub-interval", 0,
+			"lifecycle: run the DFS scrubber + re-replicator this often (0 = disabled)")
+		compactEvery = flag.Duration("compact", 0,
+			"lifecycle: run segment compaction this often (0 = disabled)")
+		keepRaw = flag.Duration("keep-raw", 0,
+			"decay horizon: evict full-resolution leaf data older than this (0 = keep forever)")
 
 		clusterMode = flag.Bool("cluster", false, "run an in-process sharded cluster behind the coordinator UI")
 		shards      = flag.Int("shards", 4, "cluster: number of time shards")
@@ -144,6 +158,26 @@ func run() int {
 		return telco.NewTimeRange(e0.Start(), (e0 + telco.Epoch(n)).Start()), nil
 	}
 
+	// Lifecycle maintenance (ISSUE 5): scheduled decay, DFS scrub and
+	// segment compaction run inside the serving process. The run summaries
+	// go through log.Printf so operators see them without scraping
+	// /api/lifecycle.
+	engOpts := core.Options{
+		ChunkSize: *chunkSize,
+		Policy:    decay.Policy{KeepRaw: *keepRaw},
+	}
+	lcCfg := lifecycle.Config{
+		DecayInterval:   *decayEvery,
+		ScrubInterval:   *scrubEvery,
+		CompactInterval: *compactEvery,
+		Logf:            log.Printf,
+	}
+	lcEnabled := *decayEvery > 0 || *scrubEvery > 0 || *compactEvery > 0
+	if lcEnabled {
+		log.Printf("spate-server: lifecycle daemon enabled (decay %v, scrub %v, compact %v)",
+			*decayEvery, *scrubEvery, *compactEvery)
+	}
+
 	ccfg := cluster.Config{Shards: *shards, Replicas: *replicas, SpatialSplit: *split}
 	var handler http.Handler
 	switch {
@@ -177,9 +211,11 @@ func run() int {
 		handler = webui.NewClusterServer(coord, cells, window).Handler()
 
 	case *clusterMode:
-		local, err := cluster.StartLocal(ccfg, cellTable, cluster.LocalOptions{
-			Engine: core.Options{ChunkSize: *chunkSize},
-		})
+		lopt := cluster.LocalOptions{Engine: engOpts}
+		if lcEnabled {
+			lopt.Lifecycle = &lcCfg
+		}
+		local, err := cluster.StartLocal(ccfg, cellTable, lopt)
 		if err != nil {
 			log.Print(err)
 			return 1
@@ -213,7 +249,7 @@ func run() int {
 			log.Print(err)
 			return 1
 		}
-		eng, err := core.Open(fs, cellTable, core.Options{ChunkSize: *chunkSize})
+		eng, err := core.Open(fs, cellTable, engOpts)
 		if err != nil {
 			log.Print(err)
 			return 1
@@ -234,9 +270,17 @@ func run() int {
 		// Mount the node RPC surface alongside the UI so this process can
 		// serve as a shard behind a -join coordinator.
 		node := cluster.NewNode(eng)
+		ui := webui.NewServer(eng, cells, window)
+		if lcEnabled {
+			lm := lifecycle.New(eng, lcCfg)
+			ui.SetLifecycle(lm)
+			node.SetLifecycle(lm)
+			lm.Start()
+			defer lm.Close()
+		}
 		mux := http.NewServeMux()
 		mux.Handle("/rpc/", node.Handler())
-		mux.Handle("/", webui.NewServer(eng, cells, window).Handler())
+		mux.Handle("/", ui.Handler())
 		handler = mux
 	}
 

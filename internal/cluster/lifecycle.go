@@ -1,0 +1,172 @@
+// Lifecycle maintenance across the cluster: every shard node may carry its
+// own lifecycle.Manager (its engine, its DFS, its schedule), and the
+// coordinator fans status probes and manual runs out to all of them. Fan-
+// outs follow the PR-2 degradation contract — per-node results plus a
+// Partial flag instead of all-or-nothing, so one dead shard doesn't hide
+// the maintenance state of the rest of the fleet.
+
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sort"
+	"sync"
+
+	"spate/internal/lifecycle"
+)
+
+// SetLifecycle attaches a maintenance manager to the node, enabling its
+// /rpc/lifecycle surface. The node does not own the manager's schedule —
+// callers Start and Close it.
+func (n *Node) SetLifecycle(m *lifecycle.Manager) { n.lc.Store(m) }
+
+// Lifecycle returns the attached manager, or nil.
+func (n *Node) Lifecycle() *lifecycle.Manager {
+	if v := n.lc.Load(); v != nil {
+		return v.(*lifecycle.Manager)
+	}
+	return nil
+}
+
+// handleLifecycle is the node-side maintenance RPC: GET returns the
+// manager's status; POST runs ?action=trigger&job=<name> (the default
+// action), pause, or resume.
+func (n *Node) handleLifecycle(w http.ResponseWriter, r *http.Request) {
+	m := n.Lifecycle()
+	if m == nil {
+		rpcError(w, http.StatusServiceUnavailable, fmt.Errorf("cluster: no lifecycle manager on this node"))
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, m.Status())
+	case http.MethodPost:
+		switch action := r.URL.Query().Get("action"); action {
+		case "pause":
+			m.Pause()
+			writeJSON(w, m.Status())
+		case "resume":
+			m.Resume()
+			writeJSON(w, m.Status())
+		case "", "trigger":
+			rec, err := m.Trigger(r.URL.Query().Get("job"))
+			if err != nil {
+				rpcError(w, http.StatusInternalServerError, err)
+				return
+			}
+			writeJSON(w, rec)
+		default:
+			rpcError(w, http.StatusBadRequest, fmt.Errorf("cluster: unknown action %q", action))
+		}
+	default:
+		rpcError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET or POST required"))
+	}
+}
+
+// NodeLifecycle is one node's slice of a cluster-wide lifecycle fan-out.
+type NodeLifecycle struct {
+	URL    string            `json:"url"`
+	Status *lifecycle.Status `json:"status,omitempty"`
+	// Record is the run produced by a trigger fan-out (absent on status
+	// probes and failed nodes).
+	Record *lifecycle.RunRecord `json:"record,omitempty"`
+	Error  string               `json:"error,omitempty"`
+}
+
+// LifecycleSweep aggregates a fan-out across the fleet. Partial follows
+// the exploration degradation contract: some nodes answered, some did not,
+// and the per-node slices say which.
+type LifecycleSweep struct {
+	Nodes   []NodeLifecycle `json:"nodes"`
+	Failed  int             `json:"failed"`
+	Partial bool            `json:"partial"`
+}
+
+// LifecycleStatus probes every node's maintenance state. It fails only
+// when every node does; otherwise failures are carried per node.
+func (c *Coordinator) LifecycleStatus(ctx context.Context) (LifecycleSweep, error) {
+	return c.lifecycleFanout(ctx, func(ctx context.Context, base string, nl *NodeLifecycle) error {
+		var st lifecycle.Status
+		if err := c.cl.get(ctx, base, "/rpc/lifecycle", &st); err != nil {
+			return err
+		}
+		nl.Status = &st
+		return nil
+	})
+}
+
+// RunLifecycle triggers the named job synchronously on every node,
+// tolerating partial completion: nodes that fail (unreachable, no manager,
+// job error) are reported alongside the runs that finished.
+func (c *Coordinator) RunLifecycle(ctx context.Context, job string) (LifecycleSweep, error) {
+	path := "/rpc/lifecycle?action=trigger&job=" + url.QueryEscape(job)
+	return c.lifecycleFanout(ctx, func(ctx context.Context, base string, nl *NodeLifecycle) error {
+		var rec lifecycle.RunRecord
+		if err := c.cl.post(ctx, base, path, struct{}{}, &rec); err != nil {
+			return err
+		}
+		nl.Record = &rec
+		return nil
+	})
+}
+
+// PauseLifecycle pauses (or resumes) scheduling fleet-wide.
+func (c *Coordinator) PauseLifecycle(ctx context.Context, pause bool) (LifecycleSweep, error) {
+	action := "pause"
+	if !pause {
+		action = "resume"
+	}
+	return c.lifecycleFanout(ctx, func(ctx context.Context, base string, nl *NodeLifecycle) error {
+		var st lifecycle.Status
+		if err := c.cl.post(ctx, base, "/rpc/lifecycle?action="+action, struct{}{}, &st); err != nil {
+			return err
+		}
+		nl.Status = &st
+		return nil
+	})
+}
+
+func (c *Coordinator) lifecycleFanout(ctx context.Context, call func(context.Context, string, *NodeLifecycle) error) (LifecycleSweep, error) {
+	urls := make([]string, 0, len(c.nodes)*c.cfg.Replicas)
+	seen := make(map[string]bool)
+	for _, group := range c.nodes {
+		for _, u := range group {
+			if !seen[u] {
+				seen[u] = true
+				urls = append(urls, u)
+			}
+		}
+	}
+	sort.Strings(urls)
+	sweep := LifecycleSweep{Nodes: make([]NodeLifecycle, len(urls))}
+	var wg sync.WaitGroup
+	for i, u := range urls {
+		wg.Add(1)
+		go func(i int, u string) {
+			defer wg.Done()
+			nl := &sweep.Nodes[i]
+			nl.URL = u
+			if err := call(ctx, u, nl); err != nil {
+				nl.Error = err.Error()
+			}
+		}(i, u)
+	}
+	wg.Wait()
+	var firstErr string
+	for _, nl := range sweep.Nodes {
+		if nl.Error != "" {
+			sweep.Failed++
+			if firstErr == "" {
+				firstErr = nl.Error
+			}
+		}
+	}
+	sweep.Partial = sweep.Failed > 0 && sweep.Failed < len(sweep.Nodes)
+	if len(sweep.Nodes) > 0 && sweep.Failed == len(sweep.Nodes) {
+		return sweep, fmt.Errorf("cluster: lifecycle fan-out failed on all %d nodes: %s", sweep.Failed, firstErr)
+	}
+	return sweep, nil
+}

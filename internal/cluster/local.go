@@ -10,6 +10,7 @@ import (
 	"spate/internal/core"
 	"spate/internal/dfs"
 	"spate/internal/geo"
+	"spate/internal/lifecycle"
 	"spate/internal/telco"
 )
 
@@ -24,6 +25,9 @@ type LocalOptions struct {
 	// selects a light single-datanode layout (each cluster node already is
 	// the replication unit).
 	DFS dfs.Config
+	// Lifecycle, when set, attaches a started maintenance manager with
+	// this configuration to every node; Close stops them.
+	Lifecycle *lifecycle.Config
 }
 
 // Local is an in-process cluster: every node is a real core.Engine served
@@ -38,10 +42,11 @@ type Local struct {
 	// URLs lists each node's base URL, aligned with Nodes.
 	URLs []string
 
-	cfg     Config
-	servers []*http.Server
-	dir     string
-	ownDir  bool
+	cfg      Config
+	servers  []*http.Server
+	managers []*lifecycle.Manager
+	dir      string
+	ownDir   bool
 }
 
 // StartLocal boots a full cluster in-process: NumSlots×Replicas engines on
@@ -76,6 +81,12 @@ func StartLocal(cfg Config, cellTable *telco.Table, opt LocalOptions) (*Local, e
 				return nil, err
 			}
 			node := NewNode(eng)
+			if opt.Lifecycle != nil {
+				m := lifecycle.New(eng, *opt.Lifecycle)
+				node.SetLifecycle(m)
+				m.Start()
+				l.managers = append(l.managers, m)
+			}
 			ln, err := net.Listen("tcp", "127.0.0.1:0")
 			if err != nil {
 				l.Close()
@@ -103,9 +114,12 @@ func (l *Local) Node(slot, replica int) *Node {
 	return l.Nodes[slot*l.cfg.Replicas+replica]
 }
 
-// Close shuts every node server down and removes the temp dir when Local
-// created it.
+// Close stops lifecycle managers, shuts every node server down and
+// removes the temp dir when Local created it.
 func (l *Local) Close() error {
+	for _, m := range l.managers {
+		m.Close()
+	}
 	for _, s := range l.servers {
 		s.Close()
 	}

@@ -26,6 +26,10 @@ type Node struct {
 	// a time and coordinator retries must observe a settled LastEpoch.
 	ingestMu sync.Mutex
 
+	// lc holds the node's optional *lifecycle.Manager (SetLifecycle);
+	// atomic so RPC handlers read it without a lock.
+	lc atomic.Value
+
 	// Fault injection for tests: exploreDelay stalls /rpc/explore
 	// (nanoseconds), failNext fails that many explorations with a 500.
 	exploreDelay atomic.Int64
@@ -39,6 +43,7 @@ func NewNode(eng *core.Engine) *Node {
 	n.mux.HandleFunc("/rpc/explore", n.handleExplore)
 	n.mux.HandleFunc("/rpc/finish", n.handleFinish)
 	n.mux.HandleFunc("/rpc/health", n.handleHealth)
+	n.mux.HandleFunc("/rpc/lifecycle", n.handleLifecycle)
 	return n
 }
 

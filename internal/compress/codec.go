@@ -41,6 +41,27 @@ type Codec interface {
 	Decompress(dst, src []byte) ([]byte, error)
 }
 
+// Effortful is implemented by codecs that can spend more compression CPU
+// in exchange for a better ratio. WithEffort returns a codec producing the
+// same stream format (and carrying the same dictionary) at the given
+// effort; level 1 is the ingest default, higher levels search harder, and
+// levels beyond a codec's maximum clamp. Decompression is identical across
+// levels, so a background rewriter can compress at high effort while the
+// query path keeps reading through the original codec.
+type Effortful interface {
+	Codec
+	WithEffort(level int) Codec
+}
+
+// WithEffort returns c at the given effort level when it supports one, and
+// c unchanged otherwise.
+func WithEffort(c Codec, level int) Codec {
+	if e, ok := c.(Effortful); ok {
+		return e.WithEffort(level)
+	}
+	return c
+}
+
 // ErrCorrupt is returned (possibly wrapped) when compressed input is
 // malformed or truncated.
 var ErrCorrupt = errors.New("compress: corrupt input")

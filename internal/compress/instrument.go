@@ -56,6 +56,19 @@ func Unwrap(c Codec) Codec {
 // Name implements Codec.
 func (w *instrumented) Name() string { return w.inner.Name() }
 
+// WithEffort implements Effortful by forwarding to the inner codec,
+// keeping the same instrumentation series (the effort level is not a
+// separate codec). Codecs without effort levels come back unchanged.
+func (w *instrumented) WithEffort(level int) Codec {
+	e, ok := w.inner.(Effortful)
+	if !ok {
+		return w
+	}
+	cp := *w
+	cp.inner = e.WithEffort(level)
+	return &cp
+}
+
 // Compress implements Codec.
 func (w *instrumented) Compress(dst, src []byte) []byte {
 	t0 := time.Now()

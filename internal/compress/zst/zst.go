@@ -19,11 +19,31 @@ func init() { compress.Register(New(nil)) }
 // Codec is the zstd-style codec, optionally carrying a trained dictionary.
 type Codec struct {
 	dict []byte
+	// maxChain bounds the LZ hash-chain search; 0 selects the ingest
+	// default. Deeper chains trade compression CPU for ratio (WithEffort).
+	maxChain int
 }
 
 // New returns a codec using dict as shared LZ history (nil for none).
 // Compressor and decompressor must use the same dictionary.
 func New(dict []byte) Codec { return Codec{dict: dict} }
+
+// defaultMaxChain is the ingest-path search depth: compression runs once
+// per 30-minute cycle but still sits on the ingest critical path.
+const defaultMaxChain = 64
+
+// WithEffort implements compress.Effortful: each level above 1 quadruples
+// the hash-chain search depth, up to 4096 at level 4. Background rewriters
+// (the lifecycle compactor) compress at high effort; the stream format and
+// dictionary are unchanged, so readers never notice.
+func (c Codec) WithEffort(level int) compress.Codec {
+	chain := defaultMaxChain
+	for ; level > 1 && chain < 4096; level-- {
+		chain *= 4
+	}
+	c.maxChain = chain
+	return c
+}
 
 // Name implements compress.Codec.
 func (Codec) Name() string { return "zstd" }
@@ -49,7 +69,11 @@ func (c Codec) Compress(dst, src []byte) []byte {
 	if len(src) < 32 {
 		return append(append(dst, blockRaw), src...)
 	}
-	seqs := lz.ParseWithPrefix(c.dict, src, lz.Options{MinMatch: 4, MaxChain: 64, Lazy: true})
+	chain := c.maxChain
+	if chain <= 0 {
+		chain = defaultMaxChain
+	}
+	seqs := lz.ParseWithPrefix(c.dict, src, lz.Options{MinMatch: 4, MaxChain: chain, Lazy: true})
 	var tokens []byte
 	var lits []byte
 	pos := 0
@@ -163,9 +187,13 @@ func (c Codec) Decompress(dst, src []byte) ([]byte, error) {
 const trainChunk = 32
 
 // Train builds a domain-specific dictionary from sample blocks, up to
-// maxSize bytes: it ranks aligned 32-byte shingles by occurrence count and
-// packs the most frequent ones, so the shared history contains the column
-// segments every future snapshot will re-emit.
+// maxSize bytes. Two regions share the budget: ranked repeated 32-byte
+// shingles (at most half), then raw recent sample history filling the
+// remainder. The split reflects measurement on telco wire text: every
+// line carries a unique timestamp, so aligned shingles rarely capture the
+// cross-snapshot redundancy — verbatim recent history hands the LZ parser
+// real matches (hot cell IDs, constant attribute tails at arbitrary
+// offsets) and is what actually pays.
 func Train(samples [][]byte, maxSize int) []byte {
 	if maxSize <= 0 || len(samples) == 0 {
 		return nil
@@ -193,10 +221,10 @@ func Train(samples [][]byte, maxSize int) []byte {
 		return stats[i].chunk < stats[j].chunk
 	})
 	var dict []byte
-	// Most frequent chunks go at the END of the dictionary: smaller match
-	// distances for the hottest content.
+	// Most frequent chunks go LAST within the shingle region: smaller
+	// match distances for the hottest content.
 	for _, st := range stats {
-		if len(dict)+trainChunk > maxSize {
+		if len(dict)+trainChunk > maxSize/2 {
 			break
 		}
 		dict = append(dict, st.chunk...)
@@ -206,6 +234,20 @@ func Train(samples [][]byte, maxSize int) []byte {
 		copy(tmp[:], dict[i:i+trainChunk])
 		copy(dict[i:i+trainChunk], dict[j:j+trainChunk])
 		copy(dict[j:j+trainChunk], tmp[:])
+	}
+	// Raw history fills the rest, walking samples newest-first so the
+	// freshest content lands at the very end — the smallest distances.
+	if rem := maxSize - len(dict); rem > 0 {
+		var hist []byte
+		for i := len(samples) - 1; i >= 0 && len(hist) < rem; i-- {
+			s := samples[i]
+			take := rem - len(hist)
+			if take > len(s) {
+				take = len(s)
+			}
+			hist = append(append([]byte(nil), s[len(s)-take:]...), hist...)
+		}
+		dict = append(dict, hist...)
 	}
 	return dict
 }

@@ -2,6 +2,7 @@ package zst
 
 import (
 	"bytes"
+	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
@@ -129,12 +130,14 @@ func TestTrainRanksHotChunks(t *testing.T) {
 	if len(dict) != 2*trainChunk {
 		t.Fatalf("dict len = %d", len(dict))
 	}
-	// Hottest chunk sits at the END (smallest match distance).
-	if string(dict[trainChunk:]) != hot {
-		t.Errorf("hot chunk not at dictionary end")
+	// The shingle region (first half of the budget) keeps only the hottest
+	// chunk; raw recent history — the cold sample, which arrived last —
+	// fills the remainder at the end.
+	if string(dict[:trainChunk]) != hot {
+		t.Errorf("hot chunk not in the shingle region")
 	}
-	if string(dict[:trainChunk]) != cold {
-		t.Errorf("cold chunk not at dictionary start")
+	if string(dict[trainChunk:]) != cold {
+		t.Errorf("raw history tail missing")
 	}
 }
 
@@ -145,9 +148,44 @@ func TestTrainEdgeCases(t *testing.T) {
 	if Train([][]byte{[]byte("x")}, 0) != nil {
 		t.Error("zero budget produced a dictionary")
 	}
-	// Unique chunks (count < 2) never enter the dictionary.
-	if d := Train([][]byte{randomBytes(10*trainChunk, 7)}, 1024); len(d) != 0 {
-		t.Errorf("unique chunks produced %d dict bytes", len(d))
+	// Unique chunks (count < 2) never enter the ranked prefix; the budget
+	// falls through to raw recent history instead.
+	sample := randomBytes(10*trainChunk, 7)
+	if d := Train([][]byte{sample}, 1024); !bytes.Equal(d, sample) {
+		t.Errorf("unique chunks: dict = %d bytes, want the raw sample", len(d))
+	}
+	// A tight budget keeps only the sample's tail.
+	if d := Train([][]byte{sample}, trainChunk); !bytes.Equal(d, sample[len(sample)-trainChunk:]) {
+		t.Errorf("tight budget kept %d bytes, want the %d-byte tail", len(d), trainChunk)
+	}
+}
+
+// TestTrainedDictionaryBeatsPlain is the training payoff test: on small
+// line-structured inputs whose lines never repeat verbatim, a dictionary
+// trained on sibling samples must compress future samples tighter than no
+// dictionary — the property the lifecycle compactor's byte reduction
+// rests on.
+func TestTrainedDictionaryBeatsPlain(t *testing.T) {
+	line := func(i int) string {
+		return fmt.Sprintf("ts=2016-04-0%dT12:%02d:%02d|cell=%d|result=OK|tech=4G|dur=%d\n",
+			i%7+1, i%60, (i*7)%60, 1000+i%13, i*3%500)
+	}
+	var samples [][]byte
+	for s := 0; s < 4; s++ {
+		var b []byte
+		for i := s * 40; i < (s+1)*40; i++ {
+			b = append(b, line(i)...)
+		}
+		samples = append(samples, b)
+	}
+	dict := Train(samples[:3], 8<<10)
+	if len(dict) == 0 {
+		t.Fatal("no dictionary trained")
+	}
+	plain := len(New(nil).Compress(nil, samples[3]))
+	trained := len(New(dict).Compress(nil, samples[3]))
+	if trained >= plain {
+		t.Errorf("trained dict does not pay: %d >= %d bytes", trained, plain)
 	}
 }
 
@@ -183,5 +221,33 @@ func BenchmarkHuffEncode(b *testing.B) {
 	var out []byte
 	for i := 0; i < b.N; i++ {
 		out = appendHuffStream(out[:0], data)
+	}
+}
+
+// TestWithEffortCompressesTighter pins the compactor's contract: a
+// high-effort codec produces a stream the base codec decodes, and on
+// redundant line-structured text the deeper match search strictly pays.
+func TestWithEffortCompressesTighter(t *testing.T) {
+	var b []byte
+	for i := 0; i < 2000; i++ {
+		b = append(b, fmt.Sprintf("ts=%09d|cell=%d|result=OK|bytes=%d\n", i*37, i%97, i*i%8192)...)
+	}
+	base := New(nil)
+	hard := base.WithEffort(3)
+	plain := base.Compress(nil, b)
+	tight := hard.Compress(nil, b)
+	if len(tight) >= len(plain) {
+		t.Errorf("effort 3: %d >= %d bytes", len(tight), len(plain))
+	}
+	got, err := base.Decompress(nil, tight)
+	if err != nil {
+		t.Fatalf("base codec cannot decode high-effort stream: %v", err)
+	}
+	if !bytes.Equal(got, b) {
+		t.Fatal("high-effort round trip mismatch")
+	}
+	// Effort levels clamp rather than grow without bound.
+	if c := base.WithEffort(99); len(c.Compress(nil, b)) == 0 {
+		t.Fatal("clamped effort produced nothing")
 	}
 }

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"spate/internal/decay"
+	"spate/internal/telco"
+)
+
+// TestDecayRunDryRunAndBudget drives the lock-split decay path by hand:
+// the dry run estimates without mutating, the budget clamps a sweep to a
+// bounded slice of the plan, and a follow-up unbudgeted run finishes the
+// job — the lifecycle daemon's steady-state pattern.
+func TestDecayRunDryRunAndBudget(t *testing.T) {
+	// Ingest under the zero policy (nothing decays inline), then reopen
+	// with a 2h horizon so every sweep is explicit.
+	r := newRig(t, Options{})
+	r.ingestEpochs(t, 10) // 5 hours
+	e := reopen(t, r, Options{Policy: decay.Policy{KeepRaw: 2 * time.Hour}})
+	now := telco.EpochOf(r.cfg.Start).Start().Add(5 * time.Hour)
+	filesBefore := len(r.fs.List("/spate/data/"))
+
+	dry, err := e.DecayRun(now, DecayBudget{DryRun: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dry.DryRun || dry.Planned == 0 || dry.LeavesDecayed == 0 || dry.BytesFreed == 0 {
+		t.Fatalf("dry run = %+v", dry)
+	}
+	if st := e.Tree().Stats(); st.DecayedLeaves != 0 {
+		t.Fatalf("dry run decayed %d leaves", st.DecayedLeaves)
+	}
+	if got := len(r.fs.List("/spate/data/")); got != filesBefore {
+		t.Fatalf("dry run deleted files: %d -> %d", filesBefore, got)
+	}
+
+	// A one-leaf budget applies exactly the head of the plan.
+	rep1, err := e.DecayRun(now, DecayBudget{MaxLeaves: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep1.Clamped || rep1.LeavesDecayed != 1 || rep1.Planned != dry.Planned {
+		t.Fatalf("budgeted run = %+v (planned %d)", rep1, dry.Planned)
+	}
+
+	// The unbudgeted follow-up drains the remainder; together the two runs
+	// decay exactly what the dry run promised.
+	rep2, err := e.DecayRun(now, DecayBudget{BatchSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Clamped {
+		t.Errorf("unbudgeted run clamped: %+v", rep2)
+	}
+	if got := rep1.LeavesDecayed + rep2.LeavesDecayed; got != dry.LeavesDecayed {
+		t.Errorf("decayed %d leaves across runs, dry run promised %d", got, dry.LeavesDecayed)
+	}
+	if st := e.Tree().Stats(); st.DecayedLeaves != dry.LeavesDecayed {
+		t.Errorf("tree has %d decayed leaves, want %d", st.DecayedLeaves, dry.LeavesDecayed)
+	}
+
+	// The decayed window still answers (marking its decayed leaves), and a
+	// third sweep finds nothing left to do. (Rows are not asserted: these
+	// leaves sit in an unsealed day, whose ephemeral summaries recovery
+	// does not rebuild — realistic horizons decay only sealed days, served
+	// by their persisted day summaries.)
+	w := telco.NewTimeRange(r.cfg.Start, r.cfg.Start.Add(time.Hour))
+	res, err := e.Explore(Query{Window: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DecayedLeaves == 0 {
+		t.Errorf("decayed window reports %d decayed leaves", res.DecayedLeaves)
+	}
+	rep3, err := e.DecayRun(now, DecayBudget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep3.Planned != 0 {
+		t.Errorf("idempotent sweep planned %d evictions", rep3.Planned)
+	}
+}
+
+// TestDecayByteBudget bounds a sweep by bytes instead of leaves.
+func TestDecayByteBudget(t *testing.T) {
+	r := newRig(t, Options{})
+	r.ingestEpochs(t, 8)
+	e := reopen(t, r, Options{Policy: decay.Policy{KeepRaw: time.Hour}})
+	now := telco.EpochOf(r.cfg.Start).Start().Add(4 * time.Hour)
+	rep, err := e.DecayRun(now, DecayBudget{MaxBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The budget always admits the first eviction (progress guarantee) but
+	// nothing more at 1 byte.
+	if !rep.Clamped || rep.Applied != 1 {
+		t.Fatalf("1-byte budget applied %d evictions (clamped=%v)", rep.Applied, rep.Clamped)
+	}
+}
+
+// TestConcurrentDecayExplore runs budgeted decay sweeps against live
+// explorers under -race: the sweep plans under the read lock and applies
+// in short write-locked batches, so queries on recent windows proceed
+// while old leaves decay.
+func TestConcurrentDecayExplore(t *testing.T) {
+	r := newRig(t, Options{})
+	r.ingestEpochs(t, 16) // 8 hours
+	e := reopen(t, r, Options{Policy: decay.Policy{KeepRaw: 4 * time.Hour}})
+	e0 := telco.EpochOf(r.cfg.Start)
+	now := e0.Start().Add(8 * time.Hour)
+	// Explorers live in the freshest two hours — disjoint from the decay
+	// horizon, so their answers must never change mid-sweep.
+	recent := telco.NewTimeRange(e0.Start().Add(6*time.Hour), e0.Start().Add(8*time.Hour))
+	want, err := e.Explore(Query{Window: recent})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				res, err := e.Explore(Query{Window: recent, ExactRows: i%2 == 0})
+				if err != nil {
+					t.Errorf("explore during decay: %v", err)
+					return
+				}
+				if res.Summary.Rows != want.Summary.Rows {
+					t.Errorf("recent window changed mid-decay: %d != %d", res.Summary.Rows, want.Summary.Rows)
+					return
+				}
+			}
+		}(i)
+	}
+
+	// Drain the decay plan one leaf and one batch at a time, maximizing
+	// lock handoffs with the explorers.
+	for {
+		rep, err := e.DecayRun(now, DecayBudget{MaxLeaves: 1, BatchSize: 1})
+		if err != nil {
+			t.Errorf("decay: %v", err)
+			break
+		}
+		if rep.Applied == 0 {
+			break
+		}
+	}
+	close(done)
+	wg.Wait()
+
+	if st := e.Tree().Stats(); st.DecayedLeaves == 0 {
+		t.Fatal("no leaves decayed")
+	}
+}
+
+// TestRecoveryAfterDecayParity is the recovery acceptance test: an engine
+// reopened over a decayed-and-pruned store (including legacy whole-blob
+// leaves) serves the same results and does not resurrect pruned leaf
+// metadata.
+func TestRecoveryAfterDecayParity(t *testing.T) {
+	opts := Options{
+		ChunkSize: -1, // legacy whole-blob leaves
+		Policy:    decay.Policy{KeepRaw: 2 * time.Hour, KeepEpochNodes: 12 * time.Hour},
+	}
+	r := newRig(t, opts)
+	r.ingestEpochs(t, 2*telco.EpochsPerDay) // day 1 decays and fully collapses
+
+	oldW := telco.NewTimeRange(r.cfg.Start, r.cfg.Start.Add(6*time.Hour))
+	newW := telco.NewTimeRange(r.cfg.Start.Add(46*time.Hour), r.cfg.Start.Add(48*time.Hour))
+	wantOld, err := r.e.Explore(Query{Window: oldW})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNew, err := r.e.Explore(Query{Window: newW, ExactRows: true, Tables: []string{"CDR"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stBefore := r.e.Tree().Stats()
+	metasBefore := len(r.fs.List("/spate/meta/leaf/"))
+	if stBefore.Leaves >= 2*telco.EpochsPerDay {
+		t.Fatalf("day 1 not pruned: %d leaves", stBefore.Leaves)
+	}
+	if metasBefore >= 2*telco.EpochsPerDay {
+		t.Fatalf("pruned leaf metadata not cleaned: %d metas", metasBefore)
+	}
+
+	e2 := reopen(t, r, opts)
+	stAfter := e2.Tree().Stats()
+	if stAfter.Leaves != stBefore.Leaves || stAfter.DecayedLeaves != stBefore.DecayedLeaves {
+		t.Errorf("recovered stats %+v, want %+v (pruned leaves resurrected?)", stAfter, stBefore)
+	}
+	if metasAfter := len(r.fs.List("/spate/meta/leaf/")); metasAfter != metasBefore {
+		t.Errorf("leaf metas %d -> %d across recovery", metasBefore, metasAfter)
+	}
+	gotOld, err := e2.Explore(Query{Window: oldW})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotOld.Summary.Rows != wantOld.Summary.Rows {
+		t.Errorf("pruned-day rows = %d, want %d", gotOld.Summary.Rows, wantOld.Summary.Rows)
+	}
+	gotNew, err := e2.Explore(Query{Window: newW, ExactRows: true, Tables: []string{"CDR"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotNew.Summary.Rows != wantNew.Summary.Rows ||
+		gotNew.Rows["CDR"].Len() != wantNew.Rows["CDR"].Len() {
+		t.Errorf("recent window: rows %d/%d, want %d/%d",
+			gotNew.Summary.Rows, gotNew.Rows["CDR"].Len(),
+			wantNew.Summary.Rows, wantNew.Rows["CDR"].Len())
+	}
+}

@@ -142,6 +142,13 @@ type Engine struct {
 	cells map[int64]geo.Point
 	cellQ geo.SpatialIndex
 
+	// decayMu serializes decay and compaction sweeps with each other.
+	// Sweeps take e.mu only in short bursts (plan under RLock, batched
+	// mutations under Lock) so explorations keep flowing while one runs;
+	// two sweeps interleaving with each other, however, could double-apply
+	// evictions or swap refs a concurrent sweep just planned against.
+	decayMu sync.Mutex
+
 	// dictionary training state
 	trainSamples [][]byte
 	trained      bool
@@ -547,43 +554,182 @@ func (e *Engine) maybeTrain(text []byte) {
 // uncached response times; normal operation never needs it).
 func (e *Engine) ClearCache() { e.cache.clear() }
 
-// Decay plans and applies the data fungus at the given instant. Cache
-// damage is targeted: deleted leaf files drop their inflated chunks from
-// the chunk cache by path prefix, and only cached results whose served
-// period intersects a decayed node's period are invalidated — a cached
-// query over a disjoint window keeps serving hits through decay runs.
+// Decay plans and applies the data fungus at the given instant with no
+// budget — the ingest-path housekeeping call. See DecayRun.
 func (e *Engine) Decay(now time.Time) (decay.Result, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	rep, err := e.DecayRun(now, DecayBudget{})
+	return rep.Result, err
+}
+
+// DecayBudget bounds one decay sweep. The zero value applies the whole
+// plan in default-sized batches.
+type DecayBudget struct {
+	// MaxLeaves caps the number of leaves whose raw data one sweep may
+	// evict (subtree prunes count every undecayed leaf beneath). 0 = no
+	// cap. At least one eviction is always admitted so sweeps make
+	// progress.
+	MaxLeaves int
+	// MaxBytes stops admitting evictions once the planned reclaim reaches
+	// this many compressed bytes. 0 = no cap.
+	MaxBytes int64
+	// DryRun plans (and clamps) without touching the tree or the DFS —
+	// the report carries what a real sweep would have reclaimed.
+	DryRun bool
+	// BatchSize is how many evictions apply per write-lock acquisition
+	// (default 32). Smaller batches yield to concurrent explorations more
+	// often at the cost of more lock traffic.
+	BatchSize int
+}
+
+// DecayReport describes one decay sweep.
+type DecayReport struct {
+	decay.Result
+	// Planned counts the evictions the fungus proposed; Applied counts
+	// those admitted by the budget (and, unless DryRun, executed).
+	Planned int
+	Applied int
+	// Clamped marks a sweep the budget cut short; the remainder stays for
+	// the next run.
+	Clamped bool
+	DryRun  bool
+}
+
+// evictionCost sizes one planned eviction for budget accounting. Caller
+// holds at least the read lock.
+func evictionCost(ev decay.Eviction) (leaves int, bytes int64) {
+	switch ev.Action {
+	case decay.EvictLeafData:
+		if !ev.Node.Decayed {
+			return 1, ev.Node.DataBytes
+		}
+		return 0, 0
+	case decay.PruneChildren:
+		var walk func(n *index.Node)
+		walk = func(n *index.Node) {
+			if n.IsLeaf() {
+				if !n.Decayed {
+					leaves++
+					bytes += n.DataBytes
+				}
+				return
+			}
+			for _, c := range n.Children {
+				walk(c)
+			}
+		}
+		walk(ev.Node)
+	}
+	return leaves, bytes
+}
+
+// DecayRun plans and applies the data fungus at the given instant under a
+// budget. Planning happens under the engine read lock; evictions then
+// apply in bounded batches under short write-lock acquisitions, with the
+// DFS deletes deferred outside the lock entirely — a concurrent Explore
+// is never blocked for the whole sweep. Cache damage is targeted: deleted
+// leaf files drop their inflated chunks from the chunk cache by path
+// prefix, and only cached results whose served period intersects a
+// decayed node's period are invalidated — a cached query over a disjoint
+// window keeps serving hits through decay runs.
+//
+// A delete that fails leaves an orphaned file behind (the index entry is
+// already gone); the first such error is reported after the sweep
+// finishes applying.
+func (e *Engine) DecayRun(now time.Time, b DecayBudget) (DecayReport, error) {
+	e.decayMu.Lock()
+	defer e.decayMu.Unlock()
+	if b.BatchSize <= 0 {
+		b.BatchSize = 32
+	}
+
+	// Plan under the read lock: the fungus walks the tree, and budget
+	// accounting reads leaf payload fields, but nothing mutates.
+	e.mu.RLock()
 	evs := e.opts.Fungus.Plan(now, e.tree, e.opts.Policy)
-	if len(evs) == 0 {
-		return decay.Result{}, nil
-	}
-	stale := make([]telco.TimeRange, len(evs))
+	rep := DecayReport{Planned: len(evs), DryRun: b.DryRun}
+	var planLeaves int
+	var planBytes int64
+	kept := evs
 	for i, ev := range evs {
-		stale[i] = ev.Node.Period
+		l, by := evictionCost(ev)
+		if i > 0 && ((b.MaxLeaves > 0 && planLeaves+l > b.MaxLeaves) ||
+			(b.MaxBytes > 0 && planBytes+by > b.MaxBytes)) {
+			kept, rep.Clamped = evs[:i], true
+			break
+		}
+		planLeaves += l
+		planBytes += by
 	}
-	del := func(path string) error {
-		e.chunkCache.InvalidatePrefix(path + "#")
-		return e.fs.Delete(path)
+	rep.Applied = len(kept)
+	e.mu.RUnlock()
+	if len(kept) == 0 {
+		return rep, nil
 	}
-	res, err := decay.Apply(e.tree, evs, del)
-	if err != nil {
-		return res, fmt.Errorf("core: decay: %w", err)
+	if b.DryRun {
+		for _, ev := range kept {
+			if ev.Action == decay.PruneChildren {
+				rep.NodesPruned += len(ev.Node.Children)
+			}
+		}
+		rep.LeavesDecayed = planLeaves
+		rep.BytesFreed = planBytes
+		return rep, nil
 	}
-	e.met.decayRuns.Inc()
-	e.met.decayLeaves.Add(int64(res.LeavesDecayed))
-	e.met.decayPruned.Add(int64(res.NodesPruned))
-	e.met.decayBytes.Add(res.BytesFreed)
-	if res.NodesPruned > 0 {
+
+	// Apply in bounded batches. The tree only grows between plan and
+	// apply (ingest appends on the right-most path; other sweeps are
+	// serialized by decayMu), so the planned nodes stay valid.
+	var pending []string // DFS paths to delete once the lock is down
+	var delErr error
+	structural := false
+	for start := 0; start < len(kept); start += b.BatchSize {
+		batch := kept[start:min(start+b.BatchSize, len(kept))]
+		e.mu.Lock()
+		stale := make([]telco.TimeRange, len(batch))
+		for i, ev := range batch {
+			stale[i] = ev.Node.Period
+		}
+		res, err := decay.Apply(e.tree, batch, func(path string) error {
+			e.chunkCache.InvalidatePrefix(path + "#")
+			pending = append(pending, path)
+			return nil
+		})
+		rep.LeavesDecayed += res.LeavesDecayed
+		rep.NodesPruned += res.NodesPruned
+		rep.BytesFreed += res.BytesFreed
+		rep.RefsDeleted += res.RefsDeleted
+		e.cache.invalidate(stale)
+		e.mu.Unlock()
+		if err != nil {
+			return rep, fmt.Errorf("core: decay: %w", err)
+		}
+		if res.NodesPruned > 0 {
+			structural = true
+		}
+		for _, p := range pending {
+			if derr := e.fs.Delete(p); derr != nil && delErr == nil {
+				delErr = derr
+			}
+		}
+		pending = pending[:0]
+	}
+	if rep.LeavesDecayed > 0 || rep.NodesPruned > 0 {
+		e.met.decayRuns.Inc()
+		e.met.decayLeaves.Add(int64(rep.LeavesDecayed))
+		e.met.decayPruned.Add(int64(rep.NodesPruned))
+		e.met.decayBytes.Add(rep.BytesFreed)
+	}
+	if structural {
 		// Drop leaf metadata of pruned subtrees so a recovery does not
 		// resurrect index entries beyond the live tree.
 		if err := e.cleanupLeafMeta(); err != nil {
-			return res, err
+			return rep, err
 		}
 	}
-	e.cache.invalidate(stale)
-	return res, nil
+	if delErr != nil {
+		return rep, fmt.Errorf("core: decay delete: %w", delErr)
+	}
+	return rep, nil
 }
 
 // SpaceReport quantifies the paper's first objective O1 = S / (Sc + Si).

@@ -191,16 +191,23 @@ func (e *Engine) recover() error {
 // cleanupLeafMeta removes the persisted metadata of pruned epochs so a
 // recovery after deep decay does not resurrect pruned subtrees' leaves as
 // index entries beyond what the live tree holds. Leaves that merely
-// decayed keep their meta (the index entry survives decay).
+// decayed keep their meta (the index entry survives decay). Safe without
+// the caller holding the engine lock: the listing is taken before the
+// live-set walk, and ingest appends a leaf to the tree before persisting
+// its meta — so every listed meta's leaf is in the walked tree unless a
+// decay sweep (serialized by decayMu) pruned it.
 func (e *Engine) cleanupLeafMeta() error {
+	listing := e.fs.List("/spate/meta/leaf/")
 	live := make(map[string]bool)
+	e.mu.RLock()
 	e.tree.Walk(func(n *index.Node) bool {
 		if n.IsLeaf() {
 			live[leafMetaPath(n.Epoch)] = true
 		}
 		return true
 	})
-	for _, fi := range e.fs.List("/spate/meta/leaf/") {
+	e.mu.RUnlock()
+	for _, fi := range listing {
 		if !live[fi.Path] {
 			if err := e.fs.Delete(fi.Path); err != nil {
 				return fmt.Errorf("core: cleanup %s: %w", fi.Path, err)
@@ -208,4 +215,16 @@ func (e *Engine) cleanupLeafMeta() error {
 		}
 	}
 	return nil
+}
+
+// replaceLeafMeta rewrites one leaf's persisted metadata in place (the DFS
+// is write-once, so replace = delete + write).
+func (e *Engine) replaceLeafMeta(m leafMeta) error {
+	path := leafMetaPath(m.Epoch)
+	if e.fs.Exists(path) {
+		if err := e.fs.Delete(path); err != nil {
+			return fmt.Errorf("core: replace leaf meta: %w", err)
+		}
+	}
+	return e.persistLeafMeta(m)
 }

@@ -103,6 +103,10 @@ type Cluster struct {
 	nextBlk int64
 	nextPut int // round-robin placement cursor
 
+	// scrubHook, when set, is consulted once per replica verification
+	// during Scrub — fault injection for tests. Guarded by mu.
+	scrubHook func(path string, block int64, node int) error
+
 	bytesRead    atomic.Int64
 	bytesWritten atomic.Int64
 
@@ -121,7 +125,7 @@ type clusterMetrics struct {
 
 func newClusterMetrics(r *obs.Registry) clusterMetrics {
 	m := clusterMetrics{opSec: make(map[string]*obs.Histogram)}
-	for _, op := range []string{"write", "read", "delete", "rereplicate"} {
+	for _, op := range []string{"write", "read", "delete", "rereplicate", "scrub"} {
 		m.opSec[op] = r.Histogram("spate_dfs_op_seconds",
 			"DFS operation latency by op.", nil, "op", op)
 	}
@@ -532,6 +536,9 @@ type Usage struct {
 	StoredBytes int64
 	Files       int
 	LiveNodes   int
+	// UnderReplicatedBlocks counts blocks with fewer live replicas than
+	// the target — the scrubber's effectiveness gauge.
+	UnderReplicatedBlocks int
 }
 
 // Usage returns current storage statistics.
@@ -541,6 +548,17 @@ func (c *Cluster) Usage() Usage {
 	u := Usage{Files: len(c.files)}
 	for _, fm := range c.files {
 		u.LogicalBytes += fm.size
+		for _, bm := range fm.blocks {
+			live := 0
+			for _, r := range bm.replicas {
+				if c.nodes[r].alive {
+					live++
+				}
+			}
+			if live < c.cfg.Replication {
+				u.UnderReplicatedBlocks++
+			}
+		}
 	}
 	for _, n := range c.nodes {
 		u.StoredBytes += n.used
@@ -616,7 +634,24 @@ func (c *Cluster) Rereplicate() (int, error) {
 	defer c.met.opSec["rereplicate"].ObserveSince(t0)
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	created, _, err := c.rereplicateLocked()
+	if err != nil {
+		return created, err
+	}
+	if created > 0 {
+		if err := c.saveImageLocked(); err != nil {
+			return created, err
+		}
+	}
+	return created, nil
+}
+
+// rereplicateLocked restores the replication factor of under-replicated
+// blocks, returning the replicas created and their total bytes. Callers
+// hold c.mu and persist the fsimage themselves.
+func (c *Cluster) rereplicateLocked() (int, int64, error) {
 	created := 0
+	var bytes int64
 	for _, fm := range c.files {
 		for bi := range fm.blocks {
 			bm := &fm.blocks[bi]
@@ -644,7 +679,7 @@ func (c *Cluster) Rereplicate() (int, error) {
 				}
 			}
 			if chunk == nil && bm.size > 0 {
-				return created, fmt.Errorf("dfs: block %d unrecoverable: %w", bm.id, ErrUnavailable)
+				return created, bytes, fmt.Errorf("dfs: block %d unrecoverable: %w", bm.id, ErrUnavailable)
 			}
 			if chunk == nil {
 				chunk = []byte{}
@@ -657,24 +692,20 @@ func (c *Cluster) Rereplicate() (int, error) {
 					continue
 				}
 				if err := os.WriteFile(blockFile(n.dir, bm.id), chunk, 0o644); err != nil {
-					return created, fmt.Errorf("dfs: rereplicate: %w", err)
+					return created, bytes, fmt.Errorf("dfs: rereplicate: %w", err)
 				}
 				n.used += bm.size
 				bm.replicas = append(bm.replicas, i)
 				onNode[i] = true
 				live++
 				created++
+				bytes += bm.size
 				c.bytesWritten.Add(bm.size)
 				c.met.writtenB.Add(bm.size)
 			}
 		}
 	}
-	if created > 0 {
-		if err := c.saveImageLocked(); err != nil {
-			return created, err
-		}
-	}
-	return created, nil
+	return created, bytes, nil
 }
 
 // UnderReplicated counts blocks with fewer live replicas than the target.

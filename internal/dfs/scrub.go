@@ -1,0 +1,198 @@
+package dfs
+
+import (
+	"fmt"
+	"hash/crc32"
+	"os"
+	"time"
+)
+
+// The scrubber is the cluster's proactive integrity pass. Normal reads
+// already fail over past a corrupt replica, but nothing repairs it — the
+// damage sits latent until the healthy copies are the ones that fail. A
+// scrub walks every block, verifies each replica on a live datanode
+// against the block checksum, quarantines the ones that fail (the block
+// file moves aside with a ".corrupt" suffix, like HDFS's corrupt-replica
+// directory), and restores the replication factor from surviving copies.
+
+// ScrubResult summarizes one scrub pass.
+type ScrubResult struct {
+	BlocksChecked   int
+	ReplicasChecked int
+	// CorruptReplicas failed their checksum (or the injected fault hook);
+	// MissingReplicas were listed in block metadata but absent on disk.
+	// Both are quarantined.
+	CorruptReplicas int
+	MissingReplicas int
+	// ReplicasRestored counts new copies written to restore replication;
+	// BytesRepaired is their total size.
+	ReplicasRestored int
+	BytesRepaired    int64
+	// UnrecoverableBlocks have no healthy live replica left — their data
+	// is lost until a dead node holding a copy revives.
+	UnrecoverableBlocks int
+}
+
+// SetScrubHook installs a fault-injection hook consulted once per replica
+// verification (tests only). A non-nil error makes the scrubber treat the
+// replica as unreadable even if its bytes are intact. Pass nil to remove.
+func (c *Cluster) SetScrubHook(fn func(path string, block int64, node int) error) {
+	c.mu.Lock()
+	c.scrubHook = fn
+	c.mu.Unlock()
+}
+
+// badReplica is one replica the verify phase flagged.
+type badReplica struct {
+	path    string
+	blockID int64
+	node    int
+	missing bool
+}
+
+// Scrub verifies every replica on live datanodes, quarantines corrupt or
+// missing ones, and re-replicates to restore the replication factor. The
+// verify phase reads block files without the cluster lock (concurrent
+// writes and deletes stay unblocked); flagged replicas are re-verified
+// under the lock before quarantine so a file deleted or repaired in the
+// meantime is left alone.
+func (c *Cluster) Scrub() (ScrubResult, error) {
+	t0 := time.Now()
+	defer c.met.opSec["scrub"].ObserveSince(t0)
+	var res ScrubResult
+
+	// Snapshot the block table and node state.
+	type repl struct {
+		path    string
+		blockID int64
+		node    int
+		dir     string
+		sum     uint32
+	}
+	c.mu.RLock()
+	hook := c.scrubHook
+	var work []repl
+	for path, fm := range c.files {
+		for _, bm := range fm.blocks {
+			res.BlocksChecked++
+			for _, r := range bm.replicas {
+				if !c.nodes[r].alive {
+					continue
+				}
+				work = append(work, repl{path: path, blockID: bm.id, node: r,
+					dir: c.nodes[r].dir, sum: bm.checksum})
+			}
+		}
+	}
+	c.mu.RUnlock()
+
+	// Verify without the lock.
+	var bad []badReplica
+	for _, w := range work {
+		res.ReplicasChecked++
+		if hook != nil {
+			if err := hook(w.path, w.blockID, w.node); err != nil {
+				bad = append(bad, badReplica{path: w.path, blockID: w.blockID, node: w.node})
+				continue
+			}
+		}
+		data, err := os.ReadFile(blockFile(w.dir, w.blockID))
+		if err != nil {
+			bad = append(bad, badReplica{path: w.path, blockID: w.blockID, node: w.node, missing: true})
+			continue
+		}
+		if crc32.ChecksumIEEE(data) != w.sum {
+			bad = append(bad, badReplica{path: w.path, blockID: w.blockID, node: w.node})
+		}
+	}
+
+	// Quarantine and repair under one lock acquisition.
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dirty := false
+	for _, b := range bad {
+		fm, ok := c.files[b.path]
+		if !ok {
+			continue // file deleted since the snapshot
+		}
+		for bi := range fm.blocks {
+			bm := &fm.blocks[bi]
+			if bm.id != b.blockID {
+				continue
+			}
+			at := -1
+			for ri, r := range bm.replicas {
+				if r == b.node {
+					at = ri
+					break
+				}
+			}
+			if at < 0 {
+				break // replica already dropped
+			}
+			// Re-verify: the replica may have been replaced since.
+			fn := blockFile(c.nodes[b.node].dir, bm.id)
+			stillBad := false
+			missing := false
+			if c.scrubHook != nil && c.scrubHook(b.path, bm.id, b.node) != nil {
+				stillBad = true
+			} else if data, err := os.ReadFile(fn); err != nil {
+				stillBad, missing = true, true
+			} else if crc32.ChecksumIEEE(data) != bm.checksum {
+				stillBad = true
+			}
+			if !stillBad {
+				break
+			}
+			if missing {
+				res.MissingReplicas++
+			} else {
+				res.CorruptReplicas++
+				// Quarantine the bytes for post-mortems rather than
+				// deleting them outright.
+				if err := os.Rename(fn, fn+".corrupt"); err != nil {
+					_ = os.Remove(fn)
+				}
+			}
+			bm.replicas = append(bm.replicas[:at], bm.replicas[at+1:]...)
+			c.nodes[b.node].used -= bm.size
+			dirty = true
+			break
+		}
+	}
+
+	created, bytes, err := c.rereplicateLocked()
+	res.ReplicasRestored = created
+	res.BytesRepaired = bytes
+	if created > 0 {
+		dirty = true
+	}
+
+	// Count blocks left with no healthy live replica.
+	for _, fm := range c.files {
+		for _, bm := range fm.blocks {
+			if bm.size == 0 {
+				continue
+			}
+			live := 0
+			for _, r := range bm.replicas {
+				if c.nodes[r].alive {
+					live++
+				}
+			}
+			if live == 0 {
+				res.UnrecoverableBlocks++
+			}
+		}
+	}
+
+	if dirty {
+		if serr := c.saveImageLocked(); serr != nil && err == nil {
+			err = serr
+		}
+	}
+	if err != nil {
+		return res, fmt.Errorf("dfs: scrub: %w", err)
+	}
+	return res, nil
+}

@@ -1,0 +1,85 @@
+package lifecycle_test
+
+import (
+	"testing"
+	"time"
+
+	"spate/internal/core"
+	"spate/internal/decay"
+	"spate/internal/dfs"
+	"spate/internal/gen"
+	"spate/internal/lifecycle"
+	"spate/internal/obs"
+	"spate/internal/snapshot"
+	"spate/internal/telco"
+)
+
+// benchRig builds an engine with n ingested epochs for maintenance
+// benchmarks, outside the timed region.
+func benchRig(b *testing.B, opts core.Options, epochs int) (*lifecycle.Manager, *core.Engine) {
+	b.Helper()
+	cfg := gen.DefaultConfig(0.004)
+	cfg.Antennas = 30
+	cfg.Users = 300
+	cfg.CDRPerEpoch = 120
+	g := gen.New(cfg)
+	fs, err := dfs.NewCluster(b.TempDir(), dfs.Config{BlockSize: 1 << 20, DataNodes: 3, Replication: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := core.Open(fs, g.CellTable(), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e0 := telco.EpochOf(cfg.Start)
+	for i := 0; i < epochs; i++ {
+		s := snapshot.New(e0 + telco.Epoch(i))
+		s.Add(g.CDRTable(s.Epoch))
+		s.Add(g.NMSTable(s.Epoch))
+		if _, err := e.Ingest(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	m := lifecycle.New(e, lifecycle.Config{Obs: obs.NewNoop()})
+	b.Cleanup(m.Close)
+	return m, e
+}
+
+// BenchmarkLifecycleScrub measures one full cluster scrub — checksum every
+// replica of every block — on a healthy store.
+func BenchmarkLifecycleScrub(b *testing.B) {
+	m, _ := benchRig(b, core.Options{}, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Trigger(lifecycle.JobScrub); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLifecycleCompactSweep measures a no-op compaction sweep over an
+// already-chunked store: the steady-state cost of the scheduled job.
+func BenchmarkLifecycleCompactSweep(b *testing.B) {
+	m, _ := benchRig(b, core.Options{}, 6)
+	if _, err := m.Trigger(lifecycle.JobCompact); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Trigger(lifecycle.JobCompact); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLifecycleDecaySweep measures a decay sweep that finds nothing to
+// age out — the common scheduled case between policy horizons.
+func BenchmarkLifecycleDecaySweep(b *testing.B) {
+	m, _ := benchRig(b, core.Options{Policy: decay.Policy{KeepRaw: 100000 * time.Hour}}, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Trigger(lifecycle.JobDecay); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -23,8 +23,20 @@
 //	           flags            byte      bit0: rows without timestamps
 //	                                      bit1: rows without cell ids
 //	           minTS, maxTS     int64     unix nanos over timestamped rows
-//	           sketch           128 bytes cell-id bloom filter (k=3)
+//	           sketch           cell-id bloom filter (k=3):
+//	                              v1: 128 bytes, fixed
+//	                              v2: uvarint length | length bytes, where
+//	                                  length is 0 or a power of two <= 128
 //	tail     footer length uint32 | magic "GSPS"
+//
+// Version 2 sizes each chunk's sketch to its distinct-cell count instead of
+// always paying 128 bytes: a chunk covering 30 cells prunes just as well
+// with a 64-byte bloom, and for small leaves the fixed sketch dominated the
+// whole footer. Power-of-two sizing keeps blooms composable — bit
+// positions are h mod the bit count, so a bloom of m bytes tiled out to 2m
+// covers both candidate positions of every key, and the compactor can
+// union sketches of different sizes when merging chunks without false
+// negatives. Readers accept both versions; writers emit v2.
 //
 // The format byte selects the read path: files that do not start with the
 // magic are legacy whole-blob leaves and must be read through the codec
@@ -47,13 +59,23 @@ import (
 
 // Format constants.
 const (
-	Version = 1
+	Version = 2
 
 	headerLen = 5 // magic + version
 	tailLen   = 8 // footer length + tail magic
 
-	// SketchBytes is the size of the per-chunk cell-id bloom filter.
+	// SketchBytes is the largest per-chunk cell-id bloom filter; version-1
+	// files always use it, version-2 writers size down to the chunk's
+	// distinct-cell count.
 	SketchBytes = 128
+
+	// minSketchBytes floors adaptive sketch sizing so even a one-cell
+	// chunk's bloom stays sparse.
+	minSketchBytes = 8
+
+	// sketchBitsPerCell targets ~12 bits per distinct cell before rounding
+	// up to a power of two — roughly 1% false positives at k=3.
+	sketchBitsPerCell = 12
 
 	sketchHashes = 3
 
@@ -99,7 +121,10 @@ type Chunk struct {
 	MinTS int64 // unix nanos; valid only when some row carried a timestamp
 	MaxTS int64
 
-	Sketch [SketchBytes]byte
+	// Sketch is the chunk's cell-id bloom filter: 0 or a power-of-two
+	// number of bytes up to SketchBytes. Empty means the chunk either
+	// holds no cell ids (flagNoCell defeats pruning) or was written empty.
+	Sketch []byte
 }
 
 // OverlapsWindow reports whether the chunk may hold a row inside the
@@ -126,10 +151,14 @@ func (c Chunk) MayContainCell(id int64) bool {
 	if c.Flags&flagNoCell != 0 {
 		return true
 	}
+	bits := uint64(len(c.Sketch)) * 8
+	if bits == 0 {
+		return false // every row carried a cell id, and none was recorded
+	}
 	h := uint64(id)
 	for i := 0; i < sketchHashes; i++ {
 		h = mix64(h + uint64(i)*0x9e3779b97f4a7c15)
-		bit := h % (SketchBytes * 8)
+		bit := h % bits
 		if c.Sketch[bit/8]&(1<<(bit%8)) == 0 {
 			return false
 		}
@@ -162,13 +191,47 @@ func mix64(x uint64) uint64 {
 	return x
 }
 
-func sketchSet(s *[SketchBytes]byte, id int64) {
+func sketchSet(s []byte, id int64) {
+	bits := uint64(len(s)) * 8
 	h := uint64(id)
 	for i := 0; i < sketchHashes; i++ {
 		h = mix64(h + uint64(i)*0x9e3779b97f4a7c15)
-		bit := h % (SketchBytes * 8)
+		bit := h % bits
 		s[bit/8] |= 1 << (bit % 8)
 	}
+}
+
+// sketchSizeFor picks the bloom size for a chunk with n distinct cells:
+// the smallest power of two giving sketchBitsPerCell bits per cell, capped
+// at SketchBytes.
+func sketchSizeFor(n int) int {
+	size := minSketchBytes
+	for size*8 < n*sketchBitsPerCell && size < SketchBytes {
+		size <<= 1
+	}
+	return size
+}
+
+// foldUnion unions two power-of-two blooms at the larger of their sizes.
+// The smaller bloom tiles up: a key's bit at m bytes is h mod 8m, so at 2m
+// the bit is either that position or that position plus 8m — repeating the
+// bloom sets both candidates, preserving no-false-negatives at the
+// smaller bloom's original density.
+func foldUnion(a, b []byte) []byte {
+	if len(a) == 0 {
+		return append([]byte(nil), b...)
+	}
+	if len(b) == 0 {
+		return append([]byte(nil), a...)
+	}
+	if len(b) > len(a) {
+		a, b = b, a
+	}
+	out := append([]byte(nil), a...)
+	for i := range out {
+		out[i] |= b[i%len(b)]
+	}
+	return out
 }
 
 // bufPool recycles the writer's accumulation buffers across snapshots —
@@ -195,7 +258,12 @@ type Writer struct {
 	minTS int64
 	maxTS int64
 	flags byte
-	sk    [SketchBytes]byte
+	// cells collects the current chunk's distinct cell ids; the sketch is
+	// sized and built from it at flush time.
+	cells map[int64]struct{}
+	// folded unions sketches folded in through AppendChunk (the merge
+	// path), where only the bloom — not the cell set — is known.
+	folded []byte
 
 	finished bool
 }
@@ -225,7 +293,12 @@ func (w *Writer) resetChunkStats() {
 	w.minTS = math.MaxInt64
 	w.maxTS = math.MinInt64
 	w.flags = 0
-	w.sk = [SketchBytes]byte{}
+	if w.cells == nil {
+		w.cells = make(map[int64]struct{})
+	} else {
+		clear(w.cells)
+	}
+	w.folded = nil
 }
 
 // AppendRow adds one wire-text line (including its trailing newline) with
@@ -248,9 +321,37 @@ func (w *Writer) AppendRow(line []byte, m RowMeta) error {
 		w.flags |= flagNoTS
 	}
 	if m.HasCell {
-		sketchSet(&w.sk, m.Cell)
+		w.cells[m.Cell] = struct{}{}
 	} else {
 		w.flags |= flagNoCell
+	}
+	if w.cur.Len() >= w.chunkSize {
+		return w.flushChunk()
+	}
+	return nil
+}
+
+// AppendChunk folds one stored chunk — its inflated wire text plus footer
+// statistics — into the writer, the compactor's merge path: undersized
+// neighbours accumulate into the current chunk until it reaches the target
+// size. Stats fold conservatively: flags OR together, sketches union, and
+// the timestamp bounds widen (an all-flagged chunk's sentinel bounds fold
+// harmlessly, and its flag defeats pruning regardless).
+func (w *Writer) AppendChunk(text []byte, ch Chunk) error {
+	if w.finished {
+		return fmt.Errorf("segment: append after Finish")
+	}
+	w.cur.Write(text)
+	w.rows += ch.Rows
+	if ch.MinTS < w.minTS {
+		w.minTS = ch.MinTS
+	}
+	if ch.MaxTS > w.maxTS {
+		w.maxTS = ch.MaxTS
+	}
+	w.flags |= ch.Flags
+	if len(ch.Sketch) > 0 {
+		w.folded = foldUnion(w.folded, ch.Sketch)
 	}
 	if w.cur.Len() >= w.chunkSize {
 		return w.flushChunk()
@@ -271,6 +372,21 @@ func (w *Writer) flushChunk() error {
 		return fmt.Errorf("segment: compress chunk: %w", err)
 	}
 	payload := w.out.Bytes()[off:]
+	// Build the sketch sized to the chunk's distinct-cell count. A chunk
+	// carrying cell-less rows skips it entirely: flagNoCell already defeats
+	// spatial pruning, so the bloom would be dead weight.
+	var sk []byte
+	if w.flags&flagNoCell == 0 {
+		if len(w.cells) > 0 {
+			sk = make([]byte, sketchSizeFor(len(w.cells)))
+			for id := range w.cells {
+				sketchSet(sk, id)
+			}
+		}
+		if len(w.folded) > 0 {
+			sk = foldUnion(sk, w.folded)
+		}
+	}
 	ch := Chunk{
 		Off:    off,
 		Len:    int64(len(payload)),
@@ -280,7 +396,7 @@ func (w *Writer) flushChunk() error {
 		Flags:  w.flags,
 		MinTS:  w.minTS,
 		MaxTS:  w.maxTS,
-		Sketch: w.sk,
+		Sketch: sk,
 	}
 	w.chunks = append(w.chunks, ch)
 	w.cur.Reset()
@@ -326,7 +442,8 @@ func (w *Writer) Finish() ([]byte, Stats, error) {
 		w.out.Write(tmp[:8])
 		binary.LittleEndian.PutUint64(tmp[:8], uint64(c.MaxTS))
 		w.out.Write(tmp[:8])
-		w.out.Write(c.Sketch[:])
+		putUvarint(uint64(len(c.Sketch)))
+		w.out.Write(c.Sketch)
 		st.RawBytes += c.ULen
 	}
 	binary.LittleEndian.PutUint32(tmp[:4], uint32(w.out.Len()-footStart))
@@ -375,8 +492,9 @@ func Open(src io.ReaderAt, size int64, codec compress.Codec) (*Reader, error) {
 	if !bytes.Equal(hdr[:4], magic[:]) {
 		return nil, compress.Corruptf("segment: bad magic %x", hdr[:4])
 	}
-	if hdr[4] != Version {
-		return nil, fmt.Errorf("segment: unsupported version %d (have %d)", hdr[4], Version)
+	version := hdr[4]
+	if version < 1 || version > Version {
+		return nil, fmt.Errorf("segment: unsupported version %d (have %d)", version, Version)
 	}
 	var tail [tailLen]byte
 	if _, err := src.ReadAt(tail[:], size-tailLen); err != nil {
@@ -418,7 +536,7 @@ func Open(src io.ReaderAt, size int64, codec compress.Codec) (*Reader, error) {
 		if c.Rows, err = readUvarint64(br); err != nil {
 			return nil, compress.Corruptf("segment: chunk %d rows", i)
 		}
-		var fixed [4 + 1 + 8 + 8 + SketchBytes]byte
+		var fixed [4 + 1 + 8 + 8]byte
 		if _, err := io.ReadFull(br, fixed[:]); err != nil {
 			return nil, compress.Corruptf("segment: chunk %d stats", i)
 		}
@@ -426,7 +544,23 @@ func Open(src io.ReaderAt, size int64, codec compress.Codec) (*Reader, error) {
 		c.Flags = fixed[4]
 		c.MinTS = int64(binary.LittleEndian.Uint64(fixed[5:13]))
 		c.MaxTS = int64(binary.LittleEndian.Uint64(fixed[13:21]))
-		copy(c.Sketch[:], fixed[21:])
+		skLen := int64(SketchBytes) // v1: fixed-size sketch
+		if version >= 2 {
+			if skLen, err = readUvarint64(br); err != nil {
+				return nil, compress.Corruptf("segment: chunk %d sketch length", i)
+			}
+			// Power-of-two sizing is what makes blooms foldable; reject
+			// anything else before a later merge would fold it wrongly.
+			if skLen > SketchBytes || (skLen != 0 && skLen&(skLen-1) != 0) {
+				return nil, compress.Corruptf("segment: chunk %d sketch of %d bytes", i, skLen)
+			}
+		}
+		if skLen > 0 {
+			c.Sketch = make([]byte, skLen)
+			if _, err := io.ReadFull(br, c.Sketch); err != nil {
+				return nil, compress.Corruptf("segment: chunk %d sketch", i)
+			}
+		}
 		if c.Off < headerLen || c.Len <= 0 || c.Off+c.Len > dataEnd {
 			return nil, compress.Corruptf("segment: chunk %d spans [%d,+%d) outside data area", i, c.Off, c.Len)
 		}

@@ -2,7 +2,9 @@ package segment_test
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"testing"
 	"time"
 
@@ -267,5 +269,194 @@ func TestEmptySegment(t *testing.T) {
 	}
 	if r.NumChunks() != 0 {
 		t.Fatalf("empty segment read back %d chunks", r.NumChunks())
+	}
+}
+
+func TestAdaptiveSketchSizing(t *testing.T) {
+	c := codec(t, "gzip")
+	base := time.Date(2016, 1, 4, 0, 0, 0, 0, time.UTC)
+
+	// Two distinct cells need only the minimum 8-byte bloom.
+	lines, metas := buildRows(20, 2, base)
+	data := encode(t, c, 1<<20, lines, metas)
+	r, err := segment.Open(bytes.NewReader(data), int64(len(data)), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(r.Chunks()[0].Sketch); got != 8 {
+		t.Errorf("2-cell chunk sketch = %d bytes, want 8", got)
+	}
+	for i := int64(0); i < 2; i++ {
+		if !r.Chunks()[0].MayContainCell(i) {
+			t.Errorf("small sketch lost cell %d", i)
+		}
+	}
+
+	// A hundred distinct cells saturate to the 128-byte cap.
+	lines, metas = buildRows(300, 100, base)
+	data = encode(t, c, 1<<20, lines, metas)
+	if r, err = segment.Open(bytes.NewReader(data), int64(len(data)), c); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(r.Chunks()[0].Sketch); got != 128 {
+		t.Errorf("100-cell chunk sketch = %d bytes, want the 128-byte cap", got)
+	}
+}
+
+// TestSketchMergeUnion drives the compactor's merge path across sketches of
+// different sizes: the union must keep every cell of both chunks (tiling
+// the smaller bloom up) while still pruning absent cells.
+func TestSketchMergeUnion(t *testing.T) {
+	c := codec(t, "gzip")
+	base := time.Date(2016, 1, 4, 0, 0, 0, 0, time.UTC)
+	open := func(data []byte) *segment.Reader {
+		t.Helper()
+		r, err := segment.Open(bytes.NewReader(data), int64(len(data)), c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+
+	linesA, metasA := buildRows(20, 4, base) // cells 0..3: 8-byte sketch
+	var linesB [][]byte
+	var metasB []segment.RowMeta
+	for i := 0; i < 200; i++ { // cells 1000..1099: capped 128-byte sketch
+		ts := base.Add(time.Duration(20+i) * time.Minute)
+		cell := int64(1000 + i%100)
+		linesB = append(linesB, []byte(fmt.Sprintf("%s|%d|b\n", ts.Format(telco.TimeLayout), cell)))
+		metasB = append(metasB, segment.RowMeta{TS: ts.UnixNano(), HasTS: true, Cell: cell, HasCell: true})
+	}
+	rA := open(encode(t, c, 1<<20, linesA, metasA))
+	rB := open(encode(t, c, 1<<20, linesB, metasB))
+	if la, lb := len(rA.Chunks()[0].Sketch), len(rB.Chunks()[0].Sketch); la >= lb {
+		t.Fatalf("rig broken: sketches %d and %d bytes, want small < large", la, lb)
+	}
+
+	w := segment.NewWriter(c, 1<<20)
+	for _, r := range []*segment.Reader{rA, rB} {
+		text, err := r.ChunkData(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.AppendChunk(text, r.Chunks()[0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, st, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Chunks != 1 {
+		t.Fatalf("merge produced %d chunks", st.Chunks)
+	}
+	ch := open(data).Chunks()[0]
+	if len(ch.Sketch) != 128 {
+		t.Errorf("merged sketch = %d bytes, want the larger size 128", len(ch.Sketch))
+	}
+	for i := int64(0); i < 4; i++ {
+		if !ch.MayContainCell(i) {
+			t.Errorf("merge lost small-sketch cell %d", i)
+		}
+	}
+	for i := int64(1000); i < 1100; i++ {
+		if !ch.MayContainCell(i) {
+			t.Errorf("merge lost large-sketch cell %d", i)
+		}
+	}
+	pruned := 0
+	for i := int64(5000); i < 5050; i++ {
+		if !ch.MayContainCell(i) {
+			pruned++
+		}
+	}
+	if pruned == 0 {
+		t.Error("merged sketch prunes nothing: union is saturated")
+	}
+}
+
+// TestVersion1Compat hand-builds a version-1 segment — fixed 128-byte
+// sketch, no length prefix — and proves today's reader still serves it:
+// stores written before the adaptive-sketch format must survive upgrades.
+func TestVersion1Compat(t *testing.T) {
+	c := codec(t, "gzip")
+	text := []byte("2016-01-04 00:00:00|7|legacy row one\n2016-01-04 00:01:00|9|legacy row two\n")
+	cells := []int64{7, 9}
+
+	var payload bytes.Buffer
+	sw := compress.NewStreamWriterSize(c, &payload, 1<<20)
+	if _, err := sw.Write(text); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// v1 bloom: k=3 splitmix64 probes over 1024 bits (the wire contract
+	// this test pins down, hence the local reimplementation).
+	mix := func(x uint64) uint64 {
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		x *= 0x94d049bb133111eb
+		x ^= x >> 31
+		return x
+	}
+	var sketch [128]byte
+	for _, id := range cells {
+		h := uint64(id)
+		for i := 0; i < 3; i++ {
+			h = mix(h + uint64(i)*0x9e3779b97f4a7c15)
+			bit := h % (128 * 8)
+			sketch[bit/8] |= 1 << (bit % 8)
+		}
+	}
+
+	var f bytes.Buffer
+	f.WriteString("SPSG")
+	f.WriteByte(1) // version 1
+	f.Write(payload.Bytes())
+	var foot bytes.Buffer
+	var tmp [binary.MaxVarintLen64]byte
+	put := func(v uint64) { foot.Write(tmp[:binary.PutUvarint(tmp[:], v)]) }
+	put(1)                     // chunk count
+	put(5)                     // off
+	put(uint64(payload.Len())) // clen
+	put(uint64(len(text)))     // ulen
+	put(2)                     // rows
+	binary.LittleEndian.PutUint32(tmp[:4], crc32.ChecksumIEEE(payload.Bytes()))
+	foot.Write(tmp[:4])
+	foot.WriteByte(0) // flags
+	ts := time.Date(2016, 1, 4, 0, 0, 0, 0, time.UTC).UnixNano()
+	binary.LittleEndian.PutUint64(tmp[:8], uint64(ts))
+	foot.Write(tmp[:8])
+	binary.LittleEndian.PutUint64(tmp[:8], uint64(ts+60e9))
+	foot.Write(tmp[:8])
+	foot.Write(sketch[:]) // fixed-size, no length prefix
+	f.Write(foot.Bytes())
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(foot.Len()))
+	f.Write(tmp[:4])
+	f.WriteString("GSPS")
+
+	r, err := segment.Open(bytes.NewReader(f.Bytes()), int64(f.Len()), c)
+	if err != nil {
+		t.Fatalf("v1 segment rejected: %v", err)
+	}
+	got, err := r.ChunkData(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, text) {
+		t.Fatal("v1 chunk text mismatch")
+	}
+	ch := r.Chunks()[0]
+	if len(ch.Sketch) != 128 {
+		t.Fatalf("v1 sketch read as %d bytes", len(ch.Sketch))
+	}
+	if !ch.MayContainCell(7) || !ch.MayContainCell(9) {
+		t.Error("v1 sketch lost its cells")
+	}
+	if ch.MayContainCell(12345) {
+		t.Error("v1 sketch does not prune an absent cell")
 	}
 }

@@ -50,6 +50,8 @@ func NewClusterServer(coord *cluster.Coordinator, cells []gen.Cell, window telco
 	s.mux.HandleFunc("GET /api/cells", s.handleCells)
 	s.mux.HandleFunc("GET /api/explore", s.handleExplore)
 	s.mux.HandleFunc("GET /api/health", s.handleHealth)
+	s.mux.HandleFunc("GET /api/lifecycle", s.handleLifecycleGet)
+	s.mux.HandleFunc("POST /api/lifecycle", s.handleLifecyclePost)
 	s.mux.Handle("GET /metrics", obs.MetricsHandler(s.obs))
 	s.mux.Handle("GET /api/stats", obs.StatsHandler(s.obs))
 	s.mux.Handle("GET /api/trace", obs.TracesHandler(s.tracer))

@@ -77,6 +77,15 @@ async function stats(){
     if(cr)parts.push('<b>ratio</b> '+cr.series.map(s=>(s.labels&&s.labels.codec||'?')+' '+s.value.toFixed(2)).join(', '));
     const dec=firstVal(snap,'spate_decay_bytes_freed_total');
     if(dec)parts.push('<b>decay</b> '+fmtBytes(dec)+' freed');
+    const lcm=metric(snap,'spate_lifecycle_runs_total');
+    if(lcm&&lcm.series.length){
+      const runs=lcm.series.reduce((a,s)=>a+s.value,0);
+      const rep=firstVal(snap,'spate_lifecycle_blocks_repaired_total'),
+            mrg=firstVal(snap,'spate_lifecycle_chunks_merged_total');
+      if(runs)parts.push('<b>lifecycle</b> '+runs+' runs'+
+        (rep?' · '+rep+' replicas repaired':'')+
+        (mrg?' · '+mrg+' chunks merged':''));
+    }
     document.getElementById('stats').innerHTML=parts.join(' &nbsp;|&nbsp; ');
   }catch(e){}
 }

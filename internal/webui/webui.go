@@ -20,6 +20,7 @@ import (
 	"spate/internal/geo"
 	"spate/internal/highlights"
 	"spate/internal/index"
+	"spate/internal/lifecycle"
 	"spate/internal/obs"
 	"spate/internal/sqlengine"
 	"spate/internal/tasks"
@@ -30,6 +31,7 @@ import (
 type Server struct {
 	eng    *core.Engine
 	sql    *sqlengine.Engine
+	lc     *lifecycle.Manager // optional; see SetLifecycle
 	cells  []gen.Cell
 	window telco.TimeRange
 	mux    *http.ServeMux
@@ -64,6 +66,8 @@ func NewServer(eng *core.Engine, cells []gen.Cell, window telco.TimeRange) *Serv
 	s.mux.HandleFunc("GET /api/template", s.handleTemplate)
 	s.mux.HandleFunc("GET /api/playback", s.handlePlayback)
 	s.mux.HandleFunc("GET /api/tree", s.handleTree)
+	s.mux.HandleFunc("GET /api/lifecycle", s.handleLifecycleGet)
+	s.mux.HandleFunc("POST /api/lifecycle", s.handleLifecyclePost)
 	s.mux.Handle("GET /metrics", obs.MetricsHandler(s.obs))
 	s.mux.Handle("GET /api/stats", obs.StatsHandler(s.obs))
 	s.mux.Handle("GET /api/trace", obs.TracesHandler(s.tracer))
@@ -79,7 +83,7 @@ func endpointLabel(path string) string {
 		return "index"
 	case "/metrics", "/api/stats", "/api/trace", "/api/cells", "/api/explore",
 		"/api/sql", "/api/space", "/api/template", "/api/playback", "/api/tree",
-		"/api/health":
+		"/api/health", "/api/lifecycle":
 		return path
 	}
 	if strings.HasPrefix(path, "/debug/pprof") {
@@ -364,11 +368,12 @@ func (s *Server) handleSpace(w http.ResponseWriter, _ *http.Request) {
 	sp := s.eng.Space()
 	u := s.eng.FS().Usage()
 	writeJSON(w, map[string]any{
-		"raw_bytes":     sp.RawBytes,
-		"comp_bytes":    sp.CompBytes,
-		"summary_bytes": sp.SummaryBytes,
-		"stored_bytes":  u.StoredBytes,
-		"o1":            sp.O1,
+		"raw_bytes":               sp.RawBytes,
+		"comp_bytes":              sp.CompBytes,
+		"summary_bytes":           sp.SummaryBytes,
+		"stored_bytes":            u.StoredBytes,
+		"under_replicated_blocks": u.UnderReplicatedBlocks,
+		"o1":                      sp.O1,
 	})
 }
 
