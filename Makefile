@@ -30,6 +30,8 @@ bench-json:
 		| $(GO) run ./cmd/benchjson -o BENCH_segment.json
 	$(GO) test -bench Lifecycle -benchtime 5x -run XXX ./internal/lifecycle/ \
 		| $(GO) run ./cmd/benchjson -o BENCH_lifecycle.json
+	$(GO) test -bench 'BenchmarkExplore$$/' -benchtime 2000x -run XXX ./internal/core/ \
+		| $(GO) run ./cmd/benchjson -o BENCH_obs.json
 
 fmt:
 	gofmt -l -w .

@@ -9,20 +9,22 @@
 //	spate-server -addr :8080 -cluster -shards 4 -replicas 2
 //	spate-server -addr :8080 -join http://n1:9001,http://n2:9002 -shards 2
 //	spate-server -addr :8080 -decay-interval 1h -keep-raw 720h -scrub-interval 6h -compact 24h
+//	spate-server -addr :8080 -slow-query 100ms
 //
 // Endpoints:
 //
 //	GET /                         heatmap UI (with a live stats panel)
 //	GET /api/cells                static cell inventory
-//	GET /api/explore?from=&to=&minx=&miny=&maxx=&maxy=&attr=
-//	GET /api/sql?q=SELECT...      (single-engine mode)
+//	GET /api/explore?from=&to=&minx=&miny=&maxx=&maxy=&attr=&profile=1
+//	GET /api/sql?q=SELECT...      (also EXPLAIN / EXPLAIN ANALYZE)
 //	GET /api/space                storage accounting (single-engine mode)
 //	GET /api/health               per-node probes (cluster modes)
 //	GET /api/lifecycle            maintenance daemon status + run history
 //	POST /api/lifecycle           ?job=decay|scrub|compact or ?action=pause|resume
 //	GET /metrics                  Prometheus text exposition
 //	GET /api/stats                JSON metrics mirror
-//	GET /api/trace                recent request span trees
+//	GET /api/trace                recent request span trees (?id= fetches one)
+//	GET /api/slowlog              recent slow queries
 //	GET /rpc/...                  cluster node RPC (single-engine mode)
 //	GET /debug/pprof/...          runtime profiles (behind -pprof)
 //
@@ -40,7 +42,8 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -58,6 +61,7 @@ import (
 	"spate/internal/gen"
 	"spate/internal/geo"
 	"spate/internal/lifecycle"
+	"spate/internal/obs"
 	"spate/internal/snapshot"
 	"spate/internal/telco"
 	"spate/internal/tracedir"
@@ -69,8 +73,8 @@ func main() {
 }
 
 // run is main's body with a normal error return, so deferred cleanup (the
-// temp store removal) executes on every exit path — log.Fatal inside main
-// would skip the defers and leak the store directory.
+// temp store removal) executes on every exit path — a fatal log inside
+// main would skip the defers and leak the store directory.
 func run() int {
 	var (
 		addr      = flag.String("addr", ":8080", "listen address")
@@ -89,6 +93,8 @@ func run() int {
 			"lifecycle: run segment compaction this often (0 = disabled)")
 		keepRaw = flag.Duration("keep-raw", 0,
 			"decay horizon: evict full-resolution leaf data older than this (0 = keep forever)")
+		slowQuery = flag.Duration("slow-query", obs.DefaultSlowThreshold,
+			"slow-query log threshold (0 = disabled)")
 
 		clusterMode = flag.Bool("cluster", false, "run an in-process sharded cluster behind the coordinator UI")
 		shards      = flag.Int("shards", 4, "cluster: number of time shards")
@@ -97,12 +103,13 @@ func run() int {
 		join        = flag.String("join", "", "cluster: comma-separated node base URLs; coordinator-only proxy mode")
 	)
 	flag.Parse()
+	obs.DefaultSlowLog.SetThreshold(*slowQuery)
 
 	// Bind before any expensive setup: a taken address should fail fast
 	// with a non-zero exit, not after minutes of ingestion.
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Printf("spate-server: listen %s: %v", *addr, err)
+		slog.Error("spate-server: listen", "addr", *addr, "err", err)
 		return 1
 	}
 	defer ln.Close()
@@ -113,7 +120,7 @@ func run() int {
 	if *trace != "" {
 		cellTable, err = tracedir.ReadCells(*trace)
 		if err != nil {
-			log.Print(err)
+			slog.Error("spate-server: read cells", "err", err)
 			return 1
 		}
 	} else {
@@ -160,8 +167,8 @@ func run() int {
 
 	// Lifecycle maintenance (ISSUE 5): scheduled decay, DFS scrub and
 	// segment compaction run inside the serving process. The run summaries
-	// go through log.Printf so operators see them without scraping
-	// /api/lifecycle.
+	// go through the structured logger so operators see them without
+	// scraping /api/lifecycle.
 	engOpts := core.Options{
 		ChunkSize: *chunkSize,
 		Policy:    decay.Policy{KeepRaw: *keepRaw},
@@ -170,12 +177,14 @@ func run() int {
 		DecayInterval:   *decayEvery,
 		ScrubInterval:   *scrubEvery,
 		CompactInterval: *compactEvery,
-		Logf:            log.Printf,
+		Logf: func(format string, args ...any) {
+			slog.Info(fmt.Sprintf(format, args...))
+		},
 	}
 	lcEnabled := *decayEvery > 0 || *scrubEvery > 0 || *compactEvery > 0
 	if lcEnabled {
-		log.Printf("spate-server: lifecycle daemon enabled (decay %v, scrub %v, compact %v)",
-			*decayEvery, *scrubEvery, *compactEvery)
+		slog.Info("spate-server: lifecycle daemon enabled",
+			"decay", *decayEvery, "scrub", *scrubEvery, "compact", *compactEvery)
 	}
 
 	ccfg := cluster.Config{Shards: *shards, Replicas: *replicas, SpatialSplit: *split}
@@ -188,8 +197,8 @@ func run() int {
 		m := cluster.NewShardMap(ccfg, cellPoints(cellTable))
 		want := m.NumSlots() * *replicas
 		if len(urls) != want {
-			log.Printf("spate-server: -join needs %d node URLs (%d slots x %d replicas), got %d",
-				want, m.NumSlots(), *replicas, len(urls))
+			slog.Error("spate-server: -join node count mismatch",
+				"want", want, "slots", m.NumSlots(), "replicas", *replicas, "got", len(urls))
 			return 1
 		}
 		nodes := make([][]string, m.NumSlots())
@@ -198,16 +207,16 @@ func run() int {
 		}
 		coord, err := cluster.NewCoordinator(ccfg, m, nodes, cellTable)
 		if err != nil {
-			log.Print(err)
+			slog.Error("spate-server: coordinator", "err", err)
 			return 1
 		}
 		window := defaultWindow(g, *days)
 		for url, perr := range coord.Health(context.Background()) {
 			if perr != nil {
-				log.Printf("spate-server: node %s unhealthy: %v", url, perr)
+				slog.Warn("spate-server: node unhealthy", "url", url, "err", perr)
 			}
 		}
-		log.Printf("spate-server: coordinating %d nodes across %d shards", len(urls), *shards)
+		slog.Info("spate-server: coordinating", "nodes", len(urls), "shards", *shards)
 		handler = webui.NewClusterServer(coord, cells, window).Handler()
 
 	case *clusterMode:
@@ -217,55 +226,56 @@ func run() int {
 		}
 		local, err := cluster.StartLocal(ccfg, cellTable, lopt)
 		if err != nil {
-			log.Print(err)
+			slog.Error("spate-server: start local cluster", "err", err)
 			return 1
 		}
 		defer local.Close()
-		log.Printf("spate-server: ingesting through coordinator (%d shards x %d replicas)...", *shards, *replicas)
+		slog.Info("spate-server: ingesting through coordinator",
+			"shards", *shards, "replicas", *replicas)
 		window, err := forEachSnapshot(func(sn *snapshot.Snapshot) error {
 			return local.Coordinator.Ingest(context.Background(), sn)
 		})
 		if err != nil {
-			log.Print(err)
+			slog.Error("spate-server: ingest", "err", err)
 			return 1
 		}
 		if err := local.Coordinator.FinishIngest(context.Background()); err != nil {
-			log.Print(err)
+			slog.Error("spate-server: finish ingest", "err", err)
 			return 1
 		}
-		log.Printf("spate-server: cluster ready on %d nodes, window %s .. %s", len(local.Nodes),
-			window.From.Format(telco.TimeLayout), window.To.Format(telco.TimeLayout))
+		slog.Info("spate-server: cluster ready", "nodes", len(local.Nodes),
+			"from", window.From.Format(telco.TimeLayout), "to", window.To.Format(telco.TimeLayout))
 		handler = webui.NewClusterServer(local.Coordinator, cells, window).Handler()
 
 	default:
 		dir, err := os.MkdirTemp("", "spate-server-*")
 		if err != nil {
-			log.Print(err)
+			slog.Error("spate-server: temp store", "err", err)
 			return 1
 		}
 		defer os.RemoveAll(dir)
 		fs, err := dfs.NewCluster(dir, dfs.Config{})
 		if err != nil {
-			log.Print(err)
+			slog.Error("spate-server: dfs", "err", err)
 			return 1
 		}
 		eng, err := core.Open(fs, cellTable, engOpts)
 		if err != nil {
-			log.Print(err)
+			slog.Error("spate-server: open engine", "err", err)
 			return 1
 		}
-		log.Printf("spate-server: ingesting...")
+		slog.Info("spate-server: ingesting...")
 		window, err := forEachSnapshot(func(sn *snapshot.Snapshot) error {
 			_, err := eng.Ingest(sn)
 			return err
 		})
 		if err != nil {
-			log.Print(err)
+			slog.Error("spate-server: ingest", "err", err)
 			return 1
 		}
 		eng.FinishIngest()
-		log.Printf("spate-server: %d snapshots ready, window %s .. %s",
-			eng.Tree().Len(), window.From.Format(telco.TimeLayout), window.To.Format(telco.TimeLayout))
+		slog.Info("spate-server: ready", "snapshots", eng.Tree().Len(),
+			"from", window.From.Format(telco.TimeLayout), "to", window.To.Format(telco.TimeLayout))
 
 		// Mount the node RPC surface alongside the UI so this process can
 		// serve as a shard behind a -join coordinator.
@@ -292,7 +302,7 @@ func run() int {
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		log.Printf("spate-server: pprof enabled at /debug/pprof/")
+		slog.Info("spate-server: pprof enabled at /debug/pprof/")
 	}
 
 	httpSrv := &http.Server{Handler: mux}
@@ -304,21 +314,21 @@ func run() int {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("spate-server: listening on %s", ln.Addr())
+		slog.Info("spate-server: listening", "addr", ln.Addr().String())
 		errc <- httpSrv.Serve(ln)
 	}()
 	select {
 	case err := <-errc:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Print(err)
+			slog.Error("spate-server: serve", "err", err)
 			return 1
 		}
 	case <-ctx.Done():
-		log.Printf("spate-server: shutting down")
+		slog.Info("spate-server: shutting down")
 		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutCtx); err != nil {
-			log.Printf("spate-server: shutdown: %v", err)
+			slog.Error("spate-server: shutdown", "err", err)
 			return 1
 		}
 	}

@@ -8,6 +8,8 @@ import (
 	"io"
 	"net/http"
 	"time"
+
+	"spate/internal/obs"
 )
 
 // client is the coordinator's HTTP side: one shared transport, JSON in,
@@ -38,6 +40,9 @@ func (c *client) post(ctx context.Context, base, path string, req, resp any) err
 		return fmt.Errorf("cluster: request %s: %w", path, err)
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	// Propagate the caller's trace identity so shard-side spans stitch
+	// into the coordinator-rooted trace.
+	obs.InjectTrace(ctx, hreq.Header)
 	return c.do(hreq, path, base, resp)
 }
 

@@ -79,6 +79,10 @@ type Config struct {
 	// Obs selects the metrics registry coordinator-side series report
 	// into (default obs.Default).
 	Obs *obs.Registry
+	// Tracer records coordinator-side request traces (default
+	// obs.DefaultTracer; nil when Obs is the noop registry). Shard-side
+	// subtrees returned on explore RPCs are stitched under it.
+	Tracer *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -116,6 +120,11 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Obs == nil {
 		c.Obs = obs.Default
+	}
+	if c.Obs.Noop() {
+		c.Tracer = nil
+	} else if c.Tracer == nil {
+		c.Tracer = obs.DefaultTracer
 	}
 	return c
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -64,6 +65,14 @@ type Result struct {
 	// counts extra attempts spent.
 	HedgeWins int
 	Retries   int
+
+	// TraceID identifies the distributed trace of this exploration ("" when
+	// tracing is disabled); /api/trace?id= returns the merged tree.
+	TraceID string
+	// Profile totals the surviving shards' scan cost, with the per-shard
+	// split in Profile.Shards (failed slots appear with Missing/Error set
+	// and a zero profile).
+	Profile core.Profile
 }
 
 // NewCoordinator wires a coordinator for the given topology. nodes is
@@ -282,6 +291,15 @@ func (c *Coordinator) Explore(ctx context.Context, q core.Query) (*Result, error
 	bands := c.smap.BandsFor(q.Box)
 	c.met.explores.Inc()
 
+	// Root the distributed trace: every slot RPC below runs under a child
+	// span whose identity travels in the X-Spate-Trace header, so the
+	// shard-side subtrees returned on the responses stitch into one
+	// coordinator-rooted tree.
+	ctx, span := c.cfg.Tracer.StartSpan(ctx, "cluster_explore")
+	defer span.End()
+	span.SetAttr("shards", strconv.Itoa(len(shards)))
+	span.SetAttr("bands", strconv.Itoa(len(bands)))
+
 	req := exploreRequest{
 		FromUnix: q.Window.From.Unix(),
 		ToUnix:   q.Window.To.Unix(),
@@ -297,6 +315,7 @@ func (c *Coordinator) Explore(ctx context.Context, q core.Query) (*Result, error
 		resp     *exploreResponse
 		retries  int
 		hedgeWin bool
+		latency  time.Duration
 		err      error
 	}
 	results := make([]slotResult, len(shards)*len(bands))
@@ -304,28 +323,62 @@ func (c *Coordinator) Explore(ctx context.Context, q core.Query) (*Result, error
 	for si, shard := range shards {
 		for bi, band := range bands {
 			wg.Add(1)
-			go func(i, slot int) {
+			go func(i, slot, shard, band int) {
 				defer wg.Done()
+				// Each slot gets its own child span: its id rides out in the
+				// RPC header, and the shard's recorded subtree is grafted
+				// back under it. A failed slot keeps its span — annotated,
+				// not dropped — so a partial answer's trace shows the hole.
+				sctx, sspan := c.cfg.Tracer.StartSpan(ctx, "slot_explore")
+				sspan.SetAttr("shard", strconv.Itoa(shard))
+				sspan.SetAttr("band", strconv.Itoa(band))
 				r := &results[i]
-				r.resp, r.retries, r.hedgeWin, r.err = c.exploreSlot(ctx, slot, req)
-			}(si*len(bands)+bi, c.smap.Slot(shard, band))
+				t0 := time.Now()
+				r.resp, r.retries, r.hedgeWin, r.err = c.exploreSlot(sctx, slot, req)
+				r.latency = time.Since(t0)
+				if r.err != nil {
+					sspan.SetError(r.err)
+					sspan.SetAttr("missing", "true")
+				} else if r.resp.Trace != nil {
+					sspan.AttachRemote(*r.resp.Trace)
+				}
+				if r.retries > 0 {
+					sspan.SetAttr("retries", strconv.Itoa(r.retries))
+				}
+				if r.hedgeWin {
+					sspan.SetAttr("hedge_win", "true")
+				}
+				sspan.End()
+			}(si*len(bands)+bi, c.smap.Slot(shard, band), shard, band)
 		}
 	}
 	wg.Wait()
 
-	res := &Result{ServedPeriod: q.Window, ShardsQueried: len(shards)}
+	res := &Result{ServedPeriod: q.Window, ShardsQueried: len(shards), TraceID: span.TraceID()}
+	res.Profile.TraceID = res.TraceID
 	failed := make(map[int]bool)
 	leaves := 0
 	var parts []*highlights.Summary
 	var firstErr error
 	for i, r := range results {
 		shard := shards[i/len(bands)]
+		band := bands[i%len(bands)]
 		res.Retries += r.retries
+		sp := core.ShardProfile{
+			Shard:     shard,
+			Band:      band,
+			LatencyMS: float64(r.latency) / float64(time.Millisecond),
+			Retries:   r.retries,
+			HedgeWin:  r.hedgeWin,
+		}
 		if r.err != nil {
 			if firstErr == nil {
 				firstErr = r.err
 			}
 			failed[shard] = true
+			sp.Missing = true
+			sp.Error = r.err.Error()
+			res.Profile.Shards = append(res.Profile.Shards, sp)
 			continue
 		}
 		if r.hedgeWin {
@@ -335,16 +388,25 @@ func (c *Coordinator) Explore(ctx context.Context, q core.Query) (*Result, error
 		res.ScannedLeaves += r.resp.Scanned
 		res.DecayedLeaves += r.resp.Decayed
 		leaves += r.resp.Leaves
+		if r.resp.Profile != nil {
+			sp.Profile = *r.resp.Profile
+			res.Profile.Add(sp.Profile)
+		}
+		res.Profile.Shards = append(res.Profile.Shards, sp)
 		for _, blob := range r.resp.Parts {
 			p, err := highlights.Decode(blob)
 			if err != nil {
-				return nil, fmt.Errorf("cluster: shard %d part: %w", shard, err)
+				err = fmt.Errorf("cluster: shard %d part: %w", shard, err)
+				span.SetError(err)
+				return nil, err
 			}
 			parts = append(parts, p)
 		}
 	}
 	if len(failed) == len(shards) {
-		return nil, fmt.Errorf("cluster: all %d shards failed: %w", len(shards), firstErr)
+		err := fmt.Errorf("cluster: all %d shards failed: %w", len(shards), firstErr)
+		span.SetError(err)
+		return nil, err
 	}
 	if len(failed) == 0 && leaves == 0 {
 		// Every reachable shard is empty — mirror the single engine.
@@ -395,6 +457,13 @@ func (c *Coordinator) Explore(ctx context.Context, q core.Query) (*Result, error
 			c.met.shardMiss[s].Inc()
 			res.Missing = append(res.Missing, c.smap.OwnedRanges(s, q.Window)...)
 		}
+		span.SetAttr("partial", "true")
+	}
+	// A caller-side profile (e.g. EXPLAIN ANALYZE over the cluster catalog)
+	// absorbs the shard totals and the per-shard split.
+	if p := core.ProfileFromContext(ctx); p != nil {
+		p.Add(res.Profile)
+		p.Shards = append(p.Shards, res.Profile.Shards...)
 	}
 	return res, nil
 }

@@ -5,12 +5,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"spate/internal/core"
 	"spate/internal/geo"
+	"spate/internal/obs"
 	"spate/internal/snapshot"
 	"spate/internal/telco"
 )
@@ -119,10 +121,19 @@ func (n *Node) handleExplore(w http.ResponseWriter, r *http.Request) {
 		rpcError(w, http.StatusBadRequest, err)
 		return
 	}
+	// Root a shard-local span continuing the coordinator's trace (when the
+	// request carries one) and accrue the shard-local cost profile; both
+	// ride back on the response for coordinator-side stitching.
+	ctx := obs.ContextWithTraceHeader(r.Context(), r.Header)
+	ctx, span := n.eng.Tracer().StartSpan(ctx, "rpc_explore")
+	defer span.End()
+	ctx, prof := core.ContextWithProfile(ctx)
+
 	resp := exploreResponse{Parts: [][]byte{}, Leaves: n.eng.Snapshots()}
 	if resp.Leaves == 0 {
 		// An empty shard legitimately owns no data in any window; the
 		// coordinator decides whether the cluster as a whole is empty.
+		span.SetAttr("empty", "true")
 		writeJSON(w, resp)
 		return
 	}
@@ -130,8 +141,9 @@ func (n *Node) handleExplore(w http.ResponseWriter, r *http.Request) {
 		From: time.Unix(req.FromUnix, 0).UTC(),
 		To:   time.Unix(req.ToUnix, 0).UTC(),
 	}
-	parts, diag, err := n.eng.ExploreParts(r.Context(), win)
+	parts, diag, err := n.eng.ExploreParts(ctx, win)
 	if err != nil {
+		span.SetError(err)
 		rpcError(w, http.StatusInternalServerError, err)
 		return
 	}
@@ -139,6 +151,7 @@ func (n *Node) handleExplore(w http.ResponseWriter, r *http.Request) {
 	for _, p := range parts {
 		blob, err := p.Encode()
 		if err != nil {
+			span.SetError(err)
 			rpcError(w, http.StatusInternalServerError, err)
 			return
 		}
@@ -149,8 +162,9 @@ func (n *Node) handleExplore(w http.ResponseWriter, r *http.Request) {
 		if req.Boxed {
 			q.Box = geo.NewRect(req.MinX, req.MinY, req.MaxX, req.MaxY)
 		}
-		tables, err := n.eng.FetchRows(r.Context(), q)
+		tables, err := n.eng.FetchRows(ctx, q)
 		if err != nil {
+			span.SetError(err)
 			rpcError(w, http.StatusInternalServerError, err)
 			return
 		}
@@ -158,11 +172,19 @@ func (n *Node) handleExplore(w http.ResponseWriter, r *http.Request) {
 		for name, t := range tables {
 			var buf bytes.Buffer
 			if err := t.WriteText(&buf); err != nil {
+				span.SetError(err)
 				rpcError(w, http.StatusInternalServerError, err)
 				return
 			}
 			resp.Rows[name] = buf.Bytes()
 		}
+	}
+	resp.Profile = prof
+	if span != nil {
+		span.SetAttr("leaves_scanned", strconv.Itoa(diag.ScannedLeaves))
+		span.End() // fix the duration before rendering
+		j := span.JSON()
+		resp.Trace = &j
 	}
 	writeJSON(w, resp)
 }

@@ -4,7 +4,15 @@ package cluster
 // formats the engine already serializes — summaries as gob blobs
 // (highlights.Summary.Encode), exact rows as the delimiter-separated wire
 // text of snapshot tables — carried as []byte fields, which encoding/json
-// transports base64-encoded. Timestamps travel as Unix seconds.
+// transports base64-encoded. Timestamps travel as Unix seconds. Trace
+// context propagates out-of-envelope in the X-Spate-Trace header
+// (obs.TraceHeader); the shard's recorded subtree rides back inside the
+// explore response.
+
+import (
+	"spate/internal/core"
+	"spate/internal/obs"
+)
 
 type ingestRequest struct {
 	// Epoch is the snapshot's 30-minute cycle number.
@@ -46,6 +54,12 @@ type exploreResponse struct {
 	Scanned int               `json:"scanned,omitempty"`
 	Decayed int               `json:"decayed,omitempty"`
 	Rows    map[string][]byte `json:"rowdata,omitempty"`
+	// Profile is the shard-local cost breakdown of serving this request.
+	Profile *core.Profile `json:"profile,omitempty"`
+	// Trace is the shard-local span subtree, returned when the request
+	// carried an X-Spate-Trace header so the coordinator can stitch it
+	// under its own slot span.
+	Trace *obs.SpanJSON `json:"trace,omitempty"`
 }
 
 type healthResponse struct {

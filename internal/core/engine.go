@@ -466,7 +466,7 @@ func (e *Engine) sealLocked(n *index.Node) error {
 	for _, c := range n.Children {
 		if c.Summary == nil && c.IsLeaf() && !c.Decayed {
 			// e.mu is held: read the codec directly.
-			s, err := e.buildLeafSummary(e.opts.Codec, c.Period, c.DataRefs)
+			s, err := e.buildLeafSummary(e.opts.Codec, c.Period, c.DataRefs, nil)
 			if err != nil {
 				return fmt.Errorf("core: seal %s %v: %w", n.Level, n.Period.From, err)
 			}

@@ -25,6 +25,10 @@ const (
 	StageMerge      = "merge"       // summary merge
 	StageRestrict   = "restrict"    // spatial restriction to the box
 	StageRows       = "row_fetch"   // exact-row decompression
+
+	StageCacheLookup = "cache_lookup" // chunk-cache probes
+	StageDFSRead     = "dfs_read"     // ranged DFS chunk reads + inflate
+	StageDecode      = "decode"       // wire-text table parsing
 )
 
 var ingestStageNames = []string{
@@ -103,20 +107,27 @@ func newEngineMetrics(r *obs.Registry, t *obs.Tracer) *engineMetrics {
 
 // stageRecorder accumulates named stage wall times for one request and
 // flushes them to histograms, a Stages slice and (optionally) a span.
+// Each stage remembers the wall clock of its first add: flush attaches the
+// stage to the span at that real start, so the trace waterfall keeps
+// execution order instead of back-dating every stage from flush time
+// (which would sort them by duration).
 type stageRecorder struct {
-	names []string
-	durs  map[string]int64 // nanoseconds
+	names  []string
+	durs   map[string]int64 // nanoseconds
+	starts map[string]time.Time
 }
 
 func newStageRecorder() *stageRecorder {
-	return &stageRecorder{durs: make(map[string]int64, 8)}
+	return &stageRecorder{durs: make(map[string]int64, 8), starts: make(map[string]time.Time, 8)}
 }
 
 // add accrues d nanoseconds under name (stages may run multiple times, e.g.
-// per-table compression).
+// per-table compression). The stage's first add fixes its start time: the
+// accrued duration d is assumed to have just elapsed.
 func (sr *stageRecorder) add(name string, ns int64) {
 	if _, ok := sr.durs[name]; !ok {
 		sr.names = append(sr.names, name)
+		sr.starts[name] = time.Now().Add(-time.Duration(ns))
 	}
 	sr.durs[name] += ns
 }
@@ -131,7 +142,12 @@ func (sr *stageRecorder) flush(hists map[string]*obs.Histogram, span *obs.Span) 
 		if h := hists[n]; h != nil {
 			h.Observe(float64(d) / 1e9)
 		}
-		span.AddStage(n, time.Duration(d))
+		span.AddStageAt(n, sr.starts[n], time.Duration(d))
 	}
 	return out
 }
+
+// Tracer exposes the engine's span tracer (nil when tracing is disabled),
+// so RPC handlers can root shard-side spans on the same ring the engine's
+// own spans land in.
+func (e *Engine) Tracer() *obs.Tracer { return e.met.tracer }

@@ -155,19 +155,35 @@ type leafPrune struct {
 	cells   []int64
 }
 
+// pruneReason says which chunk predicate fired: the timestamp zone map or
+// the cell-id bloom sketch.
+type pruneReason int
+
+const (
+	pruneNone pruneReason = iota
+	pruneZone
+	pruneBloom
+)
+
 // skip reports whether a chunk provably holds no row the scan's per-row
-// filters would keep. It is conservative: metadata-less rows defeat it.
-func (pr leafPrune) skip(ch segment.Chunk) bool {
+// filters would keep, and which predicate proved it. It is conservative:
+// metadata-less rows defeat it.
+func (pr leafPrune) skip(ch segment.Chunk) pruneReason {
 	if pr.window != nil && !ch.OverlapsWindow(*pr.window) {
-		return true
+		return pruneZone
 	}
 	if pr.spatial {
 		if len(pr.cells) == 0 {
-			return !ch.HasCellGaps()
+			if !ch.HasCellGaps() {
+				return pruneBloom
+			}
+			return pruneNone
 		}
-		return !ch.MayContainAnyCell(pr.cells)
+		if !ch.MayContainAnyCell(pr.cells) {
+			return pruneBloom
+		}
 	}
-	return false
+	return pruneNone
 }
 
 // chunkCacheKey names one inflated chunk in the leaf cache; decay
@@ -187,10 +203,16 @@ const legacyCacheSuffix = "#blob"
 // whole-blob leaves decompress in full and fn runs once. Inflated text is
 // served from and installed into the engine's chunk cache. The returned
 // counts cover segment chunks (a legacy blob counts as one scanned chunk).
-func (e *Engine) scanLeafTable(name, ref string, c compress.Codec, pr leafPrune, fn func(*telco.Table) error) (scanned, pruned int, err error) {
+// A non-nil prof accrues the per-query cost split (prune reasons, cache
+// hits, inflated bytes, ranged reads, phase timings) alongside the fleet
+// counters.
+func (e *Engine) scanLeafTable(name, ref string, c compress.Codec, pr leafPrune, prof *Profile, fn func(*telco.Table) error) (scanned, pruned int, err error) {
 	defer func() {
 		e.met.chunksScanned.Add(int64(scanned))
 		e.met.chunksPruned.Add(int64(pruned))
+		if prof != nil {
+			prof.ChunksScanned += scanned
+		}
 	}()
 	f, err := e.fs.Open(ref)
 	if err != nil {
@@ -200,17 +222,32 @@ func (e *Engine) scanLeafTable(name, ref string, c compress.Codec, pr leafPrune,
 		// Legacy whole-blob leaf: no chunk metadata exists, so the whole
 		// table inflates regardless of the scan's predicates.
 		text, ok := e.chunkCache.Get(ref + legacyCacheSuffix)
+		if prof != nil {
+			if ok {
+				prof.CacheHits++
+			} else {
+				prof.CacheMisses++
+			}
+		}
 		if !ok {
+			t0 := time.Now()
 			comp, err := e.fs.ReadFile(ref)
 			if err != nil {
 				return 0, 0, fmt.Errorf("core: read %s: %w", ref, err)
 			}
+			t1 := time.Now()
 			text, err = c.Decompress(nil, comp)
 			if err != nil {
 				return 0, 0, fmt.Errorf("core: decompress %s: %w", ref, err)
 			}
 			e.met.leafBytes.Add(int64(len(text)))
 			e.chunkCache.Put(ref+legacyCacheSuffix, text)
+			if prof != nil {
+				prof.DFSReads++
+				prof.InflatedBytes += int64(len(text))
+				prof.ReadNS += t1.Sub(t0).Nanoseconds()
+				prof.DecodeNS += time.Since(t1).Nanoseconds()
+			}
 		}
 		tab, err := snapshot.DecodeTable(name, text)
 		if err != nil {
@@ -223,21 +260,55 @@ func (e *Engine) scanLeafTable(name, ref string, c compress.Codec, pr leafPrune,
 		return 0, 0, fmt.Errorf("core: open segment %s: %w", ref, err)
 	}
 	for i, ch := range r.Chunks() {
-		if pr.skip(ch) {
+		if reason := pr.skip(ch); reason != pruneNone {
 			pruned++
+			if prof != nil {
+				if reason == pruneZone {
+					prof.ChunksPrunedZone++
+				} else {
+					prof.ChunksPrunedBloom++
+				}
+			}
 			continue
 		}
 		key := chunkCacheKey(ref, i)
+		var t0 time.Time
+		if prof != nil {
+			t0 = time.Now()
+		}
 		text, ok := e.chunkCache.Get(key)
+		if prof != nil {
+			prof.LookupNS += time.Since(t0).Nanoseconds()
+			if ok {
+				prof.CacheHits++
+			} else {
+				prof.CacheMisses++
+			}
+		}
 		if !ok {
+			t1 := time.Now()
 			text, err = r.ChunkData(i)
 			if err != nil {
 				return scanned, pruned, fmt.Errorf("core: read %s: %w", ref, err)
 			}
 			e.met.leafBytes.Add(int64(len(text)))
 			e.chunkCache.Put(key, text)
+			if prof != nil {
+				// ChunkData issues one ranged DFS read and inflates in one
+				// step; charge the wall time to read, the bytes to inflate.
+				prof.DFSReads++
+				prof.InflatedBytes += int64(len(text))
+				prof.ReadNS += time.Since(t1).Nanoseconds()
+			}
+		}
+		var t2 time.Time
+		if prof != nil {
+			t2 = time.Now()
 		}
 		tab, err := snapshot.DecodeTable(name, text)
+		if prof != nil {
+			prof.DecodeNS += time.Since(t2).Nanoseconds()
+		}
 		if err != nil {
 			return scanned, pruned, fmt.Errorf("core: decode %s: %w", ref, err)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -130,11 +131,13 @@ func TestNoopRegistryDisablesAccounting(t *testing.T) {
 	}
 }
 
-// BenchmarkExplore compares a fully instrumented engine against one wired
-// to a no-op registry; the delta is the observability overhead, which must
-// stay marginal (<5%) because hot-path updates are single atomics.
+// BenchmarkExplore compares a fully instrumented engine (tracing spans,
+// metrics registry, and a per-query profile attached via context) against
+// one wired to a no-op registry; the delta is the observability overhead,
+// which must stay marginal (<5%) because hot-path updates are single
+// atomics and plain counter increments.
 func BenchmarkExplore(b *testing.B) {
-	run := func(b *testing.B, opts Options, reg *obs.Registry) {
+	run := func(b *testing.B, opts Options, reg *obs.Registry, profiled bool) {
 		cfg := gen.DefaultConfig(0.004)
 		cfg.Antennas = 30
 		cfg.Users = 300
@@ -160,7 +163,11 @@ func BenchmarkExplore(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			e.cache.clear() // measure the full evaluation path every time
-			if _, err := e.Explore(q); err != nil {
+			ctx := context.Background()
+			if profiled {
+				ctx, _ = ContextWithProfile(ctx)
+			}
+			if _, err := e.ExploreContext(ctx, q); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -171,9 +178,9 @@ func BenchmarkExplore(b *testing.B) {
 	}
 	b.Run("instrumented", func(b *testing.B) {
 		reg := obs.NewRegistry()
-		run(b, Options{Obs: reg, Tracer: obs.NewTracer(16)}, reg)
+		run(b, Options{Obs: reg, Tracer: obs.NewTracer(16)}, reg, true)
 	})
 	b.Run("noop", func(b *testing.B) {
-		run(b, Options{Obs: obs.NewNoop()}, nil)
+		run(b, Options{Obs: obs.NewNoop()}, nil, false)
 	})
 }

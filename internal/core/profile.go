@@ -1,0 +1,90 @@
+package core
+
+import "context"
+
+// Profile is the per-query cost breakdown accumulated along the scan path:
+// which chunks the zone maps and cell blooms pruned, what the chunk cache
+// absorbed, how many bytes inflated out of the codec, and how many ranged
+// DFS reads were issued. On a cluster result the totals sum the surviving
+// shards and Shards carries the per-shard split.
+type Profile struct {
+	TraceID string `json:"trace_id,omitempty"`
+
+	LeavesScanned int `json:"leaves_scanned,omitempty"`
+	LeavesPruned  int `json:"leaves_pruned,omitempty"`
+	LeavesDecayed int `json:"leaves_decayed,omitempty"`
+
+	ChunksScanned     int `json:"chunks_scanned,omitempty"`
+	ChunksPrunedZone  int `json:"chunks_pruned_zone,omitempty"`
+	ChunksPrunedBloom int `json:"chunks_pruned_bloom,omitempty"`
+
+	CacheHits   int `json:"cache_hits,omitempty"`
+	CacheMisses int `json:"cache_misses,omitempty"`
+
+	InflatedBytes int64 `json:"inflated_bytes,omitempty"`
+	DFSReads      int   `json:"dfs_reads,omitempty"`
+
+	ReadNS   int64 `json:"read_ns,omitempty"`
+	DecodeNS int64 `json:"decode_ns,omitempty"`
+	LookupNS int64 `json:"lookup_ns,omitempty"`
+
+	// ResultCacheHit marks a query answered wholly from the result cache:
+	// the scan counters are zero because nothing was scanned.
+	ResultCacheHit bool `json:"result_cache_hit,omitempty"`
+
+	Shards []ShardProfile `json:"shards,omitempty"`
+}
+
+// ShardProfile is one shard slot's contribution to a cluster query.
+type ShardProfile struct {
+	Shard     int     `json:"shard"`
+	Band      int     `json:"band"`
+	LatencyMS float64 `json:"latency_ms"`
+	Retries   int     `json:"retries,omitempty"`
+	HedgeWin  bool    `json:"hedge_win,omitempty"`
+	Missing   bool    `json:"missing,omitempty"`
+	Error     string  `json:"error,omitempty"`
+	Profile   Profile `json:"profile"`
+}
+
+// Add folds o's scan counters into p. Identity fields (TraceID,
+// ResultCacheHit, Shards) are left alone — they describe a whole query,
+// not a summable cost.
+func (p *Profile) Add(o Profile) {
+	if p == nil {
+		return
+	}
+	p.LeavesScanned += o.LeavesScanned
+	p.LeavesPruned += o.LeavesPruned
+	p.LeavesDecayed += o.LeavesDecayed
+	p.ChunksScanned += o.ChunksScanned
+	p.ChunksPrunedZone += o.ChunksPrunedZone
+	p.ChunksPrunedBloom += o.ChunksPrunedBloom
+	p.CacheHits += o.CacheHits
+	p.CacheMisses += o.CacheMisses
+	p.InflatedBytes += o.InflatedBytes
+	p.DFSReads += o.DFSReads
+	p.ReadNS += o.ReadNS
+	p.DecodeNS += o.DecodeNS
+	p.LookupNS += o.LookupNS
+}
+
+type profileKey struct{}
+
+// ContextWithProfile arranges for scans under the returned context to
+// accrue into a Profile, and returns it. A context already carrying a
+// profile is returned unchanged, so nested calls share one accumulator.
+func ContextWithProfile(ctx context.Context) (context.Context, *Profile) {
+	if p := ProfileFromContext(ctx); p != nil {
+		return ctx, p
+	}
+	p := &Profile{}
+	return context.WithValue(ctx, profileKey{}, p), p
+}
+
+// ProfileFromContext returns the profile accumulator carried by ctx, or
+// nil when the query is unprofiled.
+func ProfileFromContext(ctx context.Context) *Profile {
+	p, _ := ctx.Value(profileKey{}).(*Profile)
+	return p
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"spate/internal/obs"
+	"spate/internal/telco"
+)
+
+// TestExploreProfileCounters drives a cold then chunk-cache-warm exploration
+// and checks the per-query profile accounts for the storage work: leaves and
+// chunks scanned, DFS ranged reads with inflated bytes on the cold pass,
+// chunk-cache hits on the warm one, and the trace id linking the profile to
+// its span tree.
+func TestExploreProfileCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(16)
+	r := newRig(t, Options{Obs: reg, Tracer: tr})
+	r.ingestEpochs(t, 4)
+	w := telco.NewTimeRange(r.cfg.Start, r.cfg.Start.Add(2*time.Hour))
+	q := Query{Window: w, ExactRows: true}
+
+	ctx, prof := ContextWithProfile(context.Background())
+	res, err := r.e.ExploreContext(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Profile
+	if p.LeavesScanned == 0 {
+		t.Error("LeavesScanned = 0")
+	}
+	if p.ChunksScanned == 0 {
+		t.Error("ChunksScanned = 0")
+	}
+	if p.DFSReads == 0 || p.InflatedBytes == 0 {
+		t.Errorf("cold pass did no DFS work: reads=%d bytes=%d", p.DFSReads, p.InflatedBytes)
+	}
+	if p.CacheMisses == 0 {
+		t.Errorf("cold pass reported no chunk-cache misses: %+v", p)
+	}
+	if p.ReadNS == 0 || p.DecodeNS == 0 {
+		t.Errorf("io timers did not advance: read=%d decode=%d", p.ReadNS, p.DecodeNS)
+	}
+	if p.TraceID == "" {
+		t.Error("profile carries no trace id")
+	}
+	if _, ok := tr.Find(p.TraceID); !ok {
+		t.Errorf("trace %s not retained by the tracer", p.TraceID)
+	}
+
+	// The context profile accrued the same counters the result carries.
+	if prof.ChunksScanned != p.ChunksScanned || prof.InflatedBytes != p.InflatedBytes {
+		t.Errorf("context profile diverged: ctx=%+v res=%+v", *prof, p)
+	}
+
+	// Result-cache hit: the answer carries the producing evaluation's
+	// profile, flagged as a cache hit.
+	hit, err := r.e.ExploreContext(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit.CacheHit || !hit.Profile.ResultCacheHit {
+		t.Fatalf("cache hit not flagged: CacheHit=%v profile=%+v", hit.CacheHit, hit.Profile)
+	}
+
+	// Clear the result cache but keep the chunk cache warm: the re-run must
+	// hit chunks instead of re-reading the DFS.
+	r.e.cache.clear()
+	warm, err := r.e.ExploreContext(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wp := warm.Profile
+	if wp.CacheHits == 0 {
+		t.Errorf("warm pass had no chunk-cache hits: %+v", wp)
+	}
+	if wp.DFSReads != 0 {
+		t.Errorf("warm pass still read the DFS %d times", wp.DFSReads)
+	}
+	if wp.ChunksScanned != p.ChunksScanned {
+		t.Errorf("warm pass scanned %d chunks, cold scanned %d", wp.ChunksScanned, p.ChunksScanned)
+	}
+}
+
+// TestExploreProfileZonePruning forces many small chunks per leaf and asks
+// for a thin slice of one epoch: the zone maps must prune out-of-window
+// chunks, and the profile must attribute the pruning to them.
+func TestExploreProfileZonePruning(t *testing.T) {
+	r := newRig(t, Options{Obs: obs.NewNoop(), ChunkSize: 2048})
+	r.ingestEpochs(t, 2)
+	w := telco.NewTimeRange(r.cfg.Start, r.cfg.Start.Add(5*time.Minute))
+	res, err := r.e.ExploreContext(context.Background(), Query{Window: w, ExactRows: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Profile
+	if p.ChunksScanned == 0 {
+		t.Fatalf("no chunks scanned: %+v", p)
+	}
+	if p.ChunksPrunedZone == 0 {
+		t.Errorf("thin window pruned no chunks via zone maps: %+v", p)
+	}
+	if p.ChunksPrunedBloom != 0 {
+		t.Errorf("unboxed query charged bloom pruning: %+v", p)
+	}
+}
+
+// TestScanTablesContextProfile checks the framework scan path (SQL's
+// storage entry point) accrues into a context profile.
+func TestScanTablesContextProfile(t *testing.T) {
+	r := newRig(t, Options{Obs: obs.NewNoop()})
+	r.ingestEpochs(t, 2)
+	ctx, prof := ContextWithProfile(context.Background())
+	w := telco.NewTimeRange(r.cfg.Start, r.cfg.Start.Add(time.Hour))
+	rows := 0
+	err := r.e.ScanTablesContext(ctx, w, []string{"CDR"}, func(_ string, tab *telco.Table) error {
+		rows += tab.Len()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows == 0 {
+		t.Fatal("scan yielded no rows")
+	}
+	if prof.LeavesScanned == 0 || prof.ChunksScanned == 0 {
+		t.Errorf("scan profile did not advance: %+v", *prof)
+	}
+}

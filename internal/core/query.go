@@ -93,6 +93,11 @@ type Result struct {
 	// collect, leaf_decode, merge, restrict, row_fetch). Cache hits carry
 	// the breakdown of the evaluation that produced the cached answer.
 	Stages []obs.Stage
+	// Profile is the per-query cost breakdown of the evaluation (chunk
+	// pruning split by reason, cache hits, inflated bytes, DFS reads).
+	// Like Stages, a result-cache hit carries the profile of the
+	// evaluation that produced the cached answer, with ResultCacheHit set.
+	Profile Profile
 
 	// leafDecode accrues snapshot decompress/decode time inside summary
 	// collection, reported as the leaf_decode stage.
@@ -119,6 +124,10 @@ func (e *Engine) ExploreContext(ctx context.Context, q Query) (*Result, error) {
 		e.met.cacheHits.Inc()
 		out := *r
 		out.CacheHit = true
+		out.Profile.ResultCacheHit = true
+		if p := ProfileFromContext(ctx); p != nil {
+			p.ResultCacheHit = true
+		}
 		return &out, nil
 	}
 	e.met.cacheMisses.Inc()
@@ -136,6 +145,13 @@ func (e *Engine) ExploreContext(ctx context.Context, q Query) (*Result, error) {
 			sr.add(StageLeafDecode, res.leafDecode.Nanoseconds())
 		}
 		res.Stages = sr.flush(e.met.exploreStage, span)
+		res.Profile.LeavesScanned = res.ScannedLeaves
+		res.Profile.LeavesPruned = res.PrunedLeaves
+		res.Profile.LeavesDecayed = res.DecayedLeaves
+		res.Profile.TraceID = span.TraceID()
+		if p := ProfileFromContext(ctx); p != nil {
+			p.Add(res.Profile)
+		}
 		span.End()
 		e.met.exploreSec.Observe(time.Since(start).Seconds())
 		e.met.scannedLeaves.Add(int64(res.ScannedLeaves))
@@ -242,17 +258,36 @@ type PartsDiag struct {
 // single engine uses, so scatter-gathered aggregates match the monolithic
 // answer bit for bit.
 func (e *Engine) ExploreParts(ctx context.Context, w telco.TimeRange) ([]*highlights.Summary, PartsDiag, error) {
+	ctx, span := e.met.tracer.StartSpan(ctx, "explore_parts")
+	defer span.End()
 	res := &Result{}
+	tPlan := time.Now()
 	e.mu.RLock()
 	if e.tree.FindCovering(w) == nil {
 		e.mu.RUnlock()
-		return nil, PartsDiag{}, fmt.Errorf("core: no data ingested")
+		err := fmt.Errorf("core: no data ingested")
+		span.SetError(err)
+		return nil, PartsDiag{}, err
 	}
 	srcs := e.planSummaries(e.tree.Root(), w, nil, res)
 	e.mu.RUnlock()
+	tCollect := time.Now()
 	parts, err := e.buildParts(ctx, srcs, res)
 	if err != nil {
+		span.SetError(err)
 		return nil, PartsDiag{}, err
+	}
+	if span != nil {
+		span.AddStageAt(StagePlan, tPlan, tCollect.Sub(tPlan))
+		span.AddStageAt(StageCollect, tCollect, time.Since(tCollect)-res.leafDecode)
+		if res.leafDecode > 0 {
+			span.AddStageAt(StageLeafDecode, tCollect, res.leafDecode)
+		}
+	}
+	res.Profile.LeavesScanned = res.ScannedLeaves
+	res.Profile.LeavesDecayed = res.DecayedLeaves
+	if p := ProfileFromContext(ctx); p != nil {
+		p.Add(res.Profile)
 	}
 	return parts, PartsDiag{ScannedLeaves: res.ScannedLeaves, DecayedLeaves: res.DecayedLeaves}, nil
 }
@@ -262,15 +297,37 @@ func (e *Engine) ExploreParts(ctx context.Context, w telco.TimeRange) ([]*highli
 // window, box and table selection. Cluster shard nodes serve /rpc/explore
 // row requests through this without paying for a summary merge.
 func (e *Engine) FetchRows(ctx context.Context, q Query) (map[string]*telco.Table, error) {
+	ctx, span := e.met.tracer.StartSpan(ctx, "row_fetch")
+	defer span.End()
+	t0 := time.Now()
 	e.mu.RLock()
 	leaves := e.rowLeaves(q.Window)
 	e.mu.RUnlock()
 	res := &Result{}
 	if err := e.fetchRows(ctx, q, leaves, res); err != nil {
+		span.SetError(err)
 		return nil, err
 	}
 	e.met.scannedLeaves.Add(int64(res.ScannedLeaves))
 	e.met.prunedLeaves.Add(int64(res.PrunedLeaves))
+	res.Profile.LeavesScanned = res.ScannedLeaves
+	res.Profile.LeavesPruned = res.PrunedLeaves
+	if span != nil {
+		// The I/O phases accrue across chunks; anchor them at the fetch
+		// start so the waterfall keeps execution order.
+		if d := time.Duration(res.Profile.LookupNS); d > 0 {
+			span.AddStageAt(StageCacheLookup, t0, d)
+		}
+		if d := time.Duration(res.Profile.ReadNS); d > 0 {
+			span.AddStageAt(StageDFSRead, t0, d)
+		}
+		if d := time.Duration(res.Profile.DecodeNS); d > 0 {
+			span.AddStageAt(StageDecode, t0, d)
+		}
+	}
+	if p := ProfileFromContext(ctx); p != nil {
+		p.Add(res.Profile)
+	}
 	return res.Rows, nil
 }
 
@@ -372,7 +429,7 @@ func (e *Engine) buildParts(ctx context.Context, srcs []partSrc, res *Result) ([
 			c = e.codec()
 		}
 		t0 := time.Now()
-		s, err := e.buildLeafSummary(c, src.period, src.refs)
+		s, err := e.buildLeafSummary(c, src.period, src.refs, &res.Profile)
 		res.leafDecode += time.Since(t0)
 		if err != nil {
 			return nil, err
@@ -390,10 +447,10 @@ func (e *Engine) buildParts(ctx context.Context, srcs []partSrc, res *Result) ([
 // nothing; highlight accumulation is row-additive, so folding chunk by
 // chunk reproduces the whole-table fold exactly. The codec is passed
 // explicitly because some callers already hold the engine lock.
-func (e *Engine) buildLeafSummary(c compress.Codec, period telco.TimeRange, refs map[string]string) (*highlights.Summary, error) {
+func (e *Engine) buildLeafSummary(c compress.Codec, period telco.TimeRange, refs map[string]string, prof *Profile) (*highlights.Summary, error) {
 	s := highlights.NewSummary(period)
 	for name, ref := range refs {
-		_, _, err := e.scanLeafTable(name, ref, c, leafPrune{}, func(tab *telco.Table) error {
+		_, _, err := e.scanLeafTable(name, ref, c, leafPrune{}, prof, func(tab *telco.Table) error {
 			s.AddTable(e.opts.Highlights, tab)
 			return nil
 		})
@@ -514,7 +571,7 @@ func (e *Engine) fetchRows(ctx context.Context, q Query, leaves []leafRef, res *
 				dst = telco.NewTable(schema)
 				res.Rows[name] = dst
 			}
-			scanned, pruned, err := e.scanLeafTable(name, ref, c, pr, func(tab *telco.Table) error {
+			scanned, pruned, err := e.scanLeafTable(name, ref, c, pr, &res.Profile, func(tab *telco.Table) error {
 				tsIdx := tab.Schema.FieldIndex(telco.AttrTS)
 				cellIdx := tab.Schema.FieldIndex(telco.AttrCellID)
 				for _, r := range tab.Rows {
@@ -567,12 +624,19 @@ func (e *Engine) ScanTablesContext(ctx context.Context, w telco.TimeRange, table
 	}
 	c := e.codec()
 	pr := leafPrune{window: &w}
+	prof := ProfileFromContext(ctx)
 	for _, l := range leaves {
 		if l.decayed || l.refs == nil {
+			if prof != nil && l.decayed {
+				prof.LeavesDecayed++
+			}
 			continue
 		}
 		if err := ctx.Err(); err != nil {
 			return err
+		}
+		if prof != nil {
+			prof.LeavesScanned++
 		}
 		for name, ref := range l.refs {
 			if !want(name) {
@@ -587,7 +651,7 @@ func (e *Engine) ScanTablesContext(ctx context.Context, w telco.TimeRange, table
 			// accumulate into one table per leaf so fn observes the same
 			// call sequence as with whole-blob leaves.
 			filtered := telco.NewTable(schema)
-			_, _, err := e.scanLeafTable(name, ref, c, pr, func(tab *telco.Table) error {
+			_, _, err := e.scanLeafTable(name, ref, c, pr, prof, func(tab *telco.Table) error {
 				tsIdx := tab.Schema.FieldIndex(telco.AttrTS)
 				for _, r := range tab.Rows {
 					if tsIdx < 0 || r[tsIdx].IsNull() || w.Contains(r[tsIdx].Time()) {

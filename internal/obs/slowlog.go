@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"log/slog"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SlowQuery is one entry of the slow-query log: enough to join the query
+// text, its trace (via TraceID), and its profile on one id.
+type SlowQuery struct {
+	When    time.Time      `json:"when"`
+	Kind    string         `json:"kind"` // e.g. "explore", "sql", "http /api/explore"
+	Query   string         `json:"query,omitempty"`
+	TraceID string         `json:"trace_id,omitempty"`
+	Millis  float64        `json:"ms"`
+	Detail  map[string]any `json:"detail,omitempty"`
+}
+
+// SlowQueryLog records queries whose wall time crosses a threshold into a
+// bounded ring, a counter, and a structured slog line carrying the trace id.
+type SlowQueryLog struct {
+	threshold atomic.Int64 // nanoseconds
+	total     *Counter
+	logger    *slog.Logger
+
+	mu   sync.Mutex
+	keep int
+	buf  []SlowQuery
+	next int
+}
+
+// DefaultSlowThreshold is the initial slow-query threshold.
+const DefaultSlowThreshold = 250 * time.Millisecond
+
+// DefaultSlowLog is the process-wide slow-query log, registered on the
+// Default registry as spate_slow_queries_total.
+var DefaultSlowLog = NewSlowQueryLog(Default, DefaultSlowThreshold, 64)
+
+// NewSlowQueryLog builds a slow-query log keeping the last keep entries and
+// counting crossings as spate_slow_queries_total on reg.
+func NewSlowQueryLog(reg *Registry, threshold time.Duration, keep int) *SlowQueryLog {
+	if keep <= 0 {
+		keep = 64
+	}
+	l := &SlowQueryLog{keep: keep}
+	l.threshold.Store(int64(threshold))
+	if reg != nil && !reg.Noop() {
+		l.total = reg.Counter("spate_slow_queries_total",
+			"Queries slower than the slow-query threshold.")
+	}
+	return l
+}
+
+// SetThreshold changes the slow-query threshold; d <= 0 disables logging.
+func (l *SlowQueryLog) SetThreshold(d time.Duration) {
+	if l == nil {
+		return
+	}
+	l.threshold.Store(int64(d))
+}
+
+// Threshold returns the current slow-query threshold.
+func (l *SlowQueryLog) Threshold() time.Duration {
+	if l == nil {
+		return 0
+	}
+	return time.Duration(l.threshold.Load())
+}
+
+// SetLogger overrides the slog logger (default slog.Default()).
+func (l *SlowQueryLog) SetLogger(lg *slog.Logger) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.logger = lg
+	l.mu.Unlock()
+}
+
+// Observe records one finished query. Queries at or over the threshold are
+// appended to the ring, counted, and logged; it reports whether the query
+// was slow.
+func (l *SlowQueryLog) Observe(kind, query, traceID string, dur time.Duration, detail map[string]any) bool {
+	if l == nil {
+		return false
+	}
+	th := time.Duration(l.threshold.Load())
+	if th <= 0 || dur < th {
+		return false
+	}
+	if l.total != nil {
+		l.total.Inc()
+	}
+	e := SlowQuery{
+		When: time.Now(), Kind: kind, Query: query, TraceID: traceID,
+		Millis: float64(dur) / float64(time.Millisecond), Detail: detail,
+	}
+	l.mu.Lock()
+	if len(l.buf) < l.keep {
+		l.buf = append(l.buf, e)
+		l.next = len(l.buf) % l.keep
+	} else {
+		l.buf[l.next] = e
+		l.next = (l.next + 1) % l.keep
+	}
+	lg := l.logger
+	l.mu.Unlock()
+	if lg == nil {
+		lg = slog.Default()
+	}
+	args := []any{
+		slog.String("kind", kind),
+		slog.Duration("duration", dur),
+		slog.Duration("threshold", th),
+	}
+	if query != "" {
+		args = append(args, slog.String("query", query))
+	}
+	if traceID != "" {
+		args = append(args, slog.String("trace_id", traceID))
+	}
+	lg.Warn("slow query", args...)
+	return true
+}
+
+// Recent returns the retained slow queries, most recent first.
+func (l *SlowQueryLog) Recent() []SlowQuery {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SlowQuery, 0, len(l.buf))
+	if len(l.buf) < l.keep {
+		for i := len(l.buf) - 1; i >= 0; i-- {
+			out = append(out, l.buf[i])
+		}
+		return out
+	}
+	for i := 0; i < l.keep; i++ {
+		out = append(out, l.buf[(l.next-1-i+2*l.keep)%l.keep])
+	}
+	return out
+}

@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSlowQueryLogThresholdAndRing(t *testing.T) {
+	reg := NewRegistry()
+	l := NewSlowQueryLog(reg, 100*time.Millisecond, 2)
+	var buf bytes.Buffer
+	l.SetLogger(slog.New(slog.NewTextHandler(&buf, nil)))
+
+	if l.Observe("explore", "fast", "", 10*time.Millisecond, nil) {
+		t.Fatal("fast query logged as slow")
+	}
+	if !l.Observe("explore", "q1", "abc123", 150*time.Millisecond, map[string]any{"rows": 7}) {
+		t.Fatal("slow query not recorded")
+	}
+	l.Observe("sql", "q2", "", 200*time.Millisecond, nil)
+	l.Observe("sql", "q3", "", 300*time.Millisecond, nil)
+
+	rec := l.Recent()
+	if len(rec) != 2 { // ring of 2 keeps the most recent entries
+		t.Fatalf("kept %d entries, want 2", len(rec))
+	}
+	if rec[0].Query != "q3" || rec[1].Query != "q2" {
+		t.Fatalf("recent order = %q, %q; want q3, q2", rec[0].Query, rec[1].Query)
+	}
+	if v := reg.Counter("spate_slow_queries_total", "").Value(); v != 3 {
+		t.Fatalf("spate_slow_queries_total = %d, want 3", v)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "slow query") || !strings.Contains(out, "abc123") {
+		t.Fatalf("structured log missing entry or trace id:\n%s", out)
+	}
+}
+
+func TestSlowQueryLogDisabled(t *testing.T) {
+	l := NewSlowQueryLog(NewNoop(), 0, 4)
+	if l.Observe("explore", "q", "", time.Hour, nil) {
+		t.Fatal("disabled threshold still logged")
+	}
+	l.SetThreshold(time.Millisecond)
+	if !l.Observe("explore", "q", "", time.Second, nil) {
+		t.Fatal("re-enabled threshold did not log")
+	}
+	if got := l.Threshold(); got != time.Millisecond {
+		t.Fatalf("Threshold = %v", got)
+	}
+
+	// Nil receiver is inert, like the rest of the obs surface.
+	var nl *SlowQueryLog
+	if nl.Observe("x", "y", "", time.Hour, nil) || nl.Recent() != nil {
+		t.Fatal("nil SlowQueryLog not inert")
+	}
+}

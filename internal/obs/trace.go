@@ -2,7 +2,13 @@ package obs
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -13,32 +19,148 @@ type Stage struct {
 	Duration time.Duration
 }
 
+// TraceID is a 128-bit request identifier shared by every span of one
+// distributed trace, including spans recorded on remote shard nodes.
+type TraceID [16]byte
+
+// SpanID is a 64-bit span identifier, unique within its trace.
+type SpanID [8]byte
+
+// IsZero reports whether the id is unset.
+func (id TraceID) IsZero() bool { return id == TraceID{} }
+
+// IsZero reports whether the id is unset.
+func (id SpanID) IsZero() bool { return id == SpanID{} }
+
+// String renders the id as 32 lower-case hex digits.
+func (id TraceID) String() string { return hex.EncodeToString(id[:]) }
+
+// String renders the id as 16 lower-case hex digits.
+func (id SpanID) String() string { return hex.EncodeToString(id[:]) }
+
+// ParseTraceID parses 32 hex digits into a TraceID.
+func ParseTraceID(s string) (TraceID, error) {
+	var id TraceID
+	if len(s) != 32 {
+		return id, fmt.Errorf("obs: trace id %q: want 32 hex digits", s)
+	}
+	if _, err := hex.Decode(id[:], []byte(s)); err != nil {
+		return id, fmt.Errorf("obs: trace id %q: %w", s, err)
+	}
+	return id, nil
+}
+
+// ParseSpanID parses 16 hex digits into a SpanID.
+func ParseSpanID(s string) (SpanID, error) {
+	var id SpanID
+	if len(s) != 16 {
+		return id, fmt.Errorf("obs: span id %q: want 16 hex digits", s)
+	}
+	if _, err := hex.Decode(id[:], []byte(s)); err != nil {
+		return id, fmt.Errorf("obs: span id %q: %w", s, err)
+	}
+	return id, nil
+}
+
+// Span and trace ids mix a process-random base with a counter — unique
+// without a syscall per span.
+var (
+	idBase    [2]uint64
+	idCounter atomic.Uint64
+	idOnce    sync.Once
+)
+
+func nextID() uint64 {
+	idOnce.Do(func() {
+		var b [16]byte
+		_, _ = rand.Read(b[:])
+		idBase[0] = binary.BigEndian.Uint64(b[0:8])
+		idBase[1] = binary.BigEndian.Uint64(b[8:16])
+	})
+	// SplitMix64 finalizer over a strided counter: well-mixed, collision-free
+	// within a process, seeded by the crypto-random base across processes.
+	x := idBase[0] + idCounter.Add(0x9E3779B97F4A7C15)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+func newTraceID() TraceID {
+	var id TraceID
+	binary.BigEndian.PutUint64(id[0:8], nextID()^idBase[1])
+	binary.BigEndian.PutUint64(id[8:16], nextID())
+	return id
+}
+
+func newSpanID() SpanID {
+	var id SpanID
+	binary.BigEndian.PutUint64(id[:], nextID())
+	return id
+}
+
+// Attr is one key=value annotation on a span.
+type Attr struct {
+	Key   string
+	Value string
+}
+
 // Span is one timed operation in a request's wall-time tree. Spans nest:
 // StartSpan under a context carrying a live span creates a child. A root
-// span is recorded into its Tracer's ring buffer when it ends.
+// span is recorded into its Tracer's ring buffer when it ends. Spans carry
+// trace/span identity, key=value attributes and an error status, so spans
+// recorded on different processes stitch into one trace.
 type Span struct {
-	name   string
-	start  time.Time
-	tracer *Tracer // non-nil on roots
-	parent *Span
+	name     string
+	start    time.Time
+	tracer   *Tracer // non-nil on roots
+	parent   *Span
+	root     *Span // the trace root in this process (itself for roots)
+	traceID  TraceID
+	spanID   SpanID
+	parentID SpanID // non-zero on roots continuing a remote trace
+
+	// Per-trace span budget, tracked on the root: children beyond maxSpans
+	// are timed but not retained, so one pathological request cannot pin
+	// unbounded memory in the trace ring.
+	maxSpans int
+	nspans   atomic.Int64
+	dropped  atomic.Int64
 
 	mu       sync.Mutex
 	duration time.Duration
 	done     bool
+	errMsg   string
+	attrs    []Attr
 	children []*Span
+	remote   []SpanJSON // pre-rendered subtrees attached from remote nodes
 }
 
 type spanKey struct{}
 
+// remoteRef carries a trace parent extracted from an RPC header.
+type remoteRef struct {
+	traceID TraceID
+	spanID  SpanID
+}
+
+type remoteKey struct{}
+
 // DefaultTracer records the most recent request traces process-wide.
 var DefaultTracer = NewTracer(64)
 
+// DefaultMaxSpansPerTrace caps how many spans one trace retains.
+const DefaultMaxSpansPerTrace = 512
+
 // Tracer keeps a ring buffer of the last N finished root spans.
 type Tracer struct {
-	mu   sync.Mutex
-	cap  int
-	buf  []*Span
-	next int
+	mu       sync.Mutex
+	cap      int
+	maxSpans int
+	buf      []*Span
+	next     int
 }
 
 // NewTracer returns a tracer retaining the last n root traces.
@@ -46,24 +168,61 @@ func NewTracer(n int) *Tracer {
 	if n <= 0 {
 		n = 16
 	}
-	return &Tracer{cap: n}
+	return &Tracer{cap: n, maxSpans: DefaultMaxSpansPerTrace}
+}
+
+// SetMaxSpansPerTrace caps the spans retained per trace (default 512).
+func (t *Tracer) SetMaxSpansPerTrace(n int) {
+	if t == nil || n <= 0 {
+		return
+	}
+	t.mu.Lock()
+	t.maxSpans = n
+	t.mu.Unlock()
 }
 
 // StartSpan begins a span named name. If ctx carries a live span the new
-// span becomes its child; otherwise it is a root recorded into t when it
-// ends. The returned context carries the new span.
+// span becomes its child, inheriting the trace id; if ctx instead carries a
+// remote trace reference (ContextWithRemote), the new span roots a local
+// subtree of that distributed trace. Otherwise it starts a fresh trace.
+// Roots are recorded into t when they end. The returned context carries the
+// new span.
 func (t *Tracer) StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 	if t == nil {
 		return ctx, nil // tracing disabled; the nil span is a safe no-op
 	}
-	s := &Span{name: name, start: time.Now()}
+	s := &Span{name: name, start: time.Now(), spanID: newSpanID()}
 	if parent, ok := ctx.Value(spanKey{}).(*Span); ok && parent != nil && !parent.finished() {
+		root := parent.root
+		if root == nil {
+			root = parent
+		}
+		s.traceID = parent.traceID
+		s.parentID = parent.spanID
+		s.root = root
+		if root.nspans.Add(1) > int64(root.maxSpans) {
+			// Over budget: time the operation but keep it out of the tree.
+			root.nspans.Add(-1)
+			root.dropped.Add(1)
+			return context.WithValue(ctx, spanKey{}, s), s
+		}
 		s.parent = parent
 		parent.mu.Lock()
 		parent.children = append(parent.children, s)
 		parent.mu.Unlock()
 	} else {
 		s.tracer = t
+		s.root = s
+		t.mu.Lock()
+		s.maxSpans = t.maxSpans
+		t.mu.Unlock()
+		s.nspans.Store(1)
+		if ref, ok := ctx.Value(remoteKey{}).(remoteRef); ok && !ref.traceID.IsZero() {
+			s.traceID = ref.traceID
+			s.parentID = ref.spanID
+		} else {
+			s.traceID = newTraceID()
+		}
 	}
 	return context.WithValue(ctx, spanKey{}, s), s
 }
@@ -77,6 +236,52 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 func SpanFromContext(ctx context.Context) (*Span, bool) {
 	s, ok := ctx.Value(spanKey{}).(*Span)
 	return s, ok && s != nil
+}
+
+// ContextWithRemote marks ctx with a remote trace parent: the next root
+// span started under it joins that trace instead of opening a new one.
+func ContextWithRemote(ctx context.Context, traceID TraceID, parent SpanID) context.Context {
+	return context.WithValue(ctx, remoteKey{}, remoteRef{traceID: traceID, spanID: parent})
+}
+
+// TraceHeader is the HTTP header propagating trace context across the
+// cluster RPC: "<32 hex trace id>-<16 hex span id>".
+const TraceHeader = "X-Spate-Trace"
+
+// InjectTrace writes ctx's span identity into h for cross-process
+// propagation. A ctx without a live span injects nothing.
+func InjectTrace(ctx context.Context, h http.Header) {
+	s, ok := SpanFromContext(ctx)
+	if !ok || s.traceID.IsZero() {
+		return
+	}
+	h.Set(TraceHeader, s.traceID.String()+"-"+s.spanID.String())
+}
+
+// ExtractTrace parses the trace header, if present and well-formed.
+func ExtractTrace(h http.Header) (TraceID, SpanID, bool) {
+	v := h.Get(TraceHeader)
+	if len(v) != 32+1+16 || v[32] != '-' {
+		return TraceID{}, SpanID{}, false
+	}
+	tid, err := ParseTraceID(v[:32])
+	if err != nil {
+		return TraceID{}, SpanID{}, false
+	}
+	sid, err := ParseSpanID(v[33:])
+	if err != nil {
+		return TraceID{}, SpanID{}, false
+	}
+	return tid, sid, true
+}
+
+// ContextWithTraceHeader applies an incoming request's trace header to ctx,
+// so the handler's spans join the caller's trace.
+func ContextWithTraceHeader(ctx context.Context, h http.Header) context.Context {
+	if tid, sid, ok := ExtractTrace(h); ok {
+		return ContextWithRemote(ctx, tid, sid)
+	}
+	return ctx
 }
 
 func (s *Span) finished() bool {
@@ -105,14 +310,91 @@ func (s *Span) End() {
 	}
 }
 
-// AddStage attaches a completed child span with an explicit duration — for
-// stages whose time accumulates across a loop rather than one contiguous
-// interval (e.g. per-table compression inside ingest).
-func (s *Span) AddStage(name string, d time.Duration) {
+// TraceID returns the span's trace id in hex ("" for a nil span).
+func (s *Span) TraceID() string {
+	if s == nil || s.traceID.IsZero() {
+		return ""
+	}
+	return s.traceID.String()
+}
+
+// SpanID returns the span's id in hex ("" for a nil span).
+func (s *Span) SpanID() string {
+	if s == nil || s.spanID.IsZero() {
+		return ""
+	}
+	return s.spanID.String()
+}
+
+// SetAttr annotates the span with a key=value attribute.
+func (s *Span) SetAttr(key, value string) {
 	if s == nil {
 		return
 	}
-	c := &Span{name: name, start: time.Now().Add(-d), duration: d, done: true, parent: s}
+	s.mu.Lock()
+	for i := range s.attrs {
+		if s.attrs[i].Key == key {
+			s.attrs[i].Value = value
+			s.mu.Unlock()
+			return
+		}
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// SetError marks the span failed. A nil error is ignored.
+func (s *Span) SetError(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.mu.Lock()
+	s.errMsg = err.Error()
+	s.mu.Unlock()
+}
+
+// AttachRemote grafts a subtree recorded on another process (typically the
+// shard side of an RPC, returned on the response) under this span, so the
+// coordinator's trace shows the remote work in place.
+func (s *Span) AttachRemote(j SpanJSON) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.remote = append(s.remote, j)
+	s.mu.Unlock()
+}
+
+// AddStage attaches a completed child span for a stage that finished just
+// now, back-dating its start by d. For stages whose time accumulates across
+// a loop use AddStageAt with the loop's real first start — back-dating from
+// "now" would order stages by duration, not by execution.
+func (s *Span) AddStage(name string, d time.Duration) {
+	s.AddStageAt(name, time.Now().Add(-d), d)
+}
+
+// AddStageAt attaches a completed child span with an explicit start and
+// duration — the accrual form for stages that run multiple times (e.g.
+// per-table compression inside ingest): start is the real first start, so
+// the JSON waterfall keeps execution order.
+func (s *Span) AddStageAt(name string, start time.Time, d time.Duration) {
+	if s == nil {
+		return
+	}
+	root := s.root
+	if root == nil {
+		root = s
+	}
+	if root.nspans.Add(1) > int64(root.maxSpans) {
+		root.nspans.Add(-1)
+		root.dropped.Add(1)
+		return
+	}
+	c := &Span{
+		name: name, start: start, duration: d, done: true,
+		parent: s, root: root, traceID: s.traceID, parentID: s.spanID,
+		spanID: newSpanID(),
+	}
 	s.mu.Lock()
 	s.children = append(s.children, c)
 	s.mu.Unlock()
@@ -154,37 +436,98 @@ func (s *Span) Stages() []Stage {
 }
 
 func (t *Tracer) record(s *Span) {
+	var evicted *Span
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	if len(t.buf) < t.cap {
 		t.buf = append(t.buf, s)
 		t.next = len(t.buf) % t.cap
-		return
+	} else {
+		evicted = t.buf[t.next]
+		t.buf[t.next] = s
+		t.next = (t.next + 1) % t.cap
 	}
-	t.buf[t.next] = s
-	t.next = (t.next + 1) % t.cap
+	t.mu.Unlock()
+	if evicted != nil {
+		// A live child span (e.g. held by a long-running request's context)
+		// still references its parents, so the evicted tree may stay
+		// reachable; release its attribute and remote payloads so an old
+		// trace cannot pin decoded chunk memory.
+		evicted.release()
+	}
 }
 
-// SpanJSON is the wire form of one trace node (GET /api/trace).
-type SpanJSON struct {
-	Name     string     `json:"name"`
-	Start    time.Time  `json:"start"`
-	Millis   float64    `json:"ms"`
-	Children []SpanJSON `json:"children,omitempty"`
-}
-
-func (s *Span) toJSON() SpanJSON {
+// release drops the tree's attribute maps and remote subtrees, keeping only
+// the cheap name/duration skeleton.
+func (s *Span) release() {
 	s.mu.Lock()
-	out := SpanJSON{Name: s.name, Start: s.start}
+	s.attrs = nil
+	s.remote = nil
+	kids := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range kids {
+		c.release()
+	}
+}
+
+// SpanJSON is the wire form of one trace node (GET /api/trace and the
+// cluster RPC's shard-side subtree).
+type SpanJSON struct {
+	Name     string            `json:"name"`
+	TraceID  string            `json:"trace_id,omitempty"`
+	SpanID   string            `json:"span_id,omitempty"`
+	ParentID string            `json:"parent_id,omitempty"`
+	Start    time.Time         `json:"start"`
+	Millis   float64           `json:"ms"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	Error    string            `json:"error,omitempty"`
+	Dropped  int64             `json:"dropped_spans,omitempty"`
+	Remote   bool              `json:"remote,omitempty"`
+	Children []SpanJSON        `json:"children,omitempty"`
+}
+
+// JSON renders the span subtree, usable while the span is still live.
+func (s *Span) JSON() SpanJSON {
+	if s == nil {
+		return SpanJSON{}
+	}
+	return s.toJSON(true)
+}
+
+func (s *Span) toJSON(top bool) SpanJSON {
+	s.mu.Lock()
+	out := SpanJSON{Name: s.name, Start: s.start, SpanID: s.spanID.String()}
 	if s.done {
 		out.Millis = float64(s.duration) / float64(time.Millisecond)
 	} else {
 		out.Millis = float64(time.Since(s.start)) / float64(time.Millisecond)
 	}
+	if top {
+		out.TraceID = s.traceID.String()
+		if !s.parentID.IsZero() {
+			out.ParentID = s.parentID.String()
+		}
+	}
+	if s.errMsg != "" {
+		out.Error = s.errMsg
+	}
+	if len(s.attrs) > 0 {
+		out.Attrs = make(map[string]string, len(s.attrs))
+		for _, a := range s.attrs {
+			out.Attrs[a.Key] = a.Value
+		}
+	}
+	if s.root == s {
+		out.Dropped = s.dropped.Load()
+	}
 	kids := append([]*Span(nil), s.children...)
+	remote := append([]SpanJSON(nil), s.remote...)
 	s.mu.Unlock()
 	for _, c := range kids {
-		out.Children = append(out.Children, c.toJSON())
+		out.Children = append(out.Children, c.toJSON(false))
+	}
+	for _, r := range remote {
+		r.Remote = true
+		out.Children = append(out.Children, r)
 	}
 	return out
 }
@@ -194,7 +537,49 @@ func (t *Tracer) Traces() []SpanJSON {
 	if t == nil {
 		return nil
 	}
+	out := make([]SpanJSON, 0, len(t.roots()))
+	for _, s := range t.roots() {
+		out = append(out, s.toJSON(true))
+	}
+	return out
+}
+
+// Find returns the merged tree of the retained trace with the given hex id.
+// Roots recorded for the same trace id (one coordinator plus local shard
+// subtrees on a shared tracer) merge under the earliest-started root.
+func (t *Tracer) Find(id string) (SpanJSON, bool) {
+	if t == nil {
+		return SpanJSON{}, false
+	}
+	var match []*Span
+	for _, s := range t.roots() {
+		if s.traceID.String() == id {
+			match = append(match, s)
+		}
+	}
+	if len(match) == 0 {
+		return SpanJSON{}, false
+	}
+	// The root with no remote parent (or the earliest-started) anchors.
+	anchor := 0
+	for i, s := range match {
+		if s.parentID.IsZero() {
+			anchor = i
+			break
+		}
+	}
+	out := match[anchor].toJSON(true)
+	for i, s := range match {
+		if i != anchor {
+			out.Children = append(out.Children, s.toJSON(true))
+		}
+	}
+	return out, true
+}
+
+func (t *Tracer) roots() []*Span {
 	t.mu.Lock()
+	defer t.mu.Unlock()
 	var roots []*Span
 	if len(t.buf) < t.cap {
 		roots = append(roots, t.buf...)
@@ -202,10 +587,5 @@ func (t *Tracer) Traces() []SpanJSON {
 		roots = append(roots, t.buf[t.next:]...)
 		roots = append(roots, t.buf[:t.next]...)
 	}
-	t.mu.Unlock()
-	out := make([]SpanJSON, 0, len(roots))
-	for _, s := range roots {
-		out = append(out, s.toJSON())
-	}
-	return out
+	return roots
 }

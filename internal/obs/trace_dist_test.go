@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestTraceHeaderRoundTrip(t *testing.T) {
+	tr := NewTracer(4)
+	ctx, span := tr.StartSpan(context.Background(), "origin")
+	h := http.Header{}
+	InjectTrace(ctx, h)
+	v := h.Get(TraceHeader)
+	if v == "" {
+		t.Fatal("InjectTrace wrote no header")
+	}
+	tid, sid, ok := ExtractTrace(h)
+	if !ok {
+		t.Fatalf("ExtractTrace rejected %q", v)
+	}
+	if tid.String() != span.TraceID() || sid.String() != span.SpanID() {
+		t.Fatalf("extracted %s/%s, want %s/%s", tid, sid, span.TraceID(), span.SpanID())
+	}
+	span.End()
+
+	// Malformed headers must be rejected, not half-parsed.
+	for _, bad := range []string{"", "xyz", "deadbeef-cafe", span.TraceID(), span.TraceID() + "-zz"} {
+		hb := http.Header{}
+		if bad != "" {
+			hb.Set(TraceHeader, bad)
+		}
+		if _, _, ok := ExtractTrace(hb); ok {
+			t.Errorf("ExtractTrace accepted %q", bad)
+		}
+	}
+}
+
+func TestRemoteParentAdoptsTraceID(t *testing.T) {
+	coord := NewTracer(4)
+	node := NewTracer(4)
+	ctx, parent := coord.StartSpan(context.Background(), "coordinator")
+
+	// Simulate the RPC hop: header out of the coordinator context, into a
+	// fresh node-side context.
+	h := http.Header{}
+	InjectTrace(ctx, h)
+	nctx := ContextWithTraceHeader(context.Background(), h)
+	_, remote := node.StartSpan(nctx, "rpc_explore")
+	if remote.TraceID() != parent.TraceID() {
+		t.Fatalf("remote root trace id %s, want %s", remote.TraceID(), parent.TraceID())
+	}
+	remote.End()
+	parent.End()
+
+	j, ok := node.Find(remote.TraceID())
+	if !ok {
+		t.Fatal("node tracer did not retain the remote-parented root")
+	}
+	if j.ParentID != parent.SpanID() {
+		t.Fatalf("remote root parent %s, want coordinator span %s", j.ParentID, parent.SpanID())
+	}
+}
+
+func TestAttachRemoteStitchesSubtree(t *testing.T) {
+	node := NewTracer(4)
+	nctx, nspan := node.StartSpan(context.Background(), "rpc_explore")
+	_, child := node.StartSpan(nctx, "explore_parts")
+	child.End()
+	nspan.End()
+	shard := nspan.JSON()
+
+	coord := NewTracer(4)
+	cctx, root := coord.StartSpan(context.Background(), "cluster_explore")
+	_, slot := coord.StartSpan(cctx, "slot_explore")
+	slot.AttachRemote(shard)
+	slot.End()
+	root.End()
+
+	j, ok := coord.Find(root.TraceID())
+	if !ok {
+		t.Fatal("coordinator trace not found")
+	}
+	if len(j.Children) != 1 || j.Children[0].Name != "slot_explore" {
+		t.Fatalf("root children = %+v", j.Children)
+	}
+	sub := j.Children[0].Children
+	if len(sub) != 1 || sub[0].Name != "rpc_explore" || !sub[0].Remote {
+		t.Fatalf("stitched subtree = %+v", sub)
+	}
+	if len(sub[0].Children) != 1 || sub[0].Children[0].Name != "explore_parts" {
+		t.Fatalf("remote subtree lost its children: %+v", sub[0])
+	}
+}
+
+func TestSpanCapDropsExcess(t *testing.T) {
+	tr := NewTracer(4)
+	tr.SetMaxSpansPerTrace(3)
+	ctx, root := tr.StartSpan(context.Background(), "root")
+	for i := 0; i < 10; i++ {
+		_, c := tr.StartSpan(ctx, fmt.Sprintf("child-%d", i))
+		c.End()
+	}
+	root.End()
+	j, ok := tr.Find(root.TraceID())
+	if !ok {
+		t.Fatal("trace not retained")
+	}
+	if len(j.Children) != 2 { // root + 2 children = cap of 3
+		t.Fatalf("retained %d children, want 2", len(j.Children))
+	}
+	if j.Dropped != 8 {
+		t.Fatalf("Dropped = %d, want 8", j.Dropped)
+	}
+}
+
+func TestRingEvictionReleasesAttrs(t *testing.T) {
+	tr := NewTracer(2)
+	_, old := tr.StartSpan(context.Background(), "old")
+	old.SetAttr("k", "v")
+	old.End()
+	if j := old.JSON(); j.Attrs["k"] != "v" {
+		t.Fatalf("attr lost before eviction: %+v", j)
+	}
+	// Two more roots evict "old"; release must clear its attribute map so
+	// the ring cannot retain arbitrarily large evicted payloads.
+	for i := 0; i < 2; i++ {
+		_, s := tr.StartSpan(context.Background(), "new")
+		s.End()
+	}
+	if j := old.JSON(); len(j.Attrs) != 0 {
+		t.Fatalf("evicted root still holds attrs: %+v", j.Attrs)
+	}
+}
+
+func TestAddStageAtKeepsExecutionOrder(t *testing.T) {
+	tr := NewTracer(2)
+	_, span := tr.StartSpan(context.Background(), "explore")
+	base := time.Now()
+	// Recorded out of duration order on purpose: a long early stage and a
+	// short late stage. The JSON waterfall must honor the given starts.
+	span.AddStageAt("plan", base, 50*time.Millisecond)
+	span.AddStageAt("row_fetch", base.Add(60*time.Millisecond), 5*time.Millisecond)
+	span.End()
+	j := span.JSON()
+	if len(j.Children) != 2 {
+		t.Fatalf("stage children = %+v", j.Children)
+	}
+	if !j.Children[0].Start.Equal(base) {
+		t.Errorf("plan start = %v, want %v", j.Children[0].Start, base)
+	}
+	if !j.Children[1].Start.After(j.Children[0].Start) {
+		t.Errorf("stage starts out of order: %v then %v", j.Children[0].Start, j.Children[1].Start)
+	}
+}
+
+func TestFindMergesSharedTraceRoots(t *testing.T) {
+	tr := NewTracer(8)
+	ctx, anchor := tr.StartSpan(context.Background(), "cluster_explore")
+
+	// A second root on the same tracer with a remote parent pointing at the
+	// anchor — the in-process Local cluster shape, where coordinator and
+	// node share one tracer.
+	h := http.Header{}
+	InjectTrace(ctx, h)
+	_, nodeRoot := tr.StartSpan(ContextWithTraceHeader(context.Background(), h), "rpc_explore")
+	nodeRoot.End()
+	anchor.End()
+
+	j, ok := tr.Find(anchor.TraceID())
+	if !ok {
+		t.Fatal("merged trace not found")
+	}
+	if j.Name != "cluster_explore" {
+		t.Fatalf("anchor = %q", j.Name)
+	}
+	var found bool
+	for _, c := range j.Children {
+		if c.Name == "rpc_explore" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("node root not merged under anchor: %+v", j.Children)
+	}
+}

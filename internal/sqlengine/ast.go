@@ -188,8 +188,15 @@ type OrderKey struct {
 	Desc bool
 }
 
-// SelectStmt is a parsed SELECT statement.
+// SelectStmt is a parsed SELECT statement, optionally wrapped in
+// EXPLAIN [ANALYZE].
 type SelectStmt struct {
+	// Explain requests the query plan instead of the rows; Analyze
+	// additionally executes the statement and reports row counts, wall
+	// time and the storage profile (chunks pruned, cache hits, bytes).
+	Explain bool
+	Analyze bool
+
 	Distinct bool
 	Items    []SelectItem
 	From     TableRef

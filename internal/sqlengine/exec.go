@@ -115,6 +115,9 @@ func (e *Engine) Run(stmt *SelectStmt) (*ResultSet, error) {
 
 // RunContext executes a parsed statement under ctx.
 func (e *Engine) RunContext(ctx context.Context, stmt *SelectStmt) (*ResultSet, error) {
+	if stmt.Explain {
+		return e.explain(ctx, stmt)
+	}
 	// Bind FROM and JOIN tables.
 	sc := &scope{}
 	providers := make([]Provider, 0, 1+len(stmt.Joins))

@@ -1,0 +1,116 @@
+package sqlengine
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"spate/internal/telco"
+)
+
+// ExplainProfiler is implemented by catalogs whose storage layer can
+// account per-query scan cost. EXPLAIN ANALYZE asks the catalog for a
+// profiled context before executing and renders the returned report lines
+// after; catalogs without one (e.g. MemCatalog) analyze with rows and wall
+// time only.
+type ExplainProfiler interface {
+	// WithProfile returns a context under which scans accrue cost, and a
+	// render function producing the report lines once execution finishes.
+	WithProfile(ctx context.Context) (context.Context, func() []string)
+}
+
+// explain serves EXPLAIN and EXPLAIN ANALYZE: the plan alone, or the plan
+// plus an execution report (rows, wall time, storage profile).
+func (e *Engine) explain(ctx context.Context, stmt *SelectStmt) (*ResultSet, error) {
+	lines := planLines(stmt)
+	rs := &ResultSet{Cols: []string{"plan"}}
+	if stmt.Analyze {
+		inner := *stmt
+		inner.Explain, inner.Analyze = false, false
+		var render func() []string
+		if pp, ok := e.cat.(ExplainProfiler); ok {
+			ctx, render = pp.WithProfile(ctx)
+		}
+		t0 := time.Now()
+		res, err := e.RunContext(ctx, &inner)
+		if err != nil {
+			return nil, err
+		}
+		lines = append(lines,
+			fmt.Sprintf("rows: %d", len(res.Rows)),
+			fmt.Sprintf("time: %.3f ms", float64(time.Since(t0))/float64(time.Millisecond)),
+		)
+		if render != nil {
+			lines = append(lines, render()...)
+		}
+	}
+	for _, ln := range lines {
+		rs.Rows = append(rs.Rows, []telco.Value{telco.String(ln)})
+	}
+	return rs, nil
+}
+
+// planLines renders the statement's evaluation plan, one step per line, in
+// execution order. The scan lines surface the planner's only real
+// decision: whether a ts predicate was pushed down into the storage index.
+func planLines(stmt *SelectStmt) []string {
+	var lines []string
+	scanLine := func(tr TableRef, bindingName string) string {
+		s := "SCAN " + tr.Name
+		if tr.Alias != "" {
+			s += " AS " + tr.Alias
+		}
+		if w, ok := extractWindow(stmt.Where, bindingName); ok {
+			s += fmt.Sprintf(" [ts pushdown %s .. %s]",
+				w.From.UTC().Format("2006-01-02T15:04:05"),
+				w.To.UTC().Format("2006-01-02T15:04:05"))
+		} else {
+			s += " [full scan]"
+		}
+		return s
+	}
+	lines = append(lines, scanLine(stmt.From, stmt.From.binding()))
+	for _, j := range stmt.Joins {
+		lines = append(lines, "JOIN "+scanLine(j.Table, j.Table.binding())[len("SCAN "):]+
+			" ON "+j.On.exprString())
+	}
+	if stmt.Where != nil {
+		lines = append(lines, "FILTER "+stmt.Where.exprString())
+	}
+	if len(stmt.GroupBy) > 0 || containsAgg(stmt) {
+		s := "AGGREGATE"
+		if len(stmt.GroupBy) > 0 {
+			s += " GROUP BY"
+			for i, g := range stmt.GroupBy {
+				if i > 0 {
+					s += ","
+				}
+				s += " " + g.exprString()
+			}
+		}
+		lines = append(lines, s)
+	}
+	if stmt.Having != nil {
+		lines = append(lines, "HAVING "+stmt.Having.exprString())
+	}
+	if stmt.Distinct {
+		lines = append(lines, "DISTINCT")
+	}
+	if len(stmt.OrderBy) > 0 {
+		s := "ORDER BY"
+		for i, k := range stmt.OrderBy {
+			if i > 0 {
+				s += ","
+			}
+			s += " " + k.Expr.exprString()
+			if k.Desc {
+				s += " DESC"
+			}
+		}
+		lines = append(lines, s)
+	}
+	if stmt.Limit >= 0 {
+		lines = append(lines, fmt.Sprintf("LIMIT %d", stmt.Limit))
+	}
+	return lines
+}

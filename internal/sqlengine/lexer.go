@@ -42,6 +42,7 @@ var keywords = map[string]bool{
 	"LIKE": true, "AS": true, "JOIN": true, "ON": true, "INNER": true,
 	"DISTINCT": true, "NULL": true, "IS": true, "COUNT": true, "SUM": true,
 	"MIN": true, "MAX": true, "AVG": true, "TRUE": true, "FALSE": true,
+	"EXPLAIN": true, "ANALYZE": true,
 }
 
 type lexer struct {

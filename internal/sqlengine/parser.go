@@ -13,10 +13,13 @@ func Parse(src string) (*SelectStmt, error) {
 		return nil, err
 	}
 	p := &parser{toks: toks}
+	explain := p.acceptKeyword("EXPLAIN")
+	analyze := explain && p.acceptKeyword("ANALYZE")
 	stmt, err := p.selectStmt()
 	if err != nil {
 		return nil, err
 	}
+	stmt.Explain, stmt.Analyze = explain, analyze
 	// Optional trailing semicolon.
 	if p.peek().kind == tokPunct && p.peek().text == ";" {
 		p.next()

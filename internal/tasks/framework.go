@@ -8,6 +8,7 @@ package tasks
 
 import (
 	"context"
+	"fmt"
 	"time"
 
 	"spate/internal/core"
@@ -56,6 +57,62 @@ func (c fwCatalog) Table(name string) (sqlengine.Provider, error) {
 		return nil, &unknownTableError{name}
 	}
 	return fwProvider{f: c.f, name: name, schema: schema}, nil
+}
+
+// WithProfile implements sqlengine.ExplainProfiler: scans under the
+// returned context accrue into a core.Profile (the SPATE engine and the
+// cluster coordinator both honor it; RAW/SHAHED scans leave it zero), and
+// the render function reports it as EXPLAIN ANALYZE lines.
+func (c fwCatalog) WithProfile(ctx context.Context) (context.Context, func() []string) {
+	ctx, prof := core.ContextWithProfile(ctx)
+	return ctx, func() []string { return RenderProfile(prof) }
+}
+
+// RenderProfile renders a query profile as human-readable report lines in
+// a stable order (the EXPLAIN ANALYZE tail).
+func RenderProfile(p *core.Profile) []string {
+	if p == nil {
+		return nil
+	}
+	var lines []string
+	add := func(format string, args ...any) {
+		lines = append(lines, fmt.Sprintf(format, args...))
+	}
+	if p.ResultCacheHit {
+		add("result cache: hit")
+	}
+	add("leaves: %d scanned, %d pruned, %d decayed",
+		p.LeavesScanned, p.LeavesPruned, p.LeavesDecayed)
+	add("chunks: %d scanned, %d pruned (zone map), %d pruned (bloom)",
+		p.ChunksScanned, p.ChunksPrunedZone, p.ChunksPrunedBloom)
+	add("chunk cache: %d hits, %d misses", p.CacheHits, p.CacheMisses)
+	add("dfs: %d ranged reads, %d bytes inflated", p.DFSReads, p.InflatedBytes)
+	if p.ReadNS+p.DecodeNS+p.LookupNS > 0 {
+		add("io time: read %.3f ms, decode %.3f ms, cache lookup %.3f ms",
+			float64(p.ReadNS)/1e6, float64(p.DecodeNS)/1e6, float64(p.LookupNS)/1e6)
+	}
+	if p.TraceID != "" {
+		add("trace: %s", p.TraceID)
+	}
+	for _, s := range p.Shards {
+		if s.Missing {
+			add("shard %d band %d: MISSING after %d retries (%.1f ms): %s",
+				s.Shard, s.Band, s.Retries, s.LatencyMS, s.Error)
+			continue
+		}
+		extra := ""
+		if s.HedgeWin {
+			extra = ", hedge win"
+		}
+		if s.Retries > 0 {
+			extra += fmt.Sprintf(", %d retries", s.Retries)
+		}
+		add("shard %d band %d: %.1f ms, %d chunks scanned, %d pruned, %d cache hits, %d bytes%s",
+			s.Shard, s.Band, s.LatencyMS, s.Profile.ChunksScanned,
+			s.Profile.ChunksPrunedZone+s.Profile.ChunksPrunedBloom,
+			s.Profile.CacheHits, s.Profile.InflatedBytes, extra)
+	}
+	return lines
 }
 
 type unknownTableError struct{ name string }

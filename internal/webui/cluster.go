@@ -17,12 +17,15 @@ import (
 	"spate/internal/core"
 	"spate/internal/gen"
 	"spate/internal/obs"
+	"spate/internal/sqlengine"
+	"spate/internal/tasks"
 	"spate/internal/telco"
 )
 
 // ClusterServer exposes a cluster coordinator over the SPATE-UI HTTP API.
 type ClusterServer struct {
 	coord  *cluster.Coordinator
+	sql    *sqlengine.Engine
 	cells  []gen.Cell
 	window telco.TimeRange
 	mux    *http.ServeMux
@@ -39,6 +42,7 @@ type ClusterServer struct {
 func NewClusterServer(coord *cluster.Coordinator, cells []gen.Cell, window telco.TimeRange) *ClusterServer {
 	s := &ClusterServer{
 		coord:  coord,
+		sql:    sqlengine.NewEngine(tasks.Catalog(tasks.Cluster{C: coord})),
 		cells:  cells,
 		window: window,
 		mux:    http.NewServeMux(),
@@ -49,14 +53,40 @@ func NewClusterServer(coord *cluster.Coordinator, cells []gen.Cell, window telco
 	s.mux.HandleFunc("GET /", s.handleIndex)
 	s.mux.HandleFunc("GET /api/cells", s.handleCells)
 	s.mux.HandleFunc("GET /api/explore", s.handleExplore)
+	s.mux.HandleFunc("GET /api/sql", s.handleSQL)
 	s.mux.HandleFunc("GET /api/health", s.handleHealth)
 	s.mux.HandleFunc("GET /api/lifecycle", s.handleLifecycleGet)
 	s.mux.HandleFunc("POST /api/lifecycle", s.handleLifecyclePost)
 	s.mux.Handle("GET /metrics", obs.MetricsHandler(s.obs))
 	s.mux.Handle("GET /api/stats", obs.StatsHandler(s.obs))
 	s.mux.Handle("GET /api/trace", obs.TracesHandler(s.tracer))
+	s.mux.Handle("GET /api/slowlog", obs.SlowLogHandler(obs.DefaultSlowLog))
 	s.handler = metricsMiddleware(s.obs, s.tracer, s.inflight, s.mux)
 	return s
+}
+
+// handleSQL serves SPATE-SQL over the cluster: scans fan out through the
+// coordinator and must be complete (a degraded scatter-gather fails the
+// query rather than returning a silent subset).
+func (s *ClusterServer) handleSQL(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		httpErr(w, http.StatusBadRequest, fmt.Errorf("missing q parameter"))
+		return
+	}
+	rs, err := s.sql.QueryContext(r.Context(), q)
+	if err != nil {
+		httpErr(w, http.StatusBadRequest, err)
+		return
+	}
+	rows := make([][]string, len(rs.Rows))
+	for i, row := range rs.Rows {
+		rows[i] = make([]string, len(row))
+		for j, v := range row {
+			rows[i][j] = v.Format()
+		}
+	}
+	writeJSON(w, map[string]any{"cols": rs.Cols, "rows": rows})
 }
 
 // Handler returns the HTTP handler with the metrics middleware applied.
@@ -83,6 +113,13 @@ type ClusterExploreJSON struct {
 	ShardsFailed  int          `json:"shards_failed,omitempty"`
 	HedgeWins     int          `json:"hedge_wins,omitempty"`
 	Retries       int          `json:"retries,omitempty"`
+
+	// TraceID links the answer to the coordinator-rooted span tree at
+	// /api/trace?id= (shard subtrees stitched in).
+	TraceID string `json:"trace_id,omitempty"`
+	// Profile is the merged per-query profile with per-shard breakdown,
+	// included when the request carries profile=1.
+	Profile *core.Profile `json:"profile,omitempty"`
 }
 
 func (s *ClusterServer) handleExplore(w http.ResponseWriter, r *http.Request) {
@@ -107,6 +144,11 @@ func (s *ClusterServer) handleExplore(w http.ResponseWriter, r *http.Request) {
 		ShardsFailed:  res.ShardsFailed,
 		HedgeWins:     res.HedgeWins,
 		Retries:       res.Retries,
+		TraceID:       res.TraceID,
+	}
+	if r.URL.Query().Get("profile") == "1" {
+		p := res.Profile
+		out.Profile = &p
 	}
 	for _, m := range res.Missing {
 		out.Missing = append(out.Missing, WindowJSON{

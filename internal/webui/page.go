@@ -77,6 +77,14 @@ async function stats(){
     if(cr)parts.push('<b>ratio</b> '+cr.series.map(s=>(s.labels&&s.labels.codec||'?')+' '+s.value.toFixed(2)).join(', '));
     const dec=firstVal(snap,'spate_decay_bytes_freed_total');
     if(dec)parts.push('<b>decay</b> '+fmtBytes(dec)+' freed');
+    const slow=firstVal(snap,'spate_slow_queries_total');
+    if(slow)parts.push('<b>slow</b> '+slow+' queries');
+    const p99=metric(snap,'spate_http_p99_seconds');
+    if(p99&&p99.series.length){
+      const worst=p99.series.reduce((a,s)=>s.value>a.value?s:a);
+      if(worst.value>0)parts.push('<b>http p99</b> '+(1000*worst.value).toFixed(1)+'ms ('+
+        (worst.labels&&worst.labels.endpoint||'?')+')');
+    }
     const lcm=metric(snap,'spate_lifecycle_runs_total');
     if(lcm&&lcm.series.length){
       const runs=lcm.series.reduce((a,s)=>a+s.value,0);

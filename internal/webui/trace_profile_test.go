@@ -1,0 +1,198 @@
+package webui
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"spate/internal/cluster"
+	"spate/internal/obs"
+	"spate/internal/telco"
+)
+
+// TestExploreTraceAndProfile drives /api/explore with profile=1 and checks
+// the answer links to a retrievable trace and carries the storage profile.
+func TestExploreTraceAndProfile(t *testing.T) {
+	ts, cfg := newTestServer(t)
+
+	var out struct {
+		Rows     int64  `json:"rows"`
+		CacheHit bool   `json:"cache_hit"`
+		TraceID  string `json:"trace_id"`
+		Profile  *struct {
+			ResultCacheHit bool `json:"result_cache_hit"`
+		} `json:"profile"`
+	}
+	u := ts.URL + "/api/explore?profile=1&from=" + cfg.Start.Format(telco.TimeLayout) +
+		"&to=" + cfg.Start.Add(45*time.Minute).Format(telco.TimeLayout)
+	if code := getJSON(t, u, &out); code != 200 {
+		t.Fatalf("explore status %d", code)
+	}
+	if out.TraceID == "" {
+		t.Fatal("explore answer carries no trace_id")
+	}
+	if out.Profile == nil || out.Profile.ResultCacheHit {
+		t.Fatalf("first profile wrong: %+v", out.Profile)
+	}
+
+	// The repeat hits the result cache; the profile must say so.
+	if code := getJSON(t, u, &out); code != 200 {
+		t.Fatalf("repeat explore status %d", code)
+	}
+	if !out.CacheHit || out.Profile == nil || !out.Profile.ResultCacheHit {
+		t.Fatalf("cache hit not reflected in profile: hit=%v profile=%+v", out.CacheHit, out.Profile)
+	}
+
+	// Nonzero storage work shows through SQL EXPLAIN ANALYZE, whose row
+	// scans must decode leaves (aggregate explores are summary-served, so
+	// their storage profile is legitimately empty).
+	var sqlOut struct {
+		Rows [][]string `json:"rows"`
+	}
+	if code := getJSON(t, ts.URL+"/api/sql?q=EXPLAIN+ANALYZE+SELECT+COUNT(*)+FROM+CDR", &sqlOut); code != 200 {
+		t.Fatalf("sql explain status %d", code)
+	}
+	var leafLine string
+	for _, r := range sqlOut.Rows {
+		if strings.HasPrefix(r[0], "leaves: ") {
+			leafLine = r[0]
+		}
+	}
+	if leafLine == "" || strings.HasPrefix(leafLine, "leaves: 0 ") {
+		t.Fatalf("EXPLAIN ANALYZE reports no leaf scans: %+v", sqlOut.Rows)
+	}
+
+	// The trace id resolves to one span tree at /api/trace?id=.
+	var tree struct {
+		Name     string `json:"name"`
+		TraceID  string `json:"trace_id"`
+		Children []struct {
+			Name string `json:"name"`
+		} `json:"children"`
+	}
+	if code := getJSON(t, ts.URL+"/api/trace?id="+out.TraceID, &tree); code != 200 {
+		t.Fatalf("trace lookup status %d", code)
+	}
+	if tree.TraceID != out.TraceID || len(tree.Children) == 0 {
+		t.Fatalf("trace tree = %+v", tree)
+	}
+
+	// An unknown id is a JSON 404, not an empty 200.
+	var errBody map[string]string
+	if code := getJSON(t, ts.URL+"/api/trace?id=ffffffffffffffffffffffffffffffff", &errBody); code != 404 {
+		t.Fatalf("unknown trace id status %d", code)
+	}
+
+	// Without profile=1 the profile stays off the wire.
+	var plain struct {
+		Profile *struct{} `json:"profile"`
+	}
+	getJSON(t, ts.URL+"/api/explore", &plain)
+	if plain.Profile != nil {
+		t.Error("profile included without profile=1")
+	}
+}
+
+// TestSlowQueryLogEndpoint lowers the global threshold so every request
+// qualifies, then checks /api/slowlog serves the entries with trace ids and
+// /metrics counts them.
+func TestSlowQueryLogEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	old := obs.DefaultSlowLog.Threshold()
+	obs.DefaultSlowLog.SetThreshold(time.Nanosecond)
+	t.Cleanup(func() { obs.DefaultSlowLog.SetThreshold(old) })
+
+	resp, err := http.Get(ts.URL + "/api/explore")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	var entries []struct {
+		Kind    string  `json:"kind"`
+		Query   string  `json:"query"`
+		TraceID string  `json:"trace_id"`
+		Millis  float64 `json:"ms"`
+	}
+	if code := getJSON(t, ts.URL+"/api/slowlog", &entries); code != 200 {
+		t.Fatalf("slowlog status %d", code)
+	}
+	var found bool
+	for _, e := range entries {
+		if e.Kind == "http /api/explore" {
+			found = true
+			if e.TraceID == "" {
+				t.Errorf("slow entry has no trace id: %+v", e)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("explore request not in slow log: %+v", entries)
+	}
+}
+
+// TestClusterSQLAndTrace exercises the cluster server's /api/sql and the
+// trace/profile fields on its explore answers.
+func TestClusterSQLAndTrace(t *testing.T) {
+	ts, _, window := newClusterTestServer(t, cluster.Config{Shards: 2})
+
+	var out struct {
+		Rows    int64  `json:"rows"`
+		Partial bool   `json:"partial"`
+		TraceID string `json:"trace_id"`
+		Profile *struct {
+			Shards []struct {
+				Shard   int  `json:"shard"`
+				Missing bool `json:"missing"`
+			} `json:"shards"`
+		} `json:"profile"`
+	}
+	u := ts.URL + "/api/explore?profile=1&from=" + window.From.Format("20060102150405") +
+		"&to=" + window.To.Format("20060102150405")
+	if code := getJSON(t, u, &out); code != 200 {
+		t.Fatalf("cluster explore status %d", code)
+	}
+	if out.Partial {
+		t.Fatal("unexpected partial answer")
+	}
+	if out.TraceID == "" {
+		t.Fatal("cluster explore carries no trace_id")
+	}
+	if out.Profile == nil || len(out.Profile.Shards) == 0 {
+		t.Fatalf("cluster profile missing shard entries: %+v", out.Profile)
+	}
+
+	// The trace is rooted at the HTTP middleware span; the coordinator's
+	// scatter-gather span nests under it.
+	var tree struct {
+		Name     string `json:"name"`
+		Children []struct {
+			Name string `json:"name"`
+		} `json:"children"`
+	}
+	if code := getJSON(t, ts.URL+"/api/trace?id="+out.TraceID, &tree); code != 200 {
+		t.Fatalf("cluster trace lookup status %d", code)
+	}
+	var found bool
+	for _, c := range tree.Children {
+		if c.Name == "cluster_explore" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("cluster_explore span not under trace root %q: %+v", tree.Name, tree.Children)
+	}
+
+	// SQL over the cluster coordinator.
+	var sqlOut struct {
+		Cols []string   `json:"cols"`
+		Rows [][]string `json:"rows"`
+	}
+	if code := getJSON(t, ts.URL+"/api/sql?q=SELECT+COUNT(*)+FROM+CDR", &sqlOut); code != 200 {
+		t.Fatalf("cluster sql status %d", code)
+	}
+	if len(sqlOut.Rows) != 1 || sqlOut.Rows[0][0] == "0" {
+		t.Fatalf("cluster sql answer = %+v", sqlOut)
+	}
+}

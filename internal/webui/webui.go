@@ -9,10 +9,11 @@ package webui
 import (
 	"encoding/json"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"spate/internal/core"
@@ -71,6 +72,7 @@ func NewServer(eng *core.Engine, cells []gen.Cell, window telco.TimeRange) *Serv
 	s.mux.Handle("GET /metrics", obs.MetricsHandler(s.obs))
 	s.mux.Handle("GET /api/stats", obs.StatsHandler(s.obs))
 	s.mux.Handle("GET /api/trace", obs.TracesHandler(s.tracer))
+	s.mux.Handle("GET /api/slowlog", obs.SlowLogHandler(obs.DefaultSlowLog))
 	s.handler = s.middleware(s.mux)
 	return s
 }
@@ -83,7 +85,7 @@ func endpointLabel(path string) string {
 		return "index"
 	case "/metrics", "/api/stats", "/api/trace", "/api/cells", "/api/explore",
 		"/api/sql", "/api/space", "/api/template", "/api/playback", "/api/tree",
-		"/api/health", "/api/lifecycle":
+		"/api/health", "/api/lifecycle", "/api/slowlog":
 		return path
 	}
 	if strings.HasPrefix(path, "/debug/pprof") {
@@ -111,8 +113,13 @@ func (s *Server) middleware(next http.Handler) http.Handler {
 }
 
 // metricsMiddleware is the shared request-accounting wrapper of the
-// single-engine and cluster servers.
+// single-engine and cluster servers. Besides the request counter and
+// latency histogram it feeds the slow-query log (with the request's trace
+// ID, so a slow entry links to its span tree) and exports a per-endpoint
+// p99 latency gauge derived from the histogram.
 func metricsMiddleware(reg *obs.Registry, tracer *obs.Tracer, inflight *obs.Gauge, next http.Handler) http.Handler {
+	var mu sync.Mutex
+	p99Registered := make(map[string]bool)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		t0 := time.Now()
 		inflight.Add(1)
@@ -122,12 +129,25 @@ func metricsMiddleware(reg *obs.Registry, tracer *obs.Tracer, inflight *obs.Gaug
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 		next.ServeHTTP(rec, r.WithContext(ctx))
 		span.End()
+		dur := time.Since(t0)
 		reg.Counter("spate_http_requests_total",
 			"HTTP requests served by endpoint and status code.",
 			"endpoint", ep, "code", strconv.Itoa(rec.code)).Inc()
-		reg.Histogram("spate_http_request_seconds",
+		hist := reg.Histogram("spate_http_request_seconds",
 			"HTTP request latency by endpoint.", nil,
-			"endpoint", ep).ObserveSince(t0)
+			"endpoint", ep)
+		hist.Observe(dur.Seconds())
+		mu.Lock()
+		if !p99Registered[ep] {
+			p99Registered[ep] = true
+			reg.GaugeFunc("spate_http_p99_seconds",
+				"99th percentile HTTP request latency by endpoint.",
+				func() float64 { return hist.Quantile(0.99) },
+				"endpoint", ep)
+		}
+		mu.Unlock()
+		obs.DefaultSlowLog.Observe("http "+ep, r.URL.RequestURI(), span.TraceID(), dur,
+			map[string]any{"code": rec.code})
 	})
 }
 
@@ -173,7 +193,7 @@ func (s *Server) Handler() http.Handler { return s.handler }
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("webui: encode: %v", err)
+		slog.Error("webui: encode", "err", err)
 	}
 }
 
@@ -183,7 +203,7 @@ func httpErr(w http.ResponseWriter, code int, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	if encErr := json.NewEncoder(w).Encode(map[string]string{"error": err.Error()}); encErr != nil {
-		log.Printf("webui: encode: %v", encErr)
+		slog.Error("webui: encode", "err", encErr)
 	}
 }
 
@@ -245,6 +265,11 @@ type ExploreJSON struct {
 	// Stages is the engine's per-stage timing breakdown in milliseconds
 	// (plan, collect, leaf_decode, merge, restrict, row_fetch).
 	Stages map[string]float64 `json:"stages_ms,omitempty"`
+	// TraceID links the answer to its span tree at /api/trace?id=.
+	TraceID string `json:"trace_id,omitempty"`
+	// Profile is the per-query storage profile, included when the request
+	// carries profile=1.
+	Profile *core.Profile `json:"profile,omitempty"`
 }
 
 // ExploreCellJSON is one cell's aggregate in an exploration answer.
@@ -300,6 +325,11 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	out := ExploreJSON{
 		Level: res.CoveringLevel.String(), Rows: res.Summary.Rows,
 		Decayed: res.DecayedLeaves, CacheHit: res.CacheHit,
+		TraceID: res.Profile.TraceID,
+	}
+	if r.URL.Query().Get("profile") == "1" {
+		p := res.Profile
+		out.Profile = &p
 	}
 	for _, st := range res.Stages {
 		if out.Stages == nil {
