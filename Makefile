@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-json fmt lint check
+.PHONY: all build test race vet bench bench-json fuzz fmt lint check
 
 all: build
 
@@ -32,6 +32,12 @@ bench-json:
 		| $(GO) run ./cmd/benchjson -o BENCH_lifecycle.json
 	$(GO) test -bench 'BenchmarkExplore$$/' -benchtime 2000x -run XXX ./internal/core/ \
 		| $(GO) run ./cmd/benchjson -o BENCH_obs.json
+	$(GO) test -bench Stream -benchtime 20x -run XXX ./internal/core/ \
+		| $(GO) run ./cmd/benchjson -o BENCH_ingest.json
+
+# Fuzz the WAL record decoder for a short, CI-friendly budget.
+fuzz:
+	$(GO) test -fuzz FuzzRecordDecode -fuzztime 30s -run XXX ./internal/wal/
 
 fmt:
 	gofmt -l -w .

@@ -7,6 +7,13 @@
 // Usage:
 //
 //	spate-ingest -trace /tmp/trace -store /tmp/store -codec gzip -keepraw 24h
+//
+// With -stream the command becomes a paced firehose against a running
+// spate-server (started with -stream): rows of the trace are POSTed to
+// /api/append in batches at -rate rows/sec, backing off on 429
+// backpressure, and are explorable on the server before their epoch seals.
+//
+//	spate-ingest -trace /tmp/trace -stream -server http://localhost:8080 -rate 5000
 package main
 
 import (
@@ -28,15 +35,32 @@ import (
 func main() {
 	var (
 		trace   = flag.String("trace", "", "trace directory from spate-gen (required)")
-		store   = flag.String("store", "", "DFS store directory (required)")
+		store   = flag.String("store", "", "DFS store directory (required unless -stream)")
 		codec   = flag.String("codec", "gzip", "storage codec: gzip|sevenz|snappy|zstd")
 		keepRaw = flag.Duration("keepraw", 0, "decay horizon for raw data (0 = keep forever)")
 		grouped = flag.Bool("grouped", false, "use the EvictGroupedIndividuals fungus")
 		verbose = flag.Bool("v", false, "print a line per ingested snapshot")
 		follow  = flag.Bool("follow", false, "keep polling the trace directory for newly arriving snapshots (streaming mode)")
 		poll    = flag.Duration("poll", 5*time.Second, "poll interval in -follow mode")
+
+		stream = flag.Bool("stream", false, "firehose mode: POST trace rows to a spate-server's /api/append instead of writing a local store")
+		server = flag.String("server", "http://localhost:8080", "spate-server base URL in -stream mode")
+		rate   = flag.Int("rate", 0, "rows per second pacing in -stream mode (0 = unpaced)")
+		batch  = flag.Int("batch", 500, "rows per append request in -stream mode")
+		seal   = flag.Bool("seal", false, "request a seal of all buffered epochs after streaming")
 	)
 	flag.Parse()
+	if *stream {
+		if *trace == "" {
+			fmt.Fprintln(os.Stderr, "spate-ingest: -trace is required")
+			flag.Usage()
+			os.Exit(2)
+		}
+		if err := streamTrace(*trace, *server, *rate, *batch, *seal, *verbose); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *trace == "" || *store == "" {
 		fmt.Fprintln(os.Stderr, "spate-ingest: -trace and -store are required")
 		flag.Usage()

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"time"
+
+	"spate/internal/tracedir"
+)
+
+// streamTrace replays a trace directory as a paced firehose against a
+// running spate-server: every table row POSTs to /api/append in batches,
+// honoring 429 backpressure with the server's Retry-After hint. Rows are
+// explorable on the server as soon as each request returns — the
+// time-to-queryable is the append latency, not the epoch length.
+func streamTrace(trace, server string, rate, batchSize int, seal, verbose bool) error {
+	if batchSize <= 0 {
+		batchSize = 500
+	}
+	epochs, err := tracedir.Epochs(trace)
+	if err != nil {
+		return err
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	hc := &http.Client{Timeout: 30 * time.Second}
+
+	// Pacing: each sent row earns 1/rate seconds of sleep debt, paid per
+	// batch, so the steady-state throughput is rate rows/sec regardless of
+	// batch size.
+	var perRow time.Duration
+	if rate > 0 {
+		perRow = time.Duration(int64(time.Second) / int64(rate))
+	}
+
+	start := time.Now()
+	sent, batches := 0, 0
+	lines := make([]string, 0, batchSize)
+	flush := func(table string) error {
+		if len(lines) == 0 {
+			return nil
+		}
+		t0 := time.Now()
+		if err := postAppend(hc, server, table, lines, false); err != nil {
+			return err
+		}
+		sent += len(lines)
+		batches++
+		if verbose {
+			fmt.Printf("append %-12s rows=%-5d t=%v\n", table, len(lines), time.Since(t0).Round(time.Millisecond))
+		}
+		if perRow > 0 {
+			debt := time.Duration(len(lines)) * perRow
+			if spent := time.Since(t0); spent < debt {
+				select {
+				case <-time.After(debt - spent):
+				case <-sig:
+					return fmt.Errorf("interrupted")
+				}
+			}
+		}
+		lines = lines[:0]
+		return nil
+	}
+	for _, e := range epochs {
+		sn, err := tracedir.ReadSnapshot(trace, e)
+		if err != nil {
+			return err
+		}
+		for _, name := range sn.TableNames() {
+			t := sn.Table(name)
+			for _, row := range t.Rows {
+				lines = append(lines, row.Line())
+				if len(lines) == batchSize {
+					if err := flush(name); err != nil {
+						return err
+					}
+				}
+			}
+			if err := flush(name); err != nil {
+				return err
+			}
+		}
+	}
+	if seal {
+		if err := postAppend(hc, server, "", nil, true); err != nil {
+			return fmt.Errorf("seal: %w", err)
+		}
+	}
+	elapsed := time.Since(start)
+	rps := float64(sent) / elapsed.Seconds()
+	fmt.Printf("spate-ingest: streamed %d rows in %d batches over %v (%.0f rows/sec)\n",
+		sent, batches, elapsed.Round(time.Millisecond), rps)
+	return nil
+}
+
+// postAppend sends one /api/append request, retrying on 429 backpressure
+// with the server's Retry-After hint (default 1s).
+func postAppend(hc *http.Client, server, table string, rows []string, seal bool) error {
+	body, err := json.Marshal(map[string]any{"table": table, "rows": rows, "seal": seal})
+	if err != nil {
+		return err
+	}
+	for {
+		resp, err := hc.Post(server+"/api/append", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode == http.StatusOK {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			return nil
+		}
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			wait := time.Second
+			if s, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && s > 0 {
+				wait = time.Duration(s) * time.Second
+			}
+			time.Sleep(wait)
+			continue
+		}
+		return fmt.Errorf("append: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
+	}
+}

@@ -10,12 +10,15 @@
 //	spate-server -addr :8080 -join http://n1:9001,http://n2:9002 -shards 2
 //	spate-server -addr :8080 -decay-interval 1h -keep-raw 720h -scrub-interval 6h -compact 24h
 //	spate-server -addr :8080 -slow-query 100ms
+//	spate-server -addr :8080 -stream
+//	spate-server -addr :8080 -cluster -shards 4 -stream
 //
 // Endpoints:
 //
 //	GET /                         heatmap UI (with a live stats panel)
 //	GET /api/cells                static cell inventory
 //	GET /api/explore?from=&to=&minx=&miny=&maxx=&maxy=&attr=&profile=1
+//	POST /api/append              streaming row ingest (behind -stream)
 //	GET /api/sql?q=SELECT...      (also EXPLAIN / EXPLAIN ANALYZE)
 //	GET /api/space                storage accounting (single-engine mode)
 //	GET /api/health               per-node probes (cluster modes)
@@ -49,6 +52,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -95,6 +99,11 @@ func run() int {
 			"decay horizon: evict full-resolution leaf data older than this (0 = keep forever)")
 		slowQuery = flag.Duration("slow-query", obs.DefaultSlowThreshold,
 			"slow-query log threshold (0 = disabled)")
+
+		stream = flag.Bool("stream", false,
+			"streaming ingest: keep the store open and serve POST /api/append (rows land in a WAL + memtable, queryable before their epoch seals)")
+		walDir = flag.String("wal", "",
+			"WAL directory for -stream (default: under the store directory)")
 
 		clusterMode = flag.Bool("cluster", false, "run an in-process sharded cluster behind the coordinator UI")
 		shards      = flag.Int("shards", 4, "cluster: number of time shards")
@@ -224,6 +233,9 @@ func run() int {
 		if lcEnabled {
 			lopt.Lifecycle = &lcCfg
 		}
+		if *stream {
+			lopt.Streaming = &core.StreamerOptions{}
+		}
 		local, err := cluster.StartLocal(ccfg, cellTable, lopt)
 		if err != nil {
 			slog.Error("spate-server: start local cluster", "err", err)
@@ -239,7 +251,11 @@ func run() int {
 			slog.Error("spate-server: ingest", "err", err)
 			return 1
 		}
-		if err := local.Coordinator.FinishIngest(context.Background()); err != nil {
+		if *stream {
+			// Streaming mode keeps the store open: FinishIngest would
+			// finalize the engines and refuse further appends.
+			slog.Info("spate-server: streaming ingest enabled (POST /api/append)")
+		} else if err := local.Coordinator.FinishIngest(context.Background()); err != nil {
 			slog.Error("spate-server: finish ingest", "err", err)
 			return 1
 		}
@@ -273,7 +289,11 @@ func run() int {
 			slog.Error("spate-server: ingest", "err", err)
 			return 1
 		}
-		eng.FinishIngest()
+		if !*stream {
+			// Streaming mode keeps the store open: FinishIngest would
+			// finalize the engine and refuse further appends.
+			eng.FinishIngest()
+		}
 		slog.Info("spate-server: ready", "snapshots", eng.Tree().Len(),
 			"from", window.From.Format(telco.TimeLayout), "to", window.To.Format(telco.TimeLayout))
 
@@ -281,6 +301,21 @@ func run() int {
 		// serve as a shard behind a -join coordinator.
 		node := cluster.NewNode(eng)
 		ui := webui.NewServer(eng, cells, window)
+		if *stream {
+			wd := *walDir
+			if wd == "" {
+				wd = filepath.Join(dir, "wal")
+			}
+			st, err := eng.OpenStreamer(core.StreamerOptions{WALDir: wd})
+			if err != nil {
+				slog.Error("spate-server: open streamer", "err", err)
+				return 1
+			}
+			defer st.Close()
+			node.SetStreamer(st)
+			ui.SetStreamer(st)
+			slog.Info("spate-server: streaming ingest enabled (POST /api/append)", "wal", wd)
+		}
 		if lcEnabled {
 			lm := lifecycle.New(eng, lcCfg)
 			ui.SetLifecycle(lm)

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -11,6 +12,26 @@ import (
 
 	"spate/internal/obs"
 )
+
+// statusError carries a peer's HTTP status alongside its error envelope,
+// so the coordinator can translate typed conditions (backpressure 429,
+// stale/finalized 409) back into their sentinel errors.
+type statusError struct {
+	code int
+	msg  string
+}
+
+func (e *statusError) Error() string { return e.msg }
+
+// httpStatus extracts the peer status from a client error, 0 when the
+// error was not an HTTP status failure.
+func httpStatus(err error) int {
+	var se *statusError
+	if errors.As(err, &se) {
+		return se.code
+	}
+	return 0
+}
 
 // client is the coordinator's HTTP side: one shared transport, JSON in,
 // JSON out, errors surfaced from the peer's error envelope.
@@ -67,9 +88,9 @@ func (c *client) do(hreq *http.Request, path, base string, resp any) error {
 	if hresp.StatusCode != http.StatusOK {
 		var e errorResponse
 		if json.NewDecoder(hresp.Body).Decode(&e) == nil && e.Error != "" {
-			return fmt.Errorf("cluster: %s %s: %s", path, base, e.Error)
+			return &statusError{code: hresp.StatusCode, msg: fmt.Sprintf("cluster: %s %s: %s", path, base, e.Error)}
 		}
-		return fmt.Errorf("cluster: %s %s: HTTP %d", path, base, hresp.StatusCode)
+		return &statusError{code: hresp.StatusCode, msg: fmt.Sprintf("cluster: %s %s: HTTP %d", path, base, hresp.StatusCode)}
 	}
 	if resp == nil {
 		return nil

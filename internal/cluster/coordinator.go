@@ -3,6 +3,7 @@ package cluster
 import (
 	"context"
 	"fmt"
+	"net/http"
 	"sort"
 	"strconv"
 	"sync"
@@ -254,6 +255,139 @@ func (c *Coordinator) writeReplica(ctx context.Context, shard int, url string, r
 	return lastErr
 }
 
+// Append routes streaming rows to the slots owning them — the time shard
+// is each row's epoch block owner, the band its cell's under a spatial
+// split — and writes every replica of a touched slot (write-all, bounded
+// retries), mirroring Ingest so streamed and batch-loaded data land on
+// the same nodes. Rows travel as wire-text lines and apply through each
+// node's WAL + memtable, so they are explorable when Append returns.
+// A replica refusing for backpressure surfaces as core.ErrBackpressure,
+// rows of already-sealed epochs as core.ErrStaleEpoch.
+func (c *Coordinator) Append(ctx context.Context, table string, recs []telco.Record) (int, error) {
+	if len(recs) == 0 {
+		return 0, nil
+	}
+	schema := telco.SchemaByName(table)
+	if schema == nil {
+		return 0, fmt.Errorf("cluster: unknown table %q", table)
+	}
+	tsIdx := schema.FieldIndex(telco.AttrTS)
+	if tsIdx < 0 {
+		return 0, fmt.Errorf("cluster: table %q has no timestamp attribute", table)
+	}
+	cellIdx := schema.FieldIndex(telco.AttrCellID)
+	bySlot := make(map[int][]string)
+	for _, rec := range recs {
+		if len(rec) != len(schema.Fields) {
+			return 0, fmt.Errorf("cluster: %s row has %d fields, want %d", table, len(rec), len(schema.Fields))
+		}
+		if rec[tsIdx].IsNull() {
+			return 0, fmt.Errorf("cluster: %s row lacks a timestamp", table)
+		}
+		shard := c.smap.TimeShardOf(telco.EpochOf(rec[tsIdx].Time()))
+		band := 0
+		if c.smap.NumBands() > 1 && cellIdx >= 0 {
+			// Unknown cells land in band 0, like splitSnapshot.
+			if pt, ok := c.cells[rec[cellIdx].Int64()]; ok {
+				band = c.smap.BandOf(pt)
+			}
+		}
+		slot := c.smap.Slot(shard, band)
+		bySlot[slot] = append(bySlot[slot], rec.Line())
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, len(bySlot)*c.cfg.Replicas)
+	for slot, lines := range bySlot {
+		req := &appendRequest{Table: table, Rows: lines}
+		shard := c.smap.SlotShard(slot)
+		for _, url := range c.nodes[slot] {
+			wg.Add(1)
+			go func(url string) {
+				defer wg.Done()
+				if err := c.appendReplica(ctx, shard, url, req); err != nil {
+					errc <- err
+				}
+			}(url)
+		}
+	}
+	wg.Wait()
+	close(errc)
+	c.met.appends.Inc()
+	if err := <-errc; err != nil {
+		return 0, err
+	}
+	return len(recs), nil
+}
+
+// appendReplica writes one slot's append batch to one replica with
+// bounded retries, translating the peer's typed refusals (429
+// backpressure, 409 stale/finalized) back into their sentinel errors.
+func (c *Coordinator) appendReplica(ctx context.Context, shard int, url string, req *appendRequest) error {
+	backoff := c.cfg.RetryBackoff
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			c.met.retries["append"].Inc()
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+			backoff *= 2
+		}
+		actx, cancel := context.WithTimeout(ctx, c.cfg.IngestTimeout)
+		var resp appendResponse
+		err := c.cl.post(actx, url, "/rpc/append", req, &resp)
+		cancel()
+		if err == nil {
+			return nil
+		}
+		c.met.shardErrors[shard].Inc()
+		lastErr = err
+		if httpStatus(err) == http.StatusConflict {
+			break // stale epoch / finalized store: retrying cannot help
+		}
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	switch httpStatus(lastErr) {
+	case http.StatusTooManyRequests:
+		return fmt.Errorf("%w: %v", core.ErrBackpressure, lastErr)
+	case http.StatusConflict:
+		return fmt.Errorf("%w: %v", core.ErrStaleEpoch, lastErr)
+	}
+	return lastErr
+}
+
+// FlushStreams broadcasts a seal-all to every node's streamer: each
+// drains its pending appends and seals every buffered epoch into leaves.
+// Nodes without a streamer refuse with 503, which is tolerated — a mixed
+// batch/stream topology flushes the streaming nodes and skips the rest.
+func (c *Coordinator) FlushStreams(ctx context.Context) error {
+	req := &appendRequest{Seal: true}
+	var wg sync.WaitGroup
+	errc := make(chan error, len(c.nodes)*c.cfg.Replicas)
+	for _, urls := range c.nodes {
+		for _, url := range urls {
+			wg.Add(1)
+			go func(url string) {
+				defer wg.Done()
+				var resp appendResponse
+				if err := c.cl.post(ctx, url, "/rpc/append", req, &resp); err != nil {
+					if httpStatus(err) == http.StatusServiceUnavailable {
+						return // batch-only node: nothing to flush
+					}
+					errc <- err
+				}
+			}(url)
+		}
+	}
+	wg.Wait()
+	close(errc)
+	return <-errc
+}
+
 // FinishIngest broadcasts the ingest-finished seal to every node so open
 // day/month/year nodes materialize their summaries.
 func (c *Coordinator) FinishIngest(ctx context.Context) error {
@@ -357,7 +491,7 @@ func (c *Coordinator) Explore(ctx context.Context, q core.Query) (*Result, error
 	res := &Result{ServedPeriod: q.Window, ShardsQueried: len(shards), TraceID: span.TraceID()}
 	res.Profile.TraceID = res.TraceID
 	failed := make(map[int]bool)
-	leaves := 0
+	leaves, live := 0, 0
 	var parts []*highlights.Summary
 	var firstErr error
 	for i, r := range results {
@@ -388,6 +522,7 @@ func (c *Coordinator) Explore(ctx context.Context, q core.Query) (*Result, error
 		res.ScannedLeaves += r.resp.Scanned
 		res.DecayedLeaves += r.resp.Decayed
 		leaves += r.resp.Leaves
+		live += r.resp.Live
 		if r.resp.Profile != nil {
 			sp.Profile = *r.resp.Profile
 			res.Profile.Add(sp.Profile)
@@ -408,8 +543,9 @@ func (c *Coordinator) Explore(ctx context.Context, q core.Query) (*Result, error
 		span.SetError(err)
 		return nil, err
 	}
-	if len(failed) == 0 && leaves == 0 {
-		// Every reachable shard is empty — mirror the single engine.
+	if len(failed) == 0 && leaves == 0 && live == 0 {
+		// Every reachable shard is empty — no sealed leaves and no unsealed
+		// memtable rows anywhere — mirror the single engine.
 		return nil, fmt.Errorf("core: no data ingested")
 	}
 

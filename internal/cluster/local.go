@@ -28,6 +28,9 @@ type LocalOptions struct {
 	// Lifecycle, when set, attaches a started maintenance manager with
 	// this configuration to every node; Close stops them.
 	Lifecycle *lifecycle.Config
+	// Streaming, when set, opens a streamer on every node (WAL under the
+	// node's directory) so /rpc/append is served; Close closes them.
+	Streaming *core.StreamerOptions
 }
 
 // Local is an in-process cluster: every node is a real core.Engine served
@@ -42,11 +45,12 @@ type Local struct {
 	// URLs lists each node's base URL, aligned with Nodes.
 	URLs []string
 
-	cfg      Config
-	servers  []*http.Server
-	managers []*lifecycle.Manager
-	dir      string
-	ownDir   bool
+	cfg       Config
+	servers   []*http.Server
+	managers  []*lifecycle.Manager
+	streamers []*core.Streamer
+	dir       string
+	ownDir    bool
 }
 
 // StartLocal boots a full cluster in-process: NumSlots×Replicas engines on
@@ -81,6 +85,17 @@ func StartLocal(cfg Config, cellTable *telco.Table, opt LocalOptions) (*Local, e
 				return nil, err
 			}
 			node := NewNode(eng)
+			if opt.Streaming != nil {
+				sopts := *opt.Streaming
+				sopts.WALDir = filepath.Join(dir, "wal")
+				st, err := eng.OpenStreamer(sopts)
+				if err != nil {
+					l.Close()
+					return nil, err
+				}
+				node.SetStreamer(st)
+				l.streamers = append(l.streamers, st)
+			}
 			if opt.Lifecycle != nil {
 				m := lifecycle.New(eng, *opt.Lifecycle)
 				node.SetLifecycle(m)
@@ -119,6 +134,9 @@ func (l *Local) Node(slot, replica int) *Node {
 func (l *Local) Close() error {
 	for _, m := range l.managers {
 		m.Close()
+	}
+	for _, st := range l.streamers {
+		st.Close()
 	}
 	for _, s := range l.servers {
 		s.Close()

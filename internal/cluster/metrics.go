@@ -12,6 +12,7 @@ import (
 type clusterMetrics struct {
 	explores  *obs.Counter
 	ingests   *obs.Counter
+	appends   *obs.Counter
 	partials  *obs.Counter
 	retries   map[string]*obs.Counter // by op
 	hedged    *obs.Counter
@@ -28,12 +29,14 @@ func newClusterMetrics(r *obs.Registry, shards int) *clusterMetrics {
 	m := &clusterMetrics{
 		explores:  r.Counter("spate_cluster_explores_total", "Scatter-gather explorations coordinated."),
 		ingests:   r.Counter("spate_cluster_ingests_total", "Snapshots routed through the coordinator."),
+		appends:   r.Counter("spate_cluster_appends_total", "Streaming append batches routed through the coordinator."),
 		partials:  r.Counter("spate_cluster_partial_results_total", "Explorations degraded to a partial result."),
 		hedged:    r.Counter("spate_cluster_hedged_requests_total", "Extra replica reads launched by hedging."),
 		hedgeWins: r.Counter("spate_cluster_hedge_wins_total", "Explorations won by a hedged replica read."),
 		retries: map[string]*obs.Counter{
 			"explore": r.Counter("spate_cluster_retries_total", "Shard RPC retry attempts by op.", "op", "explore"),
 			"ingest":  r.Counter("spate_cluster_retries_total", "Shard RPC retry attempts by op.", "op", "ingest"),
+			"append":  r.Counter("spate_cluster_retries_total", "Shard RPC retry attempts by op.", "op", "append"),
 		},
 	}
 	for s := 0; s < shards; s++ {

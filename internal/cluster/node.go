@@ -3,6 +3,7 @@ package cluster
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -32,6 +33,10 @@ type Node struct {
 	// atomic so RPC handlers read it without a lock.
 	lc atomic.Value
 
+	// streamer holds the node's optional *core.Streamer (SetStreamer);
+	// atomic so /rpc/append reads it without a lock.
+	streamer atomic.Value
+
 	// Fault injection for tests: exploreDelay stalls /rpc/explore
 	// (nanoseconds), failNext fails that many explorations with a 500.
 	exploreDelay atomic.Int64
@@ -42,6 +47,7 @@ type Node struct {
 func NewNode(eng *core.Engine) *Node {
 	n := &Node{eng: eng, mux: http.NewServeMux()}
 	n.mux.HandleFunc("/rpc/ingest", n.handleIngest)
+	n.mux.HandleFunc("/rpc/append", n.handleAppend)
 	n.mux.HandleFunc("/rpc/explore", n.handleExplore)
 	n.mux.HandleFunc("/rpc/finish", n.handleFinish)
 	n.mux.HandleFunc("/rpc/health", n.handleHealth)
@@ -62,6 +68,84 @@ func (n *Node) SetExploreDelay(d time.Duration) { n.exploreDelay.Store(int64(d))
 // FailNext makes the next k explorations fail with a 500 — the test hook
 // for retry and hedge failover paths.
 func (n *Node) FailNext(k int) { n.failNext.Store(int64(k)) }
+
+// SetStreamer attaches the node's streaming ingest path; /rpc/append
+// serves 503 until one is set.
+func (n *Node) SetStreamer(s *core.Streamer) { n.streamer.Store(s) }
+
+// Streamer returns the attached streamer, nil when the node is
+// batch-only.
+func (n *Node) Streamer() *core.Streamer {
+	s, _ := n.streamer.Load().(*core.Streamer)
+	return s
+}
+
+// liveRows is the node's unsealed memtable row count.
+func (n *Node) liveRows() int {
+	if s := n.Streamer(); s != nil {
+		return int(s.Memtable().Rows())
+	}
+	return 0
+}
+
+// handleAppend serves the streaming write path: rows append through the
+// node's Streamer (WAL + memtable) and are explorable when the response
+// returns. Backpressure maps to 429 with a Retry-After hint; rows of
+// already-sealed epochs and finalized stores map to 409 — both typed so
+// the coordinator and clients can branch without string matching.
+func (n *Node) handleAppend(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		rpcError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	st := n.Streamer()
+	if st == nil {
+		rpcError(w, http.StatusServiceUnavailable, fmt.Errorf("cluster: node has no streamer (start with streaming enabled)"))
+		return
+	}
+	var req appendRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		rpcError(w, http.StatusBadRequest, err)
+		return
+	}
+	rows := 0
+	if len(req.Rows) > 0 {
+		schema := telco.SchemaByName(req.Table)
+		if schema == nil {
+			rpcError(w, http.StatusBadRequest, fmt.Errorf("cluster: unknown table %q", req.Table))
+			return
+		}
+		recs := make([]telco.Record, 0, len(req.Rows))
+		for _, line := range req.Rows {
+			rec, err := telco.DecodeLine(schema, line)
+			if err != nil {
+				rpcError(w, http.StatusBadRequest, err)
+				return
+			}
+			recs = append(recs, rec)
+		}
+		if err := st.Append(r.Context(), req.Table, recs); err != nil {
+			switch {
+			case errors.Is(err, core.ErrBackpressure):
+				w.Header().Set("Retry-After", "1")
+				rpcError(w, http.StatusTooManyRequests, err)
+			case errors.Is(err, core.ErrStaleEpoch), errors.Is(err, core.ErrFinalized):
+				rpcError(w, http.StatusConflict, err)
+			default:
+				rpcError(w, http.StatusInternalServerError, err)
+			}
+			return
+		}
+		rows = len(recs)
+	}
+	if req.Seal {
+		if err := st.SealAll(r.Context()); err != nil {
+			rpcError(w, http.StatusInternalServerError, err)
+			return
+		}
+	}
+	writeJSON(w, appendResponse{Rows: rows})
+}
 
 func (n *Node) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
@@ -129,8 +213,8 @@ func (n *Node) handleExplore(w http.ResponseWriter, r *http.Request) {
 	defer span.End()
 	ctx, prof := core.ContextWithProfile(ctx)
 
-	resp := exploreResponse{Parts: [][]byte{}, Leaves: n.eng.Snapshots()}
-	if resp.Leaves == 0 {
+	resp := exploreResponse{Parts: [][]byte{}, Leaves: n.eng.Snapshots(), Live: n.liveRows()}
+	if resp.Leaves == 0 && resp.Live == 0 {
 		// An empty shard legitimately owns no data in any window; the
 		// coordinator decides whether the cluster as a whole is empty.
 		span.SetAttr("empty", "true")

@@ -28,6 +28,19 @@ type ingestResponse struct {
 	Duplicate bool `json:"duplicate,omitempty"`
 }
 
+type appendRequest struct {
+	// Table names the schema; Rows are wire-text record lines.
+	Table string   `json:"table,omitempty"`
+	Rows  []string `json:"rows,omitempty"`
+	// Seal asks the node to seal every buffered epoch after applying the
+	// rows — the coordinator's stream-flush broadcast.
+	Seal bool `json:"seal,omitempty"`
+}
+
+type appendResponse struct {
+	Rows int `json:"rows"`
+}
+
 type exploreRequest struct {
 	FromUnix int64 `json:"from"`
 	ToUnix   int64 `json:"to"`
@@ -50,7 +63,10 @@ type exploreResponse struct {
 	Parts [][]byte `json:"parts"`
 	// Leaves is the node's total snapshot count — zero distinguishes "no
 	// data at all" from "no data in this window".
-	Leaves  int               `json:"leaves"`
+	Leaves int `json:"leaves"`
+	// Live counts the node's unsealed memtable rows: a streaming node
+	// with no sealed leaf yet still holds answerable data.
+	Live    int               `json:"live,omitempty"`
 	Scanned int               `json:"scanned,omitempty"`
 	Decayed int               `json:"decayed,omitempty"`
 	Rows    map[string][]byte `json:"rowdata,omitempty"`

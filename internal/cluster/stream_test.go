@@ -1,0 +1,196 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"spate/internal/core"
+	"spate/internal/obs"
+	"spate/internal/snapshot"
+	"spate/internal/telco"
+	"spate/internal/wal"
+)
+
+// startStreamCluster brings up a local cluster with streaming ingest
+// enabled on every node.
+func startStreamCluster(tb testing.TB, cfg Config, g interface{ CellTable() *telco.Table }) *Local {
+	tb.Helper()
+	lc, err := StartLocal(cfg, g.CellTable(), LocalOptions{
+		Dir:       tb.TempDir(),
+		Engine:    core.Options{Obs: obs.NewNoop()},
+		Streaming: &core.StreamerOptions{Sync: wal.SyncNone, GroupWindow: time.Millisecond},
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(func() { lc.Close() })
+	return lc
+}
+
+// appendSnapshots streams every row of every snapshot through the
+// coordinator's append path, one request per table per epoch.
+func appendSnapshots(tb testing.TB, lc *Local, snaps []*snapshot.Snapshot) {
+	tb.Helper()
+	ctx := context.Background()
+	for _, sn := range snaps {
+		for _, name := range sn.TableNames() {
+			tab := sn.Table(name)
+			n, err := lc.Coordinator.Append(ctx, name, tab.Rows)
+			if err != nil {
+				tb.Fatal(err)
+			}
+			if n != tab.Len() {
+				tb.Fatalf("Append accepted %d rows, want %d", n, tab.Len())
+			}
+		}
+	}
+}
+
+// TestClusterStreamMatchesBatchIngest is the distributed parity
+// acceptance: a 4-shard cluster fed row-by-row through /rpc/append and
+// flushed must answer exploration identically to a 4-shard cluster fed
+// whole snapshots through the batch ingest path.
+func TestClusterStreamMatchesBatchIngest(t *testing.T) {
+	g, snaps, window := testTrace(t, 4)
+
+	// Reference: batch ingest, no finalize (the streamed side stays open).
+	batch, err := StartLocal(Config{Shards: 4, Obs: obs.NewRegistry()}, g.CellTable(), LocalOptions{
+		Dir:    t.TempDir(),
+		Engine: core.Options{Obs: obs.NewNoop()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { batch.Close() })
+	ctx := context.Background()
+	for _, sn := range snaps {
+		if err := batch.Coordinator.Ingest(ctx, sn); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	streamed := startStreamCluster(t, Config{Shards: 4, Obs: obs.NewRegistry()}, g)
+	appendSnapshots(t, streamed, snaps)
+	if err := streamed.Coordinator.FlushStreams(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Day-block routing must land streamed rows on the same shards as
+	// batch snapshots: same per-node leaf counts.
+	for i := range batch.Nodes {
+		b := batch.Nodes[i].Engine().Snapshots()
+		s := streamed.Nodes[i].Engine().Snapshots()
+		if b != s || s == 0 {
+			t.Fatalf("node %d: batch %d leaves, streamed %d", i, b, s)
+		}
+	}
+
+	windows := []telco.TimeRange{
+		window,
+		{From: window.From.Add(12 * time.Hour), To: window.To.Add(-12 * time.Hour)},
+		{From: window.From.Add(30 * time.Minute), To: window.From.Add(3 * time.Hour)},
+	}
+	for _, w := range windows {
+		q := core.Query{Window: w}
+		br, err := batch.Coordinator.Explore(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sr, err := streamed.Coordinator.Explore(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sr.Partial {
+			t.Fatalf("window %v: streamed cluster degraded (missing %v)", w, sr.Missing)
+		}
+		if !reflect.DeepEqual(br.Summary, sr.Summary) {
+			t.Errorf("window %v: summaries differ: batch rows=%d streamed rows=%d",
+				w, br.Summary.Rows, sr.Summary.Rows)
+		}
+		if !reflect.DeepEqual(br.Cells, sr.Cells) {
+			t.Errorf("window %v: cell series differ (%d vs %d cells)",
+				w, len(br.Cells), len(sr.Cells))
+		}
+	}
+
+	// Exact rows survive the distributed stream-then-seal path too.
+	w := telco.TimeRange{From: window.From, To: window.From.Add(2 * time.Hour)}
+	q := core.Query{Window: w, ExactRows: true, Tables: []string{"CDR"}}
+	br, err := batch.Coordinator.Explore(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := streamed.Coordinator.Explore(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt, st := br.Rows["CDR"], sr.Rows["CDR"]
+	if bt == nil || st == nil || bt.Len() == 0 || bt.Len() != st.Len() {
+		t.Fatalf("exact rows differ: batch=%v streamed=%v", bt, st)
+	}
+}
+
+// TestClusterStreamQueryBeforeSeal: rows appended through the coordinator
+// answer distributed exploration before any seal.
+func TestClusterStreamQueryBeforeSeal(t *testing.T) {
+	g, snaps, _ := testTrace(t, 1)
+	lc := startStreamCluster(t, Config{Shards: 2, Obs: obs.NewRegistry()}, g)
+	ctx := context.Background()
+
+	sn := snaps[0]
+	total := int64(0)
+	for _, name := range sn.TableNames() {
+		tab := sn.Table(name)
+		if _, err := lc.Coordinator.Append(ctx, name, tab.Rows); err != nil {
+			t.Fatal(err)
+		}
+		total += int64(tab.Len())
+	}
+	// Nothing sealed anywhere.
+	for i := range lc.Nodes {
+		if n := lc.Nodes[i].Engine().Snapshots(); n != 0 {
+			t.Fatalf("node %d sealed %d leaves", i, n)
+		}
+	}
+	w := telco.NewTimeRange(sn.Epoch.Start(), sn.Epoch.End())
+	res, err := lc.Coordinator.Explore(ctx, core.Query{Window: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary == nil || res.Summary.Rows != total {
+		t.Fatalf("pre-seal explore rows = %v, want %d", res.Summary, total)
+	}
+	if res.Profile.MemEpochs == 0 {
+		t.Errorf("profile = %+v: memtable share not reported", res.Profile)
+	}
+}
+
+// TestClusterAppendValidation: malformed rows are refused before they
+// reach any shard, and sealed epochs come back as typed staleness.
+func TestClusterAppendValidation(t *testing.T) {
+	g, snaps, _ := testTrace(t, 1)
+	lc := startStreamCluster(t, Config{Shards: 2, Obs: obs.NewRegistry()}, g)
+	ctx := context.Background()
+
+	if _, err := lc.Coordinator.Append(ctx, "NOPE", snaps[0].Table("NMS").Rows); err == nil {
+		t.Error("unknown table accepted")
+	}
+	if _, err := lc.Coordinator.Append(ctx, "NMS", []telco.Record{{telco.Int(1)}}); err == nil {
+		t.Error("short row accepted")
+	}
+	// Stream one epoch, seal it, then try to append into it again.
+	nms := snaps[0].Table("NMS")
+	if _, err := lc.Coordinator.Append(ctx, "NMS", nms.Rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := lc.Coordinator.FlushStreams(ctx); err != nil {
+		t.Fatal(err)
+	}
+	_, err := lc.Coordinator.Append(ctx, "NMS", nms.Rows)
+	if !errors.Is(err, core.ErrStaleEpoch) {
+		t.Fatalf("append into sealed epoch = %v, want ErrStaleEpoch", err)
+	}
+}

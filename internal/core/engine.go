@@ -11,6 +11,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -22,11 +23,20 @@ import (
 	"spate/internal/geo"
 	"spate/internal/highlights"
 	"spate/internal/index"
+	"spate/internal/memtable"
 	"spate/internal/obs"
 	"spate/internal/segment"
 	"spate/internal/snapshot"
 	"spate/internal/telco"
 )
+
+// ErrFinalized is returned by Ingest (and OpenStreamer) on a store whose
+// open periods FinishIngest sealed: further ingestion would leave the
+// sealed rollups silently stale. Open a new engine over the same cluster
+// to re-enter an appendable state. Callers branch on it with errors.Is —
+// cluster nodes map it to a distinct RPC status, the streamer refuses to
+// open over it.
+var ErrFinalized = errors.New("core: store was finalized by FinishIngest; open a new engine to continue")
 
 // Options configures an engine. The zero value selects the paper's
 // defaults: gzip compression, the default highlight attributes, per-level
@@ -156,6 +166,11 @@ type Engine struct {
 	// finished marks a store whose open periods were sealed; further
 	// ingestion is rejected (summaries would be stale otherwise).
 	finished bool
+
+	// memt is the streaming memtable of unsealed rows, attached by
+	// OpenStreamer; queries union it with sealed-leaf scans. Nil on a
+	// batch-only engine.
+	memt *memtable.Memtable
 
 	cache *resultCache
 
@@ -359,7 +374,7 @@ func (e *Engine) IngestContext(ctx context.Context, s *snapshot.Snapshot) (rep I
 	last, hasLeaf := e.tree.LastEpoch()
 	e.mu.RUnlock()
 	if finished {
-		return rep, fmt.Errorf("core: store was finalized by FinishIngest; open a new engine to continue")
+		return rep, ErrFinalized
 	}
 	if hasLeaf && s.Epoch <= last {
 		return rep, fmt.Errorf("core: epoch %v arrives out of order (last %v)", s.Epoch, last)
@@ -505,6 +520,37 @@ func (e *Engine) FinishIngest() {
 	e.finished = true
 	e.cache.clear()
 }
+
+// attachMemtable wires the streaming memtable into the query path. The
+// cache is cleared because cached "no newer data" answers may now be
+// wrong the moment rows land.
+func (e *Engine) attachMemtable(m *memtable.Memtable) {
+	e.mu.Lock()
+	e.memt = m
+	e.mu.Unlock()
+	e.cache.clear()
+}
+
+// memAfterLocked returns the attached memtable and the epoch watermark
+// its query contributions start after: buffered epochs at or below the
+// tree's last leaf are excluded, because a seal makes the leaf visible
+// before dropping the memtable copy — without the filter such an epoch
+// would briefly count double. Caller holds e.mu (either mode); the
+// watermark and the query plan must be captured under the same lock
+// acquisition.
+func (e *Engine) memAfterLocked() (*memtable.Memtable, telco.Epoch) {
+	if e.memt == nil {
+		return nil, 0
+	}
+	last, ok := e.tree.LastEpoch()
+	if !ok {
+		last = telco.Epoch(minEpoch)
+	}
+	return e.memt, last
+}
+
+// minEpoch sorts before every real epoch (math.MinInt64).
+const minEpoch = -1 << 63
 
 // codec returns the active codec without locking (reads e.opts.Codec which
 // only changes under e.mu during training).

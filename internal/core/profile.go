@@ -24,6 +24,12 @@ type Profile struct {
 	InflatedBytes int64 `json:"inflated_bytes,omitempty"`
 	DFSReads      int   `json:"dfs_reads,omitempty"`
 
+	// MemEpochs and MemRows count the streaming memtable's contribution:
+	// unsealed epochs that supplied summary parts, and fresh rows that
+	// made it into the exact-row answer before their epoch sealed.
+	MemEpochs int `json:"mem_epochs,omitempty"`
+	MemRows   int `json:"mem_rows,omitempty"`
+
 	ReadNS   int64 `json:"read_ns,omitempty"`
 	DecodeNS int64 `json:"decode_ns,omitempty"`
 	LookupNS int64 `json:"lookup_ns,omitempty"`
@@ -64,6 +70,8 @@ func (p *Profile) Add(o Profile) {
 	p.CacheMisses += o.CacheMisses
 	p.InflatedBytes += o.InflatedBytes
 	p.DFSReads += o.DFSReads
+	p.MemEpochs += o.MemEpochs
+	p.MemRows += o.MemRows
 	p.ReadNS += o.ReadNS
 	p.DecodeNS += o.DecodeNS
 	p.LookupNS += o.LookupNS

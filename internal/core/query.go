@@ -12,6 +12,7 @@ import (
 	"spate/internal/geo"
 	"spate/internal/highlights"
 	"spate/internal/index"
+	"spate/internal/memtable"
 	"spate/internal/obs"
 	"spate/internal/telco"
 )
@@ -168,18 +169,40 @@ func (e *Engine) ExploreContext(ctx context.Context, q Query) (*Result, error) {
 	res := &Result{ServedPeriod: q.Window}
 	e.mu.RLock()
 	covering := e.tree.FindCovering(q.Window)
-	if covering == nil {
+	// The streaming memtable's contribution is captured under the same
+	// lock acquisition as the plan and the LastEpoch watermark: a seal
+	// that lands afterwards either already put its leaf in our plan (and
+	// the watermark excludes the memtable copy) or hasn't (and the copy
+	// serves) — fresh rows are visible exactly once either way.
+	memt, memAfter := e.memAfterLocked()
+	var memParts []*highlights.Summary
+	var memTabs []memTab
+	if memt != nil {
+		memParts = memt.Parts(q.Window, memAfter, e.opts.Highlights)
+		if q.ExactRows {
+			memTabs = collectMemTabs(memt, q.Window, q.Tables, memAfter)
+		}
+	}
+	if covering == nil && len(memParts) == 0 && len(memTabs) == 0 {
 		e.mu.RUnlock()
 		return nil, fmt.Errorf("core: no data ingested")
 	}
-	res.CoveringLevel = covering.Level
-	coveringPeriod := covering.Period
-	coveringSummary := covering.Summary
-	theta := e.opts.theta(covering.Level)
-	fast := q.Fast && coveringSummary != nil && !q.ExactRows
+	var coveringPeriod telco.TimeRange
+	var coveringSummary *highlights.Summary
+	level := index.LevelEpoch
+	if covering != nil {
+		level = covering.Level
+		coveringPeriod = covering.Period
+		coveringSummary = covering.Summary
+	}
+	res.CoveringLevel = level
+	theta := e.opts.theta(level)
+	// Unsealed rows in the window disable the Fast path — a covering
+	// node's materialized summary cannot know about them.
+	fast := q.Fast && coveringSummary != nil && !q.ExactRows && len(memParts) == 0
 	var srcs []partSrc
 	var leaves []leafRef
-	if !fast {
+	if !fast && covering != nil {
 		srcs = e.planSummaries(e.tree.Root(), q.Window, nil, res)
 		if q.ExactRows {
 			leaves = e.rowLeaves(q.Window)
@@ -213,6 +236,11 @@ func (e *Engine) ExploreContext(ctx context.Context, q Query) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Unsealed epochs merge after the sealed parts — they are strictly
+	// newer than every sealed leaf, so the flat sequence stays
+	// chronological.
+	parts = append(parts, memParts...)
+	res.Profile.MemEpochs = len(memParts)
 	tMerge := time.Now()
 	merged := highlights.Merge(q.Window, parts...)
 	sr.add(StageMerge, time.Since(tMerge).Nanoseconds())
@@ -234,6 +262,9 @@ func (e *Engine) ExploreContext(ctx context.Context, q Query) (*Result, error) {
 	if q.ExactRows {
 		tRows := time.Now()
 		err := e.fetchRows(ctx, q, leaves, res)
+		if err == nil {
+			e.appendMemRows(q, memTabs, res)
+		}
 		sr.add(StageRows, time.Since(tRows).Nanoseconds())
 		if err != nil {
 			return nil, err
@@ -263,7 +294,12 @@ func (e *Engine) ExploreParts(ctx context.Context, w telco.TimeRange) ([]*highli
 	res := &Result{}
 	tPlan := time.Now()
 	e.mu.RLock()
-	if e.tree.FindCovering(w) == nil {
+	memt, memAfter := e.memAfterLocked()
+	var memParts []*highlights.Summary
+	if memt != nil {
+		memParts = memt.Parts(w, memAfter, e.opts.Highlights)
+	}
+	if e.tree.FindCovering(w) == nil && len(memParts) == 0 {
 		e.mu.RUnlock()
 		err := fmt.Errorf("core: no data ingested")
 		span.SetError(err)
@@ -277,6 +313,11 @@ func (e *Engine) ExploreParts(ctx context.Context, w telco.TimeRange) ([]*highli
 		span.SetError(err)
 		return nil, PartsDiag{}, err
 	}
+	// Unsealed epochs follow the sealed parts; they are strictly newer,
+	// and a coordinator's flat chronological merge slots them in with
+	// every other shard's parts.
+	parts = append(parts, memParts...)
+	res.Profile.MemEpochs = len(memParts)
 	if span != nil {
 		span.AddStageAt(StagePlan, tPlan, tCollect.Sub(tPlan))
 		span.AddStageAt(StageCollect, tCollect, time.Since(tCollect)-res.leafDecode)
@@ -302,12 +343,18 @@ func (e *Engine) FetchRows(ctx context.Context, q Query) (map[string]*telco.Tabl
 	t0 := time.Now()
 	e.mu.RLock()
 	leaves := e.rowLeaves(q.Window)
+	memt, memAfter := e.memAfterLocked()
+	var memTabs []memTab
+	if memt != nil {
+		memTabs = collectMemTabs(memt, q.Window, q.Tables, memAfter)
+	}
 	e.mu.RUnlock()
 	res := &Result{}
 	if err := e.fetchRows(ctx, q, leaves, res); err != nil {
 		span.SetError(err)
 		return nil, err
 	}
+	e.appendMemRows(q, memTabs, res)
 	e.met.scannedLeaves.Add(int64(res.ScannedLeaves))
 	e.met.prunedLeaves.Add(int64(res.PrunedLeaves))
 	res.Profile.LeavesScanned = res.ScannedLeaves
@@ -505,6 +552,63 @@ func (e *Engine) cellSeries(m *highlights.Summary, inBox map[int64]bool, q Query
 	return out
 }
 
+// memTab is one unsealed (epoch, table) contribution captured from the
+// streaming memtable: a window-filtered, timestamp-ordered copy of its
+// rows, safe to use after the engine lock is released.
+type memTab struct {
+	name string
+	tab  *telco.Table
+}
+
+// collectMemTabs copies the memtable's window contribution out in epoch
+// then table-name order. Caller holds e.mu (the watermark and the plan
+// must come from one lock acquisition).
+func collectMemTabs(memt *memtable.Memtable, w telco.TimeRange, tables []string, after telco.Epoch) []memTab {
+	var out []memTab
+	_ = memt.Scan(w, tables, after, func(name string, tab *telco.Table) error {
+		out = append(out, memTab{name: name, tab: tab})
+		return nil
+	})
+	return out
+}
+
+// appendMemRows folds captured memtable tables into an exact-row result,
+// applying the query's spatial filter. Unsealed rows are strictly newer
+// than every sealed leaf, so appending after the leaf scan keeps each
+// table chronological. Runs without the engine lock (CellsInBox locks
+// internally).
+func (e *Engine) appendMemRows(q Query, memTabs []memTab, res *Result) {
+	if len(memTabs) == 0 {
+		return
+	}
+	var inBox map[int64]bool
+	if !q.everywhere() {
+		ids := e.CellsInBox(q.Box)
+		inBox = make(map[int64]bool, len(ids))
+		for _, id := range ids {
+			inBox[id] = true
+		}
+	}
+	if res.Rows == nil {
+		res.Rows = make(map[string]*telco.Table)
+	}
+	for _, mt := range memTabs {
+		cellIdx := mt.tab.Schema.FieldIndex(telco.AttrCellID)
+		dst := res.Rows[mt.name]
+		if dst == nil {
+			dst = telco.NewTable(mt.tab.Schema)
+			res.Rows[mt.name] = dst
+		}
+		for _, r := range mt.tab.Rows {
+			if inBox != nil && cellIdx >= 0 && !inBox[r[cellIdx].Int64()] {
+				continue
+			}
+			dst.Append(r)
+			res.Profile.MemRows++
+		}
+	}
+}
+
 // fetchRows streams the window's non-decayed snapshots and filters records
 // by window, box and table selection. Segment leaves prune chunks through
 // their zone maps (window bounds, cell sketch) before decompressing — the
@@ -610,6 +714,11 @@ func (e *Engine) ScanTables(w telco.TimeRange, tables []string, fn func(string, 
 func (e *Engine) ScanTablesContext(ctx context.Context, w telco.TimeRange, tables []string, fn func(string, *telco.Table) error) error {
 	e.mu.RLock()
 	leaves := e.rowLeaves(w)
+	memt, memAfter := e.memAfterLocked()
+	var memTabs []memTab
+	if memt != nil {
+		memTabs = collectMemTabs(memt, w, tables, memAfter)
+	}
 	e.mu.RUnlock()
 	want := func(name string) bool {
 		if len(tables) == 0 {
@@ -669,6 +778,20 @@ func (e *Engine) ScanTablesContext(ctx context.Context, w telco.TimeRange, table
 			if err := fn(name, filtered); err != nil {
 				return err
 			}
+		}
+	}
+	// Unsealed rows stream last — strictly newer than every sealed leaf,
+	// one window-filtered table per buffered (epoch, table), the same
+	// call shape a sealed-leaf scan produces.
+	for _, mt := range memTabs {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if prof != nil {
+			prof.MemRows += mt.tab.Len()
+		}
+		if err := fn(mt.name, mt.tab); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"spate/internal/dfs"
+	"spate/internal/gen"
+	"spate/internal/obs"
+	"spate/internal/telco"
+	"spate/internal/wal"
+)
+
+// benchStreamer opens an empty engine with a streamer in the given sync
+// mode and a backlog bound high enough that the benchmark never blocks on
+// the sealer.
+func benchStreamer(b *testing.B, sync wal.SyncPolicy) (*Streamer, *Engine, gen.Config) {
+	b.Helper()
+	cfg := gen.DefaultConfig(0.004)
+	cfg.Antennas = 30
+	cfg.Users = 300
+	cfg.CDRPerEpoch = 600
+	g := gen.New(cfg)
+	fs, err := dfs.NewCluster(b.TempDir(), dfs.Config{BlockSize: 1 << 20, DataNodes: 3, Replication: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := Open(fs, g.CellTable(), Options{Obs: obs.NewNoop()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := e.OpenStreamer(StreamerOptions{
+		WALDir:     b.TempDir(),
+		Sync:       sync,
+		MaxPending: 1 << 30,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { st.Close() })
+	return st, e, cfg
+}
+
+// BenchmarkStreamAppend measures the streaming write path — WAL append,
+// group commit, memtable insert — in records per second. The group-commit
+// variants show what durability costs: SyncNone skips fsync entirely,
+// SyncGroup amortizes one fsync over every batch in a writer cycle.
+func BenchmarkStreamAppend(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		sync wal.SyncPolicy
+	}{
+		{"nosync", wal.SyncNone},
+		{"groupcommit", wal.SyncGroup},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			st, _, cfg := benchStreamer(b, mode.sync)
+			g := gen.New(cfg)
+			rows := g.CDRTable(telco.EpochOf(cfg.Start)).Rows
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := st.Append(ctx, "CDR", rows); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			total := float64(b.N * len(rows))
+			b.ReportMetric(total/b.Elapsed().Seconds(), "rows/sec")
+			b.ReportMetric(float64(len(rows)), "rows/batch")
+		})
+	}
+}
+
+// BenchmarkStreamTimeToQueryable measures the full freshness path: one
+// batch append followed by an exploration that must already see the new
+// rows. ttq-ms is the wall-clock from handing rows to Append until a
+// query answers with them included — the paper-facing "how stale is the
+// dashboard" number for the streaming mode.
+func BenchmarkStreamTimeToQueryable(b *testing.B) {
+	st, e, cfg := benchStreamer(b, wal.SyncGroup)
+	g := gen.New(cfg)
+	rows := g.NMSTable(telco.EpochOf(cfg.Start)).Rows
+	w := telco.NewTimeRange(cfg.Start, cfg.Start.Add(30*time.Minute))
+	ctx := context.Background()
+	var seen int64
+	var ttq time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		if err := st.Append(ctx, "NMS", rows); err != nil {
+			b.Fatal(err)
+		}
+		res, err := e.Explore(Query{Window: w})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Summary.Rows <= seen {
+			b.Fatalf("appended rows not visible: %d <= %d", res.Summary.Rows, seen)
+		}
+		seen = res.Summary.Rows
+		ttq += time.Since(start)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(ttq.Milliseconds())/float64(b.N), "ttq-ms")
+}

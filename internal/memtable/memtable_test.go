@@ -1,0 +1,224 @@
+package memtable
+
+import (
+	"testing"
+	"time"
+
+	"spate/internal/highlights"
+	"spate/internal/obs"
+	"spate/internal/telco"
+)
+
+// nmsRow builds one NMS record at the given timestamp.
+func nmsRow(ts time.Time, cell int64) telco.Record {
+	return telco.Record{
+		telco.Time(ts), telco.Int(cell), telco.Int(1), telco.Int(10),
+		telco.Float(30), telco.Int(1000), telco.Float(-70), telco.Int(0),
+	}
+}
+
+func newTestMemtable() *Memtable { return New(obs.NewRegistry()) }
+
+var (
+	t0 = time.Date(2017, 3, 1, 0, 0, 0, 0, time.UTC)
+	// wide covers every epoch the tests touch; Scan and Parts select
+	// epochs by window overlap, so "everything" needs a real range.
+	wide = telco.NewTimeRange(t0.Add(-24*time.Hour), t0.Add(24*time.Hour))
+)
+
+func TestInsertCountsAndEpochs(t *testing.T) {
+	m := newTestMemtable()
+	e0 := telco.EpochOf(t0)
+	for i := 0; i < 5; i++ {
+		ep, err := m.Insert("NMS", nmsRow(t0.Add(time.Duration(i)*time.Minute), int64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ep != e0 {
+			t.Fatalf("epoch = %v, want %v", ep, e0)
+		}
+	}
+	// A row 30 minutes later lands in the next epoch.
+	if ep, err := m.Insert("NMS", nmsRow(t0.Add(30*time.Minute), 9)); err != nil || ep != e0+1 {
+		t.Fatalf("Insert = (%v, %v), want epoch %v", ep, err, e0+1)
+	}
+	if m.Rows() != 6 {
+		t.Errorf("Rows = %d, want 6", m.Rows())
+	}
+	if m.Bytes() <= 0 {
+		t.Errorf("Bytes = %d", m.Bytes())
+	}
+	if got := m.Epochs(e0 - 1); len(got) != 2 || got[0] != e0 || got[1] != e0+1 {
+		t.Errorf("Epochs(after=%v) = %v", e0-1, got)
+	}
+	if got := m.Epochs(e0); len(got) != 1 || got[0] != e0+1 {
+		t.Errorf("Epochs(after=%v) = %v (strictly-after contract)", e0, got)
+	}
+	if min, ok := m.MinEpoch(); !ok || min != e0 {
+		t.Errorf("MinEpoch = (%v, %v)", min, ok)
+	}
+}
+
+func TestInsertRejectsBadRows(t *testing.T) {
+	m := newTestMemtable()
+	if _, err := m.Insert("NOPE", nmsRow(t0, 1)); err == nil {
+		t.Error("unknown schema accepted")
+	}
+	if _, err := m.Insert("NMS", telco.Record{telco.Time(t0)}); err == nil {
+		t.Error("short row accepted")
+	}
+	bad := nmsRow(t0, 1)
+	bad[0] = telco.Value{} // null timestamp
+	if _, err := m.Insert("NMS", bad); err == nil {
+		t.Error("null-timestamp row accepted")
+	}
+	if m.Rows() != 0 {
+		t.Errorf("Rows = %d after rejected inserts", m.Rows())
+	}
+}
+
+func TestScanOrdersOutOfOrderArrivals(t *testing.T) {
+	m := newTestMemtable()
+	// Arrival order deliberately shuffled in time within one epoch.
+	offsets := []int{5, 1, 9, 1, 3, 0, 7}
+	for i, off := range offsets {
+		if _, err := m.Insert("NMS", nmsRow(t0.Add(time.Duration(off)*time.Minute), int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []int64
+	err := m.Scan(wide, nil, telco.EpochOf(t0)-1, func(table string, tab *telco.Table) error {
+		if table != "NMS" {
+			t.Fatalf("table = %q", table)
+		}
+		for _, r := range tab.Rows {
+			got = append(got, r[0].Int64()) // unix seconds
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(offsets) {
+		t.Fatalf("scanned %d rows, want %d", len(got), len(offsets))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("scan out of order at %d: %v", i, got)
+		}
+	}
+}
+
+func TestScanWindowAndAfterFilter(t *testing.T) {
+	m := newTestMemtable()
+	e0 := telco.EpochOf(t0)
+	for i := 0; i < 4; i++ { // one row in each of 4 epochs
+		if _, err := m.Insert("NMS", nmsRow(t0.Add(time.Duration(i)*30*time.Minute), 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	count := func(w telco.TimeRange, after telco.Epoch) int {
+		n := 0
+		if err := m.Scan(w, nil, after, func(_ string, tab *telco.Table) error {
+			n += tab.Len()
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	if n := count(wide, e0-1); n != 4 {
+		t.Errorf("unfiltered scan = %d rows, want 4", n)
+	}
+	// after filter: epochs <= after are sealed and must not be scanned.
+	if n := count(wide, e0+1); n != 2 {
+		t.Errorf("after=%v scan = %d rows, want 2", e0+1, n)
+	}
+	// window filter: half-open [t0+30m, t0+60m) holds exactly epoch e0+1.
+	w := telco.NewTimeRange(t0.Add(30*time.Minute), t0.Add(60*time.Minute))
+	if n := count(w, e0-1); n != 1 {
+		t.Errorf("windowed scan = %d rows, want 1", n)
+	}
+	if !m.Overlaps(w, e0-1) {
+		t.Error("Overlaps = false for covered window")
+	}
+	if m.Overlaps(w, e0+2) {
+		t.Error("Overlaps = true past the after watermark")
+	}
+}
+
+func TestPartsSummarizePerEpoch(t *testing.T) {
+	m := newTestMemtable()
+	e0 := telco.EpochOf(t0)
+	for i := 0; i < 3; i++ {
+		if _, err := m.Insert("NMS", nmsRow(t0.Add(time.Duration(i)*time.Minute), int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.Insert("NMS", nmsRow(t0.Add(30*time.Minute), 7)); err != nil {
+		t.Fatal(err)
+	}
+	parts := m.Parts(wide, e0-1, highlights.Config{})
+	if len(parts) != 2 {
+		t.Fatalf("%d parts, want 2 (one per epoch)", len(parts))
+	}
+	if parts[0].Rows != 3 || parts[1].Rows != 1 {
+		t.Errorf("part rows = %d, %d; want 3, 1", parts[0].Rows, parts[1].Rows)
+	}
+	if !parts[0].Period.From.Equal(e0.Start()) || !parts[0].Period.To.Equal(e0.End()) {
+		t.Errorf("part 0 period = %v", parts[0].Period)
+	}
+	// The after watermark hides sealed epochs from the summary path too.
+	if parts := m.Parts(wide, e0, highlights.Config{}); len(parts) != 1 {
+		t.Errorf("%d parts past watermark, want 1", len(parts))
+	}
+}
+
+func TestSnapshotEpochIsNonDestructiveAndDropAdjusts(t *testing.T) {
+	m := newTestMemtable()
+	e0 := telco.EpochOf(t0)
+	// Shuffled arrival order: the snapshot must preserve it (the engine's
+	// encoder stable-sorts by ts itself, so arrival order in = batch
+	// parity out).
+	offsets := []int{3, 1, 2}
+	for i, off := range offsets {
+		if _, err := m.Insert("NMS", nmsRow(t0.Add(time.Duration(off)*time.Minute), int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := m.SnapshotEpoch(e0)
+	if snap == nil || snap.Epoch != e0 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	tab := snap.Table("NMS")
+	if tab == nil || tab.Len() != 3 {
+		t.Fatalf("snapshot table = %+v", tab)
+	}
+	for i, off := range offsets {
+		if got := tab.Rows[i][0].Time(); !got.Equal(t0.Add(time.Duration(off) * time.Minute)) {
+			t.Fatalf("row %d ts = %v: arrival order not preserved", i, got)
+		}
+	}
+	// Non-destructive: the rows are still queryable after the snapshot.
+	if m.Rows() != 3 {
+		t.Errorf("Rows = %d after snapshot, want 3", m.Rows())
+	}
+	rows, bytes := m.DropEpoch(e0)
+	if rows != 3 || bytes <= 0 {
+		t.Errorf("DropEpoch = (%d, %d)", rows, bytes)
+	}
+	if m.Rows() != 0 || m.Bytes() != 0 {
+		t.Errorf("after drop: rows=%d bytes=%d", m.Rows(), m.Bytes())
+	}
+	if m.SnapshotEpoch(e0) != nil {
+		t.Error("snapshot of dropped epoch is not nil")
+	}
+}
+
+func TestSizeAccountsStringPayloads(t *testing.T) {
+	small := Size(telco.Record{telco.Int(1)})
+	big := Size(telco.Record{telco.String("a considerably longer string payload")})
+	if small <= 0 || big <= small {
+		t.Errorf("Size: small=%d big=%d", small, big)
+	}
+}

@@ -1,0 +1,572 @@
+// Package wal implements the write-ahead log under SPATE's streaming
+// ingest path: a segmented append-only log of length-prefixed CRC-32
+// records on the local file system. Appends are cheap buffered writes;
+// durability is a separate step — Commit — so many concurrent appenders
+// share one fsync (group commit). On reopen the log replays every intact
+// record and truncates a torn tail (the partially written record of a
+// crash mid-append), which is exactly the prefix-durability contract a
+// crash-recovering memtable needs.
+//
+// The wire format of one record is
+//
+//	[4B little-endian payload length][4B little-endian CRC-32 (IEEE) of payload][payload]
+//
+// and a segment file (wal-%016d.log) is a plain concatenation of records.
+// Rotation closes (flush + fsync) the active segment and opens the next
+// id, so every record of a non-active segment is durable; Purge deletes
+// closed segments the caller has sealed past.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"spate/internal/obs"
+)
+
+// SyncPolicy selects when appended records become durable.
+type SyncPolicy int
+
+const (
+	// SyncGroup (default) makes Commit block until a background notifier
+	// fsyncs the segment; concurrent commits coalesce into one fsync.
+	SyncGroup SyncPolicy = iota
+	// SyncAlways fsyncs inside every Append before it returns; Commit is a
+	// no-op. The slowest and strongest policy.
+	SyncAlways
+	// SyncNone never fsyncs (the OS flushes on its own schedule); Commit
+	// only waits for the user-space buffer to reach the kernel. Crash
+	// durability is sacrificed for throughput — replay still recovers every
+	// record the kernel wrote out.
+	SyncNone
+)
+
+// Options configures a log. The zero value is usable: group commit with a
+// 2 ms window and 8 MiB segments.
+type Options struct {
+	// SegmentBytes rotates the active segment once it exceeds this size
+	// (default 8 MiB). Records never split across segments.
+	SegmentBytes int64
+	// Sync selects the durability policy (default SyncGroup).
+	Sync SyncPolicy
+	// GroupWindow is how long the group-commit notifier accumulates
+	// waiters before fsyncing (default 2 ms). Shorter windows lower commit
+	// latency; longer windows amortize the fsync across more appends.
+	GroupWindow time.Duration
+	// Obs selects the metrics registry (default obs.Default).
+	Obs *obs.Registry
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 8 << 20
+	}
+	if o.GroupWindow <= 0 {
+		o.GroupWindow = 2 * time.Millisecond
+	}
+	if o.Obs == nil {
+		o.Obs = obs.Default
+	}
+	return o
+}
+
+// Pos addresses one record in the log: the segment id and the byte offset
+// of the record's end within that segment. Positions order
+// lexicographically (segment, then offset).
+type Pos struct {
+	Seg uint64
+	Off int64
+}
+
+// Less reports whether p is strictly before q.
+func (p Pos) Less(q Pos) bool {
+	if p.Seg != q.Seg {
+		return p.Seg < q.Seg
+	}
+	return p.Off < q.Off
+}
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: log closed")
+
+// ErrCorrupt marks a record that failed its CRC or framing before the
+// final segment's tail — data loss the log cannot repair by truncation.
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+const (
+	recHeader  = 8 // 4B length + 4B CRC
+	maxPayload = 64 << 20
+)
+
+// SegmentInfo describes one on-disk segment.
+type SegmentInfo struct {
+	ID    uint64
+	Bytes int64
+	// Active marks the segment currently receiving appends.
+	Active bool
+}
+
+type waiter struct {
+	pos Pos
+	ch  chan error
+}
+
+// Log is a segmented write-ahead log. All methods are safe for concurrent
+// use.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu     sync.Mutex
+	f      *os.File
+	w      *bufio.Writer
+	seg    uint64 // active segment id
+	off    int64  // bytes appended to the active segment
+	segs   map[uint64]int64
+	closed bool
+
+	// group-commit notifier state
+	waiters []waiter
+	durable Pos // highest position known fsynced
+	kick    chan struct{}
+	done    chan struct{}
+
+	met logMetrics
+}
+
+type logMetrics struct {
+	appends   *obs.Counter
+	bytes     *obs.Counter
+	fsyncs    *obs.Counter
+	rotations *obs.Counter
+	purged    *obs.Counter
+	truncated *obs.Counter
+	replayed  *obs.Counter
+	segments  *obs.Gauge
+	groupSize *obs.Histogram
+}
+
+func segName(id uint64) string { return fmt.Sprintf("wal-%016d.log", id) }
+
+// Open opens (or creates) the log in dir, scanning existing segments and
+// truncating a torn tail off the newest one so the next Append lands on a
+// record boundary. Replay may be called before the first Append to
+// recover the surviving records.
+func Open(dir string, opts Options) (*Log, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	l := &Log{
+		dir:  dir,
+		opts: opts,
+		segs: make(map[uint64]int64),
+		kick: make(chan struct{}, 1),
+		done: make(chan struct{}),
+	}
+	r := opts.Obs
+	l.met = logMetrics{
+		appends:   r.Counter("spate_wal_appends_total", "Records appended to the write-ahead log."),
+		bytes:     r.Counter("spate_wal_append_bytes_total", "Payload bytes appended to the write-ahead log."),
+		fsyncs:    r.Counter("spate_wal_fsyncs_total", "fsync calls issued by the write-ahead log."),
+		rotations: r.Counter("spate_wal_rotations_total", "Segment rotations."),
+		purged:    r.Counter("spate_wal_purged_segments_total", "Sealed segments deleted by Purge."),
+		truncated: r.Counter("spate_wal_torn_truncations_total", "Torn tails truncated during open."),
+		replayed:  r.Counter("spate_wal_replayed_records_total", "Records recovered by Replay."),
+		groupSize: r.Histogram("spate_wal_group_commit_records", "Records made durable per fsync.", obs.ExpBuckets(1, 2, 12)),
+	}
+	ids, err := l.scan()
+	if err != nil {
+		return nil, err
+	}
+	active := uint64(1)
+	if n := len(ids); n > 0 {
+		active = ids[n-1]
+		// The newest segment may end in a torn record from a crash
+		// mid-append; truncate it back to the last intact boundary.
+		good, torn, err := validate(filepath.Join(dir, segName(active)))
+		if err != nil {
+			return nil, err
+		}
+		if torn {
+			if err := os.Truncate(filepath.Join(dir, segName(active)), good); err != nil {
+				return nil, fmt.Errorf("wal: truncate torn tail: %w", err)
+			}
+			l.met.truncated.Inc()
+		}
+		l.segs[active] = good
+	}
+	f, err := os.OpenFile(filepath.Join(dir, segName(active)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	l.f, l.w = f, bufio.NewWriterSize(f, 64<<10)
+	l.seg, l.off = active, l.segs[active]
+	l.segs[active] = l.off
+	// Everything recovered from disk is durable by definition.
+	l.durable = Pos{Seg: active, Off: l.off}
+	r.GaugeFunc("spate_wal_segments", "Live write-ahead log segments on disk.", func() float64 {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		return float64(len(l.segs))
+	})
+	go l.syncLoop()
+	return l, nil
+}
+
+// scan lists segment ids in ascending order and records their sizes.
+func (l *Log) scan() ([]uint64, error) {
+	ents, err := os.ReadDir(l.dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var ids []uint64
+	for _, e := range ents {
+		var id uint64
+		if _, err := fmt.Sscanf(e.Name(), "wal-%016d.log", &id); err != nil {
+			continue
+		}
+		fi, err := e.Info()
+		if err != nil {
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		ids = append(ids, id)
+		l.segs[id] = fi.Size()
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids, nil
+}
+
+// validate walks one segment and returns the offset of the last intact
+// record boundary, and whether bytes beyond it exist (a torn tail).
+func validate(path string) (good int64, torn bool, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return 0, false, nil
+		}
+		return 0, false, fmt.Errorf("wal: %w", err)
+	}
+	off := int64(0)
+	for {
+		payload, n := nextRecord(data[off:])
+		if n <= 0 {
+			break
+		}
+		_ = payload
+		off += int64(n)
+	}
+	return off, off < int64(len(data)), nil
+}
+
+// nextRecord decodes one record from the head of data. It returns the
+// payload and the total encoded size, or n <= 0 when no intact record
+// starts at data[0] (truncated header, truncated payload, oversized
+// length, or CRC mismatch).
+func nextRecord(data []byte) (payload []byte, n int) {
+	if len(data) < recHeader {
+		return nil, 0
+	}
+	ln := binary.LittleEndian.Uint32(data)
+	crc := binary.LittleEndian.Uint32(data[4:])
+	if int64(ln) > maxPayload || recHeader+int(ln) > len(data) {
+		return nil, 0
+	}
+	payload = data[recHeader : recHeader+int(ln)]
+	if crc32.ChecksumIEEE(payload) != crc {
+		return nil, 0
+	}
+	return payload, recHeader + int(ln)
+}
+
+// appendRecord encodes one record into dst.
+func appendRecord(dst []byte, payload []byte) []byte {
+	var hdr [recHeader]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// Replay streams every intact record in log order through fn. It is meant
+// to run right after Open, before new appends interleave; fn returning an
+// error aborts the replay. A CRC failure anywhere but the already
+// truncated tail returns ErrCorrupt.
+func (l *Log) Replay(fn func(pos Pos, payload []byte) error) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	ids := make([]uint64, 0, len(l.segs))
+	for id := range l.segs {
+		ids = append(ids, id)
+	}
+	l.w.Flush()
+	l.mu.Unlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		data, err := os.ReadFile(filepath.Join(l.dir, segName(id)))
+		if err != nil {
+			return fmt.Errorf("wal: replay: %w", err)
+		}
+		off := int64(0)
+		for off < int64(len(data)) {
+			payload, n := nextRecord(data[off:])
+			if n <= 0 {
+				// Open truncated the final segment's torn tail, so any
+				// undecodable record here is real corruption.
+				return fmt.Errorf("%w: segment %d offset %d", ErrCorrupt, id, off)
+			}
+			off += int64(n)
+			l.met.replayed.Inc()
+			if err := fn(Pos{Seg: id, Off: off}, payload); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Append writes one record and returns its position. The record is NOT
+// durable until Commit(pos) returns (or immediately under SyncAlways).
+func (l *Log) Append(payload []byte) (Pos, error) {
+	rec := appendRecord(make([]byte, 0, recHeader+len(payload)), payload)
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return Pos{}, ErrClosed
+	}
+	if l.off > 0 && l.off+int64(len(rec)) > l.opts.SegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			l.mu.Unlock()
+			return Pos{}, err
+		}
+	}
+	if _, err := l.w.Write(rec); err != nil {
+		l.mu.Unlock()
+		return Pos{}, fmt.Errorf("wal: append: %w", err)
+	}
+	l.off += int64(len(rec))
+	l.segs[l.seg] = l.off
+	pos := Pos{Seg: l.seg, Off: l.off}
+	var ferr error
+	if l.opts.Sync == SyncAlways {
+		ferr = l.flushLocked(true)
+	}
+	l.mu.Unlock()
+	l.met.appends.Inc()
+	l.met.bytes.Add(int64(len(payload)))
+	if ferr != nil {
+		return Pos{}, ferr
+	}
+	return pos, nil
+}
+
+// Commit blocks until every record at or before pos is durable under the
+// log's sync policy. Under SyncGroup concurrent commits coalesce into one
+// fsync; under SyncNone it only drains the user-space buffer.
+func (l *Log) Commit(pos Pos) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	switch l.opts.Sync {
+	case SyncAlways:
+		l.mu.Unlock()
+		return nil // Append already synced
+	case SyncNone:
+		err := l.flushLocked(false)
+		l.mu.Unlock()
+		return err
+	}
+	if !l.durable.Less(pos) {
+		l.mu.Unlock()
+		return nil
+	}
+	ch := make(chan error, 1)
+	l.waiters = append(l.waiters, waiter{pos: pos, ch: ch})
+	l.mu.Unlock()
+	select {
+	case l.kick <- struct{}{}:
+	default:
+	}
+	return <-ch
+}
+
+// syncLoop is the group-commit notifier: it wakes on the first waiter,
+// lingers GroupWindow so stragglers join the batch, fsyncs once, and
+// completes every waiter the new durable watermark covers.
+func (l *Log) syncLoop() {
+	for {
+		select {
+		case <-l.done:
+			return
+		case <-l.kick:
+		}
+		if l.opts.GroupWindow > 0 {
+			timer := time.NewTimer(l.opts.GroupWindow)
+			select {
+			case <-timer.C:
+			case <-l.done:
+				timer.Stop()
+				return
+			}
+		}
+		l.mu.Lock()
+		if l.closed {
+			l.mu.Unlock()
+			return
+		}
+		err := l.flushLocked(true)
+		var batch []waiter
+		if err == nil {
+			keep := l.waiters[:0]
+			for _, w := range l.waiters {
+				if !l.durable.Less(w.pos) {
+					batch = append(batch, w)
+				} else {
+					keep = append(keep, w)
+				}
+			}
+			l.waiters = keep
+		} else {
+			batch, l.waiters = l.waiters, nil
+		}
+		l.mu.Unlock()
+		if len(batch) > 0 {
+			l.met.groupSize.Observe(float64(len(batch)))
+		}
+		for _, w := range batch {
+			w.ch <- err
+		}
+	}
+}
+
+// flushLocked drains the buffer and, when sync is set, fsyncs the active
+// segment and advances the durable watermark. Caller holds l.mu.
+func (l *Log) flushLocked(sync bool) error {
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("wal: flush: %w", err)
+	}
+	if !sync {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	l.met.fsyncs.Inc()
+	l.durable = Pos{Seg: l.seg, Off: l.off}
+	return nil
+}
+
+// rotateLocked seals the active segment (flush + fsync + close) and opens
+// the next id. Caller holds l.mu. Because rotation syncs, every record of
+// a non-active segment is durable.
+func (l *Log) rotateLocked() error {
+	if err := l.flushLocked(true); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: rotate close: %w", err)
+	}
+	l.seg++
+	f, err := os.OpenFile(filepath.Join(l.dir, segName(l.seg)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: rotate open: %w", err)
+	}
+	l.f = f
+	l.w.Reset(f)
+	l.off = 0
+	l.segs[l.seg] = 0
+	l.durable = Pos{Seg: l.seg, Off: 0}
+	l.met.rotations.Inc()
+	return nil
+}
+
+// Sync forces an immediate flush + fsync regardless of policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	return l.flushLocked(true)
+}
+
+// ActiveSegment returns the id of the segment currently receiving appends.
+func (l *Log) ActiveSegment() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seg
+}
+
+// Segments lists the on-disk segments in id order.
+func (l *Log) Segments() []SegmentInfo {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SegmentInfo, 0, len(l.segs))
+	for id, sz := range l.segs {
+		out = append(out, SegmentInfo{ID: id, Bytes: sz, Active: id == l.seg})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Purge deletes every closed segment with id <= upTo. The active segment
+// is never deleted — callers purge after sealing, and sealed records only
+// ever live in closed segments or the still-growing active one.
+func (l *Log) Purge(upTo uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	for id := range l.segs {
+		if id > upTo || id == l.seg {
+			continue
+		}
+		if err := os.Remove(filepath.Join(l.dir, segName(id))); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("wal: purge: %w", err)
+		}
+		delete(l.segs, id)
+		l.met.purged.Inc()
+	}
+	return nil
+}
+
+// Close flushes, fsyncs and closes the log. Pending group commits are
+// completed by the final sync.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	err := l.flushLocked(true)
+	l.closed = true
+	batch := l.waiters
+	l.waiters = nil
+	cerr := l.f.Close()
+	l.mu.Unlock()
+	close(l.done)
+	for _, w := range batch {
+		w.ch <- err
+	}
+	if err != nil {
+		return err
+	}
+	if cerr != nil {
+		return fmt.Errorf("wal: close: %w", cerr)
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+// Streaming append endpoint of the SPATE-UI: POST /api/append feeds rows
+// into the engine's streaming ingest path (WAL + memtable), so they are
+// explorable as soon as the response returns — before their epoch seals
+// into a compressed leaf. In cluster mode the coordinator routes the rows
+// to the slots owning them by the day-block shard map.
+
+package webui
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"spate/internal/core"
+	"spate/internal/telco"
+)
+
+// AppendJSON is the wire form of a streaming append request.
+type AppendJSON struct {
+	// Table names the schema; Rows are wire-text record lines (the same
+	// delimiter format the snapshot tables use).
+	Table string   `json:"table"`
+	Rows  []string `json:"rows"`
+	// Seal requests a seal of every buffered epoch after the rows apply —
+	// the streaming equivalent of finishing a batch load.
+	Seal bool `json:"seal,omitempty"`
+}
+
+// AppendResultJSON is the wire form of a streaming append answer.
+type AppendResultJSON struct {
+	Rows int `json:"rows"`
+}
+
+// decodeAppendRows parses a request's wire-text lines against its table's
+// schema.
+func decodeAppendRows(req *AppendJSON) ([]telco.Record, error) {
+	if len(req.Rows) == 0 {
+		return nil, nil
+	}
+	schema := telco.SchemaByName(req.Table)
+	if schema == nil {
+		return nil, fmt.Errorf("unknown table %q", req.Table)
+	}
+	recs := make([]telco.Record, 0, len(req.Rows))
+	for _, line := range req.Rows {
+		rec, err := telco.DecodeLine(schema, line)
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, rec)
+	}
+	return recs, nil
+}
+
+// appendErr maps the streaming sentinels onto HTTP: backpressure is 429
+// with a Retry-After hint, stale epochs and finalized stores are 409.
+func appendErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, core.ErrBackpressure):
+		w.Header().Set("Retry-After", "1")
+		httpErr(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, core.ErrStaleEpoch), errors.Is(err, core.ErrFinalized):
+		httpErr(w, http.StatusConflict, err)
+	default:
+		httpErr(w, http.StatusInternalServerError, err)
+	}
+}
+
+// SetStreamer attaches the engine's streaming ingest path; /api/append
+// serves 503 until one is set.
+func (s *Server) SetStreamer(st *core.Streamer) { s.streamer = st }
+
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	st := s.streamer
+	if st == nil {
+		httpErr(w, http.StatusServiceUnavailable, fmt.Errorf("streaming ingest is not enabled (start with -stream)"))
+		return
+	}
+	var req AppendJSON
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpErr(w, http.StatusBadRequest, err)
+		return
+	}
+	recs, err := decodeAppendRows(&req)
+	if err != nil {
+		httpErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(recs) > 0 {
+		if err := st.Append(r.Context(), req.Table, recs); err != nil {
+			appendErr(w, err)
+			return
+		}
+	}
+	if req.Seal {
+		if err := st.SealAll(r.Context()); err != nil {
+			httpErr(w, http.StatusInternalServerError, err)
+			return
+		}
+	}
+	writeJSON(w, AppendResultJSON{Rows: len(recs)})
+}
+
+func (s *ClusterServer) handleAppend(w http.ResponseWriter, r *http.Request) {
+	var req AppendJSON
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpErr(w, http.StatusBadRequest, err)
+		return
+	}
+	recs, err := decodeAppendRows(&req)
+	if err != nil {
+		httpErr(w, http.StatusBadRequest, err)
+		return
+	}
+	n := 0
+	if len(recs) > 0 {
+		n, err = s.coord.Append(r.Context(), req.Table, recs)
+		if err != nil {
+			appendErr(w, err)
+			return
+		}
+	}
+	if req.Seal {
+		if err := s.coord.FlushStreams(r.Context()); err != nil {
+			httpErr(w, http.StatusInternalServerError, err)
+			return
+		}
+	}
+	writeJSON(w, AppendResultJSON{Rows: n})
+}

@@ -53,6 +53,7 @@ func NewClusterServer(coord *cluster.Coordinator, cells []gen.Cell, window telco
 	s.mux.HandleFunc("GET /", s.handleIndex)
 	s.mux.HandleFunc("GET /api/cells", s.handleCells)
 	s.mux.HandleFunc("GET /api/explore", s.handleExplore)
+	s.mux.HandleFunc("POST /api/append", s.handleAppend)
 	s.mux.HandleFunc("GET /api/sql", s.handleSQL)
 	s.mux.HandleFunc("GET /api/health", s.handleHealth)
 	s.mux.HandleFunc("GET /api/lifecycle", s.handleLifecycleGet)

@@ -30,12 +30,13 @@ import (
 
 // Server exposes one SPATE engine over HTTP.
 type Server struct {
-	eng    *core.Engine
-	sql    *sqlengine.Engine
-	lc     *lifecycle.Manager // optional; see SetLifecycle
-	cells  []gen.Cell
-	window telco.TimeRange
-	mux    *http.ServeMux
+	eng      *core.Engine
+	sql      *sqlengine.Engine
+	lc       *lifecycle.Manager // optional; see SetLifecycle
+	streamer *core.Streamer     // optional; see SetStreamer
+	cells    []gen.Cell
+	window   telco.TimeRange
+	mux      *http.ServeMux
 
 	obs      *obs.Registry
 	tracer   *obs.Tracer
@@ -62,6 +63,7 @@ func NewServer(eng *core.Engine, cells []gen.Cell, window telco.TimeRange) *Serv
 	s.mux.HandleFunc("GET /", s.handleIndex)
 	s.mux.HandleFunc("GET /api/cells", s.handleCells)
 	s.mux.HandleFunc("GET /api/explore", s.handleExplore)
+	s.mux.HandleFunc("POST /api/append", s.handleAppend)
 	s.mux.HandleFunc("GET /api/sql", s.handleSQL)
 	s.mux.HandleFunc("GET /api/space", s.handleSpace)
 	s.mux.HandleFunc("GET /api/template", s.handleTemplate)
@@ -84,8 +86,8 @@ func endpointLabel(path string) string {
 	case "/":
 		return "index"
 	case "/metrics", "/api/stats", "/api/trace", "/api/cells", "/api/explore",
-		"/api/sql", "/api/space", "/api/template", "/api/playback", "/api/tree",
-		"/api/health", "/api/lifecycle", "/api/slowlog":
+		"/api/append", "/api/sql", "/api/space", "/api/template", "/api/playback",
+		"/api/tree", "/api/health", "/api/lifecycle", "/api/slowlog":
 		return path
 	}
 	if strings.HasPrefix(path, "/debug/pprof") {
