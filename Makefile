@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-json fuzz fmt lint check
+.PHONY: all build test race vet bench bench-json bench-check fuzz fmt lint check
 
 all: build
 
@@ -34,10 +34,26 @@ bench-json:
 		| $(GO) run ./cmd/benchjson -o BENCH_obs.json
 	$(GO) test -bench Stream -benchtime 20x -run XXX ./internal/core/ \
 		| $(GO) run ./cmd/benchjson -o BENCH_ingest.json
+	$(GO) test -bench ColumnarScan -benchtime 5x -run XXX ./internal/core/ \
+		| $(GO) run ./cmd/benchjson -o BENCH_scan.json
 
-# Fuzz the WAL record decoder for a short, CI-friendly budget.
+# Regression gate: regenerate the reports, then compare the deterministic
+# inflatedB/op numbers against the committed baselines — a format or
+# pushdown regression shows up as more leaf bytes inflated per operation,
+# independent of runner speed.
+bench-check:
+	cp BENCH_segment.json BENCH_segment.base.json
+	cp BENCH_scan.json BENCH_scan.base.json
+	$(MAKE) bench-json
+	$(GO) run ./cmd/benchjson -baseline BENCH_segment.base.json -candidate BENCH_segment.json
+	$(GO) run ./cmd/benchjson -baseline BENCH_scan.base.json -candidate BENCH_scan.json
+	rm -f BENCH_segment.base.json BENCH_scan.base.json
+
+# Fuzz the WAL record decoder and the v3 column-stream decoders for a
+# short, CI-friendly budget.
 fuzz:
 	$(GO) test -fuzz FuzzRecordDecode -fuzztime 30s -run XXX ./internal/wal/
+	$(GO) test -fuzz FuzzDecodeColumn -fuzztime 30s -run XXX ./internal/compress/
 
 fmt:
 	gofmt -l -w .

@@ -7,6 +7,14 @@
 // Usage:
 //
 //	go test -bench Explore -run XXX ./internal/core/ | benchjson -o BENCH_segment.json
+//
+// With -baseline and -candidate it instead compares two reports and exits
+// non-zero when any shared benchmark's compared metric regressed beyond
+// the tolerance ratio — the CI gate against committed BENCH_*.json
+// baselines. The default metric, inflatedB/op, is a function of the data
+// and format alone (not machine speed), so a tight tolerance is safe:
+//
+//	benchjson -baseline BENCH_scan.base.json -candidate BENCH_scan.json
 package main
 
 import (
@@ -30,7 +38,19 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
 	out := flag.String("o", "BENCH_segment.json", "output JSON file")
+	baseline := flag.String("baseline", "", "compare mode: baseline report to gate against")
+	candidate := flag.String("candidate", "", "compare mode: freshly generated report")
+	metricName := flag.String("metric", "inflatedB/op", "compare mode: metric to gate on")
+	tolerance := flag.Float64("tolerance", 1.25, "compare mode: max allowed candidate/baseline ratio")
 	flag.Parse()
+
+	if *baseline != "" || *candidate != "" {
+		if *baseline == "" || *candidate == "" {
+			log.Fatal("compare mode needs both -baseline and -candidate")
+		}
+		compare(*baseline, *candidate, *metricName, *tolerance)
+		return
+	}
 
 	var results []result
 	sc := bufio.NewScanner(os.Stdin)
@@ -60,6 +80,79 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("wrote %d benchmarks to %s", len(results), *out)
+}
+
+// compare gates candidate against baseline on one metric: every baseline
+// benchmark reporting it must still exist in the candidate and must not
+// exceed baseline*tolerance. Zero-baseline entries (e.g. a fully cached
+// variant inflating nothing) cannot form a ratio and are reported but not
+// gated; benchmarks only present in the candidate are new and pass.
+func compare(baselinePath, candidatePath, metric string, tolerance float64) {
+	base := loadReport(baselinePath)
+	cand := loadReport(candidatePath)
+	failed := 0
+	for _, b := range base.Benchmarks {
+		bv, ok := b.Metrics[metric]
+		if !ok {
+			continue
+		}
+		c, ok := cand.byName(b.Name)
+		if !ok {
+			log.Printf("FAIL %s: missing from %s", b.Name, candidatePath)
+			failed++
+			continue
+		}
+		cv, ok := c.Metrics[metric]
+		if !ok {
+			log.Printf("FAIL %s: candidate lacks metric %s", b.Name, metric)
+			failed++
+			continue
+		}
+		if bv == 0 {
+			log.Printf("skip %s: baseline %s is 0 (candidate %g)", b.Name, metric, cv)
+			continue
+		}
+		ratio := cv / bv
+		status := "ok  "
+		if ratio > tolerance {
+			status = "FAIL"
+			failed++
+		}
+		log.Printf("%s %s: %s %g -> %g (%.2fx, limit %.2fx)",
+			status, b.Name, metric, bv, cv, ratio, tolerance)
+	}
+	if failed > 0 {
+		log.Fatalf("%d benchmark(s) regressed on %s", failed, metric)
+	}
+	log.Printf("no regressions on %s (tolerance %.2fx)", metric, tolerance)
+}
+
+type report struct {
+	Benchmarks []result `json:"benchmarks"`
+}
+
+func (r report) byName(name string) (result, bool) {
+	for _, b := range r.Benchmarks {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return result{}, false
+}
+
+func loadReport(path string) report {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var r report
+	if err := json.Unmarshal(data, &r); err != nil {
+		log.Fatalf("%s: %v", path, err)
+	}
+	if len(r.Benchmarks) == 0 {
+		log.Fatalf("%s: no benchmarks", path)
+	}
+	return r
 }
 
 // parseLine decodes one benchmark result line of the form

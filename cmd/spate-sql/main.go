@@ -13,6 +13,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -32,10 +33,11 @@ import (
 
 func main() {
 	var (
-		trace = flag.String("trace", "", "trace directory from spate-gen (optional)")
-		scale = flag.Float64("scale", 0.005, "synthesized trace scale when -trace is absent")
-		days  = flag.Int("days", 1, "synthesized trace length in days")
-		store = flag.String("store", "", "store directory (default: a temp dir)")
+		trace   = flag.String("trace", "", "trace directory from spate-gen (optional)")
+		scale   = flag.Float64("scale", 0.005, "synthesized trace scale when -trace is absent")
+		days    = flag.Int("days", 1, "synthesized trace length in days")
+		store   = flag.String("store", "", "store directory (default: a temp dir)")
+		profile = flag.Bool("profile", false, "print the storage cost profile after each query")
 	)
 	flag.Parse()
 
@@ -63,7 +65,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	sql := sqlengine.NewEngine(tasks.Catalog(tasks.Spate{E: eng}))
+	cat := tasks.Catalog(tasks.Spate{E: eng})
+	sql := sqlengine.NewEngine(cat)
 	st := eng.Tree().Stats()
 	fmt.Printf("spate-sql: %d snapshots loaded in %v; tables: CDR, NMS, CELL\n",
 		st.Leaves, time.Since(start).Round(time.Millisecond))
@@ -71,7 +74,7 @@ func main() {
   SELECT cell_id, SUM(drop_calls) FROM NMS GROUP BY cell_id ORDER BY cell_id LIMIT 5;
 \q quits.`)
 
-	repl(sql)
+	repl(sql, cat, *profile)
 }
 
 func loadTrace(fs *dfs.Cluster, trace string) (*core.Engine, error) {
@@ -120,7 +123,7 @@ func synthesize(fs *dfs.Cluster, scale float64, days int) (*core.Engine, error) 
 	return eng, nil
 }
 
-func repl(sql *sqlengine.Engine) {
+func repl(sql *sqlengine.Engine, cat sqlengine.Catalog, profile bool) {
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
 	var stmt strings.Builder
@@ -137,26 +140,38 @@ func repl(sql *sqlengine.Engine) {
 			fmt.Print("      ...> ")
 			continue
 		}
-		run(sql, stmt.String())
+		run(sql, cat, profile, stmt.String())
 		stmt.Reset()
 		fmt.Print(prompt)
 	}
 }
 
-func run(sql *sqlengine.Engine, stmt string) {
+func run(sql *sqlengine.Engine, cat sqlengine.Catalog, profile bool, stmt string) {
 	stmt = strings.TrimSpace(stmt)
 	stmt = strings.TrimSuffix(stmt, ";")
 	if stmt == "" {
 		return
 	}
+	ctx := context.Background()
+	var render func() []string
+	if profile {
+		if pp, ok := cat.(sqlengine.ExplainProfiler); ok {
+			ctx, render = pp.WithProfile(ctx)
+		}
+	}
 	start := time.Now()
-	rs, err := sql.Query(stmt)
+	rs, err := sql.QueryContext(ctx, stmt)
 	if err != nil {
 		fmt.Println("error:", err)
 		return
 	}
 	printResult(rs)
 	fmt.Printf("(%d rows in %v)\n", len(rs.Rows), time.Since(start).Round(time.Millisecond))
+	if render != nil {
+		for _, l := range render() {
+			fmt.Println("  -- " + l)
+		}
+	}
 }
 
 func printResult(rs *sqlengine.ResultSet) {

@@ -12,6 +12,7 @@ import (
 	"spate/internal/core"
 	"spate/internal/geo"
 	"spate/internal/highlights"
+	"spate/internal/scanspec"
 	"spate/internal/snapshot"
 	"spate/internal/telco"
 )
@@ -602,6 +603,149 @@ func (c *Coordinator) Explore(ctx context.Context, q core.Query) (*Result, error
 		p.Shards = append(p.Shards, res.Profile.Shards...)
 	}
 	return res, nil
+}
+
+// AggregatePartials evaluates a pushed-down aggregate spec across the
+// cluster: every slot the window touches folds the spec over its shard's
+// rows (hedged, bounded retries) and the partials merge key-wise — partial
+// aggregate merging is associative and commutative, so the merged answer
+// matches a single engine over the union of the shards bit for bit. Unlike
+// Explore, a shard failing all its retries fails the whole call: SQL
+// answers must be complete or absent.
+func (c *Coordinator) AggregatePartials(ctx context.Context, w telco.TimeRange, table string, spec *scanspec.Spec) ([]scanspec.Partial, error) {
+	if !spec.IsAggregate() {
+		return nil, fmt.Errorf("cluster: AggregatePartials needs an aggregate spec")
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	c.met.explores.Inc()
+	req := exploreRequest{FromUnix: w.From.Unix(), ToUnix: w.To.Unix(), AggTable: table, Spec: spec}
+	resps, err := c.scatterStrict(ctx, w, req, "cluster_aggregate")
+	if err != nil {
+		return nil, err
+	}
+	var merged []scanspec.Partial
+	for _, r := range resps {
+		merged = scanspec.Merge(merged, r.Partials)
+	}
+	return merged, nil
+}
+
+// ScanRows runs the exact-row path alone across the cluster with an
+// optional pushdown spec: shards pre-filter rows on the spec's predicates
+// and exact window, decode only referenced column streams on v3 leaves,
+// and ship the surviving rows, which concatenate shard-major per table
+// (the SQL executor imposes any ordering itself). Like AggregatePartials
+// — and unlike Explore — any shard failing all retries fails the call.
+func (c *Coordinator) ScanRows(ctx context.Context, w telco.TimeRange, tables []string, spec *scanspec.Spec) (map[string]*telco.Table, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	c.met.explores.Inc()
+	req := exploreRequest{FromUnix: w.From.Unix(), ToUnix: w.To.Unix(), Rows: true, Tables: tables, Spec: spec}
+	resps, err := c.scatterStrict(ctx, w, req, "cluster_scan_rows")
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]*telco.Table)
+	for _, r := range resps {
+		for name, data := range r.Rows {
+			t, err := snapshot.DecodeTable(name, data)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: rows table %q: %w", name, err)
+			}
+			if dst, ok := out[name]; ok {
+				for _, row := range t.Rows {
+					dst.Append(row)
+				}
+			} else {
+				out[name] = t
+			}
+		}
+	}
+	return out, nil
+}
+
+// scatterStrict scatters one request to every slot the window touches
+// (all bands — the SQL paths carry no spatial predicate) and gathers the
+// responses, failing the whole call when any slot fails after retries.
+// Shard profiles fold into the caller's context profile with a per-shard
+// split, so EXPLAIN ANALYZE over the cluster catalog reports the scatter.
+func (c *Coordinator) scatterStrict(ctx context.Context, w telco.TimeRange, req exploreRequest, op string) ([]*exploreResponse, error) {
+	shards := c.smap.TimeShardsFor(w)
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("cluster: empty window")
+	}
+	bands := c.smap.BandsFor(geo.Rect{})
+	ctx, span := c.cfg.Tracer.StartSpan(ctx, op)
+	defer span.End()
+	span.SetAttr("shards", strconv.Itoa(len(shards)))
+
+	type slotResult struct {
+		resp    *exploreResponse
+		retries int
+		hedge   bool
+		latency time.Duration
+		err     error
+	}
+	results := make([]slotResult, len(shards)*len(bands))
+	var wg sync.WaitGroup
+	for si, shard := range shards {
+		for bi, band := range bands {
+			wg.Add(1)
+			go func(i, slot, shard, band int) {
+				defer wg.Done()
+				sctx, sspan := c.cfg.Tracer.StartSpan(ctx, "slot_explore")
+				sspan.SetAttr("shard", strconv.Itoa(shard))
+				sspan.SetAttr("band", strconv.Itoa(band))
+				r := &results[i]
+				t0 := time.Now()
+				r.resp, r.retries, r.hedge, r.err = c.exploreSlot(sctx, slot, req)
+				r.latency = time.Since(t0)
+				if r.err != nil {
+					sspan.SetError(r.err)
+				} else if r.resp.Trace != nil {
+					sspan.AttachRemote(*r.resp.Trace)
+				}
+				sspan.End()
+			}(si*len(bands)+bi, c.smap.Slot(shard, band), shard, band)
+		}
+	}
+	wg.Wait()
+
+	prof := core.ProfileFromContext(ctx)
+	if prof != nil && prof.TraceID == "" {
+		prof.TraceID = span.TraceID()
+	}
+	out := make([]*exploreResponse, 0, len(results))
+	for i, r := range results {
+		shard := shards[i/len(bands)]
+		if r.err != nil {
+			err := fmt.Errorf("cluster: shard %d failed after %d retries: %w", shard, r.retries, r.err)
+			span.SetError(err)
+			return nil, err
+		}
+		if r.hedge {
+			c.met.hedgeWins.Inc()
+		}
+		if prof != nil {
+			sp := core.ShardProfile{
+				Shard:     shard,
+				Band:      bands[i%len(bands)],
+				LatencyMS: float64(r.latency) / float64(time.Millisecond),
+				Retries:   r.retries,
+				HedgeWin:  r.hedge,
+			}
+			if r.resp.Profile != nil {
+				sp.Profile = *r.resp.Profile
+				prof.Add(sp.Profile)
+			}
+			prof.Shards = append(prof.Shards, sp)
+		}
+		out = append(out, r.resp)
+	}
+	return out, nil
 }
 
 // exploreSlot reads one slot with bounded retries; each attempt hedges

@@ -225,6 +225,26 @@ func (n *Node) handleExplore(w http.ResponseWriter, r *http.Request) {
 		From: time.Unix(req.FromUnix, 0).UTC(),
 		To:   time.Unix(req.ToUnix, 0).UTC(),
 	}
+	if req.AggTable != "" {
+		// Aggregate mode: fold the spec shard-side and ship partials — no
+		// summary parts, no rows.
+		partials, err := n.eng.AggregatePartials(ctx, win, req.AggTable, req.Spec)
+		if err != nil {
+			span.SetError(err)
+			rpcError(w, http.StatusInternalServerError, err)
+			return
+		}
+		resp.Partials = partials
+		resp.Profile = prof
+		if span != nil {
+			span.SetAttr("partials", strconv.Itoa(len(partials)))
+			span.End()
+			j := span.JSON()
+			resp.Trace = &j
+		}
+		writeJSON(w, resp)
+		return
+	}
 	parts, diag, err := n.eng.ExploreParts(ctx, win)
 	if err != nil {
 		span.SetError(err)
@@ -246,7 +266,23 @@ func (n *Node) handleExplore(w http.ResponseWriter, r *http.Request) {
 		if req.Boxed {
 			q.Box = geo.NewRect(req.MinX, req.MinY, req.MaxX, req.MaxY)
 		}
-		tables, err := n.eng.FetchRows(ctx, q)
+		var tables map[string]*telco.Table
+		var err error
+		if req.Spec != nil && !req.Boxed {
+			// Spec-carrying row request (the SQL scan path never sets a
+			// box): pre-filter rows and decode only referenced columns.
+			tables = make(map[string]*telco.Table)
+			err = n.eng.ScanTablesSpec(ctx, win, req.Tables, req.Spec, func(name string, t *telco.Table) error {
+				if dst, ok := tables[name]; ok {
+					dst.Rows = append(dst.Rows, t.Rows...)
+				} else {
+					tables[name] = t
+				}
+				return nil
+			})
+		} else {
+			tables, err = n.eng.FetchRows(ctx, q)
+		}
 		if err != nil {
 			span.SetError(err)
 			rpcError(w, http.StatusInternalServerError, err)

@@ -12,6 +12,7 @@ package cluster
 import (
 	"spate/internal/core"
 	"spate/internal/obs"
+	"spate/internal/scanspec"
 )
 
 type ingestRequest struct {
@@ -55,6 +56,17 @@ type exploreRequest struct {
 	MinY  float64 `json:"miny,omitempty"`
 	MaxX  float64 `json:"maxx,omitempty"`
 	MaxY  float64 `json:"maxy,omitempty"`
+	// Spec is the pushed-down column/predicate spec. With Rows it is
+	// advisory: the shard pre-filters rows on its predicates and exact
+	// window and decodes only referenced column streams (unreferenced
+	// columns travel as nulls); the caller re-evaluates its full WHERE.
+	// With AggTable it is authoritative (see below).
+	Spec *scanspec.Spec `json:"spec,omitempty"`
+	// AggTable selects aggregate mode: the shard folds Spec's aggregates
+	// over the named table's rows — applying window, RequireTS and every
+	// predicate exactly — and responds with Partials instead of summary
+	// parts or rows.
+	AggTable string `json:"agg_table,omitempty"`
 }
 
 type exploreResponse struct {
@@ -70,6 +82,9 @@ type exploreResponse struct {
 	Scanned int               `json:"scanned,omitempty"`
 	Decayed int               `json:"decayed,omitempty"`
 	Rows    map[string][]byte `json:"rowdata,omitempty"`
+	// Partials are the shard's per-group partial aggregates (aggregate
+	// mode); the coordinator merges them key-wise across shards.
+	Partials []scanspec.Partial `json:"partials,omitempty"`
 	// Profile is the shard-local cost breakdown of serving this request.
 	Profile *core.Profile `json:"profile,omitempty"`
 	// Trace is the shard-local span subtree, returned when the request

@@ -1,0 +1,240 @@
+package compress
+
+import (
+	"encoding/binary"
+	"strconv"
+	"strings"
+
+	"spate/internal/entropy"
+)
+
+// Column stream codecs for the SPSG v3 columnar chunk layout. A column
+// stream holds one attribute's escaped wire fields for every row of a
+// chunk (escaping removes raw '|' and '\n', so fields are newline-safe).
+// Three packings cover the entropy spectrum the paper's Figure 4 maps
+// out: near-zero-entropy attributes dictionary+run-length encode, monotone
+// integer attributes (timestamps, counters) delta encode, and high-entropy
+// attributes stay as raw joined text. Packed streams are concatenated and
+// the chunk's generic block codec compresses the concatenation once, so
+// the codec keeps one shared context (and its trained dictionary) across
+// all columns instead of restarting per stream.
+const (
+	// ColPlain is the generic fallback: the fields joined by '\n', left
+	// for the chunk-level block codec.
+	ColPlain byte = 0
+	// ColDict is a dictionary + run-length encoding for low-cardinality
+	// columns: uvarint entry count, length-prefixed entries, then
+	// (uvarint entry index, uvarint run length) pairs covering the rows.
+	ColDict byte = 1
+	// ColDelta is a zigzag-varint delta encoding for columns whose every
+	// field is a canonical base-10 integer (timestamps in wire form
+	// qualify): the first value, then successive differences.
+	ColDelta byte = 2
+)
+
+// maxDictEntries caps a dictionary — beyond it the column is not
+// low-cardinality and plain encoding wins anyway.
+const maxDictEntries = 1 << 12
+
+// ColumnChoice reports which encoding was selected for a column and the
+// entropy statistics that drove the choice, for observability.
+type ColumnChoice struct {
+	Tag         byte
+	EntropyBits float64
+	Distinct    int
+}
+
+// ColumnTagName names a column codec tag for metrics and EXPLAIN output.
+func ColumnTagName(tag byte) string {
+	switch tag {
+	case ColPlain:
+		return "plain"
+	case ColDict:
+		return "dict"
+	case ColDelta:
+		return "delta"
+	}
+	return "tag" + strconv.Itoa(int(tag))
+}
+
+// ChooseColumn picks the column encoding for one chunk's fields: Shannon
+// entropy of the empirical value distribution selects dictionary+RLE for
+// low-cardinality columns, canonical-integer columns delta encode, and
+// everything else stays on the generic codec.
+func ChooseColumn(values []string) ColumnChoice {
+	distinct := make(map[string]int, 64)
+	for _, v := range values {
+		distinct[v]++
+		if len(distinct) > maxDictEntries {
+			break
+		}
+	}
+	ch := ColumnChoice{Tag: ColPlain, Distinct: len(distinct)}
+	if len(distinct) <= maxDictEntries {
+		ch.EntropyBits = entropy.OfStrings(values)
+	}
+	switch {
+	case len(distinct) <= maxDictEntries && ch.EntropyBits < 6:
+		ch.Tag = ColDict
+	case canDelta(values):
+		ch.Tag = ColDelta
+	}
+	return ch
+}
+
+// canDelta reports whether every field is a canonical base-10 int64 —
+// the exactness condition for delta encoding: FormatInt(ParseInt(v)) == v
+// guarantees bit-for-bit reconstruction.
+func canDelta(values []string) bool {
+	if len(values) == 0 {
+		return false
+	}
+	for _, v := range values {
+		i, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || strconv.FormatInt(i, 10) != v {
+			return false
+		}
+	}
+	return true
+}
+
+// EncodeColumn appends the packed form of the column's fields to dst.
+// Packing is codec-free: the caller concatenates every column's packed
+// stream and block-compresses the chunk once, so dict/RLE and delta only
+// pre-shrink what the codec then squeezes with full cross-column context.
+func EncodeColumn(dst []byte, tag byte, values []string) ([]byte, error) {
+	switch tag {
+	case ColPlain:
+		return append(dst, strings.Join(values, "\n")...), nil
+	case ColDict:
+		return encodeDict(dst, values), nil
+	case ColDelta:
+		return encodeDelta(dst, values)
+	}
+	return nil, Corruptf("compress: column codec %d", tag)
+}
+
+// DecodeColumn appends the column's rows fields to dst, inverting
+// EncodeColumn over an already-inflated packed stream. It fails loudly on
+// truncated or corrupt streams and on streams that do not hold exactly
+// rows values.
+func DecodeColumn(dst []string, tag byte, data []byte, rows int) ([]string, error) {
+	switch tag {
+	case ColPlain:
+		if rows == 0 {
+			if len(data) != 0 {
+				return nil, Corruptf("compress: plain column: data for zero rows")
+			}
+			return dst, nil
+		}
+		vals := strings.Split(string(data), "\n")
+		if len(vals) != rows {
+			return nil, Corruptf("compress: plain column: %d values, want %d", len(vals), rows)
+		}
+		return append(dst, vals...), nil
+	case ColDict:
+		return decodeDict(dst, data, rows)
+	case ColDelta:
+		return decodeDelta(dst, data, rows)
+	}
+	return nil, Corruptf("compress: column codec %d", tag)
+}
+
+func encodeDict(dst []byte, values []string) []byte {
+	idx := make(map[string]uint64, 64)
+	var entries []string
+	for _, v := range values {
+		if _, ok := idx[v]; !ok {
+			idx[v] = uint64(len(entries))
+			entries = append(entries, v)
+		}
+	}
+	var tmp [binary.MaxVarintLen64]byte
+	put := func(u uint64) {
+		dst = append(dst, tmp[:binary.PutUvarint(tmp[:], u)]...)
+	}
+	put(uint64(len(entries)))
+	for _, e := range entries {
+		put(uint64(len(e)))
+		dst = append(dst, e...)
+	}
+	for i := 0; i < len(values); {
+		j := i + 1
+		for j < len(values) && values[j] == values[i] {
+			j++
+		}
+		put(idx[values[i]])
+		put(uint64(j - i))
+		i = j
+	}
+	return dst
+}
+
+func decodeDict(dst []string, data []byte, rows int) ([]string, error) {
+	n, k := binary.Uvarint(data)
+	if k <= 0 || n > uint64(len(data)) {
+		return nil, Corruptf("compress: dict column: entry count")
+	}
+	data = data[k:]
+	entries := make([]string, n)
+	for i := range entries {
+		l, k := binary.Uvarint(data)
+		if k <= 0 || l > uint64(len(data)-k) {
+			return nil, Corruptf("compress: dict column: entry %d", i)
+		}
+		entries[i] = string(data[k : k+int(l)])
+		data = data[k+int(l):]
+	}
+	got := 0
+	for got < rows {
+		idx, k := binary.Uvarint(data)
+		if k <= 0 || idx >= n {
+			return nil, Corruptf("compress: dict column: run index")
+		}
+		data = data[k:]
+		run, k := binary.Uvarint(data)
+		if k <= 0 || run == 0 || run > uint64(rows-got) {
+			return nil, Corruptf("compress: dict column: run length")
+		}
+		data = data[k:]
+		for j := uint64(0); j < run; j++ {
+			dst = append(dst, entries[idx])
+		}
+		got += int(run)
+	}
+	if len(data) != 0 {
+		return nil, Corruptf("compress: dict column: %d trailing bytes", len(data))
+	}
+	return dst, nil
+}
+
+func encodeDelta(dst []byte, values []string) ([]byte, error) {
+	var tmp [binary.MaxVarintLen64]byte
+	prev := int64(0)
+	for _, v := range values {
+		x, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return nil, Corruptf("compress: delta column: non-integer %q", v)
+		}
+		dst = append(dst, tmp[:binary.PutVarint(tmp[:], x-prev)]...)
+		prev = x
+	}
+	return dst, nil
+}
+
+func decodeDelta(dst []string, data []byte, rows int) ([]string, error) {
+	prev := int64(0)
+	for i := 0; i < rows; i++ {
+		d, k := binary.Varint(data)
+		if k <= 0 {
+			return nil, Corruptf("compress: delta column: truncated at row %d", i)
+		}
+		data = data[k:]
+		prev += d
+		dst = append(dst, strconv.FormatInt(prev, 10))
+	}
+	if len(data) != 0 {
+		return nil, Corruptf("compress: delta column: %d trailing bytes", len(data))
+	}
+	return dst, nil
+}

@@ -1,0 +1,510 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"spate/internal/compress"
+	"spate/internal/scanspec"
+	"spate/internal/segment"
+	"spate/internal/snapshot"
+	"spate/internal/telco"
+)
+
+// ScanSpec is the pushdown contract the SQL layer compiles WHERE clauses
+// and simple aggregates into; see package scanspec for the semantics.
+type ScanSpec = scanspec.Spec
+
+// AggregatePartials evaluates a pushed-down aggregate spec over the
+// window's stored rows and the unsealed memtable, returning per-group
+// partial aggregates sorted by group key. It scans exactly the leaves the
+// row path (ScanTables) would and applies the same row-level filters, so
+// finalizing the partials reproduces row-materialized execution bit for
+// bit — but on v3 leaves only the spec's referenced column streams
+// decode, zone-decidable chunks are answered from metadata alone, and no
+// row is ever materialized.
+func (e *Engine) AggregatePartials(ctx context.Context, w telco.TimeRange, table string, spec *ScanSpec) ([]scanspec.Partial, error) {
+	if !spec.IsAggregate() {
+		return nil, fmt.Errorf("core: AggregatePartials needs an aggregate spec")
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	schema := telco.SchemaByName(table)
+	if schema == nil {
+		return nil, fmt.Errorf("core: unknown schema %q", table)
+	}
+	acc, err := newAggAcc(spec, schema)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.RLock()
+	leaves := e.rowLeaves(w)
+	memt, memAfter := e.memAfterLocked()
+	var memTabs []memTab
+	if memt != nil {
+		memTabs = collectMemTabs(memt, w, []string{table}, memAfter)
+	}
+	e.mu.RUnlock()
+	prof := ProfileFromContext(ctx)
+	c := e.codec()
+	for _, l := range leaves {
+		if l.decayed || l.refs == nil {
+			if prof != nil && l.decayed {
+				prof.LeavesDecayed++
+			}
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if prof != nil {
+			prof.LeavesScanned++
+		}
+		ref, ok := l.refs[table]
+		if !ok {
+			continue
+		}
+		if err := e.aggLeafTable(table, ref, c, w, acc, prof); err != nil {
+			return nil, err
+		}
+	}
+	for _, mt := range memTabs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if prof != nil {
+			prof.MemRows += mt.tab.Len()
+		}
+		acc.foldTable(mt.tab, w)
+	}
+	parts := acc.partials()
+	if prof != nil {
+		prof.AggPartials += len(parts)
+	}
+	return parts, nil
+}
+
+// aggAcc is the schema-resolved fold state of one pushed-down aggregate:
+// which schema positions the timestamp, predicates, aggregate arguments
+// and group key live at, which v3 column streams a per-row fold must
+// decode, and the per-group partials accumulated so far.
+type aggAcc struct {
+	spec   *ScanSpec
+	schema *telco.Schema
+
+	tsIdx   int
+	grpIdx  int   // -1 when ungrouped
+	predIdx []int // schema index per predicate
+	aggIdx  []int // schema index per aggregate argument, -1 for COUNT(*)
+
+	want   []int // column streams a per-row fold decodes, without the ts
+	wantTS []int // same, with the ts column for window filtering
+
+	groups map[string]*scanspec.Partial
+}
+
+// newAggAcc resolves the spec against the table schema. Unlike the row
+// path — where the spec is a prefilter and the SQL engine re-evaluates —
+// the aggregate path is authoritative, so an unresolvable column is an
+// error rather than a skipped predicate.
+func newAggAcc(spec *ScanSpec, schema *telco.Schema) (*aggAcc, error) {
+	a := &aggAcc{
+		spec:   spec,
+		schema: schema,
+		tsIdx:  schema.FieldIndex(telco.AttrTS),
+		grpIdx: -1,
+		groups: make(map[string]*scanspec.Partial),
+	}
+	need := make(map[int]bool)
+	resolve := func(col string) (int, error) {
+		i := schema.FieldIndex(col)
+		if i < 0 {
+			return -1, fmt.Errorf("core: aggregate pushdown: no column %q in %s", col, schema.Name)
+		}
+		need[i] = true
+		return i, nil
+	}
+	a.predIdx = make([]int, len(spec.Preds))
+	for i, p := range spec.Preds {
+		ci, err := resolve(p.Col)
+		if err != nil {
+			return nil, err
+		}
+		a.predIdx[i] = ci
+	}
+	a.aggIdx = make([]int, len(spec.Aggs))
+	for i, g := range spec.Aggs {
+		if g.Col == "" {
+			a.aggIdx[i] = -1
+			continue
+		}
+		ci, err := resolve(g.Col)
+		if err != nil {
+			return nil, err
+		}
+		if g.Fn == "SUM" && schema.Fields[ci].Kind != telco.KindInt {
+			// Integer sums are exact under any association order;
+			// floating-point sums are not, so they never push down.
+			return nil, fmt.Errorf("core: aggregate pushdown: SUM over non-integer column %q", g.Col)
+		}
+		a.aggIdx[i] = ci
+	}
+	if spec.GroupBy != "" {
+		ci, err := resolve(spec.GroupBy)
+		if err != nil {
+			return nil, err
+		}
+		a.grpIdx = ci
+	}
+	a.want = make([]int, 0, len(need))
+	for i := range need {
+		a.want = append(a.want, i)
+	}
+	sort.Ints(a.want)
+	a.wantTS = a.want
+	if a.tsIdx >= 0 && !need[a.tsIdx] {
+		a.wantTS = append(append([]int(nil), a.want...), a.tsIdx)
+		sort.Ints(a.wantTS)
+	}
+	return a, nil
+}
+
+// aggLeafTable folds one stored leaf table into the accumulator. v3
+// chunks prune through window and per-column zone maps, answer from
+// metadata when every row provably passes and the aggregates are
+// zone-derivable, and otherwise decode only the needed column streams;
+// v1/v2 and legacy blob leaves decode rows in full and fold row-wise.
+func (e *Engine) aggLeafTable(name, ref string, c compress.Codec, w telco.TimeRange, acc *aggAcc, prof *Profile) error {
+	scanned, pruned := 0, 0
+	defer func() {
+		e.met.chunksScanned.Add(int64(scanned))
+		e.met.chunksPruned.Add(int64(pruned))
+		if prof != nil {
+			prof.ChunksScanned += scanned
+		}
+	}()
+	f, err := e.fs.Open(ref)
+	if err != nil {
+		return fmt.Errorf("core: open %s: %w", ref, err)
+	}
+	if !segment.IsSegment(f, f.Size()) {
+		text, err := e.blobText(ref, c, prof)
+		if err != nil {
+			return err
+		}
+		tab, err := snapshot.DecodeTable(name, text)
+		if err != nil {
+			return fmt.Errorf("core: decode %s: %w", ref, err)
+		}
+		scanned = 1
+		acc.foldTable(tab, w)
+		return nil
+	}
+	r, err := segment.Open(f, f.Size(), c)
+	if err != nil {
+		return fmt.Errorf("core: open segment %s: %w", ref, err)
+	}
+	pr := leafPrune{window: &w}
+	for i, ch := range r.Chunks() {
+		if pr.skip(ch) != pruneNone || acc.exactWindowSkip(ch) {
+			pruned++
+			if prof != nil {
+				prof.ChunksPrunedZone++
+			}
+			continue
+		}
+		if !r.Columnar() {
+			text, err := e.chunkText(r, ref, i, ch, nil, prof)
+			if err != nil {
+				return err
+			}
+			tab, err := snapshot.DecodeTable(name, text)
+			if err != nil {
+				return fmt.Errorf("core: decode %s: %w", ref, err)
+			}
+			scanned++
+			acc.foldTable(tab, w)
+			continue
+		}
+		if acc.zonePrune(ch) {
+			pruned++
+			if prof != nil {
+				prof.ChunksPrunedPred++
+			}
+			continue
+		}
+		allIn := acc.chunkAllInWindow(ch, w)
+		if allIn && acc.chunkAllMatch(ch) && acc.metaOK(ch) {
+			acc.addMeta(ch)
+			scanned++
+			if prof != nil {
+				prof.ChunksAggMeta++
+				prof.ColumnsSkipped += len(ch.Cols)
+			}
+			continue
+		}
+		want := acc.want
+		if !allIn {
+			want = acc.wantTS
+		}
+		t0 := time.Now()
+		cols, inflated, err := r.ChunkColumns(i, want)
+		if err != nil {
+			return fmt.Errorf("core: read %s: %w", ref, err)
+		}
+		e.met.leafBytes.Add(inflated)
+		if prof != nil {
+			prof.DFSReads++
+			prof.InflatedBytes += inflated
+			prof.ReadNS += time.Since(t0).Nanoseconds()
+			prof.ColumnsDecoded += len(want)
+			prof.ColumnsSkipped += len(ch.Cols) - len(want)
+		}
+		scanned++
+		if err := acc.foldColumns(cols, want, int(ch.Rows), !allIn, w); err != nil {
+			return fmt.Errorf("core: decode %s: %w", ref, err)
+		}
+	}
+	return nil
+}
+
+// exactWindowSkip reports whether the spec's exact row window (and its
+// null-timestamp rule) proves no row of the chunk passes the row-level
+// time filter.
+func (a *aggAcc) exactWindowSkip(ch segment.Chunk) bool {
+	if ch.HasTimeGaps() {
+		if !a.spec.RequireTS {
+			return false // null-ts rows pass unconditionally
+		}
+		if ch.MinTS > ch.MaxTS {
+			return true // only null-ts rows, all dropped
+		}
+	} else if ch.Rows == 0 {
+		return false
+	}
+	return !a.spec.Window.OverlapsRange(ch.MinTS, ch.MaxTS)
+}
+
+// chunkAllInWindow reports whether every row of the chunk provably passes
+// the row-level time filter (scan window, exact window and the
+// null-timestamp rule), so per-row timestamp checks can be skipped.
+func (a *aggAcc) chunkAllInWindow(ch segment.Chunk, w telco.TimeRange) bool {
+	if ch.HasTimeGaps() {
+		if a.spec.RequireTS {
+			return false
+		}
+		if ch.MinTS > ch.MaxTS {
+			return true // no timestamped rows at all
+		}
+	} else if ch.Rows == 0 {
+		return true
+	}
+	if !w.Contains(time.Unix(0, ch.MinTS)) || !w.Contains(time.Unix(0, ch.MaxTS)) {
+		return false
+	}
+	return a.spec.Window.ContainsRange(ch.MinTS, ch.MaxTS)
+}
+
+// zonePrune reports whether a per-column integer zone map proves one of
+// the predicates unsatisfiable for every row of the chunk.
+func (a *aggAcc) zonePrune(ch segment.Chunk) bool {
+	if len(ch.Cols) == 0 {
+		return false
+	}
+	for pi, p := range a.spec.Preds {
+		ci := a.predIdx[pi]
+		if ci >= len(ch.Cols) || a.schema.Fields[ci].Kind != telco.KindInt {
+			continue
+		}
+		if cm := ch.Cols[ci]; cm.HasZone && p.ZonePrune(cm.Min, cm.Max) {
+			return true
+		}
+	}
+	return false
+}
+
+// chunkAllMatch reports whether the zone maps prove every row satisfies
+// every predicate (vacuously true without predicates).
+func (a *aggAcc) chunkAllMatch(ch segment.Chunk) bool {
+	for pi, p := range a.spec.Preds {
+		ci := a.predIdx[pi]
+		if ci >= len(ch.Cols) || a.schema.Fields[ci].Kind != telco.KindInt {
+			return false
+		}
+		cm := ch.Cols[ci]
+		if !cm.HasZone || !p.ZoneAllMatch(cm.Min, cm.Max) {
+			return false
+		}
+	}
+	return true
+}
+
+// metaOK reports whether the chunk's metadata alone answers every
+// aggregate (see Spec.CanUseMeta).
+func (a *aggAcc) metaOK(ch segment.Chunk) bool {
+	return a.spec.CanUseMeta(func(col string) bool {
+		ci := a.schema.FieldIndex(col)
+		if ci < 0 || ci >= len(ch.Cols) || !ch.Cols[ci].HasZone {
+			return false
+		}
+		switch a.schema.Fields[ci].Kind {
+		case telco.KindInt, telco.KindFloat, telco.KindTime:
+			// Integer zone bounds lift exactly into these kinds.
+			return true
+		}
+		return false
+	})
+}
+
+// addMeta folds a whole chunk from its metadata.
+func (a *aggAcc) addMeta(ch segment.Chunk) {
+	n := len(a.spec.Aggs)
+	mins, maxs := make([]int64, n), make([]int64, n)
+	kinds := make([]telco.Kind, n)
+	for i, ci := range a.aggIdx {
+		if ci < 0 {
+			continue
+		}
+		mins[i], maxs[i] = ch.Cols[ci].Min, ch.Cols[ci].Max
+		kinds[i] = a.schema.Fields[ci].Kind
+	}
+	a.spec.AddMeta(a.group(telco.Null), ch.Rows, mins, maxs, kinds)
+}
+
+// foldColumns folds decoded v3 column streams row by row. want maps the
+// cols slices back to schema positions; checkTS applies the row-level
+// time filter (skipped when chunkAllInWindow proved it).
+func (a *aggAcc) foldColumns(cols [][]string, want []int, rows int, checkTS bool, w telco.TimeRange) error {
+	pos := make([]int, a.schema.NumFields())
+	for i := range pos {
+		pos[i] = -1
+	}
+	for wi, ci := range want {
+		pos[ci] = wi
+	}
+	field := func(ci, j int) string {
+		if ci < 0 || pos[ci] < 0 {
+			return ""
+		}
+		return cols[pos[ci]][j]
+	}
+	parse := func(ci, j int) (telco.Value, error) {
+		return telco.ParseField(a.schema.Fields[ci].Kind, field(ci, j))
+	}
+	vals := make([]telco.Value, len(a.spec.Aggs))
+	for j := 0; j < rows; j++ {
+		if checkTS {
+			if fTS := field(a.tsIdx, j); fTS == "" {
+				if a.spec.RequireTS {
+					continue
+				}
+			} else {
+				v, err := telco.ParseField(telco.KindTime, fTS)
+				if err != nil {
+					return err
+				}
+				t := v.Time()
+				if !w.Contains(t) || !a.spec.Window.Contains(t.UnixNano()) {
+					continue
+				}
+			}
+		}
+		ok := true
+		for pi, p := range a.spec.Preds {
+			v, err := parse(a.predIdx[pi], j)
+			if err != nil {
+				return err
+			}
+			if !p.Eval(v) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		g := telco.Null
+		if a.grpIdx >= 0 {
+			v, err := parse(a.grpIdx, j)
+			if err != nil {
+				return err
+			}
+			g = v
+		}
+		for i, ci := range a.aggIdx {
+			if ci < 0 {
+				vals[i] = telco.Null
+				continue
+			}
+			v, err := parse(ci, j)
+			if err != nil {
+				return err
+			}
+			vals[i] = v
+		}
+		a.spec.AddRow(a.group(g), vals)
+	}
+	return nil
+}
+
+// foldTable folds fully materialized rows (v1/v2 chunks, legacy blobs and
+// memtable tables) with the same row-level filters as foldColumns.
+func (a *aggAcc) foldTable(tab *telco.Table, w telco.TimeRange) {
+	vals := make([]telco.Value, len(a.spec.Aggs))
+	for _, r := range tab.Rows {
+		if a.tsIdx >= 0 && !r[a.tsIdx].IsNull() {
+			t := r[a.tsIdx].Time()
+			if !w.Contains(t) || !a.spec.Window.Contains(t.UnixNano()) {
+				continue
+			}
+		} else if a.spec.RequireTS {
+			continue
+		}
+		ok := true
+		for pi, p := range a.spec.Preds {
+			if !p.Eval(r[a.predIdx[pi]]) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		g := telco.Null
+		if a.grpIdx >= 0 {
+			g = r[a.grpIdx]
+		}
+		for i, ci := range a.aggIdx {
+			if ci < 0 {
+				vals[i] = telco.Null
+				continue
+			}
+			vals[i] = r[ci]
+		}
+		a.spec.AddRow(a.group(g), vals)
+	}
+}
+
+// group returns (creating on first use) the partial for one group value.
+func (a *aggAcc) group(g telco.Value) *scanspec.Partial {
+	key := g.Format()
+	p := a.groups[key]
+	if p == nil {
+		p = a.spec.NewPartial(g)
+		a.groups[key] = p
+	}
+	return p
+}
+
+// partials returns the accumulated groups sorted by group key.
+func (a *aggAcc) partials() []scanspec.Partial {
+	out := make([]scanspec.Partial, 0, len(a.groups))
+	for _, p := range a.groups {
+		out = append(out, *p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}

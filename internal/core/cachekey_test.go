@@ -1,0 +1,161 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"spate/internal/segment"
+	"spate/internal/telco"
+)
+
+// TestChunkCacheKeyPinsVersionAndColumns is the regression guard for the
+// cache-key contract: the same leaf chunk decoded under a different
+// segment version or a different projected column subset must never land
+// on the same key, and every key keeps the "<ref>#" prefix that decay and
+// compaction invalidate by.
+func TestChunkCacheKeyPinsVersionAndColumns(t *testing.T) {
+	keys := []string{
+		chunkCacheKey("leaf/42", 2, 0, ""),
+		chunkCacheKey("leaf/42", 3, 0, ""),
+		chunkCacheKey("leaf/42", 3, 0, "0,2,5"),
+		chunkCacheKey("leaf/42", 3, 0, "0,2,6"),
+		chunkCacheKey("leaf/42", 3, 1, "0,2,5"),
+		chunkCacheKey("leaf/43", 3, 0, ""),
+	}
+	seen := make(map[string]string)
+	for _, k := range keys {
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("key %q aliases %q", k, prev)
+		}
+		seen[k] = k
+	}
+	for _, k := range keys[:5] {
+		if !strings.HasPrefix(k, "leaf/42#") {
+			t.Fatalf("key %q escapes the %q invalidation prefix", k, "leaf/42#")
+		}
+	}
+	if strings.HasPrefix(keys[5], "leaf/42#") {
+		t.Fatalf("key %q of another leaf shares the prefix", keys[5])
+	}
+}
+
+// TestCompactUpgradeKeepsWarmCacheCoherent upgrades a v2 row-major store
+// to v3 under a warm chunk cache and never clears it: the version pinned
+// in the cache key (plus per-ref prefix invalidation) must keep the old
+// decoded text from answering for the rewritten leaves, so every query
+// stays bit-for-bit identical across the upgrade.
+func TestCompactUpgradeKeepsWarmCacheCoherent(t *testing.T) {
+	r := newRig(t, Options{SegmentVersion: segment.RowVersion})
+	r.ingestEpochs(t, 4)
+
+	// Recovery under v3 options: the store still holds v2 leaves, but
+	// compaction on this engine will rewrite them columnar.
+	e := reopen(t, r, Options{})
+	w := telco.NewTimeRange(r.cfg.Start, r.cfg.Start.Add(2*time.Hour))
+	wantAgg, wantExact := exploreAll(t, e, w) // warms the cache with v2 chunk text
+
+	rep, err := e.Compact(context.Background(), CompactOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SegmentsUpgraded == 0 || rep.LeavesRewritten == 0 {
+		t.Fatalf("report = %+v, want v2 leaves upgraded", rep)
+	}
+
+	// Deliberately no ClearCache: stale entries must be unreachable.
+	gotAgg, gotExact := exploreAll(t, e, w)
+	if gotAgg.Summary.Rows != wantAgg.Summary.Rows {
+		t.Errorf("aggregate rows = %d, want %d", gotAgg.Summary.Rows, wantAgg.Summary.Rows)
+	}
+	sameRows(t, wantExact, gotExact)
+
+	// The sweep converged: a second pass finds every leaf already v3.
+	rep2, err := e.Compact(context.Background(), CompactOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.SegmentsUpgraded != 0 {
+		t.Errorf("second sweep upgraded %d segments", rep2.SegmentsUpgraded)
+	}
+}
+
+// TestSpecScanSubsetsDoNotAlias runs two projected scans with different
+// column subsets back-to-back on a warm cache. The subset signature in
+// the cache key must keep each projection's reconstructed text separate:
+// a scan may never surface another projection's columns, or NULLs where
+// its own projection decoded values.
+func TestSpecScanSubsetsDoNotAlias(t *testing.T) {
+	r := newRig(t, Options{})
+	r.ingestEpochs(t, 3)
+	w := telco.NewTimeRange(r.cfg.Start, r.cfg.Start.Add(90*time.Minute))
+	schema := telco.SchemaByName("CDR")
+	callerIdx := schema.FieldIndex(telco.AttrCaller)
+	durIdx := schema.FieldIndex(telco.AttrDuration)
+
+	// Ground truth from a full-row scan on a cold cache.
+	scan := func(spec *ScanSpec) (callers, durations []string) {
+		err := r.e.ScanTablesSpec(context.Background(), w, []string{"CDR"}, spec, func(_ string, tab *telco.Table) error {
+			for _, row := range tab.Rows {
+				callers = append(callers, row[callerIdx].Format())
+				durations = append(durations, row[durIdx].Format())
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return callers, durations
+	}
+	wantCallers, wantDurations := scan(nil)
+	if len(wantCallers) == 0 {
+		t.Fatal("full scan returned no rows")
+	}
+
+	sameStrings := func(what string, got, want []string) {
+		t.Helper()
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d rows, want %d", what, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s row %d = %q, want %q", what, i, got[i], want[i])
+			}
+		}
+	}
+	allNull := func(what string, vals []string) {
+		t.Helper()
+		for i, v := range vals {
+			if v != "" { // null renders as the empty wire string
+				t.Fatalf("%s row %d = %q, want NULL for an unprojected column", what, i, v)
+			}
+		}
+	}
+
+	// Projection A decodes caller (duration must surface as NULL), then
+	// projection B decodes duration on the now-warm cache. If the subset
+	// signature were missing from the key, B would be served A's text.
+	specA := &ScanSpec{Columns: []string{telco.AttrCaller}}
+	specB := &ScanSpec{Columns: []string{telco.AttrDuration}}
+	for pass := 0; pass < 2; pass++ { // second pass runs fully cached
+		gotCallers, gotDurations := scan(specA)
+		sameStrings("projection A caller", gotCallers, wantCallers)
+		allNull("projection A duration", gotDurations)
+
+		gotCallers, gotDurations = scan(specB)
+		allNull("projection B caller", gotCallers)
+		sameStrings("projection B duration", gotDurations, wantDurations)
+	}
+
+	// The second identical scan must have been answered from the cache —
+	// distinct keys, not a disabled cache, is what kept A and B separate.
+	ctx, prof := ContextWithProfile(context.Background())
+	err := r.e.ScanTablesSpec(ctx, w, []string{"CDR"}, specB, func(string, *telco.Table) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.CacheHits == 0 || prof.CacheMisses != 0 {
+		t.Fatalf("warm projected scan: hits=%d misses=%d, want all hits", prof.CacheHits, prof.CacheMisses)
+	}
+}

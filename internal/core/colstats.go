@@ -1,0 +1,101 @@
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"spate/internal/segment"
+)
+
+// ColumnCodecStat is one (table, column) row of the ingest-side codec
+// selection feed: how many chunks each column codec won and the mean
+// per-chunk entropy that drove the choices. Served through /api/stats so
+// the UI can show which attributes dictionary-, delta- or plain-encode.
+type ColumnCodecStat struct {
+	Table       string  `json:"table"`
+	Column      string  `json:"column"`
+	PlainChunks int     `json:"plain_chunks"`
+	DictChunks  int     `json:"dict_chunks"`
+	DeltaChunks int     `json:"delta_chunks"`
+	EntropyBits float64 `json:"entropy_bits"`
+}
+
+// colStatsBook accumulates per-(table, column) codec-selection stats
+// across ingests. Encode workers report per-segment stats; the book keeps
+// chunk counts and an entropy mean weighted by segment count.
+type colStatsBook struct {
+	mu     sync.Mutex
+	tables map[string]*tableColStats
+}
+
+type tableColStats struct {
+	names      []string
+	plain      []int
+	dict       []int
+	delta      []int
+	entropySum []float64
+	segments   int
+}
+
+func (b *colStatsBook) add(table string, names []string, stats []segment.ColumnStat) {
+	if len(names) == 0 || len(names) != len(stats) {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tables == nil {
+		b.tables = make(map[string]*tableColStats)
+	}
+	ts := b.tables[table]
+	if ts == nil || len(ts.names) != len(names) {
+		ts = &tableColStats{
+			names:      append([]string(nil), names...),
+			plain:      make([]int, len(names)),
+			dict:       make([]int, len(names)),
+			delta:      make([]int, len(names)),
+			entropySum: make([]float64, len(names)),
+		}
+		b.tables[table] = ts
+	}
+	ts.segments++
+	for i, st := range stats {
+		ts.plain[i] += st.Plain
+		ts.dict[i] += st.Dict
+		ts.delta[i] += st.Delta
+		ts.entropySum[i] += st.EntropyBits
+	}
+}
+
+func (b *colStatsBook) snapshot() []ColumnCodecStat {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out []ColumnCodecStat
+	tables := make([]string, 0, len(b.tables))
+	for t := range b.tables {
+		tables = append(tables, t)
+	}
+	sort.Strings(tables)
+	for _, t := range tables {
+		ts := b.tables[t]
+		for i, name := range ts.names {
+			st := ColumnCodecStat{
+				Table:       t,
+				Column:      name,
+				PlainChunks: ts.plain[i],
+				DictChunks:  ts.dict[i],
+				DeltaChunks: ts.delta[i],
+			}
+			if ts.segments > 0 {
+				st.EntropyBits = ts.entropySum[i] / float64(ts.segments)
+			}
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// ColumnCodecStats reports the per-column codec choices and entropy
+// observed by v3 ingest so far, in (table, schema-position) order.
+func (e *Engine) ColumnCodecStats() []ColumnCodecStat {
+	return e.colStats.snapshot()
+}

@@ -46,12 +46,13 @@ const DefaultCompactEffort = 3
 // CompactReport describes one compaction sweep. Byte counts cover
 // rewritten leaves only.
 type CompactReport struct {
-	LeavesExamined  int
-	LeavesRewritten int
-	BlobsConverted  int   // legacy whole-blob tables converted to segments
-	ChunksMerged    int   // net chunk-count reduction across merged segments
-	BytesBefore     int64 // compressed bytes of rewritten tables, before
-	BytesAfter      int64
+	LeavesExamined   int
+	LeavesRewritten  int
+	BlobsConverted   int   // legacy whole-blob tables converted to segments
+	SegmentsUpgraded int   // row-major (v1/v2) segments upgraded to columnar v3
+	ChunksMerged     int   // net chunk-count reduction across merged segments
+	BytesBefore      int64 // compressed bytes of rewritten tables, before
+	BytesAfter       int64
 }
 
 // compactCandidate snapshots one leaf under the read lock.
@@ -115,14 +116,15 @@ func (e *Engine) Compact(ctx context.Context, opts CompactOptions) (CompactRepor
 
 // rewrittenTable is one table's pending rewrite within a leaf.
 type rewrittenTable struct {
-	name     string
-	oldRef   string
-	newRef   string
-	oldSize  int64
-	data     []byte
-	wasBlob  bool
-	oldCount int // chunk count before (blobs count 1)
-	newCount int
+	name      string
+	oldRef    string
+	newRef    string
+	oldSize   int64
+	data      []byte
+	wasBlob   bool
+	wasRowSeg bool // row-major segment upgraded to columnar v3
+	oldCount  int  // chunk count before (blobs count 1)
+	newCount  int
 }
 
 func (e *Engine) compactLeaf(cand compactCandidate, chunkSize, effort int, rep *CompactReport) error {
@@ -204,6 +206,9 @@ func (e *Engine) compactLeaf(cand compactCandidate, chunkSize, effort int, rep *
 		if rw.wasBlob {
 			rep.BlobsConverted++
 		}
+		if rw.wasRowSeg {
+			rep.SegmentsUpgraded++
+		}
 		if d := rw.oldCount - rw.newCount; d > 0 {
 			rep.ChunksMerged += d
 		}
@@ -224,6 +229,7 @@ func (e *Engine) planRewrite(name, ref string, chunkSize, effort int) (*rewritte
 	// Rewrites decompress through the engine codec but recompress at
 	// background effort: same stream format, deeper match search.
 	wcodec := compress.WithEffort(codec, effort)
+	toV3 := e.opts.SegmentVersion != segment.RowVersion
 	if !segment.IsSegment(f, f.Size()) {
 		// Legacy whole-blob leaf → chunked segment. The stored wire text
 		// re-renders row by row in stored order (no re-sort: equivalence
@@ -240,33 +246,39 @@ func (e *Engine) planRewrite(name, ref string, chunkSize, effort int) (*rewritte
 		if err != nil {
 			return nil, fmt.Errorf("core: compact decode %s: %w", ref, err)
 		}
-		tsIdx := tab.Schema.FieldIndex(telco.AttrTS)
-		cellIdx := tab.Schema.FieldIndex(telco.AttrCellID)
-		w := segment.NewWriter(wcodec, chunkSize)
-		start := 0
-		for _, r := range tab.Rows {
-			end := start
-			for end < len(text) && text[end] != '\n' {
-				end++
-			}
-			if end < len(text) {
-				end++ // keep the newline
-			}
-			var m segment.RowMeta
-			if tsIdx >= 0 && !r[tsIdx].IsNull() {
-				m.TS, m.HasTS = r[tsIdx].Time().UnixNano(), true
-			}
-			if cellIdx >= 0 {
-				m.Cell, m.HasCell = r[cellIdx].Int64(), true
-			}
-			if err := w.AppendRow(text[start:end], m); err != nil {
+		var data []byte
+		var st segment.Stats
+		if toV3 {
+			w := segment.NewColumnWriter(wcodec, chunkSize, tab.Schema.NumFields())
+			if err := appendColumnarRows(w, tab, text); err != nil {
 				return nil, fmt.Errorf("core: compact rewrite %s: %w", ref, err)
 			}
-			start = end
-		}
-		data, st, err := w.Finish()
-		if err != nil {
-			return nil, fmt.Errorf("core: compact rewrite %s: %w", ref, err)
+			data, st, err = w.Finish()
+			if err != nil {
+				return nil, fmt.Errorf("core: compact rewrite %s: %w", ref, err)
+			}
+		} else {
+			w := segment.NewWriter(wcodec, chunkSize)
+			tsIdx := tab.Schema.FieldIndex(telco.AttrTS)
+			cellIdx := tab.Schema.FieldIndex(telco.AttrCellID)
+			start := 0
+			for _, r := range tab.Rows {
+				end := start
+				for end < len(text) && text[end] != '\n' {
+					end++
+				}
+				if end < len(text) {
+					end++ // keep the newline
+				}
+				if err := w.AppendRow(text[start:end], rowMetaOf(r, tsIdx, cellIdx)); err != nil {
+					return nil, fmt.Errorf("core: compact rewrite %s: %w", ref, err)
+				}
+				start = end
+			}
+			data, st, err = w.Finish()
+			if err != nil {
+				return nil, fmt.Errorf("core: compact rewrite %s: %w", ref, err)
+			}
 		}
 		return &rewrittenTable{
 			name: name, oldRef: ref, oldSize: f.Size(), data: data,
@@ -287,25 +299,92 @@ func (e *Engine) planRewrite(name, ref string, chunkSize, effort int) (*rewritte
 	if ideal < 1 {
 		ideal = 1
 	}
-	if len(chunks) <= ideal {
+	// A v3-targeting sweep upgrades every row-major segment regardless of
+	// fragmentation, so old leaves gain per-column streams and zone maps.
+	upgrade := toV3 && !r.Columnar()
+	if !upgrade && len(chunks) <= ideal {
 		return nil, nil // already at (or below) the target chunk count
 	}
-	w := segment.NewWriter(wcodec, chunkSize)
-	for i, ch := range chunks {
+	if !toV3 {
+		w := segment.NewWriter(wcodec, chunkSize)
+		for i, ch := range chunks {
+			text, err := r.ChunkData(i)
+			if err != nil {
+				return nil, fmt.Errorf("core: compact read %s: %w", ref, err)
+			}
+			if err := w.AppendChunk(text, ch); err != nil {
+				return nil, fmt.Errorf("core: compact merge %s: %w", ref, err)
+			}
+		}
+		data, st, err := w.Finish()
+		if err != nil {
+			return nil, fmt.Errorf("core: compact merge %s: %w", ref, err)
+		}
+		return &rewrittenTable{
+			name: name, oldRef: ref, oldSize: f.Size(), data: data,
+			oldCount: len(chunks), newCount: st.Chunks,
+		}, nil
+	}
+	schema := telco.SchemaByName(name)
+	if schema == nil {
+		return nil, fmt.Errorf("core: compact %s: unknown schema %q", ref, name)
+	}
+	w := segment.NewColumnWriter(wcodec, chunkSize, schema.NumFields())
+	for i := range chunks {
 		text, err := r.ChunkData(i)
 		if err != nil {
 			return nil, fmt.Errorf("core: compact read %s: %w", ref, err)
 		}
-		if err := w.AppendChunk(text, ch); err != nil {
-			return nil, fmt.Errorf("core: compact merge %s: %w", ref, err)
+		tab, err := snapshot.DecodeTable(name, text)
+		if err != nil {
+			return nil, fmt.Errorf("core: compact decode %s: %w", ref, err)
+		}
+		if err := appendColumnarRows(w, tab, text); err != nil {
+			return nil, fmt.Errorf("core: compact rewrite %s: %w", ref, err)
 		}
 	}
 	data, st, err := w.Finish()
 	if err != nil {
-		return nil, fmt.Errorf("core: compact merge %s: %w", ref, err)
+		return nil, fmt.Errorf("core: compact rewrite %s: %w", ref, err)
 	}
 	return &rewrittenTable{
 		name: name, oldRef: ref, oldSize: f.Size(), data: data,
-		oldCount: len(chunks), newCount: st.Chunks,
+		wasRowSeg: upgrade, oldCount: len(chunks), newCount: st.Chunks,
 	}, nil
+}
+
+// rowMetaOf extracts one row's chunk pruning metadata.
+func rowMetaOf(r telco.Record, tsIdx, cellIdx int) segment.RowMeta {
+	var m segment.RowMeta
+	if tsIdx >= 0 && !r[tsIdx].IsNull() {
+		m.TS, m.HasTS = r[tsIdx].Time().UnixNano(), true
+	}
+	if cellIdx >= 0 {
+		m.Cell, m.HasCell = r[cellIdx].Int64(), true
+	}
+	return m
+}
+
+// appendColumnarRows re-renders stored wire text into a v3 writer row by
+// row: fields split straight off the stored lines (byte-exact — decoded
+// values never re-render), pruning metadata from the decoded rows.
+func appendColumnarRows(w *segment.ColumnWriter, tab *telco.Table, text []byte) error {
+	tsIdx := tab.Schema.FieldIndex(telco.AttrTS)
+	cellIdx := tab.Schema.FieldIndex(telco.AttrCellID)
+	start := 0
+	for _, r := range tab.Rows {
+		end := start
+		for end < len(text) && text[end] != '\n' {
+			end++
+		}
+		fields := telco.SplitFields(string(text[start:end]))
+		if end < len(text) {
+			end++ // past the newline
+		}
+		if err := w.AppendRowFields(fields, rowMetaOf(r, tsIdx, cellIdx)); err != nil {
+			return err
+		}
+		start = end
+	}
+	return nil
 }

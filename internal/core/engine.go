@@ -77,6 +77,11 @@ type Options struct {
 	// ChunkCacheBytes bounds the in-memory cache of inflated leaf chunks
 	// (default 64 MiB). A negative value disables the cache.
 	ChunkCacheBytes int64
+	// SegmentVersion selects the leaf segment layout for new writes: 0 or
+	// segment.Version (3) writes column-major v3 chunks, segment.RowVersion
+	// (2) keeps the row-major layout for equivalence benchmarks. Every
+	// version stays readable regardless of this setting.
+	SegmentVersion int
 	// CellIndex selects the spatial index over the cell inventory:
 	// "quadtree" (default) or "rtree" — the two variants §V-A names.
 	CellIndex string
@@ -118,6 +123,13 @@ func (o Options) withDefaults() (Options, error) {
 	}
 	if o.ChunkCacheBytes == 0 {
 		o.ChunkCacheBytes = 64 << 20
+	}
+	switch o.SegmentVersion {
+	case 0:
+		o.SegmentVersion = segment.Version
+	case segment.RowVersion, segment.Version:
+	default:
+		return o, fmt.Errorf("core: unsupported segment version %d", o.SegmentVersion)
 	}
 	if o.Obs == nil {
 		o.Obs = obs.Default
@@ -184,6 +196,9 @@ type Engine struct {
 	// cumulative ingest accounting
 	rawBytes  int64
 	compBytes int64
+
+	// colStats feeds /api/stats with per-column codec choices (self-locking).
+	colStats colStatsBook
 }
 
 // Open creates an engine over a DFS cluster with the given static cell
@@ -410,6 +425,7 @@ func (e *Engine) IngestContext(ctx context.Context, s *snapshot.Snapshot) (rep I
 		}
 		rep.RawBytes += enc.raw
 		rep.CompBytes += int64(len(enc.data))
+		e.colStats.add(name, enc.colNames, enc.colStats)
 		path := snapshot.DataPath(s.Epoch, name)
 		t0 := time.Now()
 		werr := e.fs.WriteFile(path, enc.data)

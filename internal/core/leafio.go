@@ -36,6 +36,11 @@ type encodedLeaf struct {
 	data []byte // segment, or legacy compressed blob
 	raw  int64  // uncompressed wire-text bytes
 
+	// colNames and colStats report the v3 per-column codec choices and
+	// entropy for the ingest stats feed (nil for v2/blob leaves).
+	colNames []string
+	colStats []segment.ColumnStat
+
 	encodeNS   int64
 	trainNS    int64
 	compressNS int64
@@ -111,10 +116,11 @@ func (e *Engine) encodeLeafTable(s *snapshot.Snapshot, name string) encodedLeaf 
 
 	t0 = time.Now()
 	c := e.codec()
-	if e.opts.ChunkSize < 0 {
+	switch {
+	case e.opts.ChunkSize < 0:
 		// Legacy whole-blob leaf: one compressed run of the wire text.
 		out.data = c.Compress(nil, buf.Bytes())
-	} else {
+	case e.opts.SegmentVersion == segment.RowVersion:
 		w := segment.NewWriter(c, e.opts.ChunkSize)
 		text := buf.Bytes()
 		start := 0
@@ -131,6 +137,26 @@ func (e *Engine) encodeLeafTable(s *snapshot.Snapshot, name string) encodedLeaf 
 			return out
 		}
 		out.data = data
+	default:
+		// v3 column-major segment: the same rows in the same canonical
+		// order, stored as per-column streams of escaped wire fields.
+		w := segment.NewColumnWriter(c, e.opts.ChunkSize, tab.Schema.NumFields())
+		fields := make([]string, 0, tab.Schema.NumFields())
+		for i, r := range tab.Rows {
+			fields = r.AppendFields(fields[:0])
+			if err := w.AppendRowFields(fields, metas[i]); err != nil {
+				out.err = err
+				return out
+			}
+		}
+		data, _, err := w.Finish()
+		if err != nil {
+			out.err = err
+			return out
+		}
+		out.data = data
+		out.colNames = tab.Schema.FieldNames()
+		out.colStats = w.ColumnStats()
 	}
 	out.compressNS = time.Since(t0).Nanoseconds()
 	return out
@@ -186,16 +212,244 @@ func (pr leafPrune) skip(ch segment.Chunk) pruneReason {
 	return pruneNone
 }
 
-// chunkCacheKey names one inflated chunk in the leaf cache; decay
-// invalidates by the "<ref>#" prefix.
-func chunkCacheKey(ref string, i int) string {
-	return ref + "#" + strconv.Itoa(i)
+// chunkCacheKey names one inflated chunk in the leaf cache; decay and
+// compaction invalidate by the "<ref>#" prefix. The key pins the segment
+// format version and the decoded column subset (cols is empty for a full
+// row reconstruction), so a leaf rewritten under another layout — a v2→v3
+// compaction upgrade — can never serve a stale decoded chunk, and scans
+// projecting different column subsets never alias each other's text.
+func chunkCacheKey(ref string, version, i int, cols string) string {
+	k := ref + "#v" + strconv.Itoa(version) + "." + strconv.Itoa(i)
+	if cols != "" {
+		k += "?" + cols
+	}
+	return k
 }
 
 // legacyCacheSuffix keys a legacy whole-blob leaf's inflated text under the
 // same "<ref>#" prefix segment chunks use, so prefix invalidation covers
 // both formats.
 const legacyCacheSuffix = "#blob"
+
+// specScan is the schema-resolved view of a row-path ScanSpec: which
+// column streams a v3 chunk must decode, the cache signature of that
+// subset, and each predicate's schema position. The row path treats the
+// spec as a prefilter — the SQL engine re-evaluates its WHERE clause — so
+// unresolvable predicates are skipped (kept rows stay a superset) and
+// row-major leaves simply decode in full.
+type specScan struct {
+	spec    *ScanSpec
+	schema  *telco.Schema
+	want    []int  // sorted schema indices to decode; nil = every column
+	sig     string // cache signature of want ("" = every column)
+	predIdx []int  // schema index per spec predicate, -1 when absent
+}
+
+func newSpecScan(spec *ScanSpec, schema *telco.Schema) *specScan {
+	ss := &specScan{spec: spec, schema: schema}
+	ss.predIdx = make([]int, len(spec.Preds))
+	for i, p := range spec.Preds {
+		ss.predIdx[i] = schema.FieldIndex(p.Col)
+	}
+	if spec.Columns == nil {
+		return ss // caller materializes every column
+	}
+	need := make(map[int]bool)
+	for _, col := range spec.Referenced() {
+		if i := schema.FieldIndex(col); i >= 0 {
+			need[i] = true
+		}
+	}
+	// The engine's own row filters read the timestamp and cell id, so a
+	// projected scan always materializes them too.
+	if i := schema.FieldIndex(telco.AttrTS); i >= 0 {
+		need[i] = true
+	}
+	if i := schema.FieldIndex(telco.AttrCellID); i >= 0 {
+		need[i] = true
+	}
+	if len(need) >= schema.NumFields() {
+		return ss
+	}
+	ss.want = make([]int, 0, len(need))
+	for i := range need {
+		ss.want = append(ss.want, i)
+	}
+	sort.Ints(ss.want)
+	var b strings.Builder
+	for i, ci := range ss.want {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(ci))
+	}
+	ss.sig = b.String()
+	return ss
+}
+
+// zonePrune reports whether a v3 chunk's per-column integer zone maps
+// prove one of the spec's predicates unsatisfiable for every row.
+func (ss *specScan) zonePrune(ch segment.Chunk) bool {
+	if ss == nil || len(ch.Cols) == 0 {
+		return false
+	}
+	for pi, p := range ss.spec.Preds {
+		ci := ss.predIdx[pi]
+		if ci < 0 || ci >= len(ch.Cols) || ss.schema.Fields[ci].Kind != telco.KindInt {
+			continue
+		}
+		if cm := ch.Cols[ci]; cm.HasZone && p.ZonePrune(cm.Min, cm.Max) {
+			return true
+		}
+	}
+	return false
+}
+
+// filter drops rows failing the spec's resolvable predicates, in place.
+func (ss *specScan) filter(tab *telco.Table) {
+	if ss == nil || len(ss.spec.Preds) == 0 {
+		return
+	}
+	rows := tab.Rows[:0]
+	for _, r := range tab.Rows {
+		keep := true
+		for pi, p := range ss.spec.Preds {
+			if ci := ss.predIdx[pi]; ci >= 0 && !p.Eval(r[ci]) {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			rows = append(rows, r)
+		}
+	}
+	tab.Rows = rows
+}
+
+// blobText returns a legacy whole-blob leaf's inflated wire text through
+// the chunk cache, accruing I/O costs into prof.
+func (e *Engine) blobText(ref string, c compress.Codec, prof *Profile) ([]byte, error) {
+	text, ok := e.chunkCache.Get(ref + legacyCacheSuffix)
+	if prof != nil {
+		if ok {
+			prof.CacheHits++
+		} else {
+			prof.CacheMisses++
+		}
+	}
+	if ok {
+		return text, nil
+	}
+	t0 := time.Now()
+	comp, err := e.fs.ReadFile(ref)
+	if err != nil {
+		return nil, fmt.Errorf("core: read %s: %w", ref, err)
+	}
+	t1 := time.Now()
+	text, err = c.Decompress(nil, comp)
+	if err != nil {
+		return nil, fmt.Errorf("core: decompress %s: %w", ref, err)
+	}
+	e.met.leafBytes.Add(int64(len(text)))
+	e.chunkCache.Put(ref+legacyCacheSuffix, text)
+	if prof != nil {
+		prof.DFSReads++
+		prof.InflatedBytes += int64(len(text))
+		prof.ReadNS += t1.Sub(t0).Nanoseconds()
+		prof.DecodeNS += time.Since(t1).Nanoseconds()
+	}
+	return text, nil
+}
+
+// chunkText returns chunk i's wire text through the chunk cache. On a v3
+// segment with a narrowing projection only the needed column streams
+// inflate and the reconstruction carries empty fields (SQL NULL) in the
+// unprojected positions; every other shape reconstructs the full rows.
+func (e *Engine) chunkText(r *segment.Reader, ref string, i int, ch segment.Chunk, ss *specScan, prof *Profile) ([]byte, error) {
+	var want []int
+	var sig string
+	if ss != nil && ss.want != nil && r.Columnar() {
+		want, sig = ss.want, ss.sig
+	}
+	key := chunkCacheKey(ref, r.Version(), i, sig)
+	var t0 time.Time
+	if prof != nil {
+		t0 = time.Now()
+	}
+	text, ok := e.chunkCache.Get(key)
+	if prof != nil {
+		prof.LookupNS += time.Since(t0).Nanoseconds()
+		if ok {
+			prof.CacheHits++
+		} else {
+			prof.CacheMisses++
+		}
+	}
+	if ok {
+		return text, nil
+	}
+	t1 := time.Now()
+	if want == nil {
+		var err error
+		text, err = r.ChunkData(i)
+		if err != nil {
+			return nil, fmt.Errorf("core: read %s: %w", ref, err)
+		}
+		if prof != nil {
+			prof.InflatedBytes += int64(len(text))
+			if r.Columnar() {
+				prof.ColumnsDecoded += len(ch.Cols)
+			}
+		}
+		e.met.leafBytes.Add(int64(len(text)))
+	} else {
+		cols, inflated, err := r.ChunkColumns(i, want)
+		if err != nil {
+			return nil, fmt.Errorf("core: read %s: %w", ref, err)
+		}
+		text = subsetText(cols, want, ss.schema.NumFields(), int(ch.Rows))
+		if prof != nil {
+			prof.InflatedBytes += inflated
+			prof.ColumnsDecoded += len(want)
+			prof.ColumnsSkipped += len(ch.Cols) - len(want)
+		}
+		e.met.leafBytes.Add(inflated)
+	}
+	if prof != nil {
+		// The chunk fetch issues one ranged DFS read and inflates in one
+		// step; charge the wall time to read, the bytes to inflate.
+		prof.DFSReads++
+		prof.ReadNS += time.Since(t1).Nanoseconds()
+	}
+	e.chunkCache.Put(key, text)
+	return text, nil
+}
+
+// subsetText reconstructs chunk wire text from a decoded column subset:
+// rows of ncols fields joined by the delimiter, the unprojected positions
+// left empty (they parse as NULL).
+func subsetText(cols [][]string, want []int, ncols, rows int) []byte {
+	pos := make([]int, ncols)
+	for i := range pos {
+		pos[i] = -1
+	}
+	for wi, ci := range want {
+		pos[ci] = wi
+	}
+	var b bytes.Buffer
+	for j := 0; j < rows; j++ {
+		for ci := 0; ci < ncols; ci++ {
+			if ci > 0 {
+				b.WriteByte('|')
+			}
+			if wi := pos[ci]; wi >= 0 {
+				b.WriteString(cols[wi][j])
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.Bytes()
+}
 
 // scanLeafTable streams one stored leaf table through fn. Segment files
 // are pruned chunk by chunk — only surviving chunks are fetched (ranged),
@@ -207,6 +461,15 @@ const legacyCacheSuffix = "#blob"
 // hits, inflated bytes, ranged reads, phase timings) alongside the fleet
 // counters.
 func (e *Engine) scanLeafTable(name, ref string, c compress.Codec, pr leafPrune, prof *Profile, fn func(*telco.Table) error) (scanned, pruned int, err error) {
+	return e.scanLeafTableSpec(name, ref, c, pr, nil, prof, fn)
+}
+
+// scanLeafTableSpec is scanLeafTable with a pushdown spec: on v3 leaves
+// only the spec's referenced column streams decode (plus the engine's
+// bookkeeping columns), per-column zone maps prune chunks no row of which
+// can satisfy a predicate, and surviving rows are prefiltered through the
+// predicates before fn sees them. A nil spec scans everything.
+func (e *Engine) scanLeafTableSpec(name, ref string, c compress.Codec, pr leafPrune, spec *ScanSpec, prof *Profile, fn func(*telco.Table) error) (scanned, pruned int, err error) {
 	defer func() {
 		e.met.chunksScanned.Add(int64(scanned))
 		e.met.chunksPruned.Add(int64(pruned))
@@ -214,6 +477,12 @@ func (e *Engine) scanLeafTable(name, ref string, c compress.Codec, pr leafPrune,
 			prof.ChunksScanned += scanned
 		}
 	}()
+	var ss *specScan
+	if spec != nil {
+		if schema := telco.SchemaByName(name); schema != nil {
+			ss = newSpecScan(spec, schema)
+		}
+	}
 	f, err := e.fs.Open(ref)
 	if err != nil {
 		return 0, 0, fmt.Errorf("core: open %s: %w", ref, err)
@@ -221,38 +490,15 @@ func (e *Engine) scanLeafTable(name, ref string, c compress.Codec, pr leafPrune,
 	if !segment.IsSegment(f, f.Size()) {
 		// Legacy whole-blob leaf: no chunk metadata exists, so the whole
 		// table inflates regardless of the scan's predicates.
-		text, ok := e.chunkCache.Get(ref + legacyCacheSuffix)
-		if prof != nil {
-			if ok {
-				prof.CacheHits++
-			} else {
-				prof.CacheMisses++
-			}
-		}
-		if !ok {
-			t0 := time.Now()
-			comp, err := e.fs.ReadFile(ref)
-			if err != nil {
-				return 0, 0, fmt.Errorf("core: read %s: %w", ref, err)
-			}
-			t1 := time.Now()
-			text, err = c.Decompress(nil, comp)
-			if err != nil {
-				return 0, 0, fmt.Errorf("core: decompress %s: %w", ref, err)
-			}
-			e.met.leafBytes.Add(int64(len(text)))
-			e.chunkCache.Put(ref+legacyCacheSuffix, text)
-			if prof != nil {
-				prof.DFSReads++
-				prof.InflatedBytes += int64(len(text))
-				prof.ReadNS += t1.Sub(t0).Nanoseconds()
-				prof.DecodeNS += time.Since(t1).Nanoseconds()
-			}
+		text, err := e.blobText(ref, c, prof)
+		if err != nil {
+			return 0, 0, err
 		}
 		tab, err := snapshot.DecodeTable(name, text)
 		if err != nil {
 			return 0, 0, fmt.Errorf("core: decode %s: %w", ref, err)
 		}
+		ss.filter(tab)
 		return 1, 0, fn(tab)
 	}
 	r, err := segment.Open(f, f.Size(), c)
@@ -271,35 +517,16 @@ func (e *Engine) scanLeafTable(name, ref string, c compress.Codec, pr leafPrune,
 			}
 			continue
 		}
-		key := chunkCacheKey(ref, i)
-		var t0 time.Time
-		if prof != nil {
-			t0 = time.Now()
-		}
-		text, ok := e.chunkCache.Get(key)
-		if prof != nil {
-			prof.LookupNS += time.Since(t0).Nanoseconds()
-			if ok {
-				prof.CacheHits++
-			} else {
-				prof.CacheMisses++
-			}
-		}
-		if !ok {
-			t1 := time.Now()
-			text, err = r.ChunkData(i)
-			if err != nil {
-				return scanned, pruned, fmt.Errorf("core: read %s: %w", ref, err)
-			}
-			e.met.leafBytes.Add(int64(len(text)))
-			e.chunkCache.Put(key, text)
+		if ss.zonePrune(ch) {
+			pruned++
 			if prof != nil {
-				// ChunkData issues one ranged DFS read and inflates in one
-				// step; charge the wall time to read, the bytes to inflate.
-				prof.DFSReads++
-				prof.InflatedBytes += int64(len(text))
-				prof.ReadNS += time.Since(t1).Nanoseconds()
+				prof.ChunksPrunedPred++
 			}
+			continue
+		}
+		text, err := e.chunkText(r, ref, i, ch, ss, prof)
+		if err != nil {
+			return scanned, pruned, err
 		}
 		var t2 time.Time
 		if prof != nil {
@@ -312,6 +539,7 @@ func (e *Engine) scanLeafTable(name, ref string, c compress.Codec, pr leafPrune,
 		if err != nil {
 			return scanned, pruned, fmt.Errorf("core: decode %s: %w", ref, err)
 		}
+		ss.filter(tab)
 		scanned++
 		if err := fn(tab); err != nil {
 			return scanned, pruned, err

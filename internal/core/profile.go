@@ -17,6 +17,22 @@ type Profile struct {
 	ChunksScanned     int `json:"chunks_scanned,omitempty"`
 	ChunksPrunedZone  int `json:"chunks_pruned_zone,omitempty"`
 	ChunksPrunedBloom int `json:"chunks_pruned_bloom,omitempty"`
+	// ChunksPrunedPred counts chunks skipped by per-column integer zone
+	// maps proving a pushed-down predicate unsatisfiable; ChunksAggMeta
+	// counts chunks a pushed-down aggregate answered from chunk metadata
+	// without decoding any column stream.
+	ChunksPrunedPred int `json:"chunks_pruned_pred,omitempty"`
+	ChunksAggMeta    int `json:"chunks_agg_meta,omitempty"`
+
+	// ColumnsDecoded and ColumnsSkipped count per-chunk column streams a v3
+	// columnar scan inflated versus left untouched thanks to projection or
+	// aggregate pushdown.
+	ColumnsDecoded int `json:"columns_decoded,omitempty"`
+	ColumnsSkipped int `json:"columns_skipped,omitempty"`
+
+	// AggPartials counts partial-aggregate groups produced by pushed-down
+	// aggregation (per shard on a cluster profile).
+	AggPartials int `json:"agg_partials,omitempty"`
 
 	CacheHits   int `json:"cache_hits,omitempty"`
 	CacheMisses int `json:"cache_misses,omitempty"`
@@ -66,6 +82,11 @@ func (p *Profile) Add(o Profile) {
 	p.ChunksScanned += o.ChunksScanned
 	p.ChunksPrunedZone += o.ChunksPrunedZone
 	p.ChunksPrunedBloom += o.ChunksPrunedBloom
+	p.ChunksPrunedPred += o.ChunksPrunedPred
+	p.ChunksAggMeta += o.ChunksAggMeta
+	p.ColumnsDecoded += o.ColumnsDecoded
+	p.ColumnsSkipped += o.ColumnsSkipped
+	p.AggPartials += o.AggPartials
 	p.CacheHits += o.CacheHits
 	p.CacheMisses += o.CacheMisses
 	p.InflatedBytes += o.InflatedBytes

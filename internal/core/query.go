@@ -712,6 +712,17 @@ func (e *Engine) ScanTables(w telco.TimeRange, tables []string, fn func(string, 
 // the scan between snapshot decompressions, so an abandoned SQL request
 // does not keep reading and inflating blocks.
 func (e *Engine) ScanTablesContext(ctx context.Context, w telco.TimeRange, tables []string, fn func(string, *telco.Table) error) error {
+	return e.ScanTablesSpec(ctx, w, tables, nil, fn)
+}
+
+// ScanTablesSpec is ScanTablesContext with a pushdown spec. The spec is a
+// prefilter — callers re-evaluate their own predicates — so it only makes
+// the scan cheaper: v3 leaves decode just the referenced column streams
+// (unprojected positions surface as NULL), per-column zone maps prune
+// chunks, and rows failing the spec's predicates, exact time window or
+// null-timestamp rule are dropped before fn sees them. A nil spec scans
+// everything.
+func (e *Engine) ScanTablesSpec(ctx context.Context, w telco.TimeRange, tables []string, spec *ScanSpec, fn func(string, *telco.Table) error) error {
 	e.mu.RLock()
 	leaves := e.rowLeaves(w)
 	memt, memAfter := e.memAfterLocked()
@@ -760,10 +771,10 @@ func (e *Engine) ScanTablesContext(ctx context.Context, w telco.TimeRange, table
 			// accumulate into one table per leaf so fn observes the same
 			// call sequence as with whole-blob leaves.
 			filtered := telco.NewTable(schema)
-			_, _, err := e.scanLeafTable(name, ref, c, pr, prof, func(tab *telco.Table) error {
+			_, _, err := e.scanLeafTableSpec(name, ref, c, pr, spec, prof, func(tab *telco.Table) error {
 				tsIdx := tab.Schema.FieldIndex(telco.AttrTS)
 				for _, r := range tab.Rows {
-					if tsIdx < 0 || r[tsIdx].IsNull() || w.Contains(r[tsIdx].Time()) {
+					if keepRowTS(r, tsIdx, w, spec) {
 						filtered.Rows = append(filtered.Rows, r)
 					}
 				}
@@ -782,10 +793,26 @@ func (e *Engine) ScanTablesContext(ctx context.Context, w telco.TimeRange, table
 	}
 	// Unsealed rows stream last — strictly newer than every sealed leaf,
 	// one window-filtered table per buffered (epoch, table), the same
-	// call shape a sealed-leaf scan produces.
+	// call shape a sealed-leaf scan produces. The union path honors the
+	// spec too: memtable rows pass the same predicate and time prefilter
+	// sealed leaves apply, so fresh rows never leak around a pushdown.
 	for _, mt := range memTabs {
 		if err := ctx.Err(); err != nil {
 			return err
+		}
+		if spec != nil {
+			tsIdx := mt.tab.Schema.FieldIndex(telco.AttrTS)
+			rows := mt.tab.Rows[:0]
+			for _, r := range mt.tab.Rows {
+				if keepRowTS(r, tsIdx, w, spec) {
+					rows = append(rows, r)
+				}
+			}
+			mt.tab.Rows = rows
+			newSpecScan(spec, mt.tab.Schema).filter(mt.tab)
+			if mt.tab.Len() == 0 {
+				continue
+			}
 		}
 		if prof != nil {
 			prof.MemRows += mt.tab.Len()
@@ -795,6 +822,21 @@ func (e *Engine) ScanTablesContext(ctx context.Context, w telco.TimeRange, table
 		}
 	}
 	return nil
+}
+
+// keepRowTS is the row-level time filter of a (possibly spec-carrying)
+// table scan: rows inside the window pass, rows without a timestamp pass
+// unless the spec's WHERE clause carried a timestamp conjunct, and the
+// spec's exact window narrows the scan window when present.
+func keepRowTS(r telco.Record, tsIdx int, w telco.TimeRange, spec *ScanSpec) bool {
+	if tsIdx < 0 || r[tsIdx].IsNull() {
+		return spec == nil || !spec.RequireTS
+	}
+	t := r[tsIdx].Time()
+	if !w.Contains(t) {
+		return false
+	}
+	return spec == nil || spec.Window.Contains(t.UnixNano())
 }
 
 // cacheKey renders a deterministic key for the result cache.

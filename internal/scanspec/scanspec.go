@@ -1,0 +1,598 @@
+// Package scanspec defines the pushdown contract between the SQL layer and
+// the storage engine: which columns a query touches, which conjunctive
+// predicates the scan may apply, and which simple aggregates it may fold
+// chunk-side instead of materializing rows. The types are shared by
+// internal/sqlengine (which compiles WHERE clauses and SELECT lists into a
+// Spec), internal/core (which evaluates a Spec against column streams) and
+// internal/cluster (which forwards a Spec through /rpc/explore so shards
+// ship partial aggregates instead of rows). core.ScanSpec aliases Spec.
+//
+// Predicate evaluation here must stay exactly equivalent to the SQL
+// engine's row-level evaluation of the same conjunct: the engine only
+// compiles a comparison into a Pred when both agree (non-null literal,
+// non-time column, plain column-op-literal shape), and Pred.Eval mirrors
+// sqlengine's NULL-rejecting telco.Value.Compare semantics for that shape.
+package scanspec
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"spate/internal/telco"
+)
+
+// Pred is one conjunctive predicate: column op literal. Op is one of
+// = != < <= > >=. The literal travels in wire form with an explicit kind
+// ("int", "float" or "str") so it reconstructs bit-for-bit across the
+// cluster RPC boundary.
+type Pred struct {
+	Col  string `json:"col"`
+	Op   string `json:"op"`
+	Kind string `json:"kind"`
+	Val  string `json:"val"`
+}
+
+// String renders the predicate for EXPLAIN plans.
+func (p Pred) String() string {
+	if p.Kind == "str" {
+		return p.Col + p.Op + "'" + p.Val + "'"
+	}
+	return p.Col + p.Op + p.Val
+}
+
+// Literal reconstructs the comparison literal as a typed value.
+func (p Pred) Literal() telco.Value {
+	switch p.Kind {
+	case "int":
+		i, err := strconv.ParseInt(p.Val, 10, 64)
+		if err != nil {
+			return telco.Null
+		}
+		return telco.Int(i)
+	case "float":
+		f, err := strconv.ParseFloat(p.Val, 64)
+		if err != nil {
+			return telco.Null
+		}
+		return telco.Float(f)
+	case "str":
+		return telco.String(p.Val)
+	}
+	return telco.Null
+}
+
+// Eval reports whether a row value satisfies the predicate. A null row
+// value never satisfies it (SQL three-valued logic: the conjunct is
+// unknown, so the row is filtered), matching the SQL engine's evaluator.
+func (p Pred) Eval(v telco.Value) bool {
+	if v.IsNull() {
+		return false
+	}
+	lit := p.Literal()
+	if lit.IsNull() {
+		return false
+	}
+	c := v.Compare(lit)
+	switch p.Op {
+	case "=":
+		return c == 0
+	case "!=":
+		return c != 0
+	case "<":
+		return c < 0
+	case "<=":
+		return c <= 0
+	case ">":
+		return c > 0
+	case ">=":
+		return c >= 0
+	}
+	return false
+}
+
+// IntLiteral returns the literal as an int64 when the predicate compares
+// against an integer — the only shape integer zone maps may prune.
+func (p Pred) IntLiteral() (int64, bool) {
+	if p.Kind != "int" {
+		return 0, false
+	}
+	i, err := strconv.ParseInt(p.Val, 10, 64)
+	return i, err == nil
+}
+
+// ZonePrune reports whether an integer zone map [min,max] proves no value
+// of the column can satisfy the predicate — the chunk is skippable without
+// decoding the column. Only integer literals prune: the zone holds exact
+// int64 bounds and the comparison must match Pred.Eval's integer compare.
+func (p Pred) ZonePrune(min, max int64) bool {
+	lit, ok := p.IntLiteral()
+	if !ok {
+		return false
+	}
+	switch p.Op {
+	case "=":
+		return lit < min || lit > max
+	case "!=":
+		return min == max && min == lit
+	case "<":
+		return min >= lit
+	case "<=":
+		return min > lit
+	case ">":
+		return max <= lit
+	case ">=":
+		return max < lit
+	}
+	return false
+}
+
+// ZoneAllMatch reports whether an integer zone map [min,max] proves every
+// value of the column satisfies the predicate — the whole chunk matches
+// and an aggregate over it can be answered from metadata alone. The zone's
+// presence already guarantees the column has no nulls in the chunk.
+func (p Pred) ZoneAllMatch(min, max int64) bool {
+	lit, ok := p.IntLiteral()
+	if !ok {
+		return false
+	}
+	switch p.Op {
+	case "=":
+		return min == max && min == lit
+	case "!=":
+		return max < lit || min > lit
+	case "<":
+		return max < lit
+	case "<=":
+		return max <= lit
+	case ">":
+		return min > lit
+	case ">=":
+		return min >= lit
+	}
+	return false
+}
+
+// Agg is one pushed-down aggregate. Fn is COUNT, SUM, MIN or MAX; an empty
+// Col means COUNT(*). SUM is only pushed down over integer columns so the
+// partial sums stay exact under any association order (floating-point sums
+// depend on addition order and would break bit-for-bit row-path parity).
+type Agg struct {
+	Fn  string `json:"fn"`
+	Col string `json:"col,omitempty"`
+}
+
+// String renders the aggregate for EXPLAIN plans.
+func (a Agg) String() string {
+	if a.Col == "" {
+		return a.Fn + "(*)"
+	}
+	return a.Fn + "(" + a.Col + ")"
+}
+
+// Spec is the pushdown contract for one table scan.
+//
+// Columns lists the columns the caller needs materialized (nil keeps every
+// column, an explicit empty, non-nil slice keeps none beyond bookkeeping).
+// Preds are conjunctive filters the scan applies before materializing a
+// row. When Aggs is non-empty the scan returns partial aggregates instead
+// of rows, optionally grouped by the single low-cardinality GroupBy column.
+type Spec struct {
+	Columns []string `json:"columns,omitempty"`
+	Preds   []Pred   `json:"preds,omitempty"`
+	Aggs    []Agg    `json:"aggs,omitempty"`
+	GroupBy string   `json:"group_by,omitempty"`
+	// RequireTS marks that the WHERE clause carried a timestamp conjunct:
+	// rows without a timestamp are dropped (a NULL comparison filters the
+	// row in SQL), whereas a bare window scan keeps them.
+	RequireTS bool `json:"require_ts,omitempty"`
+	// Window is the exact half-open row-level timestamp interval the
+	// WHERE clause's timestamp conjuncts denote (nil when they impose no
+	// bound). The scan hint window stays a conservative superset used for
+	// leaf and chunk selection; this window decides row membership, so
+	// aggregate pushdown reproduces the row path bit for bit.
+	Window *TimeWindow `json:"window,omitempty"`
+}
+
+// TimeWindow is an exact half-open timestamp interval in Unix nanoseconds.
+// An unset side is unbounded.
+type TimeWindow struct {
+	From    int64 `json:"from,omitempty"`
+	HasFrom bool  `json:"has_from,omitempty"`
+	To      int64 `json:"to,omitempty"`
+	HasTo   bool  `json:"has_to,omitempty"`
+}
+
+// Contains reports whether instant ns lies inside the window. A nil
+// window contains everything.
+func (tw *TimeWindow) Contains(ns int64) bool {
+	if tw == nil {
+		return true
+	}
+	if tw.HasFrom && ns < tw.From {
+		return false
+	}
+	if tw.HasTo && ns >= tw.To {
+		return false
+	}
+	return true
+}
+
+// ContainsRange reports whether every instant in [min, max] lies inside.
+func (tw *TimeWindow) ContainsRange(min, max int64) bool {
+	return tw.Contains(min) && tw.Contains(max)
+}
+
+// OverlapsRange reports whether some instant in [min, max] lies inside.
+func (tw *TimeWindow) OverlapsRange(min, max int64) bool {
+	if tw == nil {
+		return true
+	}
+	if tw.HasFrom && max < tw.From {
+		return false
+	}
+	if tw.HasTo && min >= tw.To {
+		return false
+	}
+	return true
+}
+
+// TightenFrom raises the window's lower bound to ns if that narrows it,
+// returning the (possibly newly allocated) window.
+func (tw *TimeWindow) TightenFrom(ns int64) *TimeWindow {
+	if tw == nil {
+		tw = &TimeWindow{}
+	}
+	if !tw.HasFrom || ns > tw.From {
+		tw.From, tw.HasFrom = ns, true
+	}
+	return tw
+}
+
+// TightenTo lowers the window's upper bound to ns if that narrows it.
+func (tw *TimeWindow) TightenTo(ns int64) *TimeWindow {
+	if tw == nil {
+		tw = &TimeWindow{}
+	}
+	if !tw.HasTo || ns < tw.To {
+		tw.To, tw.HasTo = ns, true
+	}
+	return tw
+}
+
+// IsAggregate reports whether the scan folds aggregates instead of
+// returning rows.
+func (s *Spec) IsAggregate() bool { return s != nil && len(s.Aggs) > 0 }
+
+// Referenced returns every column the spec touches — projection, predicate,
+// aggregate arguments and the group key — deduplicated, in first-use order.
+// The storage engine decodes exactly these (plus its own bookkeeping
+// columns such as the timestamp for window filtering).
+func (s *Spec) Referenced() []string {
+	if s == nil {
+		return nil
+	}
+	seen := make(map[string]bool)
+	var out []string
+	add := func(c string) {
+		if c != "" && !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	for _, c := range s.Columns {
+		add(c)
+	}
+	for _, p := range s.Preds {
+		add(p.Col)
+	}
+	for _, a := range s.Aggs {
+		add(a.Col)
+	}
+	add(s.GroupBy)
+	return out
+}
+
+// String renders the spec for EXPLAIN plans.
+func (s *Spec) String() string {
+	if s == nil {
+		return "full scan"
+	}
+	var parts []string
+	if len(s.Aggs) > 0 {
+		aggs := make([]string, len(s.Aggs))
+		for i, a := range s.Aggs {
+			aggs[i] = a.String()
+		}
+		parts = append(parts, "agg "+strings.Join(aggs, ","))
+		if s.GroupBy != "" {
+			parts = append(parts, "group "+s.GroupBy)
+		}
+	} else if s.Columns != nil {
+		parts = append(parts, "cols "+strings.Join(s.Columns, ","))
+	}
+	if len(s.Preds) > 0 {
+		preds := make([]string, len(s.Preds))
+		for i, p := range s.Preds {
+			preds[i] = p.String()
+		}
+		parts = append(parts, "where "+strings.Join(preds, " AND "))
+	}
+	if len(parts) == 0 {
+		return "all columns"
+	}
+	return strings.Join(parts, " ")
+}
+
+// WireValue is a typed value in wire form, JSON-safe for the cluster RPC.
+// Kind is "", "int", "float", "str" or "time"; the empty kind is null.
+type WireValue struct {
+	Kind string `json:"kind,omitempty"`
+	Val  string `json:"val,omitempty"`
+}
+
+// FromValue captures a typed value in wire form.
+func FromValue(v telco.Value) WireValue {
+	switch v.Kind() {
+	case telco.KindInt:
+		return WireValue{Kind: "int", Val: v.Format()}
+	case telco.KindFloat:
+		return WireValue{Kind: "float", Val: v.Format()}
+	case telco.KindString:
+		return WireValue{Kind: "str", Val: v.Str()}
+	case telco.KindTime:
+		return WireValue{Kind: "time", Val: v.Format()}
+	}
+	return WireValue{}
+}
+
+// Value reconstructs the typed value.
+func (w WireValue) Value() telco.Value {
+	var k telco.Kind
+	switch w.Kind {
+	case "":
+		return telco.Null
+	case "int":
+		k = telco.KindInt
+	case "float":
+		k = telco.KindFloat
+	case "str":
+		return telco.String(w.Val) // ParseValue("") would null an empty string
+	case "time":
+		k = telco.KindTime
+	}
+	v, err := telco.ParseValue(k, w.Val)
+	if err != nil {
+		return telco.Null
+	}
+	return v
+}
+
+// Cell is the mergeable state of one aggregate within one group.
+type Cell struct {
+	// Seen marks that at least one non-null value contributed; an unseen
+	// SUM/MIN/MAX finalizes to NULL, mirroring the SQL aggregate states.
+	Seen bool `json:"seen,omitempty"`
+	// Count is the COUNT contribution (rows for COUNT(*), non-null values
+	// for COUNT(col)).
+	Count int64 `json:"count,omitempty"`
+	// ISum is the exact integer SUM contribution.
+	ISum int64 `json:"isum,omitempty"`
+	// Min and Max are the extreme values observed.
+	Min WireValue `json:"min"`
+	Max WireValue `json:"max"`
+}
+
+// Partial is one group's partial aggregate state — the unit shards ship to
+// the coordinator instead of rows.
+type Partial struct {
+	// Key orders and merges groups; it is the group value's wire form ("" for
+	// the single implicit group of an ungrouped aggregate).
+	Key string `json:"key"`
+	// Group is the typed group value.
+	Group WireValue `json:"group"`
+	// Cells align with Spec.Aggs.
+	Cells []Cell `json:"cells"`
+}
+
+// NewPartial returns a zeroed partial for the spec's aggregates.
+func (s *Spec) NewPartial(group telco.Value) *Partial {
+	return &Partial{Key: group.Format(), Group: FromValue(group), Cells: make([]Cell, len(s.Aggs))}
+}
+
+// AddRow folds one row into the partial. vals aligns with Spec.Aggs: the
+// i'th entry is that aggregate's argument value (ignored for COUNT(*)).
+func (s *Spec) AddRow(p *Partial, vals []telco.Value) {
+	for i, a := range s.Aggs {
+		c := &p.Cells[i]
+		if a.Fn == "COUNT" && a.Col == "" {
+			c.Count++
+			c.Seen = true
+			continue
+		}
+		v := vals[i]
+		if v.IsNull() {
+			continue
+		}
+		switch a.Fn {
+		case "COUNT":
+			c.Count++
+		case "SUM":
+			c.ISum += v.Int64()
+		case "MIN":
+			if !c.Seen || v.Compare(c.Min.Value()) < 0 {
+				c.Min = FromValue(v)
+			}
+		case "MAX":
+			if !c.Seen || v.Compare(c.Max.Value()) > 0 {
+				c.Max = FromValue(v)
+			}
+		}
+		c.Seen = true
+	}
+}
+
+// AddMeta folds a whole chunk of rows known to match the window and every
+// predicate, without decoding it: rows is the chunk's row count and mins/
+// maxs the integer zone bounds of each aggregate's column (ignored for
+// COUNT(*)). The caller guarantees a zone exists for every non-COUNT(*)
+// aggregate — zone presence implies the column holds rows non-null integer
+// values, so COUNT(col) == rows and SUM is not derivable (AddMeta callers
+// must decode for SUM; see CanUseMeta).
+func (s *Spec) AddMeta(p *Partial, rows int64, mins, maxs []int64, kinds []telco.Kind) {
+	for i, a := range s.Aggs {
+		c := &p.Cells[i]
+		switch a.Fn {
+		case "COUNT":
+			c.Count += rows
+		case "MIN":
+			v := intValue(kinds[i], mins[i])
+			if !c.Seen || v.Compare(c.Min.Value()) < 0 {
+				c.Min = FromValue(v)
+			}
+		case "MAX":
+			v := intValue(kinds[i], maxs[i])
+			if !c.Seen || v.Compare(c.Max.Value()) > 0 {
+				c.Max = FromValue(v)
+			}
+		}
+		c.Seen = true
+	}
+}
+
+// CanUseMeta reports whether the spec's aggregates are all answerable from
+// chunk metadata (row counts and integer zone maps) alone: COUNT over any
+// zoned (hence null-free) column or the whole row, MIN/MAX over zoned
+// columns. SUM always needs the column values. GroupBy always decodes.
+func (s *Spec) CanUseMeta(zoned func(col string) bool) bool {
+	if s.GroupBy != "" {
+		return false
+	}
+	for _, a := range s.Aggs {
+		switch a.Fn {
+		case "COUNT":
+			if a.Col != "" && !zoned(a.Col) {
+				return false
+			}
+		case "MIN", "MAX":
+			if !zoned(a.Col) {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// intValue lifts an integer zone bound back into the column's value kind.
+func intValue(k telco.Kind, i int64) telco.Value {
+	switch k {
+	case telco.KindFloat:
+		return telco.Float(float64(i))
+	case telco.KindTime:
+		v, err := telco.ParseValue(telco.KindTime, strconv.FormatInt(i, 10))
+		if err != nil {
+			return telco.Null
+		}
+		return v
+	default:
+		return telco.Int(i)
+	}
+}
+
+// Merge folds src into dst key-wise and returns dst sorted by group key.
+// Merging is associative and commutative, so shard partials fold in any
+// arrival order.
+func Merge(dst, src []Partial) []Partial {
+	byKey := make(map[string]int, len(dst))
+	for i := range dst {
+		byKey[dst[i].Key] = i
+	}
+	for _, p := range src {
+		i, ok := byKey[p.Key]
+		if !ok {
+			byKey[p.Key] = len(dst)
+			dst = append(dst, p)
+			continue
+		}
+		d := &dst[i]
+		for j := range p.Cells {
+			dc, sc := &d.Cells[j], p.Cells[j]
+			dc.Count += sc.Count
+			dc.ISum += sc.ISum
+			if sc.Seen {
+				if !dc.Seen {
+					dc.Min, dc.Max = sc.Min, sc.Max
+				} else {
+					if sc.Min.Value().Compare(dc.Min.Value()) < 0 {
+						dc.Min = sc.Min
+					}
+					if sc.Max.Value().Compare(dc.Max.Value()) > 0 {
+						dc.Max = sc.Max
+					}
+				}
+				dc.Seen = true
+			}
+		}
+	}
+	sort.Slice(dst, func(i, j int) bool { return dst[i].Key < dst[j].Key })
+	return dst
+}
+
+// Finalize renders one aggregate cell to its SQL result value, mirroring
+// the SQL engine's aggregate states: COUNT of nothing is 0, SUM/MIN/MAX of
+// nothing is NULL, and a pushed-down SUM is always an exact integer.
+func (a Agg) Finalize(c Cell) telco.Value {
+	switch a.Fn {
+	case "COUNT":
+		return telco.Int(c.Count)
+	case "SUM":
+		if !c.Seen {
+			return telco.Null
+		}
+		return telco.Int(c.ISum)
+	case "MIN":
+		if !c.Seen {
+			return telco.Null
+		}
+		return c.Min.Value()
+	case "MAX":
+		if !c.Seen {
+			return telco.Null
+		}
+		return c.Max.Value()
+	}
+	return telco.Null
+}
+
+// Validate rejects malformed specs at the RPC boundary.
+func (s *Spec) Validate() error {
+	if s == nil {
+		return nil
+	}
+	for _, p := range s.Preds {
+		switch p.Op {
+		case "=", "!=", "<", "<=", ">", ">=":
+		default:
+			return fmt.Errorf("scanspec: bad predicate op %q", p.Op)
+		}
+		switch p.Kind {
+		case "int", "float", "str":
+		default:
+			return fmt.Errorf("scanspec: bad predicate literal kind %q", p.Kind)
+		}
+	}
+	for _, a := range s.Aggs {
+		switch a.Fn {
+		case "COUNT", "SUM", "MIN", "MAX":
+		default:
+			return fmt.Errorf("scanspec: bad aggregate %q", a.Fn)
+		}
+		if a.Col == "" && a.Fn != "COUNT" {
+			return fmt.Errorf("scanspec: %s requires a column", a.Fn)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,302 @@
+package scanspec
+
+import (
+	"encoding/json"
+	"testing"
+
+	"spate/internal/telco"
+)
+
+func TestPredEval(t *testing.T) {
+	cases := []struct {
+		p    Pred
+		v    telco.Value
+		want bool
+	}{
+		{Pred{"d", "=", "int", "5"}, telco.Int(5), true},
+		{Pred{"d", "=", "int", "5"}, telco.Int(6), false},
+		{Pred{"d", "!=", "int", "5"}, telco.Int(6), true},
+		{Pred{"d", "<", "int", "5"}, telco.Int(4), true},
+		{Pred{"d", "<=", "int", "5"}, telco.Int(5), true},
+		{Pred{"d", ">", "int", "5"}, telco.Int(5), false},
+		{Pred{"d", ">=", "int", "5"}, telco.Int(5), true},
+		{Pred{"s", "=", "str", "DATA"}, telco.String("DATA"), true},
+		{Pred{"s", "!=", "str", "DATA"}, telco.String("VOICE"), true},
+		{Pred{"f", ">", "float", "1.5"}, telco.Float(2), true},
+		// SQL three-valued logic: a null row value never satisfies.
+		{Pred{"d", "=", "int", "5"}, telco.Null, false},
+		{Pred{"d", "!=", "int", "5"}, telco.Null, false},
+		// Unparseable literal evaluates to unknown, filtering the row.
+		{Pred{"d", "=", "int", "x"}, telco.Int(5), false},
+	}
+	for _, c := range cases {
+		if got := c.p.Eval(c.v); got != c.want {
+			t.Errorf("%s over %s = %v, want %v", c.p, c.v.Format(), got, c.want)
+		}
+	}
+}
+
+// TestZoneLogicConsistency cross-checks ZonePrune and ZoneAllMatch against
+// brute-force evaluation over every value in the zone: prune means no
+// value matches, all-match means every value matches, and the two are
+// never both true for a non-empty zone.
+func TestZoneLogicConsistency(t *testing.T) {
+	ops := []string{"=", "!=", "<", "<=", ">", ">="}
+	for _, op := range ops {
+		for lit := int64(-1); lit <= 6; lit++ {
+			p := Pred{Col: "c", Op: op, Kind: "int", Val: telco.Int(lit).Format()}
+			for min := int64(0); min <= 4; min++ {
+				for max := min; max <= 4; max++ {
+					any, all := false, true
+					for v := min; v <= max; v++ {
+						if p.Eval(telco.Int(v)) {
+							any = true
+						} else {
+							all = false
+						}
+					}
+					if got := p.ZonePrune(min, max); got && any {
+						t.Errorf("%s zone [%d,%d]: pruned but a value matches", p, min, max)
+					} else if !got && !any {
+						// Pruning may be conservative, but the core ops on
+						// exact int zones should not miss: report once.
+						t.Errorf("%s zone [%d,%d]: prunable but not pruned", p, min, max)
+					}
+					if got := p.ZoneAllMatch(min, max); got && !all {
+						t.Errorf("%s zone [%d,%d]: all-match but a value fails", p, min, max)
+					} else if !got && all {
+						t.Errorf("%s zone [%d,%d]: all match but not detected", p, min, max)
+					}
+				}
+			}
+		}
+	}
+	// Non-integer literals must never prune or certify.
+	sp := Pred{Col: "c", Op: "=", Kind: "str", Val: "x"}
+	if sp.ZonePrune(0, 1) || sp.ZoneAllMatch(0, 1) {
+		t.Error("string literal used an integer zone")
+	}
+}
+
+func TestTimeWindow(t *testing.T) {
+	var nilWin *TimeWindow
+	if !nilWin.Contains(42) || !nilWin.OverlapsRange(1, 2) || !nilWin.ContainsRange(1, 2) {
+		t.Error("nil window must contain everything")
+	}
+	w := nilWin.TightenFrom(100).TightenTo(200)
+	for ns, want := range map[int64]bool{99: false, 100: true, 199: true, 200: false} {
+		if w.Contains(ns) != want {
+			t.Errorf("Contains(%d) = %v, want %v (half-open [100,200))", ns, !want, want)
+		}
+	}
+	if !w.ContainsRange(100, 199) || w.ContainsRange(100, 200) {
+		t.Error("ContainsRange bounds wrong")
+	}
+	if !w.OverlapsRange(50, 100) || w.OverlapsRange(50, 99) || w.OverlapsRange(200, 300) || !w.OverlapsRange(199, 300) {
+		t.Error("OverlapsRange bounds wrong")
+	}
+	// Tighten only narrows.
+	if got := w.TightenFrom(50); got.From != 100 {
+		t.Errorf("TightenFrom widened to %d", got.From)
+	}
+	if got := w.TightenTo(300); got.To != 200 {
+		t.Errorf("TightenTo widened to %d", got.To)
+	}
+	if got := w.TightenFrom(150); got.From != 150 {
+		t.Errorf("TightenFrom(150) = %d", got.From)
+	}
+}
+
+func TestAddRowFinalize(t *testing.T) {
+	s := &Spec{Aggs: []Agg{
+		{Fn: "COUNT"}, {Fn: "COUNT", Col: "v"}, {Fn: "SUM", Col: "v"},
+		{Fn: "MIN", Col: "v"}, {Fn: "MAX", Col: "v"},
+	}}
+	p := s.NewPartial(telco.Null)
+	for _, v := range []telco.Value{telco.Int(3), telco.Null, telco.Int(-1), telco.Int(7)} {
+		s.AddRow(p, []telco.Value{telco.Null, v, v, v, v})
+	}
+	want := []telco.Value{telco.Int(4), telco.Int(3), telco.Int(9), telco.Int(-1), telco.Int(7)}
+	for i, a := range s.Aggs {
+		got := a.Finalize(p.Cells[i])
+		if got.Format() != want[i].Format() {
+			t.Errorf("%s = %s, want %s", a, got.Format(), want[i].Format())
+		}
+	}
+	// Aggregates over nothing: COUNT is 0, the rest NULL.
+	empty := s.NewPartial(telco.Null)
+	for i, a := range s.Aggs {
+		got := a.Finalize(empty.Cells[i])
+		if a.Fn == "COUNT" {
+			if got.Int64() != 0 {
+				t.Errorf("%s of nothing = %s", a, got.Format())
+			}
+		} else if !got.IsNull() {
+			t.Errorf("%s of nothing = %s, want NULL", a, got.Format())
+		}
+	}
+}
+
+// TestAddMetaMatchesAddRow: folding a chunk from zone metadata must equal
+// folding its rows one by one, for the meta-answerable aggregates.
+func TestAddMetaMatchesAddRow(t *testing.T) {
+	s := &Spec{Aggs: []Agg{{Fn: "COUNT"}, {Fn: "COUNT", Col: "v"}, {Fn: "MIN", Col: "v"}, {Fn: "MAX", Col: "v"}}}
+	if !s.CanUseMeta(func(string) bool { return true }) {
+		t.Fatal("meta-answerable aggregates rejected")
+	}
+	rows := []int64{4, -2, 9, 9, 0}
+	byRow := s.NewPartial(telco.Null)
+	for _, r := range rows {
+		v := telco.Int(r)
+		s.AddRow(byRow, []telco.Value{telco.Null, v, v, v})
+	}
+	byMeta := s.NewPartial(telco.Null)
+	s.AddMeta(byMeta, int64(len(rows)),
+		[]int64{0, 0, -2, -2}, []int64{0, 0, 9, 9},
+		[]telco.Kind{telco.KindInt, telco.KindInt, telco.KindInt, telco.KindInt})
+	for i, a := range s.Aggs {
+		r, m := a.Finalize(byRow.Cells[i]), a.Finalize(byMeta.Cells[i])
+		if r.Format() != m.Format() {
+			t.Errorf("%s: meta %s, rows %s", a, m.Format(), r.Format())
+		}
+	}
+	// SUM and GROUP BY disqualify metadata answering.
+	if (&Spec{Aggs: []Agg{{Fn: "SUM", Col: "v"}}}).CanUseMeta(func(string) bool { return true }) {
+		t.Error("SUM answered from metadata")
+	}
+	if (&Spec{Aggs: []Agg{{Fn: "COUNT"}}, GroupBy: "g"}).CanUseMeta(func(string) bool { return true }) {
+		t.Error("grouped aggregate answered from metadata")
+	}
+	if (&Spec{Aggs: []Agg{{Fn: "MIN", Col: "v"}}}).CanUseMeta(func(string) bool { return false }) {
+		t.Error("MIN over unzoned column answered from metadata")
+	}
+}
+
+// TestMergeAssociativeCommutative: any fold order of shard partials gives
+// the same final answer.
+func TestMergeAssociativeCommutative(t *testing.T) {
+	s := &Spec{Aggs: []Agg{{Fn: "COUNT"}, {Fn: "SUM", Col: "v"}, {Fn: "MIN", Col: "v"}, {Fn: "MAX", Col: "v"}}, GroupBy: "g"}
+	shard := func(groups map[string][]int64) []Partial {
+		var out []Partial
+		for g, vals := range groups {
+			p := s.NewPartial(telco.String(g))
+			for _, v := range vals {
+				tv := telco.Int(v)
+				s.AddRow(p, []telco.Value{telco.Null, tv, tv, tv})
+			}
+			out = append(out, *p)
+		}
+		return out
+	}
+	a := shard(map[string][]int64{"x": {1, 2}, "y": {10}})
+	b := shard(map[string][]int64{"y": {-5, 3}, "z": {7}})
+	c := shard(map[string][]int64{"x": {100}})
+
+	render := func(ps []Partial) string {
+		data, _ := json.Marshal(ps)
+		return string(data)
+	}
+	clone := func(ps []Partial) []Partial {
+		out := make([]Partial, len(ps))
+		for i, p := range ps {
+			out[i] = p
+			out[i].Cells = append([]Cell(nil), p.Cells...)
+		}
+		return out
+	}
+	ab_c := Merge(Merge(clone(a), clone(b)), clone(c))
+	c_ba := Merge(Merge(clone(c), clone(b)), clone(a))
+	if render(ab_c) != render(c_ba) {
+		t.Fatalf("fold order changed the answer:\n%s\n%s", render(ab_c), render(c_ba))
+	}
+	if len(ab_c) != 3 || ab_c[0].Key > ab_c[1].Key || ab_c[1].Key > ab_c[2].Key {
+		t.Fatalf("merged partials not key-sorted: %s", render(ab_c))
+	}
+	// Spot-check group y: rows 10, -5, 3.
+	for _, p := range ab_c {
+		if p.Group.Value().Str() != "y" {
+			continue
+		}
+		got := []telco.Value{
+			s.Aggs[0].Finalize(p.Cells[0]), s.Aggs[1].Finalize(p.Cells[1]),
+			s.Aggs[2].Finalize(p.Cells[2]), s.Aggs[3].Finalize(p.Cells[3]),
+		}
+		want := []int64{3, 8, -5, 10}
+		for i := range want {
+			if got[i].Int64() != want[i] {
+				t.Errorf("group y agg %d = %s, want %d", i, got[i].Format(), want[i])
+			}
+		}
+	}
+}
+
+func TestWireValueRoundTrip(t *testing.T) {
+	vals := []telco.Value{
+		telco.Int(-42), telco.Float(1.5), telco.String(""), telco.String("DATA"), telco.Null,
+	}
+	for _, v := range vals {
+		got := FromValue(v).Value()
+		if got.Kind() != v.Kind() || got.Format() != v.Format() {
+			t.Errorf("round trip %s (%v) -> %s (%v)", v.Format(), v.Kind(), got.Format(), got.Kind())
+		}
+	}
+	// And through JSON, as the cluster RPC carries it.
+	w := FromValue(telco.Int(7))
+	data, _ := json.Marshal(w)
+	var back WireValue
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Value().Int64() != 7 {
+		t.Errorf("JSON round trip = %s", back.Value().Format())
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := &Spec{
+		Preds: []Pred{{Col: "c", Op: ">=", Kind: "int", Val: "1"}},
+		Aggs:  []Agg{{Fn: "COUNT"}, {Fn: "SUM", Col: "v"}},
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var nilSpec *Spec
+	if err := nilSpec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []*Spec{
+		{Preds: []Pred{{Col: "c", Op: "LIKE", Kind: "str", Val: "x"}}},
+		{Preds: []Pred{{Col: "c", Op: "=", Kind: "time", Val: "x"}}},
+		{Aggs: []Agg{{Fn: "AVG", Col: "v"}}},
+		{Aggs: []Agg{{Fn: "SUM"}}},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("accepted %+v", bad)
+		}
+	}
+}
+
+func TestReferencedAndString(t *testing.T) {
+	s := &Spec{
+		Columns: []string{"a", "b"},
+		Preds:   []Pred{{Col: "b", Op: "=", Kind: "int", Val: "1"}, {Col: "c", Op: ">", Kind: "int", Val: "2"}},
+		Aggs:    []Agg{{Fn: "SUM", Col: "d"}},
+		GroupBy: "e",
+	}
+	got := s.Referenced()
+	want := []string{"a", "b", "c", "d", "e"}
+	if len(got) != len(want) {
+		t.Fatalf("referenced = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("referenced = %v, want %v", got, want)
+		}
+	}
+	if (*Spec)(nil).String() != "full scan" {
+		t.Error("nil spec String")
+	}
+	if s := (&Spec{}).String(); s != "all columns" {
+		t.Errorf("empty spec String = %q", s)
+	}
+}

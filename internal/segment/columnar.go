@@ -1,0 +1,289 @@
+package segment
+
+import (
+	"bytes"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"strconv"
+
+	"spate/internal/compress"
+)
+
+// ColumnWriter renders a v3 column-major segment: rows arrive as escaped
+// wire fields, accumulate per column, and each chunk flush packs every
+// column with the encoding its entropy selects (dict+RLE, delta, or raw
+// join), then block-compresses the packed concatenation once so the codec
+// keeps one shared context across columns. Like Writer it is not safe for
+// concurrent use; ingest runs one writer per table worker.
+type ColumnWriter struct {
+	codec     compress.Codec
+	chunkSize int
+	ncols     int
+
+	out     *bytes.Buffer
+	cols    [][]string // accumulated escaped fields, per column
+	curSize int        // wire-text bytes the accumulated rows reconstruct to
+
+	chunks []Chunk
+
+	// current chunk stats (same bookkeeping as Writer)
+	rows  int64
+	minTS int64
+	maxTS int64
+	flags byte
+	cells map[int64]struct{}
+
+	stats       []ColumnStat
+	statsChunks int
+	finished    bool
+}
+
+// ColumnStat summarizes how one column encoded across a segment's chunks —
+// the observability feed for codec-selection stats.
+type ColumnStat struct {
+	// Plain, Dict and Delta count the chunks encoded with each codec.
+	Plain, Dict, Delta int
+	// EntropyBits is the mean per-chunk Shannon entropy of the column's
+	// value distribution (0 when every chunk exceeded the dictionary
+	// cardinality cap and skipped the measurement).
+	EntropyBits float64
+}
+
+// NewColumnWriter returns a v3 writer for tables of ncols columns. A
+// non-positive chunkSize selects DefaultChunkSize.
+func NewColumnWriter(codec compress.Codec, chunkSize, ncols int) *ColumnWriter {
+	if chunkSize <= 0 {
+		chunkSize = DefaultChunkSize
+	}
+	w := &ColumnWriter{
+		codec:     codec,
+		chunkSize: chunkSize,
+		ncols:     ncols,
+		out:       bufPool.Get().(*bytes.Buffer),
+		cols:      make([][]string, ncols),
+		cells:     make(map[int64]struct{}),
+		stats:     make([]ColumnStat, ncols),
+	}
+	w.out.Reset()
+	w.out.Write(magic[:])
+	w.out.WriteByte(Version)
+	w.resetChunkStats()
+	return w
+}
+
+func (w *ColumnWriter) resetChunkStats() {
+	w.rows = 0
+	w.minTS = math.MaxInt64
+	w.maxTS = math.MinInt64
+	w.flags = 0
+	clear(w.cells)
+	for i := range w.cols {
+		w.cols[i] = w.cols[i][:0]
+	}
+	w.curSize = 0
+}
+
+// AppendRowFields adds one record's escaped wire fields (one per column,
+// exactly what telco.Record.AppendFields renders) with its pruning
+// metadata. Field order must match the schema; rows are stored in append
+// order, so the segment reconstructs the table's wire form exactly.
+func (w *ColumnWriter) AppendRowFields(fields []string, m RowMeta) error {
+	if w.finished {
+		return fmt.Errorf("segment: append after Finish")
+	}
+	if len(fields) != w.ncols {
+		return fmt.Errorf("segment: row has %d fields, writer wants %d", len(fields), w.ncols)
+	}
+	for i, f := range fields {
+		w.cols[i] = append(w.cols[i], f)
+		w.curSize += len(f)
+	}
+	w.curSize += w.ncols // ncols-1 separators + newline
+	w.rows++
+	if m.HasTS {
+		if m.TS < w.minTS {
+			w.minTS = m.TS
+		}
+		if m.TS > w.maxTS {
+			w.maxTS = m.TS
+		}
+	} else {
+		w.flags |= flagNoTS
+	}
+	if m.HasCell {
+		w.cells[m.Cell] = struct{}{}
+	} else {
+		w.flags |= flagNoCell
+	}
+	if w.curSize >= w.chunkSize {
+		return w.flushChunk()
+	}
+	return nil
+}
+
+func (w *ColumnWriter) flushChunk() error {
+	if w.rows == 0 {
+		return nil
+	}
+	off := int64(w.out.Len())
+	metas := make([]ColMeta, w.ncols)
+	var packed []byte
+	anyPacked := false
+	for i, vals := range w.cols {
+		choice := compress.ChooseColumn(vals)
+		streamOff := int64(len(packed))
+		var err error
+		packed, err = compress.EncodeColumn(packed, choice.Tag, vals)
+		if err != nil {
+			return fmt.Errorf("segment: encode column %d: %w", i, err)
+		}
+		m := &metas[i]
+		m.Tag = choice.Tag
+		m.Off = streamOff
+		m.Len = int64(len(packed)) - streamOff
+		m.HasZone, m.Min, m.Max = intZone(vals)
+		if choice.Tag != compress.ColPlain {
+			anyPacked = true
+		}
+		w.stats[i].EntropyBits += choice.EntropyBits
+	}
+	// One block-codec pass over the packed concatenation: column offsets
+	// index the inflated block, so selective reads inflate once and parse
+	// only the streams they need.
+	blob := w.codec.Compress(nil, packed)
+	if anyPacked {
+		// Dict/RLE and delta pre-packing can destroy the byte-level
+		// redundancy the block codec feeds on (near-duplicate rows
+		// compress far better as raw text than as index streams), so
+		// compress an all-plain packing too and keep the smaller chunk.
+		plain := make([]byte, 0, len(packed))
+		plainMetas := make([]ColMeta, w.ncols)
+		for i, vals := range w.cols {
+			streamOff := int64(len(plain))
+			plain, _ = compress.EncodeColumn(plain, compress.ColPlain, vals)
+			m := &plainMetas[i]
+			m.Tag = compress.ColPlain
+			m.Off = streamOff
+			m.Len = int64(len(plain)) - streamOff
+			m.HasZone, m.Min, m.Max = metas[i].HasZone, metas[i].Min, metas[i].Max
+		}
+		if pb := w.codec.Compress(nil, plain); len(pb) < len(blob) {
+			blob, metas = pb, plainMetas
+		}
+	}
+	// Per-chunk layout choice: when the row-major wire text compresses
+	// smaller than any column packing — typical under a dictionary trained
+	// on row-major samples — store the text and keep only the directory's
+	// zones. Readers still serve per-column requests by splitting rows.
+	if rb := w.codec.Compress(nil, w.rowText()); len(rb) < len(blob) {
+		blob = rb
+		w.flags |= flagRowText
+		for i := range metas {
+			m := &metas[i]
+			m.Tag = compress.ColPlain
+			m.Off, m.Len = 0, 0
+		}
+	}
+	for i, m := range metas {
+		st := &w.stats[i]
+		switch m.Tag {
+		case compress.ColDict:
+			st.Dict++
+		case compress.ColDelta:
+			st.Delta++
+		default:
+			st.Plain++
+		}
+	}
+	w.statsChunks++
+	w.out.Write(blob)
+	payload := w.out.Bytes()[off:]
+	var sk []byte
+	if w.flags&flagNoCell == 0 && len(w.cells) > 0 {
+		sk = make([]byte, sketchSizeFor(len(w.cells)))
+		for id := range w.cells {
+			sketchSet(sk, id)
+		}
+	}
+	w.chunks = append(w.chunks, Chunk{
+		Off:    off,
+		Len:    int64(len(payload)),
+		ULen:   int64(w.curSize),
+		Rows:   w.rows,
+		CRC:    crc32.ChecksumIEEE(payload),
+		Flags:  w.flags,
+		MinTS:  w.minTS,
+		MaxTS:  w.maxTS,
+		Sketch: sk,
+		Cols:   metas,
+	})
+	w.resetChunkStats()
+	return nil
+}
+
+// rowText reassembles the accumulated rows' exact wire text (fields
+// joined by '|', rows by '\n') — the row-major layout candidate.
+func (w *ColumnWriter) rowText() []byte {
+	text := make([]byte, 0, w.curSize)
+	for r := int64(0); r < w.rows; r++ {
+		for i := range w.cols {
+			if i > 0 {
+				text = append(text, '|')
+			}
+			text = append(text, w.cols[i][r]...)
+		}
+		text = append(text, '\n')
+	}
+	return text
+}
+
+// intZone computes a column's integer zone map: present only when every
+// field is a canonical base-10 int64 (so the zone's bounds compare exactly
+// like the decoded values, and zone presence certifies the column has no
+// blank fields in the chunk).
+func intZone(vals []string) (bool, int64, int64) {
+	if len(vals) == 0 {
+		return false, 0, 0
+	}
+	min, max := int64(math.MaxInt64), int64(math.MinInt64)
+	for _, v := range vals {
+		x, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || strconv.FormatInt(x, 10) != v {
+			return false, 0, 0
+		}
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return true, min, max
+}
+
+// Finish flushes the last chunk, appends the v3 footer and returns the
+// rendered segment.
+func (w *ColumnWriter) Finish() ([]byte, Stats, error) {
+	if w.finished {
+		return nil, Stats{}, fmt.Errorf("segment: double Finish")
+	}
+	w.finished = true
+	if err := w.flushChunk(); err != nil {
+		return nil, Stats{}, err
+	}
+	st := writeFooter(w.out, w.chunks, w.codec)
+	if w.statsChunks > 0 {
+		for i := range w.stats {
+			w.stats[i].EntropyBits /= float64(w.statsChunks)
+		}
+	}
+	data := append([]byte(nil), w.out.Bytes()...)
+	bufPool.Put(w.out)
+	w.out = nil
+	return data, st, nil
+}
+
+// ColumnStats reports the per-column codec choices and entropy after
+// Finish, in schema order.
+func (w *ColumnWriter) ColumnStats() []ColumnStat { return w.stats }

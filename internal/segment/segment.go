@@ -36,7 +36,38 @@
 // positions are h mod the bit count, so a bloom of m bytes tiled out to 2m
 // covers both candidate positions of every key, and the compactor can
 // union sketches of different sizes when merging chunks without false
-// negatives. Readers accept both versions; writers emit v2.
+// negatives.
+//
+// Version 3 turns the chunk payload column-major: each column packs its
+// escaped wire fields with the encoding its entropy selects (see
+// compress.EncodeColumn), the packed streams concatenate, and the block
+// codec compresses the concatenation once — so the codec keeps one shared
+// context (and any trained dictionary) across all columns. Each chunk's
+// footer entry grows a column directory appended after the sketch:
+//
+//	ncols            uvarint
+//	per column:
+//	  tag|zone       byte      codec tag (low nibble) | zone presence (bit 4)
+//	  len            uvarint   stream length in the inflated concatenation
+//	                           (omitted in row-text chunks); offsets are
+//	                           implied — each stream starts where the
+//	                           previous ended
+//	  min            varint    integer zone lower bound (only when zoned)
+//	  span           uvarint   max - min (only when zoned)
+//
+// A v3 chunk may instead carry flag bit2 (row text): its payload is the
+// block-compressed row-major wire text — chosen when the writer measures
+// that layout compresses smaller (e.g. under a dictionary trained on
+// row-major samples) — and the column directory keeps only zones and tags
+// with zero off/len.
+//
+// The whole v3 footer (chunk entries + column directories) is itself
+// block-compressed; the tail's footer length counts the compressed bytes.
+//
+// Readers reconstruct a v3 chunk's exact wire text by decoding every
+// stream and re-joining fields (ChunkData), or materialize just the
+// columns a query touches (ChunkColumns). Readers accept versions 1-3;
+// the row Writer emits v2 and the ColumnWriter emits v3.
 //
 // The format byte selects the read path: files that do not start with the
 // magic are legacy whole-blob leaves and must be read through the codec
@@ -59,10 +90,17 @@ import (
 
 // Format constants.
 const (
-	Version = 2
+	// Version is the newest format a reader understands.
+	Version = 3
+	// RowVersion is the version the row-oriented Writer emits; the
+	// ColumnWriter emits Version.
+	RowVersion = 2
 
 	headerLen = 5 // magic + version
 	tailLen   = 8 // footer length + tail magic
+
+	// maxCols bounds the column directory a reader will allocate for.
+	maxCols = 1 << 12
 
 	// SketchBytes is the largest per-chunk cell-id bloom filter; version-1
 	// files always use it, version-2 writers size down to the chunk's
@@ -81,6 +119,17 @@ const (
 
 	flagNoTS   = 1 << 0 // chunk holds rows without a parseable timestamp
 	flagNoCell = 1 << 1 // chunk holds rows without a cell id column
+
+	// colTagMask and colZoneBit split the column directory's per-column
+	// lead byte: codec tag in the low nibble, zone presence in bit 4.
+	colTagMask = 0x0f
+	colZoneBit = 0x10
+	// flagRowText marks a v3 chunk whose payload is the block-compressed
+	// row-major wire text instead of packed column streams — written when
+	// the writer measures that the text compresses smaller (typically under
+	// a dictionary trained on row-major samples). The column directory
+	// keeps its zone maps; Off/Len are zero.
+	flagRowText = 1 << 2
 )
 
 var (
@@ -125,6 +174,29 @@ type Chunk struct {
 	// number of bytes up to SketchBytes. Empty means the chunk either
 	// holds no cell ids (flagNoCell defeats pruning) or was written empty.
 	Sketch []byte
+
+	// Cols is the v3 column directory: one entry per schema column, in
+	// schema order. Nil for v1/v2 row-major chunks.
+	Cols []ColMeta
+}
+
+// RowMajor reports whether a v3 chunk stores row-major wire text rather
+// than packed column streams (the writer's per-chunk layout choice).
+func (c Chunk) RowMajor() bool { return c.Flags&flagRowText != 0 }
+
+// ColMeta locates and describes one column stream of a v3 chunk.
+type ColMeta struct {
+	// Tag is the column codec (compress.ColPlain/ColDict/ColDelta).
+	Tag byte
+	// Off and Len locate the stream within the chunk's inflated packed
+	// concatenation (both zero in row-text chunks).
+	Off int64
+	Len int64
+	// HasZone marks columns whose every field in the chunk is a canonical
+	// base-10 integer; Min and Max then bound the values. Zone presence
+	// implies the column has no nulls (blank fields) in the chunk.
+	HasZone  bool
+	Min, Max int64
 }
 
 // OverlapsWindow reports whether the chunk may hold a row inside the
@@ -283,7 +355,7 @@ func NewWriter(codec compress.Codec, chunkSize int) *Writer {
 	w.out.Reset()
 	w.cur.Reset()
 	w.out.Write(magic[:])
-	w.out.WriteByte(Version)
+	w.out.WriteByte(RowVersion)
 	w.resetChunkStats()
 	return w
 }
@@ -421,40 +493,85 @@ func (w *Writer) Finish() ([]byte, Stats, error) {
 	if err := w.flushChunk(); err != nil {
 		return nil, Stats{}, err
 	}
-	footStart := w.out.Len()
-	var tmp [binary.MaxVarintLen64]byte
-	putUvarint := func(v uint64) {
-		n := binary.PutUvarint(tmp[:], v)
-		w.out.Write(tmp[:n])
-	}
-	putUvarint(uint64(len(w.chunks)))
-	var st Stats
-	st.Chunks = len(w.chunks)
-	for _, c := range w.chunks {
-		putUvarint(uint64(c.Off))
-		putUvarint(uint64(c.Len))
-		putUvarint(uint64(c.ULen))
-		putUvarint(uint64(c.Rows))
-		binary.LittleEndian.PutUint32(tmp[:4], c.CRC)
-		w.out.Write(tmp[:4])
-		w.out.WriteByte(c.Flags)
-		binary.LittleEndian.PutUint64(tmp[:8], uint64(c.MinTS))
-		w.out.Write(tmp[:8])
-		binary.LittleEndian.PutUint64(tmp[:8], uint64(c.MaxTS))
-		w.out.Write(tmp[:8])
-		putUvarint(uint64(len(c.Sketch)))
-		w.out.Write(c.Sketch)
-		st.RawBytes += c.ULen
-	}
-	binary.LittleEndian.PutUint32(tmp[:4], uint32(w.out.Len()-footStart))
-	w.out.Write(tmp[:4])
-	w.out.Write(tailMagic[:])
+	st := writeFooter(w.out, w.chunks, nil)
 
 	data := append([]byte(nil), w.out.Bytes()...)
 	bufPool.Put(w.out)
 	bufPool.Put(w.cur)
 	w.out, w.cur = nil, nil
 	return data, st, nil
+}
+
+// writeFooter appends the footer and tail for the accumulated chunks.
+// A non-nil codec selects the v3 footer entry (column directory after the
+// sketch) and block-compresses the whole footer — per-chunk column
+// directories are repetitive enough that plain storage would dominate
+// small segments.
+func writeFooter(dst *bytes.Buffer, chunks []Chunk, codec compress.Codec) Stats {
+	withCols := codec != nil
+	out := dst
+	if withCols {
+		out = new(bytes.Buffer)
+	}
+	footStart := out.Len()
+	var tmp [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) {
+		n := binary.PutUvarint(tmp[:], v)
+		out.Write(tmp[:n])
+	}
+	putVarint := func(v int64) {
+		n := binary.PutVarint(tmp[:], v)
+		out.Write(tmp[:n])
+	}
+	putUvarint(uint64(len(chunks)))
+	var st Stats
+	st.Chunks = len(chunks)
+	for _, c := range chunks {
+		putUvarint(uint64(c.Off))
+		putUvarint(uint64(c.Len))
+		putUvarint(uint64(c.ULen))
+		putUvarint(uint64(c.Rows))
+		binary.LittleEndian.PutUint32(tmp[:4], c.CRC)
+		out.Write(tmp[:4])
+		out.WriteByte(c.Flags)
+		binary.LittleEndian.PutUint64(tmp[:8], uint64(c.MinTS))
+		out.Write(tmp[:8])
+		binary.LittleEndian.PutUint64(tmp[:8], uint64(c.MaxTS))
+		out.Write(tmp[:8])
+		putUvarint(uint64(len(c.Sketch)))
+		out.Write(c.Sketch)
+		if withCols {
+			putUvarint(uint64(len(c.Cols)))
+			for _, m := range c.Cols {
+				// One byte carries the codec tag (low bits) and the
+				// zone-presence flag; stream offsets are implied (each
+				// stream starts where the previous ended), and row-text
+				// chunks omit lengths entirely.
+				combo := m.Tag
+				if m.HasZone {
+					combo |= colZoneBit
+				}
+				out.WriteByte(combo)
+				if !c.RowMajor() {
+					putUvarint(uint64(m.Len))
+				}
+				if m.HasZone {
+					putVarint(m.Min)
+					putUvarint(uint64(m.Max - m.Min))
+				}
+			}
+		}
+		st.RawBytes += c.ULen
+	}
+	if withCols {
+		footStart = dst.Len()
+		dst.Write(codec.Compress(nil, out.Bytes()))
+		out = dst
+	}
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(out.Len()-footStart))
+	out.Write(tmp[:4])
+	out.Write(tailMagic[:])
+	return st
 }
 
 // IsSegment sniffs the format byte: it reports whether the file carries
@@ -473,10 +590,11 @@ func IsSegment(r io.ReaderAt, size int64) bool {
 // Reader opens a segment through ranged reads: construction costs the
 // 5-byte header probe plus one footer read, independent of segment size.
 type Reader struct {
-	src    io.ReaderAt
-	codec  compress.Codec
-	size   int64
-	chunks []Chunk
+	src     io.ReaderAt
+	codec   compress.Codec
+	size    int64
+	version byte
+	chunks  []Chunk
 }
 
 // Open parses the segment footer from src. The codec must match the
@@ -511,13 +629,25 @@ func Open(src io.ReaderAt, size int64, codec compress.Codec) (*Reader, error) {
 	if _, err := src.ReadAt(foot, size-tailLen-footLen); err != nil {
 		return nil, fmt.Errorf("segment: read footer: %w", err)
 	}
-	r := &Reader{src: src, codec: codec, size: size}
+	if version >= 3 {
+		// v3 footers are block-compressed (the per-chunk column
+		// directories dominate small segments stored plain).
+		inflated, err := codec.Decompress(nil, foot)
+		if err != nil {
+			return nil, fmt.Errorf("segment: inflate footer: %w", err)
+		}
+		if int64(len(inflated)) > maxFooter {
+			return nil, compress.Corruptf("segment: footer inflates to %d bytes", len(inflated))
+		}
+		foot = inflated
+	}
+	r := &Reader{src: src, codec: codec, size: size, version: version}
 	br := bytes.NewReader(foot)
 	n, err := binary.ReadUvarint(br)
 	if err != nil {
 		return nil, compress.Corruptf("segment: footer count")
 	}
-	if n > uint64(footLen) { // each entry takes > 1 byte; cheap sanity cap
+	if n > uint64(len(foot)) { // each entry takes > 1 byte; cheap sanity cap
 		return nil, compress.Corruptf("segment: footer claims %d chunks", n)
 	}
 	r.chunks = make([]Chunk, 0, n)
@@ -564,6 +694,47 @@ func Open(src io.ReaderAt, size int64, codec compress.Codec) (*Reader, error) {
 		if c.Off < headerLen || c.Len <= 0 || c.Off+c.Len > dataEnd {
 			return nil, compress.Corruptf("segment: chunk %d spans [%d,+%d) outside data area", i, c.Off, c.Len)
 		}
+		if version >= 3 {
+			ncols, err := readUvarint64(br)
+			if err != nil || ncols == 0 || ncols > maxCols {
+				return nil, compress.Corruptf("segment: chunk %d column count", i)
+			}
+			c.Cols = make([]ColMeta, ncols)
+			off := int64(0)
+			for j := range c.Cols {
+				m := &c.Cols[j]
+				combo, err := br.ReadByte()
+				if err != nil || combo&^(colTagMask|colZoneBit) != 0 {
+					return nil, compress.Corruptf("segment: chunk %d column %d tag byte", i, j)
+				}
+				m.Tag = combo & colTagMask
+				if !c.RowMajor() {
+					// Stream offsets are implied: each stream starts
+					// where the previous ended in the inflated packed
+					// concatenation (its size is only known after
+					// decompression).
+					if m.Len, err = readUvarint64(br); err != nil {
+						return nil, compress.Corruptf("segment: chunk %d column %d length", i, j)
+					}
+					m.Off = off
+					off += m.Len
+				}
+				if combo&colZoneBit != 0 {
+					m.HasZone = true
+					if m.Min, err = binary.ReadVarint(br); err != nil {
+						return nil, compress.Corruptf("segment: chunk %d column %d zone min", i, j)
+					}
+					span, err := binary.ReadUvarint(br)
+					if err != nil {
+						return nil, compress.Corruptf("segment: chunk %d column %d zone span", i, j)
+					}
+					m.Max = m.Min + int64(span)
+					if m.Min > m.Max {
+						return nil, compress.Corruptf("segment: chunk %d column %d inverted zone", i, j)
+					}
+				}
+			}
+		}
 		r.chunks = append(r.chunks, c)
 	}
 	return r, nil
@@ -583,19 +754,46 @@ func (r *Reader) Chunks() []Chunk { return r.chunks }
 // NumChunks returns the chunk count.
 func (r *Reader) NumChunks() int { return len(r.chunks) }
 
+// Version reports the segment's format version (1-3).
+func (r *Reader) Version() int { return int(r.version) }
+
+// Columnar reports whether chunk payloads are column-major (v3).
+func (r *Reader) Columnar() bool { return r.version >= 3 }
+
 // ChunkData fetches, verifies and inflates chunk i, returning its wire
-// text. The read is ranged: only the chunk's payload bytes travel.
+// text. The read is ranged: only the chunk's payload bytes travel. For a
+// v3 chunk every column stream decodes and the fields re-join — escaping
+// is deterministic, so the reconstruction is bit-for-bit the text a row
+// writer would have stored.
 func (r *Reader) ChunkData(i int) ([]byte, error) {
-	if i < 0 || i >= len(r.chunks) {
-		return nil, fmt.Errorf("segment: no chunk %d of %d", i, len(r.chunks))
+	c, payload, err := r.chunkPayload(i)
+	if err != nil {
+		return nil, err
 	}
-	c := r.chunks[i]
-	payload := make([]byte, c.Len)
-	if _, err := r.src.ReadAt(payload, c.Off); err != nil {
-		return nil, fmt.Errorf("segment: read chunk %d: %w", i, err)
-	}
-	if crc32.ChecksumIEEE(payload) != c.CRC {
-		return nil, compress.Corruptf("segment: chunk %d CRC mismatch", i)
+	if r.version >= 3 {
+		if c.RowMajor() {
+			return r.inflateRowText(i, c, payload)
+		}
+		cols, _, err := r.decodeColumns(i, c, payload, nil)
+		if err != nil {
+			return nil, err
+		}
+		var b bytes.Buffer
+		b.Grow(int(c.ULen))
+		for row := int64(0); row < c.Rows; row++ {
+			for k := range cols {
+				if k > 0 {
+					b.WriteByte('|')
+				}
+				b.WriteString(cols[k][row])
+			}
+			b.WriteByte('\n')
+		}
+		if int64(b.Len()) != c.ULen {
+			return nil, compress.Corruptf("segment: chunk %d reassembled to %d bytes, footer says %d",
+				i, b.Len(), c.ULen)
+		}
+		return b.Bytes(), nil
 	}
 	text, err := io.ReadAll(compress.NewStreamReader(r.codec, bytes.NewReader(payload)))
 	if err != nil {
@@ -606,4 +804,137 @@ func (r *Reader) ChunkData(i int) ([]byte, error) {
 			i, len(text), c.ULen)
 	}
 	return text, nil
+}
+
+// ChunkColumns fetches chunk i and materializes only the columns in want
+// (schema positions). It returns one field slice per requested column, in
+// want order, plus the inflated byte count actually decoded — the
+// selective-scan savings the profile counters report. Only valid for v3
+// segments.
+func (r *Reader) ChunkColumns(i int, want []int) ([][]string, int64, error) {
+	if r.version < 3 {
+		return nil, 0, fmt.Errorf("segment: ChunkColumns on v%d segment", r.version)
+	}
+	c, payload, err := r.chunkPayload(i)
+	if err != nil {
+		return nil, 0, err
+	}
+	return r.decodeColumns(i, c, payload, want)
+}
+
+// chunkPayload reads and CRC-verifies chunk i's payload.
+func (r *Reader) chunkPayload(i int) (Chunk, []byte, error) {
+	if i < 0 || i >= len(r.chunks) {
+		return Chunk{}, nil, fmt.Errorf("segment: no chunk %d of %d", i, len(r.chunks))
+	}
+	c := r.chunks[i]
+	payload := make([]byte, c.Len)
+	if _, err := r.src.ReadAt(payload, c.Off); err != nil {
+		return Chunk{}, nil, fmt.Errorf("segment: read chunk %d: %w", i, err)
+	}
+	if crc32.ChecksumIEEE(payload) != c.CRC {
+		return Chunk{}, nil, compress.Corruptf("segment: chunk %d CRC mismatch", i)
+	}
+	return c, payload, nil
+}
+
+// inflateRowText inflates a row-text chunk's payload back to wire text.
+func (r *Reader) inflateRowText(i int, c Chunk, payload []byte) ([]byte, error) {
+	text, err := r.codec.Decompress(nil, payload)
+	if err != nil {
+		return nil, fmt.Errorf("segment: inflate chunk %d: %w", i, err)
+	}
+	if int64(len(text)) != c.ULen {
+		return nil, compress.Corruptf("segment: chunk %d inflated to %d bytes, footer says %d",
+			i, len(text), c.ULen)
+	}
+	return text, nil
+}
+
+// decodeColumns decodes the selected column streams of a v3 chunk (every
+// column when want is nil), returning the fields per column and the
+// inflated bytes decoded. The chunk's block codec inflates the payload
+// once; only the wanted streams are then parsed. Row-text chunks split the
+// inflated wire text instead — the caller-visible result is identical.
+func (r *Reader) decodeColumns(i int, c Chunk, payload []byte, want []int) ([][]string, int64, error) {
+	if want == nil {
+		want = make([]int, len(c.Cols))
+		for k := range want {
+			want[k] = k
+		}
+	}
+	for _, col := range want {
+		if col < 0 || col >= len(c.Cols) {
+			return nil, 0, fmt.Errorf("segment: chunk %d has no column %d", i, col)
+		}
+	}
+	out := make([][]string, len(want))
+	if c.RowMajor() {
+		text, err := r.inflateRowText(i, c, payload)
+		if err != nil {
+			return nil, 0, err
+		}
+		for k := range out {
+			out[k] = make([]string, 0, c.Rows)
+		}
+		rows := int64(0)
+		for start := 0; start < len(text); {
+			end := bytes.IndexByte(text[start:], '\n')
+			if end < 0 {
+				return nil, 0, compress.Corruptf("segment: chunk %d unterminated row", i)
+			}
+			fields := telco.SplitFields(string(text[start : start+end]))
+			if len(fields) != len(c.Cols) {
+				return nil, 0, compress.Corruptf("segment: chunk %d row has %d fields, want %d",
+					i, len(fields), len(c.Cols))
+			}
+			for k, col := range want {
+				out[k] = append(out[k], fields[col])
+			}
+			rows++
+			start += end + 1
+		}
+		if rows != c.Rows {
+			return nil, 0, compress.Corruptf("segment: chunk %d holds %d rows, footer says %d",
+				i, rows, c.Rows)
+		}
+		return out, inflatedOf(out), nil
+	}
+	packed, err := r.codec.Decompress(nil, payload)
+	if err != nil {
+		return nil, 0, fmt.Errorf("segment: inflate chunk %d: %w", i, err)
+	}
+	total := int64(0)
+	for _, m := range c.Cols {
+		if m.Off != total {
+			return nil, 0, compress.Corruptf("segment: chunk %d column streams not contiguous", i)
+		}
+		total += m.Len
+	}
+	if int64(len(packed)) != total {
+		return nil, 0, compress.Corruptf("segment: chunk %d packed to %d bytes, footer says %d",
+			i, len(packed), total)
+	}
+	for k, col := range want {
+		m := c.Cols[col]
+		vals, err := compress.DecodeColumn(make([]string, 0, c.Rows), m.Tag,
+			packed[m.Off:m.Off+m.Len], int(c.Rows))
+		if err != nil {
+			return nil, 0, fmt.Errorf("segment: chunk %d column %d: %w", i, col, err)
+		}
+		out[k] = vals
+	}
+	return out, inflatedOf(out), nil
+}
+
+// inflatedOf sums the wire-text share of materialized fields — the
+// selective-scan savings the profile counters report.
+func inflatedOf(cols [][]string) int64 {
+	n := int64(0)
+	for _, vals := range cols {
+		for _, v := range vals {
+			n += int64(len(v)) + 1 // field + its separator share of the wire text
+		}
+	}
+	return n
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"spate/internal/scanspec"
 	"spate/internal/telco"
 )
 
@@ -15,6 +16,12 @@ type ScanHint struct {
 	// conservative superset of the matching rows.
 	Window      telco.TimeRange
 	Constrained bool
+	// Spec, when non-nil, is the compiled pushdown spec for the scan: the
+	// columns the engine will read and the WHERE conjuncts storage may
+	// pre-apply. It is advisory — the engine re-evaluates the full WHERE
+	// clause — so providers may ignore it, apply only the predicates, or
+	// return rows holding null in every column outside Spec.Referenced().
+	Spec *scanspec.Spec
 }
 
 // Provider streams the rows of one table. Scan honors ctx: a canceled
@@ -23,6 +30,16 @@ type ScanHint struct {
 type Provider interface {
 	Schema() *telco.Schema
 	Scan(ctx context.Context, hint ScanHint, fn func(telco.Record) error) error
+}
+
+// Aggregator is implemented by providers whose storage layer can fold a
+// Spec's simple aggregates chunk-side and return partial aggregates instead
+// of rows. Unlike ScanHint.Spec, the spec here is authoritative: the
+// provider must apply Window, RequireTS and every predicate exactly as the
+// engine's row path would, because the engine renders the partials straight
+// into the result set.
+type Aggregator interface {
+	Aggregate(ctx context.Context, hint ScanHint, spec *scanspec.Spec) ([]scanspec.Partial, error)
 }
 
 // Catalog resolves table names.

@@ -9,12 +9,17 @@ import (
 	"time"
 
 	"spate/internal/obs"
+	"spate/internal/scanspec"
 	"spate/internal/telco"
 )
 
 // Engine executes SELECT statements against a catalog.
 type Engine struct {
 	cat Catalog
+	// DisablePushdown forces row-path execution even when the provider
+	// supports aggregate pushdown — the escape hatch parity tests use to
+	// compare both paths bit for bit.
+	DisablePushdown bool
 }
 
 // NewEngine returns an executor over cat.
@@ -143,6 +148,24 @@ func (e *Engine) RunContext(ctx context.Context, stmt *SelectStmt) (*ResultSet, 
 		}
 	}
 
+	// Single-table statements compile into a pushdown spec: fully eligible
+	// aggregates skip row materialization entirely when the provider folds
+	// partials itself; everything else ships the spec as an advisory
+	// prefilter with the scan hint.
+	var spec *scanspec.Spec
+	if !e.DisablePushdown && len(stmt.Joins) == 0 {
+		if plan, ok := compileAggPlan(stmt, sc.bindings[0]); ok {
+			if agg, isAgg := providers[0].(Aggregator); isAgg {
+				parts, err := agg.Aggregate(ctx, baseHint(stmt, sc), plan.spec)
+				if err != nil {
+					return nil, err
+				}
+				return plan.result(parts), nil
+			}
+		}
+		spec = compileScanSpec(stmt, sc.bindings[0])
+	}
+
 	// Resolve uncorrelated IN-subqueries up front.
 	subs := map[*InExpr]map[string]bool{}
 	if err := e.resolveSubqueries(ctx, stmt, subs); err != nil {
@@ -152,7 +175,7 @@ func (e *Engine) RunContext(ctx context.Context, stmt *SelectStmt) (*ResultSet, 
 	ev := &evaluator{scope: sc, subs: subs}
 
 	// Produce the joined row stream.
-	rows, err := e.scanJoin(ctx, stmt, sc, providers, ev)
+	rows, err := e.scanJoin(ctx, stmt, sc, providers, ev, spec)
 	if err != nil {
 		return nil, err
 	}
@@ -179,13 +202,21 @@ func (e *Engine) RunContext(ctx context.Context, stmt *SelectStmt) (*ResultSet, 
 	return e.project(stmt, ev, rows)
 }
 
-// scanJoin scans the FROM table (with ts pushdown) and nested-loop joins
-// the rest (the paper's T4 self-join path).
-func (e *Engine) scanJoin(ctx context.Context, stmt *SelectStmt, sc *scope, providers []Provider, ev *evaluator) ([][]telco.Value, error) {
+// baseHint builds the FROM table's scan hint: the conservative ts window
+// the temporal index prunes with.
+func baseHint(stmt *SelectStmt, sc *scope) ScanHint {
 	hint := ScanHint{}
 	if w, ok := extractWindow(stmt.Where, sc.bindings[0].name); ok {
 		hint = ScanHint{Window: w, Constrained: true}
 	}
+	return hint
+}
+
+// scanJoin scans the FROM table (with ts pushdown) and nested-loop joins
+// the rest (the paper's T4 self-join path).
+func (e *Engine) scanJoin(ctx context.Context, stmt *SelectStmt, sc *scope, providers []Provider, ev *evaluator, spec *scanspec.Spec) ([][]telco.Value, error) {
+	hint := baseHint(stmt, sc)
+	hint.Spec = spec
 	var rows [][]telco.Value
 	base := providers[0]
 	err := base.Scan(ctx, hint, func(r telco.Record) error {

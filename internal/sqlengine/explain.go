@@ -23,6 +23,7 @@ type ExplainProfiler interface {
 // plus an execution report (rows, wall time, storage profile).
 func (e *Engine) explain(ctx context.Context, stmt *SelectStmt) (*ResultSet, error) {
 	lines := planLines(stmt)
+	lines = append(lines, e.pushdownLines(stmt)...)
 	rs := &ResultSet{Cols: []string{"plan"}}
 	if stmt.Analyze {
 		inner := *stmt
@@ -48,6 +49,32 @@ func (e *Engine) explain(ctx context.Context, stmt *SelectStmt) (*ResultSet, err
 		rs.Rows = append(rs.Rows, []telco.Value{telco.String(ln)})
 	}
 	return rs, nil
+}
+
+// pushdownLines reports what the columnar storage layer will consume for a
+// single-table statement. Lines appear only for providers that implement
+// Aggregator (i.e. spec-aware storage): either the whole aggregate is
+// answered from partials, or the scan ships a column/predicate spec.
+// Catalogs without pushdown-capable storage keep their plans unchanged.
+func (e *Engine) pushdownLines(stmt *SelectStmt) []string {
+	if e.DisablePushdown || len(stmt.Joins) > 0 {
+		return nil
+	}
+	p, err := e.cat.Table(stmt.From.Name)
+	if err != nil {
+		return nil
+	}
+	if _, isAgg := p.(Aggregator); !isAgg {
+		return nil
+	}
+	b := binding{name: stmt.From.binding(), schema: p.Schema()}
+	if plan, ok := compileAggPlan(stmt, b); ok {
+		return []string{"PUSHDOWN aggregate: " + plan.spec.String()}
+	}
+	if spec := compileScanSpec(stmt, b); spec != nil {
+		return []string{"PUSHDOWN scan: " + spec.String()}
+	}
+	return nil
 }
 
 // planLines renders the statement's evaluation plan, one step per line, in

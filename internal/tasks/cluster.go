@@ -8,6 +8,7 @@ import (
 
 	"spate/internal/cluster"
 	"spate/internal/core"
+	"spate/internal/scanspec"
 	"spate/internal/snapshot"
 	"spate/internal/telco"
 )
@@ -63,6 +64,39 @@ func (c Cluster) Scan(ctx context.Context, w telco.TimeRange, tables []string, f
 		}
 	}
 	return nil
+}
+
+// ScanSpec implements SpecScanner: the spec rides the explore RPC, shards
+// pre-filter rows on its predicates and ship only referenced columns (v3
+// leaves), and the merged tables stream to fn in name order. The row-only
+// scatter skips the summary merge Scan pays for. Like Scan, any shard
+// failing all retries fails the call.
+func (c Cluster) ScanSpec(ctx context.Context, w telco.TimeRange, tables []string, spec *scanspec.Spec, fn func(string, *telco.Table) error) error {
+	rows, err := c.C.ScanRows(ctx, w, tables, spec)
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(rows))
+	for name := range rows {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if rows[name].Len() == 0 {
+			continue
+		}
+		if err := fn(name, rows[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AggregatePartials implements PartialAggregator: shards fold the spec's
+// aggregates locally and ship partials, which the coordinator merges
+// key-wise — the sharded answer matches a single engine bit for bit.
+func (c Cluster) AggregatePartials(ctx context.Context, w telco.TimeRange, table string, spec *scanspec.Spec) ([]scanspec.Partial, error) {
+	return c.C.AggregatePartials(ctx, w, table, spec)
 }
 
 // Space implements Framework. Shard nodes own their storage accounting;

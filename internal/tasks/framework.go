@@ -13,6 +13,7 @@ import (
 
 	"spate/internal/core"
 	"spate/internal/raw"
+	"spate/internal/scanspec"
 	"spate/internal/shahed"
 	"spate/internal/snapshot"
 	"spate/internal/sqlengine"
@@ -43,8 +44,28 @@ type Framework interface {
 	Space() (data, index int64)
 }
 
+// SpecScanner is the optional Framework capability for column-projected,
+// predicate-filtered scans: the storage layer decodes only the spec's
+// referenced column streams and pre-applies its conjuncts (advisory — the
+// SQL engine still re-evaluates the full WHERE clause). Frameworks without
+// it fall back to full-row scans.
+type SpecScanner interface {
+	ScanSpec(ctx context.Context, w telco.TimeRange, tables []string, spec *scanspec.Spec, fn func(string, *telco.Table) error) error
+}
+
+// PartialAggregator is the optional Framework capability for aggregate
+// pushdown: the storage layer folds the spec's aggregates chunk-side
+// (authoritative — window, RequireTS and predicates applied exactly) and
+// returns merged partials instead of rows.
+type PartialAggregator interface {
+	AggregatePartials(ctx context.Context, w telco.TimeRange, table string, spec *scanspec.Spec) ([]scanspec.Partial, error)
+}
+
 // Catalog adapts a framework to SPATE-SQL: CDR and NMS tables are scanned
-// through the framework, honoring the executor's timestamp pushdown.
+// through the framework, honoring the executor's timestamp pushdown. When
+// the framework supports columnar pushdown (SPATE, SPATE-CLUSTER), the
+// returned providers additionally implement sqlengine.Aggregator and route
+// column/predicate specs into the storage layer.
 func Catalog(f Framework) sqlengine.Catalog {
 	return fwCatalog{f}
 }
@@ -56,7 +77,11 @@ func (c fwCatalog) Table(name string) (sqlengine.Provider, error) {
 	if schema == nil {
 		return nil, &unknownTableError{name}
 	}
-	return fwProvider{f: c.f, name: name, schema: schema}, nil
+	p := fwProvider{f: c.f, name: name, schema: schema}
+	if agg, ok := c.f.(PartialAggregator); ok {
+		return aggProvider{fwProvider: p, agg: agg}, nil
+	}
+	return p, nil
 }
 
 // WithProfile implements sqlengine.ExplainProfiler: scans under the
@@ -85,6 +110,16 @@ func RenderProfile(p *core.Profile) []string {
 		p.LeavesScanned, p.LeavesPruned, p.LeavesDecayed)
 	add("chunks: %d scanned, %d pruned (zone map), %d pruned (bloom)",
 		p.ChunksScanned, p.ChunksPrunedZone, p.ChunksPrunedBloom)
+	if p.ChunksPrunedPred+p.ChunksAggMeta > 0 {
+		add("pushdown: %d chunks pruned (predicate), %d answered from zone meta",
+			p.ChunksPrunedPred, p.ChunksAggMeta)
+	}
+	if p.ColumnsDecoded+p.ColumnsSkipped > 0 {
+		add("columns: %d decoded, %d skipped", p.ColumnsDecoded, p.ColumnsSkipped)
+	}
+	if p.AggPartials > 0 {
+		add("aggregate: %d partial rows", p.AggPartials)
+	}
 	add("chunk cache: %d hits, %d misses", p.CacheHits, p.CacheMisses)
 	add("dfs: %d ranged reads, %d bytes inflated", p.DFSReads, p.InflatedBytes)
 	if p.ReadNS+p.DecodeNS+p.LookupNS > 0 {
@@ -106,6 +141,9 @@ func RenderProfile(p *core.Profile) []string {
 		}
 		if s.Retries > 0 {
 			extra += fmt.Sprintf(", %d retries", s.Retries)
+		}
+		if s.Profile.AggPartials > 0 {
+			extra += fmt.Sprintf(", %d partial rows", s.Profile.AggPartials)
 		}
 		add("shard %d band %d: %.1f ms, %d chunks scanned, %d pruned, %d cache hits, %d bytes%s",
 			s.Shard, s.Band, s.LatencyMS, s.Profile.ChunksScanned,
@@ -138,14 +176,36 @@ func (p fwProvider) Scan(ctx context.Context, hint sqlengine.ScanHint, fn func(t
 	if hint.Constrained {
 		w = hint.Window
 	}
-	return p.f.Scan(ctx, w, []string{p.name}, func(_ string, tab *telco.Table) error {
+	emit := func(_ string, tab *telco.Table) error {
 		for _, r := range tab.Rows {
 			if err := fn(r); err != nil {
 				return err
 			}
 		}
 		return nil
-	})
+	}
+	if hint.Spec != nil {
+		if ss, ok := p.f.(SpecScanner); ok {
+			return ss.ScanSpec(ctx, w, []string{p.name}, hint.Spec, emit)
+		}
+	}
+	return p.f.Scan(ctx, w, []string{p.name}, emit)
+}
+
+// aggProvider is the provider returned for pushdown-capable frameworks: it
+// additionally satisfies sqlengine.Aggregator, answering whole aggregate
+// queries from storage-side partials.
+type aggProvider struct {
+	fwProvider
+	agg PartialAggregator
+}
+
+func (p aggProvider) Aggregate(ctx context.Context, hint sqlengine.ScanHint, spec *scanspec.Spec) ([]scanspec.Partial, error) {
+	w := allTime
+	if hint.Constrained {
+		w = hint.Window
+	}
+	return p.agg.AggregatePartials(ctx, w, p.name, spec)
 }
 
 // --- SPATE adapter ---
@@ -168,6 +228,18 @@ func (s Spate) Finish() { s.E.FinishIngest() }
 // Scan implements Framework.
 func (s Spate) Scan(ctx context.Context, w telco.TimeRange, tables []string, fn func(string, *telco.Table) error) error {
 	return s.E.ScanTablesContext(ctx, w, tables, fn)
+}
+
+// ScanSpec implements SpecScanner: v3 leaves decode only the spec's
+// referenced column streams and pre-filter rows on its predicates.
+func (s Spate) ScanSpec(ctx context.Context, w telco.TimeRange, tables []string, spec *scanspec.Spec, fn func(string, *telco.Table) error) error {
+	return s.E.ScanTablesSpec(ctx, w, tables, spec, fn)
+}
+
+// AggregatePartials implements PartialAggregator: simple aggregates fold
+// chunk-side, answering zone-decidable chunks without decoding any column.
+func (s Spate) AggregatePartials(ctx context.Context, w telco.TimeRange, table string, spec *scanspec.Spec) ([]scanspec.Partial, error) {
+	return s.E.AggregatePartials(ctx, w, table, spec)
 }
 
 // Space implements Framework.

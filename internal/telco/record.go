@@ -32,6 +32,38 @@ func (r Record) Line() string {
 	return b.String()
 }
 
+// AppendFields appends each attribute's escaped wire field to dst — the
+// per-column pieces EncodeLine joins with the delimiter. Escaped fields
+// contain no raw delimiter or newline, so column-major storage can re-join
+// them into the exact wire line.
+func (r Record) AppendFields(dst []string) []string {
+	var b strings.Builder
+	for _, v := range r {
+		s := v.Format()
+		if !strings.ContainsAny(s, "|\\\n") {
+			dst = append(dst, s)
+			continue
+		}
+		b.Reset()
+		escapeInto(&b, s)
+		dst = append(dst, b.String())
+	}
+	return dst
+}
+
+// ParseField parses one escaped wire field (as AppendFields renders) into
+// a value of kind k.
+func ParseField(k Kind, field string) (Value, error) {
+	return ParseValue(k, unescape(field))
+}
+
+// SplitFields splits one wire line (without its trailing newline) into its
+// escaped fields — the inverse of joining AppendFields output with the
+// delimiter. Rewriting stored rows through SplitFields + column storage
+// reproduces the original line byte for byte, which re-rendering decoded
+// values cannot guarantee.
+func SplitFields(line string) []string { return splitEscaped(line) }
+
 func escapeInto(b *strings.Builder, s string) {
 	if !strings.ContainsAny(s, "|\\\n") {
 		b.WriteString(s)

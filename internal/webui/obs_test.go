@@ -104,6 +104,32 @@ func TestStatsEndpoint(t *testing.T) {
 	if h, ok := byName["spate_ingest_seconds"]; !ok || h.Series[0].Count < 4 || h.Series[0].Quantiles["p50"] <= 0 {
 		t.Errorf("ingest latency = %+v", h)
 	}
+	// The columnar ingest feed rides along as synthetic families: every
+	// series carries table+column labels, codec-chunk counts are labelled
+	// with the winning codec, and CDR's ts column must have been seen.
+	cc, ok := byName["spate_column_codec_chunks"]
+	if !ok || len(cc.Series) == 0 {
+		t.Fatalf("column codec chunks = %+v", cc)
+	}
+	sawTS := false
+	for _, s := range cc.Series {
+		if s.Labels["table"] == "" || s.Labels["column"] == "" || s.Labels["codec"] == "" {
+			t.Errorf("codec series missing labels: %+v", s)
+		}
+		if s.Value <= 0 {
+			t.Errorf("codec series with zero chunks: %+v", s)
+		}
+		if s.Labels["table"] == "CDR" && s.Labels["column"] == "ts" {
+			sawTS = true
+		}
+	}
+	if !sawTS {
+		t.Errorf("no CDR ts codec series in %+v", cc.Series)
+	}
+	ent, ok := byName["spate_column_entropy_bits"]
+	if !ok || len(ent.Series) == 0 {
+		t.Errorf("column entropy = %+v", ent)
+	}
 }
 
 func TestTraceEndpoint(t *testing.T) {

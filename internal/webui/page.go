@@ -75,6 +75,12 @@ async function stats(){
         firstVal(snap,'spate_dfs_under_replicated_blocks')+' under-replicated</b>':''));
     const cr=metric(snap,'spate_compress_ratio');
     if(cr)parts.push('<b>ratio</b> '+cr.series.map(s=>(s.labels&&s.labels.codec||'?')+' '+s.value.toFixed(2)).join(', '));
+    const cc=metric(snap,'spate_column_codec_chunks');
+    if(cc&&cc.series.length){
+      const byCodec={};
+      cc.series.forEach(s=>{const k=s.labels&&s.labels.codec||'?';byCodec[k]=(byCodec[k]||0)+s.value});
+      parts.push('<b>columns</b> '+Object.keys(byCodec).sort().map(k=>k+' '+byCodec[k]).join(' · ')+' chunks');
+    }
     const dec=firstVal(snap,'spate_decay_bytes_freed_total');
     if(dec)parts.push('<b>decay</b> '+fmtBytes(dec)+' freed');
     const slow=firstVal(snap,'spate_slow_queries_total');

@@ -72,7 +72,7 @@ func NewServer(eng *core.Engine, cells []gen.Cell, window telco.TimeRange) *Serv
 	s.mux.HandleFunc("GET /api/lifecycle", s.handleLifecycleGet)
 	s.mux.HandleFunc("POST /api/lifecycle", s.handleLifecyclePost)
 	s.mux.Handle("GET /metrics", obs.MetricsHandler(s.obs))
-	s.mux.Handle("GET /api/stats", obs.StatsHandler(s.obs))
+	s.mux.HandleFunc("GET /api/stats", s.handleStats)
 	s.mux.Handle("GET /api/trace", obs.TracesHandler(s.tracer))
 	s.mux.Handle("GET /api/slowlog", obs.SlowLogHandler(obs.DefaultSlowLog))
 	s.handler = s.middleware(s.mux)
@@ -394,6 +394,52 @@ func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, map[string]any{"cols": rs.Cols, "rows": rows})
+}
+
+// handleStats serves the obs registry's JSON mirror extended with two
+// synthetic families from the engine's columnar ingest: per-column codec
+// wins (spate_column_codec_chunks, labelled table/column/codec) and the
+// mean per-chunk entropy that drove each choice
+// (spate_column_entropy_bits). Both are derived on demand from
+// Engine.ColumnCodecStats rather than registered, so they never go stale
+// and cost nothing when no v3 segment has been written.
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, statsWithColumnCodecs(s.obs, s.eng))
+}
+
+func statsWithColumnCodecs(reg *obs.Registry, eng *core.Engine) []obs.Metric {
+	snap := reg.Snapshot()
+	cs := eng.ColumnCodecStats()
+	if len(cs) == 0 {
+		return snap
+	}
+	chunks := obs.Metric{
+		Name: "spate_column_codec_chunks", Type: "counter",
+		Help: "Chunks won by each column codec during columnar (v3) ingest.",
+	}
+	entropy := obs.Metric{
+		Name: "spate_column_entropy_bits", Type: "gauge",
+		Help: "Mean per-chunk value entropy per column, in bits.",
+	}
+	for _, st := range cs {
+		for _, cc := range []struct {
+			codec string
+			n     int
+		}{{"plain", st.PlainChunks}, {"dict", st.DictChunks}, {"delta", st.DeltaChunks}} {
+			if cc.n == 0 {
+				continue
+			}
+			chunks.Series = append(chunks.Series, obs.Series{
+				Labels: map[string]string{"table": st.Table, "column": st.Column, "codec": cc.codec},
+				Value:  float64(cc.n),
+			})
+		}
+		entropy.Series = append(entropy.Series, obs.Series{
+			Labels: map[string]string{"table": st.Table, "column": st.Column},
+			Value:  st.EntropyBits,
+		})
+	}
+	return append(snap, chunks, entropy)
 }
 
 func (s *Server) handleSpace(w http.ResponseWriter, _ *http.Request) {
