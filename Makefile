@@ -13,9 +13,12 @@ test:
 	$(GO) test ./...
 
 # The obs registry and tracer are lock-free/locked hot paths shared across
-# goroutines; run the whole tree under the race detector.
+# goroutines; run the whole tree under the race detector. The parallel scan
+# parity tests re-run at several GOMAXPROCS values so the order-preserving
+# scheduler is exercised both starved and saturated.
 race:
 	$(GO) test -race ./...
+	$(GO) test -race -run Parallel -cpu 1,2,4 ./internal/core/ ./internal/cluster/
 
 vet:
 	$(GO) vet ./...
@@ -36,6 +39,8 @@ bench-json:
 		| $(GO) run ./cmd/benchjson -o BENCH_ingest.json
 	$(GO) test -bench ColumnarScan -benchtime 5x -run XXX ./internal/core/ \
 		| $(GO) run ./cmd/benchjson -o BENCH_scan.json
+	$(GO) test -bench ParallelScan -benchtime 3x -run XXX ./internal/core/ \
+		| $(GO) run ./cmd/benchjson -o BENCH_parallel.json
 
 # Regression gate: regenerate the reports, then compare the deterministic
 # inflatedB/op numbers against the committed baselines — a format or
@@ -44,10 +49,12 @@ bench-json:
 bench-check:
 	cp BENCH_segment.json BENCH_segment.base.json
 	cp BENCH_scan.json BENCH_scan.base.json
+	cp BENCH_parallel.json BENCH_parallel.base.json
 	$(MAKE) bench-json
 	$(GO) run ./cmd/benchjson -baseline BENCH_segment.base.json -candidate BENCH_segment.json
 	$(GO) run ./cmd/benchjson -baseline BENCH_scan.base.json -candidate BENCH_scan.json
-	rm -f BENCH_segment.base.json BENCH_scan.base.json
+	$(GO) run ./cmd/benchjson -baseline BENCH_parallel.base.json -candidate BENCH_parallel.json
+	rm -f BENCH_segment.base.json BENCH_scan.base.json BENCH_parallel.base.json
 
 # Fuzz the WAL record decoder and the v3 column-stream decoders for a
 # short, CI-friendly budget.

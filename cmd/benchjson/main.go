@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 )
@@ -32,6 +33,17 @@ type result struct {
 	Name       string             `json:"name"`
 	Iterations int64              `json:"iterations"`
 	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// envInfo stamps every report with the machine shape it ran on, so
+// cross-machine trajectories (especially parallel-scan rows/sec, which
+// scales with core count) stay interpretable. Compare mode ignores it.
+type envInfo struct {
+	GoMaxProcs int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GoVersion  string `json:"go_version"`
 }
 
 func main() {
@@ -70,8 +82,18 @@ func main() {
 	}
 
 	doc := struct {
+		Env        envInfo  `json:"env"`
 		Benchmarks []result `json:"benchmarks"`
-	}{results}
+	}{
+		envInfo{
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+			NumCPU:     runtime.NumCPU(),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			GoVersion:  runtime.Version(),
+		},
+		results,
+	}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		log.Fatal(err)

@@ -88,6 +88,8 @@ func run() int {
 		withPprof = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 		chunkSize = flag.Int("chunk-size", 0,
 			"target uncompressed bytes per leaf segment chunk (0 = 256 KiB default; negative = legacy whole-blob leaves)")
+		scanWorkers = flag.Int("scan-workers", 0,
+			"goroutines per query for parallel leaf scans (0 = GOMAXPROCS; 1 = sequential)")
 
 		decayEvery = flag.Duration("decay-interval", 0,
 			"lifecycle: run scheduled decay this often (0 = disabled)")
@@ -179,8 +181,9 @@ func run() int {
 	// go through the structured logger so operators see them without
 	// scraping /api/lifecycle.
 	engOpts := core.Options{
-		ChunkSize: *chunkSize,
-		Policy:    decay.Policy{KeepRaw: *keepRaw},
+		ChunkSize:   *chunkSize,
+		ScanWorkers: *scanWorkers,
+		Policy:      decay.Policy{KeepRaw: *keepRaw},
 	}
 	lcCfg := lifecycle.Config{
 		DecayInterval:   *decayEvery,

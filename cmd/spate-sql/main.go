@@ -38,6 +38,8 @@ func main() {
 		days    = flag.Int("days", 1, "synthesized trace length in days")
 		store   = flag.String("store", "", "store directory (default: a temp dir)")
 		profile = flag.Bool("profile", false, "print the storage cost profile after each query")
+		workers = flag.Int("scan-workers", 0,
+			"goroutines per query for parallel leaf scans (0 = GOMAXPROCS; 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -55,12 +57,13 @@ func main() {
 		fatal(err)
 	}
 
+	opts := core.Options{ScanWorkers: *workers}
 	var eng *core.Engine
 	start := time.Now()
 	if *trace != "" {
-		eng, err = loadTrace(fs, *trace)
+		eng, err = loadTrace(fs, *trace, opts)
 	} else {
-		eng, err = synthesize(fs, *scale, *days)
+		eng, err = synthesize(fs, *scale, *days, opts)
 	}
 	if err != nil {
 		fatal(err)
@@ -77,12 +80,12 @@ func main() {
 	repl(sql, cat, *profile)
 }
 
-func loadTrace(fs *dfs.Cluster, trace string) (*core.Engine, error) {
+func loadTrace(fs *dfs.Cluster, trace string, opts core.Options) (*core.Engine, error) {
 	cells, err := tracedir.ReadCells(trace)
 	if err != nil {
 		return nil, err
 	}
-	eng, err := core.Open(fs, cells, core.Options{})
+	eng, err := core.Open(fs, cells, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -103,9 +106,9 @@ func loadTrace(fs *dfs.Cluster, trace string) (*core.Engine, error) {
 	return eng, nil
 }
 
-func synthesize(fs *dfs.Cluster, scale float64, days int) (*core.Engine, error) {
+func synthesize(fs *dfs.Cluster, scale float64, days int, opts core.Options) (*core.Engine, error) {
 	g := gen.New(gen.DefaultConfig(scale))
-	eng, err := core.Open(fs, g.CellTable(), core.Options{})
+	eng, err := core.Open(fs, g.CellTable(), opts)
 	if err != nil {
 		return nil, err
 	}

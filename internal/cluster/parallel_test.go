@@ -1,0 +1,96 @@
+package cluster
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"spate/internal/core"
+	"spate/internal/obs"
+	"spate/internal/telco"
+)
+
+// TestClusterParallelScanParity is the cluster half of the parallel-scan
+// parity contract: two identical 4-shard clusters, one with sequential
+// shard engines and one scanning with 8 workers per query, must return
+// identical coordinator answers — merged aggregates, cell series and
+// exact rows alike. The coordinator's chronological merge relies on every
+// shard emitting tables in its sequential order, so this pins exactly the
+// invariant the order-preserving scheduler exists for.
+func TestClusterParallelScanParity(t *testing.T) {
+	g, snaps, window := testTrace(t, 4)
+
+	start := func(workers int) *Local {
+		lc, err := StartLocal(Config{Shards: 4, Obs: obs.NewRegistry()}, g.CellTable(), LocalOptions{
+			Dir:    t.TempDir(),
+			Engine: core.Options{Obs: obs.NewNoop(), ScanWorkers: workers},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { lc.Close() })
+		ctx := context.Background()
+		for _, sn := range snaps {
+			if err := lc.Coordinator.Ingest(ctx, sn); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := lc.Coordinator.FinishIngest(ctx); err != nil {
+			t.Fatal(err)
+		}
+		return lc
+	}
+	seqC := start(1)
+	parC := start(8)
+
+	ctx := context.Background()
+	queries := []core.Query{
+		{Window: window, ExactRows: true},
+		{Window: telco.TimeRange{From: window.From.Add(6 * time.Hour), To: window.From.Add(60 * time.Hour)},
+			ExactRows: true, Tables: []string{"CDR"}},
+		{Window: telco.TimeRange{From: window.From.Add(24 * time.Hour), To: window.From.Add(72 * time.Hour)}},
+	}
+	for i, q := range queries {
+		seq, err := seqC.Coordinator.Explore(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := parC.Coordinator.Explore(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq.Partial || par.Partial {
+			t.Fatalf("query %d: partial answer (seq=%v par=%v)", i, seq.Partial, par.Partial)
+		}
+		if !reflect.DeepEqual(seq.Summary, par.Summary) {
+			t.Errorf("query %d: summaries differ (seq rows=%d par rows=%d)",
+				i, seq.Summary.Rows, par.Summary.Rows)
+		}
+		if !reflect.DeepEqual(seq.Cells, par.Cells) {
+			t.Errorf("query %d: cell series differ (%d vs %d)", i, len(seq.Cells), len(par.Cells))
+		}
+		if !reflect.DeepEqual(seq.Highlights, par.Highlights) {
+			t.Errorf("query %d: highlights differ", i)
+		}
+		if !reflect.DeepEqual(seq.Rows, par.Rows) {
+			t.Errorf("query %d: exact rows differ", i)
+		}
+		if seq.ServedPeriod != par.ServedPeriod || seq.ScannedLeaves != par.ScannedLeaves ||
+			seq.DecayedLeaves != par.DecayedLeaves || seq.ShardsQueried != par.ShardsQueried {
+			t.Errorf("query %d: scan counters differ: seq{%v %d %d %d} par{%v %d %d %d}",
+				i, seq.ServedPeriod, seq.ScannedLeaves, seq.DecayedLeaves, seq.ShardsQueried,
+				par.ServedPeriod, par.ScannedLeaves, par.DecayedLeaves, par.ShardsQueried)
+		}
+		if i == 0 {
+			// The merged profile takes the max fan-out across shards and
+			// sums their dispatched units.
+			if par.Profile.ScanWorkers != 8 {
+				t.Errorf("cluster profile ScanWorkers = %d, want 8", par.Profile.ScanWorkers)
+			}
+			if par.Profile.ParallelUnits == 0 {
+				t.Error("cluster profile ParallelUnits = 0 on an exact-row query")
+			}
+		}
+	}
+}

@@ -36,10 +36,6 @@ func (e *Engine) AggregatePartials(ctx context.Context, w telco.TimeRange, table
 	if schema == nil {
 		return nil, fmt.Errorf("core: unknown schema %q", table)
 	}
-	acc, err := newAggAcc(spec, schema)
-	if err != nil {
-		return nil, err
-	}
 	e.mu.RLock()
 	leaves := e.rowLeaves(w)
 	memt, memAfter := e.memAfterLocked()
@@ -50,37 +46,111 @@ func (e *Engine) AggregatePartials(ctx context.Context, w telco.TimeRange, table
 	e.mu.RUnlock()
 	prof := ProfileFromContext(ctx)
 	c := e.codec()
-	for _, l := range leaves {
-		if l.decayed || l.refs == nil {
-			if prof != nil && l.decayed {
-				prof.LeavesDecayed++
+	workers := e.scanWorkers()
+
+	var parts []scanspec.Partial
+	if workers <= 1 {
+		// Sequential path: one accumulator folds every leaf in order.
+		acc, err := newAggAcc(spec, schema)
+		if err != nil {
+			return nil, err
+		}
+		for _, l := range leaves {
+			if l.decayed || l.refs == nil {
+				if prof != nil && l.decayed {
+					prof.LeavesDecayed++
+				}
+				continue
 			}
-			continue
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if prof != nil {
+				prof.LeavesScanned++
+			}
+			ref, ok := l.refs[table]
+			if !ok {
+				continue
+			}
+			if err := e.aggLeafTable(table, ref, c, w, acc, prof); err != nil {
+				return nil, err
+			}
 		}
-		if err := ctx.Err(); err != nil {
+		for _, mt := range memTabs {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if prof != nil {
+				prof.MemRows += mt.tab.Len()
+			}
+			acc.foldTable(mt.tab, w)
+		}
+		parts = acc.partials()
+	} else {
+		// Parallel path: partial-aggregate merge is associative and
+		// commutative over the pushdown-eligible aggregates (COUNT, integer
+		// SUM, MIN, MAX), so each worker folds its units into a private
+		// accumulator with no locking at all and the per-worker partial
+		// sets Merge at the end — the lock-free fast path. The worker-order
+		// merge and the final sort-by-key make the output independent of
+		// scheduling.
+		accs := make([]*aggAcc, workers)
+		var refs []string
+		for _, l := range leaves {
+			if l.decayed || l.refs == nil {
+				if prof != nil && l.decayed {
+					prof.LeavesDecayed++
+				}
+				continue
+			}
+			if prof != nil {
+				prof.LeavesScanned++
+			}
+			if ref, ok := l.refs[table]; ok {
+				refs = append(refs, ref)
+			}
+		}
+		units := make([]scanUnit, len(refs))
+		for i, ref := range refs {
+			ref := ref
+			units[i] = func(sw *scanWorker) (any, error) {
+				acc := accs[sw.id]
+				if acc == nil {
+					var err error
+					acc, err = newAggAcc(spec, schema)
+					if err != nil {
+						return nil, err
+					}
+					accs[sw.id] = acc
+				}
+				return nil, e.aggLeafTable(table, ref, c, w, acc, sw.prof)
+			}
+		}
+		err := e.runUnits(ctx, workers, units, prof, func(int, any) error { return nil })
+		if err != nil {
 			return nil, err
 		}
-		if prof != nil {
-			prof.LeavesScanned++
+		if accs[0] == nil {
+			accs[0], err = newAggAcc(spec, schema)
+			if err != nil {
+				return nil, err
+			}
 		}
-		ref, ok := l.refs[table]
-		if !ok {
-			continue
+		for _, mt := range memTabs {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if prof != nil {
+				prof.MemRows += mt.tab.Len()
+			}
+			accs[0].foldTable(mt.tab, w)
 		}
-		if err := e.aggLeafTable(table, ref, c, w, acc, prof); err != nil {
-			return nil, err
+		for _, acc := range accs {
+			if acc != nil {
+				parts = scanspec.Merge(parts, acc.partials())
+			}
 		}
 	}
-	for _, mt := range memTabs {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		if prof != nil {
-			prof.MemRows += mt.tab.Len()
-		}
-		acc.foldTable(mt.tab, w)
-	}
-	parts := acc.partials()
 	if prof != nil {
 		prof.AggPartials += len(parts)
 	}

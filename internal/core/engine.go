@@ -13,6 +13,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -85,6 +86,11 @@ type Options struct {
 	// CellIndex selects the spatial index over the cell inventory:
 	// "quadtree" (default) or "rtree" — the two variants §V-A names.
 	CellIndex string
+	// ScanWorkers bounds the goroutines a single query fans leaf×table
+	// scan units out to (default GOMAXPROCS). 1 selects the sequential
+	// scan path unchanged from earlier releases; results are bit-for-bit
+	// identical at any width.
+	ScanWorkers int
 	// Obs selects the metrics registry the engine reports into (default
 	// obs.Default). obs.NewNoop() disables all accounting — the baseline
 	// the instrumentation-overhead benchmark compares against.
@@ -130,6 +136,12 @@ func (o Options) withDefaults() (Options, error) {
 	case segment.RowVersion, segment.Version:
 	default:
 		return o, fmt.Errorf("core: unsupported segment version %d", o.SegmentVersion)
+	}
+	if o.ScanWorkers == 0 {
+		o.ScanWorkers = runtime.GOMAXPROCS(0)
+	}
+	if o.ScanWorkers < 1 {
+		o.ScanWorkers = 1
 	}
 	if o.Obs == nil {
 		o.Obs = obs.Default
@@ -190,6 +202,12 @@ type Engine struct {
 	// bytes; see Options.ChunkCacheBytes.
 	chunkCache *segment.Cache
 
+	// chunkFlight deduplicates concurrent inflations of the same chunk
+	// (across scan workers and across queries); resFlight deduplicates
+	// whole identical explorations that miss the result cache.
+	chunkFlight flightGroup
+	resFlight   resultFlight
+
 	// met holds the engine's pre-resolved obs series and tracer.
 	met *engineMetrics
 
@@ -219,6 +237,8 @@ func Open(fs *dfs.Cluster, cellTable *telco.Table, opts Options) (*Engine, error
 		chunkCache: segment.NewCache(opts.ChunkCacheBytes, opts.Obs),
 		met:        newEngineMetrics(opts.Obs, opts.Tracer),
 	}
+	opts.Obs.Gauge("spate_scan_parallel_workers",
+		"Configured per-query scan worker fan-out.").Set(float64(opts.ScanWorkers))
 	bounds := geo.NewRect(0, 0, 1, 1)
 	first := true
 	idIdx := cellTable.Schema.FieldIndex(telco.AttrCellID)

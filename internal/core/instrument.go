@@ -62,6 +62,10 @@ type engineMetrics struct {
 	chunksScanned *obs.Counter
 	chunksPruned  *obs.Counter
 	leafBytes     *obs.Counter
+	parallelScans *obs.Counter
+	parallelUnits *obs.Counter
+	sfShared      *obs.Counter
+	resShared     *obs.Counter
 	decayRuns     *obs.Counter
 	decayLeaves   *obs.Counter
 	decayPruned   *obs.Counter
@@ -89,6 +93,10 @@ func newEngineMetrics(r *obs.Registry, t *obs.Tracer) *engineMetrics {
 		chunksScanned: r.Counter("spate_explore_scanned_chunks_total", "Leaf chunks decompressed during scans."),
 		chunksPruned:  r.Counter("spate_explore_pruned_chunks_total", "Leaf chunks skipped through segment zone maps."),
 		leafBytes:     r.Counter("spate_leaf_decompressed_bytes_total", "Leaf bytes inflated from the DFS (chunk-cache misses only)."),
+		parallelScans: r.Counter("spate_scan_parallel_fanouts_total", "Parallel scan fan-outs dispatched through the scheduler."),
+		parallelUnits: r.Counter("spate_scan_parallel_units_total", "Leaf-by-table scan units executed by the parallel scheduler."),
+		sfShared:      r.Counter("spate_scan_singleflight_shared_total", "Chunk decodes shared from a concurrent in-flight inflate."),
+		resShared:     r.Counter("spate_result_singleflight_shared_total", "Explorations served from a concurrent identical in-flight query."),
 		decayRuns:     r.Counter("spate_decay_runs_total", "Decay runs that evicted at least one entry."),
 		decayLeaves:   r.Counter("spate_decay_leaves_total", "Leaves whose raw data the fungus evicted."),
 		decayPruned:   r.Counter("spate_decay_pruned_nodes_total", "Index nodes pruned into coarser summaries."),

@@ -327,9 +327,13 @@ func (ss *specScan) filter(tab *telco.Table) {
 }
 
 // blobText returns a legacy whole-blob leaf's inflated wire text through
-// the chunk cache, accruing I/O costs into prof.
+// the chunk cache, accruing I/O costs into prof. Cache misses dedupe
+// through the chunk singleflight: when another goroutine is already
+// inflating this blob, the call waits and shares its text, charging
+// nothing (the leader's profile carries the cost).
 func (e *Engine) blobText(ref string, c compress.Codec, prof *Profile) ([]byte, error) {
-	text, ok := e.chunkCache.Get(ref + legacyCacheSuffix)
+	key := ref + legacyCacheSuffix
+	text, ok := e.chunkCache.Get(key)
 	if prof != nil {
 		if ok {
 			prof.CacheHits++
@@ -340,25 +344,31 @@ func (e *Engine) blobText(ref string, c compress.Codec, prof *Profile) ([]byte, 
 	if ok {
 		return text, nil
 	}
-	t0 := time.Now()
-	comp, err := e.fs.ReadFile(ref)
-	if err != nil {
-		return nil, fmt.Errorf("core: read %s: %w", ref, err)
+	text, shared, err := e.chunkFlight.do(key, func() ([]byte, error) {
+		t0 := time.Now()
+		comp, err := e.fs.ReadFile(ref)
+		if err != nil {
+			return nil, fmt.Errorf("core: read %s: %w", ref, err)
+		}
+		t1 := time.Now()
+		text, err := c.Decompress(nil, comp)
+		if err != nil {
+			return nil, fmt.Errorf("core: decompress %s: %w", ref, err)
+		}
+		e.met.leafBytes.Add(int64(len(text)))
+		e.chunkCache.Put(key, text)
+		if prof != nil {
+			prof.DFSReads++
+			prof.InflatedBytes += int64(len(text))
+			prof.ReadNS += t1.Sub(t0).Nanoseconds()
+			prof.DecodeNS += time.Since(t1).Nanoseconds()
+		}
+		return text, nil
+	})
+	if shared {
+		e.met.sfShared.Inc()
 	}
-	t1 := time.Now()
-	text, err = c.Decompress(nil, comp)
-	if err != nil {
-		return nil, fmt.Errorf("core: decompress %s: %w", ref, err)
-	}
-	e.met.leafBytes.Add(int64(len(text)))
-	e.chunkCache.Put(ref+legacyCacheSuffix, text)
-	if prof != nil {
-		prof.DFSReads++
-		prof.InflatedBytes += int64(len(text))
-		prof.ReadNS += t1.Sub(t0).Nanoseconds()
-		prof.DecodeNS += time.Since(t1).Nanoseconds()
-	}
-	return text, nil
+	return text, err
 }
 
 // chunkText returns chunk i's wire text through the chunk cache. On a v3
@@ -388,41 +398,51 @@ func (e *Engine) chunkText(r *segment.Reader, ref string, i int, ch segment.Chun
 	if ok {
 		return text, nil
 	}
-	t1 := time.Now()
-	if want == nil {
-		var err error
-		text, err = r.ChunkData(i)
-		if err != nil {
-			return nil, fmt.Errorf("core: read %s: %w", ref, err)
-		}
-		if prof != nil {
-			prof.InflatedBytes += int64(len(text))
-			if r.Columnar() {
-				prof.ColumnsDecoded += len(ch.Cols)
+	// Miss: fetch and inflate through the singleflight, so concurrent scan
+	// workers (or concurrent queries) needing the same chunk pay for one
+	// decode. The leader charges its profile; sharers charge nothing.
+	text, shared, err := e.chunkFlight.do(key, func() ([]byte, error) {
+		t1 := time.Now()
+		var text []byte
+		if want == nil {
+			var err error
+			text, err = r.ChunkData(i)
+			if err != nil {
+				return nil, fmt.Errorf("core: read %s: %w", ref, err)
 			}
+			if prof != nil {
+				prof.InflatedBytes += int64(len(text))
+				if r.Columnar() {
+					prof.ColumnsDecoded += len(ch.Cols)
+				}
+			}
+			e.met.leafBytes.Add(int64(len(text)))
+		} else {
+			cols, inflated, err := r.ChunkColumns(i, want)
+			if err != nil {
+				return nil, fmt.Errorf("core: read %s: %w", ref, err)
+			}
+			text = subsetText(cols, want, ss.schema.NumFields(), int(ch.Rows))
+			if prof != nil {
+				prof.InflatedBytes += inflated
+				prof.ColumnsDecoded += len(want)
+				prof.ColumnsSkipped += len(ch.Cols) - len(want)
+			}
+			e.met.leafBytes.Add(inflated)
 		}
-		e.met.leafBytes.Add(int64(len(text)))
-	} else {
-		cols, inflated, err := r.ChunkColumns(i, want)
-		if err != nil {
-			return nil, fmt.Errorf("core: read %s: %w", ref, err)
-		}
-		text = subsetText(cols, want, ss.schema.NumFields(), int(ch.Rows))
 		if prof != nil {
-			prof.InflatedBytes += inflated
-			prof.ColumnsDecoded += len(want)
-			prof.ColumnsSkipped += len(ch.Cols) - len(want)
+			// The chunk fetch issues one ranged DFS read and inflates in one
+			// step; charge the wall time to read, the bytes to inflate.
+			prof.DFSReads++
+			prof.ReadNS += time.Since(t1).Nanoseconds()
 		}
-		e.met.leafBytes.Add(inflated)
+		e.chunkCache.Put(key, text)
+		return text, nil
+	})
+	if shared {
+		e.met.sfShared.Inc()
 	}
-	if prof != nil {
-		// The chunk fetch issues one ranged DFS read and inflates in one
-		// step; charge the wall time to read, the bytes to inflate.
-		prof.DFSReads++
-		prof.ReadNS += time.Since(t1).Nanoseconds()
-	}
-	e.chunkCache.Put(key, text)
-	return text, nil
+	return text, err
 }
 
 // subsetText reconstructs chunk wire text from a decoded column subset:

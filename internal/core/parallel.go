@@ -1,0 +1,307 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// This file is the engine's parallel scan pipeline: a bounded-worker
+// scheduler that fans independent leaf×table scan units out across
+// Options.ScanWorkers goroutines while emitting their results to the
+// caller strictly in unit order (so parallel scans stay bit-for-bit
+// identical to the sequential, chronological output the cluster parity
+// contract depends on), plus the two singleflight layers that keep a
+// parallel read side from duplicating work: a per-chunk-key flight group
+// so concurrent workers (and concurrent queries) inflating the same chunk
+// decompress it once, and a per-query-key result flight so a thundering
+// herd of identical explorations costs one scan.
+
+// scanWorker is the per-goroutine state a scan unit runs under: a stable
+// worker id (call sites key per-worker fold state off it) and a private
+// profile accumulator, merged into the query profile after the fan-out so
+// workers never contend on shared counters mid-scan.
+type scanWorker struct {
+	id   int
+	prof *Profile // nil on unprofiled scans
+}
+
+// scanUnit is one independent piece of a scan — typically one (leaf,
+// table) pair. Units must not touch shared mutable state: everything they
+// produce is handed back through the return value and emitted in order.
+type scanUnit func(w *scanWorker) (any, error)
+
+// unitOut is one unit's completion record, filled by a worker and consumed
+// by the in-order emitter.
+type unitOut struct {
+	v    any
+	err  error
+	done bool
+}
+
+// scanScheduler coordinates one fan-out: workers claim unit indices in
+// order (bounded to maxAhead beyond the emit cursor, so a slow head unit
+// cannot pile up unbounded decoded tables behind it), and the calling
+// goroutine emits completed units strictly in index order.
+type scanScheduler struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	out     []unitOut
+	next    int // next unclaimed unit index
+	emitted int // units already handed to emit
+	stopped bool
+}
+
+// runUnits executes units on up to `workers` goroutines, calling emit(i, v)
+// on the calling goroutine in strict unit order. The first error — a unit
+// failure, an emit failure, or ctx expiring (checked before every unit) —
+// wins: no further units are claimed, in-flight workers drain, and the
+// lowest-index error is returned. Per-worker profiles and wall/decode
+// timings fold into prof (worker entries merged by id), so parallel scans
+// report the same summed counters the sequential path would.
+func (e *Engine) runUnits(ctx context.Context, workers int, units []scanUnit, prof *Profile, emit func(i int, v any) error) error {
+	n := len(units)
+	if n == 0 {
+		return ctx.Err()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	s := &scanScheduler{out: make([]unitOut, n)}
+	s.cond = sync.NewCond(&s.mu)
+	// maxAhead bounds how far claims may run past the emit cursor, keeping
+	// the memory held by completed-but-unemitted units proportional to the
+	// worker count rather than the scan length.
+	maxAhead := workers * 4
+
+	wprofs := make([]*Profile, workers)
+	wstats := make([]WorkerProfile, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sw := &scanWorker{id: w}
+			if prof != nil {
+				sw.prof = &Profile{}
+				wprofs[w] = sw.prof
+			}
+			st := &wstats[w]
+			st.Worker = w
+			for {
+				s.mu.Lock()
+				for !s.stopped && s.next < n && s.next-s.emitted >= maxAhead {
+					s.cond.Wait()
+				}
+				if s.stopped || s.next >= n {
+					s.mu.Unlock()
+					return
+				}
+				i := s.next
+				s.next++
+				s.mu.Unlock()
+
+				var v any
+				err := ctx.Err()
+				if err == nil {
+					t0 := time.Now()
+					v, err = units[i](sw)
+					st.WallNS += time.Since(t0).Nanoseconds()
+					st.Units++
+				}
+				s.mu.Lock()
+				s.out[i] = unitOut{v: v, err: err, done: true}
+				if err != nil {
+					s.stopped = true
+				}
+				s.cond.Broadcast()
+				s.mu.Unlock()
+				if err != nil {
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Emit loop: wait for each unit in order, hand it to emit, release its
+	// slot. A stop observed while unit i is still in flight falls through
+	// to the post-drain error scan below.
+	var firstErr error
+	s.mu.Lock()
+	for i := 0; i < n; i++ {
+		for !s.out[i].done && !s.stopped {
+			s.cond.Wait()
+		}
+		if !s.out[i].done {
+			break // stopped with i mid-flight or never claimed
+		}
+		o := s.out[i]
+		if o.err != nil {
+			firstErr = o.err
+			s.stopped = true
+			break
+		}
+		s.out[i] = unitOut{done: true} // release the value early
+		s.emitted++
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		err := emit(i, o.v)
+		s.mu.Lock()
+		if err != nil {
+			firstErr = err
+			s.stopped = true
+			break
+		}
+	}
+	s.stopped = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	wg.Wait()
+	if firstErr == nil {
+		// A worker stopped the run while the emitter was waiting on an
+		// earlier unit: the lowest-index error wins deterministically.
+		for i := range s.out {
+			if s.out[i].err != nil {
+				firstErr = s.out[i].err
+				break
+			}
+		}
+	}
+
+	if prof != nil {
+		if workers > prof.ScanWorkers {
+			prof.ScanWorkers = workers
+		}
+		prof.ParallelUnits += n
+		for w, wp := range wprofs {
+			if wp != nil {
+				wstats[w].DecodeNS = wp.DecodeNS
+				prof.Add(*wp)
+			}
+		}
+		prof.Workers = mergeWorkers(prof.Workers, wstats)
+	}
+	e.met.parallelScans.Inc()
+	e.met.parallelUnits.Add(int64(n))
+	return firstErr
+}
+
+// scanWorkers returns the configured fan-out (immutable after Open).
+func (e *Engine) scanWorkers() int { return e.opts.ScanWorkers }
+
+// flightGroup deduplicates concurrent byte-producing computations by key:
+// the first caller for a key runs fn, every caller that arrives while it
+// is in flight blocks and shares the result. The entry is dropped once fn
+// returns, so later callers recompute (the chunk cache, not the flight
+// group, is the steady-state store).
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	data []byte
+	err  error
+}
+
+// do returns fn's result for key, computing it at most once across
+// concurrent callers; shared reports whether this caller received another
+// caller's in-flight result instead of running fn itself.
+func (g *flightGroup) do(key string, fn func() ([]byte, error)) (data []byte, shared bool, err error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return c.data, true, c.err
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+	c.data, c.err = fn()
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.data, false, c.err
+}
+
+// resultFlight deduplicates concurrent identical explorations that miss
+// the result cache. Unlike flightGroup, failures do not propagate: a
+// leader that errors publishes nil and its waiters retry (re-checking the
+// cache and possibly leading themselves), so one canceled request never
+// fails an unrelated concurrent query.
+type resultFlight struct {
+	mu sync.Mutex
+	m  map[string]*resultCall
+}
+
+type resultCall struct {
+	done chan struct{}
+	res  *Result // nil when the leader failed
+}
+
+// begin registers interest in key: the first caller becomes the leader
+// (leader=true) and must call finish exactly once; every other caller
+// receives the in-flight call to wait on.
+func (f *resultFlight) begin(key string) (c *resultCall, leader bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.m == nil {
+		f.m = make(map[string]*resultCall)
+	}
+	if c, ok := f.m[key]; ok {
+		return c, false
+	}
+	c = &resultCall{done: make(chan struct{})}
+	f.m[key] = c
+	return c, true
+}
+
+// finish publishes the leader's outcome (res nil on failure) and wakes
+// every waiter.
+func (f *resultFlight) finish(key string, c *resultCall, res *Result) {
+	f.mu.Lock()
+	delete(f.m, key)
+	f.mu.Unlock()
+	c.res = res
+	close(c.done)
+}
+
+// mergeWorkers folds src's per-worker stats into dst by worker id, keeping
+// the result sorted — repeated fan-outs within one query (summary rebuild,
+// then row fetch) accumulate per worker instead of duplicating entries.
+func mergeWorkers(dst, src []WorkerProfile) []WorkerProfile {
+	if len(src) == 0 {
+		return dst
+	}
+	byID := make(map[int]int, len(dst))
+	for i := range dst {
+		byID[dst[i].Worker] = i
+	}
+	for _, s := range src {
+		if s.Units == 0 && s.WallNS == 0 {
+			continue
+		}
+		if i, ok := byID[s.Worker]; ok {
+			dst[i].Units += s.Units
+			dst[i].WallNS += s.WallNS
+			dst[i].DecodeNS += s.DecodeNS
+			continue
+		}
+		byID[s.Worker] = len(dst)
+		dst = append(dst, s)
+	}
+	for i := 1; i < len(dst); i++ {
+		for j := i; j > 0 && dst[j].Worker < dst[j-1].Worker; j-- {
+			dst[j], dst[j-1] = dst[j-1], dst[j]
+		}
+	}
+	return dst
+}

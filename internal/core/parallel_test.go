@@ -1,0 +1,436 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"spate/internal/dfs"
+	"spate/internal/gen"
+	"spate/internal/geo"
+	"spate/internal/obs"
+	"spate/internal/scanspec"
+	"spate/internal/snapshot"
+	"spate/internal/telco"
+)
+
+// normalizeParallel strips the fields that legitimately differ between a
+// sequential and a parallel evaluation of the same query: wall-clock
+// timings, trace ids, and the parallelism shape itself. Everything else —
+// rows, aggregates, highlights, and every scan/prune/cache counter — must
+// be bit-for-bit identical.
+func normalizeParallel(res *Result) {
+	res.Stages = nil
+	res.leafDecode = 0
+	res.Profile.TraceID = ""
+	res.Profile.ReadNS = 0
+	res.Profile.DecodeNS = 0
+	res.Profile.LookupNS = 0
+	res.Profile.ScanWorkers = 0
+	res.Profile.ParallelUnits = 0
+	res.Profile.Workers = nil
+}
+
+// TestParallelExploreParity is the PR's core property test: the same store
+// queried with 1, 4 and 8 scan workers must produce identical results —
+// same rows in the same per-table order, same aggregates, and the same
+// deterministic cost counters. The engines are opened fresh over one
+// shared DFS (the recovery path), so sealed days force parallel summary
+// rebuilds too.
+func TestParallelExploreParity(t *testing.T) {
+	r := newRig(t, Options{LeafSpatialPrune: true})
+	r.ingestEpochs(t, telco.EpochsPerDay+4) // one sealed day + an open tail
+	r.e.FinishIngest()
+
+	open := func(workers int) *Engine {
+		e, err := Open(r.fs, r.g.CellTable(), Options{
+			ScanWorkers:      workers,
+			LeafSpatialPrune: true,
+			Obs:              obs.NewRegistry(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+
+	wFull := telco.NewTimeRange(r.cfg.Start, r.cfg.Start.Add(30*time.Hour))
+	wSub := telco.NewTimeRange(r.cfg.Start.Add(2*time.Hour), r.cfg.Start.Add(9*time.Hour))
+	queries := []Query{
+		{Window: wFull, ExactRows: true},
+		{Window: wSub, Box: geo.NewRect(0, 0, 40, 38), ExactRows: true, Tables: []string{"CDR"}},
+		{Window: wSub, Box: geo.NewRect(70, 70, 79, 74), ExactRows: true},
+		{Window: wSub},
+	}
+
+	type observation struct {
+		explores []*Result
+		rows     map[string][]telco.Record
+		parts    []scanspec.Partial
+	}
+	spec := &scanspec.Spec{
+		Preds:     []scanspec.Pred{{Col: "duration", Op: ">=", Kind: "int", Val: "60"}},
+		Aggs:      []scanspec.Agg{{Fn: "COUNT"}, {Fn: "SUM", Col: "duration"}},
+		RequireTS: true,
+	}
+	observe := func(e *Engine) observation {
+		var o observation
+		for _, q := range queries {
+			res, err := e.Explore(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			normalizeParallel(res)
+			o.explores = append(o.explores, res)
+		}
+		// Row streams: emit order across tables is unspecified (the
+		// sequential path walks each leaf's tables in map order), but the
+		// per-table concatenation is the parity contract.
+		o.rows = make(map[string][]telco.Record)
+		err := e.ScanTablesSpec(context.Background(), wSub, nil, nil,
+			func(name string, tab *telco.Table) error {
+				o.rows[name] = append(o.rows[name], tab.Rows...)
+				return nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts, err := e.AggregatePartials(context.Background(), wFull, "CDR", spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o.parts = parts
+		return o
+	}
+
+	seq := observe(open(1))
+	for _, workers := range []int{4, 8} {
+		par := observe(open(workers))
+		for i := range queries {
+			if !reflect.DeepEqual(seq.explores[i], par.explores[i]) {
+				t.Errorf("workers=%d query %d diverged from sequential:\nseq: %+v\npar: %+v",
+					workers, i, seq.explores[i], par.explores[i])
+			}
+		}
+		if !reflect.DeepEqual(seq.rows, par.rows) {
+			t.Errorf("workers=%d ScanTablesSpec row streams diverged", workers)
+		}
+		if !reflect.DeepEqual(seq.parts, par.parts) {
+			t.Errorf("workers=%d aggregate partials diverged:\nseq: %+v\npar: %+v",
+				workers, seq.parts, par.parts)
+		}
+	}
+}
+
+// TestParallelProfileShape checks the new profile fields: a parallel
+// exact-row query reports its fan-out, its dispatched units, and
+// per-worker stats that sum to the unit count.
+func TestParallelProfileShape(t *testing.T) {
+	r := newRig(t, Options{ScanWorkers: 4})
+	r.ingestEpochs(t, 6)
+	r.e.FinishIngest()
+	w := telco.NewTimeRange(r.cfg.Start, r.cfg.Start.Add(3*time.Hour))
+	res, err := r.e.Explore(Query{Window: w, ExactRows: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Profile.ScanWorkers != 4 {
+		t.Errorf("ScanWorkers = %d, want 4", res.Profile.ScanWorkers)
+	}
+	if res.Profile.ParallelUnits == 0 {
+		t.Error("ParallelUnits = 0 on a parallel exact-row query")
+	}
+	units := 0
+	for i, wp := range res.Profile.Workers {
+		units += wp.Units
+		if i > 0 && wp.Worker <= res.Profile.Workers[i-1].Worker {
+			t.Errorf("Workers not sorted by id: %+v", res.Profile.Workers)
+		}
+	}
+	if units != res.Profile.ParallelUnits {
+		t.Errorf("per-worker units sum to %d, want %d", units, res.Profile.ParallelUnits)
+	}
+}
+
+// TestParallelScanCancellation cancels the context from inside the emit
+// callback of a parallel scan; the scan must stop claiming units and
+// surface context.Canceled instead of completing.
+func TestParallelScanCancellation(t *testing.T) {
+	r := newRig(t, Options{ScanWorkers: 4})
+	// Enough leaves that units remain unclaimed past the scheduler's
+	// bounded lookahead when the first table is emitted.
+	r.ingestEpochs(t, 24)
+	r.e.FinishIngest()
+	w := telco.NewTimeRange(r.cfg.Start, r.cfg.Start.Add(12*time.Hour))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	emits := 0
+	err := r.e.ScanTablesSpec(ctx, w, nil, nil, func(string, *telco.Table) error {
+		emits++
+		cancel()
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("ScanTablesSpec after mid-scan cancel = %v, want context.Canceled", err)
+	}
+	if emits == 0 {
+		t.Fatal("callback never ran")
+	}
+}
+
+// TestRunUnitsOrderAndErrors drives the scheduler directly: emits must
+// arrive in unit order whatever order workers finish in, and the
+// lowest-index failure wins deterministically.
+func TestRunUnitsOrderAndErrors(t *testing.T) {
+	r := newRig(t, Options{ScanWorkers: 4})
+	const n = 64
+	units := make([]scanUnit, n)
+	for i := range units {
+		i := i
+		units[i] = func(*scanWorker) (any, error) {
+			if i%7 == 0 {
+				time.Sleep(time.Millisecond) // scramble completion order
+			}
+			return i, nil
+		}
+	}
+	var got []int
+	err := r.e.runUnits(context.Background(), 4, units, nil, func(i int, v any) error {
+		got = append(got, v.(int))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("emit order broken at %d: got %v", i, got[:i+1])
+		}
+	}
+	if len(got) != n {
+		t.Fatalf("emitted %d units, want %d", len(got), n)
+	}
+
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	for i := range units {
+		i := i
+		units[i] = func(*scanWorker) (any, error) {
+			switch i {
+			case 3:
+				time.Sleep(5 * time.Millisecond)
+				return nil, errLow
+			case 10:
+				return nil, errHigh
+			default:
+				return i, nil
+			}
+		}
+	}
+	err = r.e.runUnits(context.Background(), 4, units, nil, func(int, any) error { return nil })
+	if !errors.Is(err, errLow) {
+		t.Fatalf("error = %v, want lowest-index error %v", err, errLow)
+	}
+}
+
+// TestFlightGroupDedupes pins the chunk singleflight contract: callers
+// that arrive while a computation is in flight share its result without
+// recomputing, and the entry is dropped afterwards so later callers
+// compute afresh (the chunk cache, not the flight group, is the store).
+func TestFlightGroupDedupes(t *testing.T) {
+	var g flightGroup
+	var computes atomic.Int32
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+	fn := func() ([]byte, error) {
+		computes.Add(1)
+		close(entered)
+		<-gate
+		return []byte("chunk"), nil
+	}
+
+	type outcome struct {
+		data   []byte
+		shared bool
+		err    error
+	}
+	leaderDone := make(chan outcome, 1)
+	go func() {
+		d, s, err := g.do("k", fn)
+		leaderDone <- outcome{d, s, err}
+	}()
+	<-entered // the leader is inside fn and holds the flight entry
+
+	const followers = 7
+	followerDone := make(chan outcome, followers)
+	for i := 0; i < followers; i++ {
+		go func() {
+			d, s, err := g.do("k", func() ([]byte, error) {
+				t.Error("follower ran fn while leader was in flight")
+				return nil, nil
+			})
+			followerDone <- outcome{d, s, err}
+		}()
+	}
+	// Give every follower time to reach the in-flight entry, then release
+	// the leader. A follower that raced past registration would run its fn
+	// and trip the t.Error above.
+	time.Sleep(100 * time.Millisecond)
+	close(gate)
+
+	lead := <-leaderDone
+	if lead.shared || string(lead.data) != "chunk" || lead.err != nil {
+		t.Fatalf("leader outcome = %+v", lead)
+	}
+	for i := 0; i < followers; i++ {
+		f := <-followerDone
+		if !f.shared || string(f.data) != "chunk" || f.err != nil {
+			t.Fatalf("follower outcome = %+v", f)
+		}
+	}
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("fn ran %d times, want 1", n)
+	}
+
+	// The entry is gone: a fresh caller computes again.
+	d, shared, err := g.do("k", func() ([]byte, error) { return []byte("again"), nil })
+	if shared || string(d) != "again" || err != nil {
+		t.Fatalf("post-flight call = (%q, %v, %v)", d, shared, err)
+	}
+}
+
+// TestResultFlightLeaderFailure pins the retry contract: a leader that
+// fails publishes nil, and its waiters see that and retry rather than
+// inheriting the failure.
+func TestResultFlightLeaderFailure(t *testing.T) {
+	var f resultFlight
+	c1, leader := f.begin("q")
+	if !leader {
+		t.Fatal("first caller is not the leader")
+	}
+	begun := make(chan *resultCall)
+	got := make(chan *Result)
+	go func() {
+		c2, leader2 := f.begin("q")
+		if leader2 {
+			t.Error("second caller became leader while first was in flight")
+		}
+		begun <- c2
+		<-c2.done
+		got <- c2.res
+	}()
+	<-begun
+	f.finish("q", c1, nil) // the leader failed (e.g. its ctx canceled)
+	if res := <-got; res != nil {
+		t.Fatalf("waiter received %+v from a failed leader, want nil", res)
+	}
+	// The key is free again: the retrying waiter can lead.
+	if _, leader := f.begin("q"); !leader {
+		t.Fatal("key still held after finish")
+	}
+}
+
+// TestExploreResultSingleflight exercises the wired-up result flight: a
+// herd of identical queries arriving while the first one is still
+// scanning costs exactly one evaluation, and the sharers are counted in
+// spate_result_singleflight_shared_total.
+func TestExploreResultSingleflight(t *testing.T) {
+	cfg := gen.DefaultConfig(0.004)
+	cfg.Antennas = 30
+	cfg.Users = 300
+	cfg.CDRPerEpoch = 120
+	cfg.NMSReportsPerCell = 0.8
+	g := gen.New(cfg)
+	// Throttled reads keep the leader's scan in flight long enough for the
+	// herd to pile onto it.
+	fs, err := dfs.NewCluster(t.TempDir(), dfs.Config{
+		BlockSize: 1 << 20, DataNodes: 3, Replication: 2, ReadMBps: 1,
+		Obs: obs.NewNoop(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	e, err := Open(fs, g.CellTable(), Options{ScanWorkers: 2, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e0 := telco.EpochOf(cfg.Start)
+	for i := 0; i < 3; i++ {
+		s := snapshot.New(e0 + telco.Epoch(i))
+		s.Add(g.CDRTable(s.Epoch))
+		if _, err := e.Ingest(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.FinishIngest()
+
+	q := Query{
+		Window:    telco.NewTimeRange(cfg.Start, cfg.Start.Add(2*time.Hour)),
+		ExactRows: true,
+	}
+	misses := reg.Counter("spate_explore_cache_misses_total", "")
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, err := e.Explore(q)
+		leaderErr <- err
+	}()
+	// Wait for the leader to enter the uncached path, then unleash the
+	// herd while it is still reading at 1 MB/s.
+	for i := 0; misses.Value() == 0; i++ {
+		if i > 5000 {
+			t.Fatal("leader never started scanning")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	const herd = 4
+	var wg sync.WaitGroup
+	var rows atomic.Int64
+	for i := 0; i < herd; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := e.Explore(q)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			rows.Add(int64(res.Summary.Rows))
+		}()
+	}
+	wg.Wait()
+	if err := <-leaderErr; err != nil {
+		t.Fatal(err)
+	}
+	if v := misses.Value(); v != 1 {
+		t.Errorf("cache misses = %d, want 1 (herd caused extra scans)", v)
+	}
+	sharedN := reg.Counter("spate_result_singleflight_shared_total", "").Value()
+	hits := reg.Counter("spate_explore_cache_hits_total", "").Value()
+	if sharedN+hits != herd {
+		t.Errorf("shared (%d) + cache hits (%d) != herd size %d", sharedN, hits, herd)
+	}
+	if sharedN == 0 {
+		t.Error("no query shared the in-flight result")
+	}
+	if rows.Load() == 0 {
+		t.Error("herd answers were empty")
+	}
+}
+
+// TestScanWorkersDefault pins the fan-out defaulting: 0 resolves to
+// GOMAXPROCS (at least 1) and explicit values pass through.
+func TestScanWorkersDefault(t *testing.T) {
+	r := newRig(t, Options{})
+	if got := r.e.scanWorkers(); got < 1 {
+		t.Errorf("default scan workers = %d, want >= 1", got)
+	}
+	r2 := newRig(t, Options{ScanWorkers: 7})
+	if got := r2.e.scanWorkers(); got != 7 {
+		t.Errorf("scan workers = %d, want 7", got)
+	}
+}

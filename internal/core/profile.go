@@ -50,11 +50,31 @@ type Profile struct {
 	DecodeNS int64 `json:"decode_ns,omitempty"`
 	LookupNS int64 `json:"lookup_ns,omitempty"`
 
+	// ScanWorkers is the widest fan-out any parallel scan phase in this
+	// query ran with (1 on the sequential path); ParallelUnits counts the
+	// leaf×table scan units dispatched through the scheduler across all
+	// phases. Workers carries the per-worker wall/decode split. On a cluster
+	// profile, ScanWorkers is the max across shards and ParallelUnits the
+	// sum; Workers stays per-shard (under Shards) since worker ids only
+	// mean something within one engine.
+	ScanWorkers   int             `json:"scan_workers,omitempty"`
+	ParallelUnits int             `json:"parallel_units,omitempty"`
+	Workers       []WorkerProfile `json:"workers,omitempty"`
+
 	// ResultCacheHit marks a query answered wholly from the result cache:
 	// the scan counters are zero because nothing was scanned.
 	ResultCacheHit bool `json:"result_cache_hit,omitempty"`
 
 	Shards []ShardProfile `json:"shards,omitempty"`
+}
+
+// WorkerProfile is one scan worker's share of a parallel query: how many
+// units it executed and how long it spent in them overall versus decoding.
+type WorkerProfile struct {
+	Worker   int   `json:"worker"`
+	Units    int   `json:"units"`
+	WallNS   int64 `json:"wall_ns"`
+	DecodeNS int64 `json:"decode_ns,omitempty"`
 }
 
 // ShardProfile is one shard slot's contribution to a cluster query.
@@ -96,6 +116,10 @@ func (p *Profile) Add(o Profile) {
 	p.ReadNS += o.ReadNS
 	p.DecodeNS += o.DecodeNS
 	p.LookupNS += o.LookupNS
+	if o.ScanWorkers > p.ScanWorkers {
+		p.ScanWorkers = o.ScanWorkers
+	}
+	p.ParallelUnits += o.ParallelUnits
 }
 
 type profileKey struct{}

@@ -119,18 +119,58 @@ func (e *Engine) Explore(q Query) (*Result, error) {
 // abandoned HTTP requests stop burning CPU), and when ctx carries a live
 // obs span the exploration span nests under it (e.g. under an HTTP
 // request's span).
+//
+// Concurrent identical queries that miss the result cache dedupe through
+// the result singleflight: one caller (the leader) evaluates, the rest
+// wait and share its answer as a cache hit. A leader that fails — most
+// often its own context canceling — publishes nothing, and each waiter
+// retries from the cache check (possibly leading itself), so one
+// abandoned request never fails an unrelated identical one.
 func (e *Engine) ExploreContext(ctx context.Context, q Query) (*Result, error) {
 	key := q.cacheKey()
-	if r, ok := e.cache.get(key); ok {
-		e.met.cacheHits.Inc()
-		out := *r
-		out.CacheHit = true
-		out.Profile.ResultCacheHit = true
-		if p := ProfileFromContext(ctx); p != nil {
-			p.ResultCacheHit = true
+	for {
+		if r, ok := e.cache.get(key); ok {
+			e.met.cacheHits.Inc()
+			return sharedResult(ctx, r), nil
 		}
-		return &out, nil
+		call, leader := e.resFlight.begin(key)
+		if leader {
+			res, err := e.exploreUncached(ctx, q, key)
+			if err != nil {
+				e.resFlight.finish(key, call, nil)
+				return nil, err
+			}
+			e.resFlight.finish(key, call, res)
+			return res, nil
+		}
+		select {
+		case <-call.done:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		if call.res != nil {
+			e.met.resShared.Inc()
+			return sharedResult(ctx, call.res), nil
+		}
 	}
+}
+
+// sharedResult copies a cached (or singleflight-shared) result for one
+// caller, marking it served without a scan.
+func sharedResult(ctx context.Context, r *Result) *Result {
+	out := *r
+	out.CacheHit = true
+	out.Profile.ResultCacheHit = true
+	if p := ProfileFromContext(ctx); p != nil {
+		p.ResultCacheHit = true
+	}
+	return &out
+}
+
+// exploreUncached is the result-cache miss path of ExploreContext: the
+// full plan → collect → merge → restrict → rows evaluation, installing
+// the answer under key on success.
+func (e *Engine) exploreUncached(ctx context.Context, q Query, key string) (*Result, error) {
 	e.met.cacheMisses.Inc()
 	start := time.Now()
 	sr := newStageRecorder()
@@ -159,6 +199,11 @@ func (e *Engine) ExploreContext(ctx context.Context, q Query) (*Result, error) {
 		e.met.prunedLeaves.Add(int64(res.PrunedLeaves))
 		e.cache.put(key, res)
 	}
+
+	// The query environment (table set, box cell membership, chunk prune
+	// predicates) is derived once and shared by every later phase —
+	// restriction, row fetch and the memtable union all read the same maps.
+	env := e.newQueryEnv(&q.Window, q.Tables, q.Box)
 
 	// Planning happens entirely under the engine read lock — tree nodes are
 	// mutated by Ingest/Decay under the write lock, so no node field may be
@@ -216,7 +261,7 @@ func (e *Engine) ExploreContext(ctx context.Context, q Query) (*Result, error) {
 	if fast {
 		res.ServedPeriod = coveringPeriod
 		t0 := time.Now()
-		res.Summary, res.Cells = e.restrictToBox(coveringSummary, q)
+		res.Summary, res.Cells = e.restrictToBox(coveringSummary, q, env)
 		sr.add(StageRestrict, time.Since(t0).Nanoseconds())
 		res.Highlights = coveringSummary.Extract(theta)
 		finish(res)
@@ -248,7 +293,7 @@ func (e *Engine) ExploreContext(ctx context.Context, q Query) (*Result, error) {
 	// Spatial restriction: keep only cells inside the box and rebuild the
 	// window aggregates from the per-cell breakdown.
 	tRestrict := time.Now()
-	res.Summary, res.Cells = e.restrictToBox(merged, q)
+	res.Summary, res.Cells = e.restrictToBox(merged, q, env)
 	sr.add(StageRestrict, time.Since(tRestrict).Nanoseconds())
 
 	// Highlights come from the covering node's resolution — its θ — as in
@@ -261,9 +306,9 @@ func (e *Engine) ExploreContext(ctx context.Context, q Query) (*Result, error) {
 
 	if q.ExactRows {
 		tRows := time.Now()
-		err := e.fetchRows(ctx, q, leaves, res)
+		err := e.fetchRows(ctx, q, env, leaves, res)
 		if err == nil {
-			e.appendMemRows(q, memTabs, res)
+			e.appendMemRows(env, memTabs, res)
 		}
 		sr.add(StageRows, time.Since(tRows).Nanoseconds())
 		if err != nil {
@@ -349,12 +394,13 @@ func (e *Engine) FetchRows(ctx context.Context, q Query) (map[string]*telco.Tabl
 		memTabs = collectMemTabs(memt, q.Window, q.Tables, memAfter)
 	}
 	e.mu.RUnlock()
+	env := e.newQueryEnv(&q.Window, q.Tables, q.Box)
 	res := &Result{}
-	if err := e.fetchRows(ctx, q, leaves, res); err != nil {
+	if err := e.fetchRows(ctx, q, env, leaves, res); err != nil {
 		span.SetError(err)
 		return nil, err
 	}
-	e.appendMemRows(q, memTabs, res)
+	e.appendMemRows(env, memTabs, res)
 	e.met.scannedLeaves.Add(int64(res.ScannedLeaves))
 	e.met.prunedLeaves.Add(int64(res.PrunedLeaves))
 	res.Profile.LeavesScanned = res.ScannedLeaves
@@ -376,6 +422,51 @@ func (e *Engine) FetchRows(ctx context.Context, q Query) (map[string]*telco.Tabl
 		p.Add(res.Profile)
 	}
 	return res.Rows, nil
+}
+
+// queryEnv is the per-query derived state every scan phase shares: the
+// table selection as a set (the old per-row linear search over q.Tables
+// was O(tables) per leaf table), the box's cell membership map (built
+// once instead of once per phase), and the chunk-prune predicates.
+// It is immutable after construction, so parallel scan workers read it
+// without synchronization.
+type queryEnv struct {
+	tables map[string]struct{} // nil = every table
+	inBox  map[int64]bool      // nil = no spatial filter
+	pr     leafPrune
+}
+
+// newQueryEnv derives the environment for one query. The window pointer
+// must stay valid for the query's lifetime (the chunk pruner aliases it).
+// Must not be called with e.mu held: CellsInBox takes the read lock.
+func (e *Engine) newQueryEnv(w *telco.TimeRange, tables []string, box geo.Rect) *queryEnv {
+	env := &queryEnv{pr: leafPrune{window: w}}
+	if len(tables) > 0 {
+		env.tables = make(map[string]struct{}, len(tables))
+		for _, t := range tables {
+			env.tables[t] = struct{}{}
+		}
+	}
+	if box != (geo.Rect{}) {
+		ids := e.CellsInBox(box)
+		env.inBox = make(map[int64]bool, len(ids))
+		for _, id := range ids {
+			env.inBox[id] = true
+		}
+		if len(ids) <= maxPruneCells {
+			env.pr.spatial, env.pr.cells = true, ids
+		}
+	}
+	return env
+}
+
+// wantTable reports whether the query's table selection includes name.
+func (env *queryEnv) wantTable(name string) bool {
+	if env.tables == nil {
+		return true
+	}
+	_, ok := env.tables[name]
+	return ok
 }
 
 // partSrc is one planned contribution to a window's answer: a summary
@@ -461,28 +552,74 @@ func (e *Engine) planSummaries(n *index.Node, w telco.TimeRange, srcs []partSrc,
 // buildParts turns a query plan into summary parts in order, rebuilding
 // the leaves the plan marked. ctx is consulted before every rebuild — the
 // expensive step — so a canceled request abandons the collection promptly.
+// With ScanWorkers > 1 and more than one rebuild, the rebuilds fan out
+// across the parallel scheduler; materialized summaries are slotted
+// directly and every part keeps its chronological plan position, so the
+// flat Merge downstream associates identically to the sequential path.
 func (e *Engine) buildParts(ctx context.Context, srcs []partSrc, res *Result) ([]*highlights.Summary, error) {
-	parts := make([]*highlights.Summary, 0, len(srcs))
-	var c compress.Codec
+	rebuilds := 0
 	for _, src := range srcs {
+		if src.sum == nil {
+			rebuilds++
+		}
+	}
+	workers := e.scanWorkers()
+	if workers <= 1 || rebuilds <= 1 {
+		parts := make([]*highlights.Summary, 0, len(srcs))
+		var c compress.Codec
+		for _, src := range srcs {
+			if src.sum != nil {
+				parts = append(parts, src.sum)
+				continue
+			}
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if c == nil {
+				c = e.codec()
+			}
+			t0 := time.Now()
+			s, err := e.buildLeafSummary(c, src.period, src.refs, &res.Profile)
+			res.leafDecode += time.Since(t0)
+			if err != nil {
+				return nil, err
+			}
+			res.ScannedLeaves++
+			parts = append(parts, s)
+		}
+		return parts, nil
+	}
+
+	type rebuilt struct {
+		sum *highlights.Summary
+		dur time.Duration
+	}
+	parts := make([]*highlights.Summary, len(srcs))
+	c := e.codec()
+	var units []scanUnit
+	var slots []int // unit index -> srcs index
+	for i, src := range srcs {
 		if src.sum != nil {
-			parts = append(parts, src.sum)
+			parts[i] = src.sum
 			continue
 		}
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		if c == nil {
-			c = e.codec()
-		}
-		t0 := time.Now()
-		s, err := e.buildLeafSummary(c, src.period, src.refs, &res.Profile)
-		res.leafDecode += time.Since(t0)
-		if err != nil {
-			return nil, err
-		}
+		src := src
+		slots = append(slots, i)
+		units = append(units, func(w *scanWorker) (any, error) {
+			t0 := time.Now()
+			s, err := e.buildLeafSummary(c, src.period, src.refs, w.prof)
+			return rebuilt{sum: s, dur: time.Since(t0)}, err
+		})
+	}
+	err := e.runUnits(ctx, workers, units, &res.Profile, func(i int, v any) error {
+		rb := v.(rebuilt)
+		parts[slots[i]] = rb.sum
+		res.leafDecode += rb.dur
 		res.ScannedLeaves++
-		parts = append(parts, s)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return parts, nil
 }
@@ -508,19 +645,16 @@ func (e *Engine) buildLeafSummary(c compress.Codec, period telco.TimeRange, refs
 	return s, nil
 }
 
-// restrictToBox filters a merged summary to the query box using the cell
-// inventory, producing both the filtered summary and per-cell series.
-func (e *Engine) restrictToBox(m *highlights.Summary, q Query) (*highlights.Summary, []CellSeries) {
-	if q.everywhere() {
+// restrictToBox filters a merged summary to the query box using the
+// environment's cell membership, producing both the filtered summary and
+// per-cell series.
+func (e *Engine) restrictToBox(m *highlights.Summary, q Query, env *queryEnv) (*highlights.Summary, []CellSeries) {
+	if env.inBox == nil {
 		cells := e.cellSeries(m, nil, q)
 		return m, cells
 	}
-	inBox := make(map[int64]bool)
-	for _, id := range e.CellsInBox(q.Box) {
-		inBox[id] = true
-	}
-	out := m.Restrict(func(id int64) bool { return inBox[id] })
-	return out, e.cellSeries(m, inBox, q)
+	out := m.Restrict(func(id int64) bool { return env.inBox[id] })
+	return out, e.cellSeries(m, env.inBox, q)
 }
 
 // cellSeries renders the per-cell view, filtered by box membership and the
@@ -573,21 +707,12 @@ func collectMemTabs(memt *memtable.Memtable, w telco.TimeRange, tables []string,
 }
 
 // appendMemRows folds captured memtable tables into an exact-row result,
-// applying the query's spatial filter. Unsealed rows are strictly newer
-// than every sealed leaf, so appending after the leaf scan keeps each
-// table chronological. Runs without the engine lock (CellsInBox locks
-// internally).
-func (e *Engine) appendMemRows(q Query, memTabs []memTab, res *Result) {
+// applying the query's spatial filter through the shared environment.
+// Unsealed rows are strictly newer than every sealed leaf, so appending
+// after the leaf scan keeps each table chronological.
+func (e *Engine) appendMemRows(env *queryEnv, memTabs []memTab, res *Result) {
 	if len(memTabs) == 0 {
 		return
-	}
-	var inBox map[int64]bool
-	if !q.everywhere() {
-		ids := e.CellsInBox(q.Box)
-		inBox = make(map[int64]bool, len(ids))
-		for _, id := range ids {
-			inBox[id] = true
-		}
 	}
 	if res.Rows == nil {
 		res.Rows = make(map[string]*telco.Table)
@@ -600,7 +725,7 @@ func (e *Engine) appendMemRows(q Query, memTabs []memTab, res *Result) {
 			res.Rows[mt.name] = dst
 		}
 		for _, r := range mt.tab.Rows {
-			if inBox != nil && cellIdx >= 0 && !inBox[r[cellIdx].Int64()] {
+			if env.inBox != nil && cellIdx >= 0 && !env.inBox[r[cellIdx].Int64()] {
 				continue
 			}
 			dst.Append(r)
@@ -614,90 +739,149 @@ func (e *Engine) appendMemRows(q Query, memTabs []memTab, res *Result) {
 // their zone maps (window bounds, cell sketch) before decompressing — the
 // per-row filters below remain authoritative, pruning only skips chunks
 // that provably hold no passing row. ctx is consulted before each snapshot.
-func (e *Engine) fetchRows(ctx context.Context, q Query, leaves []leafRef, res *Result) error {
+//
+// With ScanWorkers > 1 the leaf×table scans fan out across the parallel
+// scheduler: each unit decodes and filters into a private table, and the
+// order-preserving emit appends them leaf by leaf (table names sorted
+// within a leaf), so every per-table row sequence is bit-for-bit the one
+// the sequential path produces.
+func (e *Engine) fetchRows(ctx context.Context, q Query, env *queryEnv, leaves []leafRef, res *Result) error {
 	res.Rows = make(map[string]*telco.Table)
-	wantTable := func(name string) bool {
-		if len(q.Tables) == 0 {
-			return true
-		}
-		for _, t := range q.Tables {
-			if t == name {
-				return true
-			}
-		}
-		return false
-	}
-	pr := leafPrune{window: &q.Window}
-	var inBox map[int64]bool
-	if !q.everywhere() {
-		ids := e.CellsInBox(q.Box)
-		inBox = make(map[int64]bool, len(ids))
-		for _, id := range ids {
-			inBox[id] = true
-		}
-		if len(ids) <= maxPruneCells {
-			pr.spatial, pr.cells = true, ids
-		}
-	}
 	c := e.codec()
-	for _, l := range leaves {
+
+	// keepLeaf applies the decay skip and §V-A leaf spatial pruning with
+	// the sequential path's exact bookkeeping.
+	keepLeaf := func(l leafRef) bool {
 		if l.decayed || l.refs == nil {
-			continue
+			return false
 		}
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		// Leaf spatial pruning (§V-A): skip snapshots whose summary shows
-		// no rows inside the box.
-		if e.opts.LeafSpatialPrune && inBox != nil && l.sum != nil {
+		if e.opts.LeafSpatialPrune && env.inBox != nil && l.sum != nil {
 			hit := false
 			for id := range l.sum.Cells {
-				if inBox[id] {
+				if env.inBox[id] {
 					hit = true
 					break
 				}
 			}
 			if !hit {
 				res.PrunedLeaves++
-				continue
+				return false
 			}
 		}
-		for name, ref := range l.refs {
-			if !wantTable(name) {
+		return true
+	}
+	filterInto := func(dst *telco.Table, tab *telco.Table) {
+		tsIdx := tab.Schema.FieldIndex(telco.AttrTS)
+		cellIdx := tab.Schema.FieldIndex(telco.AttrCellID)
+		for _, r := range tab.Rows {
+			if tsIdx >= 0 && !r[tsIdx].IsNull() && !q.Window.Contains(r[tsIdx].Time()) {
 				continue
 			}
-			dst := res.Rows[name]
-			if dst == nil {
-				schema := telco.SchemaByName(name)
-				if schema == nil {
-					return fmt.Errorf("core: decode %s: unknown schema %q", ref, name)
-				}
-				dst = telco.NewTable(schema)
-				res.Rows[name] = dst
+			if env.inBox != nil && cellIdx >= 0 && !env.inBox[r[cellIdx].Int64()] {
+				continue
 			}
-			scanned, pruned, err := e.scanLeafTable(name, ref, c, pr, &res.Profile, func(tab *telco.Table) error {
-				tsIdx := tab.Schema.FieldIndex(telco.AttrTS)
-				cellIdx := tab.Schema.FieldIndex(telco.AttrCellID)
-				for _, r := range tab.Rows {
-					if tsIdx >= 0 && !r[tsIdx].IsNull() && !q.Window.Contains(r[tsIdx].Time()) {
-						continue
-					}
-					if inBox != nil && cellIdx >= 0 && !inBox[r[cellIdx].Int64()] {
-						continue
-					}
-					dst.Append(r)
-				}
-				return nil
-			})
-			if err != nil {
+			dst.Append(r)
+		}
+	}
+
+	if e.scanWorkers() <= 1 {
+		// Sequential path: the historical code shape, kept byte-for-byte
+		// comparable for differential testing.
+		for _, l := range leaves {
+			if !keepLeaf(l) {
+				continue
+			}
+			if err := ctx.Err(); err != nil {
 				return err
 			}
-			res.ScannedChunks += scanned
-			res.PrunedChunks += pruned
+			for name, ref := range l.refs {
+				if !env.wantTable(name) {
+					continue
+				}
+				dst := res.Rows[name]
+				if dst == nil {
+					schema := telco.SchemaByName(name)
+					if schema == nil {
+						return fmt.Errorf("core: decode %s: unknown schema %q", ref, name)
+					}
+					dst = telco.NewTable(schema)
+					res.Rows[name] = dst
+				}
+				scanned, pruned, err := e.scanLeafTable(name, ref, c, env.pr, &res.Profile, func(tab *telco.Table) error {
+					filterInto(dst, tab)
+					return nil
+				})
+				if err != nil {
+					return err
+				}
+				res.ScannedChunks += scanned
+				res.PrunedChunks += pruned
+			}
+			res.ScannedLeaves++
+		}
+		return nil
+	}
+
+	// Parallel path. The serial prepass applies the leaf-level skips (so
+	// PrunedLeaves/ScannedLeaves count exactly as above) and lays out one
+	// unit per surviving (leaf, table) pair, table names sorted within
+	// each leaf for a deterministic unit order.
+	type rowScan struct {
+		tab     *telco.Table
+		scanned int
+		pruned  int
+	}
+	type rowUnitSpec struct {
+		name, ref string
+		schema    *telco.Schema
+	}
+	var specs []rowUnitSpec
+	for _, l := range leaves {
+		if !keepLeaf(l) {
+			continue
+		}
+		names := make([]string, 0, len(l.refs))
+		for name := range l.refs {
+			if env.wantTable(name) {
+				names = append(names, name)
+			}
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			schema := telco.SchemaByName(name)
+			if schema == nil {
+				return fmt.Errorf("core: decode %s: unknown schema %q", l.refs[name], name)
+			}
+			specs = append(specs, rowUnitSpec{name: name, ref: l.refs[name], schema: schema})
 		}
 		res.ScannedLeaves++
 	}
-	return nil
+	units := make([]scanUnit, len(specs))
+	for i, sp := range specs {
+		sp := sp
+		units[i] = func(w *scanWorker) (any, error) {
+			out := rowScan{tab: telco.NewTable(sp.schema)}
+			var err error
+			out.scanned, out.pruned, err = e.scanLeafTable(sp.name, sp.ref, c, env.pr, w.prof, func(tab *telco.Table) error {
+				filterInto(out.tab, tab)
+				return nil
+			})
+			return out, err
+		}
+	}
+	return e.runUnits(ctx, e.scanWorkers(), units, &res.Profile, func(i int, v any) error {
+		out := v.(rowScan)
+		name := specs[i].name
+		dst := res.Rows[name]
+		if dst == nil {
+			res.Rows[name] = out.tab
+		} else {
+			dst.Rows = append(dst.Rows, out.tab.Rows...)
+		}
+		res.ScannedChunks += out.scanned
+		res.PrunedChunks += out.pruned
+		return nil
+	})
 }
 
 // ScanTables streams the window's stored records table-by-table: snapshots
@@ -731,64 +915,124 @@ func (e *Engine) ScanTablesSpec(ctx context.Context, w telco.TimeRange, tables [
 		memTabs = collectMemTabs(memt, w, tables, memAfter)
 	}
 	e.mu.RUnlock()
-	want := func(name string) bool {
-		if len(tables) == 0 {
-			return true
-		}
+	env := &queryEnv{pr: leafPrune{window: &w}}
+	if len(tables) > 0 {
+		env.tables = make(map[string]struct{}, len(tables))
 		for _, t := range tables {
-			if t == name {
-				return true
-			}
+			env.tables[t] = struct{}{}
 		}
-		return false
 	}
 	c := e.codec()
-	pr := leafPrune{window: &w}
 	prof := ProfileFromContext(ctx)
-	for _, l := range leaves {
-		if l.decayed || l.refs == nil {
-			if prof != nil && l.decayed {
-				prof.LeavesDecayed++
-			}
-			continue
-		}
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		if prof != nil {
-			prof.LeavesScanned++
-		}
-		for name, ref := range l.refs {
-			if !want(name) {
-				continue
-			}
-			schema := telco.SchemaByName(name)
-			if schema == nil {
-				return fmt.Errorf("core: decode %s: unknown schema %q", ref, name)
-			}
-			// Chunks outside the window are skipped before decompression;
-			// surviving chunks still pass the per-row filter, and their rows
-			// accumulate into one table per leaf so fn observes the same
-			// call sequence as with whole-blob leaves.
-			filtered := telco.NewTable(schema)
-			_, _, err := e.scanLeafTableSpec(name, ref, c, pr, spec, prof, func(tab *telco.Table) error {
-				tsIdx := tab.Schema.FieldIndex(telco.AttrTS)
-				for _, r := range tab.Rows {
-					if keepRowTS(r, tsIdx, w, spec) {
-						filtered.Rows = append(filtered.Rows, r)
-					}
+
+	// scanOne decodes one (leaf, table) into a window/spec-filtered table.
+	// Chunks outside the window are skipped before decompression; surviving
+	// chunks still pass the per-row filter, and their rows accumulate into
+	// one table per leaf so fn observes the same call sequence as with
+	// whole-blob leaves.
+	scanOne := func(name, ref string, schema *telco.Schema, p *Profile) (*telco.Table, error) {
+		filtered := telco.NewTable(schema)
+		_, _, err := e.scanLeafTableSpec(name, ref, c, env.pr, spec, p, func(tab *telco.Table) error {
+			tsIdx := tab.Schema.FieldIndex(telco.AttrTS)
+			for _, r := range tab.Rows {
+				if keepRowTS(r, tsIdx, w, spec) {
+					filtered.Rows = append(filtered.Rows, r)
 				}
-				return nil
-			})
-			if err != nil {
-				return err
 			}
-			if filtered.Len() == 0 {
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return filtered, nil
+	}
+
+	if e.scanWorkers() <= 1 {
+		// Sequential path: the historical code shape.
+		for _, l := range leaves {
+			if l.decayed || l.refs == nil {
+				if prof != nil && l.decayed {
+					prof.LeavesDecayed++
+				}
 				continue
 			}
-			if err := fn(name, filtered); err != nil {
+			if err := ctx.Err(); err != nil {
 				return err
 			}
+			if prof != nil {
+				prof.LeavesScanned++
+			}
+			for name, ref := range l.refs {
+				if !env.wantTable(name) {
+					continue
+				}
+				schema := telco.SchemaByName(name)
+				if schema == nil {
+					return fmt.Errorf("core: decode %s: unknown schema %q", ref, name)
+				}
+				filtered, err := scanOne(name, ref, schema, prof)
+				if err != nil {
+					return err
+				}
+				if filtered.Len() == 0 {
+					continue
+				}
+				if err := fn(name, filtered); err != nil {
+					return err
+				}
+			}
+		}
+	} else {
+		// Parallel path: one unit per surviving (leaf, table), emitted to
+		// fn in leaf order with table names sorted within each leaf —
+		// per-table call order matches the sequential path exactly.
+		type specUnit struct {
+			name, ref string
+			schema    *telco.Schema
+		}
+		var specs []specUnit
+		for _, l := range leaves {
+			if l.decayed || l.refs == nil {
+				if prof != nil && l.decayed {
+					prof.LeavesDecayed++
+				}
+				continue
+			}
+			if prof != nil {
+				prof.LeavesScanned++
+			}
+			names := make([]string, 0, len(l.refs))
+			for name := range l.refs {
+				if env.wantTable(name) {
+					names = append(names, name)
+				}
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				schema := telco.SchemaByName(name)
+				if schema == nil {
+					return fmt.Errorf("core: decode %s: unknown schema %q", l.refs[name], name)
+				}
+				specs = append(specs, specUnit{name: name, ref: l.refs[name], schema: schema})
+			}
+		}
+		units := make([]scanUnit, len(specs))
+		for i, sp := range specs {
+			sp := sp
+			units[i] = func(sw *scanWorker) (any, error) {
+				t, err := scanOne(sp.name, sp.ref, sp.schema, sw.prof)
+				return t, err
+			}
+		}
+		err := e.runUnits(ctx, e.scanWorkers(), units, prof, func(i int, v any) error {
+			filtered := v.(*telco.Table)
+			if filtered.Len() == 0 {
+				return nil
+			}
+			return fn(specs[i].name, filtered)
+		})
+		if err != nil {
+			return err
 		}
 	}
 	// Unsealed rows stream last — strictly newer than every sealed leaf,

@@ -11,17 +11,27 @@ import (
 // Cache is a bytes-bounded LRU over inflated chunk wire text, shared by
 // every query path that touches leaf data. Bounding by bytes (not entries)
 // keeps the working set predictable no matter how chunk sizes are tuned.
+//
+// Internally the cache is striped: keys hash to one of N independent
+// shards, each with its own mutex, LRU list and share of the byte budget,
+// so parallel scan workers probing different chunks never serialize on a
+// single lock. Small budgets collapse to one stripe (a global LRU —
+// exactly the historical behaviour); the 64 MiB default runs 16 stripes.
 // All methods are safe for concurrent use.
 type Cache struct {
+	stripes []*cacheStripe
+
+	hits      *obs.Counter
+	misses    *obs.Counter
+	evictions *obs.Counter
+}
+
+type cacheStripe struct {
 	mu    sync.Mutex
 	cap   int64
 	used  int64
 	ll    *list.List // front = most recently used
 	items map[string]*list.Element
-
-	hits      *obs.Counter
-	misses    *obs.Counter
-	evictions *obs.Counter
 }
 
 type cacheEntry struct {
@@ -29,103 +39,179 @@ type cacheEntry struct {
 	data []byte
 }
 
+// Stripe sizing: each stripe manages an independent slice of the byte
+// budget, so stripes only help once the budget is large enough that a
+// per-stripe share still holds many chunks. Budgets below 2·minStripeBytes
+// run a single global LRU, preserving exact historical eviction order for
+// small configurations.
+const (
+	maxStripes     = 16
+	minStripeBytes = 1 << 20
+)
+
+func stripesFor(maxBytes int64) int {
+	n := int(maxBytes / minStripeBytes)
+	if n > maxStripes {
+		n = maxStripes
+	}
+	if n < 2 {
+		return 1
+	}
+	return n
+}
+
 // NewCache returns a cache bounded at maxBytes, reporting hit/miss/
 // eviction counters and a live byte gauge into reg (obs.Default when nil).
 // A non-positive bound disables caching: Get always misses, Put discards.
 func NewCache(maxBytes int64, reg *obs.Registry) *Cache {
+	return NewStripedCache(maxBytes, stripesFor(maxBytes), reg)
+}
+
+// NewStripedCache is NewCache with an explicit stripe count (clamped to at
+// least 1); the byte budget divides evenly across stripes, with the
+// remainder on stripe 0. Exposed so tests can force contention onto a
+// known stripe layout.
+func NewStripedCache(maxBytes int64, stripes int, reg *obs.Registry) *Cache {
 	if reg == nil {
 		reg = obs.Default
 	}
+	if stripes < 1 {
+		stripes = 1
+	}
+	if maxBytes <= 0 {
+		stripes = 1 // disabled: one empty stripe keeps the methods trivial
+	}
 	c := &Cache{
-		cap:       maxBytes,
-		ll:        list.New(),
-		items:     make(map[string]*list.Element),
+		stripes:   make([]*cacheStripe, stripes),
 		hits:      reg.Counter("spate_chunk_cache_hits_total", "Chunk reads served from the leaf chunk cache."),
 		misses:    reg.Counter("spate_chunk_cache_misses_total", "Chunk reads that fetched and inflated from the DFS."),
 		evictions: reg.Counter("spate_chunk_cache_evictions_total", "Chunks evicted to respect the cache byte bound."),
+	}
+	share := maxBytes / int64(stripes)
+	rem := maxBytes - share*int64(stripes)
+	for i := range c.stripes {
+		cp := share
+		if i == 0 {
+			cp += rem
+		}
+		c.stripes[i] = &cacheStripe{
+			cap:   cp,
+			ll:    list.New(),
+			items: make(map[string]*list.Element),
+		}
 	}
 	reg.GaugeFunc("spate_chunk_cache_bytes", "Inflated bytes currently held by the leaf chunk cache.",
 		func() float64 { return float64(c.Bytes()) })
 	return c
 }
 
+// stripe maps key to its shard (FNV-1a).
+func (c *Cache) stripe(key string) *cacheStripe {
+	if len(c.stripes) == 1 {
+		return c.stripes[0]
+	}
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return c.stripes[h%uint32(len(c.stripes))]
+}
+
 // Get returns the cached chunk for key, marking it most recently used.
 // The returned slice is shared — callers must not mutate it.
 func (c *Cache) Get(key string) ([]byte, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.items[key]
+	s := c.stripe(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[key]
 	if !ok {
 		c.misses.Inc()
 		return nil, false
 	}
 	c.hits.Inc()
-	c.ll.MoveToFront(el)
+	s.ll.MoveToFront(el)
 	return el.Value.(*cacheEntry).data, true
 }
 
-// Put stores data under key, evicting least-recently-used chunks until the
-// byte bound holds. Entries larger than the whole bound are not cached.
+// Put stores data under key, evicting that stripe's least-recently-used
+// chunks until its share of the byte bound holds. Entries larger than the
+// stripe's share are not cached.
 func (c *Cache) Put(key string, data []byte) {
-	if c.cap <= 0 || int64(len(data)) > c.cap {
+	s := c.stripe(key)
+	if s.cap <= 0 || int64(len(data)) > s.cap {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.items[key]; ok {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
 		ent := el.Value.(*cacheEntry)
-		c.used += int64(len(data)) - int64(len(ent.data))
+		s.used += int64(len(data)) - int64(len(ent.data))
 		ent.data = data
-		c.ll.MoveToFront(el)
+		s.ll.MoveToFront(el)
 	} else {
-		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, data: data})
-		c.used += int64(len(data))
+		s.items[key] = s.ll.PushFront(&cacheEntry{key: key, data: data})
+		s.used += int64(len(data))
 	}
-	for c.used > c.cap {
-		oldest := c.ll.Back()
+	for s.used > s.cap {
+		oldest := s.ll.Back()
 		if oldest == nil {
 			break
 		}
-		c.removeLocked(oldest)
+		s.removeLocked(oldest)
 		c.evictions.Inc()
 	}
 }
 
-func (c *Cache) removeLocked(el *list.Element) {
+func (s *cacheStripe) removeLocked(el *list.Element) {
 	ent := el.Value.(*cacheEntry)
-	c.ll.Remove(el)
-	delete(c.items, ent.key)
-	c.used -= int64(len(ent.data))
+	s.ll.Remove(el)
+	delete(s.items, ent.key)
+	s.used -= int64(len(ent.data))
 }
 
 // InvalidatePrefix drops every entry whose key starts with prefix — decay
 // deletes leaf files, and their inflated chunks must not linger in memory.
-// It returns the number of entries dropped.
+// All stripes are swept (a prefix's keys hash everywhere). It returns the
+// number of entries dropped.
 func (c *Cache) InvalidatePrefix(prefix string) int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	dropped := 0
-	for el := c.ll.Front(); el != nil; {
-		next := el.Next()
-		if strings.HasPrefix(el.Value.(*cacheEntry).key, prefix) {
-			c.removeLocked(el)
-			dropped++
+	for _, s := range c.stripes {
+		s.mu.Lock()
+		for el := s.ll.Front(); el != nil; {
+			next := el.Next()
+			if strings.HasPrefix(el.Value.(*cacheEntry).key, prefix) {
+				s.removeLocked(el)
+				dropped++
+			}
+			el = next
 		}
-		el = next
+		s.mu.Unlock()
 	}
 	return dropped
 }
 
-// Bytes returns the inflated bytes currently held.
+// Bytes returns the inflated bytes currently held across all stripes.
 func (c *Cache) Bytes() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.used
+	var total int64
+	for _, s := range c.stripes {
+		s.mu.Lock()
+		total += s.used
+		s.mu.Unlock()
+	}
+	return total
 }
 
-// Len returns the number of cached chunks.
+// Len returns the number of cached chunks across all stripes.
 func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.ll.Len()
+	n := 0
+	for _, s := range c.stripes {
+		s.mu.Lock()
+		n += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return n
 }
+
+// Stripes reports the stripe count (observability and tests).
+func (c *Cache) Stripes() int { return len(c.stripes) }

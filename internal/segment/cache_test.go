@@ -95,3 +95,71 @@ func TestCacheConcurrent(t *testing.T) {
 		t.Fatalf("byte bound violated: %d", c.Bytes())
 	}
 }
+
+func TestCacheStripeSelection(t *testing.T) {
+	reg := obs.NewRegistry()
+	// The default 64 MiB query cache spreads across the full stripe set;
+	// tiny caps collapse to one stripe so strict global LRU still holds.
+	if n := segment.NewCache(64<<20, reg).Stripes(); n != 16 {
+		t.Errorf("64 MiB cache has %d stripes, want 16", n)
+	}
+	if n := segment.NewCache(1<<20, reg).Stripes(); n != 1 {
+		t.Errorf("1 MiB cache has %d stripes, want 1", n)
+	}
+	if n := segment.NewCache(100, reg).Stripes(); n != 1 {
+		t.Errorf("100 B cache has %d stripes, want 1", n)
+	}
+	if n := segment.NewCache(0, reg).Stripes(); n != 1 {
+		t.Errorf("disabled cache has %d stripes, want 1", n)
+	}
+	if n := segment.NewStripedCache(8<<20, 64, reg).Stripes(); n != 64 {
+		t.Errorf("explicit stripes clamped to %d, want 64", n)
+	}
+}
+
+// TestStripedCacheConcurrent hammers a genuinely striped cache with
+// concurrent Get/Put/InvalidatePrefix and checks the global invariants:
+// the byte bound holds, Len agrees with Bytes, and invalidated prefixes
+// are gone from every stripe.
+func TestStripedCacheConcurrent(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := segment.NewStripedCache(8<<20, 8, reg)
+	if c.Stripes() != 8 {
+		t.Fatalf("stripes = %d, want 8", c.Stripes())
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				key := fmt.Sprintf("/spate/data/%d/chunk-%d", g%4, i%64)
+				if _, ok := c.Get(key); !ok {
+					c.Put(key, make([]byte, 512))
+				}
+				if i%97 == 0 {
+					c.InvalidatePrefix(fmt.Sprintf("/spate/data/%d/", g%4))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Bytes() > 8<<20 {
+		t.Fatalf("byte bound violated: %d", c.Bytes())
+	}
+	if c.Bytes() != int64(c.Len())*512 {
+		t.Fatalf("bytes %d disagree with %d entries of 512 B", c.Bytes(), c.Len())
+	}
+	// A final sweep must clear matching keys from all stripes at once.
+	c.InvalidatePrefix("/spate/data/")
+	if c.Len() != 0 || c.Bytes() != 0 {
+		t.Fatalf("after full invalidate: %d entries / %d bytes", c.Len(), c.Bytes())
+	}
+	// Per-stripe byte shares: keys landing on one stripe cannot displace
+	// another stripe's residents, and an entry larger than its stripe's
+	// share is rejected outright.
+	c.Put("oversize", make([]byte, 2<<20)) // 2 MiB > 8 MiB / 8 stripes
+	if _, ok := c.Get("oversize"); ok {
+		t.Error("entry above the per-stripe share was admitted")
+	}
+}

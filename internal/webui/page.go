@@ -81,6 +81,14 @@ async function stats(){
       cc.series.forEach(s=>{const k=s.labels&&s.labels.codec||'?';byCodec[k]=(byCodec[k]||0)+s.value});
       parts.push('<b>columns</b> '+Object.keys(byCodec).sort().map(k=>k+' '+byCodec[k]).join(' · ')+' chunks');
     }
+    const pw=firstVal(snap,'spate_scan_parallel_workers'),
+          pu=firstVal(snap,'spate_scan_parallel_units_total');
+    if(pw>1||pu>0){
+      const sf=firstVal(snap,'spate_scan_singleflight_shared_total')+
+               firstVal(snap,'spate_result_singleflight_shared_total');
+      parts.push('<b>parallel</b> '+pw+' workers · '+pu+' units'+
+        (sf?' · '+sf+' shared':''));
+    }
     const dec=firstVal(snap,'spate_decay_bytes_freed_total');
     if(dec)parts.push('<b>decay</b> '+fmtBytes(dec)+' freed');
     const slow=firstVal(snap,'spate_slow_queries_total');
