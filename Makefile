@@ -41,6 +41,8 @@ bench-json:
 		| $(GO) run ./cmd/benchjson -o BENCH_scan.json
 	$(GO) test -bench ParallelScan -benchtime 3x -run XXX ./internal/core/ \
 		| $(GO) run ./cmd/benchjson -o BENCH_parallel.json
+	$(GO) test -bench Serving -benchtime 5x -run XXX ./internal/bench/ \
+		| $(GO) run ./cmd/benchjson -o BENCH_serving.json
 
 # Regression gate: regenerate the reports, then compare the deterministic
 # inflatedB/op numbers against the committed baselines — a format or
@@ -50,11 +52,14 @@ bench-check:
 	cp BENCH_segment.json BENCH_segment.base.json
 	cp BENCH_scan.json BENCH_scan.base.json
 	cp BENCH_parallel.json BENCH_parallel.base.json
+	cp BENCH_serving.json BENCH_serving.base.json
 	$(MAKE) bench-json
 	$(GO) run ./cmd/benchjson -baseline BENCH_segment.base.json -candidate BENCH_segment.json
 	$(GO) run ./cmd/benchjson -baseline BENCH_scan.base.json -candidate BENCH_scan.json
 	$(GO) run ./cmd/benchjson -baseline BENCH_parallel.base.json -candidate BENCH_parallel.json
-	rm -f BENCH_segment.base.json BENCH_scan.base.json BENCH_parallel.base.json
+	$(GO) run ./cmd/benchjson -baseline BENCH_serving.base.json -candidate BENCH_serving.json \
+		-metric evals/window -tolerance 2.0
+	rm -f BENCH_segment.base.json BENCH_scan.base.json BENCH_parallel.base.json BENCH_serving.base.json
 
 # Fuzz the WAL record decoder and the v3 column-stream decoders for a
 # short, CI-friendly budget.

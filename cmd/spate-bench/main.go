@@ -4,8 +4,10 @@
 // Usage:
 //
 //	spate-bench -exp list
-//	spate-bench -exp all   -scale 0.02 -days 2
-//	spate-bench -exp fig11 -scale 0.05 -days 1 -iters 5
+//	spate-bench -exp all     -scale 0.02 -days 2
+//	spate-bench -exp fig11   -scale 0.05 -days 1 -iters 5
+//	spate-bench -exp serving -clients 16 -zipf-s 1.4 -tenant-mix gold:2,bronze
+//	spate-bench -exp serving -url http://localhost:8080
 //
 // Absolute numbers depend on the host; the comparative shape (who wins,
 // by roughly what factor) is the reproduction target.
@@ -29,12 +31,18 @@ func main() {
 		workers = flag.Int("workers", 0, "compute-pool parallelism (0 = GOMAXPROCS)")
 		seed    = flag.Int64("seed", 1, "generator seed")
 		dir     = flag.String("dir", "", "scratch directory (default: system temp)")
+
+		clients = flag.Int("clients", 8, "serving herd: concurrent clients")
+		zipfS   = flag.Float64("zipf-s", 1.3, "serving herd: zipf skew (>1) over hot windows")
+		mix     = flag.String("tenant-mix", "", "serving herd: client tenant mix, e.g. gold:2,bronze")
+		url     = flag.String("url", "", "serving herd: target a live spate-server instead of in-process")
 	)
 	flag.Parse()
 
 	o := bench.Options{
 		Scale: *scale, Days: *days, Iterations: *iters,
 		Workers: *workers, Seed: *seed, Dir: *dir,
+		Clients: *clients, ZipfS: *zipfS, TenantMix: *mix, URL: *url,
 	}
 
 	switch *exp {

@@ -12,6 +12,8 @@
 //	spate-server -addr :8080 -slow-query 100ms
 //	spate-server -addr :8080 -stream
 //	spate-server -addr :8080 -cluster -shards 4 -stream
+//	spate-server -addr :8080 -rps 50 -max-concurrent 8 -tenants gold:4,bronze:1
+//	spate-server -addr :8080 -cluster -result-cache-bytes 67108864
 //
 // Endpoints:
 //
@@ -66,6 +68,7 @@ import (
 	"spate/internal/geo"
 	"spate/internal/lifecycle"
 	"spate/internal/obs"
+	"spate/internal/serving"
 	"spate/internal/snapshot"
 	"spate/internal/telco"
 	"spate/internal/tracedir"
@@ -106,6 +109,15 @@ func run() int {
 			"streaming ingest: keep the store open and serve POST /api/append (rows land in a WAL + memtable, queryable before their epoch seals)")
 		walDir = flag.String("wal", "",
 			"WAL directory for -stream (default: under the store directory)")
+
+		rps = flag.Float64("rps", 0,
+			"serving tier: sustained requests/second per tenant and endpoint class (0 = no rate limit)")
+		maxConcurrent = flag.Int("max-concurrent", 0,
+			"serving tier: concurrent requests per tenant and endpoint class; excess queues FIFO then sheds 503 (0 = no cap)")
+		tenants = flag.String("tenants", "",
+			"serving tier: comma-separated tenant name[:weight] entries scaling -rps/-max-concurrent per tenant (requests carry X-Spate-Tenant)")
+		cacheBytes = flag.Int64("result-cache-bytes", 0,
+			"serving tier: shared result-cache budget in bytes across every local engine (0 = per-engine default cache)")
 
 		clusterMode = flag.Bool("cluster", false, "run an in-process sharded cluster behind the coordinator UI")
 		shards      = flag.Int("shards", 4, "cluster: number of time shards")
@@ -199,6 +211,30 @@ func run() int {
 			"decay", *decayEvery, "scrub", *scrubEvery, "compact", *compactEvery)
 	}
 
+	// Serving tier (admission control + shared result cache). The
+	// controller fronts whichever server mode runs below; the shared
+	// cache pools every local engine's results under one byte budget.
+	var admission *serving.Controller
+	if *rps > 0 || *maxConcurrent > 0 {
+		base := serving.Limits{RPS: *rps, MaxConcurrent: *maxConcurrent}
+		perTenant, err := serving.ParseTenants(*tenants, base)
+		if err != nil {
+			slog.Error("spate-server: -tenants", "err", err)
+			return 1
+		}
+		admission = serving.NewController(serving.Config{Default: base, Tenants: perTenant})
+		slog.Info("spate-server: admission control enabled",
+			"rps", *rps, "max_concurrent", *maxConcurrent, "tenants", len(perTenant))
+	} else if *tenants != "" {
+		slog.Error("spate-server: -tenants requires -rps or -max-concurrent")
+		return 1
+	}
+	var sharedCache serving.Cache
+	if *cacheBytes > 0 {
+		sharedCache = serving.NewLRU(*cacheBytes, obs.Default)
+		slog.Info("spate-server: shared result cache enabled", "bytes", *cacheBytes)
+	}
+
 	ccfg := cluster.Config{Shards: *shards, Replicas: *replicas, SpatialSplit: *split}
 	var handler http.Handler
 	switch {
@@ -229,10 +265,14 @@ func run() int {
 			}
 		}
 		slog.Info("spate-server: coordinating", "nodes", len(urls), "shards", *shards)
-		handler = webui.NewClusterServer(coord, cells, window).Handler()
+		cs := webui.NewClusterServer(coord, cells, window)
+		if admission != nil {
+			cs.SetAdmission(admission)
+		}
+		handler = cs.Handler()
 
 	case *clusterMode:
-		lopt := cluster.LocalOptions{Engine: engOpts}
+		lopt := cluster.LocalOptions{Engine: engOpts, ResultCache: sharedCache}
 		if lcEnabled {
 			lopt.Lifecycle = &lcCfg
 		}
@@ -264,7 +304,11 @@ func run() int {
 		}
 		slog.Info("spate-server: cluster ready", "nodes", len(local.Nodes),
 			"from", window.From.Format(telco.TimeLayout), "to", window.To.Format(telco.TimeLayout))
-		handler = webui.NewClusterServer(local.Coordinator, cells, window).Handler()
+		cs := webui.NewClusterServer(local.Coordinator, cells, window)
+		if admission != nil {
+			cs.SetAdmission(admission)
+		}
+		handler = cs.Handler()
 
 	default:
 		dir, err := os.MkdirTemp("", "spate-server-*")
@@ -277,6 +321,9 @@ func run() int {
 		if err != nil {
 			slog.Error("spate-server: dfs", "err", err)
 			return 1
+		}
+		if sharedCache != nil {
+			engOpts.ResultCache = serving.Namespace(sharedCache, "engine")
 		}
 		eng, err := core.Open(fs, cellTable, engOpts)
 		if err != nil {
@@ -304,6 +351,9 @@ func run() int {
 		// serve as a shard behind a -join coordinator.
 		node := cluster.NewNode(eng)
 		ui := webui.NewServer(eng, cells, window)
+		if admission != nil {
+			ui.SetAdmission(admission)
+		}
 		if *stream {
 			wd := *walDir
 			if wd == "" {

@@ -43,6 +43,17 @@ type Options struct {
 	Dir string
 	// Seed drives the generator.
 	Seed int64
+	// Clients is the concurrent client-fleet size for the serving-tier
+	// herd experiment.
+	Clients int
+	// ZipfS is the zipf skew (>1) for the herd's hot-window draw.
+	ZipfS float64
+	// TenantMix assigns clients to tenants, e.g. "gold:2,bronze"; empty
+	// runs the whole fleet as the default tenant.
+	TenantMix string
+	// URL points the herd at a live spate-server instead of an
+	// in-process one (engine-side cache counters become unavailable).
+	URL string
 }
 
 func (o Options) withDefaults() Options {
@@ -63,6 +74,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
+	}
+	if o.Clients <= 0 {
+		o.Clients = 8
+	}
+	if o.ZipfS <= 1 {
+		o.ZipfS = 1.3
 	}
 	return o
 }

@@ -31,6 +31,7 @@ func Experiments() []Experiment {
 		{"ablate-leafindex", "Ablation: per-leaf spatial pruning", AblateLeafIndex},
 		{"ablate-theta", "Ablation: highlight threshold sweep", AblateTheta},
 		{"ablate-dict", "Ablation: zstd dictionary training", AblateDictionary},
+		{"serving", "Serving tier: zipf herd vs admission control + shared result cache", ServingHerd},
 	}
 }
 

@@ -1,0 +1,41 @@
+package bench
+
+import (
+	"testing"
+)
+
+// BenchmarkServing measures one zipf herd volley against the full serving
+// stack (admission controller + shared result cache + engine). The shared
+// cache is cleared between iterations so each volley re-evaluates the hot
+// set; evals/window is the herd-collapse gate — shared cache plus
+// singleflight should keep it near one evaluation per touched window no
+// matter how many clients pile on.
+func BenchmarkServing(b *testing.B) {
+	o := Options{
+		Scale: 0.002, Days: 1, Iterations: 1, Workers: 1,
+		Dir: b.TempDir(), Seed: 1, Clients: 8, ZipfS: 1.3,
+	}
+	h, err := newHerd(o)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer h.Close()
+
+	var agg herdStats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		h.reset()
+		b.StartTimer()
+		st := h.run(8)
+		agg.add(st)
+	}
+	b.StopTimer()
+	if agg.ok == 0 {
+		b.Fatal("no request was admitted")
+	}
+	total := float64(agg.requests)
+	b.ReportMetric(float64(agg.evals)/float64(len(h.windows)*b.N), "evals/window")
+	b.ReportMetric(float64(agg.rate+agg.overload)/total, "shed/op")
+	b.ReportMetric(total/agg.elapsed.Seconds(), "req/s")
+}

@@ -8,17 +8,22 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
 
 	"spate/internal/obs"
+	"spate/internal/serving"
 )
 
 // statusError carries a peer's HTTP status alongside its error envelope,
 // so the coordinator can translate typed conditions (backpressure 429,
-// stale/finalized 409) back into their sentinel errors.
+// stale/finalized 409) back into their sentinel errors. retryAfter keeps
+// the peer's Retry-After hint, so a shard's honest backoff propagates
+// through the coordinator to the originating client.
 type statusError struct {
-	code int
-	msg  string
+	code       int
+	msg        string
+	retryAfter time.Duration
 }
 
 func (e *statusError) Error() string { return e.msg }
@@ -29,6 +34,16 @@ func httpStatus(err error) int {
 	var se *statusError
 	if errors.As(err, &se) {
 		return se.code
+	}
+	return 0
+}
+
+// retryAfterOf extracts the peer's Retry-After hint from a client error,
+// 0 when it carried none.
+func retryAfterOf(err error) time.Duration {
+	var se *statusError
+	if errors.As(err, &se) {
+		return se.retryAfter
 	}
 	return 0
 }
@@ -62,8 +77,10 @@ func (c *client) post(ctx context.Context, base, path string, req, resp any) err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
 	// Propagate the caller's trace identity so shard-side spans stitch
-	// into the coordinator-rooted trace.
+	// into the coordinator-rooted trace, and the tenant identity so
+	// per-shard load stays attributable to the tenant that caused it.
 	obs.InjectTrace(ctx, hreq.Header)
+	serving.InjectTenant(ctx, hreq.Header)
 	return c.do(hreq, path, base, resp)
 }
 
@@ -86,11 +103,15 @@ func (c *client) do(hreq *http.Request, path, base string, resp any) error {
 		hresp.Body.Close()
 	}()
 	if hresp.StatusCode != http.StatusOK {
+		var retryAfter time.Duration
+		if secs, err := strconv.Atoi(hresp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			retryAfter = time.Duration(secs) * time.Second
+		}
 		var e errorResponse
 		if json.NewDecoder(hresp.Body).Decode(&e) == nil && e.Error != "" {
-			return &statusError{code: hresp.StatusCode, msg: fmt.Sprintf("cluster: %s %s: %s", path, base, e.Error)}
+			return &statusError{code: hresp.StatusCode, msg: fmt.Sprintf("cluster: %s %s: %s", path, base, e.Error), retryAfter: retryAfter}
 		}
-		return &statusError{code: hresp.StatusCode, msg: fmt.Sprintf("cluster: %s %s: HTTP %d", path, base, hresp.StatusCode)}
+		return &statusError{code: hresp.StatusCode, msg: fmt.Sprintf("cluster: %s %s: HTTP %d", path, base, hresp.StatusCode), retryAfter: retryAfter}
 	}
 	if resp == nil {
 		return nil

@@ -354,7 +354,10 @@ func (c *Coordinator) appendReplica(ctx context.Context, shard int, url string, 
 	}
 	switch httpStatus(lastErr) {
 	case http.StatusTooManyRequests:
-		return fmt.Errorf("%w: %v", core.ErrBackpressure, lastErr)
+		// Re-type the shard's refusal so errors.Is(err, ErrBackpressure)
+		// still matches and the shard's Retry-After hint survives the hop
+		// (the HTTP layer surfaces it to the originating client).
+		return fmt.Errorf("%w: %v", &core.BackpressureError{RetryAfter: retryAfterOf(lastErr)}, lastErr)
 	case http.StatusConflict:
 		return fmt.Errorf("%w: %v", core.ErrStaleEpoch, lastErr)
 	}

@@ -11,6 +11,7 @@ import (
 	"spate/internal/dfs"
 	"spate/internal/geo"
 	"spate/internal/lifecycle"
+	"spate/internal/serving"
 	"spate/internal/telco"
 )
 
@@ -31,6 +32,11 @@ type LocalOptions struct {
 	// Streaming, when set, opens a streamer on every node (WAL under the
 	// node's directory) so /rpc/append is served; Close closes them.
 	Streaming *core.StreamerOptions
+	// ResultCache, when set, is shared by every node's engine: each gets
+	// its own namespace (its slot/replica identity) inside one process-
+	// wide byte budget, so hot shards can use cache capacity idle shards
+	// are not.
+	ResultCache serving.Cache
 }
 
 // Local is an in-process cluster: every node is a real core.Engine served
@@ -79,7 +85,11 @@ func StartLocal(cfg Config, cellTable *telco.Table, opt LocalOptions) (*Local, e
 				l.Close()
 				return nil, err
 			}
-			eng, err := core.Open(fs, cellTable, opt.Engine)
+			engOpts := opt.Engine
+			if opt.ResultCache != nil {
+				engOpts.ResultCache = serving.Namespace(opt.ResultCache, fmt.Sprintf("slot%02d-r%d", slot, rep))
+			}
+			eng, err := core.Open(fs, cellTable, engOpts)
 			if err != nil {
 				l.Close()
 				return nil, err

@@ -14,6 +14,7 @@ import (
 	"spate/internal/core"
 	"spate/internal/geo"
 	"spate/internal/obs"
+	"spate/internal/serving"
 	"spate/internal/snapshot"
 	"spate/internal/telco"
 )
@@ -41,11 +42,16 @@ type Node struct {
 	// (nanoseconds), failNext fails that many explorations with a 500.
 	exploreDelay atomic.Int64
 	failNext     atomic.Int64
+
+	// tenants bounds the tenant label of shard request metrics: the node
+	// doesn't know the coordinator's tenant configuration, so the first
+	// 32 distinct names keep their identity and the rest collapse.
+	tenants *serving.LabelSet
 }
 
 // NewNode serves eng over the cluster RPC surface.
 func NewNode(eng *core.Engine) *Node {
-	n := &Node{eng: eng, mux: http.NewServeMux()}
+	n := &Node{eng: eng, mux: http.NewServeMux(), tenants: serving.NewLabelSet(32)}
 	n.mux.HandleFunc("/rpc/ingest", n.handleIngest)
 	n.mux.HandleFunc("/rpc/append", n.handleAppend)
 	n.mux.HandleFunc("/rpc/explore", n.handleExplore)
@@ -88,6 +94,17 @@ func (n *Node) liveRows() int {
 	return 0
 }
 
+// countTenant accounts one shard RPC to the tenant the coordinator
+// propagated (the X-Spate-Tenant header), so per-shard load stays
+// attributable end to end. The label set bounds cardinality against
+// hostile or misconfigured coordinators.
+func (n *Node) countTenant(r *http.Request, op string) {
+	tenant := n.tenants.Label(serving.TenantFromHeader(r.Header))
+	n.eng.Obs().Counter("spate_serving_shard_requests_total",
+		"Shard RPCs served, by originating tenant and operation.",
+		"tenant", tenant, "op", op).Inc()
+}
+
 // handleAppend serves the streaming write path: rows append through the
 // node's Streamer (WAL + memtable) and are explorable when the response
 // returns. Backpressure maps to 429 with a Retry-After hint; rows of
@@ -98,6 +115,7 @@ func (n *Node) handleAppend(w http.ResponseWriter, r *http.Request) {
 		rpcError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
 		return
 	}
+	n.countTenant(r, "append")
 	st := n.Streamer()
 	if st == nil {
 		rpcError(w, http.StatusServiceUnavailable, fmt.Errorf("cluster: node has no streamer (start with streaming enabled)"))
@@ -127,7 +145,7 @@ func (n *Node) handleAppend(w http.ResponseWriter, r *http.Request) {
 		if err := st.Append(r.Context(), req.Table, recs); err != nil {
 			switch {
 			case errors.Is(err, core.ErrBackpressure):
-				w.Header().Set("Retry-After", "1")
+				serving.WriteRetryAfter(w.Header(), serving.RetryAfterFromError(err, time.Second))
 				rpcError(w, http.StatusTooManyRequests, err)
 			case errors.Is(err, core.ErrStaleEpoch), errors.Is(err, core.ErrFinalized):
 				rpcError(w, http.StatusConflict, err)
@@ -188,6 +206,7 @@ func (n *Node) handleExplore(w http.ResponseWriter, r *http.Request) {
 		rpcError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
 		return
 	}
+	n.countTenant(r, "explore")
 	if d := time.Duration(n.exploreDelay.Load()); d > 0 {
 		select {
 		case <-time.After(d):

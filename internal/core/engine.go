@@ -69,6 +69,14 @@ type Options struct {
 	TrainAfter int
 	// CacheSize bounds the query result cache (default 128 entries).
 	CacheSize int
+	// ResultCache, when non-nil, replaces the built-in per-engine result
+	// cache — the hook a process-wide serving tier uses to pool every
+	// engine's results under one byte budget (serving.Namespace binds one
+	// namespace of a shared cache to this contract). The cache must honor
+	// the decay/epoch invalidation contract: Invalidate drops entries
+	// whose served period overlaps a stale range, Clear drops everything
+	// on ingest. CacheSize is ignored when set.
+	ResultCache ResultCache
 	// ChunkSize is the target uncompressed bytes per leaf segment chunk
 	// (default segment.DefaultChunkSize). A negative value writes legacy
 	// whole-blob leaves instead of segments — the pre-segment format kept
@@ -196,7 +204,7 @@ type Engine struct {
 	// batch-only engine.
 	memt *memtable.Memtable
 
-	cache *resultCache
+	cache ResultCache
 
 	// chunkCache holds inflated leaf chunks across queries, bounded by
 	// bytes; see Options.ChunkCacheBytes.
@@ -233,9 +241,13 @@ func Open(fs *dfs.Cluster, cellTable *telco.Table, opts Options) (*Engine, error
 		fs:         fs,
 		tree:       index.New(),
 		cells:      make(map[int64]geo.Point),
-		cache:      newResultCache(opts.CacheSize),
 		chunkCache: segment.NewCache(opts.ChunkCacheBytes, opts.Obs),
 		met:        newEngineMetrics(opts.Obs, opts.Tracer),
+	}
+	if opts.ResultCache != nil {
+		e.cache = opts.ResultCache
+	} else {
+		e.cache = newResultCache(opts.CacheSize, opts.Obs)
 	}
 	opts.Obs.Gauge("spate_scan_parallel_workers",
 		"Configured per-query scan worker fan-out.").Set(float64(opts.ScanWorkers))
@@ -480,7 +492,7 @@ func (e *Engine) IngestContext(ctx context.Context, s *snapshot.Snapshot) (rep I
 	sr.add(StageSeal, time.Since(tSeal).Nanoseconds())
 	e.rawBytes += rep.RawBytes
 	e.compBytes += rep.CompBytes
-	e.cache.clear()
+	e.cache.Clear()
 	e.mu.Unlock()
 	if sealErr != nil {
 		return rep, sealErr
@@ -554,7 +566,7 @@ func (e *Engine) FinishIngest() {
 		_ = e.sealLocked(n)
 	}
 	e.finished = true
-	e.cache.clear()
+	e.cache.Clear()
 }
 
 // attachMemtable wires the streaming memtable into the query path. The
@@ -564,7 +576,7 @@ func (e *Engine) attachMemtable(m *memtable.Memtable) {
 	e.mu.Lock()
 	e.memt = m
 	e.mu.Unlock()
-	e.cache.clear()
+	e.cache.Clear()
 }
 
 // memAfterLocked returns the attached memtable and the epoch watermark
@@ -634,7 +646,7 @@ func (e *Engine) maybeTrain(text []byte) {
 
 // ClearCache drops the query result cache (benchmarks use this to measure
 // uncached response times; normal operation never needs it).
-func (e *Engine) ClearCache() { e.cache.clear() }
+func (e *Engine) ClearCache() { e.cache.Clear() }
 
 // Decay plans and applies the data fungus at the given instant with no
 // budget — the ingest-path housekeeping call. See DecayRun.
@@ -780,7 +792,7 @@ func (e *Engine) DecayRun(now time.Time, b DecayBudget) (DecayReport, error) {
 		rep.NodesPruned += res.NodesPruned
 		rep.BytesFreed += res.BytesFreed
 		rep.RefsDeleted += res.RefsDeleted
-		e.cache.invalidate(stale)
+		e.cache.Invalidate(stale)
 		e.mu.Unlock()
 		if err != nil {
 			return rep, fmt.Errorf("core: decay: %w", err)

@@ -159,3 +159,8 @@ func (sr *stageRecorder) flush(hists map[string]*obs.Histogram, span *obs.Span) 
 // so RPC handlers can root shard-side spans on the same ring the engine's
 // own spans land in.
 func (e *Engine) Tracer() *obs.Tracer { return e.met.tracer }
+
+// Obs exposes the engine's metrics registry, so the layers serving the
+// engine (cluster nodes, the serving tier) account into the same
+// registry the engine reports to.
+func (e *Engine) Obs() *obs.Registry { return e.opts.Obs }

@@ -162,7 +162,7 @@ func BenchmarkExplore(b *testing.B) {
 		q := Query{Window: telco.NewTimeRange(cfg.Start, cfg.Start.Add(2*time.Hour))}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			e.cache.clear() // measure the full evaluation path every time
+			e.cache.Clear() // measure the full evaluation path every time
 			ctx := context.Background()
 			if profiled {
 				ctx, _ = ContextWithProfile(ctx)

@@ -67,7 +67,7 @@ func TestExploreProfileCounters(t *testing.T) {
 
 	// Clear the result cache but keep the chunk cache warm: the re-run must
 	// hit chunks instead of re-reading the DFS.
-	r.e.cache.clear()
+	r.e.cache.Clear()
 	warm, err := r.e.ExploreContext(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)

@@ -129,7 +129,7 @@ func (e *Engine) Explore(q Query) (*Result, error) {
 func (e *Engine) ExploreContext(ctx context.Context, q Query) (*Result, error) {
 	key := q.cacheKey()
 	for {
-		if r, ok := e.cache.get(key); ok {
+		if r, ok := e.cache.Get(key); ok {
 			e.met.cacheHits.Inc()
 			return sharedResult(ctx, r), nil
 		}
@@ -197,7 +197,7 @@ func (e *Engine) exploreUncached(ctx context.Context, q Query, key string) (*Res
 		e.met.exploreSec.Observe(time.Since(start).Seconds())
 		e.met.scannedLeaves.Add(int64(res.ScannedLeaves))
 		e.met.prunedLeaves.Add(int64(res.PrunedLeaves))
-		e.cache.put(key, res)
+		e.cache.Put(key, res)
 	}
 
 	// The query environment (table set, box cell membership, chunk prune
@@ -1095,49 +1095,109 @@ func (q Query) cacheKey() string {
 	return b.String()
 }
 
-// resultCache is a small bounded cache for exploration results — the
+// ResultCache is the engine's pluggable result-cache contract — the
 // mechanism behind the paper's zoom-in behaviour, where a narrowed window
-// |w'| < |w| "can be served directly from the cache". Entries remember the
-// period their answer describes, so decay can invalidate only the results
-// its evictions could have changed instead of dropping the whole cache.
+// |w'| < |w| "can be served directly from the cache". The engine calls
+// Put on every uncached evaluation, Get before evaluating, Invalidate
+// when decay or fresh streamed rows change what a period's answer would
+// be, and Clear on ingest. Implementations must be safe for concurrent
+// use and must honor the invalidation contract: every entry whose
+// ServedPeriod overlaps a given (half-open) range is dropped.
+//
+// The built-in implementation is a small count-bounded map; the serving
+// tier (internal/serving) plugs a shared bytes-bounded LRU in through
+// Options.ResultCache so every engine in a process draws on one budget.
+type ResultCache interface {
+	Get(key string) (*Result, bool)
+	Put(key string, r *Result)
+	Invalidate(ranges []telco.TimeRange)
+	Clear()
+}
+
+// resultCache is the built-in count-bounded ResultCache. Entries
+// remember the period their answer describes, so decay can invalidate
+// only the results its evictions could have changed instead of dropping
+// the whole cache.
 type resultCache struct {
 	mu    sync.Mutex
 	cap   int
+	bytes int64
 	items map[string]*Result
+	sizes map[string]int64
 	order []string
+
+	evictions     *obs.Counter
+	invalidations *obs.Counter
 }
 
-func newResultCache(capacity int) *resultCache {
-	return &resultCache{cap: capacity, items: make(map[string]*Result)}
+// newResultCache builds the built-in cache and registers its occupancy
+// gauges and churn counters (tier="engine") on reg. GaugeFunc
+// re-registration replaces the callback, so with several engines in one
+// process the newest engine's built-in cache reports — processes that
+// want one coherent view plug a shared serving cache in instead.
+func newResultCache(capacity int, reg *obs.Registry) *resultCache {
+	c := &resultCache{cap: capacity, items: make(map[string]*Result), sizes: make(map[string]int64)}
+	c.evictions = reg.Counter("spate_result_cache_evictions_total",
+		"Cached results evicted to stay within bounds.", "tier", "engine")
+	c.invalidations = reg.Counter("spate_result_cache_invalidations_total",
+		"Cached results dropped by decay/ingest invalidation.", "tier", "engine")
+	reg.GaugeFunc("spate_result_cache_entries",
+		"Cached exploration results.", func() float64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return float64(len(c.items))
+		}, "tier", "engine")
+	reg.GaugeFunc("spate_result_cache_bytes",
+		"Estimated bytes held by cached exploration results.", func() float64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return float64(c.bytes)
+		}, "tier", "engine")
+	return c
 }
 
-func (c *resultCache) get(key string) (*Result, bool) {
+func (c *resultCache) Get(key string) (*Result, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	r, ok := c.items[key]
 	return r, ok
 }
 
-func (c *resultCache) put(key string, r *Result) {
+func (c *resultCache) Put(key string, r *Result) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, exists := c.items[key]; !exists {
 		for len(c.items) >= c.cap && len(c.order) > 0 {
 			oldest := c.order[0]
 			c.order = c.order[1:]
-			delete(c.items, oldest)
+			c.dropLocked(oldest)
+			c.evictions.Inc()
 		}
 		c.order = append(c.order, key)
+	} else {
+		c.bytes -= c.sizes[key]
 	}
 	c.items[key] = r
+	c.sizes[key] = r.SizeBytes()
+	c.bytes += c.sizes[key]
 }
 
-// invalidate drops every cached result whose served period intersects any
+// dropLocked removes one entry with its byte accounting; caller holds
+// c.mu.
+func (c *resultCache) dropLocked(key string) {
+	c.bytes -= c.sizes[key]
+	delete(c.items, key)
+	delete(c.sizes, key)
+}
+
+// Invalidate drops every cached result whose served period intersects any
 // of the given ranges. ServedPeriod always covers the data a result was
 // computed from (it equals the query window on the exact path and the
 // covering node's larger period under Fast/prefetch), so a disjoint entry
-// provably cannot observe the evicted data and survives.
-func (c *resultCache) invalidate(ranges []telco.TimeRange) {
+// provably cannot observe the evicted data and survives. Ranges are
+// half-open like telco.TimeRange: an entry exactly adjacent to a range
+// does not overlap it and stays.
+func (c *resultCache) Invalidate(ranges []telco.TimeRange) {
 	if len(ranges) == 0 {
 		return
 	}
@@ -1154,7 +1214,8 @@ func (c *resultCache) invalidate(ranges []telco.TimeRange) {
 			}
 		}
 		if stale {
-			delete(c.items, key)
+			c.dropLocked(key)
+			c.invalidations.Inc()
 		} else {
 			keep = append(keep, key)
 		}
@@ -1162,9 +1223,60 @@ func (c *resultCache) invalidate(ranges []telco.TimeRange) {
 	c.order = keep
 }
 
-func (c *resultCache) clear() {
+func (c *resultCache) Clear() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.items = make(map[string]*Result)
+	c.sizes = make(map[string]int64)
 	c.order = nil
+	c.bytes = 0
+}
+
+// SizeBytes estimates the retained heap footprint of a result — the unit
+// bytes-bounded result caches (the serving tier's shared LRU, and the
+// built-in cache's occupancy gauge) budget by. It costs maps and slices
+// at shallow per-element sizes, so it is an estimate, but a
+// deterministic one, and cheap enough to run once per cache Put.
+func (r *Result) SizeBytes() int64 {
+	size := int64(512) // struct shell: periods, counters, profile
+	size += summarySizeBytes(r.Summary)
+	for i := range r.Cells {
+		cs := &r.Cells[i]
+		size += 64
+		for ref := range cs.Attr {
+			size += int64(len(ref.Table)+len(ref.Attr)) + 96
+		}
+	}
+	for _, h := range r.Highlights {
+		size += int64(len(h.Attr.Table)+len(h.Attr.Attr)+len(h.Value)) + 64
+	}
+	for name, t := range r.Rows {
+		size += int64(len(name)) + 96
+		for _, rec := range t.Rows {
+			size += memtable.Size(rec)
+		}
+	}
+	size += int64(len(r.Stages)) * 48
+	return size
+}
+
+// summarySizeBytes estimates a highlight summary's footprint.
+func summarySizeBytes(s *highlights.Summary) int64 {
+	if s == nil {
+		return 0
+	}
+	size := int64(128)
+	for ref := range s.Num {
+		size += int64(len(ref.Table)+len(ref.Attr)) + 112
+	}
+	for ref, vals := range s.Cat {
+		size += int64(len(ref.Table)+len(ref.Attr)) + 48
+		for v := range vals {
+			size += int64(len(v)) + 72
+		}
+	}
+	for _, cs := range s.Cells {
+		size += 64 + int64(len(cs.Num))*112
+	}
+	return size
 }

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"spate/internal/obs"
+	"spate/internal/telco"
+)
+
+func rcWindow(fromHour, toHour int) telco.TimeRange {
+	base := time.Date(2016, 1, 1, 0, 0, 0, 0, time.UTC)
+	return telco.NewTimeRange(base.Add(time.Duration(fromHour)*time.Hour), base.Add(time.Duration(toHour)*time.Hour))
+}
+
+// TestResultCacheInvalidateBoundaries pins the half-open invalidation
+// contract: an entry whose served period is exactly adjacent to a stale
+// range shares a boundary instant but no data, so it must survive, while
+// any true overlap — even a single shared hour — drops the entry.
+func TestResultCacheInvalidateBoundaries(t *testing.T) {
+	cases := []struct {
+		name    string
+		served  telco.TimeRange
+		stale   telco.TimeRange
+		dropped bool
+	}{
+		{"identical", rcWindow(0, 4), rcWindow(0, 4), true},
+		{"contained", rcWindow(1, 3), rcWindow(0, 4), true},
+		{"containing", rcWindow(0, 4), rcWindow(1, 3), true},
+		{"overlap_left", rcWindow(0, 2), rcWindow(1, 4), true},
+		{"overlap_right", rcWindow(2, 6), rcWindow(0, 3), true},
+		{"adjacent_before", rcWindow(0, 2), rcWindow(2, 4), false},
+		{"adjacent_after", rcWindow(4, 6), rcWindow(2, 4), false},
+		{"disjoint", rcWindow(0, 1), rcWindow(5, 6), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := newResultCache(8, obs.NewRegistry())
+			c.Put("k", &Result{ServedPeriod: tc.served})
+			c.Invalidate([]telco.TimeRange{tc.stale})
+			_, ok := c.Get("k")
+			if ok == tc.dropped {
+				t.Errorf("served %v vs stale %v: survived=%v, want dropped=%v",
+					tc.served, tc.stale, ok, tc.dropped)
+			}
+		})
+	}
+}
+
+// TestResultCacheInvalidateMultiRange checks that one sweep with several
+// stale ranges drops exactly the overlapping entries and keeps eviction
+// order intact for the survivors.
+func TestResultCacheInvalidateMultiRange(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := newResultCache(8, reg)
+	c.Put("a", &Result{ServedPeriod: rcWindow(0, 2)})
+	c.Put("b", &Result{ServedPeriod: rcWindow(2, 4)})
+	c.Put("c", &Result{ServedPeriod: rcWindow(4, 6)})
+	c.Invalidate([]telco.TimeRange{rcWindow(1, 2), rcWindow(5, 6)})
+	if _, ok := c.Get("a"); ok {
+		t.Error("a overlaps [1,2): should be dropped")
+	}
+	if _, ok := c.Get("b"); !ok {
+		t.Error("b is adjacent to both ranges: should survive")
+	}
+	if _, ok := c.Get("c"); ok {
+		t.Error("c overlaps [5,6): should be dropped")
+	}
+	if got := c.invalidations.Value(); got != 2 {
+		t.Errorf("invalidations = %d, want 2", got)
+	}
+}
+
+// TestResultCacheEvictionAccounting checks the FIFO bound, the eviction
+// counter and the byte accounting through put/evict/clear.
+func TestResultCacheEvictionAccounting(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := newResultCache(2, reg)
+	c.Put("a", &Result{ServedPeriod: rcWindow(0, 1)})
+	c.Put("b", &Result{ServedPeriod: rcWindow(1, 2)})
+	c.Put("c", &Result{ServedPeriod: rcWindow(2, 3)}) // evicts a
+	if _, ok := c.Get("a"); ok {
+		t.Error("a should have been evicted (FIFO)")
+	}
+	if _, ok := c.Get("b"); !ok {
+		t.Error("b should still be cached")
+	}
+	if got := c.evictions.Value(); got != 1 {
+		t.Errorf("evictions = %d, want 1", got)
+	}
+	// Replacing an existing key must not evict or leak byte accounting.
+	c.Put("b", &Result{ServedPeriod: rcWindow(1, 2)})
+	if got := c.evictions.Value(); got != 1 {
+		t.Errorf("evictions after replace = %d, want 1", got)
+	}
+	var want int64
+	c.mu.Lock()
+	for _, s := range c.sizes {
+		want += s
+	}
+	if c.bytes != want {
+		t.Errorf("bytes = %d, want sum of sizes %d", c.bytes, want)
+	}
+	c.mu.Unlock()
+	c.Clear()
+	c.mu.Lock()
+	if c.bytes != 0 || len(c.items) != 0 || len(c.order) != 0 {
+		t.Errorf("clear left bytes=%d items=%d order=%d", c.bytes, len(c.items), len(c.order))
+	}
+	c.mu.Unlock()
+}
+
+// TestResultCacheConcurrent hammers get/put/invalidate/clear from many
+// goroutines; run under -race it pins the cache's concurrency contract.
+func TestResultCacheConcurrent(t *testing.T) {
+	c := newResultCache(16, obs.NewRegistry())
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", (g+i)%24)
+				switch i % 5 {
+				case 0, 1:
+					c.Put(key, &Result{ServedPeriod: rcWindow(i%6, i%6+2)})
+				case 2, 3:
+					c.Get(key)
+				case 4:
+					if i%20 == 4 {
+						c.Invalidate([]telco.TimeRange{rcWindow(i%4, i%4+1)})
+					} else if i%50 == 24 {
+						c.Clear()
+					} else {
+						c.Get(key)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

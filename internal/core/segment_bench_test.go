@@ -63,7 +63,7 @@ func BenchmarkExploreWindowPruning(b *testing.B) {
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			e.cache.clear() // defeat the result cache; chunk cache behaves per variant
+			e.cache.Clear() // defeat the result cache; chunk cache behaves per variant
 			if _, err := e.Explore(q); err != nil {
 				b.Fatal(err)
 			}

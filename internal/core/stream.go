@@ -22,6 +22,23 @@ import (
 // down and retry; nothing of the rejected batch was applied.
 var ErrBackpressure = errors.New("core: streamer backpressure: unsealed backlog over limit")
 
+// BackpressureError is the typed form of ErrBackpressure: it carries how
+// long the producer should back off before retrying, derived from the
+// backlog the rejected append actually saw. errors.Is(err,
+// ErrBackpressure) keeps working through Unwrap, so existing callers
+// branch unchanged; HTTP layers use errors.As to surface RetryAfter as
+// an honest Retry-After header instead of a constant.
+type BackpressureError struct {
+	// RetryAfter is the suggested backoff before the next attempt.
+	RetryAfter time.Duration
+}
+
+func (e *BackpressureError) Error() string {
+	return fmt.Sprintf("%v (retry in %v)", ErrBackpressure, e.RetryAfter)
+}
+
+func (e *BackpressureError) Unwrap() error { return ErrBackpressure }
+
 // ErrStaleEpoch is returned by Streamer.Append for rows whose epoch has
 // already sealed into compressed segments — the streaming counterpart of
 // the batch path's out-of-order rejection. Nothing of the rejected batch
@@ -349,13 +366,30 @@ func (s *Streamer) waitBackpressure(ctx context.Context, add int64) error {
 			return ErrStreamerClosed
 		case <-deadline.C:
 			s.met.bpErrors.Inc()
-			return ErrBackpressure
+			return &BackpressureError{RetryAfter: s.retryAfterHint(add)}
 		case <-poll.C:
 			if s.pending()+add <= s.opts.MaxPending {
 				return nil
 			}
 		}
 	}
+}
+
+// retryAfterHint sizes the backoff handed to a backpressured producer:
+// a half-wait floor plus a term proportional to how far over the bound
+// the backlog is, clamped so a wedged sealer never hints hours. A deeper
+// overage hints a longer absence, so producers thin out in proportion to
+// the congestion they caused.
+func (s *Streamer) retryAfterHint(add int64) time.Duration {
+	wait := s.opts.BackpressureWait
+	hint := wait / 2
+	if over := s.pending() + add - s.opts.MaxPending; over > 0 {
+		hint += time.Duration(float64(wait) * float64(over) / float64(s.opts.MaxPending))
+	}
+	if max := 8 * wait; hint > max {
+		hint = max
+	}
+	return hint
 }
 
 // enqueue hands a batch to the writer, atomically with the closed check.
@@ -490,7 +524,7 @@ func (s *Streamer) apply(batch []*appendBatch) {
 		for ep := range touched {
 			ranges = append(ranges, telco.TimeRange{From: ep.Start(), To: ep.End()})
 		}
-		s.eng.cache.invalidate(ranges)
+		s.eng.cache.Invalidate(ranges)
 	}
 	for _, b := range batch {
 		err := b.err

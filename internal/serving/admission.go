@@ -1,0 +1,345 @@
+package serving
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"spate/internal/obs"
+)
+
+// Endpoint classes: every admitted path belongs to one, and limits apply
+// per (tenant, class) so a tenant's heavy append stream cannot starve its
+// own dashboards (or vice versa). Meta endpoints — the UI page, metrics,
+// traces, health — are never shed: operators must be able to see a
+// saturated server.
+const (
+	ClassQuery  = "query"
+	ClassAppend = "append"
+)
+
+// ClassOf maps a request path to its admission class, "" for exempt
+// endpoints.
+func ClassOf(path string) string {
+	switch path {
+	case "/api/explore", "/api/sql", "/api/template", "/api/playback":
+		return ClassQuery
+	case "/api/append":
+		return ClassAppend
+	}
+	return ""
+}
+
+// Limits bounds one (tenant, class) pair. The zero value means
+// unlimited.
+type Limits struct {
+	// RPS is the sustained token-bucket refill rate in requests per
+	// second; 0 disables rate limiting.
+	RPS float64
+	// Burst is the bucket depth (default max(1, 2×RPS)).
+	Burst int
+	// MaxConcurrent caps requests in flight; 0 disables the cap.
+	MaxConcurrent int
+	// QueueDepth bounds the FIFO wait queue behind the concurrency cap
+	// (default 4×MaxConcurrent). Arrivals past the bound shed with 503.
+	QueueDepth int
+	// QueueWait is how long a queued request waits for a slot before
+	// shedding (default 500ms); the request's own context deadline cuts
+	// the wait short.
+	QueueWait time.Duration
+}
+
+func (l Limits) withDefaults() Limits {
+	if l.Burst <= 0 {
+		l.Burst = int(math.Max(1, 2*l.RPS))
+	}
+	if l.QueueDepth <= 0 && l.MaxConcurrent > 0 {
+		l.QueueDepth = 4 * l.MaxConcurrent
+	}
+	if l.QueueWait <= 0 {
+		l.QueueWait = 500 * time.Millisecond
+	}
+	return l
+}
+
+// unlimited reports whether the limits impose nothing at all.
+func (l Limits) unlimited() bool { return l.RPS <= 0 && l.MaxConcurrent <= 0 }
+
+// ParseTenants parses a "-tenants" style spec — comma-separated
+// name[:weight] entries — into per-tenant limits scaled from base. A
+// weight multiplies the base RPS and concurrency cap (gold:4 gets 4× the
+// default tenant's budget). Returns nil for an empty spec.
+func ParseTenants(spec string, base Limits) (map[string]Limits, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	out := make(map[string]Limits)
+	for _, part := range strings.Split(spec, ",") {
+		name, wstr, hasW := strings.Cut(strings.TrimSpace(part), ":")
+		if name == "" {
+			return nil, fmt.Errorf("serving: empty tenant name in %q", spec)
+		}
+		w := 1.0
+		if hasW {
+			var err error
+			if w, err = strconv.ParseFloat(wstr, 64); err != nil || w <= 0 {
+				return nil, fmt.Errorf("serving: bad weight %q for tenant %q", wstr, name)
+			}
+		}
+		l := base
+		l.RPS *= w
+		if l.MaxConcurrent > 0 {
+			l.MaxConcurrent = int(math.Ceil(float64(l.MaxConcurrent) * w))
+		}
+		out[sanitizeTenant(name)] = l
+	}
+	return out, nil
+}
+
+// Shed reasons, also the reason label of spate_serving_shed_total.
+const (
+	ShedRate         = "rate"
+	ShedQueueFull    = "queue_full"
+	ShedQueueTimeout = "queue_timeout"
+)
+
+// ShedError is a load-shedding refusal: the HTTP status to serve, why,
+// and when a retry is worth making.
+type ShedError struct {
+	Status     int
+	Reason     string
+	RetryAfter time.Duration
+}
+
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("serving: request shed (%s); retry in %v", e.Reason, e.RetryAfter)
+}
+
+// limiter is the concurrency half of one (tenant, class): a slot
+// semaphore fronted by a bounded FIFO wait queue. Goroutines blocked on
+// a channel send are served first-come-first-served by the runtime, so
+// the queue preserves arrival order without explicit tickets.
+type limiter struct {
+	slots chan struct{} // nil = no concurrency cap
+	queue chan struct{} // occupancy tickets bounding waiters
+	wait  time.Duration
+}
+
+func newLimiter(l Limits) *limiter {
+	lim := &limiter{wait: l.QueueWait}
+	if l.MaxConcurrent > 0 {
+		lim.slots = make(chan struct{}, l.MaxConcurrent)
+		lim.queue = make(chan struct{}, l.QueueDepth)
+	}
+	return lim
+}
+
+// acquire claims a slot, waiting in the FIFO queue up to wait (or the
+// request deadline, whichever is sooner). It returns the release
+// function on admission and a *ShedError (or ctx error) on refusal.
+func (l *limiter) acquire(ctx context.Context) (release func(), err error) {
+	if l.slots == nil {
+		return func() {}, nil
+	}
+	select {
+	case l.slots <- struct{}{}:
+		return l.release, nil
+	default:
+	}
+	// Join the bounded wait queue; a full queue sheds immediately — the
+	// server is past the point where waiting helps anyone.
+	select {
+	case l.queue <- struct{}{}:
+	default:
+		return nil, &ShedError{Status: http.StatusServiceUnavailable, Reason: ShedQueueFull, RetryAfter: l.overloadHint()}
+	}
+	defer func() { <-l.queue }()
+	t := time.NewTimer(l.wait)
+	defer t.Stop()
+	select {
+	case l.slots <- struct{}{}:
+		return l.release, nil
+	case <-t.C:
+		return nil, &ShedError{Status: http.StatusServiceUnavailable, Reason: ShedQueueTimeout, RetryAfter: l.overloadHint()}
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (l *limiter) release() { <-l.slots }
+
+// overloadHint scales the retry hint with queue occupancy: the deeper
+// the backlog a shed request saw, the longer it should stay away.
+func (l *limiter) overloadHint() time.Duration {
+	occupancy := 1.0
+	if c := cap(l.queue); c > 0 {
+		occupancy += float64(len(l.queue)) / float64(c)
+	}
+	return time.Duration(occupancy * float64(l.wait))
+}
+
+// queued is the current FIFO wait-queue depth.
+func (l *limiter) queued() int { return len(l.queue) }
+
+// Config configures a Controller.
+type Config struct {
+	// Default limits apply to the DefaultTenant bucket, which absorbs
+	// requests without a tenant header and all unknown tenants.
+	Default Limits
+	// Tenants get their own buckets and metric labels (see ParseTenants).
+	Tenants map[string]Limits
+	// Obs is the metrics registry (default obs.Default).
+	Obs *obs.Registry
+}
+
+// state is the admission machinery of one (tenant, class).
+type state struct {
+	bucket *tokenBucket // nil = no rate limit
+	lim    *limiter
+
+	admitted *obs.Counter
+	inflight *obs.Gauge
+	shed     map[string]*obs.Counter
+}
+
+// Controller is the admission tier: one token bucket + FIFO-queued
+// concurrency limiter per (tenant, class), created lazily and bounded by
+// the configured tenant set. Safe for concurrent use.
+type Controller struct {
+	cfg Config
+
+	mu     sync.Mutex
+	states map[string]*state
+
+	queueWaitSec *obs.Histogram
+	retryAfter   *obs.Histogram
+}
+
+// NewController builds an admission controller.
+func NewController(cfg Config) *Controller {
+	if cfg.Obs == nil {
+		cfg.Obs = obs.Default
+	}
+	cfg.Default = cfg.Default.withDefaults()
+	tenants := make(map[string]Limits, len(cfg.Tenants))
+	for name, l := range cfg.Tenants {
+		tenants[sanitizeTenant(name)] = l.withDefaults()
+	}
+	cfg.Tenants = tenants
+	return &Controller{
+		cfg:    cfg,
+		states: make(map[string]*state),
+		queueWaitSec: cfg.Obs.Histogram("spate_serving_queue_wait_seconds",
+			"Time admitted requests spent in the FIFO admission queue.", obs.ExpBuckets(1e-4, 4, 10)),
+		retryAfter: cfg.Obs.Histogram("spate_serving_retry_after_seconds",
+			"Retry-After hints handed to shed requests.", obs.ExpBuckets(0.5, 2, 8)),
+	}
+}
+
+// resolve maps a request tenant onto its bucket identity: configured
+// tenants keep their name, everyone else shares the default bucket and
+// label (bounding both fairness state and metric cardinality).
+func (c *Controller) resolve(tenant string) (string, Limits) {
+	if l, ok := c.cfg.Tenants[tenant]; ok {
+		return tenant, l
+	}
+	return DefaultTenant, c.cfg.Default
+}
+
+// state returns (creating on first use) the admission state of one
+// (tenant, class) pair.
+func (c *Controller) state(tenant, class string) *state {
+	key := tenant + "\x00" + class
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if st, ok := c.states[key]; ok {
+		return st
+	}
+	_, lim := c.resolve(tenant)
+	st := &state{
+		lim: newLimiter(lim),
+		admitted: c.cfg.Obs.Counter("spate_serving_admitted_total",
+			"Requests admitted past the serving tier.", "tenant", tenant, "class", class),
+		inflight: c.cfg.Obs.Gauge("spate_serving_inflight",
+			"Admitted requests currently in flight.", "tenant", tenant, "class", class),
+		shed: map[string]*obs.Counter{},
+	}
+	if lim.RPS > 0 {
+		st.bucket = newTokenBucket(lim.RPS, float64(lim.Burst))
+	}
+	for _, reason := range []string{ShedRate, ShedQueueFull, ShedQueueTimeout} {
+		st.shed[reason] = c.cfg.Obs.Counter("spate_serving_shed_total",
+			"Requests shed by the serving tier, by reason.",
+			"tenant", tenant, "class", class, "reason", reason)
+	}
+	l := st.lim
+	c.cfg.Obs.GaugeFunc("spate_serving_queue_depth",
+		"Requests waiting in the FIFO admission queue.",
+		func() float64 { return float64(l.queued()) },
+		"tenant", tenant, "class", class)
+	c.states[key] = st
+	return st
+}
+
+// Middleware fronts next with the admission pipeline: resolve tenant →
+// stamp context → rate bucket → FIFO concurrency queue → serve. Shed
+// requests never reach next; exempt endpoints (UI, metrics, traces)
+// bypass everything but the tenant stamp.
+func (c *Controller) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tenant := TenantFromHeader(r.Header)
+		r = r.WithContext(ContextWithTenant(r.Context(), tenant))
+		class := ClassOf(r.URL.Path)
+		if class == "" {
+			next.ServeHTTP(w, r)
+			return
+		}
+		bucketTenant, _ := c.resolve(tenant)
+		st := c.state(bucketTenant, class)
+		if st.bucket != nil {
+			if ok, retry := st.bucket.take(time.Now()); !ok {
+				c.shed(w, st, &ShedError{Status: http.StatusTooManyRequests, Reason: ShedRate, RetryAfter: retry})
+				return
+			}
+		}
+		t0 := time.Now()
+		release, err := st.lim.acquire(r.Context())
+		if err != nil {
+			var se *ShedError
+			if !errors.As(err, &se) {
+				// The caller's own context expired or canceled while
+				// queued: it is gone, but account the shed honestly.
+				se = &ShedError{Status: http.StatusServiceUnavailable, Reason: ShedQueueTimeout, RetryAfter: st.lim.overloadHint()}
+			}
+			c.shed(w, st, se)
+			return
+		}
+		defer release()
+		if wait := time.Since(t0); wait > 0 {
+			c.queueWaitSec.Observe(wait.Seconds())
+		}
+		st.admitted.Inc()
+		st.inflight.Add(1)
+		defer st.inflight.Add(-1)
+		next.ServeHTTP(w, r)
+	})
+}
+
+// shed writes a load-shedding refusal: Retry-After plus a JSON error
+// body, mirroring the API's error envelope.
+func (c *Controller) shed(w http.ResponseWriter, st *state, se *ShedError) {
+	st.shed[se.Reason].Inc()
+	c.retryAfter.Observe(se.RetryAfter.Seconds())
+	WriteRetryAfter(w.Header(), se.RetryAfter)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(se.Status)
+	json.NewEncoder(w).Encode(map[string]string{"error": se.Error()})
+}

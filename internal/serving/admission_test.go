@@ -1,0 +1,297 @@
+package serving
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"spate/internal/obs"
+)
+
+func TestTokenBucketSpacedRetryHints(t *testing.T) {
+	b := newTokenBucket(2, 1) // 2 tokens/s, depth 1
+	now := time.Unix(0, 0)
+	if ok, _ := b.take(now); !ok {
+		t.Fatal("first take from a full bucket should succeed")
+	}
+	// Consecutive denials at the same instant must get strictly
+	// increasing hints: the k-th denier waits for the k-th refill.
+	var prev time.Duration
+	for k := 1; k <= 4; k++ {
+		ok, retry := b.take(now)
+		if ok {
+			t.Fatalf("take %d should be denied", k)
+		}
+		if retry <= prev {
+			t.Fatalf("denial %d: retry %v not greater than previous %v", k, retry, prev)
+		}
+		prev = retry
+	}
+	// After refill the bucket admits again and resets the denial count.
+	ok, _ := b.take(now.Add(time.Second))
+	if !ok {
+		t.Fatal("take after refill should succeed")
+	}
+	_, r1 := b.take(now.Add(time.Second))
+	if r1 >= prev {
+		t.Fatalf("denial spacing should reset after a successful take: %v >= %v", r1, prev)
+	}
+}
+
+func TestTokenBucketRefillCapsAtBurst(t *testing.T) {
+	b := newTokenBucket(100, 2)
+	now := time.Unix(0, 0)
+	b.take(now)
+	b.take(now)
+	// An hour of refill still caps at burst: only two takes succeed.
+	later := now.Add(time.Hour)
+	admitted := 0
+	for i := 0; i < 5; i++ {
+		if ok, _ := b.take(later); ok {
+			admitted++
+		}
+	}
+	if admitted != 2 {
+		t.Fatalf("admitted %d after refill, want burst=2", admitted)
+	}
+}
+
+func TestLimiterQueueFullAndTimeout(t *testing.T) {
+	lim := newLimiter(Limits{MaxConcurrent: 1, QueueDepth: 1, QueueWait: 30 * time.Millisecond})
+	release, err := lim.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One waiter fits in the queue and times out; launched first so it
+	// occupies the queue slot when the third arrival shows up.
+	errc := make(chan error, 1)
+	go func() {
+		_, err := lim.acquire(context.Background())
+		errc <- err
+	}()
+	// Wait for the waiter to be queued.
+	deadline := time.Now().Add(time.Second)
+	for lim.queued() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never joined the queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := lim.acquire(context.Background()); err == nil {
+		t.Fatal("third arrival should shed: queue is full")
+	} else if se, ok := err.(*ShedError); !ok || se.Reason != ShedQueueFull {
+		t.Fatalf("err = %v, want ShedError queue_full", err)
+	}
+	if err := <-errc; err == nil {
+		t.Fatal("queued waiter should time out while the slot is held")
+	} else if se, ok := err.(*ShedError); !ok || se.Reason != ShedQueueTimeout {
+		t.Fatalf("err = %v, want ShedError queue_timeout", err)
+	}
+	release()
+	// With the slot free the queue admits immediately.
+	release2, err := lim.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	release2()
+}
+
+func TestParseTenants(t *testing.T) {
+	base := Limits{RPS: 10, MaxConcurrent: 4}
+	got, err := ParseTenants("gold:4, bronze ,silver:1.5", base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l := got["gold"]; l.RPS != 40 || l.MaxConcurrent != 16 {
+		t.Errorf("gold = %+v, want RPS 40 / MaxConcurrent 16", l)
+	}
+	if l := got["bronze"]; l.RPS != 10 || l.MaxConcurrent != 4 {
+		t.Errorf("bronze = %+v, want base limits", l)
+	}
+	if l := got["silver"]; l.RPS != 15 || l.MaxConcurrent != 6 {
+		t.Errorf("silver = %+v, want RPS 15 / MaxConcurrent 6", l)
+	}
+	for _, bad := range []string{"gold:0", "gold:-1", "gold:x", ":2", " ,"} {
+		if _, err := ParseTenants(bad, base); err == nil {
+			t.Errorf("ParseTenants(%q) should fail", bad)
+		}
+	}
+	if got, err := ParseTenants("  ", base); err != nil || got != nil {
+		t.Errorf("empty spec = %v, %v; want nil, nil", got, err)
+	}
+}
+
+func TestClassOf(t *testing.T) {
+	for path, want := range map[string]string{
+		"/api/explore":  ClassQuery,
+		"/api/sql":      ClassQuery,
+		"/api/template": ClassQuery,
+		"/api/playback": ClassQuery,
+		"/api/append":   ClassAppend,
+		"/":             "",
+		"/metrics":      "",
+		"/api/stats":    "",
+		"/api/trace":    "",
+	} {
+		if got := ClassOf(path); got != want {
+			t.Errorf("ClassOf(%q) = %q, want %q", path, got, want)
+		}
+	}
+}
+
+func TestSanitizeTenant(t *testing.T) {
+	for in, want := range map[string]string{
+		"":          DefaultTenant,
+		"  ":        DefaultTenant,
+		"gold":      "gold",
+		" gold ":    "gold",
+		"a\tb":      "a_b",
+		"a\"b":      "a_b",
+		"tenant\n1": "tenant_1",
+	} {
+		if got := sanitizeTenant(in); got != want {
+			t.Errorf("sanitizeTenant(%q) = %q, want %q", in, got, want)
+		}
+	}
+	long := make([]byte, 100)
+	for i := range long {
+		long[i] = 'x'
+	}
+	if got := sanitizeTenant(string(long)); len(got) != 64 {
+		t.Errorf("long tenant name not capped: len=%d", len(got))
+	}
+}
+
+func TestLabelSetBoundsCardinality(t *testing.T) {
+	s := NewLabelSet(2)
+	if s.Label("a") != "a" || s.Label("b") != "b" {
+		t.Fatal("first two names should keep their identity")
+	}
+	if got := s.Label("c"); got != "other" {
+		t.Fatalf("third name = %q, want other", got)
+	}
+	if s.Label("a") != "a" {
+		t.Fatal("known names should stay stable once admitted")
+	}
+}
+
+// TestControllerMiddlewareRateShed drives the middleware over a rate
+// limit and checks the 429 contract: shed counter, JSON error envelope
+// and a non-constant Retry-After across consecutive denials.
+func TestControllerMiddlewareRateShed(t *testing.T) {
+	reg := obs.NewRegistry()
+	ctl := NewController(Config{Default: Limits{RPS: 0.5, Burst: 1}, Obs: reg})
+	served := 0
+	h := ctl.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served++
+		if got := TenantFromContext(r.Context()); got != DefaultTenant {
+			t.Errorf("tenant in context = %q, want %q", got, DefaultTenant)
+		}
+	}))
+	codes := map[int]int{}
+	retryAfters := map[string]bool{}
+	for i := 0; i < 6; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/api/explore", nil))
+		codes[rec.Code]++
+		if rec.Code == http.StatusTooManyRequests {
+			if ra := rec.Header().Get("Retry-After"); ra == "" {
+				t.Error("429 without Retry-After")
+			} else {
+				retryAfters[ra] = true
+			}
+		}
+	}
+	if codes[http.StatusOK] != 1 || served != 1 {
+		t.Fatalf("codes = %v served=%d, want exactly 1 admitted (burst=1)", codes, served)
+	}
+	if codes[http.StatusTooManyRequests] != 5 {
+		t.Fatalf("codes = %v, want 5 rate sheds", codes)
+	}
+	if len(retryAfters) < 2 {
+		t.Errorf("Retry-After values = %v, want at least 2 distinct (spaced hints)", retryAfters)
+	}
+}
+
+// TestControllerMiddlewareExemptAndUnknownTenant checks that meta
+// endpoints bypass admission entirely and unknown tenants share the
+// default bucket.
+func TestControllerMiddlewareExemptAndUnknownTenant(t *testing.T) {
+	reg := obs.NewRegistry()
+	ctl := NewController(Config{Default: Limits{RPS: 0.001, Burst: 1}, Obs: reg})
+	h := ctl.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	// Exempt endpoints never shed, whatever the rate.
+	for i := 0; i < 10; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("exempt endpoint shed with %d", rec.Code)
+		}
+	}
+	// Two unknown tenants drain one shared default bucket: one admit
+	// total, not one each.
+	admitted := 0
+	for _, tenant := range []string{"mallory1", "mallory2"} {
+		req := httptest.NewRequest("GET", "/api/explore", nil)
+		req.Header.Set(TenantHeader, tenant)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code == http.StatusOK {
+			admitted++
+		}
+	}
+	if admitted != 1 {
+		t.Fatalf("unknown tenants admitted %d, want 1 (shared default bucket)", admitted)
+	}
+}
+
+// TestControllerConfiguredTenantIsolation checks that a configured
+// tenant's budget is its own: exhausting default leaves gold unaffected.
+func TestControllerConfiguredTenantIsolation(t *testing.T) {
+	reg := obs.NewRegistry()
+	ctl := NewController(Config{
+		Default: Limits{RPS: 0.001, Burst: 1},
+		Tenants: map[string]Limits{"gold": {RPS: 0.001, Burst: 2}},
+		Obs:     reg,
+	})
+	h := ctl.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	do := func(tenant string) int {
+		req := httptest.NewRequest("GET", "/api/explore", nil)
+		if tenant != "" {
+			req.Header.Set(TenantHeader, tenant)
+		}
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		return rec.Code
+	}
+	if do("") != http.StatusOK {
+		t.Fatal("default's first request should be admitted")
+	}
+	if do("") != http.StatusTooManyRequests {
+		t.Fatal("default's second request should shed (burst=1)")
+	}
+	if do("gold") != http.StatusOK || do("gold") != http.StatusOK {
+		t.Fatal("gold's own burst=2 budget should admit twice despite default being drained")
+	}
+	if do("gold") != http.StatusTooManyRequests {
+		t.Fatal("gold's third request should shed")
+	}
+}
+
+func TestWriteRetryAfter(t *testing.T) {
+	for d, want := range map[time.Duration]string{
+		0:                       "1",
+		time.Millisecond:        "1",
+		time.Second:             "1",
+		1500 * time.Millisecond: "2",
+		3 * time.Second:         "3",
+	} {
+		h := http.Header{}
+		WriteRetryAfter(h, d)
+		if got := h.Get("Retry-After"); got != want {
+			t.Errorf("WriteRetryAfter(%v) = %q, want %q", d, got, want)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package serving
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// tokenBucket is a fractional token bucket whose denials carry honest,
+// spaced retry hints. A plain bucket tells every concurrent denied
+// caller "retry when one token refills" — they all come back at the same
+// instant and collide again. This bucket counts denials since the last
+// successful take and hints the k-th denier to return after k tokens
+// will have refilled, so a thundering herd is spread over the refill
+// schedule instead of synchronized onto it (the GCRA-style virtual
+// scheduling view of a leaky bucket).
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+	denied float64 // denials since the last successful take
+}
+
+// newTokenBucket builds a full bucket refilling at rate tokens/second up
+// to burst.
+func newTokenBucket(rate, burst float64) *tokenBucket {
+	if burst < 1 {
+		burst = 1
+	}
+	return &tokenBucket{rate: rate, burst: burst, tokens: burst}
+}
+
+// take attempts to consume one token at the given instant. On refusal it
+// returns how long the caller should wait before its retry is likely to
+// be admitted.
+func (b *tokenBucket) take(now time.Time) (ok bool, retryAfter time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.last.IsZero() {
+		b.last = now
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = math.Min(b.burst, b.tokens+dt*b.rate)
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		b.denied = 0
+		return true, 0
+	}
+	b.denied++
+	// The k-th denial waits for k whole tokens beyond the current level:
+	// earlier deniers retry sooner, later ones later — non-constant by
+	// construction.
+	need := b.denied - b.tokens
+	return false, time.Duration(need / b.rate * float64(time.Second))
+}

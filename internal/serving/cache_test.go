@@ -1,0 +1,193 @@
+package serving
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"spate/internal/core"
+	"spate/internal/telco"
+)
+
+func window(fromHour, toHour int) telco.TimeRange {
+	base := time.Date(2016, 1, 1, 0, 0, 0, 0, time.UTC)
+	return telco.NewTimeRange(base.Add(time.Duration(fromHour)*time.Hour), base.Add(time.Duration(toHour)*time.Hour))
+}
+
+func res(fromHour, toHour int) *core.Result {
+	return &core.Result{ServedPeriod: window(fromHour, toHour)}
+}
+
+func TestLRUEvictsColdestFirst(t *testing.T) {
+	unit := res(0, 1).SizeBytes()
+	c := NewUnregisteredLRU(3 * unit)
+	c.Put("ns", "a", res(0, 1))
+	c.Put("ns", "b", res(1, 2))
+	c.Put("ns", "c", res(2, 3))
+	c.Get("ns", "a") // refresh a: b is now coldest
+	c.Put("ns", "d", res(3, 4))
+	if _, ok := c.Get("ns", "b"); ok {
+		t.Error("b was coldest and should have been evicted")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.Get("ns", k); !ok {
+			t.Errorf("%s should still be cached", k)
+		}
+	}
+	st := c.Stats()
+	if st.Entries != 3 || st.Evictions != 1 {
+		t.Errorf("stats = %+v, want 3 entries / 1 eviction", st)
+	}
+	if st.Bytes != 3*unit {
+		t.Errorf("bytes = %d, want %d", st.Bytes, 3*unit)
+	}
+}
+
+func TestLRUReplaceAdjustsBytes(t *testing.T) {
+	unit := res(0, 1).SizeBytes()
+	c := NewUnregisteredLRU(10 * unit)
+	c.Put("ns", "a", res(0, 1))
+	c.Put("ns", "a", res(0, 2)) // replace, same estimated size
+	st := c.Stats()
+	if st.Entries != 1 || st.Bytes != unit {
+		t.Errorf("stats after replace = %+v, want 1 entry / %d bytes", st, unit)
+	}
+}
+
+func TestLRUNamespacesAreIsolated(t *testing.T) {
+	c := NewUnregisteredLRU(1 << 20)
+	c.Put("eng1", "k", res(0, 2))
+	c.Put("eng2", "k", res(4, 6))
+	// Same user key, different namespaces: distinct entries.
+	if st := c.Stats(); st.Entries != 2 {
+		t.Fatalf("entries = %d, want 2", st.Entries)
+	}
+	// Clear drops only its namespace.
+	c.Clear("eng1")
+	if _, ok := c.Get("eng1", "k"); ok {
+		t.Error("eng1 entry should be cleared")
+	}
+	if _, ok := c.Get("eng2", "k"); !ok {
+		t.Error("eng2 entry should survive eng1's clear")
+	}
+	// Invalidate scopes to its namespace even when periods overlap.
+	c.Put("eng1", "k", res(4, 6))
+	c.Invalidate("eng1", []telco.TimeRange{window(4, 6)})
+	if _, ok := c.Get("eng1", "k"); ok {
+		t.Error("eng1 entry overlaps the stale range: should drop")
+	}
+	if _, ok := c.Get("eng2", "k"); !ok {
+		t.Error("eng2 entry must survive eng1's invalidation")
+	}
+}
+
+func TestLRUInvalidateHalfOpenBoundaries(t *testing.T) {
+	c := NewUnregisteredLRU(1 << 20)
+	c.Put("ns", "before", res(0, 2))  // adjacent below [2,4)
+	c.Put("ns", "overlap", res(3, 5)) // overlaps [2,4)
+	c.Put("ns", "after", res(4, 6))   // adjacent above [2,4)
+	c.Invalidate("ns", []telco.TimeRange{window(2, 4)})
+	if _, ok := c.Get("ns", "before"); !ok {
+		t.Error("adjacent-below entry must survive (half-open ranges)")
+	}
+	if _, ok := c.Get("ns", "after"); !ok {
+		t.Error("adjacent-above entry must survive (half-open ranges)")
+	}
+	if _, ok := c.Get("ns", "overlap"); ok {
+		t.Error("overlapping entry must drop")
+	}
+	if st := c.Stats(); st.Invalidations != 1 {
+		t.Errorf("invalidations = %d, want 1", st.Invalidations)
+	}
+}
+
+func TestLRUOversizedResultNotRetained(t *testing.T) {
+	c := NewUnregisteredLRU(1) // smaller than any result
+	c.Put("ns", "k", res(0, 1))
+	if _, ok := c.Get("ns", "k"); ok {
+		t.Error("a result larger than the whole budget should not be retained")
+	}
+	if st := c.Stats(); st.Bytes != 0 || st.Entries != 0 {
+		t.Errorf("stats = %+v, want empty cache", st)
+	}
+}
+
+func TestTieredPromotesOnHit(t *testing.T) {
+	t0 := NewUnregisteredLRU(1 << 20)
+	t1 := NewUnregisteredLRU(1 << 20)
+	c := NewTiered(t0, t1)
+	// Seed only the slow tier, as if another process had populated it.
+	t1.Put("ns", "k", res(0, 2))
+	if _, ok := c.Get("ns", "k"); !ok {
+		t.Fatal("tiered get should find the entry in tier 1")
+	}
+	if _, ok := t0.Get("ns", "k"); !ok {
+		t.Error("hit should promote the entry into tier 0")
+	}
+	// Writes and invalidations fan out to every tier.
+	c.Put("ns", "j", res(4, 6))
+	if _, ok := t1.Get("ns", "j"); !ok {
+		t.Error("put should reach every tier")
+	}
+	c.Invalidate("ns", []telco.TimeRange{window(0, 6)})
+	for name, tier := range map[string]*LRU{"t0": t0, "t1": t1} {
+		if st := tier.Stats(); st.Entries != 0 {
+			t.Errorf("%s still holds %d entries after invalidate", name, st.Entries)
+		}
+	}
+}
+
+func TestNamespaceAdapter(t *testing.T) {
+	shared := NewUnregisteredLRU(1 << 20)
+	var rc core.ResultCache = Namespace(shared, "eng1")
+	rc.Put("k", res(0, 2))
+	if _, ok := rc.Get("k"); !ok {
+		t.Fatal("adapter get should hit")
+	}
+	if _, ok := shared.Get("eng1", "k"); !ok {
+		t.Fatal("adapter should write through to its namespace")
+	}
+	rc.Invalidate([]telco.TimeRange{window(1, 3)})
+	if _, ok := rc.Get("k"); ok {
+		t.Error("adapter invalidate should drop the overlapping entry")
+	}
+	rc.Put("k", res(0, 2))
+	rc.Clear()
+	if st := shared.Stats(); st.Entries != 0 {
+		t.Errorf("adapter clear left %d entries", st.Entries)
+	}
+}
+
+// TestLRUConcurrent exercises the shared cache from many goroutines over
+// several namespaces; run under -race it pins the concurrency contract
+// engines rely on when they share one cache.
+func TestLRUConcurrent(t *testing.T) {
+	c := NewUnregisteredLRU(64 << 10)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ns := fmt.Sprintf("eng%d", g%3)
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", (g+i)%16)
+				switch i % 4 {
+				case 0:
+					c.Put(ns, key, res(i%6, i%6+2))
+				case 1, 2:
+					c.Get(ns, key)
+				case 3:
+					if i%40 == 3 {
+						c.Invalidate(ns, []telco.TimeRange{window(i%4, i%4+1)})
+					} else if i%80 == 43 {
+						c.Clear(ns)
+					} else {
+						c.Stats()
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

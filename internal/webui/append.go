@@ -11,8 +11,10 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
 	"spate/internal/core"
+	"spate/internal/serving"
 	"spate/internal/telco"
 )
 
@@ -54,11 +56,13 @@ func decodeAppendRows(req *AppendJSON) ([]telco.Record, error) {
 }
 
 // appendErr maps the streaming sentinels onto HTTP: backpressure is 429
-// with a Retry-After hint, stale epochs and finalized stores are 409.
+// with a Retry-After hint derived from the streamer's actual backlog
+// (see core.BackpressureError), stale epochs and finalized stores are
+// 409.
 func appendErr(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, core.ErrBackpressure):
-		w.Header().Set("Retry-After", "1")
+		serving.WriteRetryAfter(w.Header(), serving.RetryAfterFromError(err, time.Second))
 		httpErr(w, http.StatusTooManyRequests, err)
 	case errors.Is(err, core.ErrStaleEpoch), errors.Is(err, core.ErrFinalized):
 		httpErr(w, http.StatusConflict, err)

@@ -17,6 +17,7 @@ import (
 	"spate/internal/core"
 	"spate/internal/gen"
 	"spate/internal/obs"
+	"spate/internal/serving"
 	"spate/internal/sqlengine"
 	"spate/internal/tasks"
 	"spate/internal/telco"
@@ -92,6 +93,14 @@ func (s *ClusterServer) handleSQL(w http.ResponseWriter, r *http.Request) {
 
 // Handler returns the HTTP handler with the metrics middleware applied.
 func (s *ClusterServer) Handler() http.Handler { return s.handler }
+
+// SetAdmission fronts the cluster API with a serving-tier admission
+// controller (see Server.SetAdmission). The tenant stamped into the
+// request context propagates into shard RPCs through the cluster
+// client. Call before Handler is used; not safe to swap while serving.
+func (s *ClusterServer) SetAdmission(ctl *serving.Controller) {
+	s.handler = metricsMiddleware(s.obs, s.tracer, s.inflight, ctl.Middleware(s.mux))
+}
 
 // WindowJSON is one half-open time range on the wire.
 type WindowJSON struct {

@@ -52,6 +52,7 @@ async function explore(){
 // Live stats panel: poll /api/stats and surface the headline series.
 function metric(snap,name){return snap.find(m=>m.name===name)}
 function firstVal(snap,name){const m=metric(snap,name);return m&&m.series.length?m.series[0].value:0}
+function sumVal(snap,name){const m=metric(snap,name);return m?m.series.reduce((a,s)=>a+s.value,0):0}
 function fmtBytes(b){const u=['B','KB','MB','GB','TB'];let i=0;while(b>=1024&&i<u.length-1){b/=1024;i++}return b.toFixed(1)+u[i]}
 async function stats(){
   try{
@@ -89,6 +90,13 @@ async function stats(){
       parts.push('<b>parallel</b> '+pw+' workers · '+pu+' units'+
         (sf?' · '+sf+' shared':''));
     }
+    const adm=sumVal(snap,'spate_serving_admitted_total'),
+          shed=sumVal(snap,'spate_serving_shed_total');
+    if(adm+shed>0)parts.push('<b>serving</b> '+adm+' admitted'+
+      (shed?' · <b>'+shed+' shed</b>':''));
+    const rce=sumVal(snap,'spate_result_cache_entries'),
+          rcb=sumVal(snap,'spate_result_cache_bytes');
+    if(rce>0)parts.push('<b>results</b> '+rce+' cached · '+fmtBytes(rcb));
     const dec=firstVal(snap,'spate_decay_bytes_freed_total');
     if(dec)parts.push('<b>decay</b> '+fmtBytes(dec)+' freed');
     const slow=firstVal(snap,'spate_slow_queries_total');

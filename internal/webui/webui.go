@@ -23,6 +23,7 @@ import (
 	"spate/internal/index"
 	"spate/internal/lifecycle"
 	"spate/internal/obs"
+	"spate/internal/serving"
 	"spate/internal/sqlengine"
 	"spate/internal/tasks"
 	"spate/internal/telco"
@@ -191,6 +192,15 @@ func (s *Server) handleTree(w http.ResponseWriter, _ *http.Request) {
 // Handler returns the HTTP handler (also usable under httptest), with the
 // metrics middleware applied.
 func (s *Server) Handler() http.Handler { return s.handler }
+
+// SetAdmission fronts the API with a serving-tier admission controller:
+// tenant resolution, rate limits, concurrency caps and load shedding.
+// The admission layer sits inside the metrics middleware, so shed
+// 429/503s still show up in the per-endpoint request metrics. Call
+// before Handler is used; not safe to swap while serving.
+func (s *Server) SetAdmission(ctl *serving.Controller) {
+	s.handler = s.middleware(ctl.Middleware(s.mux))
+}
 
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
